@@ -1,0 +1,316 @@
+(* Regenerates every table and figure of the paper's evaluation and then
+   micro-benchmarks each analysis pipeline (one Bechamel test per
+   table/figure).  Output order follows DESIGN.md's per-experiment
+   index E1..E10. *)
+
+open Bechamel
+open Toolkit
+open Cf_loop
+open Cf_core
+open Cf_report
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+let l1 =
+  Parse.nest
+    {|
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[2*i, j] := C[i, j] * 7;
+    S2: B[j, i+1] := A[2*i-2, j-1] + C[i-1, j-1];
+  end
+end
+|}
+
+let l2 =
+  Parse.nest
+    {|
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[i+j, i+j] := B[2*i, j] * A[i+j-1, i+j];
+    S2: A[i+j-1, i+j-1] := B[2*i-1, j-1] / 3;
+  end
+end
+|}
+
+let l3 =
+  Parse.nest
+    {|
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[i, j] := A[i-1, j-1] * 3;
+    S2: A[i, j-1] := A[i+1, j-2] / 7;
+  end
+end
+|}
+
+let l4 =
+  Parse.nest
+    {|
+for i1 = 1 to 4
+  for i2 = 1 to 4
+    for i3 = 1 to 4
+      A[i1, i2, i3] := A[i1-1, i2+1, i3-1] + B[i1, i2, i3];
+    end
+  end
+end
+|}
+
+let l4_parloop () =
+  let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+  Cf_transform.Transformer.transform ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ]
+    l4 psi
+
+let print_figures () =
+  section "E1 / Fig. 1 - data spaces and data-referenced vectors (L1)";
+  List.iter (fun a -> print_string (Figures.data_space l1 a)) [ "A"; "B"; "C" ];
+  let psi1 = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+  let p1 = Iter_partition.make l1 psi1 in
+  section "E2 / Fig. 2 - data partitions of L1";
+  List.iter (fun a -> print_string (Figures.data_partition l1 p1 a))
+    [ "A"; "B"; "C" ];
+  section "E3 / Fig. 3 - iteration partition of L1";
+  print_string (Figures.iteration_partition p1);
+  section "E4 / Figs. 4-5 - duplicate-data partition of L2";
+  let p2 = Iter_partition.make l2 (Cf_linalg.Subspace.zero 2) in
+  List.iter (fun a -> print_string (Figures.data_partition l2 p2 a)) [ "A"; "B" ];
+  print_string (Figures.iteration_partition p2);
+  section "E5 / Figs. 6-7 - data reference graph of L3";
+  print_string (Figures.reference_graph l3 "A");
+  print_newline ();
+  section "E6 / Figs. 8-9 - L3 after redundancy elimination (Thm 4)";
+  let exact3 = Cf_dep.Exact.analyze l3 in
+  Format.printf "%a@." Cf_dep.Exact.pp_summary exact3;
+  Format.printf "N(S1) = {%a}@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Cf_linalg.Vec.pp_int)
+    (Cf_dep.Exact.n_set exact3 0);
+  let psi3 =
+    Strategy.partitioning_space ~exact:exact3 Strategy.Min_duplicate l3
+  in
+  let p3 = Iter_partition.make l3 psi3 in
+  print_string (Figures.data_partition l3 p3 "A");
+  print_string (Figures.iteration_partition p3);
+  section "E7 / Fig. 10 - transformed loop L4' and processor assignment";
+  let pl = l4_parloop () in
+  Format.printf "%a@." Cf_transform.Parloop.pp pl;
+  print_string (Figures.assignment_grid pl ~grid:[| 2; 2 |])
+
+let print_tables () =
+  section "E8 / Table I - execution time of L5, L5', L5''";
+  print_string (Tables.table1 ());
+  Printf.printf "max relative error vs paper: %.1f%%\n"
+    (100. *. Tables.max_relative_error ());
+  section "E9 / Table II - speedup of L5' and L5''";
+  print_string (Tables.table2 ());
+  section "E8b - simulator validation (small instances, real execution)";
+  List.iter
+    (fun (variant, p) ->
+      let r = Cf_exec.Matmul.simulate variant ~m:8 ~p in
+      Printf.printf
+        "%-4s p=%-2d m=8: communication-free=%b correct=%b makespan=%.6fs (dist %.6fs)\n"
+        (Cf_exec.Matmul.variant_name variant)
+        p
+        (r.Cf_exec.Matmul.report.Cf_exec.Parexec.remote_access = None)
+        (Cf_exec.Parexec.ok r.Cf_exec.Matmul.report)
+        r.Cf_exec.Matmul.makespan r.Cf_exec.Matmul.distribution_time)
+    [ (Cf_exec.Matmul.Sequential, 1); (Cf_exec.Matmul.Dup_b, 4);
+      (Cf_exec.Matmul.Dup_ab, 4); (Cf_exec.Matmul.Dup_b, 16);
+      (Cf_exec.Matmul.Dup_ab, 16) ]
+
+let print_ablation () =
+  section "E10 - ablation: strategy vs parallelism across the paper's loops";
+  Printf.printf "%-6s %-18s %-6s %-8s %-10s %s\n" "loop" "strategy" "dim"
+    "blocks" "max-block" "comm-free";
+  List.iter
+    (fun (name, nest) ->
+      List.iter
+        (fun strategy ->
+          let exact =
+            if Strategy.uses_exact_analysis strategy then
+              Some (Cf_dep.Exact.analyze nest)
+            else None
+          in
+          let psi = Strategy.partitioning_space ?exact strategy nest in
+          let p = Iter_partition.make nest psi in
+          let free = Verify.communication_free ?exact strategy p in
+          Printf.printf "%-6s %-18s %-6d %-8d %-10d %b\n" name
+            (Strategy.to_string strategy)
+            (Cf_linalg.Subspace.dim psi)
+            (Iter_partition.block_count p)
+            (Iter_partition.max_block_size p)
+            free)
+        Strategy.all)
+    [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4);
+      ("L5(8)", Cf_exec.Matmul.nest ~m:8) ]
+
+let print_commcost () =
+  section
+    "E11 - communication cost: naive outer-slab partition vs communication-free";
+  Printf.printf "%-12s %-22s %12s %14s %14s\n" "loop" "partition" "flow pairs"
+    "remote reads" "remote values";
+  let row name nest =
+    let exact = Cf_dep.Exact.analyze nest in
+    let slab = Cf_exec.Commcost.outer_slab_partition nest in
+    let nblocks = Iter_partition.block_count slab in
+    let slab_cost =
+      Cf_exec.Commcost.measure ~exact
+        ~placement:(Cf_exec.Parexec.cyclic ~nprocs:nblocks)
+        slab
+    in
+    Printf.printf "%-12s %-22s %12d %14d %14d\n" name "outer slabs"
+      slab_cost.Cf_exec.Commcost.total_flow_pairs
+      slab_cost.Cf_exec.Commcost.remote_reads
+      slab_cost.Cf_exec.Commcost.remote_values;
+    let psi = Strategy.partitioning_space ~exact Strategy.Duplicate nest in
+    let free = Iter_partition.make nest psi in
+    let free_cost =
+      Cf_exec.Commcost.measure ~exact
+        ~placement:
+          (Cf_exec.Parexec.cyclic
+             ~nprocs:(max 1 (Iter_partition.block_count free)))
+        free
+    in
+    Printf.printf "%-12s %-22s %12d %14d %14d\n" name
+      "comm-free (duplicate)" free_cost.Cf_exec.Commcost.total_flow_pairs
+      free_cost.Cf_exec.Commcost.remote_reads
+      free_cost.Cf_exec.Commcost.remote_values
+  in
+  row "L1" l1;
+  row "L4" l4;
+  List.iter
+    (fun k ->
+      row k.Cf_workloads.Workloads.name (k.Cf_workloads.Workloads.build ~size:6))
+    [ Cf_workloads.Workloads.convolution; Cf_workloads.Workloads.dft;
+      Cf_workloads.Workloads.sor ]
+
+let print_advisor () =
+  section "E12 - duplication advisor on L5 (which arrays to replicate)";
+  List.iter
+    (fun m ->
+      Printf.printf "m=%d, p=16:\n" m;
+      List.iteri
+        (fun k c ->
+          if k < 3 then
+            Format.printf "  %d. %a@." (k + 1) Cf_exec.Advisor.pp_candidate c)
+        (Cf_exec.Advisor.candidates ~procs:16 (Cf_exec.Matmul.nest ~m)))
+    [ 6; 12; 16 ];
+  print_endline
+    "(crossover: replicating both inputs - the L5'' choice - wins once \
+     compute amortizes the startup messages)"
+
+let print_distribution () =
+  section
+    "E13 - full makespan (distribution + compute) across the workload kernels";
+  Printf.printf "%-12s %6s %6s %14s %14s %10s\n" "kernel" "size" "p"
+    "makespan (s)" "dist (s)" "balance";
+  List.iter
+    (fun k ->
+      let nest = k.Cf_workloads.Workloads.build ~size:6 in
+      List.iter
+        (fun procs ->
+          let plan =
+            Cf_pipeline.Pipeline.plan ~strategy:Strategy.Duplicate nest
+          in
+          let sim =
+            Cf_pipeline.Pipeline.simulate ~procs ~with_distribution:true plan
+          in
+          let machine = sim.Cf_pipeline.Pipeline.report.Cf_exec.Parexec.machine in
+          Printf.printf "%-12s %6d %6d %14.6f %14.6f %10.3f\n"
+            k.Cf_workloads.Workloads.name 6 procs
+            sim.Cf_pipeline.Pipeline.makespan
+            (Cf_machine.Machine.distribution_time machine)
+            sim.Cf_pipeline.Pipeline.balance.Cf_exec.Balance.imbalance)
+        [ 2; 4 ])
+    [ Cf_workloads.Workloads.convolution; Cf_workloads.Workloads.dft;
+      Cf_workloads.Workloads.stencil_2d; Cf_workloads.Workloads.rank1_update;
+      Cf_workloads.Workloads.shifted_sum ]
+
+(* One Bechamel test per experiment: each measures the full pipeline that
+   regenerates the corresponding artifact. *)
+let tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  Test.make_grouped ~name:"comfree"
+    [
+      t "fig1:data-space" (fun () -> Figures.data_space l1 "A");
+      t "fig2:data-partition" (fun () ->
+          let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+          let p = Iter_partition.make l1 psi in
+          Data_partition.make l1 p "A");
+      t "fig3:iter-partition" (fun () ->
+          let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+          Iter_partition.make l1 psi);
+      t "fig4_5:duplicate-partition" (fun () ->
+          let psi = Strategy.partitioning_space Strategy.Duplicate l2 in
+          Iter_partition.make l2 psi);
+      t "fig6_7:reference-graph" (fun () -> Cf_dep.Graph.build l3 "A");
+      t "fig8_9:redundancy-elimination" (fun () -> Cf_dep.Exact.analyze l3);
+      t "fig10:transform-assign" (fun () ->
+          let pl = l4_parloop () in
+          Cf_exec.Assign.parloop_counts pl ~grid:[| 2; 2 |]);
+      t "table1:cost-model-sweep" (fun () ->
+          List.iter
+            (fun (v, p) ->
+              List.iter
+                (fun m ->
+                  ignore
+                    (Cf_exec.Matmul.analytic_time Cf_machine.Cost.transputer v
+                       ~m ~p))
+                Tables.problem_sizes)
+            Tables.rows);
+      t "table2:simulated-matmul" (fun () ->
+          Cf_exec.Matmul.simulate Cf_exec.Matmul.Dup_ab ~m:8 ~p:4);
+      t "ablation:four-strategies-L3" (fun () ->
+          List.map (fun s -> Strategy.partitioning_space s l3) Strategy.all);
+      t "commcost:outer-slabs-L4" (fun () ->
+          let slab = Cf_exec.Commcost.outer_slab_partition l4 in
+          Cf_exec.Commcost.measure
+            ~placement:(Cf_exec.Parexec.cyclic ~nprocs:4)
+            slab);
+      t "advisor:matmul-m6" (fun () ->
+          Cf_exec.Advisor.candidates ~procs:16 (Cf_exec.Matmul.nest ~m:6));
+      t "scalability:symbolic-analysis-m32" (fun () ->
+          Strategy.partitioning_space Strategy.Duplicate
+            (Cf_exec.Matmul.nest ~m:32));
+      t "scalability:exact-analysis-m10" (fun () ->
+          Cf_dep.Exact.analyze (Cf_exec.Matmul.nest ~m:10));
+    ]
+
+let run_benchmarks () =
+  section "micro-benchmarks (Bechamel, monotonic clock)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ x ] -> x
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      if Float.is_nan ns then Printf.printf "%-45s (no estimate)\n" name
+      else if ns > 1e6 then
+        Printf.printf "%-45s %10.3f ms/run\n" name (ns /. 1e6)
+      else Printf.printf "%-45s %10.1f ns/run\n" name ns)
+    rows
+
+let () =
+  print_figures ();
+  print_tables ();
+  print_ablation ();
+  print_commcost ();
+  print_advisor ();
+  print_distribution ();
+  run_benchmarks ()

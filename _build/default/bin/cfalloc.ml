@@ -1,0 +1,407 @@
+(* cfalloc - communication-free data allocation driver.
+
+   Subcommands: analyze, transform, simulate, figures, compare, advise,
+   cgen, demo.
+   Loop nests are read from DSL files (see examples/loops/). *)
+
+open Cmdliner
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let strategy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun st -> Cf_core.Strategy.to_string st = s)
+        Cf_core.Strategy.all
+    with
+    | Some st -> Ok st
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "unknown strategy %S (expected one of: %s)" s
+              (String.concat ", "
+                 (List.map Cf_core.Strategy.to_string Cf_core.Strategy.all))))
+  in
+  let print ppf s = Format.fprintf ppf "%s" (Cf_core.Strategy.to_string s) in
+  Arg.conv (parse, print)
+
+let basis_conv =
+  (* "1,1,0;-1,0,1" -> [ [|1;1;0|]; [|-1;0;1|] ] *)
+  let parse s =
+    try
+      let rows = String.split_on_char ';' s in
+      Ok
+        (List.map
+           (fun row ->
+             String.split_on_char ',' row
+             |> List.map (fun x -> int_of_string (String.trim x))
+             |> Array.of_list)
+           rows)
+    with _ -> Error (`Msg (Printf.sprintf "bad basis %S" s))
+  in
+  let print ppf rows =
+    Format.fprintf ppf "%s"
+      (String.concat ";"
+         (List.map
+            (fun r ->
+              String.concat ","
+                (Array.to_list (Array.map string_of_int r)))
+            rows))
+  in
+  Arg.conv (parse, print)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"Loop-nest DSL file.")
+
+let strategy_arg =
+  Arg.(value
+       & opt strategy_conv Cf_core.Strategy.Nonduplicate
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Partitioning strategy: nonduplicate, duplicate, \
+                 min-nonduplicate or min-duplicate.")
+
+let radius_arg =
+  Arg.(value & opt (some int) None
+       & info [ "radius" ] ~docv:"N"
+           ~doc:"Babai search radius for dependence witnesses.")
+
+let basis_arg =
+  Arg.(value & opt (some basis_conv) None
+       & info [ "basis" ] ~docv:"ROWS"
+           ~doc:"Override the Ker(Psi) basis, e.g. \"1,1,0;-1,0,1\".")
+
+let procs_arg =
+  Arg.(value & opt int 4
+       & info [ "p"; "procs" ] ~docv:"P" ~doc:"Number of processors.")
+
+let logs_arg = Logs_cli.level ()
+
+let load file = Cf_loop.Parse.program_of_file file
+
+(* Apply an action to every nest of the program, with a banner when the
+   file holds more than one. *)
+let each_nest file f =
+  let nests = load file in
+  let many = List.length nests > 1 in
+  List.iteri
+    (fun k nest ->
+      if many then Format.printf "@.===== nest %d =====@." (k + 1);
+      f nest)
+    nests
+
+let handle f =
+  try f (); 0
+  with
+  | Cf_loop.Parse.Error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    1
+  | Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+(* analyze *)
+
+let analyze_run level file strategy radius =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+          Format.printf "@[<v>input loop:@,%a@]@." Cf_loop.Nest.pp nest;
+          let issues = Cf_pipeline.Diagnose.check nest in
+          List.iter
+            (fun i -> Format.printf "%a@." Cf_pipeline.Diagnose.pp_issue i)
+            issues;
+          if not (Cf_pipeline.Diagnose.usable issues) then
+            Format.printf "analysis skipped: the nest violates the model@."
+          else begin
+            let plan =
+              Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
+            in
+            Format.printf "%a@." Cf_pipeline.Pipeline.describe plan;
+            Format.printf "communication-free verified: %b@."
+              (Cf_pipeline.Pipeline.verified plan)
+          end))
+
+let analyze_cmd =
+  let doc = "Analyze a loop nest and print its communication-free plan." in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const analyze_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg)
+
+(* transform *)
+
+let transform_run level file strategy radius basis procs =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+      let plan =
+        Cf_pipeline.Pipeline.plan ~strategy ?basis ?search_radius:radius nest
+      in
+      Format.printf "%a@." Cf_transform.Parloop.pp plan.Cf_pipeline.Pipeline.parloop;
+      let pl = plan.Cf_pipeline.Pipeline.parloop in
+      if pl.Cf_transform.Parloop.n_forall > 0 then begin
+        let grid = Cf_exec.Assign.grid_for pl ~procs in
+        Format.printf "@.processor-assigned form (grid %s):@."
+          (String.concat "x"
+             (Array.to_list (Array.map string_of_int grid)));
+        Format.printf "%a@." (Cf_transform.Parloop.pp_assigned ~grid) pl
+      end))
+
+let transform_cmd =
+  let doc = "Emit the transformed forall nest (and its assigned form)." in
+  Cmd.v (Cmd.info "transform" ~doc)
+    Term.(const transform_run $ logs_arg $ file_arg $ strategy_arg
+          $ radius_arg $ basis_arg $ procs_arg)
+
+(* simulate *)
+
+let simulate_run level file strategy radius procs =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+          let plan =
+            Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
+          in
+          let sim = Cf_pipeline.Pipeline.simulate ~procs plan in
+          Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
+            sim.Cf_pipeline.Pipeline.report;
+          Format.printf "balance: %a@." Cf_exec.Balance.pp
+            sim.Cf_pipeline.Pipeline.balance;
+          Format.printf "makespan: %.6fs@." sim.Cf_pipeline.Pipeline.makespan))
+
+let simulate_cmd =
+  let doc = "Execute the plan on the simulated multicomputer and verify it." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ procs_arg)
+
+(* figures *)
+
+let figures_run level file strategy radius svg_dir =
+  setup_logs level;
+  handle (fun () ->
+      let nest_index = ref 0 in
+      each_nest file (fun nest ->
+      incr nest_index;
+      let plan = Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest in
+      let partition = plan.Cf_pipeline.Pipeline.partition in
+      List.iter
+        (fun a ->
+          print_string (Cf_report.Figures.data_space nest a);
+          print_string (Cf_report.Figures.data_partition nest partition a);
+          print_string (Cf_report.Figures.reference_graph nest a);
+          print_newline ())
+        (Cf_loop.Nest.arrays nest);
+      print_string (Cf_report.Figures.iteration_partition partition);
+      match svg_dir with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let save name contents =
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "nest%d-%s.svg" !nest_index name)
+          in
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc;
+          Format.printf "wrote %s@." path
+        in
+        (try save "iterations" (Cf_report.Svg.iteration_partition partition)
+         with Invalid_argument _ -> ());
+        List.iter
+          (fun a ->
+            try save ("data-" ^ a) (Cf_report.Svg.data_partition nest partition a)
+            with Invalid_argument _ -> ())
+          (Cf_loop.Nest.arrays nest)))
+
+let figures_cmd =
+  let doc = "Render data/iteration partitions and reference graphs." in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"DIR"
+             ~doc:"Also write SVG renderings of the 2-D figures to $(docv).")
+  in
+  Cmd.v (Cmd.info "figures" ~doc)
+    Term.(const figures_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ svg_arg)
+
+(* compare *)
+
+let compare_run level file =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+      let exact = Cf_dep.Exact.analyze nest in
+      Format.printf "%-18s %-5s %-10s %-8s@." "strategy" "dim" "parallel"
+        "blocks";
+      List.iter
+        (fun strategy ->
+          let psi =
+            Cf_core.Strategy.partitioning_space ~exact strategy nest
+          in
+          let p = Cf_core.Iter_partition.make nest psi in
+          Format.printf "%-18s %-5d %-10d %-8d@."
+            (Cf_core.Strategy.to_string strategy)
+            (Cf_linalg.Subspace.dim psi)
+            (Cf_core.Strategy.parallelism_degree psi)
+            (Cf_core.Iter_partition.block_count p))
+        Cf_core.Strategy.all;
+      Format.printf "%a@." Cf_baseline.Hyperplane.pp_comparison
+        (Cf_baseline.Hyperplane.compare_on ~name:"input" nest)))
+
+let compare_cmd =
+  let doc =
+    "Compare the four strategies and the R&S hyperplane baseline."
+  in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const compare_run $ logs_arg $ file_arg)
+
+(* advise *)
+
+let advise_run level file procs =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+          Format.printf
+            "duplication candidates for p = %d (best first):@." procs;
+          List.iteri
+            (fun k c ->
+              Format.printf "  %d. %a@." (k + 1) Cf_exec.Advisor.pp_candidate c)
+            (Cf_exec.Advisor.candidates ~procs nest)))
+
+let advise_cmd =
+  let doc =
+    "Rank array-duplication choices by estimated execution time \
+     (Section IV's which-array-to-replicate question)."
+  in
+  Cmd.v (Cmd.info "advise" ~doc)
+    Term.(const advise_run $ logs_arg $ file_arg $ procs_arg)
+
+(* cgen *)
+
+let cgen_run level file strategy radius basis procs use_grid openmp =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+          let plan =
+            Cf_pipeline.Pipeline.plan ~strategy ?basis ?search_radius:radius
+              nest
+          in
+          let pl = plan.Cf_pipeline.Pipeline.parloop in
+          let grid =
+            if use_grid && pl.Cf_transform.Parloop.n_forall > 0 then
+              Some (Cf_exec.Assign.grid_for pl ~procs)
+            else None
+          in
+          print_string (Cf_cgen.Cgen.emit ?grid ~openmp pl)))
+
+let cgen_cmd =
+  let doc =
+    "Emit a self-contained C program for the plan (requires a \
+     nonduplicate communication-free partition)."
+  in
+  let grid_arg =
+    Arg.(value & flag
+         & info [ "grid" ]
+             ~doc:"Wrap the forall levels in explicit SPMD processor loops \
+                   with the cyclic assignment.")
+  in
+  let openmp_arg =
+    Arg.(value & flag
+         & info [ "openmp" ]
+             ~doc:"Annotate the outer forall with #pragma omp parallel for \
+                   (compile with -fopenmp; race-free by Theorem 1).")
+  in
+  Cmd.v (Cmd.info "cgen" ~doc)
+    Term.(const cgen_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ basis_arg $ procs_arg $ grid_arg $ openmp_arg)
+
+(* allocate *)
+
+let allocate_run level file strategy radius procs =
+  setup_logs level;
+  handle (fun () ->
+      each_nest file (fun nest ->
+          let plan =
+            Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
+          in
+          print_string
+            (Cf_report.Allocmap.render plan.Cf_pipeline.Pipeline.partition
+               ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
+               ~nprocs:procs)))
+
+let allocate_cmd =
+  let doc =
+    "Print the per-processor data allocation map (which elements live      where) under cyclic block placement."
+  in
+  Cmd.v (Cmd.info "allocate" ~doc)
+    Term.(const allocate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ procs_arg)
+
+(* distribute *)
+
+let distribute_run level file strategy =
+  setup_logs level;
+  handle (fun () ->
+      let src =
+        let ic = open_in file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let l = Cf_loop.Parse.imperfect src in
+      Format.printf "@[<v>input (imperfect) nest:@,%a@]@." Cf_loop.Imperfect.pp
+        l;
+      match Cf_frontend.Distribution.distribute_checked l with
+      | Error msg -> Format.printf "distribution rejected: %s@." msg
+      | Ok nests ->
+        Format.printf "distributed into %d perfect nest(s):@."
+          (List.length nests);
+        List.iteri
+          (fun k nest ->
+            Format.printf "@.===== nest %d =====@." (k + 1);
+            Format.printf "@[<v>%a@]@." Cf_loop.Nest.pp nest;
+            let plan = Cf_pipeline.Pipeline.plan ~strategy nest in
+            Format.printf "%a@." Cf_pipeline.Pipeline.describe plan)
+          nests)
+
+let distribute_cmd =
+  let doc =
+    "Split an imperfect nest into perfect nests by loop distribution      (checked against the reference interpretation), then analyze each."
+  in
+  Cmd.v (Cmd.info "distribute" ~doc)
+    Term.(const distribute_run $ logs_arg $ file_arg $ strategy_arg)
+
+(* demo *)
+
+let demo_run level =
+  setup_logs level;
+  handle (fun () ->
+      List.iter
+        (fun k ->
+          Format.printf "== %s: %s ==@." k.Cf_workloads.Workloads.name
+            k.Cf_workloads.Workloads.description;
+          List.iter
+            (fun r ->
+              Format.printf "  %a@." Cf_workloads.Workloads.pp_study_row r)
+            (Cf_workloads.Workloads.study k);
+          Format.printf "  %a@.@." Cf_baseline.Hyperplane.pp_comparison
+            (Cf_workloads.Workloads.baseline_comparison k))
+        Cf_workloads.Workloads.all)
+
+let demo_cmd =
+  let doc = "Run the strategy study over the built-in workload kernels." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo_run $ logs_arg)
+
+let main =
+  let doc = "communication-free data allocation for nested loops" in
+  let info = Cmd.info "cfalloc" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ analyze_cmd; transform_cmd; simulate_cmd; figures_cmd; compare_cmd;
+      advise_cmd; allocate_cmd; cgen_cmd; distribute_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/advisor_demo.ml: Advisor Cf_exec Cf_linalg Cf_loop Format List Matmul Printf

@@ -1,0 +1,1 @@
+examples/cgen_demo.ml: Cf_cgen Cf_loop Cf_pipeline Format List

@@ -1,0 +1,1 @@
+examples/cgen_demo.mli:

@@ -1,0 +1,1 @@
+examples/matmul.ml: Cf_core Cf_dep Cf_exec Cf_linalg Cf_loop Cf_report Format List Matmul Parexec Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cf_core Cf_exec Cf_loop Cf_pipeline Cf_report Format

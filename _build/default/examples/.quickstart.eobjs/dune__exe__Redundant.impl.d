@@ -1,0 +1,1 @@
+examples/redundant.ml: Cf_core Cf_dep Cf_exec Cf_linalg Cf_loop Cf_pipeline Cf_report Exact Format Kind List

@@ -1,0 +1,1 @@
+examples/redundant.mli:

@@ -1,0 +1,1 @@
+examples/stencil3d.ml: Cf_core Cf_exec Cf_linalg Cf_loop Cf_pipeline Cf_report Cf_transform Format

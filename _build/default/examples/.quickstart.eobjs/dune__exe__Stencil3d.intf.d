@@ -1,0 +1,1 @@
+examples/stencil3d.mli:

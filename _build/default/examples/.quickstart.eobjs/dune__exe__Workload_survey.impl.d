@@ -1,0 +1,1 @@
+examples/workload_survey.ml: Cf_baseline Cf_core Cf_workloads Format List Printf Workloads

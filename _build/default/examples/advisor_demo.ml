@@ -1,0 +1,57 @@
+(* The duplication question of Section IV, answered mechanically: for
+   matrix multiplication, should we replicate B (loop L5'), both A and B
+   (loop L5''), or nothing?  The advisor sweeps every subset of arrays,
+   prices each candidate under the paper's cost model and grid
+   assignment, and ranks them - revealing the crossover the paper's
+   Table I hints at.
+
+   Run with: dune exec examples/advisor_demo.exe *)
+
+open Cf_exec
+
+let () =
+  print_endline "Matrix multiplication, 16 processors.";
+  print_endline "Ranked duplication choices per problem size:\n";
+  List.iter
+    (fun m ->
+      Printf.printf "M = %d:\n" m;
+      List.iteri
+        (fun k c ->
+          if k < 4 then
+            Format.printf "  %d. %a@." (k + 1) Advisor.pp_candidate c)
+        (Advisor.candidates ~procs:16 (Matmul.nest ~m));
+      print_newline ())
+    [ 4; 8; 12; 16 ];
+
+  (* The winner's partitioning space coincides with the hand-derived
+     L5'/L5'' constructions of Section IV. *)
+  let best16 = Advisor.best ~procs:16 (Matmul.nest ~m:16) in
+  let psi'' = Matmul.partitioning_space Matmul.Dup_ab ~m:16 in
+  if Cf_linalg.Subspace.equal best16.Advisor.space psi'' then
+    print_endline
+      "At M = 16 the advisor picks {A, B} - exactly the paper's loop L5''."
+  else begin
+    Format.printf "unexpected winner: %a@." Advisor.pp_candidate best16;
+    exit 1
+  end;
+
+  (* On a loop where duplication buys nothing (the paper's L1), the
+     advisor recommends no replication at all. *)
+  let l1 =
+    Cf_loop.Parse.nest
+      {|
+for i = 1 to 4
+  for j = 1 to 4
+    S1: A[2*i, j] := C[i, j] * 7;
+    S2: B[j, i+1] := A[2*i-2, j-1] + C[i-1, j-1];
+  end
+end
+|}
+  in
+  let best = Advisor.best ~procs:4 l1 in
+  if best.Advisor.duplicated = [] then
+    print_endline "On loop L1 it recommends duplicating nothing."
+  else begin
+    Format.printf "unexpected: %a@." Advisor.pp_candidate best;
+    exit 1
+  end

@@ -1,0 +1,40 @@
+(* Survey of scientific kernels (the workloads the paper's UPPER project
+   evaluates): for each kernel, all four strategies and the Ramanujam &
+   Sadayappan hyperplane baseline, with every plan verified on the
+   concrete iteration space.
+
+   Run with: dune exec examples/workload_survey.exe *)
+
+open Cf_workloads
+
+let () =
+  Printf.printf "%-12s %-18s %5s %9s %7s %9s\n" "kernel" "strategy" "dim"
+    "parallel" "blocks" "verified";
+  List.iter
+    (fun kernel ->
+      let rows = Workloads.study kernel in
+      List.iter
+        (fun (r : Workloads.study_row) ->
+          Printf.printf "%-12s %-18s %5d %9d %7d %9b\n" r.Workloads.kernel
+            (Cf_core.Strategy.to_string r.Workloads.strategy)
+            r.Workloads.dim_psi r.Workloads.parallel_dims r.Workloads.blocks
+            r.Workloads.verified)
+        rows;
+      (* Check the kernel's documented expectation. *)
+      let e = kernel.Workloads.expected in
+      let achieved =
+        List.exists
+          (fun (r : Workloads.study_row) ->
+            r.Workloads.strategy = e.Workloads.strategy
+            && r.Workloads.parallel_dims = e.Workloads.parallel_dims
+            && r.Workloads.verified)
+          rows
+      in
+      if not achieved then begin
+        Printf.printf "UNEXPECTED RESULT for %s\n" kernel.Workloads.name;
+        exit 1
+      end;
+      Format.printf "%a@.@." Cf_baseline.Hyperplane.pp_comparison
+        (Workloads.baseline_comparison kernel))
+    Workloads.all;
+  print_endline "OK: all kernels match their documented expectations."

@@ -1,0 +1,1 @@
+lib/baseline/hyperplane.ml: Analysis Array Cf_core Cf_dep Cf_linalg Cf_loop Format Kind List Mat Nest Subspace Vec

@@ -1,0 +1,1 @@
+lib/baseline/hyperplane.mli: Cf_core Cf_linalg Cf_loop Format Subspace

@@ -1,0 +1,90 @@
+open Cf_linalg
+open Cf_loop
+open Cf_dep
+
+let applicable ?search_radius nest =
+  List.for_all
+    (fun (d : Analysis.dep) ->
+      match d.kind with
+      | Kind.Input -> true
+      | Kind.Flow | Kind.Anti | Kind.Output -> false)
+    (Analysis.deps ?search_radius nest)
+
+(* Candidate directions for q contributed by one array: the image under
+   H_Aᵀ of the subspace of data-hyperplane normals orthogonal to every
+   data-referenced vector. *)
+let candidate_space nest name =
+  let n = Nest.depth nest in
+  let h = Nest.h_matrix nest name in
+  let d = Array.length h in
+  let drvs = Analysis.data_referenced_vectors nest name in
+  let s_space =
+    match drvs with
+    | [] -> Subspace.full d
+    | _ ->
+      let rows = List.map Vec.of_int_array drvs in
+      Subspace.complement (Subspace.span d rows)
+  in
+  let ht = Mat.transpose (Mat.of_rows (Array.to_list (Array.map Vec.of_int_array h))) in
+  Subspace.span n (List.map (fun s -> Mat.mul_vec ht s) (Subspace.basis s_space))
+
+let normal ?search_radius nest =
+  let n = Nest.depth nest in
+  let constraining =
+    List.filter
+      (fun a -> Analysis.deps_of_array ?search_radius nest a <> [])
+      (Nest.arrays nest)
+  in
+  let candidates =
+    List.fold_left
+      (fun acc a -> Subspace.meet acc (candidate_space nest a))
+      (Subspace.full n) constraining
+  in
+  match Subspace.int_basis candidates with
+  | [] -> None
+  | q :: _ -> Some q
+
+let partitioning_space ?search_radius nest =
+  let n = Nest.depth nest in
+  if not (applicable ?search_radius nest) then Subspace.full n
+  else
+    match normal ?search_radius nest with
+    | None -> Subspace.full n
+    | Some q ->
+      (* Ψ_RS = the hyperplane through the origin with normal q. *)
+      Subspace.complement (Subspace.span n [ Vec.of_int_array q ])
+
+type comparison = {
+  loop_name : string;
+  baseline_parallel_dims : int;
+  ours_parallel_dims : int;
+  ours_strategy : Cf_core.Strategy.t;
+}
+
+let compare_on ~name nest =
+  let n = Nest.depth nest in
+  let baseline = partitioning_space nest in
+  let exact = Cf_dep.Exact.analyze nest in
+  let best =
+    List.fold_left
+      (fun (best_dims, best_s) strategy ->
+        let psi =
+          Cf_core.Strategy.partitioning_space ~exact strategy nest
+        in
+        let dims = n - Subspace.dim psi in
+        if dims > best_dims then (dims, strategy) else (best_dims, best_s))
+      (-1, Cf_core.Strategy.Nonduplicate)
+      Cf_core.Strategy.all
+  in
+  {
+    loop_name = name;
+    baseline_parallel_dims = n - Subspace.dim baseline;
+    ours_parallel_dims = fst best;
+    ours_strategy = snd best;
+  }
+
+let pp_comparison ppf c =
+  Format.fprintf ppf
+    "%-8s R&S hyperplane: %d parallel dim(s); this paper: %d (via %a)"
+    c.loop_name c.baseline_parallel_dims c.ours_parallel_dims
+    Cf_core.Strategy.pp c.ours_strategy

@@ -1,0 +1,55 @@
+(** The comparison baseline: Ramanujam & Sadayappan's communication-free
+    hyperplane partitioning (IEEE TPDS 2(4), 1991 — reference [18]).
+
+    Their method targets {e For-all} loops and slices the iteration space
+    with one family of parallel [(n−1)]-dimensional hyperplanes
+    [q·ī = k]; each array gets a matching family of data hyperplanes
+    [s_A·ā = const] such that every reference from iteration hyperplane
+    [k] lands on data hyperplane [α_A·k + β_A].  The construction
+    requires, per array [A] that actually shares elements between
+    iterations:
+
+    - [s_A ⊥ r̄] for every data-referenced vector [r̄] of [A] (all
+      references of one iteration hit one data hyperplane), and
+    - [s_Aᵀ·H_A = α_A·qᵀ] (iteration hyperplanes map onto data
+      hyperplanes).
+
+    Hence [q] must lie in the image under [H_Aᵀ] of the orthogonal
+    complement of [A]'s data-referenced vectors, for every constraining
+    array simultaneously.  When such a [q] exists the iteration
+    partition is the coset family of [Ψ_RS = \{x | q·x = 0\}] —
+    exactly one forall dimension.  The paper's claim that its own method
+    dominates follows: whenever [dim Ψ < n−1], the span-based
+    partition exposes more parallel dimensions than any single
+    hyperplane family can. *)
+
+open Cf_linalg
+
+val applicable : ?search_radius:int -> Cf_loop.Nest.t -> bool
+(** True when the nest is For-all-convertible: no loop-carried flow,
+    anti or output dependence (iterations may share reads only).
+    L1/L3/L5 are not For-all loops; L2 and pure-map loops are. *)
+
+val normal : ?search_radius:int -> Cf_loop.Nest.t -> int array option
+(** A primitive integer hyperplane normal [q] satisfying the
+    construction, or [None] when the constraining arrays admit no common
+    direction. *)
+
+val partitioning_space :
+  ?search_radius:int -> Cf_loop.Nest.t -> Subspace.t
+(** The induced iteration-partitioning space: [\{x | q·x = 0\}] (one
+    forall dimension) when a normal exists {e and} the loop is For-all;
+    the full space (sequential) otherwise. *)
+
+type comparison = {
+  loop_name : string;
+  baseline_parallel_dims : int;
+  ours_parallel_dims : int;  (** best over the four strategies *)
+  ours_strategy : Cf_core.Strategy.t;
+}
+
+val compare_on : name:string -> Cf_loop.Nest.t -> comparison
+(** Parallel-dimension comparison on one nest (the paper's qualitative
+    Table-free claim, made measurable). *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,1 @@
+lib/cgen/cgen.ml: Affine Aref Array Buffer Cf_core Cf_exec Cf_loop Cf_rational Cf_transform Char Expr Format Hashtbl List Nest Oint Printf Rat Stmt String

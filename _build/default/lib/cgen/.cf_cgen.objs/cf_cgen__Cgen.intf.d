@@ -1,0 +1,1 @@
+lib/cgen/cgen.mli: Cf_transform

@@ -1,0 +1,456 @@
+open Cf_rational
+open Cf_loop
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic initialization reproducible in C                      *)
+(* ------------------------------------------------------------------ *)
+
+let reference_scalar s =
+  let sum = ref 0 in
+  String.iter (fun c -> sum := !sum + Char.code c) s;
+  1 + (!sum mod 97)
+
+let reference_init ~arrays name el =
+  let id =
+    let rec find k = function
+      | [] -> invalid_arg ("Cgen.reference_init: unknown array " ^ name)
+      | a :: rest -> if String.equal a name then k else find (k + 1) rest
+    in
+    find 0 arrays
+  in
+  let h = ref (131 * (id + 1)) in
+  let p = ref 17 in
+  Array.iter
+    (fun c ->
+      h := !h + ((c + 64) * !p);
+      p := !p * 17)
+    el;
+  1 + (((!h mod 997) + 997) mod 997)
+
+(* ------------------------------------------------------------------ *)
+(* Checksums                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cs_m = 1_000_003
+let cs_p = 1_000_000_007
+
+let checksum_fold cs v =
+  ((cs * 31) + (((v mod cs_m) + cs_m) mod cs_m)) mod cs_p
+
+(* Touched bounding box of each array, from the full reference walk. *)
+let boxes nest =
+  let order = Nest.indices nest in
+  let tbl : (string, int array * int array) Hashtbl.t = Hashtbl.create 8 in
+  let hcs =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun (s : Nest.ref_site) ->
+            let h, c = Aref.matrix order s.aref in
+            (a, h, c))
+          (Nest.sites_of_array nest a))
+      (Nest.arrays nest)
+  in
+  Nest.iter_space nest (fun iter ->
+      List.iter
+        (fun (a, h, c) ->
+          let el =
+            Array.mapi
+              (fun p row ->
+                let acc = ref c.(p) in
+                Array.iteri (fun q x -> acc := !acc + (x * iter.(q))) row;
+                !acc)
+              h
+          in
+          match Hashtbl.find_opt tbl a with
+          | None -> Hashtbl.replace tbl a (Array.copy el, Array.copy el)
+          | Some (lo, hi) ->
+            Array.iteri
+              (fun k x ->
+                if x < lo.(k) then lo.(k) <- x;
+                if x > hi.(k) then hi.(k) <- x)
+              el)
+        hcs);
+  List.map
+    (fun a ->
+      match Hashtbl.find_opt tbl a with
+      | Some (lo, hi) -> (a, lo, hi)
+      | None -> invalid_arg "Cgen.boxes: array never touched")
+    (Nest.arrays nest)
+
+let box_fold lo hi f init =
+  (* Row-major walk of the integer box [lo, hi]. *)
+  let n = Array.length lo in
+  let cur = Array.copy lo in
+  let acc = ref init in
+  let rec go k =
+    if k = n then acc := f !acc (Array.copy cur)
+    else
+      for x = lo.(k) to hi.(k) do
+        cur.(k) <- x;
+        go (k + 1)
+      done
+  in
+  go 0;
+  !acc
+
+let run_reference nest =
+  let arrays = Nest.arrays nest in
+  Cf_exec.Seqexec.run
+    ~init:(reference_init ~arrays)
+    ~scalar:reference_scalar nest
+
+let value_bound = 1 lsl 40
+
+let expected_checksums pl =
+  let nest = pl.Cf_transform.Parloop.source in
+  let arrays = Nest.arrays nest in
+  let memory = run_reference nest in
+  List.map
+    (fun (a, lo, hi) ->
+      let cs =
+        box_fold lo hi
+          (fun acc el ->
+            let v =
+              match Cf_exec.Seqexec.lookup memory a el with
+              | Some v -> v
+              | None -> reference_init ~arrays a el
+            in
+            checksum_fold acc v)
+          0
+      in
+      (a, cs))
+    (boxes nest)
+
+let supports pl =
+  let nest = pl.Cf_transform.Parloop.source in
+  let partition =
+    Cf_core.Iter_partition.make nest pl.Cf_transform.Parloop.space
+  in
+  if
+    not
+      (Cf_core.Verify.communication_free Cf_core.Strategy.Nonduplicate
+         partition)
+  then
+    Error
+      "the C back end runs all blocks on one shared memory; the plan \
+       must be communication-free without duplication"
+  else begin
+    let memory = run_reference nest in
+    let too_big =
+      List.exists
+        (fun (_, _, v) -> abs v >= value_bound)
+        (Cf_exec.Seqexec.bindings memory)
+    in
+    if too_big then
+      Error "intermediate values too large for portable checksums"
+    else Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* C emission                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> String.make 1 c
+         | '\'' -> "_p"
+         | _ -> "_")
+       (List.init (String.length name) (String.get name)))
+
+let cvar name = "v_" ^ sanitize name
+let cscalar name = "S_" ^ sanitize name
+let carr name = "AT_" ^ sanitize name
+let cdata name = "arr_" ^ sanitize name
+
+(* Integer-scaled view of a rational affine form over the new loop
+   variables: (numerator C expression, positive denominator). *)
+let scaled_raffine ~names (f : Cf_transform.Raffine.t) =
+  let n = Cf_transform.Raffine.nvars f in
+  let d =
+    let acc = ref (Rat.den f.Cf_transform.Raffine.const) in
+    for k = 0 to n - 1 do
+      acc := Oint.lcm !acc (Rat.den (Cf_transform.Raffine.coeff f k))
+    done;
+    !acc
+  in
+  let term k =
+    let c = Cf_transform.Raffine.coeff f k in
+    let scaled = Rat.to_int_exn (Rat.mul (Rat.of_int d) c) in
+    if scaled = 0 then None
+    else if scaled = 1 then Some names.(k)
+    else Some (Printf.sprintf "(%d)*%s" scaled names.(k))
+  in
+  let const =
+    Rat.to_int_exn (Rat.mul (Rat.of_int d) f.Cf_transform.Raffine.const)
+  in
+  let parts = List.filter_map term (List.init n (fun k -> k)) in
+  let parts = if const <> 0 || parts = [] then parts @ [ string_of_int const ] else parts in
+  (String.concat " + " parts, d)
+
+let lower_term ~names f =
+  let num, d = scaled_raffine ~names f in
+  if d = 1 then Printf.sprintf "(%s)" num
+  else Printf.sprintf "cdivl(%s, %d)" num d
+
+let upper_term ~names f =
+  let num, d = scaled_raffine ~names f in
+  if d = 1 then Printf.sprintf "(%s)" num
+  else Printf.sprintf "fdivl(%s, %d)" num d
+
+let fold_minmax fn = function
+  | [] -> invalid_arg "Cgen: unbounded loop level"
+  | [ t ] -> t
+  | t :: rest ->
+    List.fold_left (fun acc u -> Printf.sprintf "%s(%s, %s)" fn acc u) t rest
+
+(* Affine (integer) expression over original index names. *)
+let caffine e =
+  let const = Affine.constant_part e in
+  let parts =
+    List.map
+      (fun (v, c) ->
+        if c = 1 then cvar v else Printf.sprintf "(%d)*%s" c (cvar v))
+      (Affine.coeffs e)
+  in
+  let parts =
+    if const <> 0 || parts = [] then parts @ [ string_of_int const ] else parts
+  in
+  String.concat " + " parts
+
+let rec cexpr = function
+  | Expr.Const c -> string_of_int c
+  | Expr.Scalar s -> cscalar s
+  | Expr.Index v -> cvar v
+  | Expr.Read r -> cref r
+  | Expr.Binop (op, a, b) ->
+    let sym =
+      match op with
+      | Expr.Add -> "+"
+      | Expr.Sub -> "-"
+      | Expr.Mul -> "*"
+      | Expr.Div -> "/"
+    in
+    Printf.sprintf "(%s %s %s)" (cexpr a) sym (cexpr b)
+
+and cref (r : Aref.t) =
+  Printf.sprintf "%s(%s)" (carr r.Aref.array)
+    (String.concat ", "
+       (List.map caffine (Array.to_list r.Aref.subscripts)))
+
+let emit ?grid ?(openmp = false) pl =
+  (match supports pl with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Cgen.emit: " ^ msg));
+  if openmp && grid <> None then
+    invalid_arg "Cgen.emit: openmp and grid are mutually exclusive";
+  let nest = pl.Cf_transform.Parloop.source in
+  let level_names =
+    Array.map (fun l -> cvar l.Cf_transform.Parloop.name)
+      pl.Cf_transform.Parloop.levels
+  in
+  let n = Array.length pl.Cf_transform.Parloop.levels in
+  let k_forall = pl.Cf_transform.Parloop.n_forall in
+  (match grid with
+   | Some g when Array.length g <> k_forall ->
+     invalid_arg "Cgen.emit: grid arity mismatch"
+   | _ -> ());
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  pr "/* Generated by comfree: communication-free parallel form of the\n";
+  pr "   source nest below.  Outer forall loops are parallel; with the\n";
+  pr "   explicit processor loops, each iteration of the PE loops is an\n";
+  pr "   independent SPMD process.\n\n";
+  let nest_text = Format.asprintf "@[<v>%a@]" Nest.pp nest in
+  String.split_on_char '\n' nest_text
+  |> List.iter (fun l -> pr "   %s\n" l);
+  pr "*/\n\n";
+  pr "#include <stdio.h>\n\n";
+  pr "static long lmax(long a, long b) { return a > b ? a : b; }\n";
+  pr "static long lmin(long a, long b) { return a < b ? a : b; }\n";
+  pr "static long fdivl(long n, long d) {\n";
+  pr "  long q = n / d, r = n %% d;\n";
+  pr "  return (r != 0 && ((r < 0) != (d < 0))) ? q - 1 : q;\n";
+  pr "}\n";
+  pr "static long cdivl(long n, long d) {\n";
+  pr "  long q = n / d, r = n %% d;\n";
+  pr "  return (r != 0 && ((r < 0) == (d < 0))) ? q + 1 : q;\n";
+  pr "}\n";
+  if grid <> None then
+    pr "static long emod(long a, long b) { long r = a %% b; return r < 0 ? r + b : r; }\n";
+  pr "\n";
+  (* Array storage over touched bounding boxes, row-major. *)
+  let box_list = boxes nest in
+  List.iter
+    (fun (a, lo, hi) ->
+      let dims = Array.mapi (fun k l -> hi.(k) - l + 1) lo in
+      let len = Array.fold_left ( * ) 1 dims in
+      pr "/* %s over [%s] x [%s] */\n" a
+        (String.concat ", " (Array.to_list (Array.map string_of_int lo)))
+        (String.concat ", " (Array.to_list (Array.map string_of_int hi)));
+      pr "static long %s[%d];\n" (cdata a) len;
+      let d = Array.length lo in
+      let params = List.init d (fun k -> Printf.sprintf "e%d" k) in
+      (* row-major: ((e0-lo0)*dim1 + (e1-lo1))*dim2 + ... *)
+      let index =
+        let acc = ref (Printf.sprintf "((e0) - (%d))" lo.(0)) in
+        for k = 1 to d - 1 do
+          acc :=
+            Printf.sprintf "(%s) * %d + ((e%d) - (%d))" !acc dims.(k) k lo.(k)
+        done;
+        !acc
+      in
+      pr "#define %s(%s) %s[%s]\n\n" (carr a) (String.concat ", " params)
+        (cdata a) index)
+    box_list;
+  (* Scalars. *)
+  let scalars =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (s : Stmt.t) -> Expr.scalars s.rhs) nest.Nest.body)
+  in
+  List.iter
+    (fun s -> pr "static const long %s = %d;\n" (cscalar s) (reference_scalar s))
+    scalars;
+  if scalars <> [] then pr "\n";
+  (* Initialization: same formula as Cgen.reference_init. *)
+  pr "static long ref_init(long id, const long *el, int d) {\n";
+  pr "  long h = 131 * (id + 1), p = 17;\n";
+  pr "  for (int k = 0; k < d; k++) { h += (el[k] + 64) * p; p *= 17; }\n";
+  pr "  return 1 + (((h %% 997) + 997) %% 997);\n";
+  pr "}\n\n";
+  pr "static void initialize(void) {\n";
+  List.iteri
+    (fun id (a, lo, hi) ->
+      let d = Array.length lo in
+      pr "  {\n";
+      pr "    long co[%d];\n" d;
+      let indent = ref "    " in
+      for k = 0 to d - 1 do
+        pr "%sfor (long e%d = %d; e%d <= %d; e%d++) {\n" !indent k lo.(k) k
+          hi.(k) k;
+        indent := !indent ^ "  "
+      done;
+      for k = 0 to d - 1 do
+        pr "%sco[%d] = e%d;\n" !indent k k
+      done;
+      pr "%s%s(%s) = ref_init(%d, co, %d);\n" !indent (carr a)
+        (String.concat ", " (List.init d (fun k -> Printf.sprintf "e%d" k)))
+        id d;
+      for k = d - 1 downto 0 do
+        indent := String.sub !indent 0 (String.length !indent - 2);
+        pr "%s}\n" !indent;
+        ignore k
+      done;
+      pr "  }\n")
+    box_list;
+  pr "}\n\n";
+  (* The kernel. *)
+  pr "static void kernel(void) {\n";
+  let indent = ref "  " in
+  (match grid with
+   | Some g ->
+     Array.iteri
+       (fun j p ->
+         pr "%sfor (long a%d = 0; a%d < %d; a%d++) { /* PE dimension %d */\n"
+           !indent j j p j j;
+         indent := !indent ^ "  ")
+       g
+   | None -> ());
+  Array.iteri
+    (fun m (l : Cf_transform.Parloop.level) ->
+      let lo =
+        fold_minmax "lmax"
+          (List.map (lower_term ~names:level_names)
+             l.bounds.Cf_transform.Fourier.lowers)
+      in
+      let hi =
+        fold_minmax "lmin"
+          (List.map (upper_term ~names:level_names)
+             l.bounds.Cf_transform.Fourier.uppers)
+      in
+      let v = level_names.(m) in
+      if openmp && l.role = Cf_transform.Parloop.Forall && m = 0 then
+        pr "%s#pragma omp parallel for\n" !indent;
+      (match (grid, l.role) with
+       | Some g, Cf_transform.Parloop.Forall ->
+         pr "%s{ /* forall, cyclically assigned to PE dimension %d */\n"
+           !indent m;
+         indent := !indent ^ "  ";
+         pr "%slong lo_%s = %s;\n" !indent v lo;
+         pr "%slong start_%s = lo_%s + emod(a%d - emod(lo_%s, %d), %d);\n"
+           !indent v v m v g.(m) g.(m);
+         pr "%sfor (long %s = start_%s; %s <= %s; %s += %d) {\n" !indent v v v
+           hi v g.(m)
+       | _, Cf_transform.Parloop.Forall ->
+         pr "%sfor (long %s = %s; %s <= %s; %s++) { /* forall */\n" !indent v
+           lo v hi v
+       | _, Cf_transform.Parloop.Sequential ->
+         pr "%sfor (long %s = %s; %s <= %s; %s++) {\n" !indent v lo v hi v);
+      indent := !indent ^ "  ")
+    pl.Cf_transform.Parloop.levels;
+  (* Extended statements with integrality guards. *)
+  let order = Nest.indices nest in
+  let inner = Array.to_list pl.Cf_transform.Parloop.inner_positions in
+  Array.iteri
+    (fun i f ->
+      if not (List.mem i inner) then begin
+        let num, d = scaled_raffine ~names:level_names f in
+        if d = 1 then pr "%slong %s = %s;\n" !indent (cvar order.(i)) num
+        else begin
+          pr "%slong num_%s = %s;\n" !indent (cvar order.(i)) num;
+          pr "%sif (num_%s %% %d != 0) continue;\n" !indent (cvar order.(i)) d;
+          pr "%slong %s = num_%s / %d;\n" !indent (cvar order.(i))
+            (cvar order.(i)) d
+        end
+      end)
+    pl.Cf_transform.Parloop.orig_of_new;
+  (* Body statements. *)
+  List.iter
+    (fun (s : Stmt.t) ->
+      pr "%s%s = %s;\n" !indent (cref s.lhs) (cexpr s.rhs))
+    nest.Nest.body;
+  let total_loops =
+    n + match grid with Some g -> Array.length g | None -> 0
+  in
+  let extra_braces =
+    match grid with
+    | Some _ -> pl.Cf_transform.Parloop.n_forall (* the start_ blocks *)
+    | None -> 0
+  in
+  for _ = 1 to total_loops + extra_braces do
+    indent := String.sub !indent 0 (String.length !indent - 2);
+    pr "%s}\n" !indent
+  done;
+  pr "}\n\n";
+  (* Checksums. *)
+  pr "int main(void) {\n";
+  pr "  initialize();\n";
+  pr "  kernel();\n";
+  List.iter
+    (fun (a, lo, hi) ->
+      let d = Array.length lo in
+      pr "  {\n";
+      pr "    long cs = 0;\n";
+      let indent = ref "    " in
+      for k = 0 to d - 1 do
+        pr "%sfor (long e%d = %d; e%d <= %d; e%d++) {\n" !indent k lo.(k) k
+          hi.(k) k;
+        indent := !indent ^ "  "
+      done;
+      pr "%slong v = %s(%s);\n" !indent (carr a)
+        (String.concat ", " (List.init d (fun k -> Printf.sprintf "e%d" k)));
+      pr "%scs = (cs * 31 + ((v %% %d) + %d) %% %d) %% %d;\n" !indent cs_m cs_m
+        cs_m cs_p;
+      for _ = 1 to d do
+        indent := String.sub !indent 0 (String.length !indent - 2);
+        pr "%s}\n" !indent
+      done;
+      pr "    printf(\"%s %%ld\\n\", cs);\n" a;
+      pr "  }\n")
+    box_list;
+  pr "  return 0;\n";
+  pr "}\n";
+  Buffer.contents buf

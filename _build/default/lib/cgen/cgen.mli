@@ -1,0 +1,47 @@
+(** C back end: emit a compilable, self-contained C program for a
+    communication-free plan.
+
+    The generated program contains the transformed [forall] nest (outer
+    parallel loops as plain [for] loops annotated [/* forall */], or as
+    explicit SPMD processor loops with the Section IV cyclic [step]
+    form when a grid is given), the extended statements with exact
+    integrality guards, dense array storage over each array's touched
+    bounding box, deterministic initialization, and per-array checksums
+    printed on stdout.
+
+    Soundness requires the partition to be communication-free in the
+    {e nonduplicate} sense: the C program runs blocks on one shared
+    memory, so cross-block anti/output dependences (which replication
+    would absorb) must not exist.  {!supports} checks this and the test
+    suite compiles and runs the output with a real C compiler, comparing
+    checksums against {!expected_checksums} computed by the OCaml
+    interpreter with the same initialization. *)
+
+val reference_scalar : string -> int
+(** Deterministic scalar values reproducible in C (byte-sum based). *)
+
+val reference_init : arrays:string list -> string -> int array -> int
+(** Deterministic array initialization reproducible in C: depends on
+    the array's rank in [arrays] (sorted) and the element coordinates. *)
+
+val supports : Cf_transform.Parloop.t -> (unit, string) result
+(** [Ok ()] when the plan can be emitted soundly: the partition must be
+    communication-free without duplication, and intermediate values must
+    stay far from 63-bit overflow so OCaml and C arithmetic agree. *)
+
+val expected_checksums : Cf_transform.Parloop.t -> (string * int) list
+(** Per-array checksums (array name sorted) the generated program must
+    print, computed by sequential interpretation under
+    {!reference_init}/{!reference_scalar}. *)
+
+val emit :
+  ?grid:int array -> ?openmp:bool -> Cf_transform.Parloop.t -> string
+(** The C translation unit.  With [grid], the forall levels are wrapped
+    in explicit processor loops using the paper's cyclic assignment
+    ([l + ((a − l mod p) mod p)], [step p]).  With [~openmp:true]
+    (mutually exclusive with [grid]), the outermost forall level gets a
+    [#pragma omp parallel for]: a nonduplicate communication-free plan
+    makes the forall blocks touch disjoint data, so the parallel loop is
+    race-free by Theorem 1 — compiling with [-fopenmp] runs the plan
+    with real threads.  Raises [Invalid_argument] when {!supports} says
+    no. *)

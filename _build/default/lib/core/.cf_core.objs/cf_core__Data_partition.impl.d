@@ -1,0 +1,1 @@
+lib/core/data_partition.ml: Aref Array Cf_linalg Cf_loop Format Hashtbl Iter_partition List Nest Stdlib

@@ -1,0 +1,1 @@
+lib/core/data_partition.mli: Cf_loop Format Iter_partition

@@ -1,0 +1,1 @@
+lib/core/iter_partition.ml: Array Cf_linalg Cf_loop Cf_rational Format Hashtbl List Nest Rat Stdlib String Subspace Vec

@@ -1,0 +1,1 @@
+lib/core/iter_partition.mli: Cf_linalg Cf_loop Format Subspace

@@ -1,0 +1,1 @@
+lib/core/refspace.ml: Analysis Array Cf_dep Cf_linalg Cf_loop Exact Kind List Mat Nest Subspace Vec Witness

@@ -1,0 +1,1 @@
+lib/core/refspace.mli: Cf_dep Cf_linalg Cf_loop Exact Subspace

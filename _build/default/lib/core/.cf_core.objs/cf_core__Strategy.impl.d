@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Cf_dep Cf_linalg Cf_loop Format List Nest Refspace Subspace

@@ -1,0 +1,1 @@
+lib/core/strategy.mli: Cf_dep Cf_linalg Cf_loop Format Subspace

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Cf_dep Cf_linalg Cf_loop Exact Format Iter_partition Kind List Nest Strategy

@@ -1,0 +1,1 @@
+lib/core/verify.mli: Cf_dep Cf_linalg Cf_loop Exact Format Iter_partition Kind Strategy

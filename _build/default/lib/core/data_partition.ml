@@ -1,0 +1,102 @@
+open Cf_loop
+
+type t = {
+  array : string;
+  blocks : int array list array;  (** index j-1 = data block of B_j *)
+  owners : (int list, int list) Hashtbl.t;  (** element -> block ids *)
+}
+
+let compare_elem (a : int array) b = Stdlib.compare a b
+
+let make nest partition name =
+  let order = Nest.indices nest in
+  let sites = Nest.sites_of_array nest name in
+  let hcs =
+    List.map (fun (s : Nest.ref_site) -> Aref.matrix order s.aref) sites
+  in
+  (* Deduplicate (H, c) pairs: distinct sites with equal refs touch equal
+     elements. *)
+  let hcs =
+    List.fold_left
+      (fun acc hc -> if List.mem hc acc then acc else hc :: acc)
+      [] hcs
+  in
+  let iter_blocks = Iter_partition.blocks partition in
+  let owners = Hashtbl.create 256 in
+  let blocks =
+    Array.map
+      (fun (b : Iter_partition.block) ->
+        let set = Hashtbl.create 64 in
+        List.iter
+          (fun iter ->
+            List.iter
+              (fun (h, c) ->
+                let el =
+                  Array.to_list
+                    (Array.mapi
+                       (fun p row ->
+                         let acc = ref c.(p) in
+                         Array.iteri
+                           (fun k a -> acc := !acc + (a * iter.(k)))
+                           row;
+                         !acc)
+                       h)
+                in
+                if not (Hashtbl.mem set el) then Hashtbl.replace set el ())
+              hcs)
+          b.iterations;
+        let els = Hashtbl.fold (fun el () acc -> el :: acc) set [] in
+        List.iter
+          (fun el ->
+            let prev =
+              match Hashtbl.find_opt owners el with Some l -> l | None -> []
+            in
+            Hashtbl.replace owners el (prev @ [ b.id ]))
+          (List.sort compare els);
+        List.sort compare els |> List.map Array.of_list)
+      iter_blocks
+  in
+  { array = name; blocks; owners }
+
+let array_name t = t.array
+
+let block t j =
+  if j < 1 || j > Array.length t.blocks then
+    invalid_arg "Data_partition.block: bad block id";
+  t.blocks.(j - 1)
+
+let block_count t = Array.length t.blocks
+
+let elements t =
+  Hashtbl.fold (fun el _ acc -> Array.of_list el :: acc) t.owners []
+  |> List.sort compare_elem
+
+let copies t =
+  Hashtbl.fold
+    (fun el ids acc -> (Array.of_list el, List.length ids) :: acc)
+    t.owners []
+  |> List.sort (fun (a, _) (b, _) -> compare_elem a b)
+
+let duplicated t = List.filter (fun (_, n) -> n > 1) (copies t)
+let is_disjoint t = duplicated t = []
+
+let total_copy_count t =
+  Array.fold_left (fun acc b -> acc + List.length b) 0 t.blocks
+
+let owner t el =
+  match Hashtbl.find_opt t.owners (Array.to_list el) with
+  | Some ids -> ids
+  | None -> []
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>data partition of %s: %d block(s)@," t.array
+    (block_count t);
+  Array.iteri
+    (fun k els ->
+      Format.fprintf ppf "  B^%s_%d: %a@," t.array (k + 1)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+           Cf_linalg.Vec.pp_int)
+        els)
+    t.blocks;
+  Format.fprintf ppf "@]"

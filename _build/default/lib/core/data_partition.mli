@@ -1,0 +1,41 @@
+(** Data partitions [P_Ψ(A)] (Definition 3).
+
+    Data block [B^A_j] holds every element [H_A·ī + c̄_l] referenced by
+    some iteration [ī] of iteration block [B_j].  Under the nonduplicate
+    strategy the blocks are pairwise disjoint (Theorem 1 guarantees it);
+    under duplication an element may appear in several blocks and the
+    copy counts are reported. *)
+
+type t
+
+val make : Cf_loop.Nest.t -> Iter_partition.t -> string -> t
+(** Data partition of one array of the nest, following the given
+    iteration partition. *)
+
+val array_name : t -> string
+
+val block : t -> int -> int array list
+(** [block t j] is data block [B^A_j] for iteration block id [j]
+    (1-based); elements sorted lexicographically, deduplicated. *)
+
+val block_count : t -> int
+
+val elements : t -> int array list
+(** Every element referenced by the loop, sorted, deduplicated. *)
+
+val copies : t -> (int array * int) list
+(** Element -> number of data blocks containing it. *)
+
+val duplicated : t -> (int array * int) list
+(** Elements with more than one copy. *)
+
+val is_disjoint : t -> bool
+(** True when no element is duplicated (nonduplicate regime). *)
+
+val total_copy_count : t -> int
+(** Sum of block sizes = storage with duplication. *)
+
+val owner : t -> int array -> int list
+(** Block ids holding the element (empty when untouched by the loop). *)
+
+val pp : Format.formatter -> t -> unit

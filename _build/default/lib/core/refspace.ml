@@ -1,0 +1,47 @@
+open Cf_linalg
+open Cf_loop
+open Cf_dep
+
+let kernel_basis nest name =
+  let h = Nest.h_matrix nest name in
+  let m = Mat.of_rows (Array.to_list (Array.map Vec.of_int_array h)) in
+  Mat.kernel m
+
+let reference_space ?search_radius nest name =
+  let n = Nest.depth nest in
+  let h = Nest.h_matrix nest name in
+  let halfwidths = Nest.extent_halfwidths nest in
+  let admissible =
+    List.filter_map
+      (fun r -> Witness.realizable ?search_radius ~h ~halfwidths r)
+      (Analysis.data_referenced_vectors nest name)
+  in
+  Subspace.span n
+    (kernel_basis nest name @ List.map Vec.of_int_array admissible)
+
+let reduced_reference_space ?search_radius nest name =
+  let n = Nest.depth nest in
+  match Analysis.duplicability ?search_radius nest name with
+  | Analysis.Fully -> Subspace.zero n
+  | Analysis.Partially ->
+    let flows =
+      List.filter_map
+        (fun (d : Analysis.dep) ->
+          if Kind.equal d.kind Kind.Flow then Some (Vec.of_int_array d.witness)
+          else None)
+        (Analysis.deps_of_array ?search_radius nest name)
+    in
+    Subspace.span n (kernel_basis nest name @ flows)
+
+let minimal_space_of_vectors exact name kinds =
+  let nest = Exact.nest exact in
+  let n = Nest.depth nest in
+  Subspace.span n
+    (List.map Vec.of_int_array (Exact.useful_vectors ~kinds exact name))
+
+let minimal_reference_space exact name =
+  minimal_space_of_vectors exact name
+    [ Kind.Flow; Kind.Anti; Kind.Output; Kind.Input ]
+
+let minimal_reduced_reference_space exact name =
+  minimal_space_of_vectors exact name [ Kind.Flow ]

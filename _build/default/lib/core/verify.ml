@@ -1,0 +1,130 @@
+open Cf_loop
+open Cf_dep
+
+type violation = {
+  array : string;
+  element : int array;
+  src_iter : int array;
+  dst_iter : int array;
+  src_block : int;
+  dst_block : int;
+  kind : Kind.t;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s%a: %a (B%d) -%a-> %a (B%d)" v.array
+    Cf_linalg.Vec.pp_int v.element Cf_linalg.Vec.pp_int v.src_iter v.src_block
+    Kind.pp v.kind Cf_linalg.Vec.pp_int v.dst_iter v.dst_block
+
+(* Under the duplicate regime only flow dependences must stay local.
+   Under nonduplicate, every pair of accesses to an element shares its
+   single home block; it suffices to check consecutive accesses. *)
+let violations ?exact strategy partition =
+  let nest = Iter_partition.nest partition in
+  let exact = match exact with Some e -> e | None -> Exact.analyze nest in
+  let filter_redundant = Strategy.uses_exact_analysis strategy in
+  let duplicate =
+    match strategy with
+    | Strategy.Duplicate | Strategy.Min_duplicate -> true
+    | Strategy.Nonduplicate | Strategy.Min_nonduplicate -> false
+  in
+  let block_of iter = Iter_partition.block_id_of_iteration partition iter in
+  let out = ref [] in
+  List.iter
+    (fun ((array, element), events) ->
+      let events =
+        if filter_redundant then
+          List.filter (fun (e : Exact.access_event) -> not e.redundant) events
+        else events
+      in
+      if duplicate then begin
+        (* Each read must see the latest preceding write locally. *)
+        let last_write = ref None in
+        List.iter
+          (fun (e : Exact.access_event) ->
+            match e.access with
+            | Nest.Write -> last_write := Some e
+            | Nest.Read -> (
+              match !last_write with
+              | None -> ()
+              | Some w ->
+                let bw = block_of w.iter and br = block_of e.iter in
+                if bw <> br then
+                  out :=
+                    {
+                      array;
+                      element;
+                      src_iter = w.iter;
+                      dst_iter = e.iter;
+                      src_block = bw;
+                      dst_block = br;
+                      kind = Kind.Flow;
+                    }
+                    :: !out))
+          events
+      end
+      else begin
+        (* All accesses in one block: flag consecutive block changes. *)
+        let prev = ref None in
+        List.iter
+          (fun (e : Exact.access_event) ->
+            let b = block_of e.iter in
+            (match !prev with
+             | Some (pe, pb) when pb <> b ->
+               let kind =
+                 Kind.of_accesses ~src:pe.Exact.access ~dst:e.access
+               in
+               out :=
+                 {
+                   array;
+                   element;
+                   src_iter = pe.Exact.iter;
+                   dst_iter = e.iter;
+                   src_block = pb;
+                   dst_block = b;
+                   kind;
+                 }
+                 :: !out
+             | _ -> ());
+            prev := Some (e, b))
+          events
+      end)
+    (Exact.timelines exact);
+  List.rev !out
+
+let communication_free ?exact strategy partition =
+  violations ?exact strategy partition = []
+
+let check_strategy ?search_radius strategy nest =
+  let exact =
+    if Strategy.uses_exact_analysis strategy then Some (Exact.analyze nest)
+    else None
+  in
+  let psi = Strategy.partitioning_space ?search_radius ?exact strategy nest in
+  let partition = Iter_partition.make nest psi in
+  match violations ?exact strategy partition with
+  | [] -> Ok ()
+  | vs -> Error vs
+
+let is_minimal ?exact strategy nest psi =
+  let exact =
+    match exact with
+    | Some e -> e
+    | None -> Exact.analyze nest
+  in
+  let free space =
+    communication_free ~exact strategy (Iter_partition.make nest space)
+  in
+  free psi
+  && List.for_all
+       (fun v ->
+         let rest =
+           List.filter
+             (fun w -> not (Cf_linalg.Vec.equal v w))
+             (Cf_linalg.Subspace.basis psi)
+         in
+         let reduced =
+           Cf_linalg.Subspace.span (Cf_linalg.Subspace.ambient_dim psi) rest
+         in
+         not (free reduced))
+       (Cf_linalg.Subspace.basis psi)

@@ -1,0 +1,50 @@
+(** Executable verification of Theorems 1–4.
+
+    The theorems assert that partitioning by the strategy's space incurs
+    no interblock communication.  This module checks the claim on the
+    concrete iteration space:
+
+    - {e nonduplicate}: every access (by a surviving computation) to an
+      element must happen in one block — the element has a single home;
+    - {e duplicate}: every read must be co-located with the most recent
+      preceding write of the same element (flow dependences are local;
+      everything else is satisfied by replicated copies).
+
+    The minimal strategies run the same checks on the computations that
+    survive redundancy elimination.  Minimality itself is checked
+    destructively: removing any basis vector from [Ψ] must produce
+    violations. *)
+
+open Cf_dep
+
+type violation = {
+  array : string;
+  element : int array;
+  src_iter : int array;
+  dst_iter : int array;
+  src_block : int;
+  dst_block : int;
+  kind : Kind.t;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val violations :
+  ?exact:Exact.result -> Strategy.t -> Iter_partition.t -> violation list
+(** All cross-block dependence pairs the strategy's copy regime cannot
+    absorb.  Empty means communication-free. *)
+
+val communication_free :
+  ?exact:Exact.result -> Strategy.t -> Iter_partition.t -> bool
+
+val check_strategy :
+  ?search_radius:int -> Strategy.t -> Cf_loop.Nest.t -> (unit, violation list) result
+(** End-to-end: compute the strategy's partitioning space, materialize
+    the partition, and verify.  [Ok ()] reproduces the theorem on this
+    nest. *)
+
+val is_minimal :
+  ?exact:Exact.result -> Strategy.t -> Cf_loop.Nest.t -> Cf_linalg.Subspace.t ->
+  bool
+(** True when dropping any single basis vector of the space breaks
+    communication freedom (and the space itself does not). *)

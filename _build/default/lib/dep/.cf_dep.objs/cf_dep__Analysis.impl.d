@@ -1,0 +1,1 @@
+lib/dep/analysis.ml: Aref Array Cf_linalg Cf_loop Cf_rational Format Kind List Nest Oint Witness

@@ -1,0 +1,1 @@
+lib/dep/analysis.mli: Cf_loop Format Kind Nest

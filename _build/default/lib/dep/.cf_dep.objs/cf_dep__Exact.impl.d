@@ -1,0 +1,1 @@
+lib/dep/exact.ml: Analysis Aref Array Cf_loop Format Hashtbl Kind List Nest Stmt String

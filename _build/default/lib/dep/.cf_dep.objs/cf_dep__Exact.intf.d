@@ -1,0 +1,1 @@
+lib/dep/exact.mli: Analysis Cf_loop Format Kind Nest

@@ -1,0 +1,1 @@
+lib/dep/graph.ml: Analysis Aref Buffer Cf_loop Format Kind List Nest Printf

@@ -1,0 +1,1 @@
+lib/dep/graph.mli: Cf_loop Format Kind Nest

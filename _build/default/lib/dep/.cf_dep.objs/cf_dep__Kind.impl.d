@@ -1,0 +1,1 @@
+lib/dep/kind.ml: Cf_loop Format

@@ -1,0 +1,1 @@
+lib/dep/kind.mli: Cf_loop Format

@@ -1,0 +1,1 @@
+lib/dep/witness.ml: Array Babai Cf_lattice Cf_linalg Intlin List Lll Mat Vec

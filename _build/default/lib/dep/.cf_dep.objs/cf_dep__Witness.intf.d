@@ -1,0 +1,1 @@
+lib/dep/witness.mli: Cf_linalg Vec

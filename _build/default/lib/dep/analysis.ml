@@ -1,0 +1,93 @@
+open Cf_rational
+open Cf_loop
+
+type dep = {
+  array : string;
+  src : Nest.ref_site;
+  dst : Nest.ref_site;
+  kind : Kind.t;
+  witness : int array;
+}
+
+let site_order (s : Nest.ref_site) =
+  (2 * s.stmt_index) + match s.access with Nest.Read -> 0 | Nest.Write -> 1
+
+(* Within one statement the reads evaluate left to right, then the write:
+   compare on (statement, read/write phase, textual read position). *)
+let site_order_triple (s : Nest.ref_site) =
+  ( s.stmt_index,
+    (match s.access with Nest.Read -> 0 | Nest.Write -> 1),
+    s.site_index )
+
+let pp_site ppf (s : Nest.ref_site) =
+  Format.fprintf ppf "%s@S%d" (Format.asprintf "%a" Aref.pp s.aref)
+    (s.stmt_index + 1)
+
+let pp_dep ppf d =
+  Format.fprintf ppf "%a: %a -> %a  t=%a" Kind.pp d.kind pp_site d.src pp_site
+    d.dst Cf_linalg.Vec.pp_int d.witness
+
+let sub_vec a b = Array.map2 Oint.sub a b
+
+let deps_of_array ?search_radius t name =
+  let order = Nest.indices t in
+  let h = Nest.h_matrix t name in
+  let halfwidths = Nest.extent_halfwidths t in
+  let sites = Nest.sites_of_array t name in
+  let offset (s : Nest.ref_site) = snd (Aref.matrix order s.aref) in
+  List.concat_map
+    (fun src ->
+      List.filter_map
+        (fun dst ->
+          let same_site =
+            src.Nest.stmt_index = dst.Nest.stmt_index
+            && src.site_index = dst.site_index
+          in
+          let r = sub_vec (offset src) (offset dst) in
+          let src_before_dst =
+            (not same_site) && site_order_triple src < site_order_triple dst
+          in
+          match
+            Witness.directed_witness ?search_radius ~h ~halfwidths
+              ~src_before_dst r
+          with
+          | Some w ->
+            Some
+              {
+                array = name;
+                src;
+                dst;
+                kind = Kind.of_accesses ~src:src.access ~dst:dst.access;
+                witness = w;
+              }
+          | None -> None)
+        sites)
+    sites
+
+let deps ?search_radius t =
+  List.concat_map (deps_of_array ?search_radius t) (Nest.arrays t)
+
+let has_flow_dep ?search_radius t name =
+  List.exists
+    (fun d -> Kind.equal d.kind Kind.Flow)
+    (deps_of_array ?search_radius t name)
+
+type duplicability = Fully | Partially
+
+let duplicability ?search_radius t name =
+  if has_flow_dep ?search_radius t name then Partially else Fully
+
+let pp_duplicability ppf = function
+  | Fully -> Format.pp_print_string ppf "fully duplicable"
+  | Partially -> Format.pp_print_string ppf "partially duplicable"
+
+let data_referenced_vectors t name =
+  let refs = Nest.distinct_refs t name in
+  let rec pairs = function
+    | [] -> []
+    | (_, c_j) :: rest ->
+      List.map (fun (_, c_k) -> sub_vec c_j c_k) rest @ pairs rest
+  in
+  let all = pairs refs in
+  List.fold_left (fun acc v -> if List.mem v acc then acc else acc @ [ v ]) []
+    all

@@ -1,0 +1,44 @@
+(** Symbolic dependence analysis of a loop nest.
+
+    All results are computed from the uniformly-generated reference
+    structure: for every ordered pair of reference sites of an array the
+    dependence equation [H·t = c_src − c_dst] is solved over the integer
+    points of the iteration-difference box, and a dependence is reported
+    when a witness of the right lexicographic sign exists. *)
+
+open Cf_loop
+
+type dep = {
+  array : string;
+  src : Nest.ref_site;  (** executes first *)
+  dst : Nest.ref_site;
+  kind : Kind.t;
+  witness : int array;  (** an iteration difference [i_dst − i_src] realizing it *)
+}
+
+val site_order : Nest.ref_site -> int
+(** Intra-iteration execution order: statement by statement, the reads of
+    a statement before its write. *)
+
+val pp_dep : Format.formatter -> dep -> unit
+
+val deps_of_array : ?search_radius:int -> Nest.t -> string -> dep list
+(** All dependences carried by one array, every (src, dst) site pair with
+    a realizable witness.  Requires the array to be uniformly generated
+    ([Invalid_argument] otherwise). *)
+
+val deps : ?search_radius:int -> Nest.t -> dep list
+(** All dependences of the nest, array by array. *)
+
+val has_flow_dep : ?search_radius:int -> Nest.t -> string -> bool
+
+type duplicability = Fully | Partially
+(** Definition 5: an array with no flow dependence is fully duplicable;
+    one with flow dependences only partially. *)
+
+val duplicability : ?search_radius:int -> Nest.t -> string -> duplicability
+val pp_duplicability : Format.formatter -> duplicability -> unit
+
+val data_referenced_vectors : Nest.t -> string -> int array list
+(** Definition 1: the vectors [c_j − c_k] over all unordered pairs of
+    distinct references ([j < k] in textual order), deduplicated. *)

@@ -1,0 +1,95 @@
+open Cf_loop
+
+type vertex = W of int | R of int
+
+type edge = { src : vertex; dst : vertex; kind : Kind.t; witness : int array }
+
+type t = {
+  array : string;
+  writes : Nest.ref_site list;
+  reads : Nest.ref_site list;
+  edges : edge list;
+}
+
+let site_key (s : Nest.ref_site) = (s.stmt_index, s.site_index)
+
+let build ?search_radius nest name =
+  let sites = Nest.sites_of_array nest name in
+  let writes = List.filter (fun s -> s.Nest.access = Nest.Write) sites in
+  let reads = List.filter (fun s -> s.Nest.access = Nest.Read) sites in
+  let vertex_of (s : Nest.ref_site) =
+    let index_in l =
+      let rec go k = function
+        | [] -> raise Not_found
+        | x :: rest ->
+          if site_key x = site_key s then k else go (k + 1) rest
+      in
+      go 1 l
+    in
+    match s.access with
+    | Nest.Write -> W (index_in writes)
+    | Nest.Read -> R (index_in reads)
+  in
+  let edges =
+    List.map
+      (fun (d : Analysis.dep) ->
+        {
+          src = vertex_of d.src;
+          dst = vertex_of d.dst;
+          kind = d.kind;
+          witness = d.witness;
+        })
+      (Analysis.deps_of_array ?search_radius nest name)
+  in
+  { array = name; writes; reads; edges }
+
+let vertex_site g = function
+  | W i -> List.nth g.writes (i - 1)
+  | R i -> List.nth g.reads (i - 1)
+
+let vertex_name = function
+  | W i -> Printf.sprintf "w%d" i
+  | R i -> Printf.sprintf "r%d" i
+
+let edges_of_kind g k = List.filter (fun e -> Kind.equal e.kind k) g.edges
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>data reference graph G^%s:@," g.array;
+  List.iteri
+    (fun k (s : Nest.ref_site) ->
+      Format.fprintf ppf "  w%d = %a@," (k + 1) Aref.pp s.aref)
+    g.writes;
+  List.iteri
+    (fun k (s : Nest.ref_site) ->
+      Format.fprintf ppf "  r%d = %a@," (k + 1) Aref.pp s.aref)
+    g.reads;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  %s --%s--> %s@," (vertex_name e.src)
+        (Kind.symbol e.kind) (vertex_name e.dst))
+    g.edges;
+  Format.fprintf ppf "@]"
+
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"G_%s\" {\n" g.array);
+  List.iteri
+    (fun k (s : Nest.ref_site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  w%d [label=\"%s\"];\n" (k + 1)
+           (Format.asprintf "%a" Aref.pp s.aref)))
+    g.writes;
+  List.iteri
+    (fun k (s : Nest.ref_site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  r%d [label=\"%s\"];\n" (k + 1)
+           (Format.asprintf "%a" Aref.pp s.aref)))
+    g.reads;
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%s\"];\n" (vertex_name e.src)
+           (vertex_name e.dst) (Kind.symbol e.kind)))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

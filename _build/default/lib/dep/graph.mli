@@ -1,0 +1,36 @@
+(** Data reference graphs (Definition 6, Figs. 6–7).
+
+    For an array [A], vertices are the write sites [w_1..w_m] and read
+    sites [r_1..r_v] of [A] in textual order; edges are the data
+    dependences between the sites, labelled with their kind. *)
+
+open Cf_loop
+
+type vertex = W of int | R of int
+(** 1-based indices into the write / read site lists, matching the
+    paper's [w_i], [r_j] notation. *)
+
+type edge = { src : vertex; dst : vertex; kind : Kind.t; witness : int array }
+
+type t = {
+  array : string;
+  writes : Nest.ref_site list;
+  reads : Nest.ref_site list;
+  edges : edge list;
+}
+
+val build : ?search_radius:int -> Nest.t -> string -> t
+(** The data reference graph of one array of the nest. *)
+
+val vertex_site : t -> vertex -> Nest.ref_site
+val vertex_name : vertex -> string
+(** ["w1"], ["r2"], ... *)
+
+val edges_of_kind : t -> Kind.t -> edge list
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering: one line per vertex with its reference, then one line
+    per edge, e.g. [w1 --d^o--> w2]. *)
+
+val to_dot : t -> string
+(** Graphviz rendering (for documentation; no dot binary required). *)

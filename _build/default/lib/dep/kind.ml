@@ -1,0 +1,24 @@
+type t = Flow | Anti | Output | Input
+
+let of_accesses ~src ~dst =
+  match (src, dst) with
+  | Cf_loop.Nest.Write, Cf_loop.Nest.Read -> Flow
+  | Cf_loop.Nest.Read, Cf_loop.Nest.Write -> Anti
+  | Cf_loop.Nest.Write, Cf_loop.Nest.Write -> Output
+  | Cf_loop.Nest.Read, Cf_loop.Nest.Read -> Input
+
+let equal = ( = )
+
+let to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+  | Input -> "input"
+
+let symbol = function
+  | Flow -> "d^f"
+  | Anti -> "d^a"
+  | Output -> "d^o"
+  | Input -> "d^i"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

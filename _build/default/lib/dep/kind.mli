@@ -1,0 +1,17 @@
+(** Data-dependence kinds (the paper's δ^f, δ^a, δ^o, δ^i). *)
+
+type t = Flow | Anti | Output | Input
+
+val of_accesses : src:Cf_loop.Nest.access -> dst:Cf_loop.Nest.access -> t
+(** Kind of a dependence whose source executes first:
+    write→read = flow, read→write = anti, write→write = output,
+    read→read = input. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+(** ["flow"], ["anti"], ["output"], ["input"]. *)
+
+val symbol : t -> string
+(** The paper's notation: ["d^f"], ["d^a"], ["d^o"], ["d^i"]. *)
+
+val pp : Format.formatter -> t -> unit

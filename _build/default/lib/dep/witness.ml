@@ -1,0 +1,43 @@
+open Cf_linalg
+open Cf_lattice
+
+let default_radius = 6
+
+let rational_solution h r =
+  let m = Mat.of_rows (Array.to_list (Array.map Vec.of_int_array h)) in
+  Mat.solve m (Vec.of_int_array r)
+
+let integer_solution h r = Intlin.solve h r
+
+let scan ?(search_radius = default_radius) ~h ~halfwidths r k =
+  match Intlin.solve h r with
+  | None -> k None []
+  | Some particular ->
+    (* LLL-reduce the kernel lattice so the Babai rounding that anchors
+       the boxed enumeration is reliable even for skewed kernels. *)
+    let lattice = Lll.reduce (Intlin.kernel h) in
+    k (Some particular)
+      (Babai.enumerate_in_box ~particular ~lattice ~halfwidths ~search_radius)
+
+let realizable ?search_radius ~h ~halfwidths r =
+  scan ?search_radius ~h ~halfwidths r (fun _ found ->
+      match found with [] -> None | t :: _ -> Some t)
+
+let witnesses ?search_radius ~h ~halfwidths r =
+  scan ?search_radius ~h ~halfwidths r (fun _ found -> found)
+
+let lex_sign t =
+  let rec go k =
+    if k = Array.length t then 0
+    else if t.(k) > 0 then 1
+    else if t.(k) < 0 then -1
+    else go (k + 1)
+  in
+  go 0
+
+let lex_positive t = lex_sign t > 0
+let lex_negative t = lex_sign t < 0
+
+let directed_witness ?search_radius ~h ~halfwidths ~src_before_dst r =
+  let ok t = lex_positive t || (lex_sign t = 0 && src_before_dst) in
+  scan ?search_radius ~h ~halfwidths r (fun _ found -> List.find_opt ok found)

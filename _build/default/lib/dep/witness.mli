@@ -1,0 +1,55 @@
+(** Symbolic solutions of the dependence equation [H·t = r].
+
+    A data-referenced vector [r = c_a − c_b] links two reference sites of
+    an array with common matrix [H]: iterations [i_a], [i_b] touch the
+    same element exactly when [H·(i_b − i_a) = r].  This module answers
+    the questions the partitioning theory asks about that equation:
+    rational solvability (Def. 4 condition (1)), existence of an integer
+    solution realizable as an in-bounds iteration difference (condition
+    (2)), and signed witnesses for classifying dependence direction. *)
+
+open Cf_linalg
+
+val default_radius : int
+(** Default Babai search radius (see {!Cf_lattice.Babai.find_in_box}). *)
+
+val rational_solution : int array array -> int array -> Vec.t option
+(** A particular rational solution of [H·t = r], or [None] when the
+    system is inconsistent over Q. *)
+
+val integer_solution : int array array -> int array -> int array option
+(** A particular integer solution of [H·t = r] (no box constraint). *)
+
+val realizable :
+  ?search_radius:int ->
+  h:int array array ->
+  halfwidths:int array ->
+  int array ->
+  int array option
+(** [realizable ~h ~halfwidths r] is an integer solution [t'] of
+    [h·t' = r] with [|t'_k| ≤ halfwidths_k] — i.e. condition (2) of
+    Definition 4 against the iteration-difference box — or [None]. *)
+
+val witnesses :
+  ?search_radius:int ->
+  h:int array array ->
+  halfwidths:int array ->
+  int array ->
+  int array list
+(** All boxed integer solutions found by the bounded lattice scan. *)
+
+val directed_witness :
+  ?search_radius:int ->
+  h:int array array ->
+  halfwidths:int array ->
+  src_before_dst:bool ->
+  int array ->
+  int array option
+(** [directed_witness ~h ~halfwidths ~src_before_dst r] is a boxed
+    integer solution [t] that makes the *source* site execute first:
+    [t] lexicographically positive, or zero when [src_before_dst] says
+    the source precedes the destination within one iteration.  This is
+    the primitive behind flow/anti classification. *)
+
+val lex_positive : int array -> bool
+val lex_negative : int array -> bool

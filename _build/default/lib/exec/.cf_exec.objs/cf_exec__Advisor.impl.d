@@ -1,0 +1,1 @@
+lib/exec/advisor.ml: Aref Array Cf_core Cf_linalg Cf_loop Cf_machine Cf_transform Float Format Hashtbl List Nest Strategy String

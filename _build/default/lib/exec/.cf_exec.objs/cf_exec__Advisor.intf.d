@@ -1,0 +1,1 @@
+lib/exec/advisor.mli: Cf_linalg Cf_loop Cf_machine Format

@@ -1,0 +1,1 @@
+lib/exec/assign.ml: Array Cf_machine Cf_transform Parexec Topology

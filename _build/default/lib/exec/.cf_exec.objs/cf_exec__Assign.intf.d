@@ -1,0 +1,1 @@
+lib/exec/assign.mli: Cf_transform Parexec

@@ -1,0 +1,1 @@
+lib/exec/balance.ml: Array Cf_machine Format

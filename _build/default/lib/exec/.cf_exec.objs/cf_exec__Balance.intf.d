@@ -1,0 +1,1 @@
+lib/exec/balance.mli: Cf_machine Format

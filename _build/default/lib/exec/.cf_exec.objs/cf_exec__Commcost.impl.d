@@ -1,0 +1,1 @@
+lib/exec/commcost.ml: Array Cf_core Cf_dep Cf_linalg Cf_loop Format Hashtbl Iter_partition List Nest

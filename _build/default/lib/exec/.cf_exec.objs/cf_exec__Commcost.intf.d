@@ -1,0 +1,1 @@
+lib/exec/commcost.mli: Cf_core Cf_dep Cf_loop Format Iter_partition Parexec

@@ -1,0 +1,1 @@
+lib/exec/estimate.ml: Array Cf_core Cf_machine Iter_partition List Parexec

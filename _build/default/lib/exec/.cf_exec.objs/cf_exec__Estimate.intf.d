@@ -1,0 +1,1 @@
+lib/exec/estimate.mli: Cf_core Cf_machine Iter_partition

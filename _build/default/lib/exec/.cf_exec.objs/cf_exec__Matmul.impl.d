@@ -1,0 +1,1 @@
+lib/exec/matmul.ml: Affine Aref Cf_core Cf_linalg Cf_loop Cf_machine Cost Expr List Machine Nest Parexec Seqexec Stmt Subspace Topology Vec

@@ -1,0 +1,1 @@
+lib/exec/matmul.mli: Cf_linalg Cf_loop Cf_machine Cost Parexec

@@ -1,0 +1,1 @@
+lib/exec/parexec.ml: Aref Array Cf_core Cf_dep Cf_linalg Cf_loop Cf_machine Expr Format Hashtbl Iter_partition List Machine Nest Seqexec Stmt Strategy Topology

@@ -1,0 +1,1 @@
+lib/exec/parexec.mli: Cf_core Cf_dep Cf_machine Format Iter_partition Strategy

@@ -1,0 +1,1 @@
+lib/exec/seqexec.ml: Aref Array Cf_loop Expr Hashtbl List Nest Stmt

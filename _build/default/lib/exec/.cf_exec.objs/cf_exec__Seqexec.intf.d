@@ -1,0 +1,1 @@
+lib/exec/seqexec.mli: Cf_loop Hashtbl Nest

@@ -1,0 +1,127 @@
+open Cf_core
+open Cf_loop
+
+type candidate = {
+  duplicated : string list;
+  space : Cf_linalg.Subspace.t;
+  parallel_dims : int;
+  blocks : int;
+  copies : int;
+  replicated_copies : int;
+  estimated_time : float;
+}
+
+let max_arrays = 8
+
+let subsets l =
+  List.fold_left
+    (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+    [ [] ] l
+
+(* Evaluate one duplication choice under the paper's own machinery: the
+   transformed forall nest with the Section IV grid assignment.  Copies
+   are counted per processor — co-located blocks share a replica, which
+   is exactly why duplicating both matmul inputs (L5'') ships less data
+   than broadcasting one of them (L5'). *)
+let evaluate ?search_radius ~cost ~procs nest arrays duplicated =
+  let duplicated = List.sort String.compare duplicated in
+  let space = Strategy.selective_space ?search_radius nest ~duplicated in
+  let pl = Cf_transform.Transformer.transform nest space in
+  let k = pl.Cf_transform.Parloop.n_forall in
+  let grid =
+    if k = 0 then [||] else Cf_machine.Topology.grid_of_procs ~k procs
+  in
+  let nprocs =
+    if k = 0 then 1 else Array.fold_left ( * ) 1 grid
+  in
+  let order = Nest.indices nest in
+  let hcs =
+    List.concat_map
+      (fun a ->
+        List.map
+          (fun (s : Nest.ref_site) ->
+            let h, c = Aref.matrix order s.aref in
+            (a, h, c))
+          (Nest.sites_of_array nest a))
+      arrays
+  in
+  let blocks = Hashtbl.create 64 in
+  let per_pe_elements = Hashtbl.create 1024 in
+  let per_pe_iters = Array.make nprocs 0 in
+  let visit pe_rank ~block ~iter =
+    Hashtbl.replace blocks (Array.to_list block) ();
+    per_pe_iters.(pe_rank) <- per_pe_iters.(pe_rank) + 1;
+    List.iter
+      (fun (a, h, c) ->
+        let el =
+          Array.to_list
+            (Array.mapi
+               (fun p row ->
+                 let acc = ref c.(p) in
+                 Array.iteri (fun q x -> acc := !acc + (x * iter.(q))) row;
+                 !acc)
+               h)
+        in
+        Hashtbl.replace per_pe_elements (a, el, pe_rank) ())
+      hcs
+  in
+  if k = 0 then Cf_transform.Parloop.iter pl (visit 0)
+  else begin
+    let topo = Cf_machine.Topology.mesh grid in
+    for rank = 0 to nprocs - 1 do
+      let pe = Cf_machine.Topology.coords_of_rank topo rank in
+      Cf_transform.Parloop.iter ~grid ~pe pl (visit rank)
+    done
+  end;
+  let copies = Hashtbl.length per_pe_elements in
+  let distinct = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (a, el, _) () -> Hashtbl.replace distinct (a, el) ())
+    per_pe_elements;
+  let replicated = copies - Hashtbl.length distinct in
+  let max_iters = Array.fold_left max 0 per_pe_iters in
+  let loaded_pes =
+    Array.fold_left (fun n c -> if c > 0 then n + 1 else n) 0 per_pe_iters
+  in
+  let estimated_time =
+    (float_of_int max_iters *. cost.Cf_machine.Cost.t_comp)
+    +. (float_of_int loaded_pes *. cost.Cf_machine.Cost.t_start)
+    +. (float_of_int copies *. cost.Cf_machine.Cost.t_comm)
+  in
+  {
+    duplicated;
+    space;
+    parallel_dims = k;
+    blocks = Hashtbl.length blocks;
+    copies;
+    replicated_copies = replicated;
+    estimated_time;
+  }
+
+let candidates ?search_radius ?(cost = Cf_machine.Cost.transputer) ~procs nest =
+  if procs < 1 then invalid_arg "Advisor.candidates: procs < 1";
+  let arrays = Nest.arrays nest in
+  if List.length arrays > max_arrays then
+    invalid_arg "Advisor.candidates: too many arrays to sweep";
+  List.map
+    (evaluate ?search_radius ~cost ~procs nest arrays)
+    (subsets arrays)
+  |> List.sort (fun a b ->
+         let c = Float.compare a.estimated_time b.estimated_time in
+         if c <> 0 then c
+         else
+           compare
+             (List.length a.duplicated, a.duplicated)
+             (List.length b.duplicated, b.duplicated))
+
+let best ?search_radius ?cost ~procs nest =
+  match candidates ?search_radius ?cost ~procs nest with
+  | [] -> assert false (* at least the empty subset is evaluated *)
+  | c :: _ -> c
+
+let pp_candidate ppf c =
+  Format.fprintf ppf
+    "duplicate {%s}: %d parallel dim(s), %d block(s), %d replicated \
+     copies, est %.6fs"
+    (String.concat ", " c.duplicated)
+    c.parallel_dims c.blocks c.replicated_copies c.estimated_time

@@ -1,0 +1,48 @@
+(** Duplication advisor (the closing discussion of Section IV).
+
+    Duplicating arrays buys parallelism but costs initial-distribution
+    time; the paper observes for matrix multiplication that duplicating
+    both [A] and [B] (loop L5″) beats duplicating [B] alone (L5′), and
+    that "which kind of duplication is suitable ... can be appropriately
+    estimated".  This module performs that estimate mechanically: it
+    sweeps the subsets of arrays, forms each subset's selective
+    partitioning space ({!Cf_core.Strategy.selective_space}), and scores
+
+    [time ≈ iterations/p_eff · t_comp  +  blocks·t_start + copies·t_comm]
+
+    where [p_eff = min(p, blocks)] and [copies] counts the replicated
+    element copies the subset's data partition needs.  Candidates are
+    ranked by estimated time; ties break toward fewer duplicated
+    arrays. *)
+
+
+type candidate = {
+  duplicated : string list;     (** sorted array names *)
+  space : Cf_linalg.Subspace.t;
+  parallel_dims : int;
+  blocks : int;
+  copies : int;                 (** total stored element copies *)
+  replicated_copies : int;      (** copies beyond one per element *)
+  estimated_time : float;
+}
+
+val candidates :
+  ?search_radius:int ->
+  ?cost:Cf_machine.Cost.t ->
+  procs:int ->
+  Cf_loop.Nest.t ->
+  candidate list
+(** All [2^k] duplication choices over the referenced arrays (the nest
+    must reference at most {!max_arrays}), ranked best first. *)
+
+val best :
+  ?search_radius:int ->
+  ?cost:Cf_machine.Cost.t ->
+  procs:int ->
+  Cf_loop.Nest.t ->
+  candidate
+
+val max_arrays : int
+(** Subset sweep cap (8 arrays = 256 candidates). *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

@@ -1,0 +1,26 @@
+open Cf_machine
+
+let grid_for (pl : Cf_transform.Parloop.t) ~procs =
+  if pl.Cf_transform.Parloop.n_forall = 0 then [||]
+  else Topology.grid_of_procs ~k:pl.Cf_transform.Parloop.n_forall procs
+
+let parloop_counts pl ~grid =
+  if Array.length grid <> pl.Cf_transform.Parloop.n_forall then
+    invalid_arg "Assign.parloop_counts: grid arity mismatch";
+  if Array.length grid = 0 then begin
+    (* Sequential loop: everything on one processor. *)
+    let count = ref 0 in
+    Cf_transform.Parloop.iter pl (fun ~block:_ ~iter:_ -> incr count);
+    [| !count |]
+  end
+  else
+  let topo = Topology.mesh grid in
+  let p = Topology.size topo in
+  Array.init p (fun rank ->
+      let pe = Topology.coords_of_rank topo rank in
+      let count = ref 0 in
+      Cf_transform.Parloop.iter ~grid ~pe pl (fun ~block:_ ~iter:_ ->
+          incr count);
+      !count)
+
+let block_cyclic ~nprocs = Parexec.cyclic ~nprocs

@@ -1,0 +1,21 @@
+(** Processor assignment of iteration blocks (Section IV).
+
+    When the transformed loop exposes [k] forall dimensions and [p]
+    processors are available, the paper shapes them as a
+    [p_1 × ... × p_k] grid and deals neighboring blocks cyclically along
+    each forall dimension — neighboring blocks have nearly equal sizes,
+    so the mod rule balances the load. *)
+
+val grid_for : Cf_transform.Parloop.t -> procs:int -> int array
+(** The paper's grid shape for this loop's forall count
+    ({!Cf_machine.Topology.grid_of_procs}).  [[||]] when the loop has no
+    forall dimension (sequential). *)
+
+val parloop_counts :
+  Cf_transform.Parloop.t -> grid:int array -> int array
+(** Iterations per processor rank under the cyclic assignment (ranks are
+    row-major in the grid). *)
+
+val block_cyclic : nprocs:int -> Parexec.placement
+(** Round-robin over materialized block ids — the 1-D specialization
+    used with {!Cf_core.Iter_partition}. *)

@@ -1,0 +1,25 @@
+type t = {
+  per_pe : int array;
+  max : int;
+  min : int;
+  mean : float;
+  imbalance : float;
+}
+
+let of_counts per_pe =
+  if Array.length per_pe = 0 then invalid_arg "Balance.of_counts: empty";
+  let total = Array.fold_left ( + ) 0 per_pe in
+  let mx = Array.fold_left max per_pe.(0) per_pe in
+  let mn = Array.fold_left min per_pe.(0) per_pe in
+  let mean = float_of_int total /. float_of_int (Array.length per_pe) in
+  let imbalance = if total = 0 then 0. else float_of_int mx /. mean in
+  { per_pe = Array.copy per_pe; max = mx; min = mn; mean; imbalance }
+
+let of_machine m =
+  let p = Cf_machine.Topology.size (Cf_machine.Machine.topology m) in
+  of_counts
+    (Array.init p (fun pe -> Cf_machine.Machine.iterations_of m ~pe))
+
+let pp ppf t =
+  Format.fprintf ppf "max=%d min=%d mean=%.2f imbalance=%.3f" t.max t.min
+    t.mean t.imbalance

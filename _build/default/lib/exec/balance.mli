@@ -1,0 +1,14 @@
+(** Load-balance metrics for a processor assignment (Section IV). *)
+
+type t = {
+  per_pe : int array;   (** iterations per processor *)
+  max : int;
+  min : int;
+  mean : float;
+  imbalance : float;
+    (** max / mean; 1.0 is perfect balance.  0 when no work at all. *)
+}
+
+val of_counts : int array -> t
+val of_machine : Cf_machine.Machine.t -> t
+val pp : Format.formatter -> t -> unit

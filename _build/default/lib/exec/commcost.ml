@@ -1,0 +1,61 @@
+open Cf_core
+open Cf_loop
+
+type t = {
+  total_flow_pairs : int;
+  remote_reads : int;
+  remote_values : int;
+}
+
+let measure ?exact ~placement partition =
+  let nest = Iter_partition.nest partition in
+  let exact =
+    match exact with Some e -> e | None -> Cf_dep.Exact.analyze nest
+  in
+  let pe_of iter =
+    placement (Iter_partition.block_id_of_iteration partition iter)
+  in
+  let total = ref 0 and remote = ref 0 in
+  let value_keys = Hashtbl.create 256 in
+  List.iter
+    (fun ((array, element), events) ->
+      (* Track the last write; each subsequent read consumes its value. *)
+      let last_write = ref None in
+      List.iteri
+        (fun idx (e : Cf_dep.Exact.access_event) ->
+          match e.access with
+          | Nest.Write -> last_write := Some (idx, e)
+          | Nest.Read -> (
+            match !last_write with
+            | None -> ()
+            | Some (widx, w) ->
+              incr total;
+              let wpe = pe_of w.iter and rpe = pe_of e.iter in
+              if wpe <> rpe then begin
+                incr remote;
+                Hashtbl.replace value_keys
+                  (array, Array.to_list element, widx, rpe)
+                  ()
+              end))
+        events)
+    (Cf_dep.Exact.timelines exact);
+  {
+    total_flow_pairs = !total;
+    remote_reads = !remote;
+    remote_values = Hashtbl.length value_keys;
+  }
+
+let outer_slab_partition nest =
+  let n = Nest.depth nest in
+  let psi =
+    Cf_linalg.Subspace.span n
+      (List.init (n - 1) (fun k -> Cf_linalg.Vec.basis n (k + 1)))
+  in
+  Iter_partition.make nest psi
+
+let is_free t = t.remote_reads = 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "flow pairs %d, remote reads %d, remote values %d" t.total_flow_pairs
+    t.remote_reads t.remote_values

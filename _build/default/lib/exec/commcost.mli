@@ -1,0 +1,39 @@
+(** Communication-cost accounting for arbitrary (not necessarily
+    communication-free) partitions.
+
+    The paper's motivation is that severed flow dependences become
+    messages.  This module counts them for any iteration partition and
+    block placement: a read whose value was produced on another
+    processor is a remote fetch.  Communication-free plans score zero —
+    and naive distributions (say, slicing the outermost loop) can be
+    compared quantitatively against them. *)
+
+open Cf_core
+
+type t = {
+  total_flow_pairs : int;
+      (** element-level (write → read) value flows in the execution *)
+  remote_reads : int;
+      (** reads whose producing write ran on another processor (one
+          fetch per read instance — no caching) *)
+  remote_values : int;
+      (** distinct (value instance, consuming processor) pairs — the
+          message count with perfect per-processor caching *)
+}
+
+val measure :
+  ?exact:Cf_dep.Exact.result ->
+  placement:Parexec.placement ->
+  Iter_partition.t ->
+  t
+(** Walks the element timelines of the nest under the given partition
+    and placement. *)
+
+val outer_slab_partition : Cf_loop.Nest.t -> Iter_partition.t
+(** The naive comparison: partition only along the outermost loop
+    (Ψ = span of all the other index directions), i.e. "give each
+    processor a band of outer iterations" — what a compiler without
+    reference-pattern analysis would do. *)
+
+val is_free : t -> bool
+val pp : Format.formatter -> t -> unit

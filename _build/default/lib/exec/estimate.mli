@@ -1,0 +1,25 @@
+(** Analytic compute-makespan estimates for a partition.
+
+    Section IV observes that with at least as many processors as blocks
+    the execution time is dominated by the largest block, and that the
+    cyclic assignment balances neighboring blocks otherwise.  This
+    module computes those numbers without running the simulator — and
+    the test suite checks they coincide with the simulator's compute
+    times under the same placement. *)
+
+open Cf_core
+
+val max_block_makespan : ?cost:Cf_machine.Cost.t -> Iter_partition.t -> float
+(** Compute time with unlimited processors: largest block × [t_comp]. *)
+
+val cyclic_makespan :
+  ?cost:Cf_machine.Cost.t -> procs:int -> Iter_partition.t -> float
+(** Compute time under cyclic block placement on [procs] processors:
+    the most-loaded processor's iteration total × [t_comp]. *)
+
+val per_pe_iterations : procs:int -> Iter_partition.t -> int array
+(** Iteration totals per processor under cyclic placement. *)
+
+val speedup_limit : Iter_partition.t -> float
+(** Total iterations / largest block — the plan's parallelism ceiling
+    regardless of processor count. *)

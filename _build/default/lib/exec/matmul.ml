@@ -1,0 +1,170 @@
+open Cf_linalg
+open Cf_loop
+open Cf_machine
+
+type variant = Sequential | Dup_b | Dup_ab
+
+let variant_name = function
+  | Sequential -> "L5"
+  | Dup_b -> "L5'"
+  | Dup_ab -> "L5''"
+
+let nest ~m =
+  let aref name subs = Aref.make name subs in
+  let i = Affine.var "i" and j = Affine.var "j" and k = Affine.var "k" in
+  let c = aref "C" [ i; j ] in
+  let rhs =
+    Expr.Binop
+      ( Expr.Add,
+        Expr.Read c,
+        Expr.Binop
+          (Expr.Mul, Expr.Read (aref "A" [ i; k ]), Expr.Read (aref "B" [ k; j ]))
+      )
+  in
+  Nest.rectangular
+    [ ("i", 1, m); ("j", 1, m); ("k", 1, m) ]
+    [ Stmt.make c rhs ]
+
+let partitioning_space variant ~m:_ =
+  let v l = Vec.of_int_list l in
+  match variant with
+  | Sequential -> Subspace.span 3 [ v [ 1; 0; 0 ]; v [ 0; 1; 0 ]; v [ 0; 0; 1 ] ]
+  | Dup_b -> Subspace.span 3 [ v [ 0; 1; 0 ]; v [ 0; 0; 1 ] ]
+  | Dup_ab -> Subspace.span 3 [ v [ 0; 0; 1 ] ]
+
+let isqrt p =
+  let r = int_of_float (sqrt (float_of_int p) +. 0.5) in
+  if r * r <> p then invalid_arg "Matmul: p must be a perfect square" else r
+
+let analytic_time (c : Cost.t) variant ~m ~p =
+  if p < 1 then invalid_arg "Matmul.analytic_time: p < 1";
+  let fm = float_of_int m in
+  let fp = float_of_int p in
+  let comp = fm ** 3. *. c.Cost.t_comp /. fp in
+  match variant with
+  | Sequential ->
+    if p <> 1 then invalid_arg "Matmul.analytic_time: L5 is sequential";
+    comp
+  | Dup_b ->
+    (* T2: send A row blocks + broadcast B. *)
+    let sqrtp = sqrt fp in
+    comp
+    +. ((fp *. c.Cost.t_start) +. (fm *. fm *. c.Cost.t_comm))
+    +. (c.Cost.t_start +. (2. *. sqrtp *. fm *. fm *. c.Cost.t_comm))
+  | Dup_ab ->
+    (* T3: multicast row blocks of A and column blocks of B. *)
+    let sqrtp = sqrt fp in
+    comp +. (2. *. ((sqrtp *. c.Cost.t_start) +. (2. *. fm *. fm *. c.Cost.t_comm)))
+
+let speedup cost variant ~m ~p =
+  analytic_time cost Sequential ~m ~p:1 /. analytic_time cost variant ~m ~p
+
+type run = {
+  report : Parexec.report;
+  makespan : float;
+  distribution_time : float;
+}
+
+let init = Seqexec.default_init
+
+let row_elements name ~m ~row =
+  List.init m (fun q -> ([| row; q + 1 |], init name [| row; q + 1 |]))
+
+let col_elements name ~m ~col =
+  List.init m (fun q -> ([| q + 1; col |], init name [| q + 1; col |]))
+
+let distribute_dup_b machine ~m ~p =
+  (* Rows of A and C cyclically; C allocation is not charged, matching
+     the paper's accounting.  B goes to everyone. *)
+  for row = 1 to m do
+    let pe = (row - 1) mod p in
+    Machine.host_send machine ~pe "A" (row_elements "A" ~m ~row);
+    List.iter
+      (fun (el, v) -> Machine.store machine ~pe "C" el v)
+      (row_elements "C" ~m ~row)
+  done;
+  let all_b =
+    List.concat (List.init m (fun r -> row_elements "B" ~m ~row:(r + 1)))
+  in
+  Machine.host_broadcast machine "B" all_b
+
+let distribute_dup_ab machine ~m ~p =
+  let q = isqrt p in
+  let topo = Machine.topology machine in
+  let rank r c = Topology.rank_of_coords topo [| r; c |] in
+  (* A rows to mesh rows. *)
+  for a1 = 0 to q - 1 do
+    let rows = List.filter (fun r -> (r - 1) mod q = a1) (List.init m succ) in
+    let elements =
+      List.concat_map (fun row -> row_elements "A" ~m ~row) rows
+    in
+    let pes = List.init q (fun a2 -> rank a1 a2) in
+    Machine.host_multicast machine ~pes "A" elements
+  done;
+  (* B columns to mesh columns. *)
+  for a2 = 0 to q - 1 do
+    let cols = List.filter (fun c -> (c - 1) mod q = a2) (List.init m succ) in
+    let elements =
+      List.concat_map (fun col -> col_elements "B" ~m ~col) cols
+    in
+    let pes = List.init q (fun a1 -> rank a1 a2) in
+    Machine.host_multicast machine ~pes "B" elements
+  done;
+  (* C[i,j] lives with its owner; allocation uncharged as in the paper. *)
+  for i = 1 to m do
+    for j = 1 to m do
+      let pe = rank ((i - 1) mod q) ((j - 1) mod q) in
+      Machine.store machine ~pe "C" [| i; j |] (init "C" [| i; j |])
+    done
+  done
+
+let simulate ?(cost = Cost.transputer) variant ~m ~p =
+  let t = nest ~m in
+  let psi = partitioning_space variant ~m in
+  let partition = Cf_core.Iter_partition.make t psi in
+  match variant with
+  | Sequential ->
+    if p <> 1 then invalid_arg "Matmul.simulate: L5 is sequential";
+    let machine = Machine.create (Topology.linear 1) cost in
+    let report =
+      Parexec.execute ~machine ~placement:(fun _ -> 0)
+        ~strategy:Cf_core.Strategy.Nonduplicate partition
+    in
+    {
+      report;
+      makespan = Machine.makespan machine;
+      distribution_time = Machine.distribution_time machine;
+    }
+  | Dup_b ->
+    let machine = Machine.create (Topology.square p) cost in
+    distribute_dup_b machine ~m ~p;
+    (* Block j holds row i = j (base points ascend with i). *)
+    let placement j = (j - 1) mod p in
+    let report =
+      Parexec.execute ~allocate:false ~machine ~placement
+        ~strategy:Cf_core.Strategy.Duplicate partition
+    in
+    {
+      report;
+      makespan = Machine.makespan machine;
+      distribution_time = Machine.distribution_time machine;
+    }
+  | Dup_ab ->
+    let q = isqrt p in
+    let machine = Machine.create (Topology.square p) cost in
+    distribute_dup_ab machine ~m ~p;
+    let topo = Machine.topology machine in
+    (* Block ids ascend lexicographically with base point (i, j, 1). *)
+    let placement b =
+      let i = ((b - 1) / m) + 1 and j = ((b - 1) mod m) + 1 in
+      Topology.rank_of_coords topo [| (i - 1) mod q; (j - 1) mod q |]
+    in
+    let report =
+      Parexec.execute ~allocate:false ~machine ~placement
+        ~strategy:Cf_core.Strategy.Duplicate partition
+    in
+    {
+      report;
+      makespan = Machine.makespan machine;
+      distribution_time = Machine.distribution_time machine;
+    }

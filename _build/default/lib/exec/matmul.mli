@@ -1,0 +1,50 @@
+(** The paper's matrix-multiplication study (Section IV, loops L5/L5′/L5″).
+
+    Three execution schemes over [C[i,j] += A[i,k]·B[k,j]]:
+
+    - {e Sequential} (L5): the nonduplicate partitioning space is all of
+      R³, so one processor runs everything; Table I's [p = 1] rows count
+      only compute time.
+    - {e Dup_b} (L5′): duplicate array [B] only; [Ψ' = span{(0,1,0),
+      (0,0,1)}] leaves the [i] loop parallel.  Host sends each processor
+      its row block of [A] (and of [C]) and {e broadcasts} all of [B].
+    - {e Dup_ab} (L5″): duplicate both [A] and [B]; [Ψ'' = span{(0,0,1)}]
+      leaves [i] and [j] parallel on a [√p × √p] mesh.  Host multicasts
+      row blocks of [A] to mesh rows and column blocks of [B] to mesh
+      columns.
+
+    [analytic_time] evaluates the closed-form cost (the paper's T1, T2,
+    T3) for arbitrary [M]; [simulate] actually distributes, runs, and
+    verifies a small instance on the machine simulator — the distribution
+    charges exactly match the analytic expressions. *)
+
+open Cf_machine
+
+type variant = Sequential | Dup_b | Dup_ab
+
+val variant_name : variant -> string
+(** ["L5"], ["L5'"], ["L5''"]. *)
+
+val nest : m:int -> Cf_loop.Nest.t
+(** The triple loop L5 for [M = m]. *)
+
+val partitioning_space : variant -> m:int -> Cf_linalg.Subspace.t
+(** [Ψ], [Ψ'] or [Ψ''] over R³. *)
+
+val analytic_time : Cost.t -> variant -> m:int -> p:int -> float
+(** T1/T2/T3 in seconds.  [p] must be 1 for [Sequential], and a perfect
+    square for [Dup_ab]. *)
+
+val speedup : Cost.t -> variant -> m:int -> p:int -> float
+(** [analytic_time Sequential ~p:1 / analytic_time variant ~p]. *)
+
+type run = {
+  report : Parexec.report;
+  makespan : float;
+  distribution_time : float;
+}
+
+val simulate : ?cost:Cost.t -> variant -> m:int -> p:int -> run
+(** Distribute + execute + verify on the simulator (small [m] only: the
+    iteration space is enumerated).  The returned report proves the run
+    touched only local data and matched the sequential product. *)

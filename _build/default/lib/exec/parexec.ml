@@ -1,0 +1,191 @@
+open Cf_core
+open Cf_loop
+open Cf_machine
+
+type placement = int -> int
+
+let cyclic ~nprocs j =
+  if nprocs < 1 then invalid_arg "Parexec.cyclic";
+  (j - 1) mod nprocs
+
+type report = {
+  machine : Machine.t;
+  remote_access : (int * string * int array) option;
+  mismatches : (string * int array * int option * int option) list;
+  per_pe_iterations : int array;
+}
+
+let ok r = r.remote_access = None && r.mismatches = []
+
+let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
+    ?exact ?(allocate = true) ?(charge_distribution = false) ~machine
+    ~placement ~strategy partition =
+  let nest = Iter_partition.nest partition in
+  let minimal = Strategy.uses_exact_analysis strategy in
+  let exact =
+    match exact with
+    | Some e -> Some e
+    | None -> if minimal then Some (Cf_dep.Exact.analyze nest) else None
+  in
+  let keep ~stmt_index iter =
+    match exact with
+    | Some e when minimal ->
+      not (Cf_dep.Exact.is_redundant e ~stmt_index iter)
+    | _ -> true
+  in
+  let nprocs = Topology.size (Machine.topology machine) in
+  let block_pe j =
+    let pe = placement j in
+    if pe < 0 || pe >= nprocs then
+      invalid_arg "Parexec.execute: placement outside the machine";
+    pe
+  in
+  (* Allocation: walk every (surviving) access and give its element a
+     local copy on the accessing block's processor.  Copies are
+     block-local (the data blocks B^A_j are separate chunks of local
+     memory): two blocks sharing a processor must not share cells, since
+     anti/output dependences between them can point both ways and no
+     block execution order would then be safe.  When the caller
+     distributes data itself ([allocate = false]), plain per-processor
+     names are used — the caller guarantees shared elements are
+     read-only or block-exclusive (true of the paper's matmul
+     distributions). *)
+  let key block array =
+    if allocate then array ^ "#" ^ string_of_int block else array
+  in
+  let idx = Nest.indices nest in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun k v -> Hashtbl.replace pos v k) idx;
+  let body = Array.of_list nest.Nest.body in
+  (* Collect the per-(processor, copy) element sets first, then place
+     them: either free of charge, or as one pipelined host message per
+     copy when the caller wants distribution accounted. *)
+  let needed : (int * string, (int list, int) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let allocate_for iter =
+    let index v = iter.(Hashtbl.find pos v) in
+    let block = Iter_partition.block_id_of_iteration partition iter in
+    let pe = block_pe block in
+    Array.iteri
+      (fun si (s : Stmt.t) ->
+        if keep ~stmt_index:si iter then
+          List.iter
+            (fun (r : Aref.t) ->
+              let el = Array.to_list (Aref.eval index r) in
+              let slot =
+                match Hashtbl.find_opt needed (pe, key block r.Aref.array) with
+                | Some t -> t
+                | None ->
+                  let t = Hashtbl.create 32 in
+                  Hashtbl.replace needed (pe, key block r.Aref.array) t;
+                  t
+              in
+              if not (Hashtbl.mem slot el) then
+                Hashtbl.replace slot el
+                  (init r.Aref.array (Array.of_list el)))
+            (s.lhs :: Stmt.reads s))
+      body
+  in
+  if allocate then begin
+    Nest.iter_space nest allocate_for;
+    Hashtbl.iter
+      (fun (pe, name) slot ->
+        let elements =
+          Hashtbl.fold (fun el v acc -> (Array.of_list el, v) :: acc) slot []
+        in
+        if charge_distribution then
+          Machine.host_send machine ~pe name elements
+        else
+          List.iter (fun (el, v) -> Machine.store machine ~pe name el v)
+            elements)
+      needed
+  end;
+  (* Execution, block by block.  For each element we record the value
+     produced by the sequentially-latest write: with duplication, a
+     co-located replica of another block may legally overwrite the local
+     copy later in wall-clock order (a cross-block output dependence
+     absorbed by replication), so reading memories after the fact would
+     validate the wrong thing. *)
+  let last_writer : (string * int list, (int list * int) * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let remote = ref None in
+  let blocks = Iter_partition.blocks partition in
+  (try
+     Array.iter
+       (fun (b : Iter_partition.block) ->
+         let pe = block_pe b.id in
+         List.iter
+           (fun iter ->
+             let index v = iter.(Hashtbl.find pos v) in
+             Array.iteri
+               (fun si (s : Stmt.t) ->
+                 if keep ~stmt_index:si iter then begin
+                   let read (r : Aref.t) =
+                     Machine.read machine ~pe
+                       (key b.id r.Aref.array)
+                       (Aref.eval index r)
+                   in
+                   let v = Expr.eval ~read ~scalar ~index s.rhs in
+                   let el = Aref.eval index s.lhs in
+                   Machine.write machine ~pe (key b.id s.lhs.Aref.array) el v;
+                   let stamp = (Array.to_list iter, si) in
+                   let k = (s.lhs.Aref.array, Array.to_list el) in
+                   match Hashtbl.find_opt last_writer k with
+                   | Some (stamp', _) when stamp' > stamp -> ()
+                   | _ -> Hashtbl.replace last_writer k (stamp, v)
+                 end)
+               body)
+           b.iterations;
+         Machine.run_iterations machine ~pe (List.length b.iterations))
+       blocks
+   with Machine.Remote_access { pe; array; element } ->
+     remote := Some (pe, array, element));
+  (* Merge by sequentially-last writer and validate. *)
+  let mismatches =
+    match !remote with
+    | Some _ -> []
+    | None ->
+      let golden =
+        if minimal then Seqexec.run_filtered ~init ~scalar ~keep nest
+        else Seqexec.run ~init ~scalar nest
+      in
+      List.filter_map
+        (fun (a, el, expected) ->
+          let got =
+            match Hashtbl.find_opt last_writer (a, Array.to_list el) with
+            | None -> None
+            | Some (_, v) -> Some v
+          in
+          if got = Some expected then None
+          else Some (a, el, Some expected, got))
+        (Seqexec.bindings golden)
+  in
+  let per_pe_iterations =
+    Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe)
+  in
+  { machine; remote_access = !remote; mismatches; per_pe_iterations }
+
+let pp_report ppf r =
+  (match r.remote_access with
+   | Some (pe, a, el) ->
+     Format.fprintf ppf "REMOTE ACCESS: PE%d touched %s%a@," pe a
+       Cf_linalg.Vec.pp_int el
+   | None -> Format.fprintf ppf "communication-free: yes@,");
+  if r.mismatches = [] then Format.fprintf ppf "results: match sequential@,"
+  else
+    List.iter
+      (fun (a, el, want, got) ->
+        let pp_opt ppf = function
+          | Some v -> Format.fprintf ppf "%d" v
+          | None -> Format.fprintf ppf "-"
+        in
+        Format.fprintf ppf "MISMATCH %s%a: expected %a, got %a@," a
+          Cf_linalg.Vec.pp_int el pp_opt want pp_opt got)
+      r.mismatches;
+  Format.fprintf ppf "iterations per PE: %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list r.per_pe_iterations)

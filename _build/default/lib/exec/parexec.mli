@@ -1,0 +1,57 @@
+(** Parallel execution of a partitioned nest on the simulated machine.
+
+    The pipeline follows Section IV: allocate each iteration block and
+    its data blocks to a processor, run every block's iterations on its
+    processor touching only local memory (a remote access aborts the run
+    — the executable form of "communication-free"), then compare every
+    element's sequentially-last written value against the sequential
+    interpreter.  (Validating values at write time matters under
+    duplication: when several blocks share a processor, a replica of a
+    sequentially-earlier write may overwrite the local copy later in
+    wall-clock order — a cross-block output dependence that replication
+    legitimately absorbs.) *)
+
+open Cf_core
+
+type placement = int -> int
+(** Block id (1-based) to processor rank. *)
+
+val cyclic : nprocs:int -> placement
+(** Round-robin: block [j] on processor [(j − 1) mod nprocs]. *)
+
+type report = {
+  machine : Cf_machine.Machine.t;
+  remote_access : (int * string * int array) option;
+    (** Some (pe, array, element): the run was NOT communication-free. *)
+  mismatches : (string * int array * int option * int option) list;
+    (** element, sequential value, merged parallel value; empty = correct *)
+  per_pe_iterations : int array;
+}
+
+val execute :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  ?exact:Cf_dep.Exact.result ->
+  ?allocate:bool ->
+  ?charge_distribution:bool ->
+  machine:Cf_machine.Machine.t ->
+  placement:placement ->
+  strategy:Strategy.t ->
+  Iter_partition.t ->
+  report
+(** Allocates local copies (free of charge — distribution-cost
+    experiments pre-place data with the host primitives and pass
+    [~allocate:false], making any gap in the distribution surface as a
+    remote access), executes, merges, validates.  For the minimal
+    strategies, redundant computations are skipped and validation
+    restricts to elements the surviving computations write; [exact]
+    supplies the redundancy analysis (computed on demand otherwise).
+    With [~charge_distribution:true] (and [allocate] left true), the
+    initial placement is charged to the machine as one pipelined host
+    message per block-local copy — a generic scatter, giving a full
+    makespan (distribution + compute) for any plan. *)
+
+val ok : report -> bool
+(** No remote access and no mismatch. *)
+
+val pp_report : Format.formatter -> report -> unit

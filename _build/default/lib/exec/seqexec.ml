@@ -1,0 +1,53 @@
+open Cf_loop
+
+type memory = (string * int list, int) Hashtbl.t
+
+(* Small deterministic mixers: results must be stable across runs and
+   spread enough that accidental equality cannot mask a wrong read. *)
+let default_init a el =
+  let h = Hashtbl.hash (a, Array.to_list el) in
+  1 + (h mod 997)
+
+let default_scalar s = 1 + (Hashtbl.hash s mod 97)
+
+let run_general ?(init = default_init) ?(scalar = default_scalar) ~keep t =
+  let memory : memory = Hashtbl.create 256 in
+  let idx = Nest.indices t in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun k v -> Hashtbl.replace pos v k) idx;
+  let body = Array.of_list t.Nest.body in
+  Nest.iter_space t (fun iter ->
+      let index v =
+        match Hashtbl.find_opt pos v with
+        | Some k -> iter.(k)
+        | None -> invalid_arg ("Seqexec: unbound index " ^ v)
+      in
+      Array.iteri
+        (fun si (s : Stmt.t) ->
+          if keep ~stmt_index:si iter then begin
+            let read r =
+              let el = Aref.eval index r in
+              match Hashtbl.find_opt memory (r.Aref.array, Array.to_list el)
+              with
+              | Some v -> v
+              | None -> init r.Aref.array el
+            in
+            let v = Expr.eval ~read ~scalar ~index s.rhs in
+            let el = Aref.eval index s.lhs in
+            Hashtbl.replace memory (s.lhs.Aref.array, Array.to_list el) v
+          end)
+        body);
+  memory
+
+let run ?init ?scalar t =
+  run_general ?init ?scalar ~keep:(fun ~stmt_index:_ _ -> true) t
+
+let run_filtered ?init ?scalar ~keep t = run_general ?init ?scalar ~keep t
+
+let lookup (m : memory) a el = Hashtbl.find_opt m (a, Array.to_list el)
+
+let bindings (m : memory) =
+  Hashtbl.fold (fun (a, el) v acc -> (a, Array.of_list el, v) :: acc) m []
+  |> List.sort compare
+
+let equal_on_written (a : memory) (b : memory) = bindings a = bindings b

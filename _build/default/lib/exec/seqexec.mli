@@ -1,0 +1,41 @@
+(** Sequential reference interpreter.
+
+    Executes a nest in lexicographic order over integer arrays and
+    returns the final value of every written element — the golden result
+    the parallel executor is validated against. *)
+
+open Cf_loop
+
+type memory = (string * int list, int) Hashtbl.t
+
+val default_init : string -> int array -> int
+(** Deterministic pseudo-random initial value of an array element
+    (stable across runs, different across elements). *)
+
+val default_scalar : string -> int
+(** Deterministic nonzero value of a free scalar. *)
+
+val run :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  Nest.t ->
+  memory
+(** Final written values.  Reads of never-written elements fall back to
+    [init]; loop indices evaluate to their iteration values. *)
+
+val run_filtered :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  keep:(stmt_index:int -> int array -> bool) ->
+  Nest.t ->
+  memory
+(** Like {!run} but skipping statement instances for which [keep] is
+    false — used to check that eliminating redundant computations
+    preserves the surviving results (Sec. III.C). *)
+
+val lookup : memory -> string -> int array -> int option
+val bindings : memory -> (string * int array * int) list
+(** Sorted. *)
+
+val equal_on_written : memory -> memory -> bool
+(** True when both memories wrote the same elements with equal values. *)

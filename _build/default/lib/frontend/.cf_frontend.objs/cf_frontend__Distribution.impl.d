@@ -1,0 +1,1 @@
+lib/frontend/distribution.ml: Affine Aref Array Cf_exec Cf_loop Expr Hashtbl Imperfect List Stmt

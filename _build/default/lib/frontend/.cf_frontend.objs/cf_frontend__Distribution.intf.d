@@ -1,0 +1,1 @@
+lib/frontend/distribution.mli: Cf_exec Cf_loop Imperfect Nest

@@ -1,0 +1,66 @@
+open Cf_loop
+
+let run ?(init = Cf_exec.Seqexec.default_init)
+    ?(scalar = Cf_exec.Seqexec.default_scalar) (l : Imperfect.loop) =
+  let memory : Cf_exec.Seqexec.memory = Hashtbl.create 256 in
+  let env : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let index v =
+    match Hashtbl.find_opt env v with
+    | Some x -> x
+    | None -> invalid_arg ("Distribution.run: unbound index " ^ v)
+  in
+  let exec_stmt (s : Stmt.t) =
+    let read (r : Aref.t) =
+      let el = Aref.eval index r in
+      match Hashtbl.find_opt memory (r.Aref.array, Array.to_list el) with
+      | Some v -> v
+      | None -> init r.Aref.array el
+    in
+    let v = Expr.eval ~read ~scalar ~index s.rhs in
+    let el = Aref.eval index s.lhs in
+    Hashtbl.replace memory (s.lhs.Aref.array, Array.to_list el) v
+  in
+  let rec exec_loop (l : Imperfect.loop) =
+    let lo = Affine.eval index l.lower and hi = Affine.eval index l.upper in
+    for x = lo to hi do
+      Hashtbl.replace env l.var x;
+      List.iter
+        (function
+          | Imperfect.Statement s -> exec_stmt s
+          | Imperfect.Loop l' -> exec_loop l')
+        l.body
+    done;
+    Hashtbl.remove env l.var
+  in
+  exec_loop l;
+  memory
+
+let run_distributed ?(init = Cf_exec.Seqexec.default_init)
+    ?(scalar = Cf_exec.Seqexec.default_scalar) nests =
+  let acc : Cf_exec.Seqexec.memory = Hashtbl.create 256 in
+  List.iter
+    (fun nest ->
+      let chained_init a el =
+        match Hashtbl.find_opt acc (a, Array.to_list el) with
+        | Some v -> v
+        | None -> init a el
+      in
+      let m = Cf_exec.Seqexec.run ~init:chained_init ~scalar nest in
+      Hashtbl.iter (fun k v -> Hashtbl.replace acc k v) m)
+    nests;
+  acc
+
+let preserves ?init ?scalar l =
+  let original = run ?init ?scalar l in
+  let distributed = run_distributed ?init ?scalar (Imperfect.distribute l) in
+  Cf_exec.Seqexec.bindings original = Cf_exec.Seqexec.bindings distributed
+
+let distribute_checked l =
+  let nests = Imperfect.distribute l in
+  if Imperfect.is_perfect l then Ok nests
+  else if preserves l then Ok nests
+  else
+    Error
+      "loop distribution would reorder a dependence (a later nest feeds \
+       an earlier one); the nest cannot be brought into the perfect \
+       model this way"

@@ -1,0 +1,38 @@
+(** Interpreter-checked loop distribution.
+
+    {!Cf_loop.Imperfect.distribute} proposes the perfect nests; this
+    module decides whether running them one after another preserves the
+    original imperfect nest's semantics — exactly, for the given bounds,
+    by comparing reference interpretations.  (Distribution is illegal
+    precisely when some dependence flows from a later nest back into an
+    earlier one; checking by execution avoids approximating that test.) *)
+
+open Cf_loop
+
+val run :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  Imperfect.loop ->
+  Cf_exec.Seqexec.memory
+(** Reference interpretation of the imperfect nest: statements and
+    inner loops interleave as written, iterations in order. *)
+
+val run_distributed :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  Nest.t list ->
+  Cf_exec.Seqexec.memory
+(** Sequential execution of the nests in order; each nest sees the
+    previous nests' writes. *)
+
+val preserves :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  Imperfect.loop ->
+  bool
+(** True when distribution leaves every written element with the final
+    value of the original execution. *)
+
+val distribute_checked :
+  Imperfect.loop -> (Nest.t list, string) result
+(** {!Cf_loop.Imperfect.distribute} guarded by {!preserves}. *)

@@ -1,0 +1,1 @@
+lib/lattice/babai.ml: Array Cf_linalg Cf_rational List Mat Oint Rat Stdlib Vec

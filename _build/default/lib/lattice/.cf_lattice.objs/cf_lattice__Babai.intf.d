@@ -1,0 +1,1 @@
+lib/lattice/babai.mli: Cf_linalg Vec

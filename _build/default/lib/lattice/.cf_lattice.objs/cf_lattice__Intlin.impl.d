@@ -1,0 +1,1 @@
+lib/lattice/intlin.ml: Array Cf_linalg Cf_rational List Mat Oint Rat Vec

@@ -1,0 +1,1 @@
+lib/lattice/lll.ml: Array Cf_linalg Cf_rational Intlin List Mat Oint Rat Vec

@@ -1,0 +1,1 @@
+lib/lattice/smith.ml: Array Cf_rational List Oint

@@ -1,0 +1,97 @@
+open Cf_rational
+open Cf_linalg
+
+let coordinates ~basis v =
+  match basis with
+  | [] -> None
+  | _ ->
+    let b = Mat.of_rows (List.map Vec.of_int_array basis) in
+    (* Least squares: solve (B·Bᵀ)·x = B·v; rows of b are basis vectors. *)
+    let gram = Mat.mul b (Mat.transpose b) in
+    let rhs = Mat.mul_vec b v in
+    Mat.solve gram rhs
+
+let lattice_combination basis coeffs =
+  match basis with
+  | [] -> [||]
+  | first :: _ ->
+    let n = Array.length first in
+    let acc = Array.make n 0 in
+    List.iteri
+      (fun k bv ->
+        for i = 0 to n - 1 do
+          acc.(i) <- Oint.add acc.(i) (Oint.mul coeffs.(k) bv.(i))
+        done)
+      basis;
+    acc
+
+let round_point ~basis v =
+  match coordinates ~basis v with
+  | None -> Array.make (Vec.dim v) 0
+  | Some x ->
+    let coeffs = Array.map Rat.round_nearest x in
+    lattice_combination basis coeffs
+
+let in_box ~halfwidths t =
+  Array.length t = Array.length halfwidths
+  && Array.for_all2 (fun x w -> Stdlib.abs x <= w) t halfwidths
+
+let candidate_cap = 100_000
+
+(* Shared shell enumeration: calls [accept] on every point of
+   [particular + lattice] that lands in the box, nearest coefficient
+   shells first; stops when [accept] returns [false], the radius is
+   exhausted, or the candidate cap is hit. *)
+let scan_box ~particular ~lattice ~halfwidths ~search_radius accept =
+  let n = Array.length particular in
+  let add a b = Array.init n (fun i -> Oint.add a.(i) b.(i)) in
+  match lattice with
+  | [] ->
+    if in_box ~halfwidths particular then ignore (accept particular)
+  | _ ->
+    let k = List.length lattice in
+    let center =
+      match coordinates ~basis:lattice (Vec.neg (Vec.of_int_array particular))
+      with
+      | None -> Array.make k 0
+      | Some x -> Array.map Rat.round_nearest x
+    in
+    let continue_scan = ref true in
+    let budget = ref candidate_cap in
+    let coeffs = Array.make k 0 in
+    let rec fill shell pos must_touch =
+      if !continue_scan && !budget > 0 then
+        if pos = k then begin
+          if (not must_touch) || shell = 0 then begin
+            decr budget;
+            let c = Array.mapi (fun i off -> Oint.add center.(i) off) coeffs in
+            let pt = add particular (lattice_combination lattice c) in
+            if in_box ~halfwidths pt then
+              if not (accept pt) then continue_scan := false
+          end
+        end
+        else
+          for off = -shell to shell do
+            coeffs.(pos) <- off;
+            fill shell (pos + 1) (must_touch && Stdlib.abs off <> shell)
+          done
+    in
+    let shell = ref 0 in
+    while !continue_scan && !shell <= search_radius && !budget > 0 do
+      fill !shell 0 (!shell > 0);
+      incr shell
+    done
+
+let find_in_box ~particular ~lattice ~halfwidths ~search_radius =
+  let found = ref None in
+  scan_box ~particular ~lattice ~halfwidths ~search_radius (fun pt ->
+      found := Some pt;
+      false);
+  !found
+
+let enumerate_in_box ~particular ~lattice ~halfwidths ~search_radius =
+  let acc = ref [] in
+  scan_box ~particular ~lattice ~halfwidths ~search_radius (fun pt ->
+      if not (List.mem pt !acc) then acc := pt :: !acc;
+      true);
+  List.rev !acc

@@ -1,0 +1,51 @@
+(** Nearest-lattice-point heuristics and boxed realizability.
+
+    Definition 4 of the paper admits a data-referenced vector [r] into a
+    reference space only when the affine set of integer solutions of
+    [H·t = r] contains a vector expressible as a difference of two
+    iterations, i.e. a point of the box [∏ [-w_k, w_k]] where [w_k] is the
+    extent of loop level [k].  The solution set is [t0 + L] for a lattice
+    [L]; we decide box membership by Babai rounding of [-t0] in the basis
+    of [L], refined by a bounded enumeration of neighboring coefficient
+    vectors.  For the small-rank lattices produced by loop analysis this
+    is exact in practice, and the test suite cross-validates it against
+    exhaustive enumeration on small iteration spaces. *)
+
+open Cf_linalg
+
+val coordinates : basis:int array list -> Vec.t -> Vec.t option
+(** [coordinates ~basis v] expresses [v] in the (independent) lattice
+    basis using a least-squares Gram solve: the result [x] minimizes
+    [|v - B·x|] over Q.  [None] when the basis is empty. *)
+
+val round_point : basis:int array list -> Vec.t -> int array
+(** [round_point ~basis v] is the lattice point [B·round(x)] obtained by
+    rounding each least-squares coordinate — Babai's rounding step.
+    Returns the zero vector for an empty basis. *)
+
+val in_box : halfwidths:int array -> int array -> bool
+(** [in_box ~halfwidths t] tests [|t_k| <= halfwidths_k] componentwise. *)
+
+val find_in_box :
+  particular:int array ->
+  lattice:int array list ->
+  halfwidths:int array ->
+  search_radius:int ->
+  int array option
+(** [find_in_box ~particular ~lattice ~halfwidths ~search_radius] looks
+    for a point of [particular + lattice] inside the box.  Starting from
+    the Babai rounding of [-particular], coefficient vectors within
+    Chebyshev distance [search_radius] are enumerated (subject to an
+    internal cap on the number of candidates).  Returns a witness point
+    or [None] when no candidate lands in the box. *)
+
+val enumerate_in_box :
+  particular:int array ->
+  lattice:int array list ->
+  halfwidths:int array ->
+  search_radius:int ->
+  int array list
+(** Like {!find_in_box} but collects every candidate that lands in the
+    box (within the same radius and candidate cap), deduplicated.  Used
+    by dependence classification to find witnesses of a required
+    lexicographic sign. *)

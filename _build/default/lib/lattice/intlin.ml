@@ -1,0 +1,154 @@
+open Cf_rational
+open Cf_linalg
+
+type reduction = {
+  echelon : int array array;
+  unimodular : int array array;
+  rank : int;
+  pivot_rows : int array;
+}
+
+let check_rect a =
+  let d = Array.length a in
+  if d = 0 then invalid_arg "Intlin: empty matrix";
+  let n = Array.length a.(0) in
+  if n = 0 then invalid_arg "Intlin: zero-width matrix";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Intlin: ragged matrix")
+    a;
+  (d, n)
+
+let mul_vec a t =
+  let _, n = check_rect a in
+  if Array.length t <> n then invalid_arg "Intlin.mul_vec: shape mismatch";
+  Array.map
+    (fun row ->
+      let acc = ref 0 in
+      for j = 0 to n - 1 do
+        acc := Oint.add !acc (Oint.mul row.(j) t.(j))
+      done;
+      !acc)
+    a
+
+(* Column operations applied simultaneously to the work matrix and U. *)
+let swap_cols m j j' =
+  Array.iter
+    (fun row ->
+      let t = row.(j) in
+      row.(j) <- row.(j');
+      row.(j') <- t)
+    m
+
+let addmul_col m ~dst ~src k =
+  (* column dst += k * column src *)
+  Array.iter
+    (fun row -> row.(dst) <- Oint.add row.(dst) (Oint.mul k row.(src)))
+    m
+
+let neg_col m j =
+  Array.iter (fun row -> row.(j) <- Oint.neg row.(j)) m
+
+let reduce a =
+  let d, n = check_rect a in
+  let e = Array.map Array.copy a in
+  let u = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  let c = ref 0 in
+  let pivot_rows = ref [] in
+  for i = 0 to d - 1 do
+    if !c < n then begin
+      (* Gcd-reduce the entries e.(i).(j), j >= !c, down to one nonzero. *)
+      let continue_reducing = ref true in
+      while !continue_reducing do
+        (* Find the column with the smallest nonzero |e.(i).(j)|, j >= !c. *)
+        let best = ref (-1) in
+        for j = !c to n - 1 do
+          if e.(i).(j) <> 0
+             && (!best < 0 || Oint.abs e.(i).(j) < Oint.abs e.(i).(!best))
+          then best := j
+        done;
+        match !best with
+        | -1 -> continue_reducing := false (* all zero: no pivot this row *)
+        | b ->
+          let others = ref false in
+          for j = !c to n - 1 do
+            if j <> b && e.(i).(j) <> 0 then begin
+              others := true;
+              let q = Oint.fdiv e.(i).(j) e.(i).(b) in
+              addmul_col e ~dst:j ~src:b (Oint.neg q);
+              addmul_col u ~dst:j ~src:b (Oint.neg q)
+            end
+          done;
+          if not !others then begin
+            (* b is the unique nonzero entry: promote it to the pivot slot. *)
+            if b <> !c then begin
+              swap_cols e b !c;
+              swap_cols u b !c
+            end;
+            if e.(i).(!c) < 0 then begin
+              neg_col e !c;
+              neg_col u !c
+            end;
+            pivot_rows := i :: !pivot_rows;
+            incr c;
+            continue_reducing := false
+          end
+      done
+    end
+  done;
+  {
+    echelon = e;
+    unimodular = u;
+    rank = !c;
+    pivot_rows = Array.of_list (List.rev !pivot_rows);
+  }
+
+let solve a r =
+  let d, n = check_rect a in
+  if Array.length r <> d then invalid_arg "Intlin.solve: shape mismatch";
+  let { echelon = e; unimodular = u; rank; pivot_rows } = reduce a in
+  (* Solve e·y = r by forward substitution on the pivot structure, then
+     t = u·y.  y has zeros in the non-pivot coordinates. *)
+  let y = Array.make n 0 in
+  let consistent = ref true in
+  let next_pivot = ref 0 in
+  for i = 0 to d - 1 do
+    if !consistent then begin
+      let acc = ref r.(i) in
+      for j = 0 to rank - 1 do
+        acc := Oint.sub !acc (Oint.mul e.(i).(j) y.(j))
+      done;
+      if !next_pivot < rank && pivot_rows.(!next_pivot) = i then begin
+        let p = e.(i).(!next_pivot) in
+        if !acc mod p <> 0 then consistent := false
+        else begin
+          y.(!next_pivot) <- !acc / p;
+          incr next_pivot
+        end
+      end
+      else if !acc <> 0 then consistent := false
+    end
+  done;
+  if not !consistent then None
+  else
+    Some
+      (Array.init n (fun i ->
+           let acc = ref 0 in
+           for j = 0 to n - 1 do
+             acc := Oint.add !acc (Oint.mul u.(i).(j) y.(j))
+           done;
+           !acc))
+
+let kernel a =
+  let _, n = check_rect a in
+  let { unimodular = u; rank; _ } = reduce a in
+  let col j = Array.init n (fun i -> u.(i).(j)) in
+  List.init (n - rank) (fun k -> col (rank + k))
+
+let is_unimodular m =
+  let d, n = check_rect m in
+  d = n
+  &&
+  let q = Mat.of_rows (Array.to_list (Array.map Vec.of_int_array m)) in
+  let dt = Mat.det q in
+  Rat.equal dt Rat.one || Rat.equal dt Rat.minus_one

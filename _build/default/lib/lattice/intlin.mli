@@ -1,0 +1,34 @@
+(** Integer linear algebra: solving [A·t = r] over Z and integer kernels.
+
+    The workhorse is a column-style Hermite reduction: elementary
+    unimodular column operations bring [A] to a column echelon form [E]
+    with [A·U = E].  From [E] and [U] we read off integer particular
+    solutions and a lattice basis of the integer kernel
+    \{t ∈ Z^n | A·t = 0\}. *)
+
+type reduction = {
+  echelon : int array array;  (** [d × n], column echelon: pivot of row block [i] in column [i] *)
+  unimodular : int array array;  (** [n × n] with [A·U = echelon], [det U = ±1] *)
+  rank : int;
+  pivot_rows : int array;  (** row of the pivot for columns [0..rank-1], strictly increasing *)
+}
+
+val reduce : int array array -> reduction
+(** [reduce a] computes the column echelon reduction of [a].
+    [a] must be rectangular ([d] rows of equal length [n], [d ≥ 1], [n ≥ 1]). *)
+
+val solve : int array array -> int array -> int array option
+(** [solve a r] is an integer particular solution [t] of [a·t = r], or
+    [None] when no integer solution exists (inconsistent over Q, or the
+    rational solution violates divisibility). *)
+
+val kernel : int array array -> int array list
+(** [kernel a] is a lattice basis of \{t ∈ Z^n | a·t = 0\}; every integer
+    solution of the homogeneous system is a unique integer combination of
+    the basis vectors. *)
+
+val mul_vec : int array array -> int array -> int array
+(** [mul_vec a t] is the matrix-vector product over checked integers. *)
+
+val is_unimodular : int array array -> bool
+(** True when the square integer matrix has determinant ±1. *)

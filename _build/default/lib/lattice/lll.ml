@@ -1,0 +1,113 @@
+open Cf_rational
+open Cf_linalg
+
+let check_input basis =
+  match basis with
+  | [] -> 0
+  | v :: rest ->
+    let n = Array.length v in
+    List.iter
+      (fun w ->
+        if Array.length w <> n then invalid_arg "Lll: ragged basis")
+      rest;
+    let m = Mat.of_rows (List.map Vec.of_int_array basis) in
+    if Mat.rank m <> List.length basis then
+      invalid_arg "Lll: dependent basis vectors";
+    n
+
+(* Exact Gram-Schmidt orthogonalization: returns (b*, mu, |b*|^2). *)
+let gso b =
+  let k = Array.length b in
+  let bstar = Array.make k [||] in
+  let mu = Array.make_matrix k k Rat.zero in
+  let norms = Array.make k Rat.zero in
+  for i = 0 to k - 1 do
+    let v = ref (Vec.of_int_array b.(i)) in
+    for j = 0 to i - 1 do
+      let m =
+        if Rat.is_zero norms.(j) then Rat.zero
+        else Rat.div (Vec.dot (Vec.of_int_array b.(i)) bstar.(j)) norms.(j)
+      in
+      mu.(i).(j) <- m;
+      v := Vec.sub !v (Vec.scale m bstar.(j))
+    done;
+    bstar.(i) <- !v;
+    norms.(i) <- Vec.dot !v !v
+  done;
+  (bstar, mu, norms)
+
+let delta = Rat.make 3 4
+
+let lovasz_holds norms mu k =
+  (* |b*_k|^2 >= (delta - mu_{k,k-1}^2) |b*_{k-1}|^2 *)
+  let m = mu.(k).(k - 1) in
+  Rat.( >= ) norms.(k) (Rat.mul (Rat.sub delta (Rat.mul m m)) norms.(k - 1))
+
+let reduce basis =
+  let n = check_input basis in
+  ignore n;
+  match basis with
+  | [] | [ _ ] -> List.map Array.copy basis
+  | _ ->
+    let b = Array.of_list (List.map Array.copy basis) in
+    let kmax = Array.length b in
+    let subtract ~from ~what q =
+      (* b.(from) <- b.(from) - q * b.(what) *)
+      Array.iteri
+        (fun i x -> b.(from).(i) <- Oint.sub b.(from).(i) (Oint.mul q x))
+        (Array.copy b.(what))
+    in
+    let size_reduce k =
+      for j = k - 1 downto 0 do
+        (* Recompute mu after each subtraction: exact and cheap at
+           analysis dimensions. *)
+        let _, mu, _ = gso b in
+        let q = Rat.round_nearest mu.(k).(j) in
+        if q <> 0 then subtract ~from:k ~what:j q
+      done
+    in
+    let k = ref 1 in
+    while !k < kmax do
+      size_reduce !k;
+      let _, mu, norms = gso b in
+      if lovasz_holds norms mu !k then incr k
+      else begin
+        let t = b.(!k) in
+        b.(!k) <- b.(!k - 1);
+        b.(!k - 1) <- t;
+        k := max 1 (!k - 1)
+      end
+    done;
+    Array.to_list b
+
+let is_reduced basis =
+  ignore (check_input basis);
+  match basis with
+  | [] | [ _ ] -> true
+  | _ ->
+    let b = Array.of_list basis in
+    let _, mu, norms = gso b in
+    let ok = ref true in
+    for k = 1 to Array.length b - 1 do
+      for j = 0 to k - 1 do
+        if Rat.( > ) (Rat.abs mu.(k).(j)) (Rat.make 1 2) then ok := false
+      done;
+      if not (lovasz_holds norms mu k) then ok := false
+    done;
+    !ok
+
+let same_lattice a b =
+  match (a, b) with
+  | [], [] -> true
+  | [], _ | _, [] -> false
+  | va :: _, vb :: _ ->
+    Array.length va = Array.length vb
+    && List.length a = List.length b
+    &&
+    let n = Array.length va in
+    let columns vs =
+      (* n x k matrix whose columns are the vectors *)
+      Array.init n (fun i -> Array.of_list (List.map (fun v -> v.(i)) vs))
+    in
+    let in_lattice generators v = Intlin.solve (columns generators) v <> None in
+    List.for_all (in_lattice a) b && List.for_all (in_lattice b) a

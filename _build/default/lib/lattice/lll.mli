@@ -1,0 +1,22 @@
+(** Lenstra–Lenstra–Lovász lattice basis reduction (δ = 3/4).
+
+    The integer kernels produced by column reduction can be badly skewed
+    (long, nearly parallel vectors), which degrades the Babai rounding
+    used to find boxed dependence witnesses.  Reducing the basis first
+    makes the rounding step reliable: on an LLL-reduced basis the nearest
+    lattice point found by rounding is within a bounded factor of the
+    true nearest point.  All arithmetic is exact (rational Gram–Schmidt
+    over {!Cf_rational.Rat}). *)
+
+val reduce : int array list -> int array list
+(** [reduce basis] is an LLL-reduced basis of the same lattice.  The
+    input vectors must be linearly independent and of equal dimension
+    ([Invalid_argument] otherwise); the empty list reduces to itself. *)
+
+val is_reduced : int array list -> bool
+(** Checks the two LLL conditions (size-reduction and Lovász with
+    δ = 3/4) — used by the tests. *)
+
+val same_lattice : int array list -> int array list -> bool
+(** True when the two independent families generate the same integer
+    lattice (each vector of one is an integer combination of the other). *)

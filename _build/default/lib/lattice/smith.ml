@@ -1,0 +1,164 @@
+open Cf_rational
+
+type t = {
+  d : int array array;
+  left : int array array;
+  right : int array array;
+  rank : int;
+  divisors : int list;
+}
+
+let identity n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+(* Row operations act on (work, left); column operations on (work, right). *)
+let swap_rows m i i' =
+  let t = m.(i) in
+  m.(i) <- m.(i');
+  m.(i') <- t
+
+let addmul_row m ~dst ~src k =
+  Array.iteri
+    (fun j x -> m.(dst).(j) <- Oint.add m.(dst).(j) (Oint.mul k x))
+    (Array.copy m.(src))
+
+let neg_row m i = m.(i) <- Array.map Oint.neg m.(i)
+
+let swap_cols m j j' =
+  Array.iter
+    (fun row ->
+      let t = row.(j) in
+      row.(j) <- row.(j');
+      row.(j') <- t)
+    m
+
+let addmul_col m ~dst ~src k =
+  Array.iter
+    (fun row -> row.(dst) <- Oint.add row.(dst) (Oint.mul k row.(src)))
+    m
+
+let compute a =
+  let dd = Array.length a in
+  if dd = 0 then invalid_arg "Smith.compute: empty matrix";
+  let nn = Array.length a.(0) in
+  if nn = 0 then invalid_arg "Smith.compute: zero-width matrix";
+  Array.iter
+    (fun r -> if Array.length r <> nn then invalid_arg "Smith.compute: ragged")
+    a;
+  let w = Array.map Array.copy a in
+  let u = identity dd and v = identity nn in
+  let k = ref 0 in
+  let continue_outer = ref true in
+  while !continue_outer && !k < min dd nn do
+    (* Find a pivot: the smallest-magnitude nonzero entry in the
+       remaining submatrix. *)
+    let best = ref None in
+    for i = !k to dd - 1 do
+      for j = !k to nn - 1 do
+        if w.(i).(j) <> 0 then
+          match !best with
+          | Some (_, _, m) when Oint.abs w.(i).(j) >= m -> ()
+          | _ -> best := Some (i, j, Oint.abs w.(i).(j))
+      done
+    done;
+    match !best with
+    | None -> continue_outer := false
+    | Some (pi, pj, _) ->
+      if pi <> !k then begin
+        swap_rows w pi !k;
+        swap_rows u pi !k
+      end;
+      if pj <> !k then begin
+        swap_cols w pj !k;
+        swap_cols v pj !k
+      end;
+      (* Reduce row and column k until the pivot divides everything in
+         its row and column and the rest is zero. *)
+      let clean = ref false in
+      while not !clean do
+        clean := true;
+        for i = !k + 1 to dd - 1 do
+          if w.(i).(!k) <> 0 then begin
+            let q = Oint.fdiv w.(i).(!k) w.(!k).(!k) in
+            addmul_row w ~dst:i ~src:!k (Oint.neg q);
+            addmul_row u ~dst:i ~src:!k (Oint.neg q);
+            if w.(i).(!k) <> 0 then begin
+              (* Remainder smaller than the pivot: promote it. *)
+              swap_rows w i !k;
+              swap_rows u i !k;
+              clean := false
+            end
+          end
+        done;
+        for j = !k + 1 to nn - 1 do
+          if w.(!k).(j) <> 0 then begin
+            let q = Oint.fdiv w.(!k).(j) w.(!k).(!k) in
+            addmul_col w ~dst:j ~src:!k (Oint.neg q);
+            addmul_col v ~dst:j ~src:!k (Oint.neg q);
+            if w.(!k).(j) <> 0 then begin
+              swap_cols w j !k;
+              swap_cols v j !k;
+              clean := false
+            end
+          end
+        done
+      done;
+      (* Enforce the divisibility chain: if some remaining entry is not
+         divisible by the pivot, fold its row in and redo this pivot. *)
+      let offender = ref None in
+      for i = !k + 1 to dd - 1 do
+        for j = !k + 1 to nn - 1 do
+          if !offender = None && w.(i).(j) mod w.(!k).(!k) <> 0 then
+            offender := Some i
+        done
+      done;
+      (match !offender with
+       | Some i ->
+         addmul_row w ~dst:!k ~src:i 1;
+         addmul_row u ~dst:!k ~src:i 1
+       | None ->
+         if w.(!k).(!k) < 0 then begin
+           neg_row w !k;
+           neg_row u !k
+         end;
+         incr k)
+  done;
+  let rank = !k in
+  let divisors = List.init rank (fun i -> w.(i).(i)) in
+  { d = w; left = u; right = v; rank; divisors }
+
+let mul_vec m x =
+  Array.map
+    (fun row ->
+      let acc = ref 0 in
+      Array.iteri (fun j v -> acc := Oint.add !acc (Oint.mul v x.(j))) row;
+      !acc)
+    m
+
+let transformed_rhs t r =
+  if Array.length r <> Array.length t.left then
+    invalid_arg "Smith: rhs dimension mismatch";
+  mul_vec t.left r
+
+let solvable t r =
+  let y = transformed_rhs t r in
+  let ok = ref true in
+  Array.iteri
+    (fun i yi ->
+      if i < t.rank then begin
+        if yi mod t.d.(i).(i) <> 0 then ok := false
+      end
+      else if yi <> 0 then ok := false)
+    y;
+  !ok
+
+let solve t r =
+  if not (solvable t r) then None
+  else begin
+    let n = Array.length t.right in
+    let y = transformed_rhs t r in
+    let z = Array.make n 0 in
+    for i = 0 to t.rank - 1 do
+      z.(i) <- y.(i) / t.d.(i).(i)
+    done;
+    Some (mul_vec t.right z)
+  end

@@ -1,0 +1,29 @@
+(** Smith normal form of integer matrices.
+
+    For any [d × n] integer matrix [A] there are unimodular [U] ([d × d])
+    and [V] ([n × n]) with [U·A·V = D], [D] diagonal with
+    [s_1 | s_2 | ... | s_r] and zeros elsewhere.  The form gives an
+    independent decision procedure for integer solvability of [A·t = r]
+    (each transformed component must be divisible by its invariant
+    factor), used in the test suite to cross-validate
+    {!Intlin.solve}. *)
+
+type t = {
+  d : int array array;      (** the diagonal form, same shape as the input *)
+  left : int array array;   (** unimodular [U] *)
+  right : int array array;  (** unimodular [V] *)
+  rank : int;
+  divisors : int list;      (** the nonzero invariant factors, positive *)
+}
+
+val compute : int array array -> t
+(** Raises [Invalid_argument] on an empty or ragged matrix. *)
+
+val solvable : t -> int array -> bool
+(** [solvable snf r] decides whether [A·t = r] has an integer solution:
+    with [y = U·r], the system is solvable iff [s_i | y_i] for the
+    diagonal entries and [y_i = 0] beyond the rank. *)
+
+val solve : t -> int array -> int array option
+(** An integer particular solution built from the form
+    ([t = V·(y_i / s_i, ..., 0)]), or [None]. *)

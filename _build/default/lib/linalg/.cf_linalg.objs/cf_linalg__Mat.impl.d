@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Cf_rational Format List Option Rat Vec

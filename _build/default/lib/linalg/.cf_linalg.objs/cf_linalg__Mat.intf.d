@@ -1,0 +1,1 @@
+lib/linalg/mat.mli: Cf_rational Format Rat Vec

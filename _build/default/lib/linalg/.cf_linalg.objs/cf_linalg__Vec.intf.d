@@ -1,0 +1,1 @@
+lib/linalg/vec.mli: Cf_rational Format Rat

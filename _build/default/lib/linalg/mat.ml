@@ -1,0 +1,212 @@
+open Cf_rational
+
+type t = Vec.t array
+
+let rows = Array.length
+
+let cols m =
+  if rows m = 0 then invalid_arg "Mat.cols: empty matrix"
+  else Vec.dim m.(0)
+
+let make r c x = Array.init r (fun _ -> Vec.make c x)
+let zero r c = make r c Rat.zero
+
+let identity n =
+  Array.init n (fun i ->
+      Array.init n (fun j -> if i = j then Rat.one else Rat.zero))
+
+let of_int_rows l = Array.of_list (List.map Vec.of_int_list l)
+let of_rows l = Array.of_list (List.map Vec.copy l)
+let to_rows m = Array.to_list (Array.map Vec.copy m)
+let row m i = Vec.copy m.(i)
+let col m j = Array.map (fun r -> r.(j)) m
+
+let transpose m =
+  if rows m = 0 then [||]
+  else Array.init (cols m) (fun j -> col m j)
+
+let copy m = Array.map Vec.copy m
+
+let equal a b =
+  rows a = rows b
+  && (rows a = 0 || Array.for_all2 Vec.equal a b)
+
+let check_same a b =
+  if rows a <> rows b || (rows a > 0 && cols a <> cols b) then
+    invalid_arg "Mat: shape mismatch"
+
+let add a b = check_same a b; Array.map2 Vec.add a b
+let sub a b = check_same a b; Array.map2 Vec.sub a b
+let scale k m = Array.map (Vec.scale k) m
+
+let mul_vec m v = Array.map (fun r -> Vec.dot r v) m
+let mul_int_vec m v = mul_vec m (Vec.of_int_array v)
+
+let mul a b =
+  if rows a > 0 && rows b > 0 && cols a <> rows b then
+    invalid_arg "Mat.mul: shape mismatch";
+  let bt = transpose b in
+  Array.map (fun ra -> Array.map (fun cb -> Vec.dot ra cb) bt) a
+
+type echelon = {
+  rref : t;
+  rank : int;
+  pivots : int array;
+  transform : t;
+}
+
+let rref m =
+  let r = rows m in
+  let work = copy m in
+  let e = ref (identity r) in
+  if r = 0 then { rref = work; rank = 0; pivots = [||]; transform = !e }
+  else begin
+    let c = cols m in
+    let pivots = ref [] in
+    let prow = ref 0 in
+    for j = 0 to c - 1 do
+      if !prow < r then begin
+        (* Find a pivot in column j at or below !prow. *)
+        let k = ref (-1) in
+        (try
+           for i = !prow to r - 1 do
+             if not (Rat.is_zero work.(i).(j)) then begin
+               k := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !k >= 0 then begin
+          let swap arr i i' =
+            let t = arr.(i) in
+            arr.(i) <- arr.(i');
+            arr.(i') <- t
+          in
+          swap work !prow !k;
+          swap !e !prow !k;
+          let inv_p = Rat.inv work.(!prow).(j) in
+          work.(!prow) <- Vec.scale inv_p work.(!prow);
+          !e.(!prow) <- Vec.scale inv_p !e.(!prow);
+          for i = 0 to r - 1 do
+            if i <> !prow && not (Rat.is_zero work.(i).(j)) then begin
+              let f = work.(i).(j) in
+              work.(i) <- Vec.sub work.(i) (Vec.scale f work.(!prow));
+              !e.(i) <- Vec.sub !e.(i) (Vec.scale f !e.(!prow))
+            end
+          done;
+          pivots := j :: !pivots;
+          incr prow
+        end
+      end
+    done;
+    {
+      rref = work;
+      rank = !prow;
+      pivots = Array.of_list (List.rev !pivots);
+      transform = !e;
+    }
+  end
+
+let rank m = (rref m).rank
+
+let kernel m =
+  if rows m = 0 then invalid_arg "Mat.kernel: empty matrix (unknown width)";
+  let c = cols m in
+  let { rref = rr; rank = rk; pivots; _ } = rref m in
+  let is_pivot = Array.make c false in
+  Array.iter (fun j -> is_pivot.(j) <- true) pivots;
+  let free = ref [] in
+  for j = c - 1 downto 0 do
+    if not is_pivot.(j) then free := j :: !free
+  done;
+  let basis_for jfree =
+    let v = Vec.zero c in
+    v.(jfree) <- Rat.one;
+    (* Pivot row i constrains x_{pivots.(i)} = - sum over free cols. *)
+    for i = 0 to rk - 1 do
+      v.(pivots.(i)) <- Rat.neg rr.(i).(jfree)
+    done;
+    v
+  in
+  List.map basis_for !free
+
+let solve m b =
+  if rows m <> Vec.dim b then invalid_arg "Mat.solve: shape mismatch";
+  if rows m = 0 then Some [||]
+  else begin
+    let c = cols m in
+    (* Row reduce the augmented matrix [m | b]. *)
+    let aug =
+      Array.init (rows m) (fun i ->
+          Array.init (c + 1) (fun j -> if j < c then m.(i).(j) else b.(i)))
+    in
+    let { rref = rr; rank = rk; pivots; _ } = rref aug in
+    (* Inconsistent iff some pivot lands in the augmented column. *)
+    if Array.exists (fun j -> j = c) pivots then None
+    else begin
+      let x = Vec.zero c in
+      for i = 0 to rk - 1 do
+        x.(pivots.(i)) <- rr.(i).(c)
+      done;
+      Some x
+    end
+  end
+
+let inverse m =
+  let n = rows m in
+  if n = 0 then Some [||]
+  else if cols m <> n then invalid_arg "Mat.inverse: not square"
+  else
+    let { rank = rk; transform; _ } = rref m in
+    if rk = n then Some transform else None
+
+let det m =
+  let n = rows m in
+  if n = 0 then Rat.one
+  else if cols m <> n then invalid_arg "Mat.det: not square"
+  else begin
+    (* Fraction-free-ish Gaussian elimination tracking the determinant. *)
+    let work = copy m in
+    let d = ref Rat.one in
+    (try
+       for j = 0 to n - 1 do
+         let k = ref (-1) in
+         (try
+            for i = j to n - 1 do
+              if not (Rat.is_zero work.(i).(j)) then begin
+                k := i;
+                raise Exit
+              end
+            done
+          with Exit -> ());
+         if !k < 0 then begin
+           d := Rat.zero;
+           raise Exit
+         end;
+         if !k <> j then begin
+           let t = work.(j) in
+           work.(j) <- work.(!k);
+           work.(!k) <- t;
+           d := Rat.neg !d
+         end;
+         d := Rat.mul !d work.(j).(j);
+         let inv_p = Rat.inv work.(j).(j) in
+         for i = j + 1 to n - 1 do
+           if not (Rat.is_zero work.(i).(j)) then begin
+             let f = Rat.mul work.(i).(j) inv_p in
+             work.(i) <- Vec.sub work.(i) (Vec.scale f work.(j))
+           end
+         done
+       done
+     with Exit -> ());
+    !d
+  end
+
+let is_singular m = Option.is_none (inverse m)
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,")
+       Vec.pp)
+    m

@@ -1,0 +1,67 @@
+(** Dense matrices over the rationals, row-major.
+
+    A matrix is an array of row vectors; the empty matrix with 0 rows is
+    permitted (its column count must then be supplied where it matters). *)
+
+open Cf_rational
+
+type t = Vec.t array
+
+val rows : t -> int
+val cols : t -> int
+(** [cols m] raises [Invalid_argument] on a 0-row matrix (use the calling
+    context's dimension instead). *)
+
+val make : int -> int -> Rat.t -> t
+val zero : int -> int -> t
+val identity : int -> t
+val of_int_rows : int list list -> t
+val of_rows : Vec.t list -> t
+val to_rows : t -> Vec.t list
+val row : t -> int -> Vec.t
+val col : t -> int -> Vec.t
+val transpose : t -> t
+val copy : t -> t
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Rat.t -> t -> t
+val mul : t -> t -> t
+val mul_vec : t -> Vec.t -> Vec.t
+(** [mul_vec m v] is [m · v] (v as a column vector). *)
+
+val mul_int_vec : t -> int array -> Vec.t
+(** [mul_int_vec m v] is [m · v] for an integer vector [v]. *)
+
+type echelon = {
+  rref : t;              (** reduced row echelon form *)
+  rank : int;
+  pivots : int array;    (** pivot column of each of the first [rank] rows *)
+  transform : t;         (** invertible [E] with [E · original = rref] *)
+}
+
+val rref : t -> echelon
+(** Gauss–Jordan elimination with exact arithmetic. *)
+
+val rank : t -> int
+
+val kernel : t -> Vec.t list
+(** [kernel m] is a basis of the right null space \{x | m·x = 0\}, derived
+    from the reduced row echelon form (free-variable parameterization).
+    The empty list means the kernel is trivial. *)
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve m b] is a particular solution [x] of [m·x = b], or [None] when
+    the system is inconsistent. *)
+
+val inverse : t -> t option
+(** [inverse m] for square [m]; [None] when singular. *)
+
+val det : t -> Rat.t
+(** Determinant of a square matrix (fraction-free via rref bookkeeping). *)
+
+val is_singular : t -> bool
+(** True when a square matrix has no inverse. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+
+type t = {
+  ambient : int;
+  basis : Vec.t list; (* rows of a reduced row echelon form, no zero rows *)
+}
+
+let ambient_dim s = s.ambient
+let dim s = List.length s.basis
+let zero n =
+  if n < 0 then invalid_arg "Subspace.zero";
+  { ambient = n; basis = [] }
+
+let canonicalize n vs =
+  let vs = List.filter (fun v -> not (Vec.is_zero v)) vs in
+  List.iter
+    (fun v -> if Vec.dim v <> n then invalid_arg "Subspace: dimension mismatch")
+    vs;
+  match vs with
+  | [] -> { ambient = n; basis = [] }
+  | _ ->
+    let m = Mat.of_rows vs in
+    let { Mat.rref = rr; rank; _ } = Mat.rref m in
+    let basis = ref [] in
+    for i = rank - 1 downto 0 do
+      basis := Vec.copy rr.(i) :: !basis
+    done;
+    { ambient = n; basis = !basis }
+
+let span n vs = canonicalize n vs
+let full n = span n (List.init n (fun i -> Vec.basis n i))
+let basis s = List.map Vec.copy s.basis
+let int_basis s = List.map Vec.clear_denominators s.basis
+
+let mem s v =
+  if Vec.dim v <> s.ambient then invalid_arg "Subspace.mem: dimension mismatch";
+  if Vec.is_zero v then true
+  else if s.basis = [] then false
+  else
+    (* v ∈ span(B) iff rank(B) = rank(B ∪ {v}). *)
+    let b = Mat.of_rows s.basis in
+    let b' = Mat.of_rows (s.basis @ [ v ]) in
+    Mat.rank b = Mat.rank b'
+
+let mem_int s v = mem s (Vec.of_int_array v)
+
+let subset a b =
+  a.ambient = b.ambient && List.for_all (fun v -> mem b v) a.basis
+
+let equal a b = subset a b && subset b a
+
+let join a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace.join: ambient mismatch";
+  canonicalize a.ambient (a.basis @ b.basis)
+
+let join_all n l = List.fold_left join (zero n) l
+let add_vector s v = canonicalize s.ambient (v :: s.basis)
+
+let complement s =
+  if s.basis = [] then full s.ambient
+  else
+    let m = Mat.of_rows s.basis in
+    canonicalize s.ambient (Mat.kernel m)
+
+let meet a b = complement (join (complement a) (complement b))
+
+let coset_key s v =
+  if Vec.dim v <> s.ambient then
+    invalid_arg "Subspace.coset_key: dimension mismatch";
+  let c = complement s in
+  match c.basis with
+  | [] -> [||]
+  | rows -> Array.of_list (List.map (fun r -> Vec.dot r v) rows)
+
+let coset_key_int s v = coset_key s (Vec.of_int_array v)
+let is_full s = dim s = s.ambient
+let is_trivial s = s.basis = []
+
+let pp ppf s =
+  if s.basis = [] then Format.fprintf ppf "span{}"
+  else
+    Format.fprintf ppf "span{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         Vec.pp)
+      s.basis

@@ -1,0 +1,64 @@
+(** Linear subspaces of Q^n represented by a canonical basis.
+
+    The basis is kept in reduced row echelon form, which makes equality,
+    membership and dimension queries trivial and gives every subspace a
+    unique representation.  The ambient dimension is stored explicitly so
+    the zero subspace is representable. *)
+
+type t
+
+val ambient_dim : t -> int
+val dim : t -> int
+
+val zero : int -> t
+(** [zero n] is the trivial subspace \{0\} of Q^n. *)
+
+val full : int -> t
+(** [full n] is Q^n itself. *)
+
+val span : int -> Vec.t list -> t
+(** [span n vs] is the subspace of Q^n spanned by [vs] (zero vectors and
+    linear dependencies are tolerated).  Raises [Invalid_argument] when a
+    vector's dimension differs from [n]. *)
+
+val basis : t -> Vec.t list
+(** Canonical (rref) basis; empty for the trivial subspace. *)
+
+val int_basis : t -> int array list
+(** Basis scaled to primitive integer vectors (gcd of entries = 1). *)
+
+val mem : t -> Vec.t -> bool
+val mem_int : t -> int array -> bool
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] is true when [a ⊆ b]. *)
+
+val join : t -> t -> t
+(** [join a b] is the smallest subspace containing both, i.e.
+    span(basis a ∪ basis b). *)
+
+val join_all : int -> t list -> t
+
+val meet : t -> t -> t
+(** [meet a b] is the intersection [a ∩ b] (computed as the complement
+    of the join of complements). *)
+
+val add_vector : t -> Vec.t -> t
+
+val complement : t -> t
+(** [complement s] is the orthogonal complement of [s] in Q^n:
+    \{x | ∀ v ∈ s, v·x = 0\}.  [dim (complement s) = n - dim s]. *)
+
+val coset_key : t -> Vec.t -> Vec.t
+(** [coset_key s v] is a canonical label of the coset [v + s]: the product
+    [B·v] where [B]'s rows form the canonical basis of [complement s].
+    Two vectors receive equal keys iff their difference lies in [s]. *)
+
+val coset_key_int : t -> int array -> Vec.t
+
+val is_full : t -> bool
+val is_trivial : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [span{(1, 1), (0, 1/2)}]. *)

@@ -1,0 +1,87 @@
+open Cf_rational
+
+type t = Rat.t array
+
+let dim = Array.length
+let make n x = Array.make n x
+let zero n = make n Rat.zero
+let of_int_array a = Array.map Rat.of_int a
+let of_int_list l = of_int_array (Array.of_list l)
+let of_list l = Array.of_list l
+let to_list = Array.to_list
+
+let basis n i =
+  if i < 0 || i >= n then invalid_arg "Vec.basis";
+  Array.init n (fun j -> if j = i then Rat.one else Rat.zero)
+
+let copy = Array.copy
+
+let check_dim a b =
+  if dim a <> dim b then invalid_arg "Vec: dimension mismatch"
+
+let map2 f a b =
+  check_dim a b;
+  Array.init (dim a) (fun i -> f a.(i) b.(i))
+
+let add a b = map2 Rat.add a b
+let sub a b = map2 Rat.sub a b
+let neg a = Array.map Rat.neg a
+let scale k a = Array.map (Rat.mul k) a
+
+let dot a b =
+  check_dim a b;
+  let acc = ref Rat.zero in
+  for i = 0 to dim a - 1 do
+    acc := Rat.add !acc (Rat.mul a.(i) b.(i))
+  done;
+  !acc
+
+let equal a b = dim a = dim b && Array.for_all2 Rat.equal a b
+
+let compare a b =
+  check_dim a b;
+  let rec go i =
+    if i = dim a then 0
+    else
+      let c = Rat.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let is_zero a = Array.for_all Rat.is_zero a
+let is_integer a = Array.for_all Rat.is_integer a
+
+let to_int_exn a =
+  if not (is_integer a) then invalid_arg "Vec.to_int_exn: non-integer entry";
+  Array.map Rat.to_int_exn a
+
+let first_nonzero a =
+  let rec go i =
+    if i = dim a then None
+    else if not (Rat.is_zero a.(i)) then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lex_sign a =
+  match first_nonzero a with None -> 0 | Some i -> Rat.sign a.(i)
+
+let clear_denominators v =
+  let l = Array.fold_left (fun acc x -> Oint.lcm acc (Rat.den x)) 1 v in
+  let ints = Array.map (fun x -> Rat.to_int_exn (Rat.mul (Rat.of_int l) x)) v in
+  let g = Array.fold_left Oint.gcd 0 ints in
+  if g = 0 then ints else Array.map (fun x -> x / g) ints
+
+let pp ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Rat.pp)
+    v
+
+let pp_int ppf v =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Format.pp_print_int)
+    v

@@ -1,0 +1,56 @@
+(** Dense vectors over the rationals.
+
+    A vector is an immutable-by-convention [Rat.t array]; functions here
+    never mutate their arguments and always return fresh arrays. *)
+
+open Cf_rational
+
+type t = Rat.t array
+
+val dim : t -> int
+val make : int -> Rat.t -> t
+val zero : int -> t
+val of_int_array : int array -> t
+val of_int_list : int list -> t
+val of_list : Rat.t list -> t
+val to_list : t -> Rat.t list
+val basis : int -> int -> t
+(** [basis n i] is the [i]-th standard basis vector of dimension [n]
+    (0-indexed).  Raises [Invalid_argument] if [i] is out of range. *)
+
+val copy : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val dot : t -> t -> Rat.t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic comparison; vectors must have equal dimension. *)
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+(** True when every component is an integer. *)
+
+val to_int_exn : t -> int array
+(** Raises [Invalid_argument] when some component is not an integer. *)
+
+val map2 : (Rat.t -> Rat.t -> Rat.t) -> t -> t -> t
+val first_nonzero : t -> int option
+(** Index of the leading (first) nonzero component, if any. *)
+
+val lex_sign : t -> int
+(** Sign of the leading nonzero component; [0] for the zero vector.
+    A vector is lexicographically positive iff [lex_sign v > 0]. *)
+
+val clear_denominators : t -> int array
+(** [clear_denominators v] is the integer vector [l * v] where [l] is the
+    least common multiple of the denominators, further divided by the gcd
+    of its entries so the result is primitive (gcd 1).  The zero vector
+    maps to the zero integer vector. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(a, b, c)]. *)
+
+val pp_int : Format.formatter -> int array -> unit
+(** Prints an integer vector as [(a, b, c)]. *)

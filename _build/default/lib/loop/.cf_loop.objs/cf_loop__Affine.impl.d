@@ -1,0 +1,1 @@
+lib/loop/affine.ml: Array Cf_rational Format List Oint Printf Stdlib String

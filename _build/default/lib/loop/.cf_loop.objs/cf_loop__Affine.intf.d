@@ -1,0 +1,1 @@
+lib/loop/affine.mli: Format

@@ -1,0 +1,1 @@
+lib/loop/aref.ml: Affine Array Format Stdlib

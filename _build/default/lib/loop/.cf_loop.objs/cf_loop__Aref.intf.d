@@ -1,0 +1,1 @@
+lib/loop/aref.mli: Affine Format

@@ -1,0 +1,1 @@
+lib/loop/expr.ml: Aref Format List

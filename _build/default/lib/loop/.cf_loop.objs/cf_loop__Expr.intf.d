@@ -1,0 +1,1 @@
+lib/loop/expr.mli: Aref Format

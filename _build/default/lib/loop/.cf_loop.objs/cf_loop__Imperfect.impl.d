@@ -1,0 +1,1 @@
+lib/loop/imperfect.ml: Affine Format List Nest Printf Stmt String

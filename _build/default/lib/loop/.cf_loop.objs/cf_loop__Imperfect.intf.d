@@ -1,0 +1,1 @@
+lib/loop/imperfect.mli: Affine Format Nest Stmt

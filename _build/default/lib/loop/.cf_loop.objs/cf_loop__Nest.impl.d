@@ -1,0 +1,1 @@
+lib/loop/nest.ml: Affine Aref Array Format Hashtbl List Printf Stmt String

@@ -1,0 +1,1 @@
+lib/loop/nest.mli: Affine Aref Format Stmt

@@ -1,0 +1,1 @@
+lib/loop/parse.ml: Affine Aref Array Expr Imperfect List Nest Printf Stmt String

@@ -1,0 +1,1 @@
+lib/loop/parse.mli: Imperfect Nest

@@ -1,0 +1,1 @@
+lib/loop/stmt.ml: Aref Expr Format

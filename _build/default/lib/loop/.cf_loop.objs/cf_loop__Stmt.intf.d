@@ -1,0 +1,1 @@
+lib/loop/stmt.mli: Aref Expr Format

@@ -1,0 +1,113 @@
+open Cf_rational
+
+type t = { terms : (string * int) list; const : int }
+(* [terms] sorted by variable name, coefficients nonzero. *)
+
+let const c = { terms = []; const = c }
+let zero = const 0
+let term a v = if a = 0 then zero else { terms = [ (v, a) ]; const = 0 }
+let var v = term 1 v
+
+let merge f ta tb =
+  (* Merge two sorted term lists combining coefficients with [f]. *)
+  let rec go ta tb =
+    match (ta, tb) with
+    | [], rest -> List.filter_map (fun (v, b) -> let c = f 0 b in
+                                    if c = 0 then None else Some (v, c)) rest
+    | rest, [] -> List.filter_map (fun (v, a) -> let c = f a 0 in
+                                    if c = 0 then None else Some (v, c)) rest
+    | (va, a) :: ta', (vb, b) :: tb' ->
+      let cmp = String.compare va vb in
+      if cmp < 0 then
+        let c = f a 0 in
+        if c = 0 then go ta' tb else (va, c) :: go ta' tb
+      else if cmp > 0 then
+        let c = f 0 b in
+        if c = 0 then go ta tb' else (vb, c) :: go ta tb'
+      else
+        let c = f a b in
+        if c = 0 then go ta' tb' else (va, c) :: go ta' tb'
+  in
+  go ta tb
+
+let add a b =
+  { terms = merge Oint.add a.terms b.terms; const = Oint.add a.const b.const }
+
+let neg a =
+  {
+    terms = List.map (fun (v, c) -> (v, Oint.neg c)) a.terms;
+    const = Oint.neg a.const;
+  }
+
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0 then zero
+  else
+    {
+      terms = List.map (fun (v, c) -> (v, Oint.mul k c)) a.terms;
+      const = Oint.mul k a.const;
+    }
+
+let equal a b = a = b
+let compare = Stdlib.compare
+let constant_part a = a.const
+let coeff a v = match List.assoc_opt v a.terms with Some c -> c | None -> 0
+let coeffs a = a.terms
+let vars a = List.map fst a.terms
+let is_constant a = a.terms = []
+let to_constant a = if is_constant a then Some a.const else None
+
+let eval env a =
+  List.fold_left
+    (fun acc (v, c) -> Oint.add acc (Oint.mul c (env v)))
+    a.const a.terms
+
+let substitute f a =
+  List.fold_left
+    (fun acc (v, c) ->
+      match f v with
+      | Some e -> add acc (scale c e)
+      | None -> add acc (term c v))
+    (const a.const) a.terms
+
+let coeff_vector order a =
+  let n = Array.length order in
+  let out = Array.make n 0 in
+  List.iter
+    (fun (v, c) ->
+      let rec find k =
+        if k = n then
+          invalid_arg
+            (Printf.sprintf "Affine.coeff_vector: unknown variable %s" v)
+        else if String.equal order.(k) v then out.(k) <- c
+        else find (k + 1)
+      in
+      find 0)
+    a.terms;
+  (out, a.const)
+
+let of_coeff_vector order a c =
+  if Array.length order <> Array.length a then
+    invalid_arg "Affine.of_coeff_vector: shape mismatch";
+  let e = ref (const c) in
+  Array.iteri (fun k v -> e := add !e (term a.(k) v)) order;
+  !e
+
+let pp ppf a =
+  let pp_term ppf ~first (v, c) =
+    if c >= 0 && not first then Format.fprintf ppf " + "
+    else if c < 0 then Format.fprintf ppf (if first then "-" else " - ");
+    let m = Stdlib.abs c in
+    if m = 1 then Format.fprintf ppf "%s" v
+    else Format.fprintf ppf "%d*%s" m v
+  in
+  match a.terms with
+  | [] -> Format.fprintf ppf "%d" a.const
+  | first_term :: rest ->
+    pp_term ppf ~first:true first_term;
+    List.iter (fun t -> pp_term ppf ~first:false t) rest;
+    if a.const > 0 then Format.fprintf ppf " + %d" a.const
+    else if a.const < 0 then Format.fprintf ppf " - %d" (Stdlib.abs a.const)
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,49 @@
+(** Affine integer expressions over named index variables.
+
+    An affine expression is [c + Σ a_v · v] for integer coefficients.
+    The representation is canonical (coefficients sorted by variable name,
+    zero coefficients dropped), so structural equality coincides with
+    semantic equality. *)
+
+type t
+
+val const : int -> t
+val var : string -> t
+val term : int -> string -> t
+(** [term a v] is [a·v]. *)
+
+val zero : t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val constant_part : t -> int
+val coeff : t -> string -> int
+val coeffs : t -> (string * int) list
+(** Variable/coefficient pairs, sorted by variable name, no zeros. *)
+
+val vars : t -> string list
+val is_constant : t -> bool
+val to_constant : t -> int option
+
+val eval : (string -> int) -> t -> int
+(** [eval env e]; [env] raises for unknown variables. *)
+
+val substitute : (string -> t option) -> t -> t
+(** [substitute f e] replaces every variable [v] with [f v] when it is
+    [Some]; variables mapped to [None] are kept. *)
+
+val coeff_vector : string array -> t -> int array * int
+(** [coeff_vector order e] is [(a, c)] where [a.(k)] is the coefficient of
+    [order.(k)] and [c] the constant part.  Raises [Invalid_argument] when
+    [e] mentions a variable outside [order]. *)
+
+val of_coeff_vector : string array -> int array -> int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [2*i - j + 1]. *)
+
+val to_string : t -> string

@@ -1,0 +1,22 @@
+type t = { array : string; subscripts : Affine.t array }
+
+let make array subs =
+  if subs = [] then invalid_arg "Aref.make: no subscripts";
+  { array; subscripts = Array.of_list subs }
+
+let dim r = Array.length r.subscripts
+let equal a b = a.array = b.array && a.subscripts = b.subscripts
+let compare = Stdlib.compare
+
+let matrix order r =
+  let rows = Array.map (fun e -> Affine.coeff_vector order e) r.subscripts in
+  (Array.map fst rows, Array.map snd rows)
+
+let eval env r = Array.map (Affine.eval env) r.subscripts
+
+let pp ppf r =
+  Format.fprintf ppf "%s[%a]" r.array
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Affine.pp)
+    r.subscripts

@@ -1,0 +1,23 @@
+(** Array references [A[e_1, ..., e_d]] with affine subscripts.
+
+    Relative to an ordered list of loop indices, a reference determines
+    the paper's pair [(H, c̄)]: subscript [e_p] contributes row [p] of the
+    [d × n] reference matrix [H] and component [p] of the constant offset
+    vector [c̄]. *)
+
+type t = { array : string; subscripts : Affine.t array }
+
+val make : string -> Affine.t list -> t
+val dim : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val matrix : string array -> t -> int array array * int array
+(** [matrix index_order r] is [(H, c)].  Raises [Invalid_argument] when a
+    subscript mentions a variable outside [index_order]. *)
+
+val eval : (string -> int) -> t -> int array
+(** Subscript values at a given iteration/environment. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [A[2*i, j - 1]]. *)

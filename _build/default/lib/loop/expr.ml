@@ -1,0 +1,57 @@
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of int
+  | Scalar of string
+  | Index of string
+  | Read of Aref.t
+  | Binop of binop * t * t
+
+let rec reads = function
+  | Const _ | Scalar _ | Index _ -> []
+  | Read r -> [ r ]
+  | Binop (_, a, b) -> reads a @ reads b
+
+let scalars e =
+  let rec go acc = function
+    | Const _ | Index _ | Read _ -> acc
+    | Scalar s -> if List.mem s acc then acc else s :: acc
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] e)
+
+let rec eval ~read ~scalar ~index = function
+  | Const c -> c
+  | Scalar s -> scalar s
+  | Index v -> index v
+  | Read r -> read r
+  | Binop (op, a, b) ->
+    let va = eval ~read ~scalar ~index a
+    and vb = eval ~read ~scalar ~index b in
+    (match op with
+     | Add -> va + vb
+     | Sub -> va - vb
+     | Mul -> va * vb
+     | Div -> va / vb)
+
+let prec = function Add | Sub -> 1 | Mul | Div -> 2
+let op_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let pp ppf e =
+  let rec go ppf ~ctx e =
+    match e with
+    | Const c -> Format.fprintf ppf "%d" c
+    | Scalar s | Index s -> Format.fprintf ppf "%s" s
+    | Read r -> Aref.pp ppf r
+    | Binop (op, a, b) ->
+      let p = prec op in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (fun ppf -> go ppf ~ctx:p) a
+          (op_string op)
+          (fun ppf -> go ppf ~ctx:(p + 1))
+          b
+      in
+      if p < ctx then Format.fprintf ppf "(%a)" body ()
+      else body ppf ()
+  in
+  go ppf ~ctx:0 e

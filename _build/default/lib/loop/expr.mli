@@ -1,0 +1,27 @@
+(** Right-hand-side scalar expressions of loop-body statements. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of int
+  | Scalar of string  (** free scalar variable, e.g. the paper's [D], [G] *)
+  | Index of string   (** a loop index used as a value *)
+  | Read of Aref.t    (** array element read *)
+  | Binop of binop * t * t
+
+val reads : t -> Aref.t list
+(** All array reads, left to right, duplicates preserved. *)
+
+val scalars : t -> string list
+(** Free scalar variables, each listed once. *)
+
+val eval :
+  read:(Aref.t -> int) ->
+  scalar:(string -> int) ->
+  index:(string -> int) ->
+  t ->
+  int
+(** Integer evaluation; [Div] is truncating division as in the source
+    language and raises [Division_by_zero] accordingly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,106 @@
+type item =
+  | Statement of Stmt.t
+  | Loop of loop
+
+and loop = {
+  var : string;
+  lower : Affine.t;
+  upper : Affine.t;
+  body : item list;
+}
+
+let rec validate_loop outer l =
+  if l.body = [] then invalid_arg "Imperfect: empty loop body";
+  if List.mem l.var outer then
+    invalid_arg (Printf.sprintf "Imperfect: duplicate index %s" l.var);
+  let check e =
+    List.iter
+      (fun v ->
+        if not (List.mem v outer) then
+          invalid_arg
+            (Printf.sprintf
+               "Imperfect: bound of %s mentions non-outer index %s" l.var v))
+      (Affine.vars e)
+  in
+  check l.lower;
+  check l.upper;
+  let inner = outer @ [ l.var ] in
+  List.iter
+    (function
+      | Statement _ -> ()
+      | Loop l' -> validate_loop inner l')
+    l.body
+
+let validate l = validate_loop [] l
+
+let rec is_perfect l =
+  match l.body with
+  | [ Loop l' ] -> is_perfect l'
+  | items -> List.for_all (function Statement _ -> true | Loop _ -> false) items
+
+let rec statements l =
+  List.concat_map
+    (function Statement s -> [ s ] | Loop l' -> statements l')
+    l.body
+
+let level_of l = { Nest.var = l.var; lower = l.lower; upper = l.upper }
+
+let to_nest l =
+  validate l;
+  let rec go levels l =
+    let levels = levels @ [ level_of l ] in
+    match l.body with
+    | [ Loop l' ] -> go levels l'
+    | items ->
+      let stmts =
+        List.map
+          (function
+            | Statement s -> s
+            | Loop _ -> invalid_arg "Imperfect.to_nest: nest is not perfect")
+          items
+      in
+      Nest.make levels stmts
+  in
+  go [] l
+
+let distribute l =
+  validate l;
+  (* Maximal segments: consecutive statements coalesce into one perfect
+     nest at the current depth; each inner loop recurses on its own. *)
+  let out = ref [] in
+  let emit levels stmts =
+    match stmts with
+    | [] -> ()
+    | _ -> out := Nest.make levels (List.rev stmts) :: !out
+  in
+  let rec go levels l =
+    let levels = levels @ [ level_of l ] in
+    let pending = ref [] in
+    List.iter
+      (function
+        | Statement s -> pending := s :: !pending
+        | Loop l' ->
+          emit levels !pending;
+          pending := [];
+          go levels l')
+      l.body;
+    emit levels !pending
+  in
+  go [] l;
+  List.rev !out
+
+let pp ppf l =
+  let rec go indent l =
+    let pad = String.make (2 * indent) ' ' in
+    Format.fprintf ppf "%sfor %s = %a to %a@," pad l.var Affine.pp l.lower
+      Affine.pp l.upper;
+    List.iter
+      (function
+        | Statement s ->
+          Format.fprintf ppf "%s%a@," (String.make (2 * (indent + 1)) ' ')
+            Stmt.pp s
+        | Loop l' -> go (indent + 1) l')
+      l.body;
+    Format.fprintf ppf "%send@," pad
+  in
+  go 0 l

@@ -1,0 +1,42 @@
+(** Imperfect loop nests and loop distribution.
+
+    The paper's model is a perfect nest — all statements at the
+    innermost level.  Real programs interleave statements with inner
+    loops; the classical way into the model is {e loop distribution}:
+    split each body into maximal segments and give each its own perfect
+    nest.  Distribution reorders execution (an earlier nest finishes
+    before a later one starts), so it is a {e candidate} transformation;
+    {!Cf_frontend.Distribution.preserves} checks its legality exactly by
+    interpretation. *)
+
+type item =
+  | Statement of Stmt.t
+  | Loop of loop
+
+and loop = {
+  var : string;
+  lower : Affine.t;
+  upper : Affine.t;
+  body : item list;  (** non-empty *)
+}
+
+val validate : loop -> unit
+(** Checks index scoping and non-empty bodies.
+    Raises [Invalid_argument] otherwise. *)
+
+val is_perfect : loop -> bool
+(** True when every level holds either exactly one inner loop or only
+    statements. *)
+
+val to_nest : loop -> Nest.t
+(** Direct conversion of a perfect loop.
+    Raises [Invalid_argument] when {!is_perfect} is false. *)
+
+val distribute : loop -> Nest.t list
+(** The perfect nests obtained by maximal-segment loop distribution, in
+    textual order.  A perfect input yields a single nest. *)
+
+val statements : loop -> Stmt.t list
+(** All statements in textual order. *)
+
+val pp : Format.formatter -> loop -> unit

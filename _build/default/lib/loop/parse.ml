@@ -1,0 +1,494 @@
+exception Error of string
+
+type token =
+  | Tint of int
+  | Tident of string
+  | Tfor
+  | Tto
+  | Tend
+  | Tassign (* := or = *)
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tslash
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tcomma
+  | Tsemi
+  | Tcolon
+  | Teof
+
+let token_to_string = function
+  | Tint n -> string_of_int n
+  | Tident s -> s
+  | Tfor -> "for"
+  | Tto -> "to"
+  | Tend -> "end"
+  | Tassign -> ":="
+  | Tplus -> "+"
+  | Tminus -> "-"
+  | Tstar -> "*"
+  | Tslash -> "/"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tcomma -> ","
+  | Tsemi -> ";"
+  | Tcolon -> ":"
+  | Teof -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let push t = tokens := (t, !line) :: !tokens in
+  let i = ref 0 in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      push (Tint (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      (match word with
+       | "for" | "forall" -> push Tfor
+       | "to" -> push Tto
+       | "end" -> push Tend
+       | _ -> push (Tident word));
+      i := !j
+    end
+    else begin
+      (match c with
+       | ':' when !i + 1 < n && src.[!i + 1] = '=' ->
+         push Tassign;
+         incr i
+       | ':' -> push Tcolon
+       | '=' -> push Tassign
+       | '+' -> push Tplus
+       | '-' -> push Tminus
+       | '*' -> push Tstar
+       | '/' -> push Tslash
+       | '(' -> push Tlparen
+       | ')' -> push Trparen
+       | '[' -> push Tlbracket
+       | ']' -> push Trbracket
+       | ',' -> push Tcomma
+       | ';' -> push Tsemi
+       | c -> fail (Printf.sprintf "unexpected character %C" c));
+      incr i
+    end
+  done;
+  push Teof;
+  Array.of_list (List.rev !tokens)
+
+type state = { tokens : (token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then fst st.tokens.(st.pos + 1)
+  else Teof
+
+let line_of st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Error
+       (Printf.sprintf "line %d: %s (at %S)" (line_of st) msg
+          (token_to_string (peek st))))
+
+let expect st t =
+  if peek st = t then advance st
+  else fail st (Printf.sprintf "expected %S" (token_to_string t))
+
+let ident st =
+  match peek st with
+  | Tident s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+(* Expression grammar, shared by bounds (restricted to affine afterwards)
+   and statement right-hand sides.  [loop_vars] distinguishes index reads
+   from free scalars. *)
+let rec parse_expr st loop_vars =
+  let lhs = parse_term st loop_vars in
+  parse_expr_rest st loop_vars lhs
+
+and parse_expr_rest st loop_vars lhs =
+  match peek st with
+  | Tplus ->
+    advance st;
+    let rhs = parse_term st loop_vars in
+    parse_expr_rest st loop_vars (Expr.Binop (Expr.Add, lhs, rhs))
+  | Tminus ->
+    advance st;
+    let rhs = parse_term st loop_vars in
+    parse_expr_rest st loop_vars (Expr.Binop (Expr.Sub, lhs, rhs))
+  | _ -> lhs
+
+and parse_term st loop_vars =
+  let lhs = parse_factor st loop_vars in
+  parse_term_rest st loop_vars lhs
+
+and parse_term_rest st loop_vars lhs =
+  match peek st with
+  | Tstar ->
+    advance st;
+    let rhs = parse_factor st loop_vars in
+    parse_term_rest st loop_vars (Expr.Binop (Expr.Mul, lhs, rhs))
+  | Tslash ->
+    advance st;
+    let rhs = parse_factor st loop_vars in
+    parse_term_rest st loop_vars (Expr.Binop (Expr.Div, lhs, rhs))
+  | _ -> lhs
+
+and parse_factor st loop_vars =
+  match peek st with
+  | Tint n ->
+    advance st;
+    Expr.Const n
+  | Tminus ->
+    advance st;
+    let e = parse_factor st loop_vars in
+    (match e with
+     | Expr.Const n -> Expr.Const (-n)
+     | e -> Expr.Binop (Expr.Sub, Expr.Const 0, e))
+  | Tlparen ->
+    advance st;
+    let e = parse_expr st loop_vars in
+    expect st Trparen;
+    e
+  | Tident name ->
+    advance st;
+    if peek st = Tlbracket then begin
+      advance st;
+      let subs = parse_subscripts st loop_vars in
+      expect st Trbracket;
+      Expr.Read (Aref.make name subs)
+    end
+    else if List.mem name loop_vars then Expr.Index name
+    else Expr.Scalar name
+  | _ -> fail st "expected expression"
+
+and parse_subscripts st loop_vars =
+  let first = affine_of_expr st (parse_expr st loop_vars) in
+  let rec more acc =
+    if peek st = Tcomma then begin
+      advance st;
+      let e = affine_of_expr st (parse_expr st loop_vars) in
+      more (e :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+and affine_of_expr st e =
+  let rec go = function
+    | Expr.Const c -> Affine.const c
+    | Expr.Index v -> Affine.var v
+    | Expr.Scalar v ->
+      fail st (Printf.sprintf "non-index variable %s in affine position" v)
+    | Expr.Read _ -> fail st "array reference in affine position"
+    | Expr.Binop (Expr.Add, a, b) -> Affine.add (go a) (go b)
+    | Expr.Binop (Expr.Sub, a, b) -> Affine.sub (go a) (go b)
+    | Expr.Binop (Expr.Mul, a, b) -> (
+      match (a, b) with
+      | Expr.Const k, e | e, Expr.Const k -> Affine.scale k (go e)
+      | _ -> fail st "non-linear subscript")
+    | Expr.Binop (Expr.Div, _, _) -> fail st "division in affine position"
+  in
+  go e
+
+(* Step normalization: `for i = lo to hi step s` is rewritten to the
+   paper's unit-step model with i = lo + s*(i' - 1), i' = 1 .. count.
+   Constant bounds are required (the iteration count floor((hi-lo)/s)+1
+   is not affine otherwise). *)
+let expr_of_affine e =
+  let acc =
+    List.fold_left
+      (fun acc (v, c) ->
+        let term =
+          if c = 1 then Expr.Index v
+          else Expr.Binop (Expr.Mul, Expr.Const c, Expr.Index v)
+        in
+        match acc with
+        | None -> Some term
+        | Some a -> Some (Expr.Binop (Expr.Add, a, term)))
+      None (Affine.coeffs e)
+  in
+  let c = Affine.constant_part e in
+  match acc with
+  | None -> Expr.Const c
+  | Some a ->
+    if c = 0 then a
+    else if c > 0 then Expr.Binop (Expr.Add, a, Expr.Const c)
+    else Expr.Binop (Expr.Sub, a, Expr.Const (-c))
+
+let subst_affine var repl e =
+  Affine.substitute (fun v -> if String.equal v var then Some repl else None) e
+
+let rec subst_expr var repl =
+  let repl_expr = expr_of_affine repl in
+  function
+  | Expr.Index v when String.equal v var -> repl_expr
+  | (Expr.Index _ | Expr.Const _ | Expr.Scalar _) as e -> e
+  | Expr.Read r -> Expr.Read (subst_aref var repl r)
+  | Expr.Binop (op, a, b) ->
+    Expr.Binop (op, subst_expr var repl a, subst_expr var repl b)
+
+and subst_aref var repl (r : Aref.t) =
+  Aref.make r.Aref.array
+    (List.map (subst_affine var repl) (Array.to_list r.Aref.subscripts))
+
+let subst_stmt var repl (s : Stmt.t) =
+  Stmt.make ~label:s.label (subst_aref var repl s.lhs)
+    (subst_expr var repl s.rhs)
+
+(* Parse an optional `step K` clause; returns the normalized (lower,
+   upper, substitution) triple for the loop variable. *)
+let parse_step st v lower upper =
+  match peek st with
+  | Tident "step" ->
+    advance st;
+    let s =
+      match peek st with
+      | Tint n when n >= 1 ->
+        advance st;
+        n
+      | _ -> fail st "expected a positive step constant"
+    in
+    if s = 1 then (lower, upper, None)
+    else begin
+      match (Affine.to_constant lower, Affine.to_constant upper) with
+      | Some lo, Some hi ->
+        let count = if hi < lo then 0 else ((hi - lo) / s) + 1 in
+        (* i = lo + s*(i' - 1) = (lo - s) + s*i' *)
+        let repl =
+          Affine.add (Affine.const (lo - s)) (Affine.term s v)
+        in
+        (Affine.const 1, Affine.const count, Some repl)
+      | _ -> fail st "step requires constant loop bounds"
+    end
+  | _ -> (lower, upper, None)
+
+let parse_stmt st loop_vars =
+  let label =
+    match (peek st, peek2 st) with
+    | Tident l, Tcolon ->
+      advance st;
+      advance st;
+      l
+    | _ -> ""
+  in
+  let name = ident st in
+  expect st Tlbracket;
+  let subs = parse_subscripts st loop_vars in
+  expect st Trbracket;
+  expect st Tassign;
+  let rhs = parse_expr st loop_vars in
+  expect st Tsemi;
+  Stmt.make ~label (Aref.make name subs) rhs
+
+(* Array-bounds declarations: array A[0:8, 0:4]; -- only before a nest,
+   where statements cannot occur, so the contextual keyword is safe. *)
+let parse_signed_int st =
+  match peek st with
+  | Tminus ->
+    advance st;
+    (match peek st with
+     | Tint n ->
+       advance st;
+       -n
+     | _ -> fail st "expected integer")
+  | Tint n ->
+    advance st;
+    n
+  | _ -> fail st "expected integer"
+
+let parse_declarations st =
+  let decls = ref [] in
+  let continue_decls = ref true in
+  while !continue_decls do
+    match peek st with
+    | Tident "array" ->
+      advance st;
+      let name = ident st in
+      expect st Tlbracket;
+      let ranges = ref [] in
+      let parse_range () =
+        let lo = parse_signed_int st in
+        expect st Tcolon;
+        let hi = parse_signed_int st in
+        ranges := (lo, hi) :: !ranges
+      in
+      parse_range ();
+      while peek st = Tcomma do
+        advance st;
+        parse_range ()
+      done;
+      expect st Trbracket;
+      expect st Tsemi;
+      decls := (name, Array.of_list (List.rev !ranges)) :: !decls
+    | _ -> continue_decls := false
+  done;
+  List.rev !decls
+
+let rec parse_for st loop_vars =
+  expect st Tfor;
+  let v = ident st in
+  expect st Tassign;
+  let lower = affine_of_expr st (parse_expr st loop_vars) in
+  expect st Tto;
+  let upper = affine_of_expr st (parse_expr st loop_vars) in
+  let lower, upper, repl = parse_step st v lower upper in
+  let loop_vars = loop_vars @ [ v ] in
+  let level = { Nest.var = v; lower; upper } in
+  let levels, body =
+    match peek st with
+    | Tfor ->
+      let levels, body = parse_for st loop_vars in
+      expect st Tend;
+      (level :: levels, body)
+    | _ ->
+      let body = ref [] in
+      while peek st <> Tend do
+        body := parse_stmt st loop_vars :: !body
+      done;
+      expect st Tend;
+      ([ level ], List.rev !body)
+  in
+  match repl with
+  | None -> (levels, body)
+  | Some repl ->
+    (* Rewrite everything below this level: inner bounds and the body. *)
+    let levels =
+      List.map
+        (fun (l : Nest.level) ->
+          if String.equal l.var v then l
+          else
+            {
+              l with
+              Nest.lower = subst_affine v repl l.Nest.lower;
+              upper = subst_affine v repl l.Nest.upper;
+            })
+        levels
+    in
+    (levels, List.map (subst_stmt v repl) body)
+
+(* Imperfect nests: statements may appear before, between and after
+   inner loops.  Used by the loop-distribution front end. *)
+let rec subst_item var repl = function
+  | Imperfect.Statement s -> Imperfect.Statement (subst_stmt var repl s)
+  | Imperfect.Loop l ->
+    Imperfect.Loop
+      {
+        l with
+        Imperfect.lower = subst_affine var repl l.Imperfect.lower;
+        upper = subst_affine var repl l.Imperfect.upper;
+        body = List.map (subst_item var repl) l.Imperfect.body;
+      }
+
+let rec parse_imperfect_loop st loop_vars =
+  expect st Tfor;
+  let v = ident st in
+  expect st Tassign;
+  let lower = affine_of_expr st (parse_expr st loop_vars) in
+  expect st Tto;
+  let upper = affine_of_expr st (parse_expr st loop_vars) in
+  let lower, upper, repl = parse_step st v lower upper in
+  let loop_vars = loop_vars @ [ v ] in
+  let items = ref [] in
+  while peek st <> Tend do
+    if peek st = Tfor then
+      items := Imperfect.Loop (parse_imperfect_loop st loop_vars) :: !items
+    else items := Imperfect.Statement (parse_stmt st loop_vars) :: !items
+  done;
+  expect st Tend;
+  let body = List.rev !items in
+  let body =
+    match repl with
+    | None -> body
+    | Some repl -> List.map (subst_item v repl) body
+  in
+  { Imperfect.var = v; lower; upper; body }
+
+let imperfect src =
+  let st = { tokens = tokenize src; pos = 0 } in
+  let l = parse_imperfect_loop st [] in
+  if peek st <> Teof then fail st "trailing input after loop nest";
+  Imperfect.validate l;
+  l
+
+let nest src =
+  let st = { tokens = tokenize src; pos = 0 } in
+  let declarations = parse_declarations st in
+  let levels, body = parse_for st [] in
+  if peek st <> Teof then fail st "trailing input after loop nest";
+  Nest.make ~declarations levels body
+
+let program src =
+  let st = { tokens = tokenize src; pos = 0 } in
+  let rec go declarations acc =
+    (* Declarations accumulate: earlier ones stay in force for the
+       following nests of the compilation unit. *)
+    let declarations = declarations @ parse_declarations st in
+    let levels, body = parse_for st [] in
+    let nest_declarations =
+      let arrays =
+        List.sort_uniq String.compare
+          (List.map
+             (fun (s : Stmt.t) -> s.lhs.Aref.array)
+             body
+           @ List.concat_map
+               (fun (s : Stmt.t) ->
+                 List.map (fun (r : Aref.t) -> r.Aref.array) (Stmt.reads s))
+               body)
+      in
+      List.filter (fun (a, _) -> List.mem a arrays) declarations
+    in
+    let acc = Nest.make ~declarations:nest_declarations levels body :: acc in
+    if peek st = Teof then List.rev acc
+    else go declarations acc
+  in
+  if peek st = Teof then raise (Error "empty program: expected a loop nest");
+  go [] []
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let nest_of_file path = nest (read_file path)
+let program_of_file path = program (read_file path)

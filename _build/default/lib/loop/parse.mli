@@ -1,0 +1,37 @@
+(** Parser for the loop DSL.
+
+    Concrete syntax (paper-style):
+    {v
+      for i = 1 to 4
+        for j = 1 to 4
+          S1: A[2*i, j] := C[i, j] * 7;
+          S2: B[j, i+1] := A[2*i-2, j-1] + C[i-1, j-1];
+        end
+      end
+    v}
+
+    Bounds are affine in outer indices; subscripts affine in all indices.
+    [:=] and [=] are both accepted for assignment; [#] and [//] start
+    line comments.  Identifiers that are not loop indices are free
+    scalars when read and array names when subscripted. *)
+
+exception Error of string
+(** Parse failure with a message including the line number. *)
+
+val nest : string -> Nest.t
+(** [nest src] parses a full loop nest.  Raises {!Error} on bad syntax
+    and [Invalid_argument] when the parsed nest fails validation. *)
+
+val nest_of_file : string -> Nest.t
+
+val program : string -> Nest.t list
+(** [program src] parses a sequence of top-level loop nests — the
+    paper's compilation unit ("our compilation techniques consider each
+    nested loop independently in a program").  At least one nest is
+    required. *)
+
+val program_of_file : string -> Nest.t list
+
+val imperfect : string -> Imperfect.loop
+(** Parses a possibly imperfect nest: statements may appear before,
+    between and after inner loops (see {!Imperfect.distribute}). *)

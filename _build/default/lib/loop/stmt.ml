@@ -1,0 +1,8 @@
+type t = { label : string; lhs : Aref.t; rhs : Expr.t }
+
+let make ?(label = "") lhs rhs = { label; lhs; rhs }
+let reads s = Expr.reads s.rhs
+
+let pp ppf s =
+  if s.label <> "" then Format.fprintf ppf "%s: " s.label;
+  Format.fprintf ppf "%a := %a;" Aref.pp s.lhs Expr.pp s.rhs

@@ -1,0 +1,7 @@
+(** Assignment statements [S: A[...] := expr]. *)
+
+type t = { label : string; lhs : Aref.t; rhs : Expr.t }
+
+val make : ?label:string -> Aref.t -> Expr.t -> t
+val reads : t -> Aref.t list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = {
+  t_comp : float;
+  t_start : float;
+  t_comm : float;
+}
+
+let transputer = { t_comp = 9.61e-6; t_start = 1.0e-4; t_comm = 3.83e-6 }
+let make ~t_comp ~t_start ~t_comm = { t_comp; t_start; t_comm }
+
+let message c ~hops ~size =
+  if hops < 0 || size < 0 then invalid_arg "Cost.message";
+  let pipeline = float_of_int (size + max 0 (hops - 1)) in
+  c.t_start +. (pipeline *. c.t_comm)
+
+let compute c ~iterations =
+  if iterations < 0 then invalid_arg "Cost.compute";
+  float_of_int iterations *. c.t_comp
+
+let pp ppf c =
+  Format.fprintf ppf "t_comp=%g t_start=%g t_comm=%g" c.t_comp c.t_start
+    c.t_comm

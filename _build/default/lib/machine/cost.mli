@@ -1,0 +1,30 @@
+(** The paper's cost model for a distributed-memory multicomputer.
+
+    One iteration of a loop body costs [t_comp]; transmitting [x] data
+    between neighboring processors costs [t_start + x·t_comm].  The
+    default constants are calibrated so the matrix-multiplication tables
+    of Section IV land on the paper's 16-node Transputer measurements
+    (sequential [M = 256] ≈ 161 s fixes [t_comp]; the [L5'] and [L5'']
+    distribution rows fix [t_start] and [t_comm]). *)
+
+type t = {
+  t_comp : float;  (** seconds per loop-body iteration *)
+  t_start : float;  (** message startup, seconds *)
+  t_comm : float;  (** seconds per transmitted word *)
+}
+
+val transputer : t
+(** Calibrated to the paper's Tables I/II:
+    [t_comp = 9.61e-6], [t_start = 1.0e-4], [t_comm = 3.83e-6]. *)
+
+val make : t_comp:float -> t_start:float -> t_comm:float -> t
+
+val message : t -> hops:int -> size:int -> float
+(** Cost of one message of [size] words traveling [hops] mesh links in a
+    pipelined (wormhole-like) fashion: [t_start + (size + hops − 1)·t_comm].
+    With [hops = 1] this is the paper's [t_start + x·t_comm]. *)
+
+val compute : t -> iterations:int -> float
+(** [iterations · t_comp]. *)
+
+val pp : Format.formatter -> t -> unit

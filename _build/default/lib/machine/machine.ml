@@ -1,0 +1,163 @@
+exception Remote_access of { pe : int; array : string; element : int array }
+
+type event =
+  | Send of { pe : int; array : string; size : int }
+  | Broadcast of { array : string; size : int }
+  | Multicast of { pes : int list; array : string; size : int }
+
+type t = {
+  topology : Topology.t;
+  cost : Cost.t;
+  memories : (string * int list, int) Hashtbl.t array;
+  mutable dist_time : float;
+  compute : float array;
+  iterations : int array;
+  mutable messages : int;
+  mutable volume : int;
+  mutable events : event list;  (* reverse issue order *)
+}
+
+let create topology cost =
+  let p = Topology.size topology in
+  {
+    topology;
+    cost;
+    memories = Array.init p (fun _ -> Hashtbl.create 64);
+    dist_time = 0.;
+    compute = Array.make p 0.;
+    iterations = Array.make p 0;
+    messages = 0;
+    volume = 0;
+    events = [];
+  }
+
+let topology m = m.topology
+let cost m = m.cost
+
+let check_pe m pe =
+  if pe < 0 || pe >= Topology.size m.topology then
+    invalid_arg "Machine: processor rank out of range"
+
+let key a el = (a, Array.to_list el)
+
+let store m ~pe a el v =
+  check_pe m pe;
+  Hashtbl.replace m.memories.(pe) (key a el) v
+
+let read m ~pe a el =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) (key a el) with
+  | Some v -> v
+  | None -> raise (Remote_access { pe; array = a; element = Array.copy el })
+
+let write m ~pe a el v =
+  check_pe m pe;
+  if Hashtbl.mem m.memories.(pe) (key a el) then
+    Hashtbl.replace m.memories.(pe) (key a el) v
+  else raise (Remote_access { pe; array = a; element = Array.copy el })
+
+let holds m ~pe a el =
+  check_pe m pe;
+  Hashtbl.mem m.memories.(pe) (key a el)
+
+let local_elements m ~pe =
+  check_pe m pe;
+  Hashtbl.fold
+    (fun (a, el) v acc -> (a, Array.of_list el, v) :: acc)
+    m.memories.(pe) []
+  |> List.sort compare
+
+let charge m ~words =
+  m.dist_time <-
+    m.dist_time +. m.cost.Cost.t_start
+    +. (float_of_int words *. m.cost.Cost.t_comm);
+  m.messages <- m.messages + 1
+
+let host_send m ~pe a elements =
+  check_pe m pe;
+  let size = List.length elements in
+  let hops = Topology.distance m.topology 0 pe + 1 in
+  (* Cut-through: startup + size, plus pipeline fill over the path. *)
+  charge m ~words:(size + hops - 1);
+  m.volume <- m.volume + size;
+  m.events <- Send { pe; array = a; size } :: m.events;
+  List.iter (fun (el, v) -> store m ~pe a el v) elements
+
+let host_broadcast m a elements =
+  let size = List.length elements in
+  let hops = Topology.diameter m.topology + 1 in
+  (* Store-and-forward flooding along rows and columns. *)
+  charge m ~words:(hops * size);
+  m.volume <- m.volume + size;
+  m.events <- Broadcast { array = a; size } :: m.events;
+  for pe = 0 to Topology.size m.topology - 1 do
+    List.iter (fun (el, v) -> store m ~pe a el v) elements
+  done
+
+let host_multicast m ~pes a elements =
+  (match pes with [] -> invalid_arg "Machine.host_multicast: no targets" | _ -> ());
+  List.iter (check_pe m) pes;
+  let size = List.length elements in
+  let hops =
+    List.fold_left
+      (fun acc pe -> max acc (Topology.distance m.topology 0 pe + 1))
+      0 pes
+  in
+  (* Pipelined multicast: one pass down the column, one across the row —
+     each element is retransmitted twice. *)
+  charge m ~words:((2 * size) + hops);
+  m.volume <- m.volume + size;
+  m.events <- Multicast { pes; array = a; size } :: m.events;
+  List.iter
+    (fun pe -> List.iter (fun (el, v) -> store m ~pe a el v) elements)
+    pes
+
+let run_iterations m ~pe count =
+  check_pe m pe;
+  if count < 0 then invalid_arg "Machine.run_iterations";
+  m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:count;
+  m.iterations.(pe) <- m.iterations.(pe) + count
+
+let distribution_time m = m.dist_time
+
+let compute_time m ~pe =
+  check_pe m pe;
+  m.compute.(pe)
+
+let max_compute_time m = Array.fold_left max 0. m.compute
+let makespan m = m.dist_time +. max_compute_time m
+let message_count m = m.messages
+let message_volume m = m.volume
+
+let iterations_of m ~pe =
+  check_pe m pe;
+  m.iterations.(pe)
+
+let memory_words m ~pe =
+  check_pe m pe;
+  Hashtbl.length m.memories.(pe)
+
+let reset_stats m =
+  m.dist_time <- 0.;
+  m.messages <- 0;
+  m.volume <- 0;
+  m.events <- [];
+  Array.fill m.compute 0 (Array.length m.compute) 0.;
+  Array.fill m.iterations 0 (Array.length m.iterations) 0
+
+let trace m = List.rev m.events
+
+let pp_event ppf = function
+  | Send { pe; array; size } ->
+    Format.fprintf ppf "send %s[%d words] -> PE%d" array size pe
+  | Broadcast { array; size } ->
+    Format.fprintf ppf "broadcast %s[%d words] -> all" array size
+  | Multicast { pes; array; size } ->
+    Format.fprintf ppf "multicast %s[%d words] -> {%s}" array size
+      (String.concat "," (List.map string_of_int pes))
+
+let pp_stats ppf m =
+  Format.fprintf ppf
+    "@[<v>%a: %d msg(s), %d words, dist %.6fs, max compute %.6fs, makespan %.6fs@]"
+    Topology.pp m.topology m.messages m.volume m.dist_time
+    (max_compute_time m) (makespan m)

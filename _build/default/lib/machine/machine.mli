@@ -1,0 +1,97 @@
+(** A simulated distributed-memory multicomputer.
+
+    Each processor has a private local memory holding the array elements
+    assigned to it; there is no shared memory.  The host distributes
+    initial data (each primitive charges the paper's cost model and
+    stores the elements), node processors then compute on local data
+    only: any access to an element absent from the local memory raises
+    {!Remote_access} — the run-time proof that an allocation is
+    communication-free.
+
+    Time accounting: distribution time accumulates globally (the host is
+    serial); compute time accumulates per processor; the makespan is
+    distribution + the slowest processor. *)
+
+exception Remote_access of { pe : int; array : string; element : int array }
+
+type t
+
+val create : Topology.t -> Cost.t -> t
+val topology : t -> Topology.t
+val cost : t -> Cost.t
+
+(** {1 Local memory} *)
+
+val store : t -> pe:int -> string -> int array -> int -> unit
+(** [store m ~pe a el v] places element [a[el] = v] in [pe]'s local
+    memory without charging communication (allocation/bookkeeping). *)
+
+val read : t -> pe:int -> string -> int array -> int
+(** Raises {!Remote_access} when the element is not local to [pe]. *)
+
+val write : t -> pe:int -> string -> int array -> int -> unit
+(** Updates [pe]'s local copy.  Raises {!Remote_access} when [pe] holds
+    no copy of the element (ownership is fixed by allocation). *)
+
+val holds : t -> pe:int -> string -> int array -> bool
+val local_elements : t -> pe:int -> (string * int array * int) list
+
+(** {1 Host distribution (charges time, stores data)} *)
+
+val host_send :
+  t -> pe:int -> string -> (int array * int) list -> unit
+(** One cut-through (pipelined) message from the host to [pe]:
+    [t_start + (size + hops − 1)·t_comm] with hops = distance(0, pe) + 1
+    (the host attaches at rank 0).  Sending row blocks to each processor
+    in turn reproduces the paper's [p·t_start + M²·t_comm] term of T2. *)
+
+val host_broadcast : t -> string -> (int array * int) list -> unit
+(** Broadcast to {e every} processor by store-and-forward flooding along
+    mesh rows and columns: [t_start + hops·size·t_comm] with hops =
+    diameter + 1 — the paper's [t_start + 2√p·M²·t_comm] term of T2. *)
+
+val host_multicast :
+  t -> pes:int list -> string -> (int array * int) list -> unit
+(** Pipelined multicast of the same elements to a processor group: one
+    pass down the column and one across the row retransmit each element
+    twice, [t_start + (2·size + hops)·t_comm] — summing over the [√p]
+    row (or column) groups reproduces the paper's
+    [√p·t_start + 2√p·(M²/√p)·t_comm] term of T3. *)
+
+(** {1 Compute accounting} *)
+
+val run_iterations : t -> pe:int -> int -> unit
+(** Charge [count] loop-body iterations to [pe]. *)
+
+(** {1 Results} *)
+
+val distribution_time : t -> float
+val compute_time : t -> pe:int -> float
+val max_compute_time : t -> float
+val makespan : t -> float
+val message_count : t -> int
+val message_volume : t -> int
+(** Total words sent by the host. *)
+
+val iterations_of : t -> pe:int -> int
+
+val memory_words : t -> pe:int -> int
+(** Number of array elements resident in [pe]'s local memory — the
+    storage cost of replication. *)
+
+val reset_stats : t -> unit
+(** Clears timing, counters and the distribution trace (memories are
+    kept). *)
+
+(** {1 Distribution trace} *)
+
+type event =
+  | Send of { pe : int; array : string; size : int }
+  | Broadcast of { array : string; size : int }
+  | Multicast of { pes : int list; array : string; size : int }
+
+val trace : t -> event list
+(** Host distribution events in issue order. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_stats : Format.formatter -> t -> unit

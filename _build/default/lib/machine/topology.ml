@@ -1,0 +1,70 @@
+type t = { dims : int array }
+
+let mesh dims =
+  if Array.length dims = 0 then invalid_arg "Topology.mesh: no dimensions";
+  Array.iter
+    (fun d -> if d < 1 then invalid_arg "Topology.mesh: extent < 1")
+    dims;
+  { dims = Array.copy dims }
+
+let linear p = mesh [| p |]
+
+let square p =
+  let r = int_of_float (sqrt (float_of_int p) +. 0.5) in
+  if r * r <> p then invalid_arg "Topology.square: not a perfect square";
+  mesh [| r; r |]
+
+let grid_of_procs ~k p =
+  if k < 1 || p < 1 then invalid_arg "Topology.grid_of_procs";
+  let rec ipow b e = if e = 0 then 1 else b * ipow b (e - 1) in
+  (* ⌊p^(1/k)⌋ by integer search: largest r with r^k ≤ p. *)
+  let rec largest r = if ipow (r + 1) k <= p then largest (r + 1) else r in
+  let root = largest 1 in
+  Array.init k (fun i ->
+      if i < k - 1 then root else p / ipow root (k - 1))
+
+let dims t = Array.copy t.dims
+let size t = Array.fold_left ( * ) 1 t.dims
+let ndims t = Array.length t.dims
+
+let rank_of_coords t coords =
+  if Array.length coords <> Array.length t.dims then
+    invalid_arg "Topology.rank_of_coords: arity";
+  Array.iteri
+    (fun i c ->
+      if c < 0 || c >= t.dims.(i) then
+        invalid_arg "Topology.rank_of_coords: out of range")
+    coords;
+  Array.fold_left ( + ) 0
+    (Array.mapi
+       (fun i c ->
+         let stride = ref 1 in
+         for j = i + 1 to Array.length t.dims - 1 do
+           stride := !stride * t.dims.(j)
+         done;
+         c * !stride)
+       coords)
+
+let coords_of_rank t rank =
+  if rank < 0 || rank >= size t then
+    invalid_arg "Topology.coords_of_rank: out of range";
+  let k = Array.length t.dims in
+  let out = Array.make k 0 in
+  let r = ref rank in
+  for i = k - 1 downto 0 do
+    out.(i) <- !r mod t.dims.(i);
+    r := !r / t.dims.(i)
+  done;
+  out
+
+let distance t a b =
+  let ca = coords_of_rank t a and cb = coords_of_rank t b in
+  let d = ref 0 in
+  Array.iteri (fun i x -> d := !d + abs (x - cb.(i))) ca;
+  !d
+
+let diameter t = Array.fold_left (fun acc d -> acc + (d - 1)) 0 t.dims
+
+let pp ppf t =
+  Format.fprintf ppf "%s mesh"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.dims)))

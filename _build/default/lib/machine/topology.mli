@@ -1,0 +1,35 @@
+(** Processor grid topologies (mesh multicomputers).
+
+    Processors are identified both by grid coordinates and by a linear
+    rank (row-major).  The host processor sits outside the mesh, attached
+    to processor 0 — the paper's model for initial data distribution. *)
+
+type t
+
+val mesh : int array -> t
+(** [mesh [|p1; ...; pk|]]: a k-dimensional grid; every extent ≥ 1. *)
+
+val linear : int -> t
+(** [linear p] = [mesh [|p|]]. *)
+
+val square : int -> t
+(** [square p] is the [√p × √p] mesh; [p] must be a perfect square. *)
+
+val grid_of_procs : k:int -> int -> int array
+(** The paper's shape rule for [p] processors and [k] forall dimensions:
+    [p_i = ⌊p^(1/k)⌋] for [i < k] and [p_k = ⌊p / p_1^(k−1)⌋]. *)
+
+val dims : t -> int array
+val size : t -> int
+val ndims : t -> int
+
+val rank_of_coords : t -> int array -> int
+val coords_of_rank : t -> int -> int array
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two ranks. *)
+
+val diameter : t -> int
+(** Longest shortest path in the mesh. *)
+
+val pp : Format.formatter -> t -> unit

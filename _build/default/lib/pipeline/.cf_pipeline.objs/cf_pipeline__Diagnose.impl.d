@@ -1,0 +1,1 @@
+lib/pipeline/diagnose.ml: Array Cf_linalg Cf_loop Expr Format List Nest Printf Stmt

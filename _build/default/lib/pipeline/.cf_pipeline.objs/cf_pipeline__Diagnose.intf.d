@@ -1,0 +1,1 @@
+lib/pipeline/diagnose.mli: Cf_loop Format

@@ -1,0 +1,1 @@
+lib/pipeline/pipeline.mli: Cf_core Cf_dep Cf_exec Cf_linalg Cf_loop Cf_machine Cf_transform Format Iter_partition Strategy

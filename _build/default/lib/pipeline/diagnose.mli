@@ -1,0 +1,26 @@
+(** Front-end diagnostics: what the analysis can and cannot do with a
+    given nest, reported before planning instead of as exceptions
+    halfway through.
+
+    Errors make the pipeline unusable on the nest (the paper's model is
+    violated); warnings flag feasibility limits; infos note model
+    assumptions worth knowing (e.g. Sec. III.C states its redundancy
+    discussion for nonsingular reference matrices — our exact analysis
+    does not need that assumption, but the note helps when comparing
+    with the paper). *)
+
+type severity = Error | Warning | Info
+
+type issue = {
+  severity : severity;
+  code : string;  (** stable identifier, e.g. ["nonuniform-references"] *)
+  message : string;
+}
+
+val check : Cf_loop.Nest.t -> issue list
+(** All diagnostics for the nest, errors first. *)
+
+val usable : issue list -> bool
+(** No error present. *)
+
+val pp_issue : Format.formatter -> issue -> unit

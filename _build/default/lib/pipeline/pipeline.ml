@@ -1,0 +1,80 @@
+open Cf_core
+
+let src = Logs.Src.create "comfree.pipeline" ~doc:"Communication-free planner"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  nest : Cf_loop.Nest.t;
+  strategy : Strategy.t;
+  exact : Cf_dep.Exact.result option;
+  space : Cf_linalg.Subspace.t;
+  partition : Iter_partition.t;
+  parloop : Cf_transform.Parloop.t;
+}
+
+let plan ?(strategy = Strategy.Nonduplicate) ?basis ?search_radius nest =
+  let exact =
+    if Strategy.uses_exact_analysis strategy then
+      Some (Cf_dep.Exact.analyze nest)
+    else None
+  in
+  let space =
+    Strategy.partitioning_space ?search_radius ?exact strategy nest
+  in
+  Log.debug (fun m ->
+      m "strategy %a: psi = %a" Strategy.pp strategy Cf_linalg.Subspace.pp
+        space);
+  let partition = Iter_partition.make nest space in
+  let parloop = Cf_transform.Transformer.transform ?basis nest space in
+  { nest; strategy; exact; space; partition; parloop }
+
+let parallelism t = Strategy.parallelism_degree t.space
+let block_count t = Iter_partition.block_count t.partition
+
+let verified t =
+  Verify.communication_free ?exact:t.exact t.strategy t.partition
+
+type simulation = {
+  report : Cf_exec.Parexec.report;
+  balance : Cf_exec.Balance.t;
+  makespan : float;
+}
+
+let simulate ?(procs = 4) ?(cost = Cf_machine.Cost.transputer)
+    ?(with_distribution = false) t =
+  let machine =
+    Cf_machine.Machine.create (Cf_machine.Topology.linear procs) cost
+  in
+  let report =
+    Cf_exec.Parexec.execute ?exact:t.exact
+      ~charge_distribution:with_distribution ~machine
+      ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
+      ~strategy:t.strategy t.partition
+  in
+  {
+    report;
+    balance = Cf_exec.Balance.of_counts report.Cf_exec.Parexec.per_pe_iterations;
+    makespan = Cf_machine.Machine.makespan machine;
+  }
+
+let describe ppf t =
+  Format.fprintf ppf "@[<v>strategy: %a@," Strategy.pp t.strategy;
+  List.iter
+    (fun a ->
+      let s =
+        Strategy.array_space ?exact:t.exact t.strategy t.nest a
+      in
+      Format.fprintf ppf "  Psi_%s = %a@," a Cf_linalg.Subspace.pp s)
+    (Cf_loop.Nest.arrays t.nest);
+  Format.fprintf ppf "partitioning space: %a (dim %d, parallelism %d)@,"
+    Cf_linalg.Subspace.pp t.space
+    (Cf_linalg.Subspace.dim t.space)
+    (parallelism t);
+  Format.fprintf ppf "blocks: %d (largest %d, smallest %d)@," (block_count t)
+    (Iter_partition.max_block_size t.partition)
+    (Iter_partition.min_block_size t.partition);
+  (match t.exact with
+   | Some e -> Format.fprintf ppf "%a@," Cf_dep.Exact.pp_summary e
+   | None -> ());
+  Format.fprintf ppf "transformed loop:@,%a" Cf_transform.Parloop.pp t.parloop

@@ -1,0 +1,59 @@
+(** One-call driver for the whole paper: analysis → partitioning space →
+    partition → transformed [forall] nest → processor assignment →
+    verified simulated execution.
+
+    This is the facade a compiler front end would call per loop nest;
+    the finer-grained modules ({!Cf_core.Strategy},
+    {!Cf_transform.Transformer}, {!Cf_exec.Parexec}, ...) remain
+    available for custom flows. *)
+
+open Cf_core
+
+type t = {
+  nest : Cf_loop.Nest.t;
+  strategy : Strategy.t;
+  exact : Cf_dep.Exact.result option;
+      (** populated iff the strategy eliminates redundant computations *)
+  space : Cf_linalg.Subspace.t;  (** the partitioning space Ψ *)
+  partition : Iter_partition.t;
+  parloop : Cf_transform.Parloop.t;
+}
+
+val plan :
+  ?strategy:Strategy.t ->
+  ?basis:int array list ->
+  ?search_radius:int ->
+  Cf_loop.Nest.t ->
+  t
+(** [plan nest] runs the full compile-time side under [strategy]
+    (default {!Strategy.Nonduplicate}).  [basis] overrides the
+    [Ker(Ψ)] basis used for new loop variables (see
+    {!Cf_transform.Transformer.transform}). *)
+
+val parallelism : t -> int
+(** Number of forall dimensions ([n − dim Ψ]). *)
+
+val block_count : t -> int
+
+val verified : t -> bool
+(** Re-checks communication freedom of the plan on the concrete
+    iteration space (Theorems 1–4 for this nest). *)
+
+type simulation = {
+  report : Cf_exec.Parexec.report;
+  balance : Cf_exec.Balance.t;
+  makespan : float;
+}
+
+val simulate :
+  ?procs:int -> ?cost:Cf_machine.Cost.t -> ?with_distribution:bool -> t ->
+  simulation
+(** Executes the plan on a simulated [procs]-node machine (default 4)
+    with cyclic block placement, validating communication freedom and
+    result correctness at run time.  With [~with_distribution:true] the
+    initial data scatter is charged to the machine and shows up in the
+    makespan. *)
+
+val describe : Format.formatter -> t -> unit
+(** Human-readable summary: per-array spaces, Ψ, block statistics, and
+    the transformed loop. *)

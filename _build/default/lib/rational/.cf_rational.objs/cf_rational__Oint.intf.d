@@ -1,0 +1,1 @@
+lib/rational/oint.mli:

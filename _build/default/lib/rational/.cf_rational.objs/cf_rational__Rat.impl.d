@@ -1,0 +1,1 @@
+lib/rational/rat.ml: Format Oint Printf Stdlib String

@@ -1,0 +1,73 @@
+exception Overflow
+
+let add a b =
+  let s = a + b in
+  (* Overflow iff both operands share a sign that the sum does not. *)
+  if (a >= 0 && b >= 0 && s < 0) || (a < 0 && b < 0 && s >= 0) then
+    raise Overflow
+  else s
+
+let neg a = if a = min_int then raise Overflow else -a
+let sub a b = add a (neg b)
+let abs a = if a = min_int then raise Overflow else Stdlib.abs a
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let p = a * b in
+    if p / b <> a || (a = min_int && b = -1) || (b = min_int && a = -1) then
+      raise Overflow
+    else p
+
+let rec gcd_pos a b = if b = 0 then a else gcd_pos b (a mod b)
+
+let rec gcd a b =
+  (* Work on magnitudes computed without [abs] so that [min_int] inputs
+     still terminate: [min_int mod x] is representable for x <> 0. *)
+  let a = if a = min_int then a else Stdlib.abs a
+  and b = if b = min_int then b else Stdlib.abs b in
+  if a = min_int || b = min_int then begin
+    if a = min_int && b = min_int then raise Overflow
+    else if a = min_int then gcd (min_int mod b) b
+    else gcd a (min_int mod a)
+  end
+  else if a = 0 then b
+  else if b = 0 then a
+  else gcd_pos a b
+
+let lcm a b = if a = 0 || b = 0 then 0 else mul (abs a / gcd a b) (abs b)
+
+let ediv a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r >= 0 then q else if b > 0 then q - 1 else q + 1
+
+let emod a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let r = a mod b in
+    if r >= 0 then r else r + Stdlib.abs b
+
+let fdiv a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let cdiv a b =
+  if b = 0 then raise Division_by_zero
+  else
+    let q = a / b and r = a mod b in
+    if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+
+let pow a n =
+  if n < 0 then invalid_arg "Oint.pow: negative exponent";
+  let rec go acc base n =
+    if n = 0 then acc
+    else
+      let acc = if n land 1 = 1 then mul acc base else acc in
+      let n = n lsr 1 in
+      if n = 0 then acc else go acc (mul base base) n
+  in
+  go 1 a n

@@ -1,0 +1,48 @@
+(** Overflow-checked arithmetic on native [int].
+
+    The compile-time analyses in this project manipulate tiny integers
+    (matrix entries, loop bounds, gcd chains), so native [int] is ample —
+    but silent wraparound would corrupt an analysis without warning.  Every
+    operation here raises {!Overflow} instead of wrapping. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on wraparound. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} on wraparound. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on wraparound. *)
+
+val neg : int -> int
+(** [neg a] is [-a]; raises {!Overflow} for [min_int]. *)
+
+val abs : int -> int
+(** [abs a] is the absolute value; raises {!Overflow} for [min_int]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor, with
+    [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the non-negative least common multiple, with
+    [lcm 0 _ = 0]; raises {!Overflow} when the result is unrepresentable. *)
+
+val ediv : int -> int -> int
+(** [ediv a b] is Euclidean division: the unique [q] with
+    [a = q*b + r] and [0 <= r < |b|].  Raises [Division_by_zero]. *)
+
+val emod : int -> int -> int
+(** [emod a b] is the Euclidean remainder [r] with [0 <= r < |b|]. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is floor division (round toward negative infinity). *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is ceiling division (round toward positive infinity). *)
+
+val pow : int -> int -> int
+(** [pow a n] is [a] raised to the non-negative power [n], checked.
+    Raises [Invalid_argument] if [n < 0]. *)

@@ -1,0 +1,95 @@
+type t = { num : int; den : int }
+
+let make n d =
+  if d = 0 then raise Division_by_zero
+  else
+    let n, d = if d < 0 then (Oint.neg n, Oint.neg d) else (n, d) in
+    if n = 0 then { num = 0; den = 1 }
+    else
+      let g = Oint.gcd n d in
+      { num = n / g; den = d / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num a = a.num
+let den a = a.den
+
+let add a b =
+  (* Pre-divide by the denominator gcd to keep intermediates small. *)
+  let g = Oint.gcd a.den b.den in
+  let da = a.den / g and db = b.den / g in
+  make (Oint.add (Oint.mul a.num db) (Oint.mul b.num da)) (Oint.mul a.den db)
+
+let neg a = { a with num = Oint.neg a.num }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce before multiplying to limit overflow exposure. *)
+  let g1 = Oint.gcd a.num b.den and g2 = Oint.gcd b.num a.den in
+  let n = Oint.mul (a.num / g1) (b.num / g2)
+  and d = Oint.mul (a.den / g2) (b.den / g1) in
+  if d < 0 then { num = Oint.neg n; den = Oint.neg d } else { num = n; den = d }
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero
+  else if a.num < 0 then { num = Oint.neg a.den; den = Oint.neg a.num }
+  else { num = a.den; den = a.num }
+
+let div a b = mul a (inv b)
+let abs a = { a with num = Oint.abs a.num }
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = compare a.num 0
+
+let compare a b =
+  (* a/b ? c/d  <=>  a*d ? c*b  (denominators positive). *)
+  compare (Oint.mul a.num b.den) (Oint.mul b.num a.den)
+
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let to_int_exn a =
+  if a.den = 1 then a.num else invalid_arg "Rat.to_int_exn: not an integer"
+
+let floor a = Oint.fdiv a.num a.den
+let ceil a = Oint.cdiv a.num a.den
+
+let round_nearest a =
+  (* floor (a + 1/2): ties round up. *)
+  Oint.fdiv (Oint.add (Oint.mul 2 a.num) a.den) (Oint.mul 2 a.den)
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( = ) = equal
+let ( < ) a b = Stdlib.( < ) (compare a b) 0
+let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+let ( > ) a b = Stdlib.( > ) (compare a b) 0
+let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+
+let pp ppf a =
+  if Stdlib.( = ) a.den 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Rat.of_string: %S" s) in
+  match String.index_opt s '/' with
+  | None -> ( match int_of_string_opt (String.trim s) with
+              | Some n -> of_int n
+              | None -> fail ())
+  | Some i ->
+    let n = String.trim (String.sub s 0 i)
+    and d = String.trim (String.sub s (Stdlib.( + ) i 1)
+                           (Stdlib.( - ) (String.length s) (Stdlib.( + ) i 1)))
+    in
+    (match (int_of_string_opt n, int_of_string_opt d) with
+     | Some n, Some d when Stdlib.( <> ) d 0 -> make n d
+     | _ -> fail ())

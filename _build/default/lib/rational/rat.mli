@@ -1,0 +1,80 @@
+(** Exact rational arithmetic.
+
+    Values are kept normalized: the denominator is strictly positive and
+    [gcd |num| den = 1].  Zero is represented as [0/1].  All arithmetic is
+    overflow-checked through {!Oint} and raises [Oint.Overflow] rather than
+    wrapping. *)
+
+type t = private { num : int; den : int }
+(** A normalized rational [num/den] with [den > 0]. *)
+
+val make : int -> int -> t
+(** [make n d] is the normalized rational [n/d].
+    Raises [Division_by_zero] if [d = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** [div a b] raises [Division_by_zero] when [b] is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** [inv a] raises [Division_by_zero] when [a] is zero. *)
+
+val abs : t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val sign : t -> int
+(** [sign a] is [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val to_int_exn : t -> int
+(** [to_int_exn a] is the integer value of [a].
+    Raises [Invalid_argument] when [a] is not an integer. *)
+
+val floor : t -> int
+(** [floor a] is the largest integer [<= a]. *)
+
+val ceil : t -> int
+(** [ceil a] is the smallest integer [>= a]. *)
+
+val round_nearest : t -> int
+(** [round_nearest a] rounds to the nearest integer, ties toward
+    positive infinity (Babai-style rounding for lattice reduction). *)
+
+val to_float : t -> float
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( = ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints ["7"] for integers and ["1/2"] otherwise. *)
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Parses ["-3"], ["5/2"], ["0"]...
+    Raises [Invalid_argument] on malformed input. *)

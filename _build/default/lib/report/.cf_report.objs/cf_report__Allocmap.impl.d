@@ -1,0 +1,1 @@
+lib/report/allocmap.ml: Array Buffer Cf_core Cf_linalg Cf_loop Data_partition Format Hashtbl Iter_partition List Printf String

@@ -1,0 +1,1 @@
+lib/report/allocmap.mli: Cf_core

@@ -1,0 +1,1 @@
+lib/report/figures.ml: Aref Array Buffer Cf_core Cf_dep Cf_exec Cf_linalg Cf_loop Cf_transform Data_partition Format Hashtbl Iter_partition List Nest Printf String

@@ -1,0 +1,1 @@
+lib/report/figures.mli: Cf_core Cf_loop Cf_transform Iter_partition

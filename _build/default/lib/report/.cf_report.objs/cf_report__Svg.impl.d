@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Buffer Cf_core Cf_transform Data_partition Float Hashtbl Iter_partition List Printf

@@ -1,0 +1,1 @@
+lib/report/svg.mli: Cf_core Cf_loop Cf_transform

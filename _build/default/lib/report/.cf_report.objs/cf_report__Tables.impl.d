@@ -1,0 +1,1 @@
+lib/report/tables.ml: Buffer Cf_exec Cf_machine Float List Matmul Printf

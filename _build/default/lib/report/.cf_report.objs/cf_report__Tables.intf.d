@@ -1,0 +1,1 @@
+lib/report/tables.mli: Cf_exec Cf_machine

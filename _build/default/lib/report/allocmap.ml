@@ -1,0 +1,80 @@
+open Cf_core
+
+let render ?(max_sample = 6) partition ~placement ~nprocs =
+  if nprocs < 1 then invalid_arg "Allocmap.render: nprocs < 1";
+  let nest = Iter_partition.nest partition in
+  let arrays = Cf_loop.Nest.arrays nest in
+  let dps = List.map (fun a -> (a, Data_partition.make nest partition a)) arrays in
+  let blocks = Iter_partition.blocks partition in
+  let buf = Buffer.create 1024 in
+  let total_copies = ref 0 in
+  let distinct = Hashtbl.create 256 in
+  for pe = 0 to nprocs - 1 do
+    let mine =
+      Array.to_list blocks
+      |> List.filter (fun (b : Iter_partition.block) -> placement b.id = pe)
+    in
+    let iterations =
+      List.fold_left
+        (fun acc (b : Iter_partition.block) ->
+          acc + List.length b.iterations)
+        0 mine
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "PE%d: %d block(s) %s, %d iteration(s)\n" pe
+         (List.length mine)
+         (if mine = [] then ""
+          else
+            Printf.sprintf "{%s}"
+              (String.concat ","
+                 (List.map
+                    (fun (b : Iter_partition.block) -> string_of_int b.id)
+                    mine)))
+         iterations);
+    List.iter
+      (fun (a, dp) ->
+        let elements =
+          List.concat_map
+            (fun (b : Iter_partition.block) -> Data_partition.block dp b.id)
+            mine
+          |> List.sort_uniq compare
+        in
+        match elements with
+        | [] -> ()
+        | first :: _ ->
+          total_copies := !total_copies + List.length elements;
+          List.iter
+            (fun el -> Hashtbl.replace distinct (a, Array.to_list el) ())
+            elements;
+          let d = Array.length first in
+          let lo = Array.copy first and hi = Array.copy first in
+          List.iter
+            (fun el ->
+              for k = 0 to d - 1 do
+                if el.(k) < lo.(k) then lo.(k) <- el.(k);
+                if el.(k) > hi.(k) then hi.(k) <- el.(k)
+              done)
+            elements;
+          let sample =
+            List.filteri (fun i _ -> i < max_sample) elements
+            |> List.map (Format.asprintf "%a" Cf_linalg.Vec.pp_int)
+          in
+          let more = List.length elements - max_sample in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s: %d element(s) in [%s]..[%s]  %s%s\n" a
+               (List.length elements)
+               (String.concat ","
+                  (Array.to_list (Array.map string_of_int lo)))
+               (String.concat ","
+                  (Array.to_list (Array.map string_of_int hi)))
+               (String.concat " " sample)
+               (if more > 0 then Printf.sprintf " ... +%d" more else "")))
+      dps
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "total: %d stored element copies over %d distinct elements (%d \
+        replicated)\n"
+       !total_copies (Hashtbl.length distinct)
+       (!total_copies - Hashtbl.length distinct));
+  Buffer.contents buf

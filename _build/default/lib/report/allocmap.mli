@@ -1,0 +1,17 @@
+(** Per-processor data-allocation maps.
+
+    The end product of the paper's technique is an assignment of array
+    elements to processor memories.  This renders it: for each
+    processor, the iteration blocks it executes, its iteration count,
+    and per array the elements it must hold (count, bounding corners and
+    a sample), with replication totals at the end. *)
+
+val render :
+  ?max_sample:int ->
+  Cf_core.Iter_partition.t ->
+  placement:(int -> int) ->
+  nprocs:int ->
+  string
+(** [render partition ~placement ~nprocs] builds the allocation map for
+    blocks placed by [placement] on [nprocs] processors.  [max_sample]
+    bounds the element samples shown per array (default 6). *)

@@ -1,0 +1,32 @@
+(** Text renderings of the paper's figures.
+
+    The originals are hand-drawn diagrams of 2-D data/iteration spaces;
+    these renderings carry the same information as character grids: rows
+    are the first coordinate increasing downward, columns the second
+    increasing rightward, each cell showing the block that owns the
+    point ([..] for array elements the loop never touches). *)
+
+open Cf_core
+
+val data_space : Cf_loop.Nest.t -> string -> string
+(** Fig. 1 analogue: the touched elements of one array ([##] used, [..]
+    unused within the bounding box) plus its data-referenced vectors. *)
+
+val data_partition : Cf_loop.Nest.t -> Iter_partition.t -> string -> string
+(** Figs. 2/4/8 analogue: each touched element labelled with its data
+    block id; elements with several owners (duplication) show [**] with
+    an ownership legend below. *)
+
+val iteration_partition : Iter_partition.t -> string
+(** Figs. 3/5/9 analogue: each iteration labelled with its block id.
+    Only 1-D and 2-D nests render as grids; deeper nests fall back to a
+    per-block listing. *)
+
+val reference_graph : Cf_loop.Nest.t -> string -> string
+(** Figs. 6/7 analogue: the data reference graph as text. *)
+
+val assignment_grid :
+  Cf_transform.Parloop.t -> grid:int array -> string
+(** Fig. 10 analogue: the forall coordinate space with each block's
+    iteration count, and the per-processor totals of the cyclic
+    assignment. *)

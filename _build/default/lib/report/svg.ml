@@ -1,0 +1,138 @@
+open Cf_core
+
+let cell = 30
+let margin = 40
+
+(* Well-spread categorical colors: the golden-angle walk around the hue
+   wheel keeps neighboring block ids visually distinct. *)
+let color_of_block id =
+  let hue = float_of_int (id * 137) in
+  let hue = hue -. (360. *. Float.of_int (int_of_float (hue /. 360.))) in
+  Printf.sprintf "hsl(%.0f, 62%%, 72%%)" hue
+
+type cell_content = Block of int | Shared | Empty
+
+let render ~title ~rows:(r0, r1) ~cols:(c0, c1) ~content ~label =
+  let width = margin + ((c1 - c0 + 1) * cell) + 10 in
+  let height = margin + ((r1 - r0 + 1) * cell) + 10 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"monospace\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf
+    (Printf.sprintf "  <title>%s</title>\n" title);
+  (* Axis labels. *)
+  for c = c0 to c1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  <text x=\"%d\" y=\"%d\" text-anchor=\"middle\" fill=\"#555\">%d</text>\n"
+         (margin + ((c - c0) * cell) + (cell / 2))
+         (margin - 8) c)
+  done;
+  for r = r0 to r1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  <text x=\"%d\" y=\"%d\" text-anchor=\"end\" fill=\"#555\">%d</text>\n"
+         (margin - 8)
+         (margin + ((r - r0) * cell) + (cell / 2) + 4)
+         r)
+  done;
+  for r = r0 to r1 do
+    for c = c0 to c1 do
+      let x = margin + ((c - c0) * cell) in
+      let y = margin + ((r - r0) * cell) in
+      match content (r, c) with
+      | Empty ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+              fill=\"#f4f4f4\" stroke=\"#ddd\"/>\n"
+             x y cell cell)
+      | Shared ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+              fill=\"#bbb\" stroke=\"#666\"/>\n\
+             \  <text x=\"%d\" y=\"%d\" text-anchor=\"middle\">*</text>\n"
+             x y cell cell
+             (x + (cell / 2))
+             (y + (cell / 2) + 4))
+      | Block id ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  <rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+              fill=\"%s\" stroke=\"#666\"/>\n\
+             \  <text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+             x y cell cell (color_of_block id)
+             (x + (cell / 2))
+             (y + (cell / 2) + 4)
+             (label id (r, c)))
+    done
+  done;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let bounds_of points =
+  match points with
+  | [] -> invalid_arg "Svg: nothing to draw"
+  | (p, _) :: _ when Array.length p <> 2 ->
+    invalid_arg "Svg: only 2-D spaces render as SVG"
+  | _ ->
+    let fold f init sel =
+      List.fold_left (fun acc (p, _) -> f acc (sel p)) init points
+    in
+    ( (fold min max_int (fun p -> p.(0)), fold max min_int (fun p -> p.(0))),
+      (fold min max_int (fun p -> p.(1)), fold max min_int (fun p -> p.(1))) )
+
+let iteration_partition partition =
+  let points =
+    Array.to_list (Iter_partition.blocks partition)
+    |> List.concat_map (fun (b : Iter_partition.block) ->
+           List.map (fun it -> (it, b.id)) b.iterations)
+  in
+  let rows, cols = bounds_of points in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (p, id) -> Hashtbl.replace tbl (p.(0), p.(1)) id) points;
+  render ~title:"iteration partition" ~rows ~cols
+    ~content:(fun rc ->
+      match Hashtbl.find_opt tbl rc with
+      | Some id -> Block id
+      | None -> Empty)
+    ~label:(fun id _ -> string_of_int id)
+
+let data_partition nest partition name =
+  let dp = Data_partition.make nest partition name in
+  let points =
+    List.map (fun el -> (el, Data_partition.owner dp el))
+      (Data_partition.elements dp)
+  in
+  let rows, cols = bounds_of (List.map (fun (el, _) -> (el, 0)) points) in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (el, owners) -> Hashtbl.replace tbl (el.(0), el.(1)) owners)
+    points;
+  render
+    ~title:(Printf.sprintf "data partition of %s" name)
+    ~rows ~cols
+    ~content:(fun rc ->
+      match Hashtbl.find_opt tbl rc with
+      | Some [ id ] -> Block id
+      | Some (_ :: _ :: _) -> Shared
+      | Some [] | None -> Empty)
+    ~label:(fun id _ -> string_of_int id)
+
+let block_workloads pl =
+  if pl.Cf_transform.Parloop.n_forall <> 2 then
+    invalid_arg "Svg.block_workloads: two forall dimensions required";
+  let sizes = Cf_transform.Parloop.block_sizes pl in
+  let points = List.map (fun (b, n) -> (b, n)) sizes in
+  let rows, cols = bounds_of points in
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (b, n) -> Hashtbl.replace tbl (b.(0), b.(1)) n) points;
+  render ~title:"block workloads" ~rows ~cols
+    ~content:(fun rc ->
+      match Hashtbl.find_opt tbl rc with
+      | Some n -> Block n (* color by workload *)
+      | None -> Empty)
+    ~label:(fun n _ -> string_of_int n)

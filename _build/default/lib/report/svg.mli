@@ -1,0 +1,17 @@
+(** SVG renderings of the 2-D figures (standalone documents).
+
+    Same content as {!Figures} but as scalable graphics: each grid cell
+    is colored by its owning block (replicated elements hatched gray),
+    with coordinate axes labelled.  Non-2-D inputs raise
+    [Invalid_argument] — the text renderer handles those. *)
+
+val iteration_partition : Cf_core.Iter_partition.t -> string
+(** Figs. 3/5/9 as SVG (2-deep nests only). *)
+
+val data_partition :
+  Cf_loop.Nest.t -> Cf_core.Iter_partition.t -> string -> string
+(** Figs. 2/4/8 as SVG (2-D arrays only). *)
+
+val block_workloads : Cf_transform.Parloop.t -> string
+(** Fig. 10's workload diamond as SVG (two forall dimensions only):
+    cells shaded by iteration count. *)

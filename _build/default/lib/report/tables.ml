@@ -1,0 +1,100 @@
+open Cf_exec
+
+let problem_sizes = [ 16; 32; 64; 128; 256 ]
+
+let rows =
+  [
+    (Matmul.Sequential, 1);
+    (Matmul.Dup_b, 4);
+    (Matmul.Dup_ab, 4);
+    (Matmul.Dup_b, 16);
+    (Matmul.Dup_ab, 16);
+  ]
+
+let paper_table1 =
+  [
+    (Matmul.Sequential, 1, [ 0.0399; 0.3162; 2.5241; 20.1691; 161.2546 ]);
+    (Matmul.Dup_b, 4, [ 0.0144; 0.0956; 0.6961; 5.2895; 41.3058 ]);
+    (Matmul.Dup_ab, 4, [ 0.0127; 0.0855; 0.6467; 5.1405; 40.7988 ]);
+    (Matmul.Dup_b, 16, [ 0.0135; 0.0543; 0.2869; 1.7908; 12.3584 ]);
+    (Matmul.Dup_ab, 16, [ 0.0080; 0.0326; 0.2043; 1.4326; 10.6513 ]);
+  ]
+
+let paper_table2 =
+  [
+    (Matmul.Dup_b, 4, [ 2.77; 3.31; 3.63; 3.81; 3.89 ]);
+    (Matmul.Dup_ab, 4, [ 3.14; 3.70; 3.90; 3.92; 3.95 ]);
+    (Matmul.Dup_b, 16, [ 2.96; 5.82; 8.80; 11.26; 13.05 ]);
+    (Matmul.Dup_ab, 16, [ 4.99; 9.70; 12.35; 14.08; 15.14 ]);
+  ]
+
+let paper_value table variant p m =
+  let _, _, values =
+    List.find (fun (v, p', _) -> v = variant && p' = p) table
+  in
+  let rec nth sizes values =
+    match (sizes, values) with
+    | s :: _, v :: _ when s = m -> v
+    | _ :: sizes, _ :: values -> nth sizes values
+    | _ -> invalid_arg "Tables.paper_value"
+  in
+  nth problem_sizes values
+
+let header title =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "%-6s %-5s" "procs" "loop");
+  List.iter
+    (fun m -> Buffer.add_string buf (Printf.sprintf " %16s" ("M=" ^ string_of_int m)))
+    problem_sizes;
+  Buffer.add_char buf '\n';
+  buf
+
+let table1 ?(cost = Cf_machine.Cost.transputer) () =
+  let buf =
+    header
+      "Table I. Execution time of loops L5, L5' and L5'' (s); model (paper)"
+  in
+  List.iter
+    (fun (variant, p) ->
+      Buffer.add_string buf
+        (Printf.sprintf "p=%-4d %-5s" p (Matmul.variant_name variant));
+      List.iter
+        (fun m ->
+          let t = Matmul.analytic_time cost variant ~m ~p in
+          let ref_t = paper_value paper_table1 variant p m in
+          Buffer.add_string buf (Printf.sprintf " %8.4f(%6.4g)" t ref_t))
+        problem_sizes;
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let table2 ?(cost = Cf_machine.Cost.transputer) () =
+  let buf =
+    header "Table II. Speedup of loops L5' and L5''; model (paper)"
+  in
+  List.iter
+    (fun (variant, p) ->
+      if variant <> Matmul.Sequential then begin
+        Buffer.add_string buf
+          (Printf.sprintf "p=%-4d %-5s" p (Matmul.variant_name variant));
+        List.iter
+          (fun m ->
+            let s = Matmul.speedup cost variant ~m ~p in
+            let ref_s = paper_value paper_table2 variant p m in
+            Buffer.add_string buf (Printf.sprintf " %8.2f(%6.2f)" s ref_s))
+          problem_sizes;
+        Buffer.add_char buf '\n'
+      end)
+    rows;
+  Buffer.contents buf
+
+let max_relative_error ?(cost = Cf_machine.Cost.transputer) () =
+  List.fold_left
+    (fun acc (variant, p, values) ->
+      List.fold_left2
+        (fun acc m paper_t ->
+          let t = Matmul.analytic_time cost variant ~m ~p in
+          Float.max acc (Float.abs (t -. paper_t) /. paper_t))
+        acc problem_sizes values)
+    0. paper_table1

@@ -1,0 +1,26 @@
+(** The paper's evaluation tables (Section IV) regenerated from the cost
+    model, next to the published Transputer measurements. *)
+
+val problem_sizes : int list
+(** [16; 32; 64; 128; 256] — the paper's M column heads. *)
+
+val rows : (Cf_exec.Matmul.variant * int) list
+(** (variant, processor count) in the paper's row order:
+    (L5, 1), (L5', 4), (L5'', 4), (L5', 16), (L5'', 16). *)
+
+val paper_table1 : (Cf_exec.Matmul.variant * int * float list) list
+(** The published execution times in seconds (Table I). *)
+
+val paper_table2 : (Cf_exec.Matmul.variant * int * float list) list
+(** The published speedups (Table II); sequential row omitted. *)
+
+val table1 : ?cost:Cf_machine.Cost.t -> unit -> string
+(** Render Table I: modelled execution time of L5/L5'/L5'' with the
+    paper's value in parentheses. *)
+
+val table2 : ?cost:Cf_machine.Cost.t -> unit -> string
+(** Render Table II: modelled speedup with the paper's in parentheses. *)
+
+val max_relative_error : ?cost:Cf_machine.Cost.t -> unit -> float
+(** Largest |model − paper| / paper over all Table I cells — the
+    reproduction fidelity indicator recorded in EXPERIMENTS.md. *)

@@ -1,0 +1,1 @@
+lib/transform/fourier.ml: Array Cf_rational List Raffine Rat Stdlib

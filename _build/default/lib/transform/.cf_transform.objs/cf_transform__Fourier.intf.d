@@ -1,0 +1,1 @@
+lib/transform/fourier.mli: Raffine

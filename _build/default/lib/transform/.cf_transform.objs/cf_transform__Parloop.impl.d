@@ -1,0 +1,1 @@
+lib/transform/parloop.ml: Array Cf_linalg Cf_loop Cf_rational Format Fourier Hashtbl List Mat Nest Oint Printf Raffine Rat Stmt String Subspace Vec

@@ -1,0 +1,1 @@
+lib/transform/parloop.mli: Cf_linalg Cf_loop Format Fourier Mat Raffine Subspace

@@ -1,0 +1,1 @@
+lib/transform/raffine.mli: Cf_linalg Cf_loop Cf_rational Format Rat Vec

@@ -1,0 +1,1 @@
+lib/transform/transformer.ml: Affine Array Cf_linalg Cf_loop Cf_rational Fourier List Mat Nest Oint Parloop Raffine Rat Subspace Vec

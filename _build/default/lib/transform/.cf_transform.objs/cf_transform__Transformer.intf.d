@@ -1,0 +1,1 @@
+lib/transform/transformer.mli: Cf_linalg Cf_loop Parloop Subspace

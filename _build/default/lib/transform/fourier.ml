@@ -1,0 +1,102 @@
+open Cf_rational
+
+type level_bounds = {
+  lowers : Raffine.t list;
+  uppers : Raffine.t list;
+}
+
+let dedupe fs =
+  List.fold_left
+    (fun acc f -> if List.exists (Raffine.equal f) acc then acc else f :: acc)
+    [] fs
+  |> List.rev
+
+let split ~var fs =
+  List.fold_left
+    (fun (pos, neg, rest) f ->
+      let a = Raffine.coeff f var in
+      if Rat.is_zero a then (pos, neg, f :: rest)
+      else if Rat.sign a > 0 then ((a, Raffine.drop_var f var) :: pos, neg, rest)
+      else (pos, (a, Raffine.drop_var f var) :: neg, rest))
+    ([], [], []) fs
+
+let check_feasible fs =
+  List.iter
+    (fun f ->
+      if Raffine.is_constant f && Rat.sign f.Raffine.const < 0 then
+        invalid_arg "Fourier: infeasible constraint system")
+    fs
+
+let eliminate ~var fs =
+  let pos, neg, rest = split ~var fs in
+  let combined =
+    List.concat_map
+      (fun (a, fpos) ->
+        (* a·x + fpos ≥ 0, a > 0  →  x ≥ −fpos/a *)
+        List.map
+          (fun (b, fneg) ->
+            (* b·x + fneg ≥ 0, b < 0  →  x ≤ fneg/(−b);
+               combine: fneg/(−b) − (−fpos/a) ≥ 0, scaled by a·(−b) > 0:
+               a·fneg + (−b)·fpos ≥ 0. *)
+            Raffine.add
+              (Raffine.scale a fneg)
+              (Raffine.scale (Rat.neg b) fpos))
+          neg)
+      pos
+  in
+  dedupe (List.rev rest @ combined)
+
+(* Collapse the constant candidates of a max (resp. min) bound list into
+   the single strongest one; keeps renderings close to the paper's. *)
+let collapse ~strongest fs =
+  let consts, rest =
+    List.partition (fun f -> Raffine.is_constant f) fs
+  in
+  match consts with
+  | [] | [ _ ] -> fs
+  | c :: cs ->
+    let best =
+      List.fold_left
+        (fun acc f ->
+          if strongest f.Raffine.const acc.Raffine.const then f else acc)
+        c cs
+    in
+    rest @ [ best ]
+
+let loop_bounds ~nvars constraints =
+  check_feasible constraints;
+  let bounds = Array.make nvars { lowers = []; uppers = [] } in
+  let current = ref (dedupe constraints) in
+  for m = nvars - 1 downto 0 do
+    let pos, neg, _ = split ~var:m !current in
+    let lowers =
+      List.map (fun (a, f) -> Raffine.scale (Rat.inv a) (Raffine.neg f)) pos
+    in
+    let uppers =
+      List.map (fun (b, f) -> Raffine.scale (Rat.inv (Rat.neg b)) f) neg
+    in
+    bounds.(m) <-
+      {
+        lowers = collapse ~strongest:Rat.( > ) (dedupe lowers);
+        uppers = collapse ~strongest:Rat.( < ) (dedupe uppers);
+      };
+    current := eliminate ~var:m !current;
+    check_feasible !current
+  done;
+  bounds
+
+let lower_value lowers outer =
+  match lowers with
+  | [] -> invalid_arg "Fourier.lower_value: unbounded"
+  | l ->
+    List.fold_left
+      (fun acc f -> Stdlib.max acc (Rat.ceil (Raffine.eval_int f outer)))
+      min_int l
+
+let upper_value uppers outer =
+  match uppers with
+  | [] -> invalid_arg "Fourier.upper_value: unbounded"
+  | l ->
+    List.fold_left
+      (fun acc f -> Stdlib.min acc (Rat.floor (Raffine.eval_int f outer)))
+      max_int l

@@ -1,0 +1,41 @@
+(** Fourier–Motzkin elimination for loop-bound generation.
+
+    A constraint is an affine form [f] asserting [f(x) ≥ 0] over the
+    positional variables [x_0..x_{n−1}] (new loop variables in nest
+    order).  Eliminating variables from the innermost outward yields, for
+    every nest level [m], the set of lower/upper bound forms in the outer
+    variables — exactly the [max(...)]/[min(...)] bounds of the paper's
+    transformed loops.  Bounds are rational; integer scanning applies
+    [ceil] to lower bounds and [floor] to upper bounds (the standard
+    rational-shadow tightening, safe because spurious integer points can
+    only produce empty inner ranges and are filtered by the integrality
+    guards of {!Parloop}). *)
+
+type level_bounds = {
+  lowers : Raffine.t list;
+    (** level var ≥ ceil(f(outer vars)) for each f; effective lower bound
+        is the max.  Empty means unbounded below (never the case for
+        well-formed nests). *)
+  uppers : Raffine.t list;
+    (** level var ≤ floor(f(outer vars)); effective bound is the min. *)
+}
+
+val loop_bounds : nvars:int -> Raffine.t list -> level_bounds array
+(** [loop_bounds ~nvars constraints] eliminates [x_{n−1}, ..., x_1] in
+    turn and returns per-level bounds; index [m] of the result bounds
+    variable [m] in terms of variables [0..m−1].
+    Raises [Invalid_argument] when the system is syntactically infeasible
+    (a negative constant constraint arises), which cannot happen for a
+    non-empty loop nest. *)
+
+val eliminate : var:int -> Raffine.t list -> Raffine.t list
+(** One elimination step: the projection of the system onto the other
+    variables (constraints not mentioning [var], plus all positive
+    pair combinations). *)
+
+val lower_value : Raffine.t list -> int array -> int
+(** [lower_value lowers outer] evaluates [max_k ceil(f_k(outer))].
+    Raises [Invalid_argument] on an empty list. *)
+
+val upper_value : Raffine.t list -> int array -> int
+(** [min_k floor(f_k(outer))]. *)

@@ -1,0 +1,187 @@
+open Cf_rational
+open Cf_linalg
+open Cf_loop
+
+type role = Forall | Sequential
+
+type level = {
+  name : string;
+  role : role;
+  bounds : Fourier.level_bounds;
+}
+
+type t = {
+  source : Nest.t;
+  space : Subspace.t;
+  levels : level array;
+  n_forall : int;
+  forward : Mat.t;
+  inverse : Mat.t;
+  orig_of_new : Raffine.t array;
+  inner_positions : int array;
+}
+
+let depth t = Array.length t.levels
+let names t = Array.map (fun l -> l.name) t.levels
+
+let needs_guards t =
+  not (Array.for_all Vec.is_integer t.inverse)
+
+let original_iteration t u =
+  (* Map a new-coordinate point to the original iteration, or None when
+     some original index would be fractional. *)
+  let vals = Array.map (fun f -> Raffine.eval_int f u) t.orig_of_new in
+  if Array.for_all Rat.is_integer vals then
+    Some (Array.map Rat.to_int_exn vals)
+  else None
+
+let iter ?grid ?pe t f =
+  let n = depth t in
+  (match (grid, pe) with
+   | Some g, Some p
+     when Array.length g <> t.n_forall || Array.length p <> t.n_forall ->
+     invalid_arg "Parloop.iter: grid/pe must have n_forall components"
+   | Some _, None | None, Some _ ->
+     invalid_arg "Parloop.iter: grid and pe must be supplied together"
+   | _ -> ());
+  let u = Array.make n 0 in
+  let rec go m =
+    if m = n then begin
+      match original_iteration t u with
+      | Some iter -> f ~block:(Array.sub u 0 t.n_forall) ~iter
+      | None -> ()
+    end
+    else begin
+      let { lowers; uppers } : Fourier.level_bounds = t.levels.(m).bounds in
+      let lo = Fourier.lower_value lowers u
+      and hi = Fourier.upper_value uppers u in
+      match (grid, pe) with
+      | Some g, Some p when m < t.n_forall ->
+        let step = g.(m) in
+        let start = lo + Oint.emod (p.(m) - Oint.emod lo step) step in
+        let x = ref start in
+        while !x <= hi do
+          u.(m) <- !x;
+          go (m + 1);
+          x := !x + step
+        done
+      | _ ->
+        for x = lo to hi do
+          u.(m) <- x;
+          go (m + 1)
+        done
+    end
+  in
+  go 0
+
+let blocks t =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  iter t (fun ~block ~iter:_ ->
+      let key = Array.to_list block in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        acc := block :: !acc
+      end);
+  List.rev !acc
+
+let iterations_of_block t blk =
+  let acc = ref [] in
+  iter t (fun ~block ~iter ->
+      if block = blk then acc := iter :: !acc);
+  List.rev !acc
+
+let block_sizes t =
+  let counts = Hashtbl.create 64 in
+  let order = ref [] in
+  iter t (fun ~block ~iter:_ ->
+      let key = Array.to_list block in
+      match Hashtbl.find_opt counts key with
+      | Some n -> Hashtbl.replace counts key (n + 1)
+      | None ->
+        Hashtbl.replace counts key 1;
+        order := block :: !order);
+  List.rev_map
+    (fun b -> (b, Hashtbl.find counts (Array.to_list b)))
+    !order
+
+(* Rendering *)
+
+let pp_bound_list ~names ~wrap ppf fs =
+  match fs with
+  | [ f ] -> Raffine.pp ~names ppf f
+  | fs ->
+    Format.fprintf ppf "%s(%a)" wrap
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         (Raffine.pp ~names))
+      fs
+
+let pp_level ~names ~indent ?step ppf (l : level) =
+  let pad = String.make indent ' ' in
+  let kw = match l.role with Forall -> "forall" | Sequential -> "for" in
+  Format.fprintf ppf "%s%s %s = %a to %a" pad kw l.name
+    (pp_bound_list ~names ~wrap:"max")
+    l.bounds.Fourier.lowers
+    (pp_bound_list ~names ~wrap:"min")
+    l.bounds.Fourier.uppers;
+  (match step with
+   | Some s -> Format.fprintf ppf " step %s" s
+   | None -> ());
+  Format.fprintf ppf "@,"
+
+let pp_body ~names t ppf indent =
+  let pad = String.make indent ' ' in
+  let order = Nest.indices t.source in
+  let inner = Array.to_list t.inner_positions in
+  Array.iteri
+    (fun i f ->
+      if not (List.mem i inner) then
+        Format.fprintf ppf "%s%s := %a;@," pad order.(i) (Raffine.pp ~names) f)
+    t.orig_of_new;
+  if needs_guards t then
+    Format.fprintf ppf "%s# guard: skip when any extended statement is fractional@,"
+      pad;
+  List.iter
+    (fun s -> Format.fprintf ppf "%s%a@," pad Stmt.pp s)
+    t.source.Nest.body
+
+let pp_generic ?steps ppf t =
+  let names = names t in
+  let n = depth t in
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun m l ->
+      let step =
+        match steps with
+        | Some arr when m < t.n_forall -> Some arr.(m)
+        | _ -> None
+      in
+      pp_level ~names ~indent:(2 * m) ?step ppf l)
+    t.levels;
+  pp_body ~names t ppf (2 * n);
+  for m = n - 1 downto 0 do
+    let kw =
+      match t.levels.(m).role with
+      | Forall -> "end-forall"
+      | Sequential -> "end"
+    in
+    Format.fprintf ppf "%s%s@," (String.make (2 * m) ' ') kw
+  done;
+  Format.fprintf ppf "@]"
+
+let pp ppf t = pp_generic ppf t
+
+let pp_assigned ~grid ppf t =
+  if Array.length grid <> t.n_forall then
+    invalid_arg "Parloop.pp_assigned: grid size mismatch";
+  let steps = Array.map string_of_int grid in
+  (* Render the paper's offset form by annotating each forall bound. *)
+  Format.fprintf ppf
+    "@[<v># processor PE(a1%s): forall level j starts at l + ((aj - l mod %s) mod %s)@,"
+    (String.concat ""
+       (List.init (max 0 (t.n_forall - 1)) (fun k ->
+            Printf.sprintf ", a%d" (k + 2))))
+    "pj" "pj";
+  pp_generic ~steps ppf t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,76 @@
+(** Transformed parallel loop nests (the paper's [forall] form).
+
+    A [Parloop.t] scans the same iterations as its source nest, reordered
+    as [k] outer [forall] levels (one per dimension of [Ker(Ψ)] — each
+    outer tuple is one iteration block) and [g = n − k] inner sequential
+    levels (original indices [I_{z_1} < ... < I_{z_g}]).  The remaining
+    original indices are recovered by extended statements — affine forms
+    over the new variables.
+
+    Within a block the inner enumeration preserves the source's
+    lexicographic order on dependent iterations: every dependence vector
+    [t ∈ Ψ] has its first nonzero coordinate at a [z] position (a
+    coordinate rejected by the greedy completion is a combination of
+    [Ker(Ψ)] rows and earlier [z] coordinates, so [t]'s component there
+    vanishes while earlier [z] components are zero), hence inner-lex
+    order equals source-lex order on each block.
+
+    When the index change [M] is not unimodular, integer points of the
+    new coordinate grid may map to fractional original indices; the
+    enumerator guards on integrality and skips them ([needs_guards]
+    reports whether this can occur). *)
+
+open Cf_linalg
+
+type role = Forall | Sequential
+
+type level = {
+  name : string;
+  role : role;
+  bounds : Fourier.level_bounds;  (** over the preceding new variables *)
+}
+
+type t = {
+  source : Cf_loop.Nest.t;
+  space : Subspace.t;          (** the partitioning space Ψ *)
+  levels : level array;        (** nest order: all foralls first *)
+  n_forall : int;
+  forward : Mat.t;             (** u = forward · I, integer entries *)
+  inverse : Mat.t;             (** I = inverse · u *)
+  orig_of_new : Raffine.t array;
+    (** per original index position: its value over the new variables *)
+  inner_positions : int array; (** the z positions (0-based, ascending) *)
+}
+
+val depth : t -> int
+val names : t -> string array
+val needs_guards : t -> bool
+(** True when [inverse] has non-integer entries. *)
+
+val iter :
+  ?grid:int array ->
+  ?pe:int array ->
+  t ->
+  (block:int array -> iter:int array -> unit) ->
+  unit
+(** Enumerate the nest.  [block] is the outer forall tuple, [iter] the
+    original iteration (in source index order).  With [grid]/[pe] (both
+    of length [n_forall]) only the blocks assigned to processor [pe] by
+    the paper's cyclic rule are visited: forall level [j] starts at
+    [l + ((pe_j − l mod p_j) mod p_j)] and steps by [p_j]. *)
+
+val blocks : t -> int array list
+(** All outer forall tuples with at least one iteration, lexicographic. *)
+
+val iterations_of_block : t -> int array -> int array list
+(** Original iterations of one block, in execution order. *)
+
+val block_sizes : t -> (int array * int) list
+(** [(block, iteration count)] for every non-empty block. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering (loop L4′). *)
+
+val pp_assigned : grid:int array -> Format.formatter -> t -> unit
+(** Paper-style rendering of the processor-parameterized code (the
+    [step p] form of Section IV), for symbolic processor ids [a1..ak]. *)

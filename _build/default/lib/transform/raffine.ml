@@ -1,0 +1,63 @@
+open Cf_rational
+open Cf_linalg
+
+type t = { coeffs : Vec.t; const : Rat.t }
+
+let make coeffs const = { coeffs = Vec.copy coeffs; const }
+let const n c = { coeffs = Vec.zero n; const = Rat.of_int c }
+
+let var n k =
+  if k < 0 || k >= n then invalid_arg "Raffine.var";
+  { coeffs = Vec.basis n k; const = Rat.zero }
+
+let nvars f = Vec.dim f.coeffs
+let add a b = { coeffs = Vec.add a.coeffs b.coeffs; const = Rat.add a.const b.const }
+let neg a = { coeffs = Vec.neg a.coeffs; const = Rat.neg a.const }
+let sub a b = add a (neg b)
+let scale k a = { coeffs = Vec.scale k a.coeffs; const = Rat.mul k a.const }
+let equal a b = Vec.equal a.coeffs b.coeffs && Rat.equal a.const b.const
+let coeff f k = f.coeffs.(k)
+let is_constant f = Vec.is_zero f.coeffs
+let eval f xs = Rat.add f.const (Vec.dot f.coeffs xs)
+let eval_int f xs = eval f (Vec.of_int_array xs)
+
+let last_var_with_nonzero f =
+  let rec go k =
+    if k < 0 then None
+    else if not (Rat.is_zero f.coeffs.(k)) then Some k
+    else go (k - 1)
+  in
+  go (Vec.dim f.coeffs - 1)
+
+let drop_var f k =
+  let c = Vec.copy f.coeffs in
+  c.(k) <- Rat.zero;
+  { f with coeffs = c }
+
+let of_int_affine order a =
+  let v, c = Cf_loop.Affine.coeff_vector order a in
+  { coeffs = Vec.of_int_array v; const = Rat.of_int c }
+
+let pp ~names ppf f =
+  let n = Vec.dim f.coeffs in
+  let started = ref false in
+  let emit_sign ppf neg =
+    if !started then Format.fprintf ppf (if neg then " - " else " + ")
+    else if neg then Format.fprintf ppf "-"
+  in
+  for k = 0 to n - 1 do
+    let c = f.coeffs.(k) in
+    if not (Rat.is_zero c) then begin
+      emit_sign ppf (Rat.sign c < 0);
+      let m = Rat.abs c in
+      if Rat.equal m Rat.one then Format.fprintf ppf "%s" names.(k)
+      else Format.fprintf ppf "%a*%s" Rat.pp m names.(k);
+      started := true
+    end
+  done;
+  if not (Rat.is_zero f.const) then begin
+    emit_sign ppf (Rat.sign f.const < 0);
+    Format.fprintf ppf "%a" Rat.pp (Rat.abs f.const);
+    started := true
+  end;
+  if not !started then Format.fprintf ppf "0"

@@ -1,0 +1,45 @@
+(** Rational affine forms over a positional variable vector.
+
+    The loop transformation of Section IV works in a fixed coordinate
+    system (the new loop variables in nest order), so affine forms here
+    are positional: [coeffs.(k)] multiplies variable [k].  Coefficients
+    are rational because the inverse index transformation [M⁻¹] need not
+    be integral. *)
+
+open Cf_rational
+open Cf_linalg
+
+type t = { coeffs : Vec.t; const : Rat.t }
+
+val make : Vec.t -> Rat.t -> t
+val const : int -> int -> t
+(** [const n c]: the constant [c] over [n] variables. *)
+
+val var : int -> int -> t
+(** [var n k]: variable [k] of [n]. *)
+
+val nvars : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Rat.t -> t -> t
+val equal : t -> t -> bool
+
+val coeff : t -> int -> Rat.t
+val is_constant : t -> bool
+
+val eval : t -> Rat.t array -> Rat.t
+val eval_int : t -> int array -> Rat.t
+
+val last_var_with_nonzero : t -> int option
+(** Highest variable index with a nonzero coefficient. *)
+
+val drop_var : t -> int -> t
+(** [drop_var f k] zeroes coefficient [k] (used after substitution). *)
+
+val of_int_affine : string array -> Cf_loop.Affine.t -> t
+(** Interpret an integer affine expression positionally w.r.t. the given
+    variable order. *)
+
+val pp : names:string array -> Format.formatter -> t -> unit
+(** Prints e.g. [i1' - 2*i2 + 1/2]. *)

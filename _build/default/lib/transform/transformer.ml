@@ -1,0 +1,131 @@
+open Cf_rational
+open Cf_linalg
+open Cf_loop
+
+let normalize_row r =
+  let g = Array.fold_left Oint.gcd 0 r in
+  if g = 0 || g = 1 then Array.copy r else Array.map (fun x -> x / g) r
+
+let echelon_with_provenance rows =
+  let rows = List.map normalize_row rows in
+  (match rows with
+   | [] -> ()
+   | r :: _ ->
+     if Array.length r = 0 then invalid_arg "echelon_with_provenance");
+  let n = match rows with [] -> 0 | r :: _ -> Array.length r in
+  let remaining =
+    ref (List.map (fun r -> (r, Vec.of_int_array r)) rows)
+  in
+  let out = ref [] in
+  for c = 0 to n - 1 do
+    match
+      List.find_opt (fun (_, w) -> not (Rat.is_zero w.(c))) !remaining
+    with
+    | None -> ()
+    | Some ((orig, wpiv) as pivot) ->
+      out := (c, orig) :: !out;
+      remaining :=
+        List.filter_map
+          (fun ((o, w) as row) ->
+            if row == pivot then None
+            else if Rat.is_zero w.(c) then Some (o, w)
+            else
+              let f = Rat.div w.(c) wpiv.(c) in
+              Some (o, Vec.sub w (Vec.scale f wpiv)))
+          !remaining
+  done;
+  if !remaining <> [] then
+    invalid_arg "echelon_with_provenance: dependent rows";
+  List.rev !out
+
+let completion ~n rows =
+  let s = ref (Subspace.span n (List.map Vec.of_int_array rows)) in
+  let picked = ref [] in
+  for p = 0 to n - 1 do
+    let e = Vec.basis n p in
+    if not (Subspace.mem !s e) then begin
+      picked := p :: !picked;
+      s := Subspace.add_vector !s e
+    end
+  done;
+  Array.of_list (List.rev !picked)
+
+(* Rewrite an integer affine expression over the original indices into a
+   rational affine form over the new variables, using I_i = orig_of_new.(i). *)
+let reexpress ~order ~orig_of_new (e : Affine.t) =
+  let coeffs, const = Affine.coeff_vector order e in
+  let n = Array.length orig_of_new in
+  let acc = ref (Raffine.const n const) in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then
+        acc := Raffine.add !acc (Raffine.scale (Rat.of_int c) orig_of_new.(i)))
+    coeffs;
+  !acc
+
+let transform ?basis nest psi =
+  let n = Nest.depth nest in
+  if Subspace.ambient_dim psi <> n then
+    invalid_arg "Transformer.transform: ambient dimension mismatch";
+  let complement = Subspace.complement psi in
+  let k = Subspace.dim complement in
+  let rows =
+    match basis with
+    | None -> Subspace.int_basis complement
+    | Some rows ->
+      let given = Subspace.span n (List.map Vec.of_int_array rows) in
+      if not (Subspace.equal given complement) then
+        invalid_arg "Transformer.transform: basis does not span Ker(Psi)";
+      List.map normalize_row rows
+  in
+  let prov = echelon_with_provenance rows in
+  assert (List.length prov = k);
+  let z = completion ~n rows in
+  let order = Nest.indices nest in
+  let forall_rows = List.map (fun (_, a) -> Vec.of_int_array a) prov in
+  let inner_rows = List.map (fun p -> Vec.basis n p) (Array.to_list z) in
+  let forward = Mat.of_rows (forall_rows @ inner_rows) in
+  let inverse =
+    match Mat.inverse forward with
+    | Some m -> m
+    | None -> invalid_arg "Transformer.transform: singular index change"
+  in
+  let orig_of_new =
+    Array.init n (fun i -> Raffine.make (Mat.row inverse i) Rat.zero)
+  in
+  let constraints =
+    List.concat
+      (List.mapi
+         (fun kk (l : Nest.level) ->
+           let this = Raffine.make (Mat.row inverse kk) Rat.zero in
+           let lower = reexpress ~order ~orig_of_new l.lower in
+           let upper = reexpress ~order ~orig_of_new l.upper in
+           [ Raffine.sub this lower; Raffine.sub upper this ])
+         (Array.to_list nest.Nest.levels))
+  in
+  let bounds = Fourier.loop_bounds ~nvars:n constraints in
+  let names =
+    Array.init n (fun m ->
+        if m < k then
+          let y, _ = List.nth prov m in
+          order.(y) ^ "'"
+        else order.(z.(m - k)))
+  in
+  let levels =
+    Array.init n (fun m ->
+        {
+          Parloop.name = names.(m);
+          role = (if m < k then Parloop.Forall else Parloop.Sequential);
+          bounds = bounds.(m);
+        })
+  in
+  {
+    Parloop.source = nest;
+    space = psi;
+    levels;
+    n_forall = k;
+    forward;
+    inverse;
+    orig_of_new;
+    inner_positions = z;
+  }

@@ -1,0 +1,39 @@
+(** The Section IV program transformation.
+
+    Given a nest and a partitioning space [Ψ] (from Theorems 1–4), build
+    the equivalent [forall] nest:
+
+    + take an integer, gcd-normalized basis [Q] of [Ker(Ψ)] (the paper's
+      notation for the orthogonal complement of [Ψ]);
+    + bring [Q] to row echelon form, remembering which basis row became
+      pivot row [j] (the permutation σ); the pivot columns [y_1 < ... <
+      y_k] receive the new forall variables [I'_{y_j} = a_{σ⁻¹(j)} · I]
+      (equations (1)–(2));
+    + complete with [g] original indices [I_{z_1} < ... < I_{z_g}] whose
+      unit vectors are independent of [Q] and the previous choices —
+      these stay as the sequential inner loops;
+    + derive every loop bound by Fourier–Motzkin elimination of the
+      original constraints rewritten over the new variables, and emit
+      extended statements for the remaining original indices. *)
+
+open Cf_linalg
+
+val transform : ?basis:int array list -> Cf_loop.Nest.t -> Subspace.t -> Parloop.t
+(** [transform nest psi] builds the parallel form.  [basis], when given,
+    overrides the computed basis of [Ker(Ψ)] (it must span exactly the
+    orthogonal complement of [psi] — this lets callers reproduce the
+    paper's exact variable choices, e.g. loop L4′).
+    Raises [Invalid_argument] on a dimension mismatch or an invalid
+    basis. *)
+
+val echelon_with_provenance :
+  int array list -> (int * int array) list
+(** [echelon_with_provenance rows] returns, per echelon step [j], the
+    pair [(y_j, a_{σ⁻¹(j)})]: the pivot column and the *original* row
+    that was chosen as pivot at that step, in ascending [y] order.
+    Exposed for tests. *)
+
+val completion : n:int -> int array list -> int array
+(** [completion ~n rows] is the ascending list of positions [z] whose
+    unit vectors greedily complete [span rows] to Q^n (exposed for
+    tests). *)

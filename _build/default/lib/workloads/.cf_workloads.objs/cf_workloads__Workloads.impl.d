@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Affine Aref Cf_baseline Cf_core Cf_dep Cf_linalg Cf_loop Expr Format Iter_partition List Nest Stmt Strategy Verify

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: Cf_baseline Cf_core Cf_loop Format

@@ -1,0 +1,217 @@
+open Cf_loop
+open Cf_core
+
+type expectation = {
+  strategy : Strategy.t;
+  parallel_dims : int;
+}
+
+type kernel = {
+  name : string;
+  description : string;
+  build : size:int -> Nest.t;
+  expected : expectation;
+}
+
+let v = Affine.var
+let c = Affine.const
+let ( ++ ) = Affine.add
+let read name subs = Expr.Read (Aref.make name subs)
+let ( +: ) a b = Expr.Binop (Expr.Add, a, b)
+let ( *: ) a b = Expr.Binop (Expr.Mul, a, b)
+let ( -: ) a b = Expr.Binop (Expr.Sub, a, b)
+
+let convolution =
+  {
+    name = "convolution";
+    description = "C[i+j] := C[i+j] + A[i] * B[j]";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "C" [ v "i" ++ v "j" ] in
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size) ]
+          [ Stmt.make lhs (Expr.Read lhs +: (read "A" [ v "i" ] *: read "B" [ v "j" ])) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 1 };
+  }
+
+let dft =
+  {
+    name = "dft";
+    description = "X[k] := X[k] + A[j] * W[k, j] (materialized twiddles)";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "X" [ v "k" ] in
+        Nest.rectangular
+          [ ("k", 1, size); ("j", 1, size) ]
+          [ Stmt.make lhs
+              (Expr.Read lhs +: (read "A" [ v "j" ] *: read "W" [ v "k"; v "j" ])) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 1 };
+  }
+
+let stencil_2d =
+  {
+    name = "stencil2d";
+    description = "A[i,j] := B[i-1,j] + B[i+1,j] + B[i,j-1] + B[i,j+1]";
+    build =
+      (fun ~size ->
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size) ]
+          [ Stmt.make
+              (Aref.make "A" [ v "i"; v "j" ])
+              (read "B" [ v "i" ++ c (-1); v "j" ]
+               +: read "B" [ v "i" ++ c 1; v "j" ]
+               +: read "B" [ v "i"; v "j" ++ c (-1) ]
+               +: read "B" [ v "i"; v "j" ++ c 1 ]) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
+  }
+
+let sor =
+  {
+    name = "sor";
+    description = "A[i,j] := A[i-1,j] + A[i,j-1] (wavefront recurrence)";
+    build =
+      (fun ~size ->
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size) ]
+          [ Stmt.make
+              (Aref.make "A" [ v "i"; v "j" ])
+              (read "A" [ v "i" ++ c (-1); v "j" ]
+               +: read "A" [ v "i"; v "j" ++ c (-1) ]) ]);
+    expected = { strategy = Strategy.Min_duplicate; parallel_dims = 0 };
+  }
+
+let rank1_update =
+  {
+    name = "rank1";
+    description = "A[i,j] := A[i,j] - B[i] * C[j]";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "A" [ v "i"; v "j" ] in
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size) ]
+          [ Stmt.make lhs
+              (Expr.Read lhs -: (read "B" [ v "i" ] *: read "C" [ v "j" ])) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
+  }
+
+let matmul =
+  {
+    name = "matmul";
+    description = "C[i,j] := C[i,j] + A[i,k] * B[k,j] (loop L5)";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "C" [ v "i"; v "j" ] in
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size); ("k", 1, size) ]
+          [ Stmt.make lhs
+              (Expr.Read lhs
+               +: (read "A" [ v "i"; v "k" ] *: read "B" [ v "k"; v "j" ])) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
+  }
+
+let shifted_sum =
+  {
+    name = "shift";
+    description = "A[i,j] := B[i-1,j-1] + B[i,j] (For-all; R&S succeeds too)";
+    build =
+      (fun ~size ->
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size) ]
+          [ Stmt.make
+              (Aref.make "A" [ v "i"; v "j" ])
+              (read "B" [ v "i" ++ c (-1); v "j" ++ c (-1) ]
+               +: read "B" [ v "i"; v "j" ]) ]);
+    expected = { strategy = Strategy.Nonduplicate; parallel_dims = 1 };
+  }
+
+(* Triangular iteration spaces exercise the non-rectangular paths:
+   affine loop bounds, enumeration-based extents, and Fourier-Motzkin
+   bound generation over non-box domains. *)
+let triangular_levels size =
+  [ { Nest.var = "i"; lower = Affine.const 1; upper = Affine.const size };
+    { Nest.var = "j"; lower = Affine.var "i"; upper = Affine.const size } ]
+
+let triangular_rank1 =
+  {
+    name = "tri-rank1";
+    description = "for j = i to n: A[i,j] := A[i,j] - B[i] * C[j] (triangular)";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "A" [ v "i"; v "j" ] in
+        Nest.make (triangular_levels size)
+          [ Stmt.make lhs
+              (Expr.Read lhs -: (read "B" [ v "i" ] *: read "C" [ v "j" ])) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
+  }
+
+let triangular_stencil =
+  {
+    name = "tri-stencil";
+    description = "for j = i to n: A[i,j] := B[i-1,j] + B[i,j+1] (triangular)";
+    build =
+      (fun ~size ->
+        Nest.make (triangular_levels size)
+          [ Stmt.make
+              (Aref.make "A" [ v "i"; v "j" ])
+              (read "B" [ v "i" ++ c (-1); v "j" ]
+               +: read "B" [ v "i"; v "j" ++ c 1 ]) ]);
+    expected = { strategy = Strategy.Nonduplicate; parallel_dims = 1 };
+  }
+
+let convolution_2d =
+  {
+    name = "conv2d";
+    description =
+      "C[i+k, j+l] := C[i+k, j+l] + A[i,j] * K[k,l] (4-nested image blur)";
+    build =
+      (fun ~size ->
+        let lhs = Aref.make "C" [ v "i" ++ v "k"; v "j" ++ v "l" ] in
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size); ("k", 1, 2); ("l", 1, 2) ]
+          [ Stmt.make lhs
+              (Expr.Read lhs
+               +: (read "A" [ v "i"; v "j" ] *: read "K" [ v "k"; v "l" ])) ]);
+    (* C accumulates along the kernel offsets: Ker(H_C) has dimension 2
+       and carries the flow dependences, leaving two parallel dimensions
+       once the read-only inputs are replicated. *)
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
+  }
+
+let all =
+  [ convolution; dft; stencil_2d; sor; rank1_update; matmul; shifted_sum;
+    triangular_rank1; triangular_stencil; convolution_2d ]
+
+type study_row = {
+  kernel : string;
+  strategy : Strategy.t;
+  dim_psi : int;
+  parallel_dims : int;
+  blocks : int;
+  verified : bool;
+}
+
+let study ?(size = 4) kernel =
+  let nest = kernel.build ~size in
+  let exact = Cf_dep.Exact.analyze nest in
+  List.map
+    (fun strategy ->
+      let psi = Strategy.partitioning_space ~exact strategy nest in
+      let partition = Iter_partition.make nest psi in
+      {
+        kernel = kernel.name;
+        strategy;
+        dim_psi = Cf_linalg.Subspace.dim psi;
+        parallel_dims = Strategy.parallelism_degree psi;
+        blocks = Iter_partition.block_count partition;
+        verified = Verify.communication_free ~exact strategy partition;
+      })
+    Strategy.all
+
+let baseline_comparison ?(size = 4) kernel =
+  Cf_baseline.Hyperplane.compare_on ~name:kernel.name (kernel.build ~size)
+
+let pp_study_row ppf r =
+  Format.fprintf ppf
+    "%-12s %-18s dim=%d parallel=%d blocks=%-4d verified=%b" r.kernel
+    (Strategy.to_string r.strategy)
+    r.dim_psi r.parallel_dims r.blocks r.verified

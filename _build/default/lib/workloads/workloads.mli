@@ -1,0 +1,81 @@
+(** Scientific kernels from the paper's UPPER project (Sec. V mentions
+    matrix multiplication, discrete Fourier transform, convolution, and
+    basic linear-algebra programs), expressed as analyzable loop nests.
+
+    Each kernel is a parameterized nest builder plus the expected
+    qualitative outcome of the communication-free analysis, so the
+    example programs and the ablation benchmark can sweep all of them. *)
+
+type expectation = {
+  strategy : Cf_core.Strategy.t;
+      (** cheapest strategy achieving the kernel's best parallelism *)
+  parallel_dims : int;  (** forall dimensions under that strategy *)
+}
+
+type kernel = {
+  name : string;
+  description : string;
+  build : size:int -> Cf_loop.Nest.t;
+  expected : expectation;
+}
+
+val convolution : kernel
+(** 1-D convolution [C[i+j] += A[i]·B[j]]: duplication of the read-only
+    inputs exposes the anti-diagonal direction [(1,−1)] — one parallel
+    dimension. *)
+
+val dft : kernel
+(** Naive DFT with a materialized twiddle matrix
+    [X[k] += A[j]·W[k,j]]: row-parallel under duplication. *)
+
+val stencil_2d : kernel
+(** Five-point Jacobi step into a fresh array: fully parallel under
+    duplication (inputs are read-only), sequential without. *)
+
+val sor : kernel
+(** First-order recurrence [A[i,j] := A[i−1,j] + A[i,j−1]]: no
+    communication-free parallelism exists under any strategy (wavefront
+    loops need communication). *)
+
+val rank1_update : kernel
+(** [A[i,j] := A[i,j] − B[i]·C[j]]: fully parallel under duplication. *)
+
+val matmul : kernel
+(** Loop L5; see {!Cf_exec.Matmul} for the full Table I/II study. *)
+
+val shifted_sum : kernel
+(** A genuine For-all loop ([A[i,j] := B[i-1,j-1] + B[i,j]]) on which
+    the R&S hyperplane baseline also finds one parallel dimension —
+    both methods tie here, keeping the comparison honest. *)
+
+val triangular_rank1 : kernel
+(** Triangular rank-1 update (non-rectangular iteration space):
+    fully parallel under duplication. *)
+
+val triangular_stencil : kernel
+(** Triangular read-only stencil: one parallel dimension without any
+    duplication, exercising affine bounds end to end. *)
+
+val convolution_2d : kernel
+(** 4-nested 2-D convolution (image blur): the accumulator's kernel
+    directions carry all flow dependences, so duplication of the inputs
+    leaves two parallel dimensions.  Exercises depth-4 analysis and
+    transformation. *)
+
+val all : kernel list
+
+type study_row = {
+  kernel : string;
+  strategy : Cf_core.Strategy.t;
+  dim_psi : int;
+  parallel_dims : int;
+  blocks : int;
+  verified : bool;
+}
+
+val study : ?size:int -> kernel -> study_row list
+(** Runs all four strategies on the kernel and verifies each plan. *)
+
+val baseline_comparison : ?size:int -> kernel -> Cf_baseline.Hyperplane.comparison
+
+val pp_study_row : Format.formatter -> study_row -> unit

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Cf_baseline Cf_core Cf_linalg Cf_loop Cf_rational Cf_workloads Hyperplane List Subspace Testutil Vec

@@ -1,0 +1,1 @@
+test/test_cgen.ml: Alcotest Cf_cgen Cf_core Cf_linalg Cf_transform Cf_workloads Cgen Filename Lazy List Printf String Sys Testutil

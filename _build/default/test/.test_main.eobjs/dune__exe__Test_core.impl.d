@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cf_core Cf_dep Cf_linalg Cf_loop Data_partition Format Iter_partition List Refspace Strategy String Subspace Testutil Vec Verify

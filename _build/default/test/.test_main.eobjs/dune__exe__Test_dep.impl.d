@@ -1,0 +1,1 @@
+test/test_dep.ml: Alcotest Analysis Aref Array Cf_dep Cf_exec Cf_lattice Cf_loop Exact Graph Kind List Nest Printf String Testutil Witness

@@ -1,0 +1,1 @@
+test/test_depth3.ml: Affine Aref Array Cf_core Cf_dep Cf_exec Cf_loop Cf_pipeline Cf_transform Expr Format Iter_partition List Nest Parse QCheck Stmt Strategy Testutil Verify

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Affine Alcotest Aref Array Cf_core Cf_exec Cf_frontend Cf_loop Cf_pipeline Distribution Expr Imperfect List Nest Parse Stmt Testutil

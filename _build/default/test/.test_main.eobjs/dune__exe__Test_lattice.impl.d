@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Array Babai Cf_lattice Cf_linalg Intlin List Lll QCheck Smith Testutil

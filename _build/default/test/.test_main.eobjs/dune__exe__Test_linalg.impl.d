@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Cf_linalg Cf_rational List Mat QCheck Rat Subspace Testutil Vec

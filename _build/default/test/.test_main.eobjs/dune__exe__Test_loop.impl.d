@@ -1,0 +1,1 @@
+test/test_loop.ml: Affine Alcotest Aref Array Cf_exec Cf_frontend Cf_loop Expr Format List Nest Parse Printf QCheck Stmt String Testutil

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cf_exec Cf_machine Cost Format List Machine String Testutil Topology

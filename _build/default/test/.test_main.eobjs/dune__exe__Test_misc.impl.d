@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Cf_core Cf_exec Cf_lattice Cf_linalg Cf_machine Cf_rational Cf_report Cf_transform Format Mat Oint QCheck Rat String Subspace Testutil Vec

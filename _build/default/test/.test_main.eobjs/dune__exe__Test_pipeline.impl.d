@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Cf_core Cf_exec Cf_loop Cf_machine Cf_pipeline Cf_transform Cf_workloads Diagnose Format List Pipeline String Testutil

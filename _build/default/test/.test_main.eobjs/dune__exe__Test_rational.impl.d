@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Cf_rational Float Oint QCheck Rat Testutil

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Allocmap Cf_core Cf_exec Cf_linalg Cf_report Cf_transform Figures Iter_partition List Printf Strategy String Svg Tables Testutil

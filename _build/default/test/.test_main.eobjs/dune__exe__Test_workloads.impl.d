@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cf_core Cf_exec Cf_linalg Cf_loop Cf_pipeline Cf_transform Cf_workloads List Printf Testutil Workloads

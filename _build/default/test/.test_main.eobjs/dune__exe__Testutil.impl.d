@@ -1,0 +1,1 @@
+test/testutil.ml: Affine Alcotest Aref Array Cf_exec Cf_loop Expr Format Nest Parse QCheck QCheck_alcotest Stmt

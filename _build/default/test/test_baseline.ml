@@ -1,0 +1,87 @@
+open Cf_baseline
+open Cf_linalg
+open Testutil
+
+let baseline_cases =
+  [
+    Alcotest.test_case "applicability (For-all check)" `Quick (fun () ->
+        check_bool "L1 has flow deps" false (Hyperplane.applicable l1);
+        check_bool "L2 has output deps" false (Hyperplane.applicable l2);
+        check_bool "L3 has flow deps" false (Hyperplane.applicable l3);
+        let stencil = Cf_workloads.Workloads.stencil_2d.build ~size:4 in
+        check_bool "stencil is For-all" true (Hyperplane.applicable stencil);
+        let shift = Cf_workloads.Workloads.shifted_sum.build ~size:4 in
+        check_bool "shift is For-all" true (Hyperplane.applicable shift));
+    Alcotest.test_case "normal for the shift kernel" `Quick (fun () ->
+        let shift = Cf_workloads.Workloads.shifted_sum.build ~size:4 in
+        match Hyperplane.normal shift with
+        | Some q ->
+          (* B's data-referenced vector is (1,1); s = (1,-1) gives
+             q = H^T s = (1,-1) up to sign/scale. *)
+          check_bool "q along (1,-1)" true
+            (q = [| 1; -1 |] || q = [| -1; 1 |])
+        | None -> Alcotest.fail "expected a hyperplane normal");
+    Alcotest.test_case "stencil has no hyperplane normal" `Quick (fun () ->
+        let stencil = Cf_workloads.Workloads.stencil_2d.build ~size:4 in
+        check_bool "no q" true (Hyperplane.normal stencil = None);
+        check_bool "sequential space" true
+          (Subspace.is_full (Hyperplane.partitioning_space stencil)));
+    Alcotest.test_case "shift partitioning space matches ours" `Quick
+      (fun () ->
+        let shift = Cf_workloads.Workloads.shifted_sum.build ~size:4 in
+        let baseline = Hyperplane.partitioning_space shift in
+        let ours =
+          Cf_core.Strategy.partitioning_space Cf_core.Strategy.Nonduplicate
+            shift
+        in
+        check_bool "same 1-dim space" true (Subspace.equal baseline ours));
+    Alcotest.test_case "baseline space is communication-free when found"
+      `Quick (fun () ->
+        let shift = Cf_workloads.Workloads.shifted_sum.build ~size:4 in
+        let psi = Hyperplane.partitioning_space shift in
+        let p = Cf_core.Iter_partition.make shift psi in
+        check_bool "comm-free" true
+          (Cf_core.Verify.communication_free Cf_core.Strategy.Nonduplicate p));
+    Alcotest.test_case "comparison rows" `Quick (fun () ->
+        let c = Hyperplane.compare_on ~name:"L1" l1 in
+        check_int "baseline 0 on L1" 0 c.Hyperplane.baseline_parallel_dims;
+        check_int "ours 1 on L1" 1 c.Hyperplane.ours_parallel_dims;
+        let shift = Cf_workloads.Workloads.shifted_sum.build ~size:4 in
+        let c = Hyperplane.compare_on ~name:"shift" shift in
+        check_int "baseline 1" 1 c.Hyperplane.baseline_parallel_dims;
+        check_int "ours 2 (duplication)" 2 c.Hyperplane.ours_parallel_dims);
+  ]
+
+let properties =
+  [
+    qtest "our best never trails the baseline" ~count:40
+      (fun nest ->
+        let c = Hyperplane.compare_on ~name:"random" nest in
+        c.Hyperplane.ours_parallel_dims >= c.Hyperplane.baseline_parallel_dims)
+      arbitrary_nest;
+    qtest "a found normal is orthogonal to its hyperplane space" ~count:40
+      (fun nest ->
+        match Hyperplane.normal nest with
+        | None -> true
+        | Some q ->
+          let n = Cf_loop.Nest.depth nest in
+          let space =
+            Subspace.complement (Subspace.span n [ Vec.of_int_array q ])
+          in
+          List.for_all
+            (fun b ->
+              Cf_rational.Rat.is_zero (Vec.dot (Vec.of_int_array q) b))
+            (Subspace.basis space))
+      arbitrary_nest;
+    qtest "baseline space never severs a dependence when applicable" ~count:40
+      (fun nest ->
+        if not (Hyperplane.applicable nest) then true
+        else
+          let psi = Hyperplane.partitioning_space nest in
+          let p = Cf_core.Iter_partition.make nest psi in
+          Cf_core.Verify.communication_free Cf_core.Strategy.Nonduplicate p)
+      arbitrary_nest;
+  ]
+
+let suites =
+  [ ("baseline", baseline_cases); ("baseline-properties", properties) ]

@@ -1,0 +1,108 @@
+(* End-to-end tests of the cfalloc binary: each subcommand runs against
+   the example loop files and its output is spot-checked.  Tests run
+   from _build/default/test/, so the binary and the loop files are
+   reached relative to the workspace root. *)
+
+open Testutil
+
+(* The test executable lives in <root>/_build/default/test/, so the CLI
+   binary is a sibling directory and the source tree is three levels up. *)
+let exe_dir = Filename.dirname Sys.executable_name
+let binary = Filename.concat exe_dir "../bin/cfalloc.exe"
+
+let root =
+  Filename.concat (Filename.concat (Filename.concat exe_dir "..") "..") ".."
+
+let loop f = Filename.concat root ("examples/loops/" ^ f)
+
+let available =
+  lazy (Sys.file_exists binary && Sys.file_exists (loop "l1.loop"))
+
+let run_cli args =
+  if not (Lazy.force available) then None
+  else begin
+    let out = Filename.temp_file "cfalloc" ".out" in
+    let cmd =
+      Printf.sprintf "%s %s > %s 2>&1" (Filename.quote binary)
+        (String.concat " " (List.map Filename.quote args))
+        out
+    in
+    let status = Sys.command cmd in
+    let ic = open_in out in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    (try Sys.remove out with Sys_error _ -> ());
+    Some (status, contents)
+  end
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_ok name args needles =
+  Alcotest.test_case name `Slow (fun () ->
+      match run_cli args with
+      | None -> () (* binary not built in this context *)
+      | Some (status, out) ->
+        check_int (name ^ " exit code") 0 status;
+        List.iter
+          (fun needle ->
+            check_bool
+              (Printf.sprintf "%s mentions %S" name needle)
+              true (contains out needle))
+          needles)
+
+let cases =
+  [
+    expect_ok "analyze L1"
+      [ "analyze"; loop "l1.loop" ]
+      [ "Psi_A = span{(1, 1)}"; "communication-free verified: true" ];
+    expect_ok "analyze reports diagnostics"
+      [ "analyze"; loop "l2.loop" ]
+      [ "info [singular-reference-matrix]" ];
+    expect_ok "transform L4 with the paper's basis"
+      [ "transform"; loop "l4.loop"; "--basis"; "1,1,0;-1,0,1"; "-p"; "4" ]
+      [ "forall i1' = 2 to 8"; "step 2" ];
+    expect_ok "simulate L2 duplicated"
+      [ "simulate"; loop "l2.loop"; "-s"; "duplicate"; "-p"; "4" ]
+      [ "communication-free: yes"; "results: match sequential" ];
+    expect_ok "figures L3 minimal duplicate"
+      [ "figures"; loop "l3.loop"; "-s"; "min-duplicate" ]
+      [ "data reference graph G^A"; "iteration partition" ];
+    expect_ok "compare convolution"
+      [ "compare"; loop "convolution.loop" ]
+      [ "R&S hyperplane" ];
+    expect_ok "advise L5"
+      [ "advise"; loop "l5.loop"; "-p"; "16" ]
+      [ "duplication candidates"; "duplicate {" ];
+    expect_ok "cgen L1"
+      [ "cgen"; loop "l1.loop" ]
+      [ "int main(void)"; "#define AT_A" ];
+    expect_ok "multi-nest program"
+      [ "compare"; loop "program.loop" ]
+      [ "===== nest 1 ====="; "===== nest 2 =====" ];
+    expect_ok "allocate L1"
+      [ "allocate"; loop "l1.loop"; "-p"; "3" ]
+      [ "PE2:"; "(0 replicated)" ];
+    expect_ok "distribute the reduction idiom"
+      [ "distribute"; loop "reduction.loop"; "-s"; "duplicate" ]
+      [ "distributed into 2 perfect nest(s)"; "===== nest 2 =====" ];
+    expect_ok "cgen with OpenMP"
+      [ "cgen"; loop "l4.loop"; "--openmp" ]
+      [ "#pragma omp parallel for" ];
+    expect_ok "declared bounds reach the figures"
+      [ "figures"; loop "l1.loop" ]
+      [ " 8 | .. ## ## ## ##" ];
+    Alcotest.test_case "bad input fails cleanly" `Slow (fun () ->
+        match
+          run_cli [ "analyze"; Filename.concat root "dune-project" ]
+        with
+        | None -> ()
+        | Some (status, out) ->
+          check_int "nonzero exit" 1 status;
+          check_bool "parse error message" true (contains out "parse error"));
+  ]
+
+let suites = [ ("cli", cases) ]

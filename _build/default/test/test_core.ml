@@ -1,0 +1,282 @@
+open Cf_linalg
+open Cf_core
+open Testutil
+
+let subspace = Alcotest.testable Subspace.pp Subspace.equal
+
+let v l = Vec.of_int_list l
+let span2 vs = Subspace.span 2 (List.map v vs)
+let span3 vs = Subspace.span 3 (List.map v vs)
+
+let refspace_cases =
+  [
+    Alcotest.test_case "L1 reference spaces (Sec. III.A)" `Quick (fun () ->
+        Alcotest.check subspace "Psi_A" (span2 [ [ 1; 1 ] ])
+          (Refspace.reference_space l1 "A");
+        Alcotest.check subspace "Psi_C" (span2 [ [ 1; 1 ] ])
+          (Refspace.reference_space l1 "C");
+        Alcotest.check subspace "Psi_B trivial" (Subspace.zero 2)
+          (Refspace.reference_space l1 "B"));
+    Alcotest.test_case "L2 reference spaces" `Quick (fun () ->
+        (* Psi_A = span{(1,-1), (1/2,1/2)} = all of R^2; Psi_B = {0}. *)
+        Alcotest.check subspace "Psi_A full" (Subspace.full 2)
+          (Refspace.reference_space l2 "A");
+        Alcotest.check subspace "Psi_B trivial" (Subspace.zero 2)
+          (Refspace.reference_space l2 "B"));
+    Alcotest.test_case "L1 reduced reference spaces (Sec. III.B)" `Quick
+      (fun () ->
+        Alcotest.check subspace "Psi^r_A keeps flow" (span2 [ [ 1; 1 ] ])
+          (Refspace.reduced_reference_space l1 "A");
+        Alcotest.check subspace "Psi^r_B trivial" (Subspace.zero 2)
+          (Refspace.reduced_reference_space l1 "B");
+        Alcotest.check subspace "Psi^r_C drops input deps" (Subspace.zero 2)
+          (Refspace.reduced_reference_space l1 "C"));
+    Alcotest.test_case "L2 reduced reference spaces" `Quick (fun () ->
+        Alcotest.check subspace "A fully duplicable" (Subspace.zero 2)
+          (Refspace.reduced_reference_space l2 "A");
+        Alcotest.check subspace "B fully duplicable" (Subspace.zero 2)
+          (Refspace.reduced_reference_space l2 "B"));
+    Alcotest.test_case "L3 minimal spaces (Sec. III.C)" `Quick (fun () ->
+        let exact = Cf_dep.Exact.analyze l3 in
+        Alcotest.check subspace "Psi^min_A = span{(1,0),(1,-1)}"
+          (span2 [ [ 1; 0 ]; [ 1; -1 ] ])
+          (Refspace.minimal_reference_space exact "A");
+        Alcotest.check subspace "Psi^min^r_A = span{(1,0)}"
+          (span2 [ [ 1; 0 ] ])
+          (Refspace.minimal_reduced_reference_space exact "A"));
+  ]
+
+let strategy_cases =
+  [
+    Alcotest.test_case "L1 partitioning spaces" `Quick (fun () ->
+        Alcotest.check subspace "Thm 1" (span2 [ [ 1; 1 ] ])
+          (Strategy.partitioning_space Strategy.Nonduplicate l1);
+        Alcotest.check subspace "Thm 2 same for L1" (span2 [ [ 1; 1 ] ])
+          (Strategy.partitioning_space Strategy.Duplicate l1));
+    Alcotest.test_case "L2 partitioning spaces" `Quick (fun () ->
+        Alcotest.check subspace "Thm 1: sequential" (Subspace.full 2)
+          (Strategy.partitioning_space Strategy.Nonduplicate l2);
+        Alcotest.check subspace "Thm 2: fully parallel" (Subspace.zero 2)
+          (Strategy.partitioning_space Strategy.Duplicate l2));
+    Alcotest.test_case "L3 partitioning spaces" `Quick (fun () ->
+        Alcotest.check subspace "Thm 2 still sequential" (Subspace.full 2)
+          (Strategy.partitioning_space Strategy.Duplicate l3);
+        Alcotest.check subspace "Thm 4 after elimination" (span2 [ [ 1; 0 ] ])
+          (Strategy.partitioning_space Strategy.Min_duplicate l3));
+    Alcotest.test_case "L4 partitioning space" `Quick (fun () ->
+        Alcotest.check subspace "span{(1,-1,1)}" (span3 [ [ 1; -1; 1 ] ])
+          (Strategy.partitioning_space Strategy.Nonduplicate l4);
+        check_int "parallelism degree" 2
+          (Strategy.parallelism_degree
+             (Strategy.partitioning_space Strategy.Nonduplicate l4)));
+    Alcotest.test_case "L5 spaces match the matmul study" `Quick (fun () ->
+        let l5 = l5 ~m:4 in
+        Alcotest.check subspace "nonduplicate sequential" (Subspace.full 3)
+          (Strategy.partitioning_space Strategy.Nonduplicate l5);
+        Alcotest.check subspace "duplicate leaves i,j parallel"
+          (span3 [ [ 0; 0; 1 ] ])
+          (Strategy.partitioning_space Strategy.Duplicate l5));
+    Alcotest.test_case "selective duplication (L5' and L5'' spaces)" `Quick
+      (fun () ->
+        let l5 = l5 ~m:4 in
+        Alcotest.check subspace "duplicate B only = Psi'"
+          (span3 [ [ 0; 1; 0 ]; [ 0; 0; 1 ] ])
+          (Strategy.selective_space l5 ~duplicated:[ "B" ]);
+        Alcotest.check subspace "duplicate A only (symmetric)"
+          (span3 [ [ 1; 0; 0 ]; [ 0; 0; 1 ] ])
+          (Strategy.selective_space l5 ~duplicated:[ "A" ]);
+        Alcotest.check subspace "duplicate A and B = Psi''"
+          (span3 [ [ 0; 0; 1 ] ])
+          (Strategy.selective_space l5 ~duplicated:[ "A"; "B" ]);
+        Alcotest.check subspace "duplicate nothing = Theorem 1"
+          (Strategy.partitioning_space Strategy.Nonduplicate l5)
+          (Strategy.selective_space l5 ~duplicated:[]);
+        Alcotest.check subspace "duplicate everything = Theorem 2"
+          (Strategy.partitioning_space Strategy.Duplicate l5)
+          (Strategy.selective_space l5
+             ~duplicated:(Cf_loop.Nest.arrays l5)));
+    Alcotest.test_case "strategy names" `Quick (fun () ->
+        Alcotest.check
+          Alcotest.(list string)
+          "all"
+          [ "nonduplicate"; "duplicate"; "min-nonduplicate"; "min-duplicate" ]
+          (List.map Strategy.to_string Strategy.all));
+  ]
+
+let partition_cases =
+  [
+    Alcotest.test_case "L1 iteration partition (Fig. 3)" `Quick (fun () ->
+        let p = Iter_partition.make l1 (span2 [ [ 1; 1 ] ]) in
+        check_int "7 blocks" 7 (Iter_partition.block_count p);
+        (* Base point of B5 is (2,1) per the paper. *)
+        let b5 = (Iter_partition.blocks p).(4) in
+        Alcotest.check Alcotest.(array int) "base of B5" [| 2; 1 |] b5.base;
+        check_int "B5 holds 3 iterations" 3 (List.length b5.iterations);
+        check_int "largest block is the main diagonal" 4
+          (Iter_partition.max_block_size p);
+        (* Every iteration belongs to the block reported for it. *)
+        List.iter
+          (fun it ->
+            let b = Iter_partition.block_of_iteration p it in
+            check_bool "member" true (List.mem it b.iterations))
+          (Cf_loop.Nest.iterations l1));
+    Alcotest.test_case "L2 duplicate partition (Fig. 5)" `Quick (fun () ->
+        let p = Iter_partition.make l2 (Subspace.zero 2) in
+        check_int "16 singleton blocks" 16 (Iter_partition.block_count p);
+        check_int "singletons" 1 (Iter_partition.max_block_size p));
+    Alcotest.test_case "full space partition" `Quick (fun () ->
+        let p = Iter_partition.make l1 (Subspace.full 2) in
+        check_int "one block" 1 (Iter_partition.block_count p);
+        check_int "all iterations" 16 (Iter_partition.max_block_size p));
+    Alcotest.test_case "L1 data partition (Fig. 2)" `Quick (fun () ->
+        let p = Iter_partition.make l1 (span2 [ [ 1; 1 ] ]) in
+        let da = Data_partition.make l1 p "A" in
+        check_bool "A disjoint" true (Data_partition.is_disjoint da);
+        check_int "A blocks" 7 (Data_partition.block_count da);
+        let db = Data_partition.make l1 p "B" in
+        check_bool "B disjoint" true (Data_partition.is_disjoint db);
+        let dc = Data_partition.make l1 p "C" in
+        check_bool "C disjoint" true (Data_partition.is_disjoint dc));
+    Alcotest.test_case "L2 duplicate data partition (Fig. 4)" `Quick (fun () ->
+        let p = Iter_partition.make l2 (Subspace.zero 2) in
+        let da = Data_partition.make l2 p "A" in
+        check_bool "A duplicated" false (Data_partition.is_disjoint da);
+        check_bool "some element has several owners" true
+          (List.exists (fun (_, n) -> n > 1) (Data_partition.copies da));
+        (* Fig. 4a: e.g. A[4,4] is referenced by several singleton blocks. *)
+        check_bool "A[4,4] replicated" true
+          (List.length (Data_partition.owner da [| 4; 4 |]) > 1));
+    Alcotest.test_case "ownership lookup" `Quick (fun () ->
+        let p = Iter_partition.make l1 (span2 [ [ 1; 1 ] ]) in
+        let da = Data_partition.make l1 p "A" in
+        check_bool "untouched element" true
+          (Data_partition.owner da [| 1; 1 |] = []);
+        (* A[2,1] is written at (1,1) and read at (2,2): one block. *)
+        check_int "A[2,1] single owner" 1
+          (List.length (Data_partition.owner da [| 2; 1 |])));
+  ]
+
+let verify_cases =
+  [
+    Alcotest.test_case "theorems hold on the paper's loops" `Quick (fun () ->
+        List.iter
+          (fun (name, nest) ->
+            List.iter
+              (fun strategy ->
+                match Verify.check_strategy strategy nest with
+                | Ok () -> ()
+                | Error vs ->
+                  Alcotest.failf "%s %s: %d violations, e.g. %a" name
+                    (Strategy.to_string strategy)
+                    (List.length vs) Verify.pp_violation (List.hd vs))
+              Strategy.all)
+          all_paper_loops);
+    Alcotest.test_case "wrong spaces produce violations" `Quick (fun () ->
+        (* Partitioning L1 along (1,0) severs the flow dependence (1,1). *)
+        let p = Iter_partition.make l1 (span2 [ [ 1; 0 ] ]) in
+        check_bool "violations" false
+          (Verify.communication_free Strategy.Nonduplicate p);
+        check_bool "duplication does not save it" false
+          (Verify.communication_free Strategy.Duplicate p));
+    Alcotest.test_case "duplication absorbs non-flow deps" `Quick (fun () ->
+        (* L2 under the zero space: nonduplicate fails (output deps cross
+           blocks), duplicate succeeds. *)
+        let p = Iter_partition.make l2 (Subspace.zero 2) in
+        check_bool "nonduplicate violated" false
+          (Verify.communication_free Strategy.Nonduplicate p);
+        check_bool "duplicate fine" true
+          (Verify.communication_free Strategy.Duplicate p));
+    Alcotest.test_case "minimality of L3's spaces" `Quick (fun () ->
+        let exact = Cf_dep.Exact.analyze l3 in
+        check_bool "min-dup space minimal" true
+          (Verify.is_minimal ~exact Strategy.Min_duplicate l3
+             (span2 [ [ 1; 0 ] ]));
+        check_bool "bigger space not minimal" false
+          (Verify.is_minimal ~exact Strategy.Min_duplicate l3 (Subspace.full 2)));
+    Alcotest.test_case "violation rendering" `Quick (fun () ->
+        let p = Iter_partition.make l1 (span2 [ [ 1; 0 ] ]) in
+        match Verify.violations Strategy.Nonduplicate p with
+        | [] -> Alcotest.fail "expected violations"
+        | v :: _ ->
+          let s = Format.asprintf "%a" Verify.pp_violation v in
+          check_bool "mentions blocks" true
+            (String.length s > 0 && String.contains s 'B'));
+  ]
+
+let properties =
+  [
+    qtest "Theorem 1 as a property (nonduplicate comm-free)" ~count:60
+      (fun nest ->
+        match Verify.check_strategy Strategy.Nonduplicate nest with
+        | Ok () -> true
+        | Error _ -> false)
+      arbitrary_nest;
+    qtest "Theorem 2 as a property (duplicate comm-free)" ~count:60
+      (fun nest ->
+        match Verify.check_strategy Strategy.Duplicate nest with
+        | Ok () -> true
+        | Error _ -> false)
+      arbitrary_nest;
+    qtest "Theorems 3/4 as properties (minimal spaces comm-free)" ~count:40
+      (fun nest ->
+        (match Verify.check_strategy Strategy.Min_nonduplicate nest with
+         | Ok () -> true
+         | Error _ -> false)
+        && (match Verify.check_strategy Strategy.Min_duplicate nest with
+            | Ok () -> true
+            | Error _ -> false))
+      arbitrary_nest;
+    qtest "space inclusions: dup ⊆ nondup, minimal ⊆ plain" ~count:60
+      (fun nest ->
+        let exact = Cf_dep.Exact.analyze nest in
+        let s strat = Strategy.partitioning_space ~exact strat nest in
+        Subspace.subset (s Strategy.Duplicate) (s Strategy.Nonduplicate)
+        && Subspace.subset (s Strategy.Min_nonduplicate)
+             (s Strategy.Nonduplicate)
+        && Subspace.subset (s Strategy.Min_duplicate) (s Strategy.Duplicate)
+        && Subspace.subset (s Strategy.Min_duplicate)
+             (s Strategy.Min_nonduplicate))
+      arbitrary_nest;
+    qtest "blocks partition the iteration space" ~count:60
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let p = Iter_partition.make nest psi in
+        let from_blocks =
+          Array.to_list (Iter_partition.blocks p)
+          |> List.concat_map (fun (b : Iter_partition.block) -> b.iterations)
+          |> List.sort compare
+        in
+        from_blocks = List.sort compare (Cf_loop.Nest.iterations nest))
+      arbitrary_nest;
+    qtest "base points are lexicographic minima" ~count:60
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+        let p = Iter_partition.make nest psi in
+        Array.for_all
+          (fun (b : Iter_partition.block) ->
+            List.for_all (fun it -> compare b.base it <= 0) b.iterations)
+          (Iter_partition.blocks p))
+      arbitrary_nest;
+    qtest "block differences lie in the partitioning space" ~count:60
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let p = Iter_partition.make nest psi in
+        Array.for_all
+          (fun (b : Iter_partition.block) ->
+            List.for_all
+              (fun it ->
+                Subspace.mem_int psi
+                  (Array.map2 ( - ) it b.base))
+              b.iterations)
+          (Iter_partition.blocks p))
+      arbitrary_nest;
+  ]
+
+let suites =
+  [
+    ("refspace", refspace_cases);
+    ("strategy", strategy_cases);
+    ("partition", partition_cases);
+    ("verify", verify_cases);
+    ("core-properties", properties);
+  ]

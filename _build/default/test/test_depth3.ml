@@ -1,0 +1,168 @@
+(* Property tests over random 3-nested loops: the 2-D generator in
+   Testutil cannot exercise partitioning spaces of intermediate
+   dimension (0 < dim < n - 1), loop transformation with several inner
+   loops, or 3-D Fourier-Motzkin elimination.  Everything here runs the
+   same theorem-level checks at depth 3. *)
+
+open Cf_loop
+open Cf_core
+open Testutil
+
+(* Random uniformly generated 3-nested loops, d = 2 subscripts. *)
+let gen_nest3 =
+  let open QCheck.Gen in
+  let coeff = int_range (-1) 1 in
+  let offset = int_range (-2) 2 in
+  let gen_h = array_repeat 2 (array_repeat 3 coeff) in
+  let nontrivial h = Array.exists (fun row -> Array.exists (( <> ) 0) row) h in
+  let gen_h = gen_h >>= fun h -> if nontrivial h then return h else gen_h in
+  let vars = [| "i"; "j"; "k" |] in
+  let subscript h row c =
+    let acc = ref (Affine.const c) in
+    Array.iteri
+      (fun p v -> acc := Affine.add !acc (Affine.term h.(row).(p) v))
+      vars;
+    !acc
+  in
+  let gen_ref name h =
+    pair offset offset >|= fun (c0, c1) ->
+    Aref.make name [ subscript h 0 c0; subscript h 1 c1 ]
+  in
+  pair gen_h gen_h >>= fun (ha, hb) ->
+  let gen_stmt =
+    bool >>= fun lhs_a ->
+    gen_ref "A" ha >>= fun ra1 ->
+    gen_ref "A" ha >>= fun ra2 ->
+    gen_ref "B" hb >>= fun rb ->
+    int_range 1 9 >|= fun m ->
+    let lhs = if lhs_a then ra1 else rb in
+    let rhs =
+      Expr.Binop
+        ( Expr.Add,
+          Expr.Read (if lhs_a then rb else ra1),
+          Expr.Binop (Expr.Mul, Expr.Read ra2, Expr.Const m) )
+    in
+    Stmt.make lhs rhs
+  in
+  int_range 1 2 >>= fun nstmts ->
+  list_repeat nstmts gen_stmt >|= fun body ->
+  Nest.rectangular [ ("i", 1, 3); ("j", 1, 3); ("k", 1, 3) ] body
+
+let arbitrary_nest3 =
+  QCheck.make ~print:(fun t -> Format.asprintf "%a" Nest.pp t) gen_nest3
+
+let coverage nest pl =
+  let got = ref [] in
+  Cf_transform.Parloop.iter pl (fun ~block:_ ~iter -> got := iter :: !got);
+  List.sort compare !got = List.sort compare (Nest.iterations nest)
+
+let properties =
+  [
+    qtest "Theorem 1 at depth 3" ~count:40
+      (fun nest ->
+        match Verify.check_strategy Strategy.Nonduplicate nest with
+        | Ok () -> true
+        | Error _ -> false)
+      arbitrary_nest3;
+    qtest "Theorem 2 at depth 3" ~count:40
+      (fun nest ->
+        match Verify.check_strategy Strategy.Duplicate nest with
+        | Ok () -> true
+        | Error _ -> false)
+      arbitrary_nest3;
+    qtest "Theorems 3/4 at depth 3" ~count:25
+      (fun nest ->
+        (match Verify.check_strategy Strategy.Min_nonduplicate nest with
+         | Ok () -> true
+         | Error _ -> false)
+        &&
+        (match Verify.check_strategy Strategy.Min_duplicate nest with
+         | Ok () -> true
+         | Error _ -> false))
+      arbitrary_nest3;
+    qtest "transform covers the space at depth 3" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        coverage nest (Cf_transform.Transformer.transform nest psi))
+      arbitrary_nest3;
+    qtest "duplicate-space transform covers at depth 3" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+        coverage nest (Cf_transform.Transformer.transform nest psi))
+      arbitrary_nest3;
+    qtest "parallel = sequential execution at depth 3" ~count:25
+      (fun nest ->
+        let plan =
+          Cf_pipeline.Pipeline.plan ~strategy:Strategy.Duplicate nest
+        in
+        let sim = Cf_pipeline.Pipeline.simulate ~procs:4 plan in
+        Cf_exec.Parexec.ok sim.Cf_pipeline.Pipeline.report)
+      arbitrary_nest3;
+    qtest "symbolic deps complete wrt exact at depth 3" ~count:40
+      (fun nest ->
+        let exact = Cf_dep.Exact.analyze nest in
+        let key (d : Cf_dep.Analysis.dep) =
+          ( d.array,
+            (d.src.Nest.stmt_index, d.src.Nest.site_index),
+            (d.dst.Nest.stmt_index, d.dst.Nest.site_index),
+            d.kind )
+        in
+        let symbolic =
+          List.map key (Cf_dep.Analysis.deps ~search_radius:8 nest)
+        in
+        List.for_all
+          (fun d -> List.mem (key d) symbolic)
+          (Cf_dep.Exact.all_deps exact))
+      arbitrary_nest3;
+    qtest "blocks partition the space at depth 3" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let p = Iter_partition.make nest psi in
+        let from_blocks =
+          Array.to_list (Iter_partition.blocks p)
+          |> List.concat_map (fun (b : Iter_partition.block) -> b.iterations)
+          |> List.sort compare
+        in
+        from_blocks = List.sort compare (Nest.iterations nest))
+      arbitrary_nest3;
+  ]
+
+(* Parser fuzzing: pretty-print random nests and reparse them; the
+   round trip must preserve structure and semantics. *)
+let fuzz =
+  [
+    qtest "pp/reparse preserves structure (depth 2)" ~count:120
+      (fun nest ->
+        let printed = Format.asprintf "@[<v>%a@]" Nest.pp nest in
+        let nest' = Parse.nest printed in
+        Nest.cardinal nest = Nest.cardinal nest'
+        && Nest.arrays nest = Nest.arrays nest'
+        && Nest.depth nest = Nest.depth nest')
+      arbitrary_nest;
+    qtest "pp/reparse preserves semantics (depth 2)" ~count:60
+      (fun nest ->
+        let printed = Format.asprintf "@[<v>%a@]" Nest.pp nest in
+        let nest' = Parse.nest printed in
+        Cf_exec.Seqexec.equal_on_written (Cf_exec.Seqexec.run nest)
+          (Cf_exec.Seqexec.run nest'))
+      arbitrary_nest;
+    qtest "pp/reparse preserves structure (depth 3)" ~count:60
+      (fun nest ->
+        let printed = Format.asprintf "@[<v>%a@]" Nest.pp nest in
+        let nest' = Parse.nest printed in
+        Nest.cardinal nest = Nest.cardinal nest'
+        && Nest.arrays nest = Nest.arrays nest')
+      arbitrary_nest3;
+    qtest "pp/reparse preserves dependences (depth 2)" ~count:40
+      (fun nest ->
+        let printed = Format.asprintf "@[<v>%a@]" Nest.pp nest in
+        let nest' = Parse.nest printed in
+        let key (d : Cf_dep.Analysis.dep) =
+          (d.array, d.kind, Array.to_list d.witness)
+        in
+        List.sort_uniq compare (List.map key (Cf_dep.Analysis.deps nest))
+        = List.sort_uniq compare (List.map key (Cf_dep.Analysis.deps nest')))
+      arbitrary_nest;
+  ]
+
+let suites = [ ("depth3-properties", properties); ("parser-fuzz", fuzz) ]

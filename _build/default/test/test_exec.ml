@@ -1,0 +1,410 @@
+open Cf_core
+open Cf_exec
+open Testutil
+
+let seq_cases =
+  [
+    Alcotest.test_case "hand-checked tiny loop" `Quick (fun () ->
+        (* for i = 1 to 3: A[i] := A[i-1] + 1 with A[0] = 10 initially. *)
+        let t = Cf_loop.Parse.nest "for i = 1 to 3\nA[i] := A[i-1] + 1;\nend" in
+        let init _ el = if el = [| 0 |] then 10 else 0 in
+        let m = Seqexec.run ~init t in
+        Alcotest.check Alcotest.(option int) "A[1]" (Some 11)
+          (Seqexec.lookup m "A" [| 1 |]);
+        Alcotest.check Alcotest.(option int) "A[3]" (Some 13)
+          (Seqexec.lookup m "A" [| 3 |]);
+        Alcotest.check Alcotest.(option int) "A[0] untouched" None
+          (Seqexec.lookup m "A" [| 0 |]));
+    Alcotest.test_case "matmul against direct computation" `Quick (fun () ->
+        let m = 3 in
+        let t = Matmul.nest ~m in
+        let mem = Seqexec.run t in
+        let a i k = Seqexec.default_init "A" [| i; k |] in
+        let b k j = Seqexec.default_init "B" [| k; j |] in
+        let c0 i j = Seqexec.default_init "C" [| i; j |] in
+        for i = 1 to m do
+          for j = 1 to m do
+            let expected = ref (c0 i j) in
+            for k = 1 to m do
+              expected := !expected + (a i k * b k j)
+            done;
+            Alcotest.check
+              Alcotest.(option int)
+              (Printf.sprintf "C[%d,%d]" i j)
+              (Some !expected)
+              (Seqexec.lookup mem "C" [| i; j |])
+          done
+        done);
+    Alcotest.test_case "scalars read deterministic values" `Quick (fun () ->
+        let t = Cf_loop.Parse.nest "for i = 1 to 2\nA[i] := D;\nend" in
+        let m = Seqexec.run ~scalar:(fun _ -> 7) t in
+        Alcotest.check Alcotest.(option int) "A[1]" (Some 7)
+          (Seqexec.lookup m "A" [| 1 |]));
+    Alcotest.test_case "bindings sorted and equality" `Quick (fun () ->
+        let t = Cf_loop.Parse.nest "for i = 1 to 3\nA[4 - i] := i;\nend" in
+        let m = Seqexec.run t in
+        let b = Seqexec.bindings m in
+        check_int "three" 3 (List.length b);
+        check_bool "sorted" true (b = List.sort compare b);
+        check_bool "self equal" true (Seqexec.equal_on_written m m));
+  ]
+
+let par_cases =
+  [
+    Alcotest.test_case "L1 on 3 processors" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let partition = Iter_partition.make l1 psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 3)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:3)
+            ~strategy:Strategy.Nonduplicate partition
+        in
+        check_bool "ok" true (Parexec.ok r);
+        check_int "all 16 iterations ran" 16
+          (Array.fold_left ( + ) 0 r.Parexec.per_pe_iterations));
+    Alcotest.test_case "L2 duplicate on 4 processors" `Quick (fun () ->
+        let partition = Iter_partition.make l2 (Cf_linalg.Subspace.zero 2) in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Duplicate partition
+        in
+        check_bool "ok" true (Parexec.ok r);
+        Alcotest.check Alcotest.(array int) "4 each" [| 4; 4; 4; 4 |]
+          r.Parexec.per_pe_iterations);
+    Alcotest.test_case "L3 minimal duplicate skips redundant work" `Quick
+      (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Min_duplicate l3 in
+        let partition = Iter_partition.make l3 psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Min_duplicate partition
+        in
+        check_bool "ok" true (Parexec.ok r));
+    Alcotest.test_case "bad partition is caught at run time" `Quick (fun () ->
+        (* Partition L1 along (1,0): flow dependence crosses blocks, so a
+           processor must touch a remote element. *)
+        let partition =
+          Iter_partition.make l1
+            (Cf_linalg.Subspace.span 2 [ Cf_linalg.Vec.of_int_list [ 1; 0 ] ])
+        in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~allocate:true ~machine
+            ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Nonduplicate partition
+        in
+        check_bool "not ok" false (Parexec.ok r));
+    Alcotest.test_case "placement validation" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let partition = Iter_partition.make l1 psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 2)
+            Cf_machine.Cost.transputer
+        in
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Parexec.execute: placement outside the machine")
+          (fun () ->
+            ignore
+              (Parexec.execute ~machine ~placement:(fun _ -> 7)
+                 ~strategy:Strategy.Nonduplicate partition)));
+  ]
+
+let balance_cases =
+  [
+    Alcotest.test_case "metrics" `Quick (fun () ->
+        let b = Balance.of_counts [| 4; 4; 4; 4 |] in
+        check_int "max" 4 b.Balance.max;
+        Alcotest.(check (float 1e-9)) "imbalance" 1.0 b.Balance.imbalance;
+        let b = Balance.of_counts [| 8; 0 |] in
+        Alcotest.(check (float 1e-9)) "skewed" 2.0 b.Balance.imbalance;
+        let b = Balance.of_counts [| 0; 0 |] in
+        Alcotest.(check (float 1e-9)) "empty" 0.0 b.Balance.imbalance);
+  ]
+
+let matmul_cases =
+  [
+    Alcotest.test_case "all variants verify on m=6" `Quick (fun () ->
+        List.iter
+          (fun (variant, p) ->
+            let r = Matmul.simulate variant ~m:6 ~p in
+            if not (Parexec.ok r.Matmul.report) then
+              Alcotest.failf "%s p=%d failed" (Matmul.variant_name variant) p)
+          [ (Matmul.Sequential, 1); (Matmul.Dup_b, 4); (Matmul.Dup_ab, 4);
+            (Matmul.Dup_b, 16); (Matmul.Dup_ab, 16) ]);
+    Alcotest.test_case "analytic formulas" `Quick (fun () ->
+        let c = Cf_machine.Cost.make ~t_comp:1e-6 ~t_start:1e-4 ~t_comm:1e-6 in
+        Alcotest.(check (float 1e-12)) "T1" (64e-6 *. 64.)
+          (Matmul.analytic_time c Matmul.Sequential ~m:16 ~p:1);
+        (* T2 for m=16, p=4: comp + (4 ts + 256 tc) + (ts + 2*2*256 tc). *)
+        Alcotest.(check (float 1e-12)) "T2"
+          ((4096e-6 /. 4.) +. (4e-4 +. 256e-6) +. (1e-4 +. 1024e-6))
+          (Matmul.analytic_time c Matmul.Dup_b ~m:16 ~p:4);
+        (* T3 for m=16, p=4: comp + 2 (2 ts + 2*256 tc). *)
+        Alcotest.(check (float 1e-12)) "T3"
+          ((4096e-6 /. 4.) +. (2. *. ((2. *. 1e-4) +. 512e-6)))
+          (Matmul.analytic_time c Matmul.Dup_ab ~m:16 ~p:4);
+        Alcotest.check_raises "L5 needs p=1"
+          (Invalid_argument "Matmul.analytic_time: L5 is sequential")
+          (fun () ->
+            ignore (Matmul.analytic_time c Matmul.Sequential ~m:16 ~p:4)));
+    Alcotest.test_case "shape: L5'' beats L5' at p=16" `Quick (fun () ->
+        let c = Cf_machine.Cost.transputer in
+        List.iter
+          (fun m ->
+            check_bool
+              (Printf.sprintf "m=%d" m)
+              true
+              (Matmul.analytic_time c Matmul.Dup_ab ~m ~p:16
+               < Matmul.analytic_time c Matmul.Dup_b ~m ~p:16))
+          [ 16; 32; 64; 128; 256 ]);
+    Alcotest.test_case "shape: speedup grows with m" `Quick (fun () ->
+        let c = Cf_machine.Cost.transputer in
+        let s m = Matmul.speedup c Matmul.Dup_ab ~m ~p:16 in
+        check_bool "monotone" true (s 16 < s 32 && s 32 < s 64 && s 64 < s 128);
+        check_bool "bounded by p" true (s 256 < 16.));
+    Alcotest.test_case "simulated distribution matches analytic shape" `Quick
+      (fun () ->
+        (* The simulator's charged distribution time approximates the
+           closed form (same terms, small pipeline-fill differences). *)
+        let c = Cf_machine.Cost.transputer in
+        let r = Matmul.simulate ~cost:c Matmul.Dup_ab ~m:8 ~p:4 in
+        let analytic =
+          Matmul.analytic_time c Matmul.Dup_ab ~m:8 ~p:4
+          -. (512. /. 4. *. c.Cf_machine.Cost.t_comp)
+        in
+        let rel =
+          Float.abs (r.Matmul.distribution_time -. analytic) /. analytic
+        in
+        check_bool "within 15%" true (rel < 0.15));
+    Alcotest.test_case "assign helpers" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl = Cf_transform.Transformer.transform l4 psi in
+        Alcotest.check Alcotest.(array int) "grid" [| 4; 4 |]
+          (Assign.grid_for pl ~procs:16);
+        let counts = Assign.parloop_counts pl ~grid:[| 2; 2 |] in
+        check_int "covers all" 64 (Array.fold_left ( + ) 0 counts));
+  ]
+
+let commcost_cases =
+  [
+    Alcotest.test_case "communication-free plans score zero" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let c =
+          Commcost.measure ~placement:(Parexec.cyclic ~nprocs:3) p
+        in
+        check_bool "free" true (Commcost.is_free c);
+        check_bool "still counts local flows" true (c.Commcost.total_flow_pairs > 0));
+    Alcotest.test_case "outer slabs of L1 pay for the flow dep" `Quick
+      (fun () ->
+        (* L1's flow dependence is (1,1): slicing the i loop into rows
+           crosses it between every pair of neighboring rows. *)
+        let p = Commcost.outer_slab_partition l1 in
+        check_int "4 row blocks" 4 (Iter_partition.block_count p);
+        let c =
+          Commcost.measure ~placement:(Parexec.cyclic ~nprocs:4) p
+        in
+        check_bool "not free" false (Commcost.is_free c);
+        check_bool "remote values bounded by reads" true
+          (c.Commcost.remote_values <= c.Commcost.remote_reads));
+    Alcotest.test_case "single processor is trivially free" `Quick (fun () ->
+        let p = Commcost.outer_slab_partition l1 in
+        let c = Commcost.measure ~placement:(fun _ -> 0) p in
+        check_bool "free" true (Commcost.is_free c));
+    Alcotest.test_case "matmul outer slabs ship C values" `Quick (fun () ->
+        (* C[i,j] accumulates over k; slicing i keeps C local, so rows
+           are actually free for matmul - the interesting cost appears
+           when slicing the k loop instead. *)
+        let nest = Matmul.nest ~m:4 in
+        let psi_k =
+          Cf_linalg.Subspace.span 3
+            [ Cf_linalg.Vec.basis 3 0; Cf_linalg.Vec.basis 3 1 ]
+        in
+        let p = Iter_partition.make nest psi_k in
+        let c =
+          Commcost.measure ~placement:(Parexec.cyclic ~nprocs:4) p
+        in
+        check_bool "k-slicing is not free" false (Commcost.is_free c));
+  ]
+
+let advisor_cases =
+  [
+    Alcotest.test_case "matmul: duplicating both inputs wins at m=12" `Quick
+      (fun () ->
+        let best = Advisor.best ~procs:16 (Matmul.nest ~m:12) in
+        check_bool "A and B duplicated" true
+          (List.mem "A" best.Advisor.duplicated
+           && List.mem "B" best.Advisor.duplicated);
+        check_int "two parallel dims" 2 best.Advisor.parallel_dims);
+    Alcotest.test_case "matmul: single-axis duplication wins when tiny" `Quick
+      (fun () ->
+        (* Startup dominates at m=6: replicating one input is cheaper. *)
+        let best = Advisor.best ~procs:16 (Matmul.nest ~m:6) in
+        check_int "one parallel dim" 1 best.Advisor.parallel_dims);
+    Alcotest.test_case "L1: duplicate nothing" `Quick (fun () ->
+        let best = Advisor.best ~procs:4 l1 in
+        Alcotest.check Alcotest.(list string) "empty set" []
+          best.Advisor.duplicated;
+        check_int "parallelism kept" 1 best.Advisor.parallel_dims);
+    Alcotest.test_case "candidate list covers all subsets, ranked" `Quick
+      (fun () ->
+        let cs = Advisor.candidates ~procs:4 (Matmul.nest ~m:4) in
+        check_int "2^3 subsets" 8 (List.length cs);
+        let times = List.map (fun c -> c.Advisor.estimated_time) cs in
+        check_bool "sorted ascending" true
+          (times = List.sort compare times));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        Alcotest.check_raises "procs"
+          (Invalid_argument "Advisor.candidates: procs < 1") (fun () ->
+            ignore (Advisor.candidates ~procs:0 l1)));
+  ]
+
+let estimate_cases =
+  [
+    Alcotest.test_case "L1 estimates" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let c = Cf_machine.Cost.make ~t_comp:1. ~t_start:0. ~t_comm:0. in
+        Alcotest.(check (float 1e-9)) "largest block = 4" 4.
+          (Estimate.max_block_makespan ~cost:c p);
+        (* Cyclic on 4 PEs: sizes (4,3,2,1,3,2,1) -> PE0 {B1,B5} = 7,
+           PE1 {B2,B6} = 5, PE2 {B3,B7} = 3, PE3 {B4} = 1. *)
+        Alcotest.check Alcotest.(array int) "loads" [| 7; 5; 3; 1 |]
+          (Estimate.per_pe_iterations ~procs:4 p);
+        Alcotest.(check (float 1e-9)) "cyclic makespan" 7.
+          (Estimate.cyclic_makespan ~cost:c ~procs:4 p);
+        Alcotest.(check (float 1e-9)) "speedup ceiling 16/4" 4.
+          (Estimate.speedup_limit p));
+    Alcotest.test_case "estimates match the simulator" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let partition = Iter_partition.make l4 psi in
+        let cost = Cf_machine.Cost.transputer in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4) cost
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Nonduplicate partition
+        in
+        check_bool "ok" true (Parexec.ok r);
+        Alcotest.(check (float 1e-12)) "simulated compute = estimate"
+          (Estimate.cyclic_makespan ~cost ~procs:4 partition)
+          (Cf_machine.Machine.max_compute_time machine);
+        Alcotest.check Alcotest.(array int) "same loads"
+          (Estimate.per_pe_iterations ~procs:4 partition)
+          r.Parexec.per_pe_iterations);
+  ]
+
+let properties =
+  [
+    qtest "estimate agrees with simulation on random loops" ~count:30
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let partition = Iter_partition.make nest psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 3)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:3)
+            ~strategy:Strategy.Nonduplicate partition
+        in
+        Parexec.ok r
+        && Estimate.per_pe_iterations ~procs:3 partition
+           = r.Parexec.per_pe_iterations)
+      arbitrary_nest;
+    qtest "advisor's best plan is communication-free" ~count:20
+      (fun nest ->
+        let best = Advisor.best ~procs:4 nest in
+        let partition = Iter_partition.make nest best.Advisor.space in
+        (* Selective duplication: the duplicated arrays behave like the
+           duplicate regime; conservatively check flow-dependence
+           locality, which selective spaces always guarantee. *)
+        Verify.communication_free Strategy.Duplicate partition)
+      arbitrary_nest;
+    qtest "commcost zero iff duplicate-verify passes" ~count:30
+      (fun nest ->
+        (* Under a random non-trivial partition, the estimator's
+           zero-remote-reads verdict must agree with the flow-dependence
+           criterion of Verify (duplicate regime checks flows only). *)
+        let p = Commcost.outer_slab_partition nest in
+        let exact = Cf_dep.Exact.analyze nest in
+        let nprocs = Iter_partition.block_count p in
+        let c =
+          Commcost.measure ~exact ~placement:(Parexec.cyclic ~nprocs) p
+        in
+        Commcost.is_free c
+        = Verify.communication_free ~exact Strategy.Duplicate p)
+      arbitrary_nest;
+    qtest "parallel execution equals sequential (Thm 1 end-to-end)" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let partition = Iter_partition.make nest psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 3)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:3)
+            ~strategy:Strategy.Nonduplicate partition
+        in
+        Parexec.ok r)
+      arbitrary_nest;
+    qtest "parallel execution equals sequential (Thm 2 end-to-end)" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+        let partition = Iter_partition.make nest psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~machine ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Duplicate partition
+        in
+        Parexec.ok r)
+      arbitrary_nest;
+    qtest "minimal duplicate execution stays correct" ~count:30
+      (fun nest ->
+        let exact = Cf_dep.Exact.analyze nest in
+        let psi =
+          Strategy.partitioning_space ~exact Strategy.Min_duplicate nest
+        in
+        let partition = Iter_partition.make nest psi in
+        let machine =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 4)
+            Cf_machine.Cost.transputer
+        in
+        let r =
+          Parexec.execute ~exact ~machine ~placement:(Parexec.cyclic ~nprocs:4)
+            ~strategy:Strategy.Min_duplicate partition
+        in
+        Parexec.ok r)
+      arbitrary_nest;
+  ]
+
+let suites =
+  [
+    ("seqexec", seq_cases);
+    ("parexec", par_cases);
+    ("balance", balance_cases);
+    ("commcost", commcost_cases);
+    ("advisor", advisor_cases);
+    ("estimate", estimate_cases);
+    ("matmul", matmul_cases);
+    ("exec-properties", properties);
+  ]

@@ -1,0 +1,180 @@
+open Cf_loop
+open Cf_frontend
+open Testutil
+
+let reduction_src =
+  {|
+for i = 1 to 4
+  S[i] := 0;
+  for j = 1 to 4
+    S[i] := S[i] + A[i, j];
+  end
+end
+|}
+
+let illegal_src =
+  {|
+for i = 1 to 4
+  B[i] := C[i - 1];
+  for j = 1 to 4
+    C[i] := C[i] + A[i, j];
+  end
+end
+|}
+
+let imperfect_cases =
+  [
+    Alcotest.test_case "parse and shape" `Quick (fun () ->
+        let l = Parse.imperfect reduction_src in
+        check_bool "not perfect" false (Imperfect.is_perfect l);
+        check_int "three statements" 2 (List.length (Imperfect.statements l));
+        let perfect = Parse.imperfect "for i = 1 to 3\nA[i] := 1;\nend" in
+        check_bool "perfect" true (Imperfect.is_perfect perfect));
+    Alcotest.test_case "to_nest on perfect loops" `Quick (fun () ->
+        let l =
+          Parse.imperfect
+            "for i = 1 to 3\nfor j = 1 to 2\nA[i, j] := 1;\nend\nend"
+        in
+        let n = Imperfect.to_nest l in
+        check_int "depth" 2 (Nest.depth n);
+        check_int "cardinal" 6 (Nest.cardinal n);
+        let imperfect = Parse.imperfect reduction_src in
+        Alcotest.check_raises "imperfect rejected"
+          (Invalid_argument "Imperfect.to_nest: nest is not perfect")
+          (fun () -> ignore (Imperfect.to_nest imperfect)));
+    Alcotest.test_case "distribution of the reduction idiom" `Quick (fun () ->
+        let l = Parse.imperfect reduction_src in
+        let nests = Imperfect.distribute l in
+        check_int "two nests" 2 (List.length nests);
+        (match nests with
+         | [ init_nest; sum_nest ] ->
+           check_int "init is 1-deep" 1 (Nest.depth init_nest);
+           check_int "sum is 2-deep" 2 (Nest.depth sum_nest)
+         | _ -> Alcotest.fail "shape");
+        check_bool "legal" true (Distribution.preserves l);
+        (match Distribution.distribute_checked l with
+         | Ok _ -> ()
+         | Error m -> Alcotest.failf "unexpected rejection: %s" m));
+    Alcotest.test_case "backward dependence rejected" `Quick (fun () ->
+        let l = Parse.imperfect illegal_src in
+        check_bool "not preserved" false (Distribution.preserves l);
+        (match Distribution.distribute_checked l with
+         | Error _ -> ()
+         | Ok _ -> Alcotest.fail "must reject"));
+    Alcotest.test_case "statements after the inner loop" `Quick (fun () ->
+        (* Epilogue reading the inner loop's result: forward dependence,
+           legal. *)
+        let l =
+          Parse.imperfect
+            {|
+for i = 1 to 3
+  for j = 1 to 3
+    C[i] := C[i] + A[i, j];
+  end
+  D[i] := C[i] * 2;
+end
+|}
+        in
+        let nests = Imperfect.distribute l in
+        check_int "two nests" 2 (List.length nests);
+        check_bool "legal" true (Distribution.preserves l));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        Alcotest.check_raises "duplicate index"
+          (Invalid_argument "Imperfect: duplicate index i") (fun () ->
+            ignore
+              (Parse.imperfect
+                 "for i = 1 to 2\nfor i = 1 to 2\nA[i] := 1;\nend\nend")));
+    Alcotest.test_case "distributed nests reach the analysis" `Quick
+      (fun () ->
+        (* End-to-end: distribute, then plan each nest. *)
+        let l = Parse.imperfect reduction_src in
+        match Distribution.distribute_checked l with
+        | Error m -> Alcotest.fail m
+        | Ok nests ->
+          List.iter
+            (fun nest ->
+              let plan =
+                Cf_pipeline.Pipeline.plan
+                  ~strategy:Cf_core.Strategy.Duplicate nest
+              in
+              check_bool "verified" true (Cf_pipeline.Pipeline.verified plan))
+            nests);
+  ]
+
+let properties =
+  [
+    qtest "perfect loops distribute to themselves" ~count:60
+      (fun nest ->
+        (* Rebuild the random perfect nest as an imperfect AST and check
+           distribution is the identity (single equal nest). *)
+        let rec wrap levels body =
+          match levels with
+          | [] -> assert false
+          | [ (l : Nest.level) ] ->
+            {
+              Imperfect.var = l.var;
+              lower = l.lower;
+              upper = l.upper;
+              body = List.map (fun s -> Imperfect.Statement s) body;
+            }
+          | l :: rest ->
+            {
+              Imperfect.var = l.Nest.var;
+              lower = l.lower;
+              upper = l.upper;
+              body = [ Imperfect.Loop (wrap rest body) ];
+            }
+        in
+        let il =
+          wrap (Array.to_list nest.Nest.levels) nest.Nest.body
+        in
+        Imperfect.is_perfect il
+        &&
+        match Imperfect.distribute il with
+        | [ n ] ->
+          Nest.cardinal n = Nest.cardinal nest
+          && Cf_exec.Seqexec.equal_on_written (Cf_exec.Seqexec.run n)
+               (Cf_exec.Seqexec.run nest)
+        | _ -> false)
+      arbitrary_nest;
+    qtest "disjoint segments always distribute legally" ~count:60
+      (fun nest ->
+        (* Prologue writing a fresh array P (never read elsewhere) can
+           always be split off. *)
+        let prologue =
+          Stmt.make
+            (Aref.make "P" [ Affine.var "i" ])
+            (Expr.Const 1)
+        in
+        let il =
+          {
+            Imperfect.var = "i";
+            lower = Affine.const 1;
+            upper = Affine.const 3;
+            body =
+              [ Imperfect.Statement prologue;
+                Imperfect.Loop
+                  {
+                    Imperfect.var = "j";
+                    lower = Affine.const 1;
+                    upper = Affine.const 3;
+                    body =
+                      List.map
+                        (fun s -> Imperfect.Statement s)
+                        (List.map
+                           (fun (s : Stmt.t) ->
+                             (* Rename indices of the random body into
+                                this nest's (i, j). *)
+                             s)
+                           nest.Nest.body);
+                  };
+              ];
+          }
+        in
+        (* The random bodies already use indices i and j. *)
+        Distribution.preserves il)
+      arbitrary_nest;
+  ]
+
+let suites =
+  [ ("imperfect", imperfect_cases); ("frontend-properties", properties) ]

@@ -1,0 +1,362 @@
+open Cf_lattice
+open Testutil
+
+let arb_int_mat ~rows ~cols ~range =
+  QCheck.map
+    (fun l -> Array.of_list (List.map Array.of_list l))
+    QCheck.(list_of_size (QCheck.Gen.return rows)
+              (list_of_size (QCheck.Gen.return cols) (int_range (-range) range)))
+
+let arb_int_vec ~len ~range =
+  QCheck.map Array.of_list
+    QCheck.(list_of_size (QCheck.Gen.return len) (int_range (-range) range))
+
+let intlin_cases =
+  [
+    Alcotest.test_case "reduce invariants on a known matrix" `Quick (fun () ->
+        let a = [| [| 2; 0 |]; [| 0; 1 |] |] in
+        let r = Intlin.reduce a in
+        check_bool "U unimodular" true (Intlin.is_unimodular r.unimodular);
+        check_int "rank" 2 r.Intlin.rank);
+    Alcotest.test_case "solve: paper L2 array B" `Quick (fun () ->
+        (* H_B t = (1,1) has the unique rational solution (1/2, 1), so no
+           integer solution exists. *)
+        let h = [| [| 2; 0 |]; [| 0; 1 |] |] in
+        check_bool "no integer solution" true (Intlin.solve h [| 1; 1 |] = None));
+    Alcotest.test_case "solve: paper L1 array A" `Quick (fun () ->
+        (* H_A t = (2,1) is solved by t = (1,1). *)
+        let h = [| [| 2; 0 |]; [| 0; 1 |] |] in
+        match Intlin.solve h [| 2; 1 |] with
+        | Some t ->
+          Alcotest.check Alcotest.(array int) "residual" [| 2; 1 |]
+            (Intlin.mul_vec h t)
+        | None -> Alcotest.fail "expected solution");
+    Alcotest.test_case "solve: inconsistent system" `Quick (fun () ->
+        let h = [| [| 1; 1 |]; [| 1; 1 |] |] in
+        check_bool "inconsistent" true (Intlin.solve h [| 0; 1 |] = None));
+    Alcotest.test_case "kernel: singular reference matrix" `Quick (fun () ->
+        (* L2's H_A = [[1,1],[1,1]]: integer kernel spanned by (1,-1). *)
+        let h = [| [| 1; 1 |]; [| 1; 1 |] |] in
+        match Intlin.kernel h with
+        | [ k ] ->
+          Alcotest.check Alcotest.(array int) "annihilates" [| 0; 0 |]
+            (Intlin.mul_vec h k);
+          check_bool "primitive direction" true
+            (k = [| 1; -1 |] || k = [| -1; 1 |])
+        | ks -> Alcotest.failf "expected 1 kernel vector, got %d" (List.length ks));
+    Alcotest.test_case "kernel: nonsingular is trivial" `Quick (fun () ->
+        check_bool "trivial" true
+          (Intlin.kernel [| [| 2; 0 |]; [| 0; 1 |] |] = []));
+    Alcotest.test_case "divisibility: 2x = odd has no solution" `Quick
+      (fun () ->
+        check_bool "no sol" true (Intlin.solve [| [| 2 |] |] [| 3 |] = None);
+        match Intlin.solve [| [| 2 |] |] [| 4 |] with
+        | Some t -> Alcotest.check Alcotest.(array int) "x=2" [| 2 |] t
+        | None -> Alcotest.fail "expected solution");
+  ]
+
+let babai_cases =
+  [
+    Alcotest.test_case "in_box" `Quick (fun () ->
+        check_bool "inside" true (Babai.in_box ~halfwidths:[| 3; 3 |] [| -3; 2 |]);
+        check_bool "outside" false
+          (Babai.in_box ~halfwidths:[| 3; 3 |] [| 4; 0 |]));
+    Alcotest.test_case "find_in_box without lattice" `Quick (fun () ->
+        check_bool "particular itself" true
+          (Babai.find_in_box ~particular:[| 1; 1 |] ~lattice:[]
+             ~halfwidths:[| 3; 3 |] ~search_radius:4
+           = Some [| 1; 1 |]);
+        check_bool "unreachable" true
+          (Babai.find_in_box ~particular:[| 9; 0 |] ~lattice:[]
+             ~halfwidths:[| 3; 3 |] ~search_radius:4
+           = None));
+    Alcotest.test_case "find_in_box reduces along lattice" `Quick (fun () ->
+        (* particular (10, 10), lattice (1,1): (0,0) is reachable. *)
+        match
+          Babai.find_in_box ~particular:[| 10; 10 |] ~lattice:[ [| 1; 1 |] ]
+            ~halfwidths:[| 3; 3 |] ~search_radius:4
+        with
+        | Some t -> check_bool "in box" true (Babai.in_box ~halfwidths:[| 3; 3 |] t)
+        | None -> Alcotest.fail "expected witness");
+    Alcotest.test_case "enumerate_in_box finds signed witnesses" `Quick
+      (fun () ->
+        let found =
+          Babai.enumerate_in_box ~particular:[| 1; 1 |] ~lattice:[ [| 1; -1 |] ]
+            ~halfwidths:[| 2; 2 |] ~search_radius:4
+        in
+        check_bool "several" true (List.length found >= 3);
+        check_bool "all in box" true
+          (List.for_all (Babai.in_box ~halfwidths:[| 2; 2 |]) found));
+  ]
+
+(* Brute-force reference for find_in_box on 2-D instances. *)
+let brute_exists ~particular ~lattice ~halfwidths =
+  match lattice with
+  | [] -> Babai.in_box ~halfwidths particular
+  | [ l1 ] ->
+    let hit = ref false in
+    for a = -30 to 30 do
+      let pt =
+        Array.init (Array.length particular) (fun i ->
+            particular.(i) + (a * l1.(i)))
+      in
+      if Babai.in_box ~halfwidths pt then hit := true
+    done;
+    !hit
+  | [ l1; l2 ] ->
+    let hit = ref false in
+    for a = -15 to 15 do
+      for b = -15 to 15 do
+        let pt =
+          Array.init (Array.length particular) (fun i ->
+              particular.(i) + (a * l1.(i)) + (b * l2.(i)))
+        in
+        if Babai.in_box ~halfwidths pt then hit := true
+      done
+    done;
+    !hit
+  | _ -> invalid_arg "brute_exists"
+
+let properties =
+  [
+    qtest "solve returns actual solutions"
+      (fun (a, t) ->
+        let b = Intlin.mul_vec a t in
+        match Intlin.solve a b with
+        | Some t' -> Intlin.mul_vec a t' = b
+        | None -> false)
+      QCheck.(pair (arb_int_mat ~rows:2 ~cols:3 ~range:4)
+                (arb_int_vec ~len:3 ~range:4));
+    qtest "reduce: A·U = echelon and U unimodular"
+      (fun a ->
+        let r = Intlin.reduce a in
+        let n = Array.length a.(0) in
+        let product =
+          Array.init (Array.length a) (fun i ->
+              Array.init n (fun j ->
+                  let acc = ref 0 in
+                  for l = 0 to n - 1 do
+                    acc := !acc + (a.(i).(l) * r.Intlin.unimodular.(l).(j))
+                  done;
+                  !acc))
+        in
+        product = r.Intlin.echelon && Intlin.is_unimodular r.Intlin.unimodular)
+      (arb_int_mat ~rows:2 ~cols:3 ~range:4);
+    qtest "kernel vectors annihilate"
+      (fun a ->
+        List.for_all
+          (fun k -> Array.for_all (( = ) 0) (Intlin.mul_vec a k))
+          (Intlin.kernel a))
+      (arb_int_mat ~rows:2 ~cols:3 ~range:4);
+    qtest "solve complete vs rational solvability"
+      (fun (a, t) ->
+        (* If an integer solution exists (we constructed one), solve finds
+           some solution. *)
+        let b = Intlin.mul_vec a t in
+        Intlin.solve a b <> None)
+      QCheck.(pair (arb_int_mat ~rows:3 ~cols:2 ~range:3)
+                (arb_int_vec ~len:2 ~range:3));
+    qtest "find_in_box agrees with brute force (2-D)" ~count:300
+      (fun (h, r) ->
+        match Intlin.solve h r with
+        | None -> true
+        | Some particular ->
+          let lattice = Intlin.kernel h in
+          QCheck.assume (List.length lattice <= 2);
+          let halfwidths = [| 3; 3 |] in
+          let fast =
+            Babai.find_in_box ~particular ~lattice ~halfwidths
+              ~search_radius:8
+            <> None
+          in
+          let slow = brute_exists ~particular ~lattice ~halfwidths in
+          fast = slow)
+      QCheck.(pair (arb_int_mat ~rows:2 ~cols:2 ~range:3)
+                (arb_int_vec ~len:2 ~range:4));
+  ]
+
+let mat_mul a b =
+  let n = Array.length b.(0) in
+  Array.map
+    (fun row ->
+      Array.init n (fun j ->
+          let acc = ref 0 in
+          Array.iteri (fun l x -> acc := !acc + (x * b.(l).(j))) row;
+          !acc))
+    a
+
+let smith_cases =
+  [
+    Alcotest.test_case "known forms" `Quick (fun () ->
+        let t = Smith.compute [| [| 2; 0 |]; [| 0; 3 |] |] in
+        Alcotest.check Alcotest.(list int) "divisors 1,6" [ 1; 6 ] t.divisors;
+        let t = Smith.compute [| [| 1; 1 |]; [| 1; 1 |] |] in
+        Alcotest.check Alcotest.(list int) "rank-1" [ 1 ] t.Smith.divisors;
+        check_int "rank" 1 t.Smith.rank);
+    Alcotest.test_case "solvability criterion (paper's L2 B-array)" `Quick
+      (fun () ->
+        let t = Smith.compute [| [| 2; 0 |]; [| 0; 1 |] |] in
+        check_bool "H t = (1,1) unsolvable" false (Smith.solvable t [| 1; 1 |]);
+        check_bool "H t = (2,1) solvable" true (Smith.solvable t [| 2; 1 |]);
+        match Smith.solve t [| 2; 1 |] with
+        | Some s -> Alcotest.check Alcotest.(array int) "solution" [| 1; 1 |] s
+        | None -> Alcotest.fail "expected solution");
+  ]
+
+let arb_small_mat =
+  QCheck.map
+    (fun l -> Array.of_list (List.map Array.of_list l))
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 3)
+              (list_of_size (QCheck.Gen.int_range 2 3) (int_range (-5) 5)))
+
+let rectangular m =
+  let w = Array.length m.(0) in
+  Array.for_all (fun r -> Array.length r = w) m
+
+let smith_properties =
+  [
+    qtest "U A V = D with unimodular U, V" ~count:200
+      (fun a ->
+        QCheck.assume (rectangular a);
+        let t = Smith.compute a in
+        mat_mul (mat_mul t.Smith.left a) t.Smith.right = t.Smith.d
+        && Intlin.is_unimodular t.Smith.left
+        && Intlin.is_unimodular t.Smith.right)
+      arb_small_mat;
+    qtest "D is diagonal with a divisibility chain" ~count:200
+      (fun a ->
+        QCheck.assume (rectangular a);
+        let t = Smith.compute a in
+        let ok = ref true in
+        Array.iteri
+          (fun i row ->
+            Array.iteri
+              (fun j x ->
+                if i <> j && x <> 0 then ok := false;
+                if i = j && i >= t.Smith.rank && x <> 0 then ok := false)
+              row)
+          t.Smith.d;
+        !ok
+        &&
+        let rec chain = function
+          | a :: (b :: _ as rest) -> a > 0 && b mod a = 0 && chain rest
+          | [ a ] -> a > 0
+          | [] -> true
+        in
+        chain t.Smith.divisors)
+      arb_small_mat;
+    qtest "SNF solvability agrees with Intlin.solve" ~count:200
+      (fun (a, r) ->
+        QCheck.assume (rectangular a);
+        QCheck.assume (Array.length r = Array.length a);
+        let t = Smith.compute a in
+        let via_snf = Smith.solve t r in
+        let via_intlin = Intlin.solve a r in
+        (match (via_snf, via_intlin) with
+         | None, None -> true
+         | Some s, Some _ -> Intlin.mul_vec a s = r
+         | _ -> false))
+      QCheck.(pair arb_small_mat
+                (QCheck.map Array.of_list
+                   (list_of_size (QCheck.Gen.int_range 1 3)
+                      (int_range (-6) 6))))
+  ]
+
+let lll_cases =
+  [
+    Alcotest.test_case "reduces a skewed planar basis" `Quick (fun () ->
+        let reduced = Lll.reduce [ [| 1; 0 |]; [| 1000; 1 |] ] in
+        check_bool "LLL conditions" true (Lll.is_reduced reduced);
+        check_bool "same lattice" true
+          (Lll.same_lattice reduced [ [| 1; 0 |]; [| 0; 1 |] ]));
+    Alcotest.test_case "identity-ish bases are already reduced" `Quick
+      (fun () ->
+        check_bool "unit" true (Lll.is_reduced [ [| 1; 0 |]; [| 0; 1 |] ]);
+        check_bool "empty" true (Lll.is_reduced []);
+        check_bool "single" true (Lll.is_reduced [ [| 7; 3 |] ]));
+    Alcotest.test_case "classic LLL example" `Quick (fun () ->
+        (* Basis (1, 1, 1), (-1, 0, 2), (3, 5, 6): known to reduce to
+           short vectors. *)
+        let reduced =
+          Lll.reduce [ [| 1; 1; 1 |]; [| -1; 0; 2 |]; [| 3; 5; 6 |] ]
+        in
+        check_bool "reduced" true (Lll.is_reduced reduced);
+        check_bool "lattice preserved" true
+          (Lll.same_lattice reduced
+             [ [| 1; 1; 1 |]; [| -1; 0; 2 |]; [| 3; 5; 6 |] ]);
+        let max_norm =
+          List.fold_left
+            (fun acc v ->
+              max acc (Array.fold_left (fun s x -> s + (x * x)) 0 v))
+            0 reduced
+        in
+        check_bool "short vectors" true (max_norm <= 14));
+    Alcotest.test_case "dependent input rejected" `Quick (fun () ->
+        Alcotest.check_raises "dependent"
+          (Invalid_argument "Lll: dependent basis vectors") (fun () ->
+            ignore (Lll.reduce [ [| 1; 1 |]; [| 2; 2 |] ])));
+  ]
+
+let arb_basis2 =
+  (* Two independent 3-D vectors. *)
+  QCheck.map
+    (fun ((a, b, c), (d, e, f)) -> ([| a; b; c |], [| d; e; f |]))
+    QCheck.(pair
+              (triple (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9))
+              (triple (int_range (-9) 9) (int_range (-9) 9) (int_range (-9) 9)))
+
+let lll_properties =
+  [
+    qtest "reduce preserves the lattice and achieves reducedness" ~count:200
+      (fun (v1, v2) ->
+        let independent =
+          Cf_linalg.Mat.rank
+            (Cf_linalg.Mat.of_rows
+               [ Cf_linalg.Vec.of_int_array v1; Cf_linalg.Vec.of_int_array v2 ])
+          = 2
+        in
+        QCheck.assume independent;
+        let reduced = Lll.reduce [ v1; v2 ] in
+        Lll.is_reduced reduced && Lll.same_lattice [ v1; v2 ] reduced)
+      arb_basis2;
+    qtest "find_in_box agrees with brute force on skewed lattices" ~count:150
+      (fun ((v1, v2), t) ->
+        let independent =
+          Cf_linalg.Mat.rank
+            (Cf_linalg.Mat.of_rows
+               [ Cf_linalg.Vec.of_int_array v1; Cf_linalg.Vec.of_int_array v2 ])
+          = 2
+        in
+        QCheck.assume independent;
+        let particular = [| t; -t; t + 1 |] in
+        let halfwidths = [| 4; 4; 4 |] in
+        let lattice = Lll.reduce [ v1; v2 ] in
+        let fast =
+          Babai.find_in_box ~particular ~lattice ~halfwidths ~search_radius:8
+          <> None
+        in
+        (* brute force over coefficients *)
+        let slow = ref false in
+        for a = -40 to 40 do
+          for b = -40 to 40 do
+            let pt =
+              Array.init 3 (fun i ->
+                  particular.(i) + (a * v1.(i)) + (b * v2.(i)))
+            in
+            if Babai.in_box ~halfwidths pt then slow := true
+          done
+        done;
+        fast = !slow)
+      QCheck.(pair arb_basis2 (int_range (-6) 6));
+  ]
+
+let suites =
+  [
+    ("intlin", intlin_cases);
+    ("babai", babai_cases);
+    ("smith", smith_cases);
+    ("smith-properties", smith_properties);
+    ("lll", lll_cases);
+    ("lll-properties", lll_properties);
+    ("lattice-properties", properties);
+  ]

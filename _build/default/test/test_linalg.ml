@@ -1,0 +1,260 @@
+open Cf_rational
+open Cf_linalg
+open Testutil
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+let mat = Alcotest.testable Mat.pp Mat.equal
+let subspace = Alcotest.testable Subspace.pp Subspace.equal
+
+let v l = Vec.of_int_list l
+let m rows = Mat.of_int_rows rows
+
+let vec_cases =
+  [
+    Alcotest.test_case "construction" `Quick (fun () ->
+        Alcotest.check vec "basis" (v [ 0; 1; 0 ]) (Vec.basis 3 1);
+        Alcotest.check vec "zero" (v [ 0; 0 ]) (Vec.zero 2);
+        Alcotest.check_raises "basis range" (Invalid_argument "Vec.basis")
+          (fun () -> ignore (Vec.basis 2 5)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.check vec "add" (v [ 3; 5 ]) (Vec.add (v [ 1; 2 ]) (v [ 2; 3 ]));
+        Alcotest.check vec "sub" (v [ -1; -1 ])
+          (Vec.sub (v [ 1; 2 ]) (v [ 2; 3 ]));
+        Alcotest.check vec "scale"
+          (Vec.of_list [ Rat.make 1 2; Rat.one ])
+          (Vec.scale (Rat.make 1 2) (v [ 1; 2 ]));
+        Alcotest.check
+          (Alcotest.testable Rat.pp Rat.equal)
+          "dot" (Rat.of_int 8)
+          (Vec.dot (v [ 1; 2 ]) (v [ 2; 3 ])));
+    Alcotest.test_case "lex order" `Quick (fun () ->
+        check_bool "compare" true (Vec.compare (v [ 1; 9 ]) (v [ 2; 0 ]) < 0);
+        check_int "lex_sign pos" 1 (Vec.lex_sign (v [ 0; 3 ]));
+        check_int "lex_sign neg" (-1) (Vec.lex_sign (v [ 0; -3 ]));
+        check_int "lex_sign zero" 0 (Vec.lex_sign (v [ 0; 0 ])));
+    Alcotest.test_case "clear_denominators" `Quick (fun () ->
+        Alcotest.check
+          Alcotest.(array int)
+          "halves" [| 1; 1 |]
+          (Vec.clear_denominators
+             (Vec.of_list [ Rat.make 1 2; Rat.make 1 2 ]));
+        Alcotest.check
+          Alcotest.(array int)
+          "primitive" [| 2; 3 |]
+          (Vec.clear_denominators (v [ 4; 6 ]));
+        Alcotest.check
+          Alcotest.(array int)
+          "zero" [| 0; 0 |]
+          (Vec.clear_denominators (v [ 0; 0 ])));
+  ]
+
+let mat_cases =
+  [
+    Alcotest.test_case "mul and transpose" `Quick (fun () ->
+        Alcotest.check mat "identity mul"
+          (m [ [ 1; 2 ]; [ 3; 4 ] ])
+          (Mat.mul (Mat.identity 2) (m [ [ 1; 2 ]; [ 3; 4 ] ]));
+        Alcotest.check mat "transpose"
+          (m [ [ 1; 3 ]; [ 2; 4 ] ])
+          (Mat.transpose (m [ [ 1; 2 ]; [ 3; 4 ] ]));
+        Alcotest.check vec "mul_vec" (v [ 5; 11 ])
+          (Mat.mul_vec (m [ [ 1; 2 ]; [ 3; 4 ] ]) (v [ 1; 2 ])));
+    Alcotest.test_case "rref and rank" `Quick (fun () ->
+        check_int "full rank" 2 (Mat.rank (m [ [ 2; 0 ]; [ 0; 1 ] ]));
+        check_int "deficient" 1 (Mat.rank (m [ [ 1; 1 ]; [ 2; 2 ] ]));
+        check_int "zero" 0 (Mat.rank (m [ [ 0; 0 ] ]));
+        let e = Mat.rref (m [ [ 0; 2 ]; [ 1; 1 ] ]) in
+        Alcotest.check mat "rref result" (Mat.identity 2) e.Mat.rref;
+        Alcotest.check
+          Alcotest.(array int)
+          "pivots" [| 0; 1 |] e.Mat.pivots);
+    Alcotest.test_case "kernel" `Quick (fun () ->
+        (* L2's H_A: kernel spanned by (1, -1). *)
+        (match Mat.kernel (m [ [ 1; 1 ]; [ 1; 1 ] ]) with
+         | [ k ] ->
+           check_bool "H k = 0" true
+             (Vec.is_zero (Mat.mul_vec (m [ [ 1; 1 ]; [ 1; 1 ] ]) k))
+         | ks -> Alcotest.failf "expected 1 kernel vector, got %d"
+                   (List.length ks));
+        Alcotest.check (Alcotest.list vec) "trivial kernel" []
+          (Mat.kernel (m [ [ 2; 0 ]; [ 0; 1 ] ])));
+    Alcotest.test_case "solve" `Quick (fun () ->
+        (match Mat.solve (m [ [ 2; 0 ]; [ 0; 1 ] ]) (v [ 2; 1 ]) with
+         | Some x -> Alcotest.check vec "unique" (v [ 1; 1 ]) x
+         | None -> Alcotest.fail "expected a solution");
+        check_bool "inconsistent" true
+          (Mat.solve (m [ [ 1; 1 ]; [ 1; 1 ] ]) (v [ 0; 1 ]) = None);
+        (* L2: H_A t = r1 = (1,1) has solutions (1/2,1/2)+Ker. *)
+        (match Mat.solve (m [ [ 1; 1 ]; [ 1; 1 ] ]) (v [ 1; 1 ]) with
+         | Some x ->
+           Alcotest.check vec "residual" (v [ 1; 1 ])
+             (Mat.mul_vec (m [ [ 1; 1 ]; [ 1; 1 ] ]) x)
+         | None -> Alcotest.fail "expected a solution"));
+    Alcotest.test_case "inverse and det" `Quick (fun () ->
+        (match Mat.inverse (m [ [ 2; 1 ]; [ 1; 1 ] ]) with
+         | Some inv ->
+           Alcotest.check mat "M M^-1 = I" (Mat.identity 2)
+             (Mat.mul (m [ [ 2; 1 ]; [ 1; 1 ] ]) inv)
+         | None -> Alcotest.fail "invertible");
+        check_bool "singular" true (Mat.is_singular (m [ [ 1; 1 ]; [ 2; 2 ] ]));
+        Alcotest.check
+          (Alcotest.testable Rat.pp Rat.equal)
+          "det" (Rat.of_int (-2))
+          (Mat.det (m [ [ 1; 2 ]; [ 3; 4 ] ]));
+        Alcotest.check
+          (Alcotest.testable Rat.pp Rat.equal)
+          "det singular" Rat.zero
+          (Mat.det (m [ [ 1; 1 ]; [ 2; 2 ] ])));
+  ]
+
+let subspace_cases =
+  [
+    Alcotest.test_case "span and dim" `Quick (fun () ->
+        check_int "line" 1 (Subspace.dim (Subspace.span 2 [ v [ 1; 1 ] ]));
+        check_int "dependent" 1
+          (Subspace.dim (Subspace.span 2 [ v [ 1; 1 ]; v [ 2; 2 ] ]));
+        check_int "plane" 2
+          (Subspace.dim (Subspace.span 2 [ v [ 1; 1 ]; v [ 1; -1 ] ]));
+        check_int "zero vectors ignored" 0
+          (Subspace.dim (Subspace.span 2 [ v [ 0; 0 ] ])));
+    Alcotest.test_case "membership" `Quick (fun () ->
+        let s = Subspace.span 3 [ v [ 1; 1; 0 ]; v [ 0; 0; 1 ] ] in
+        check_bool "in" true (Subspace.mem s (v [ 2; 2; 5 ]));
+        check_bool "out" false (Subspace.mem s (v [ 1; 0; 0 ]));
+        check_bool "zero always in" true (Subspace.mem s (v [ 0; 0; 0 ])));
+    Alcotest.test_case "join and subset" `Quick (fun () ->
+        let a = Subspace.span 2 [ v [ 1; 0 ] ]
+        and b = Subspace.span 2 [ v [ 0; 1 ] ] in
+        Alcotest.check subspace "join full" (Subspace.full 2) (Subspace.join a b);
+        check_bool "subset" true (Subspace.subset a (Subspace.join a b));
+        check_bool "not subset" false (Subspace.subset (Subspace.join a b) a));
+    Alcotest.test_case "complement" `Quick (fun () ->
+        let s = Subspace.span 3 [ v [ 1; -1; 1 ] ] in
+        let c = Subspace.complement s in
+        check_int "dims add up" 3 (Subspace.dim s + Subspace.dim c);
+        List.iter
+          (fun bs ->
+            List.iter
+              (fun bc ->
+                check_bool "orthogonal" true (Rat.is_zero (Vec.dot bs bc)))
+              (Subspace.basis c))
+          (Subspace.basis s);
+        Alcotest.check subspace "complement of zero" (Subspace.full 2)
+          (Subspace.complement (Subspace.zero 2));
+        Alcotest.check subspace "complement of full" (Subspace.zero 2)
+          (Subspace.complement (Subspace.full 2)));
+    Alcotest.test_case "meet (intersection)" `Quick (fun () ->
+        let a = Subspace.span 3 [ v [ 1; 0; 0 ]; v [ 0; 1; 0 ] ] in
+        let b = Subspace.span 3 [ v [ 0; 1; 0 ]; v [ 0; 0; 1 ] ] in
+        Alcotest.check subspace "xy meet yz = y"
+          (Subspace.span 3 [ v [ 0; 1; 0 ] ])
+          (Subspace.meet a b);
+        Alcotest.check subspace "meet with full is identity" a
+          (Subspace.meet a (Subspace.full 3));
+        Alcotest.check subspace "meet with zero is zero" (Subspace.zero 3)
+          (Subspace.meet a (Subspace.zero 3)));
+    Alcotest.test_case "coset keys" `Quick (fun () ->
+        let s = Subspace.span 2 [ v [ 1; 1 ] ] in
+        let k1 = Subspace.coset_key_int s [| 1; 1 |]
+        and k2 = Subspace.coset_key_int s [| 3; 3 |]
+        and k3 = Subspace.coset_key_int s [| 1; 2 |] in
+        check_bool "same coset" true (Vec.equal k1 k2);
+        check_bool "different coset" false (Vec.equal k1 k3));
+    Alcotest.test_case "int_basis primitive" `Quick (fun () ->
+        let s = Subspace.span 2 [ Vec.of_list [ Rat.make 1 2; Rat.make 1 2 ] ] in
+        (match Subspace.int_basis s with
+         | [ b ] -> Alcotest.check Alcotest.(array int) "scaled" [| 1; 1 |] b
+         | _ -> Alcotest.fail "expected one basis vector"));
+  ]
+
+let arb_mat23 =
+  QCheck.map
+    (fun l -> m l)
+    QCheck.(list_of_size (QCheck.Gen.return 2)
+              (list_of_size (QCheck.Gen.return 3) (int_range (-4) 4)))
+
+let arb_mat33 =
+  QCheck.map
+    (fun l -> m l)
+    QCheck.(list_of_size (QCheck.Gen.return 3)
+              (list_of_size (QCheck.Gen.return 3) (int_range (-4) 4)))
+
+let properties =
+  [
+    qtest "kernel vectors annihilate"
+      (fun a ->
+        List.for_all (fun k -> Vec.is_zero (Mat.mul_vec a k)) (Mat.kernel a))
+      arb_mat23;
+    qtest "rank + kernel dim = cols"
+      (fun a -> Mat.rank a + List.length (Mat.kernel a) = 3)
+      arb_mat23;
+    qtest "solve produces solutions"
+      (fun (a, xs) ->
+        let x = v xs in
+        let b = Mat.mul_vec a x in
+        match Mat.solve a b with
+        | Some x' -> Vec.equal (Mat.mul_vec a x') b
+        | None -> false)
+      QCheck.(pair arb_mat23
+                (list_of_size (QCheck.Gen.return 3) (int_range (-4) 4)));
+    qtest "inverse is two-sided"
+      (fun a ->
+        match Mat.inverse a with
+        | None -> Rat.is_zero (Mat.det a)
+        | Some inv ->
+          Mat.equal (Mat.mul a inv) (Mat.identity 3)
+          && Mat.equal (Mat.mul inv a) (Mat.identity 3)
+          && not (Rat.is_zero (Mat.det a)))
+      arb_mat33;
+    qtest "rref idempotent"
+      (fun a ->
+        let e = Mat.rref a in
+        Mat.equal (Mat.rref e.Mat.rref).Mat.rref e.Mat.rref)
+      arb_mat23;
+    qtest "transform reproduces rref"
+      (fun a ->
+        let e = Mat.rref a in
+        Mat.equal (Mat.mul e.Mat.transform a) e.Mat.rref)
+      arb_mat33;
+    qtest "complement dimension"
+      (fun rows ->
+        let s = Subspace.span 3 (List.map v rows) in
+        Subspace.dim s + Subspace.dim (Subspace.complement s) = 3)
+      QCheck.(list_of_size (QCheck.Gen.int_range 0 3)
+                (list_of_size (QCheck.Gen.return 3) (int_range (-3) 3)));
+    qtest "meet is the largest common subspace"
+      (fun (rows_a, rows_b) ->
+        let a = Subspace.span 3 (List.map v rows_a) in
+        let b = Subspace.span 3 (List.map v rows_b) in
+        let m = Subspace.meet a b in
+        Subspace.subset m a && Subspace.subset m b
+        && List.for_all
+             (fun bv ->
+               (* any basis vector of a that also lies in b is in m *)
+               (not (Subspace.mem b bv)) || Subspace.mem m bv)
+             (Subspace.basis a))
+      QCheck.(pair
+                (list_of_size (QCheck.Gen.int_range 0 2)
+                   (list_of_size (QCheck.Gen.return 3) (int_range (-3) 3)))
+                (list_of_size (QCheck.Gen.int_range 0 2)
+                   (list_of_size (QCheck.Gen.return 3) (int_range (-3) 3))));
+    qtest "coset key separates exactly"
+      (fun (rows, xs, ys) ->
+        let s = Subspace.span 2 (List.map v rows) in
+        let x = v xs and y = v ys in
+        Vec.equal (Subspace.coset_key s x) (Subspace.coset_key s y)
+        = Subspace.mem s (Vec.sub x y))
+      QCheck.(triple
+                (list_of_size (QCheck.Gen.int_range 0 2)
+                   (list_of_size (QCheck.Gen.return 2) (int_range (-3) 3)))
+                (list_of_size (QCheck.Gen.return 2) (int_range (-5) 5))
+                (list_of_size (QCheck.Gen.return 2) (int_range (-5) 5)));
+  ]
+
+let suites =
+  [
+    ("vec", vec_cases);
+    ("mat", mat_cases);
+    ("subspace", subspace_cases);
+    ("linalg-properties", properties);
+  ]

@@ -1,0 +1,201 @@
+open Cf_machine
+open Testutil
+
+let feq = Alcotest.(check (float 1e-9))
+
+let topology_cases =
+  [
+    Alcotest.test_case "mesh basics" `Quick (fun () ->
+        let t = Topology.mesh [| 4; 4 |] in
+        check_int "size" 16 (Topology.size t);
+        check_int "ndims" 2 (Topology.ndims t);
+        check_int "diameter" 6 (Topology.diameter t);
+        Alcotest.check_raises "bad extent"
+          (Invalid_argument "Topology.mesh: extent < 1") (fun () ->
+            ignore (Topology.mesh [| 0 |])));
+    Alcotest.test_case "rank/coords roundtrip" `Quick (fun () ->
+        let t = Topology.mesh [| 3; 4 |] in
+        for r = 0 to Topology.size t - 1 do
+          check_int "roundtrip" r
+            (Topology.rank_of_coords t (Topology.coords_of_rank t r))
+        done;
+        check_int "row-major" 5 (Topology.rank_of_coords t [| 1; 1 |]));
+    Alcotest.test_case "distance" `Quick (fun () ->
+        let t = Topology.square 16 in
+        check_int "corner to corner" 6
+          (Topology.distance t 0 (Topology.size t - 1));
+        check_int "self" 0 (Topology.distance t 5 5));
+    Alcotest.test_case "square validation" `Quick (fun () ->
+        check_int "sqrt" 4 (Topology.size (Topology.square 4));
+        Alcotest.check_raises "not square"
+          (Invalid_argument "Topology.square: not a perfect square") (fun () ->
+            ignore (Topology.square 5)));
+    Alcotest.test_case "grid_of_procs (paper's shape rule)" `Quick (fun () ->
+        Alcotest.check Alcotest.(array int) "16, k=2" [| 4; 4 |]
+          (Topology.grid_of_procs ~k:2 16);
+        Alcotest.check Alcotest.(array int) "8, k=2" [| 2; 4 |]
+          (Topology.grid_of_procs ~k:2 8);
+        Alcotest.check Alcotest.(array int) "5, k=1" [| 5 |]
+          (Topology.grid_of_procs ~k:1 5);
+        Alcotest.check Alcotest.(array int) "27, k=3" [| 3; 3; 3 |]
+          (Topology.grid_of_procs ~k:3 27));
+  ]
+
+let cost_cases =
+  [
+    Alcotest.test_case "message and compute" `Quick (fun () ->
+        let c = Cost.make ~t_comp:1e-6 ~t_start:1e-4 ~t_comm:1e-6 in
+        feq "one hop" (1e-4 +. (10. *. 1e-6)) (Cost.message c ~hops:1 ~size:10);
+        feq "pipeline fill" (1e-4 +. (12. *. 1e-6))
+          (Cost.message c ~hops:3 ~size:10);
+        feq "compute" 5e-6 (Cost.compute c ~iterations:5);
+        Alcotest.check_raises "negative" (Invalid_argument "Cost.compute")
+          (fun () -> ignore (Cost.compute c ~iterations:(-1))));
+  ]
+
+let machine_cases =
+  [
+    Alcotest.test_case "local memory semantics" `Quick (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        Machine.store m ~pe:0 "A" [| 1; 1 |] 42;
+        check_int "read back" 42 (Machine.read m ~pe:0 "A" [| 1; 1 |]);
+        check_bool "holds" true (Machine.holds m ~pe:0 "A" [| 1; 1 |]);
+        check_bool "not on other pe" false (Machine.holds m ~pe:1 "A" [| 1; 1 |]);
+        Machine.write m ~pe:0 "A" [| 1; 1 |] 43;
+        check_int "updated" 43 (Machine.read m ~pe:0 "A" [| 1; 1 |]));
+    Alcotest.test_case "remote access raises" `Quick (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        Machine.store m ~pe:0 "A" [| 1 |] 1;
+        (match Machine.read m ~pe:1 "A" [| 1 |] with
+         | exception Machine.Remote_access { pe; array; element } ->
+           check_int "pe" 1 pe;
+           check_string "array" "A" array;
+           Alcotest.check Alcotest.(array int) "element" [| 1 |] element
+         | _ -> Alcotest.fail "expected Remote_access");
+        (match Machine.write m ~pe:1 "A" [| 1 |] 9 with
+         | exception Machine.Remote_access _ -> ()
+         | _ -> Alcotest.fail "write needs ownership"));
+    Alcotest.test_case "host_send charges the paper's unicast cost" `Quick
+      (fun () ->
+        let c = Cost.make ~t_comp:0. ~t_start:1e-4 ~t_comm:1e-6 in
+        let m = Machine.create (Topology.linear 4) c in
+        Machine.host_send m ~pe:0 "A" [ ([| 1 |], 5); ([| 2 |], 6) ];
+        (* hops = 1, size = 2 -> t_start + 2 t_comm *)
+        feq "cost" (1e-4 +. 2e-6) (Machine.distribution_time m);
+        check_int "messages" 1 (Machine.message_count m);
+        check_int "volume" 2 (Machine.message_volume m);
+        check_int "data arrived" 5 (Machine.read m ~pe:0 "A" [| 1 |]));
+    Alcotest.test_case "host_broadcast floods everyone" `Quick (fun () ->
+        let c = Cost.make ~t_comp:0. ~t_start:1e-4 ~t_comm:1e-6 in
+        let m = Machine.create (Topology.square 16) c in
+        Machine.host_broadcast m "B" [ ([| 1 |], 7) ];
+        for pe = 0 to 15 do
+          check_int "everywhere" 7 (Machine.read m ~pe "B" [| 1 |])
+        done;
+        (* hops = diameter + 1 = 7, size = 1 -> t_start + 7 t_comm. *)
+        feq "store-and-forward cost" (1e-4 +. 7e-6)
+          (Machine.distribution_time m));
+    Alcotest.test_case "host_multicast reaches the group" `Quick (fun () ->
+        let c = Cost.make ~t_comp:0. ~t_start:1e-4 ~t_comm:1e-6 in
+        let m = Machine.create (Topology.square 4) c in
+        Machine.host_multicast m ~pes:[ 0; 1 ] "A" [ ([| 1 |], 3); ([| 2 |], 4) ];
+        check_int "member 0" 3 (Machine.read m ~pe:0 "A" [| 1 |]);
+        check_int "member 1" 4 (Machine.read m ~pe:1 "A" [| 2 |]);
+        check_bool "non-member excluded" false (Machine.holds m ~pe:2 "A" [| 1 |]);
+        (* hops = dist(0,1)+1 = 2; charge = t_start + (2*2 + 2) t_comm. *)
+        feq "pipelined double-pass cost" (1e-4 +. 6e-6)
+          (Machine.distribution_time m));
+    Alcotest.test_case "compute accounting and makespan" `Quick (fun () ->
+        let c = Cost.make ~t_comp:2e-6 ~t_start:1e-4 ~t_comm:1e-6 in
+        let m = Machine.create (Topology.linear 2) c in
+        Machine.run_iterations m ~pe:0 100;
+        Machine.run_iterations m ~pe:1 50;
+        feq "pe0" 2e-4 (Machine.compute_time m ~pe:0);
+        feq "max" 2e-4 (Machine.max_compute_time m);
+        check_int "iterations" 100 (Machine.iterations_of m ~pe:0);
+        Machine.host_send m ~pe:1 "A" [ ([| 1 |], 1) ];
+        feq "makespan = dist + max compute"
+          (Machine.distribution_time m +. 2e-4)
+          (Machine.makespan m);
+        Machine.reset_stats m;
+        feq "reset" 0. (Machine.makespan m));
+  ]
+
+let trace_cases =
+  [
+    Alcotest.test_case "distribution events recorded in order" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.square 4) Cost.transputer in
+        Machine.host_send m ~pe:1 "A" [ ([| 1 |], 1) ];
+        Machine.host_broadcast m "B" [ ([| 1 |], 2); ([| 2 |], 3) ];
+        Machine.host_multicast m ~pes:[ 0; 2 ] "C" [ ([| 5 |], 9) ];
+        (match Machine.trace m with
+         | [ Machine.Send { pe = 1; array = "A"; size = 1 };
+             Machine.Broadcast { array = "B"; size = 2 };
+             Machine.Multicast { pes = [ 0; 2 ]; array = "C"; size = 1 } ] ->
+           ()
+         | evs ->
+           Alcotest.failf "unexpected trace (%d events): %s"
+             (List.length evs)
+             (String.concat "; "
+                (List.map (Format.asprintf "%a" Machine.pp_event) evs)));
+        Machine.reset_stats m;
+        check_bool "trace cleared" true (Machine.trace m = []));
+    Alcotest.test_case "matmul L5'' trace shape" `Quick (fun () ->
+        (* Distribution of L5'' issues 2*sqrt(p) multicasts and no
+           broadcast. *)
+        let r = Cf_exec.Matmul.simulate Cf_exec.Matmul.Dup_ab ~m:4 ~p:4 in
+        let machine = r.Cf_exec.Matmul.report.Cf_exec.Parexec.machine in
+        let evs = Machine.trace machine in
+        check_int "4 multicasts" 4
+          (List.length
+             (List.filter
+                (function Machine.Multicast _ -> true | _ -> false)
+                evs));
+        check_int "no broadcast" 0
+          (List.length
+             (List.filter
+                (function Machine.Broadcast _ -> true | _ -> false)
+                evs)));
+    Alcotest.test_case "matmul L5' trace shape" `Quick (fun () ->
+        (* L5' sends row blocks and broadcasts B. *)
+        let r = Cf_exec.Matmul.simulate Cf_exec.Matmul.Dup_b ~m:4 ~p:4 in
+        let machine = r.Cf_exec.Matmul.report.Cf_exec.Parexec.machine in
+        let evs = Machine.trace machine in
+        check_int "one broadcast of B" 1
+          (List.length
+             (List.filter
+                (function
+                  | Machine.Broadcast { array = "B"; _ } -> true
+                  | _ -> false)
+                evs));
+        check_int "4 row sends of A" 4
+          (List.length
+             (List.filter
+                (function
+                  | Machine.Send { array = "A"; _ } -> true
+                  | _ -> false)
+                evs)));
+  ]
+
+let memory_cases =
+  [
+    Alcotest.test_case "memory_words counts resident elements" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        check_int "empty" 0 (Machine.memory_words m ~pe:0);
+        Machine.store m ~pe:0 "A" [| 1 |] 1;
+        Machine.store m ~pe:0 "A" [| 2 |] 2;
+        Machine.store m ~pe:0 "A" [| 2 |] 3 (* overwrite, not growth *);
+        check_int "two elements" 2 (Machine.memory_words m ~pe:0);
+        check_int "other pe untouched" 0 (Machine.memory_words m ~pe:1));
+  ]
+
+let suites =
+  [
+    ("topology", topology_cases);
+    ("cost", cost_cases);
+    ("machine", machine_cases);
+    ("trace", trace_cases);
+    ("memory", memory_cases);
+  ]

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "comfree"
+    (List.concat
+       [
+         Test_rational.suites;
+         Test_linalg.suites;
+         Test_lattice.suites;
+         Test_loop.suites;
+         Test_dep.suites;
+         Test_core.suites;
+         Test_transform.suites;
+         Test_machine.suites;
+         Test_exec.suites;
+         Test_report.suites;
+         Test_pipeline.suites;
+         Test_baseline.suites;
+         Test_workloads.suites;
+         Test_depth3.suites;
+         Test_cgen.suites;
+         Test_cli.suites;
+         Test_misc.suites;
+         Test_frontend.suites;
+       ])

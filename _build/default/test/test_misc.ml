@@ -1,0 +1,206 @@
+(* Edge cases and small behaviors not exercised by the main suites. *)
+
+open Cf_rational
+open Cf_linalg
+open Testutil
+
+let vec = Alcotest.testable Vec.pp Vec.equal
+
+let linalg_edge =
+  [
+    Alcotest.test_case "Vec misc" `Quick (fun () ->
+        Alcotest.check Alcotest.(option int) "first_nonzero" (Some 1)
+          (Vec.first_nonzero (Vec.of_int_list [ 0; 5; 0 ]));
+        Alcotest.check Alcotest.(option int) "all zero" None
+          (Vec.first_nonzero (Vec.zero 3));
+        Alcotest.check_raises "to_int_exn rejects fractions"
+          (Invalid_argument "Vec.to_int_exn: non-integer entry") (fun () ->
+            ignore (Vec.to_int_exn (Vec.of_list [ Rat.make 1 2 ])));
+        Alcotest.check vec "map2" (Vec.of_int_list [ 2; 6 ])
+          (Vec.map2 Rat.mul (Vec.of_int_list [ 1; 2 ]) (Vec.of_int_list [ 2; 3 ]));
+        Alcotest.check_raises "dimension mismatch"
+          (Invalid_argument "Vec: dimension mismatch") (fun () ->
+            ignore (Vec.add (Vec.zero 2) (Vec.zero 3))));
+    Alcotest.test_case "Mat rows/cols accessors" `Quick (fun () ->
+        let m = Mat.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+        Alcotest.check vec "row" (Vec.of_int_list [ 4; 5; 6 ]) (Mat.row m 1);
+        Alcotest.check vec "col" (Vec.of_int_list [ 2; 5 ]) (Mat.col m 1);
+        check_int "rows" 2 (Mat.rows m);
+        check_int "cols" 3 (Mat.cols m);
+        Alcotest.check_raises "empty cols"
+          (Invalid_argument "Mat.cols: empty matrix") (fun () ->
+            ignore (Mat.cols [||])));
+    Alcotest.test_case "Subspace add_vector and join_all" `Quick (fun () ->
+        let s = Subspace.zero 3 in
+        let s = Subspace.add_vector s (Vec.of_int_list [ 1; 0; 0 ]) in
+        let s = Subspace.add_vector s (Vec.of_int_list [ 2; 0; 0 ]) in
+        check_int "no growth on dependent" 1 (Subspace.dim s);
+        let j =
+          Subspace.join_all 2
+            [ Subspace.span 2 [ Vec.of_int_list [ 1; 0 ] ];
+              Subspace.span 2 [ Vec.of_int_list [ 0; 1 ] ] ]
+        in
+        check_bool "join_all full" true (Subspace.is_full j);
+        check_bool "trivial" true (Subspace.is_trivial (Subspace.zero 4)));
+    Alcotest.test_case "Oint.lcm overflow detection" `Quick (fun () ->
+        Alcotest.check_raises "overflow" Oint.Overflow (fun () ->
+            ignore (Oint.lcm max_int (max_int - 1))));
+  ]
+
+let lattice_edge =
+  [
+    Alcotest.test_case "Babai coordinates and rounding" `Quick (fun () ->
+        let basis = [ [| 2; 0 |]; [| 0; 3 |] ] in
+        (match Cf_lattice.Babai.coordinates ~basis (Vec.of_int_list [ 4; 3 ]) with
+         | Some x ->
+           Alcotest.check vec "coords"
+             (Vec.of_list [ Rat.of_int 2; Rat.one ])
+             x
+         | None -> Alcotest.fail "coordinates");
+        Alcotest.check Alcotest.(array int) "round_point" [| 4; 3 |]
+          (Cf_lattice.Babai.round_point ~basis
+             (Vec.of_list [ Rat.of_int 4; Rat.make 10 3 |> Rat.abs ])));
+    Alcotest.test_case "Intlin validation" `Quick (fun () ->
+        Alcotest.check_raises "empty" (Invalid_argument "Intlin: empty matrix")
+          (fun () -> ignore (Cf_lattice.Intlin.reduce [||]));
+        Alcotest.check_raises "ragged" (Invalid_argument "Intlin: ragged matrix")
+          (fun () ->
+            ignore (Cf_lattice.Intlin.reduce [| [| 1; 2 |]; [| 1 |] |])));
+  ]
+
+let machine_edge =
+  [
+    Alcotest.test_case "multicast requires targets" `Quick (fun () ->
+        let m =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 2)
+            Cf_machine.Cost.transputer
+        in
+        Alcotest.check_raises "empty group"
+          (Invalid_argument "Machine.host_multicast: no targets") (fun () ->
+            Cf_machine.Machine.host_multicast m ~pes:[] "A" []));
+    Alcotest.test_case "topology bounds" `Quick (fun () ->
+        let t = Cf_machine.Topology.mesh [| 2; 3 |] in
+        Alcotest.check_raises "rank range"
+          (Invalid_argument "Topology.coords_of_rank: out of range") (fun () ->
+            ignore (Cf_machine.Topology.coords_of_rank t 6));
+        Alcotest.check_raises "coord range"
+          (Invalid_argument "Topology.rank_of_coords: out of range") (fun () ->
+            ignore (Cf_machine.Topology.rank_of_coords t [| 2; 0 |])));
+    Alcotest.test_case "local_elements lists stored data" `Quick (fun () ->
+        let m =
+          Cf_machine.Machine.create (Cf_machine.Topology.linear 1)
+            Cf_machine.Cost.transputer
+        in
+        Cf_machine.Machine.store m ~pe:0 "A" [| 1 |] 5;
+        Cf_machine.Machine.store m ~pe:0 "B" [| 2 |] 6;
+        Alcotest.check
+          Alcotest.(list (triple string (array int) int))
+          "sorted listing"
+          [ ("A", [| 1 |], 5); ("B", [| 2 |], 6) ]
+          (Cf_machine.Machine.local_elements m ~pe:0));
+  ]
+
+let partition_edge =
+  [
+    Alcotest.test_case "block lookups" `Quick (fun () ->
+        let psi = Cf_core.Strategy.partitioning_space Cf_core.Strategy.Nonduplicate l1 in
+        let p = Cf_core.Iter_partition.make l1 psi in
+        Alcotest.check_raises "outside space" Not_found (fun () ->
+            ignore (Cf_core.Iter_partition.block_of_iteration p [| 9; 9 |]));
+        let dp = Cf_core.Data_partition.make l1 p "A" in
+        Alcotest.check_raises "bad block id"
+          (Invalid_argument "Data_partition.block: bad block id") (fun () ->
+            ignore (Cf_core.Data_partition.block dp 0));
+        check_bool "block 1 non-empty" true
+          (Cf_core.Data_partition.block dp 1 <> []));
+    Alcotest.test_case "min_block_size" `Quick (fun () ->
+        let psi = Cf_core.Strategy.partitioning_space Cf_core.Strategy.Nonduplicate l1 in
+        let p = Cf_core.Iter_partition.make l1 psi in
+        check_int "corner blocks" 1 (Cf_core.Iter_partition.min_block_size p));
+    Alcotest.test_case "strategy array_space dispatch" `Quick (fun () ->
+        let s1 =
+          Cf_core.Strategy.array_space Cf_core.Strategy.Nonduplicate l1 "C"
+        in
+        let s2 = Cf_core.Strategy.array_space Cf_core.Strategy.Duplicate l1 "C" in
+        check_int "C full ref space has dim 1" 1 (Subspace.dim s1);
+        check_int "C reduced is trivial" 0 (Subspace.dim s2));
+  ]
+
+let report_edge =
+  [
+    Alcotest.test_case "assignment grid with one forall dim" `Quick (fun () ->
+        let psi = Cf_core.Strategy.partitioning_space Cf_core.Strategy.Nonduplicate l1 in
+        let pl = Cf_transform.Transformer.transform l1 psi in
+        let s = Cf_report.Figures.assignment_grid pl ~grid:[| 3 |] in
+        check_bool "lists PEs" true
+          (let nl = String.length "PE2:" and hl = String.length s in
+           let rec go i =
+             i + nl <= hl && (String.sub s i nl = "PE2:" || go (i + 1))
+           in
+           go 0));
+    Alcotest.test_case "commcost printer" `Quick (fun () ->
+        let c =
+          { Cf_exec.Commcost.total_flow_pairs = 5; remote_reads = 2;
+            remote_values = 1 }
+        in
+        check_string "render" "flow pairs 5, remote reads 2, remote values 1"
+          (Format.asprintf "%a" Cf_exec.Commcost.pp c));
+    Alcotest.test_case "machine event printer" `Quick (fun () ->
+        check_string "send"
+          "send A[3 words] -> PE2"
+          (Format.asprintf "%a" Cf_machine.Machine.pp_event
+             (Cf_machine.Machine.Send { pe = 2; array = "A"; size = 3 })));
+  ]
+
+let exec_edge =
+  [
+    Alcotest.test_case "seqexec lookup missing element" `Quick (fun () ->
+        let m = Cf_exec.Seqexec.run l1 in
+        Alcotest.check Alcotest.(option int) "never written" None
+          (Cf_exec.Seqexec.lookup m "A" [| 99; 99 |]));
+    Alcotest.test_case "cyclic placement validation" `Quick (fun () ->
+        Alcotest.check_raises "nprocs"
+          (Invalid_argument "Parexec.cyclic") (fun () ->
+            ignore (Cf_exec.Parexec.cyclic ~nprocs:0 1));
+        check_int "wraps" 0 (Cf_exec.Parexec.cyclic ~nprocs:3 4));
+    Alcotest.test_case "matmul rejects non-square p" `Quick (fun () ->
+        Alcotest.check_raises "p=3"
+          (Invalid_argument "Matmul: p must be a perfect square") (fun () ->
+            ignore (Cf_exec.Matmul.simulate Cf_exec.Matmul.Dup_ab ~m:4 ~p:3)));
+  ]
+
+let string_properties =
+  [
+    qtest "Rat.of_string/to_string round trip" ~count:200
+      (fun (n, d) ->
+        let d = if d = 0 then 1 else d in
+        let r = Rat.make n d in
+        Rat.equal r (Rat.of_string (Rat.to_string r)))
+      QCheck.(pair (int_range (-10000) 10000) (int_range (-500) 500));
+    qtest "clear_denominators is parallel and primitive" ~count:200
+      (fun (a, b, d) ->
+        let d = if d = 0 then 1 else d in
+        let v = Vec.of_list [ Rat.make a d; Rat.make b d ] in
+        let w = Vec.clear_denominators v in
+        (* parallel: cross product zero *)
+        let cross =
+          Rat.sub
+            (Rat.mul v.(0) (Rat.of_int w.(1)))
+            (Rat.mul v.(1) (Rat.of_int w.(0)))
+        in
+        Rat.is_zero cross
+        && (Array.for_all (( = ) 0) w || Array.fold_left Oint.gcd 0 w = 1))
+      QCheck.(triple (int_range (-30) 30) (int_range (-30) 30)
+                (int_range (-12) 12));
+  ]
+
+let suites =
+  [
+    ("linalg-edge", linalg_edge);
+    ("lattice-edge", lattice_edge);
+    ("machine-edge", machine_edge);
+    ("partition-edge", partition_edge);
+    ("report-edge", report_edge);
+    ("exec-edge", exec_edge);
+    ("misc-properties", string_properties);
+  ]

@@ -1,0 +1,155 @@
+open Cf_rational
+open Testutil
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let oint_cases =
+  [
+    Alcotest.test_case "add/sub basics" `Quick (fun () ->
+        check_int "add" 7 (Oint.add 3 4);
+        check_int "sub" (-1) (Oint.sub 3 4);
+        check_int "neg" (-3) (Oint.neg 3));
+    Alcotest.test_case "overflow raises" `Quick (fun () ->
+        Alcotest.check_raises "add max" Oint.Overflow (fun () ->
+            ignore (Oint.add max_int 1));
+        Alcotest.check_raises "sub min" Oint.Overflow (fun () ->
+            ignore (Oint.sub min_int 1));
+        Alcotest.check_raises "mul big" Oint.Overflow (fun () ->
+            ignore (Oint.mul max_int 2));
+        Alcotest.check_raises "neg min" Oint.Overflow (fun () ->
+            ignore (Oint.neg min_int)));
+    Alcotest.test_case "gcd/lcm" `Quick (fun () ->
+        check_int "gcd 12 18" 6 (Oint.gcd 12 18);
+        check_int "gcd neg" 6 (Oint.gcd (-12) 18);
+        check_int "gcd 0 x" 5 (Oint.gcd 0 5);
+        check_int "gcd 0 0" 0 (Oint.gcd 0 0);
+        check_int "lcm" 36 (Oint.lcm 12 18);
+        check_int "lcm 0" 0 (Oint.lcm 0 7));
+    Alcotest.test_case "euclidean division" `Quick (fun () ->
+        check_int "ediv 7 2" 3 (Oint.ediv 7 2);
+        check_int "ediv -7 2" (-4) (Oint.ediv (-7) 2);
+        check_int "emod -7 2" 1 (Oint.emod (-7) 2);
+        check_int "ediv -7 -2" 4 (Oint.ediv (-7) (-2));
+        check_int "emod -7 -2" 1 (Oint.emod (-7) (-2));
+        Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+            ignore (Oint.ediv 1 0)));
+    Alcotest.test_case "floor/ceil division" `Quick (fun () ->
+        check_int "fdiv 7 2" 3 (Oint.fdiv 7 2);
+        check_int "fdiv -7 2" (-4) (Oint.fdiv (-7) 2);
+        check_int "fdiv 7 -2" (-4) (Oint.fdiv 7 (-2));
+        check_int "cdiv 7 2" 4 (Oint.cdiv 7 2);
+        check_int "cdiv -7 2" (-3) (Oint.cdiv (-7) 2);
+        check_int "cdiv 7 -2" (-3) (Oint.cdiv 7 (-2)));
+    Alcotest.test_case "pow" `Quick (fun () ->
+        check_int "2^10" 1024 (Oint.pow 2 10);
+        check_int "x^0" 1 (Oint.pow 5 0);
+        check_int "(-3)^3" (-27) (Oint.pow (-3) 3);
+        Alcotest.check_raises "neg exponent"
+          (Invalid_argument "Oint.pow: negative exponent") (fun () ->
+            ignore (Oint.pow 2 (-1))));
+  ]
+
+let rat_cases =
+  [
+    Alcotest.test_case "normalization" `Quick (fun () ->
+        Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+        Alcotest.check rat "neg den" (Rat.make (-3) 2) (Rat.make 3 (-2));
+        check_int "den positive" 2 (Rat.den (Rat.make 3 (-2)));
+        Alcotest.check rat "zero" Rat.zero (Rat.make 0 17);
+        Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+            ignore (Rat.make 1 0)));
+    Alcotest.test_case "arithmetic" `Quick (fun () ->
+        Alcotest.check rat "1/2 + 1/3" (Rat.make 5 6)
+          (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+        Alcotest.check rat "1/2 * 2/3" (Rat.make 1 3)
+          (Rat.mul (Rat.make 1 2) (Rat.make 2 3));
+        Alcotest.check rat "3/4 / 3/2" (Rat.make 1 2)
+          (Rat.div (Rat.make 3 4) (Rat.make 3 2));
+        Alcotest.check rat "inv" (Rat.make (-2) 3) (Rat.inv (Rat.make (-3) 2));
+        Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+            ignore (Rat.div Rat.one Rat.zero)));
+    Alcotest.test_case "compare and sign" `Quick (fun () ->
+        check_bool "1/2 < 2/3" true Rat.(make 1 2 < make 2 3);
+        check_bool "-1/2 < 1/3" true Rat.(make (-1) 2 < make 1 3);
+        check_int "sign neg" (-1) (Rat.sign (Rat.make (-1) 5));
+        check_int "sign zero" 0 (Rat.sign Rat.zero));
+    Alcotest.test_case "floor/ceil/round" `Quick (fun () ->
+        check_int "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+        check_int "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+        check_int "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+        check_int "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+        check_int "round 1/2 (ties up)" 1 (Rat.round_nearest (Rat.make 1 2));
+        check_int "round -1/2 (ties up)" 0 (Rat.round_nearest (Rat.make (-1) 2));
+        check_int "round 5/3" 2 (Rat.round_nearest (Rat.make 5 3)));
+    Alcotest.test_case "strings" `Quick (fun () ->
+        check_string "int print" "7" (Rat.to_string (Rat.of_int 7));
+        check_string "frac print" "-3/2" (Rat.to_string (Rat.make 3 (-2)));
+        Alcotest.check rat "parse int" (Rat.of_int (-3)) (Rat.of_string "-3");
+        Alcotest.check rat "parse frac" (Rat.make 5 2) (Rat.of_string "5/2");
+        Alcotest.check rat "roundtrip" (Rat.make (-7) 3)
+          (Rat.of_string (Rat.to_string (Rat.make 7 (-3))));
+        Alcotest.check_raises "garbage"
+          (Invalid_argument "Rat.of_string: \"x\"") (fun () ->
+            ignore (Rat.of_string "x")));
+    Alcotest.test_case "to_int and predicates" `Quick (fun () ->
+        check_bool "integer" true (Rat.is_integer (Rat.make 4 2));
+        check_bool "not integer" false (Rat.is_integer (Rat.make 1 2));
+        check_int "to_int" 2 (Rat.to_int_exn (Rat.make 4 2)));
+  ]
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-50) 50))
+
+let properties =
+  [
+    qtest "add commutative"
+      (fun (a, b) -> Rat.equal (Rat.add a b) (Rat.add b a))
+      (QCheck.pair arb_rat arb_rat);
+    qtest "add associative"
+      (fun (a, b, c) ->
+        Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c))
+      (QCheck.triple arb_rat arb_rat arb_rat);
+    qtest "mul distributes"
+      (fun (a, b, c) ->
+        Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+      (QCheck.triple arb_rat arb_rat arb_rat);
+    qtest "sub then add roundtrips"
+      (fun (a, b) -> Rat.equal a (Rat.add (Rat.sub a b) b))
+      (QCheck.pair arb_rat arb_rat);
+    qtest "inv involutive (nonzero)"
+      (fun a ->
+        QCheck.assume (not (Rat.is_zero a));
+        Rat.equal a (Rat.inv (Rat.inv a)))
+      arb_rat;
+    qtest "normalized: den > 0 and gcd 1"
+      (fun a ->
+        Rat.den a > 0
+        && (Rat.num a = 0 || Oint.gcd (Rat.num a) (Rat.den a) = 1))
+      arb_rat;
+    qtest "floor <= x < floor + 1"
+      (fun a ->
+        let f = Rat.of_int (Rat.floor a) in
+        Rat.(f <= a) && Rat.(a < Rat.add f Rat.one))
+      arb_rat;
+    qtest "ceil is -floor(-x)"
+      (fun a -> Rat.ceil a = -Rat.floor (Rat.neg a))
+      arb_rat;
+    qtest "compare antisymmetric"
+      (fun (a, b) -> Rat.compare a b = -Rat.compare b a)
+      (QCheck.pair arb_rat arb_rat);
+    qtest "to_float order-consistent"
+      (fun (a, b) ->
+        QCheck.assume (not (Rat.equal a b));
+        Float.compare (Rat.to_float a) (Rat.to_float b)
+        = Rat.compare a b)
+      (QCheck.pair arb_rat arb_rat);
+  ]
+
+let suites =
+  [
+    ("oint", oint_cases);
+    ("rat", rat_cases);
+    ("rat-properties", properties);
+  ]

@@ -1,0 +1,162 @@
+open Cf_core
+open Cf_report
+open Testutil
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let figure_cases =
+  [
+    Alcotest.test_case "Fig. 3 golden rendering" `Quick (fun () ->
+        (* Locked output: the paper's iteration partition of L1 with
+           blocks numbered by base point. *)
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let expected =
+          "iteration partition (cell = block B_j):\n\
+          \   |  1  2  3  4\n\
+           ----------------\n\
+          \ 1 |  1  2  3  4\n\
+          \ 2 |  5  1  2  3\n\
+          \ 3 |  6  5  1  2\n\
+          \ 4 |  7  6  5  1\n"
+        in
+        check_string "exact grid" expected (Figures.iteration_partition p));
+    Alcotest.test_case "Fig. 1: data space of L1's A" `Quick (fun () ->
+        let s = Figures.data_space l1 "A" in
+        check_bool "title" true (contains s "data space of A");
+        check_bool "used marker" true (contains s "##");
+        check_bool "data-referenced vector (2,1)" true (contains s "(2, 1)"));
+    Alcotest.test_case "Fig. 2: data partition of L1" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let s = Figures.data_partition l1 p "A" in
+        check_bool "block 7 appears" true (contains s "7");
+        check_bool "no duplication" false (contains s "**"));
+    Alcotest.test_case "Fig. 3: iteration partition of L1" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let s = Figures.iteration_partition p in
+        check_bool "grid rendering" true (contains s "iteration partition");
+        check_bool "seven blocks" true (contains s "7"));
+    Alcotest.test_case "Fig. 4: duplicated elements flagged" `Quick (fun () ->
+        let p = Iter_partition.make l2 (Cf_linalg.Subspace.zero 2) in
+        let s = Figures.data_partition l2 p "A" in
+        check_bool "replication marker" true (contains s "**");
+        check_bool "copy counts" true (contains s "copies"));
+    Alcotest.test_case "Fig. 7: reference graph text" `Quick (fun () ->
+        let s = Figures.reference_graph l3 "A" in
+        check_bool "graph title" true (contains s "G^A");
+        check_bool "flow edge" true (contains s "d^f");
+        check_bool "anti edge" true (contains s "d^a"));
+    Alcotest.test_case "Fig. 10: assignment grid for L4'" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl =
+          Cf_transform.Transformer.transform
+            ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ] l4 psi
+        in
+        let s = Figures.assignment_grid pl ~grid:[| 2; 2 |] in
+        check_bool "workload title" true (contains s "block workload");
+        check_bool "PE totals" true (contains s "PE0: 16 iterations");
+        check_bool "balance line" true (contains s "imbalance=1.000"));
+  ]
+
+let table_cases =
+  [
+    Alcotest.test_case "Table I renders model and paper" `Quick (fun () ->
+        let s = Tables.table1 () in
+        check_bool "title" true (contains s "Table I");
+        check_bool "paper sequential value" true (contains s "161.3");
+        check_bool "all rows" true
+          (contains s "L5''" && contains s "L5'" && contains s "p=16"));
+    Alcotest.test_case "Table II renders speedups" `Quick (fun () ->
+        let s = Tables.table2 () in
+        check_bool "title" true (contains s "Table II");
+        check_bool "paper speedup 15.14" true (contains s "15.14"));
+    Alcotest.test_case "model matches the paper within 15%" `Quick (fun () ->
+        (* The worst cells are the small-M L5'' rows, where the paper's
+           own T3 formula over-counts its measured distribution time; the
+           model follows the formula, so ~11% there is expected. *)
+        let err = Tables.max_relative_error () in
+        check_bool (Printf.sprintf "max rel err %.3f" err) true (err < 0.15));
+    Alcotest.test_case "paper tables are well-formed" `Quick (fun () ->
+        List.iter
+          (fun (_, _, vals) ->
+            check_int "5 columns" 5 (List.length vals))
+          Tables.paper_table1;
+        check_int "table2 rows" 4 (List.length Tables.paper_table2));
+  ]
+
+let count_sub hay needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length hay then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let svg_cases =
+  [
+    Alcotest.test_case "iteration partition SVG (L1)" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let s = Svg.iteration_partition p in
+        check_bool "svg document" true (contains s "<svg");
+        check_bool "closed" true (contains s "</svg>");
+        (* 16 iterations = 16 colored cells (plus none empty). *)
+        check_int "rects" 16 (count_sub s "<rect"));
+    Alcotest.test_case "data partition SVG marks replication" `Quick
+      (fun () ->
+        let p = Iter_partition.make l2 (Cf_linalg.Subspace.zero 2) in
+        let s = Svg.data_partition l2 p "A" in
+        check_bool "has hatched cells" true (contains s "fill=\"#bbb\""));
+    Alcotest.test_case "block workload SVG (Fig. 10)" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl =
+          Cf_transform.Transformer.transform
+            ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ] l4 psi
+        in
+        let s = Svg.block_workloads pl in
+        check_bool "svg" true (contains s "<svg");
+        check_int "37 blocks drawn" 37 (count_sub s "text-anchor=\"middle\">")
+        );
+    Alcotest.test_case "non-2-D inputs rejected" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let p = Iter_partition.make l4 psi in
+        (match Svg.iteration_partition p with
+         | exception Invalid_argument _ -> ()
+         | _ -> Alcotest.fail "expected rejection of 3-D space"));
+  ]
+
+let allocmap_cases =
+  [
+    Alcotest.test_case "L1 allocation map (nonduplicate)" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        let s =
+          Allocmap.render p ~placement:(Cf_exec.Parexec.cyclic ~nprocs:3)
+            ~nprocs:3
+        in
+        check_bool "lists PEs" true (contains s "PE2:");
+        check_bool "no replication" true (contains s "(0 replicated)");
+        check_bool "arrays listed" true (contains s "B: "));
+    Alcotest.test_case "L2 allocation map shows replication" `Quick (fun () ->
+        let p = Iter_partition.make l2 (Cf_linalg.Subspace.zero 2) in
+        let s =
+          Allocmap.render p ~placement:(Cf_exec.Parexec.cyclic ~nprocs:4)
+            ~nprocs:4
+        in
+        check_bool "replication reported" false (contains s "(0 replicated)"));
+    Alcotest.test_case "validation" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let p = Iter_partition.make l1 psi in
+        Alcotest.check_raises "nprocs"
+          (Invalid_argument "Allocmap.render: nprocs < 1") (fun () ->
+            ignore (Allocmap.render p ~placement:(fun _ -> 0) ~nprocs:0)));
+  ]
+
+let suites =
+  [ ("figures", figure_cases); ("tables", table_cases); ("svg", svg_cases); ("allocmap", allocmap_cases) ]

@@ -1,0 +1,335 @@
+open Cf_rational
+open Cf_linalg
+open Cf_core
+open Cf_transform
+open Testutil
+
+let v l = Vec.of_int_list l
+
+let raffine_cases =
+  [
+    Alcotest.test_case "algebra" `Quick (fun () ->
+        let a = Raffine.var 3 0 and b = Raffine.var 3 2 in
+        let s = Raffine.add (Raffine.scale (Rat.of_int 2) a) b in
+        Alcotest.check
+          (Alcotest.testable Rat.pp Rat.equal)
+          "eval" (Rat.of_int 7)
+          (Raffine.eval_int s [| 2; 9; 3 |]);
+        check_bool "not constant" false (Raffine.is_constant s);
+        check_bool "constant" true (Raffine.is_constant (Raffine.const 3 5)));
+    Alcotest.test_case "last_var and drop" `Quick (fun () ->
+        let s = Raffine.add (Raffine.var 3 0) (Raffine.var 3 2) in
+        Alcotest.check Alcotest.(option int) "last" (Some 2)
+          (Raffine.last_var_with_nonzero s);
+        Alcotest.check Alcotest.(option int) "after drop" (Some 0)
+          (Raffine.last_var_with_nonzero (Raffine.drop_var s 2)));
+    Alcotest.test_case "printing" `Quick (fun () ->
+        let f =
+          Raffine.add
+            (Raffine.scale (Rat.make 1 2) (Raffine.var 2 0))
+            (Raffine.add
+               (Raffine.scale (Rat.of_int (-1)) (Raffine.var 2 1))
+               (Raffine.const 2 3))
+        in
+        check_string "render" "1/2*x - y + 3"
+          (Format.asprintf "%a" (Raffine.pp ~names:[| "x"; "y" |]) f);
+        check_string "zero" "0"
+          (Format.asprintf "%a" (Raffine.pp ~names:[| "x"; "y" |])
+             (Raffine.const 2 0)));
+  ]
+
+let fourier_cases =
+  [
+    Alcotest.test_case "rectangle bounds" `Quick (fun () ->
+        (* 1 <= x <= 4, 1 <= y <= 3 over vars (x, y). *)
+        let c k lo hi =
+          [ Raffine.add (Raffine.var 2 k) (Raffine.const 2 (-lo));
+            Raffine.add
+              (Raffine.scale Rat.minus_one (Raffine.var 2 k))
+              (Raffine.const 2 hi) ]
+        in
+        let bounds = Fourier.loop_bounds ~nvars:2 (c 0 1 4 @ c 1 1 3) in
+        check_int "x lower" 1 (Fourier.lower_value bounds.(0).lowers [| 0; 0 |]);
+        check_int "x upper" 4 (Fourier.upper_value bounds.(0).uppers [| 0; 0 |]);
+        check_int "y lower" 1 (Fourier.lower_value bounds.(1).lowers [| 2; 0 |]);
+        check_int "y upper" 3 (Fourier.upper_value bounds.(1).uppers [| 2; 0 |]));
+    Alcotest.test_case "diagonal band projects correctly" `Quick (fun () ->
+        (* 1 <= x <= 4, 1 <= y <= 4, 3 <= x + y <= 5. *)
+        let var k = Raffine.var 2 k in
+        let ge f c = Raffine.add f (Raffine.const 2 (-c)) in
+        let le f c =
+          Raffine.add (Raffine.scale Rat.minus_one f) (Raffine.const 2 c)
+        in
+        let sum = Raffine.add (var 0) (var 1) in
+        let constraints =
+          [ ge (var 0) 1; le (var 0) 4; ge (var 1) 1; le (var 1) 4;
+            ge sum 3; le sum 5 ]
+        in
+        let bounds = Fourier.loop_bounds ~nvars:2 constraints in
+        (* After eliminating y: x in [max(1, 3-4), min(4, 5-1)] = [1,4]. *)
+        check_int "x lo" 1 (Fourier.lower_value bounds.(0).lowers [| 0; 0 |]);
+        check_int "x hi" 4 (Fourier.upper_value bounds.(0).uppers [| 0; 0 |]);
+        (* For x = 1: y in [2, 4]; for x = 4: y in [1, 1]. *)
+        check_int "y lo at x=1" 2
+          (Fourier.lower_value bounds.(1).lowers [| 1; 0 |]);
+        check_int "y hi at x=1" 4
+          (Fourier.upper_value bounds.(1).uppers [| 1; 0 |]);
+        check_int "y lo at x=4" 1
+          (Fourier.lower_value bounds.(1).lowers [| 4; 0 |]);
+        check_int "y hi at x=4" 1
+          (Fourier.upper_value bounds.(1).uppers [| 4; 0 |]));
+    Alcotest.test_case "eliminate drops the variable" `Quick (fun () ->
+        let var k = Raffine.var 2 k in
+        let constraints =
+          [ Raffine.add (var 0) (Raffine.scale Rat.minus_one (var 1));
+            Raffine.add (var 1) (Raffine.const 2 (-1)) ]
+        in
+        let projected = Fourier.eliminate ~var:1 constraints in
+        check_bool "no var 1 left" true
+          (List.for_all
+             (fun f -> Rat.is_zero (Raffine.coeff f 1))
+             projected));
+    Alcotest.test_case "infeasible detection" `Quick (fun () ->
+        Alcotest.check_raises "negative constant"
+          (Invalid_argument "Fourier: infeasible constraint system")
+          (fun () ->
+            ignore
+              (Fourier.loop_bounds ~nvars:1 [ Raffine.const 1 (-1) ])));
+  ]
+
+let echelon_cases =
+  [
+    Alcotest.test_case "paper L4 basis provenance" `Quick (fun () ->
+        (* Q = {(1,1,0), (-1,0,1)}: echelon pivots are columns 0 and 1,
+           with original rows as the defining vectors. *)
+        match Transformer.echelon_with_provenance [ [| 1; 1; 0 |]; [| -1; 0; 1 |] ]
+        with
+        | [ (0, a1); (1, a2) ] ->
+          Alcotest.check Alcotest.(array int) "a1" [| 1; 1; 0 |] a1;
+          Alcotest.check Alcotest.(array int) "a2" [| -1; 0; 1 |] a2
+        | l -> Alcotest.failf "unexpected provenance (%d rows)" (List.length l));
+    Alcotest.test_case "gcd normalization" `Quick (fun () ->
+        match Transformer.echelon_with_provenance [ [| 2; 2; 0 |] ] with
+        | [ (0, a) ] -> Alcotest.check Alcotest.(array int) "primitive" [| 1; 1; 0 |] a
+        | _ -> Alcotest.fail "one row");
+    Alcotest.test_case "completion picks independent units" `Quick (fun () ->
+        Alcotest.check Alcotest.(array int) "L4 inner = position 0" [| 0 |]
+          (Transformer.completion ~n:3 [ [| 1; 1; 0 |]; [| -1; 0; 1 |] ]);
+        Alcotest.check Alcotest.(array int) "identity rows leave nothing" [||]
+          (Transformer.completion ~n:2 [ [| 1; 0 |]; [| 0; 1 |] ]);
+        Alcotest.check Alcotest.(array int) "empty rows keep all" [| 0; 1 |]
+          (Transformer.completion ~n:2 []));
+  ]
+
+let coverage nest pl =
+  let got = ref [] in
+  Parloop.iter pl (fun ~block:_ ~iter -> got := iter :: !got);
+  List.sort compare !got = List.sort compare (Cf_loop.Nest.iterations nest)
+
+let transform_cases =
+  [
+    Alcotest.test_case "L4' reproduces the paper" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl =
+          Transformer.transform ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ] l4 psi
+        in
+        check_int "two foralls" 2 pl.Parloop.n_forall;
+        Alcotest.check Alcotest.(array string) "variable names"
+          [| "i1'"; "i2'"; "i1" |] (Parloop.names pl);
+        check_bool "no guards needed" false (Parloop.needs_guards pl);
+        check_bool "covers iteration space" true (coverage l4 pl);
+        check_int "37 blocks" 37 (List.length (Parloop.blocks pl));
+        (* The forall ranges of loop L4': i1' = 2..8; at i1' = 2 the
+           second forall runs from 0 to 3; at i1' = 8, -3 to 0. *)
+        let b0 = pl.Parloop.levels.(0).bounds in
+        check_int "i1' lower" 2 (Fourier.lower_value b0.Fourier.lowers [| 0; 0; 0 |]);
+        check_int "i1' upper" 8 (Fourier.upper_value b0.Fourier.uppers [| 0; 0; 0 |]);
+        let b1 = pl.Parloop.levels.(1).bounds in
+        check_int "i2' lower at i1'=2" 0
+          (Fourier.lower_value b1.Fourier.lowers [| 2; 0; 0 |]);
+        check_int "i2' upper at i1'=2" 3
+          (Fourier.upper_value b1.Fourier.uppers [| 2; 0; 0 |]);
+        check_int "i2' lower at i1'=8" (-3)
+          (Fourier.lower_value b1.Fourier.lowers [| 8; 0; 0 |]);
+        check_int "i2' upper at i1'=8" 0
+          (Fourier.upper_value b1.Fourier.uppers [| 8; 0; 0 |]);
+        (* Inner bounds at (i1', i2') = (5, 0): i1 = max(1,1,1)..min(4,4,4). *)
+        let b2 = pl.Parloop.levels.(2).bounds in
+        check_int "i1 lower" 1 (Fourier.lower_value b2.Fourier.lowers [| 5; 0; 0 |]);
+        check_int "i1 upper" 4 (Fourier.upper_value b2.Fourier.uppers [| 5; 0; 0 |]));
+    Alcotest.test_case "Fig. 10: 2x2 cyclic assignment balances L4'" `Quick
+      (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl =
+          Transformer.transform ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ] l4 psi
+        in
+        let counts = Cf_exec.Assign.parloop_counts pl ~grid:[| 2; 2 |] in
+        Alcotest.check Alcotest.(array int) "16 each" [| 16; 16; 16; 16 |]
+          counts);
+    Alcotest.test_case "sequential space yields no foralls" `Quick (fun () ->
+        let pl = Transformer.transform l2 (Subspace.full 2) in
+        check_int "no foralls" 0 pl.Parloop.n_forall;
+        check_bool "covers" true (coverage l2 pl));
+    Alcotest.test_case "zero space yields all foralls" `Quick (fun () ->
+        let pl = Transformer.transform l2 (Subspace.zero 2) in
+        check_int "all foralls" 2 pl.Parloop.n_forall;
+        check_bool "covers" true (coverage l2 pl);
+        check_int "16 blocks" 16 (List.length (Parloop.blocks pl)));
+    Alcotest.test_case "invalid basis rejected" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        Alcotest.check_raises "wrong span"
+          (Invalid_argument "Transformer.transform: basis does not span Ker(Psi)")
+          (fun () ->
+            ignore (Transformer.transform ~basis:[ [| 1; 0; 0 |] ] l4 psi)));
+    Alcotest.test_case "rendering mentions forall and extended stmts" `Quick
+      (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l4 in
+        let pl =
+          Transformer.transform ~basis:[ [| 1; 1; 0 |]; [| -1; 0; 1 |] ] l4 psi
+        in
+        let s = Format.asprintf "%a" Parloop.pp pl in
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+          go 0
+        in
+        check_bool "forall" true (contains s "forall");
+        check_bool "extended statement" true (contains s "i2 := ");
+        check_bool "end-forall" true (contains s "end-forall"));
+  ]
+
+(* Within-block execution order must respect every dependence the exact
+   analysis observes: if src -> dst, then in the transformed enumeration
+   src appears before dst (they share a block by communication-freedom). *)
+let order_preserved nest pl =
+  let seen = Hashtbl.create 256 in
+  let time = ref 0 in
+  Parloop.iter pl (fun ~block:_ ~iter ->
+      Hashtbl.replace seen (Array.to_list iter) !time;
+      incr time);
+  List.for_all
+    (fun (d : Cf_dep.Analysis.dep) ->
+      (* Reconstruct concrete instance pairs from the witness: for each
+         src iteration i, dst = i + witness, when both are in space. *)
+      let w = d.witness in
+      Hashtbl.fold
+        (fun src t_src acc ->
+          acc
+          &&
+          let dst = List.map2 ( + ) src (Array.to_list w) in
+          match Hashtbl.find_opt seen dst with
+          | None -> true
+          | Some t_dst ->
+            if w = Array.map (fun _ -> 0) w then true else t_src < t_dst)
+        seen true)
+    (Cf_dep.Analysis.deps nest)
+
+(* Differential test of Fourier-Motzkin: the nested-bounds enumeration
+   must produce exactly the integer solutions of the constraint set. *)
+let fm_points nvars constraints =
+  match Fourier.loop_bounds ~nvars constraints with
+  | exception Invalid_argument _ -> None (* rationally infeasible *)
+  | bounds ->
+    let acc = ref [] in
+    let x = Array.make nvars 0 in
+    let rec go m =
+      if m = nvars then acc := Array.copy x :: !acc
+      else begin
+        let lo = Fourier.lower_value bounds.(m).Fourier.lowers x
+        and hi = Fourier.upper_value bounds.(m).Fourier.uppers x in
+        for v = lo to hi do
+          x.(m) <- v;
+          go (m + 1)
+        done
+      end
+    in
+    go 0;
+    Some (List.sort compare !acc)
+
+let brute_points nvars constraints =
+  (* All constraints include the generator's 0..4 box, so +-6 is ample. *)
+  let acc = ref [] in
+  let x = Array.make nvars 0 in
+  let ok () =
+    List.for_all
+      (fun f ->
+        Cf_rational.Rat.sign (Raffine.eval_int f x) >= 0)
+      constraints
+  in
+  let rec go m =
+    if m = nvars then (if ok () then acc := Array.copy x :: !acc)
+    else
+      for v = -6 to 6 do
+        x.(m) <- v;
+        go (m + 1)
+      done
+  in
+  go 0;
+  List.sort compare !acc
+
+let arb_constraints =
+  let open QCheck.Gen in
+  let nvars = 3 in
+  let box =
+    List.concat
+      (List.init nvars (fun k ->
+           [ Raffine.var nvars k;
+             Raffine.add
+               (Raffine.scale Cf_rational.Rat.minus_one (Raffine.var nvars k))
+               (Raffine.const nvars 4) ]))
+  in
+  let gen_extra =
+    let coeff = int_range (-2) 2 in
+    list_repeat nvars coeff >>= fun cs ->
+    int_range (-4) 8 >|= fun c ->
+    List.fold_left Raffine.add (Raffine.const nvars c)
+      (List.mapi
+         (fun k x ->
+           Raffine.scale (Cf_rational.Rat.of_int x) (Raffine.var nvars k))
+         cs)
+  in
+  let gen = int_range 0 2 >>= fun n -> list_repeat n gen_extra >|= fun extra ->
+    box @ extra
+  in
+  QCheck.make gen
+
+let properties =
+  [
+    qtest "Fourier-Motzkin enumerates exactly the integer points" ~count:150
+      (fun constraints ->
+        match fm_points 3 constraints with
+        | None -> brute_points 3 constraints = []
+        | Some pts -> pts = brute_points 3 constraints)
+      arb_constraints;
+    qtest "transform covers the iteration space exactly" ~count:60
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        coverage nest (Transformer.transform nest psi))
+      arbitrary_nest;
+    qtest "transform under the duplicate space also covers" ~count:60
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+        coverage nest (Transformer.transform nest psi))
+      arbitrary_nest;
+    qtest "dependences execute in order" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        order_preserved nest (Transformer.transform nest psi))
+      arbitrary_nest;
+    qtest "blocks agree with the materialized partition" ~count:40
+      (fun nest ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate nest in
+        let pl = Transformer.transform nest psi in
+        let p = Iter_partition.make nest psi in
+        List.length (Parloop.blocks pl) = Iter_partition.block_count p)
+      arbitrary_nest;
+  ]
+
+let suites =
+  [
+    ("raffine", raffine_cases);
+    ("fourier", fourier_cases);
+    ("echelon", echelon_cases);
+    ("transform", transform_cases);
+    ("transform-properties", properties);
+  ]

@@ -1,0 +1,116 @@
+open Cf_workloads
+open Testutil
+
+let expectation_case kernel =
+  Alcotest.test_case kernel.Workloads.name `Quick (fun () ->
+      let rows = Workloads.study kernel in
+      check_int "four strategies" 4 (List.length rows);
+      List.iter
+        (fun (r : Workloads.study_row) ->
+          check_bool
+            (Printf.sprintf "%s verified under %s" r.Workloads.kernel
+               (Cf_core.Strategy.to_string r.Workloads.strategy))
+            true r.Workloads.verified)
+        rows;
+      let e = kernel.Workloads.expected in
+      check_bool "documented expectation achieved" true
+        (List.exists
+           (fun (r : Workloads.study_row) ->
+             r.Workloads.strategy = e.Workloads.strategy
+             && r.Workloads.parallel_dims = e.Workloads.parallel_dims)
+           rows))
+
+let workload_cases = List.map expectation_case Workloads.all
+
+let structure_cases =
+  [
+    Alcotest.test_case "kernels scale with size" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            let small = k.Workloads.build ~size:3 in
+            let big = k.Workloads.build ~size:5 in
+            check_bool
+              (k.Workloads.name ^ " grows")
+              true
+              (Cf_loop.Nest.cardinal big > Cf_loop.Nest.cardinal small))
+          Workloads.all);
+    Alcotest.test_case "all kernels uniformly generated" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            check_bool k.Workloads.name true
+              (Cf_loop.Nest.all_uniformly_generated (k.Workloads.build ~size:4)))
+          Workloads.all);
+    Alcotest.test_case "sor stays sequential under every strategy" `Quick
+      (fun () ->
+        List.iter
+          (fun (r : Workloads.study_row) ->
+            check_int
+              (Cf_core.Strategy.to_string r.Workloads.strategy)
+              0 r.Workloads.parallel_dims)
+          (Workloads.study Workloads.sor));
+    Alcotest.test_case "convolution partition is anti-diagonal" `Quick
+      (fun () ->
+        let nest = Workloads.convolution.build ~size:4 in
+        let psi =
+          Cf_core.Strategy.partitioning_space Cf_core.Strategy.Duplicate nest
+        in
+        check_bool "contains (1,-1)" true
+          (Cf_linalg.Subspace.mem_int psi [| 1; -1 |]);
+        check_int "dim 1" 1 (Cf_linalg.Subspace.dim psi));
+    Alcotest.test_case "dft is row-parallel under duplication" `Quick
+      (fun () ->
+        let nest = Workloads.dft.build ~size:4 in
+        let psi =
+          Cf_core.Strategy.partitioning_space Cf_core.Strategy.Duplicate nest
+        in
+        check_bool "contains (0,1)" true
+          (Cf_linalg.Subspace.mem_int psi [| 0; 1 |]);
+        check_int "dim 1" 1 (Cf_linalg.Subspace.dim psi));
+    Alcotest.test_case "transform covers every kernel's space" `Quick
+      (fun () ->
+        List.iter
+          (fun k ->
+            let nest = k.Workloads.build ~size:4 in
+            let psi =
+              Cf_core.Strategy.partitioning_space Cf_core.Strategy.Duplicate
+                nest
+            in
+            let pl = Cf_transform.Transformer.transform nest psi in
+            let got = ref [] in
+            Cf_transform.Parloop.iter pl (fun ~block:_ ~iter ->
+                got := iter :: !got);
+            check_bool k.Workloads.name true
+              (List.sort compare !got
+               = List.sort compare (Cf_loop.Nest.iterations nest)))
+          Workloads.all);
+    Alcotest.test_case "every kernel simulates correctly" `Quick (fun () ->
+        List.iter
+          (fun k ->
+            let nest = k.Workloads.build ~size:4 in
+            let plan =
+              Cf_pipeline.Pipeline.plan ~strategy:Cf_core.Strategy.Duplicate
+                nest
+            in
+            let sim = Cf_pipeline.Pipeline.simulate ~procs:3 plan in
+            check_bool k.Workloads.name true
+              (Cf_exec.Parexec.ok sim.Cf_pipeline.Pipeline.report))
+          Workloads.all);
+    Alcotest.test_case "triangular nests are non-rectangular" `Quick
+      (fun () ->
+        check_bool "tri-rank1" false
+          (Cf_loop.Nest.is_rectangular
+             (Workloads.triangular_rank1.build ~size:4));
+        check_int "triangle cardinal" 10
+          (Cf_loop.Nest.cardinal (Workloads.triangular_rank1.build ~size:4)));
+    Alcotest.test_case "study sizes are configurable" `Quick (fun () ->
+        let rows = Workloads.study ~size:3 Workloads.rank1_update in
+        check_bool "9 singleton blocks under duplication" true
+          (List.exists
+             (fun (r : Workloads.study_row) ->
+               r.Workloads.strategy = Cf_core.Strategy.Duplicate
+               && r.Workloads.blocks = 9)
+             rows));
+  ]
+
+let suites =
+  [ ("workloads", workload_cases); ("workload-structure", structure_cases) ]
