@@ -228,6 +228,220 @@ let print_distribution () =
       Cf_workloads.Workloads.stencil_2d; Cf_workloads.Workloads.rank1_update;
       Cf_workloads.Workloads.shifted_sum ]
 
+(* E14: the scale-out execution engine.  Each row times the complete
+   simulation — partition construction plus communication-free
+   execution (validation off: both engines then measure pure simulated
+   execution throughput) — under three configurations: the materialized
+   Iter_partition + string-keyed baseline, the closed-form Coset index
+   on one domain, and the same fanned out over all domains.  Large
+   instances skip the baseline (materializing 128³-class partitions is
+   exactly what the indexed engine exists to avoid). *)
+
+type scale_row = {
+  workload : string;
+  psi_label : string;
+  size : int;
+  iterations : int;
+  blocks : int;
+  max_block : int;
+  procs : int;
+  domains_used : int;
+  baseline_s : float option;
+  indexed_seq_s : float;
+  indexed_par_s : float;
+  makespan_s : float;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Best of two runs: single-core wall-clock here is noisy (GC, host
+   jitter), and the minimum is the standard robust estimator. *)
+let time2 f =
+  let r, t1 = time f in
+  let _, t2 = time f in
+  (r, Float.min t1 t2)
+
+let scale_procs = 16
+
+let scale_machine () =
+  Cf_machine.Machine.create
+    (Cf_machine.Topology.mesh [| 4; 4 |])
+    Cf_machine.Cost.transputer
+
+let scale_case ~with_baseline ~workload ~psi_label ~size nest psi =
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let strategy = Strategy.Duplicate in
+  let baseline_s =
+    if not with_baseline then None
+    else
+      let (), s =
+        time2 (fun () ->
+            let machine = scale_machine () in
+            let partition = Iter_partition.make nest psi in
+            ignore
+              (Cf_exec.Parexec.execute ~validate:false ~machine ~placement
+                 ~strategy partition))
+      in
+      Some s
+  in
+  let coset, indexed_seq_s =
+    time2 (fun () ->
+        let machine = scale_machine () in
+        let coset = Coset.make nest psi in
+        ignore
+          (Cf_exec.Parexec.execute_indexed ~validate:false ~domains:1 ~machine
+             ~placement ~strategy coset);
+        coset)
+  in
+  let domains_used =
+    max 1 (min (Domain.recommended_domain_count ()) scale_procs)
+  in
+  let machine, indexed_par_s =
+    time2 (fun () ->
+        let machine = scale_machine () in
+        ignore
+          (Cf_exec.Parexec.execute_indexed ~validate:false
+             ~domains:domains_used ~machine ~placement ~strategy coset);
+        machine)
+  in
+  let max_block =
+    List.fold_left
+      (fun acc (b : Coset.block) -> max acc b.Coset.size)
+      0 (Coset.blocks coset)
+  in
+  {
+    workload;
+    psi_label;
+    size;
+    iterations = Cf_loop.Nest.cardinal nest;
+    blocks = Coset.block_count coset;
+    max_block;
+    procs = scale_procs;
+    domains_used;
+    baseline_s;
+    indexed_seq_s;
+    indexed_par_s;
+    makespan_s = Cf_machine.Machine.makespan machine;
+  }
+
+let scale_rows ~quick () =
+  let kernel name =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = name)
+      Cf_workloads.Workloads.all
+  in
+  let matmul = kernel "matmul" and stencil = kernel "stencil3d" in
+  let diag3 =
+    Cf_linalg.Subspace.span 3 [ Cf_linalg.Vec.of_int_list [ 1; 1; 1 ] ]
+  in
+  let dup nest = Strategy.partitioning_space Strategy.Duplicate nest in
+  let case ~with_baseline ~workload ~psi_label ~size build psi_of =
+    let nest = build ~size in
+    scale_case ~with_baseline ~workload ~psi_label ~size nest (psi_of nest)
+  in
+  if quick then
+    [
+      case ~with_baseline:true ~workload:"matmul" ~psi_label:"dup" ~size:16
+        matmul.Cf_workloads.Workloads.build dup;
+      case ~with_baseline:true ~workload:"stencil3d" ~psi_label:"span(1,1,1)"
+        ~size:12 stencil.Cf_workloads.Workloads.build (fun _ -> diag3);
+    ]
+  else
+    [
+      case ~with_baseline:true ~workload:"matmul" ~psi_label:"dup" ~size:64
+        matmul.Cf_workloads.Workloads.build dup;
+      case ~with_baseline:true ~workload:"stencil3d" ~psi_label:"span(1,1,1)"
+        ~size:64 stencil.Cf_workloads.Workloads.build (fun _ -> diag3);
+      case ~with_baseline:false ~workload:"matmul" ~psi_label:"dup" ~size:128
+        matmul.Cf_workloads.Workloads.build dup;
+      case ~with_baseline:false ~workload:"stencil3d"
+        ~psi_label:"span(1,1,1)" ~size:128
+        stencil.Cf_workloads.Workloads.build (fun _ -> diag3);
+    ]
+
+let speedup_vs_baseline r =
+  Option.map (fun b -> b /. r.indexed_seq_s) r.baseline_s
+
+let iterations_per_sec r = float_of_int r.iterations /. r.indexed_par_s
+
+let print_scale_rows rows =
+  section "E14 - scale-out engine: closed-form index + domain parallelism";
+  Printf.printf "%-10s %-12s %5s %9s %8s %6s %3s %12s %12s %12s %9s %12s\n"
+    "workload" "psi" "size" "iters" "blocks" "procs" "dom" "baseline(s)"
+    "indexed1(s)" "indexedN(s)" "speedup" "iters/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %-12s %5d %9d %8d %6d %3d %12s %12.4f %12.4f %9s %12.0f\n"
+        r.workload r.psi_label r.size r.iterations r.blocks r.procs
+        r.domains_used
+        (match r.baseline_s with
+        | Some s -> Printf.sprintf "%.4f" s
+        | None -> "-")
+        r.indexed_seq_s r.indexed_par_s
+        (match speedup_vs_baseline r with
+        | Some s -> Printf.sprintf "%.1fx" s
+        | None -> "-")
+        (iterations_per_sec r))
+    rows;
+  (* One validated cross-check: identical reports from both engines. *)
+  let nest = Cf_exec.Matmul.nest ~m:12 in
+  let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let mb = scale_machine () and mi = scale_machine () in
+  let base =
+    Cf_exec.Parexec.execute ~machine:mb ~placement ~strategy:Strategy.Duplicate
+      (Iter_partition.make nest psi)
+  in
+  let indexed =
+    Cf_exec.Parexec.execute_indexed ~machine:mi ~placement
+      ~strategy:Strategy.Duplicate (Coset.make nest psi)
+  in
+  Printf.printf
+    "cross-check (matmul m=12, validated): ok=%b reports-identical=%b\n"
+    (Cf_exec.Parexec.ok base && Cf_exec.Parexec.ok indexed)
+    (base.Cf_exec.Parexec.remote_access = indexed.Cf_exec.Parexec.remote_access
+    && base.Cf_exec.Parexec.mismatches = indexed.Cf_exec.Parexec.mismatches
+    && base.Cf_exec.Parexec.per_pe_iterations
+       = indexed.Cf_exec.Parexec.per_pe_iterations
+    && Cf_machine.Machine.max_compute_time mb
+       = Cf_machine.Machine.max_compute_time mi)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | ch -> String.make 1 ch)
+       (List.init (String.length s) (String.get s)))
+
+let write_scale_json ~file rows =
+  let oc = open_out file in
+  let row_json r =
+    Printf.sprintf
+      "    {\"workload\": \"%s\", \"psi\": \"%s\", \"size\": %d, \
+       \"iterations\": %d, \"blocks\": %d, \"max_block\": %d, \"procs\": %d, \
+       \"domains\": %d, \"baseline_s\": %s, \"indexed_seq_s\": %.6f, \
+       \"indexed_par_s\": %.6f, \"speedup_vs_baseline\": %s, \
+       \"parallel_speedup\": %.3f, \"iterations_per_sec\": %.0f, \
+       \"makespan_s\": %.6f}"
+      (json_escape r.workload) (json_escape r.psi_label) r.size r.iterations
+      r.blocks r.max_block r.procs r.domains_used
+      (match r.baseline_s with
+      | Some s -> Printf.sprintf "%.6f" s
+      | None -> "null")
+      r.indexed_seq_s r.indexed_par_s
+      (match speedup_vs_baseline r with
+      | Some s -> Printf.sprintf "%.3f" s
+      | None -> "null")
+      (r.indexed_seq_s /. r.indexed_par_s)
+      (iterations_per_sec r) r.makespan_s
+  in
+  Printf.fprintf oc "{\n  \"bench\": \"parexec-scale\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 (* One Bechamel test per experiment: each measures the full pipeline that
    regenerates the corresponding artifact. *)
 let tests =
@@ -306,11 +520,59 @@ let run_benchmarks () =
       else Printf.printf "%-45s %10.1f ns/run\n" name ns)
     rows
 
+let probe () =
+  let kernel name =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = name)
+      Cf_workloads.Workloads.all
+  in
+  let diag3 =
+    Cf_linalg.Subspace.span 3 [ Cf_linalg.Vec.of_int_list [ 1; 1; 1 ] ]
+  in
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let run name psi_of =
+    let nest = (kernel name).Cf_workloads.Workloads.build ~size:64 in
+    let coset, t_coset = time (fun () -> Coset.make nest (psi_of nest)) in
+    let machine = scale_machine () in
+    let _, t_allocexec =
+      time (fun () ->
+          Cf_exec.Parexec.execute_indexed ~validate:false ~domains:1 ~machine
+            ~placement ~strategy:Strategy.Duplicate coset)
+    in
+    Printf.printf "%s: coset.make=%.4f alloc+exec=%.4f\n%!" name t_coset
+      t_allocexec
+  in
+  run "matmul" (Strategy.partitioning_space Strategy.Duplicate);
+  run "stencil3d" (fun _ -> diag3)
+
 let () =
-  print_figures ();
-  print_tables ();
-  print_ablation ();
-  print_commcost ();
-  print_advisor ();
-  print_distribution ();
-  run_benchmarks ()
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  let scale_only = Array.exists (String.equal "--scale") Sys.argv in
+  if Array.exists (String.equal "--probe") Sys.argv then begin
+    probe ();
+    exit 0
+  end;
+  if quick then begin
+    (* Smoke mode for CI: only the scale-out rows, at small sizes. *)
+    let rows = scale_rows ~quick:true () in
+    print_scale_rows rows;
+    write_scale_json ~file:"BENCH_parexec.json" rows
+  end
+  else if scale_only then begin
+    (* Full-size scale-out rows only, for iterating on the engine. *)
+    let rows = scale_rows ~quick:false () in
+    print_scale_rows rows;
+    write_scale_json ~file:"BENCH_parexec.json" rows
+  end
+  else begin
+    print_figures ();
+    print_tables ();
+    print_ablation ();
+    print_commcost ();
+    print_advisor ();
+    print_distribution ();
+    let rows = scale_rows ~quick:false () in
+    print_scale_rows rows;
+    write_scale_json ~file:"BENCH_parexec.json" rows;
+    run_benchmarks ()
+  end

@@ -1,0 +1,228 @@
+open Cf_rational
+open Cf_linalg
+open Cf_lattice
+open Cf_loop
+
+module Key = struct
+  type t = int array
+
+  let equal (a : int array) b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (a.(i) = b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash a = Array.fold_left (fun h x -> (h * 31) + x) 17 a land max_int
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type block = { id : int; base : int array; size : int }
+
+type t = {
+  nest : Nest.t;
+  space : Subspace.t;
+  proj : int array array;
+  lattice : int array array;
+  pivots : int array;
+  lo : int array;
+  hi : int array;
+  rectangular : bool;
+  blocks : block array;
+  index : int Ktbl.t;
+}
+
+let identity n =
+  Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0))
+
+(* The coset map φ and a lattice basis of L = Ψ ∩ Z^n.
+
+   Ψ membership of an integer vector is a rational condition: x ∈ Ψ iff
+   C·x = 0 where C's rows are a (denominator-cleared) basis of the
+   orthogonal complement.  So L is exactly the integer kernel of C, and
+   Intlin.kernel returns a basis of it such that every integer solution
+   is a unique *integer* combination — i.e. L is saturated (Z^n / L is
+   torsion-free).  The Smith normal form U·B·V = D of that basis then
+   has all invariant factors 1, so for a row vector x,
+
+     x ∈ L  ⟺  (x·V)_j = 0 for j ≥ rank.
+
+   Hence φ(x) = ((x·V)_rank, ..., (x·V)_{n−1}) is a linear map Z^n → Z^m
+   whose kernel on integer vectors is exactly L: two iterations share a
+   block iff their φ images are equal.  One query is an m×n product. *)
+let coset_map n space =
+  let crows =
+    List.map Vec.clear_denominators (Subspace.basis (Subspace.complement space))
+  in
+  match crows with
+  | [] -> ([||], identity n)
+  | _ -> (
+    match Intlin.kernel (Array.of_list crows) with
+    | [] -> (identity n, [||])
+    | kern ->
+      let b = Array.of_list kern in
+      let snf = Smith.compute b in
+      let k = snf.Smith.rank in
+      if List.exists (fun s -> s <> 1) snf.Smith.divisors then
+        invalid_arg "Coset.make: integer kernel basis is not saturated";
+      let m = n - k in
+      let proj =
+        Array.init m (fun r ->
+            Array.init n (fun c -> snf.Smith.right.(c).(k + r)))
+      in
+      (proj, b))
+
+let key_of_proj proj iter =
+  Array.map
+    (fun row ->
+      let acc = ref 0 in
+      Array.iteri (fun c x -> acc := Oint.add !acc (Oint.mul x iter.(c))) row;
+      !acc)
+    proj
+
+let key_of t iter = key_of_proj t.proj iter
+
+type disco = { pos : int; dbase : int array; mutable dsize : int }
+
+let make nest space =
+  let n = Nest.depth nest in
+  if Subspace.ambient_dim space <> n then
+    invalid_arg "Coset.make: ambient dimension mismatch";
+  let proj, gens = coset_map n space in
+  let hnf = Hnf.compute (Array.to_list (Array.map Array.copy gens)) in
+  let lattice = hnf.Hnf.basis and pivots = hnf.Hnf.pivots in
+  (* The lattice must be φ's kernel: φ·bᵀ = 0 for every basis row. *)
+  Array.iter
+    (fun b ->
+      Array.iter
+        (fun row ->
+          let acc = ref 0 in
+          Array.iteri (fun c x -> acc := Oint.add !acc (Oint.mul x b.(c))) row;
+          assert (!acc = 0))
+        proj)
+    lattice;
+  let lo, hi =
+    match Nest.bounding_box nest with
+    | Some (lo, hi) -> (lo, hi)
+    | None -> (Array.make n 0, Array.make n (-1))
+  in
+  (* One streaming pass discovers the blocks.  Lexicographic enumeration
+     means a block's first-seen iteration is its base point, and
+     first-seen order is base-point lexicographic order — exactly the
+     oracle's 1-based numbering.  Nothing per-iteration is retained;
+     memory is O(#blocks). *)
+  let found = Ktbl.create 256 in
+  let count = ref 0 in
+  Nest.iter_space nest (fun iter ->
+      let key = key_of_proj proj iter in
+      match Ktbl.find_opt found key with
+      | Some d -> d.dsize <- d.dsize + 1
+      | None ->
+        Ktbl.add found key { pos = !count; dbase = Array.copy iter; dsize = 1 };
+        incr count);
+  let blocks = Array.make !count { id = 0; base = [||]; size = 0 } in
+  let index = Ktbl.create (max 16 (2 * !count)) in
+  Ktbl.iter
+    (fun key d ->
+      blocks.(d.pos) <- { id = d.pos + 1; base = d.dbase; size = d.dsize };
+      Ktbl.replace index key (d.pos + 1))
+    found;
+  {
+    nest;
+    space;
+    proj;
+    lattice;
+    pivots;
+    lo;
+    hi;
+    rectangular = Nest.is_rectangular nest;
+    blocks;
+    index;
+  }
+
+let nest t = t.nest
+let space t = t.space
+let blocks t = Array.to_list t.blocks
+let block_count t = Array.length t.blocks
+
+let block t ~id =
+  if id < 1 || id > Array.length t.blocks then
+    invalid_arg "Coset.block: block id out of range";
+  t.blocks.(id - 1)
+
+let block_id_of_iteration t iter =
+  if not (Nest.mem t.nest iter) then raise Not_found;
+  (* Every in-space iteration was covered by the discovery pass, so the
+     lookup cannot miss. *)
+  Ktbl.find t.index (key_of t iter)
+
+let block_of_iteration_opt t iter =
+  if Nest.mem t.nest iter then Ktbl.find_opt t.index (key_of t iter) else None
+
+(* Walk the lattice translate base + Σ c_j·row_j intersected with the
+   bounding box.  Rows are in Hermite (echelon) form, so the columns in
+   [pivots.(j), pivots.(j+1)) are final once c_0..c_j are fixed and they
+   constrain c_j alone: the feasible c_j form one interval computed with
+   exact floor/ceil division.  Because the pivot entry is positive and
+   all earlier columns are already equal along the walk, ascending c_j
+   yields the block's members in lexicographic order — matching the
+   oracle's member ordering without materializing anything. *)
+let iter_block ?(reuse = false) t ~id f =
+  let b = block t ~id in
+  let n = Array.length b.base in
+  let k = Array.length t.lattice in
+  let x = Array.copy b.base in
+  let leaf () =
+    if t.rectangular || Nest.mem t.nest x then
+      f (if reuse then x else Array.copy x)
+  in
+  if k = 0 then leaf ()
+  else begin
+    let add_mul row c =
+      if c <> 0 then
+        Array.iteri (fun j v -> if v <> 0 then x.(j) <- x.(j) + (c * v)) row
+    in
+    let stop j = if j + 1 < k then t.pivots.(j + 1) else n in
+    let rec go j =
+      if j = k then leaf ()
+      else begin
+        let row = t.lattice.(j) in
+        let cmin = ref min_int and cmax = ref max_int in
+        let empty = ref false in
+        for col = t.pivots.(j) to stop j - 1 do
+          let coeff = row.(col) and v = x.(col) in
+          if coeff = 0 then begin
+            if v < t.lo.(col) || v > t.hi.(col) then empty := true
+          end
+          else begin
+            let a = t.lo.(col) - v and bnd = t.hi.(col) - v in
+            let l, h =
+              if coeff > 0 then (Oint.cdiv a coeff, Oint.fdiv bnd coeff)
+              else (Oint.cdiv bnd coeff, Oint.fdiv a coeff)
+            in
+            if l > !cmin then cmin := l;
+            if h < !cmax then cmax := h
+          end
+        done;
+        (* The pivot column always contributes, so the interval is finite
+           whenever it is non-empty. *)
+        if (not !empty) && !cmin <= !cmax then begin
+          let lo_c = !cmin and hi_c = !cmax in
+          add_mul row lo_c;
+          for c = lo_c to hi_c do
+            go (j + 1);
+            if c < hi_c then add_mul row 1
+          done;
+          add_mul row (-hi_c)
+        end
+      end
+    in
+    go 0
+  end
+
+let block_iterations t ~id =
+  let acc = ref [] in
+  iter_block t ~id (fun i -> acc := i :: !acc);
+  List.rev !acc
+
+let lattice_rank t = Array.length t.lattice

@@ -1,0 +1,66 @@
+(** Closed-form coset indexing of iteration partitions.
+
+    The paper's partition P_Ψ(Iⁿ) groups iterations whose difference
+    lies in the partition subspace Ψ.  {!Iter_partition} materializes
+    every block by enumeration; this module answers the same queries in
+    closed form so simulation at scale never stores the partition:
+
+    - {!block_id_of_iteration} is one integer matrix–vector product
+      (O(n²)) plus a hash lookup, via a projection φ : Zⁿ → Zᵐ derived
+      from the Smith normal form of a basis of the saturated lattice
+      L = Ψ ∩ Zⁿ.  φ(x) = φ(y) iff x and y share a block.
+    - {!iter_block} enumerates one block's members on demand from the
+      Hermite (echelon) basis of L — exact per-level coefficient
+      intervals by floor/ceil division, lexicographic member order, no
+      per-iteration storage.
+
+    Construction performs a single streaming pass over the iteration
+    space to assign the oracle's 1-based, base-point-ordered block ids
+    (O(#blocks) memory, nothing per-iteration).  Numbering, base points,
+    sizes, and member order are bit-for-bit identical to
+    {!Iter_partition}, which remains the reference oracle in tests. *)
+
+open Cf_linalg
+open Cf_loop
+
+type block = { id : int; base : int array; size : int }
+(** [id] is 1-based in lexicographic base-point order; [base] is the
+    lexicographically least member; [size] the member count. *)
+
+type t
+
+val make : Nest.t -> Subspace.t -> t
+(** [make nest psi] builds the index.  Raises [Invalid_argument] when
+    the subspace's ambient dimension differs from the nest depth. *)
+
+val nest : t -> Nest.t
+val space : t -> Subspace.t
+
+val block_count : t -> int
+
+val blocks : t -> block list
+(** All block descriptors in id order (bases and sizes only — members
+    are never materialized; use {!iter_block}). *)
+
+val block : t -> id:int -> block
+(** Raises [Invalid_argument] when [id] is outside [1..block_count]. *)
+
+val block_id_of_iteration : t -> int array -> int
+(** Closed-form lookup.  Raises [Not_found] for iterations outside the
+    iteration space, mirroring {!Iter_partition.block_of_iteration}. *)
+
+val block_of_iteration_opt : t -> int array -> int option
+
+val iter_block : ?reuse:bool -> t -> id:int -> (int array -> unit) -> unit
+(** Enumerates the block's iterations in lexicographic order without
+    materializing them.  Raises [Invalid_argument] on a bad id.  With
+    [~reuse:true] the callback receives the walker's scratch array,
+    valid only for the duration of the call — the caller must not
+    retain or mutate it (default [false]: a fresh array per
+    iteration). *)
+
+val block_iterations : t -> id:int -> int array list
+(** Convenience wrapper over {!iter_block} (materializes one block). *)
+
+val lattice_rank : t -> int
+(** Rank of L = Ψ ∩ Zⁿ (0 means every block is a singleton). *)

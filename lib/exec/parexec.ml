@@ -18,8 +18,8 @@ type report = {
 let ok r = r.remote_access = None && r.mismatches = []
 
 let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
-    ?exact ?(allocate = true) ?(charge_distribution = false) ~machine
-    ~placement ~strategy partition =
+    ?exact ?(allocate = true) ?(charge_distribution = false)
+    ?(validate = true) ~machine ~placement ~strategy partition =
   let nest = Iter_partition.nest partition in
   let minimal = Strategy.uses_exact_analysis strategy in
   let exact =
@@ -130,11 +130,13 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
                    let v = Expr.eval ~read ~scalar ~index s.rhs in
                    let el = Aref.eval index s.lhs in
                    Machine.write machine ~pe (key b.id s.lhs.Aref.array) el v;
-                   let stamp = (Array.to_list iter, si) in
-                   let k = (s.lhs.Aref.array, Array.to_list el) in
-                   match Hashtbl.find_opt last_writer k with
-                   | Some (stamp', _) when stamp' > stamp -> ()
-                   | _ -> Hashtbl.replace last_writer k (stamp, v)
+                   if validate then begin
+                     let stamp = (Array.to_list iter, si) in
+                     let k = (s.lhs.Aref.array, Array.to_list el) in
+                     match Hashtbl.find_opt last_writer k with
+                     | Some (stamp', _) when stamp' > stamp -> ()
+                     | _ -> Hashtbl.replace last_writer k (stamp, v)
+                   end
                  end)
                body)
            b.iterations;
@@ -145,6 +147,7 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
   (* Merge by sequentially-last writer and validate. *)
   let mismatches =
     match !remote with
+    | _ when not validate -> []
     | Some _ -> []
     | None ->
       let golden =
@@ -166,6 +169,381 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
     Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe)
   in
   { machine; remote_access = !remote; mismatches; per_pe_iterations }
+
+(* Scale-out engine: same semantics as [execute], but driven by the
+   closed-form {!Coset} index (no materialized partition) over the
+   machine's interned fast path, with block execution fanned out over
+   OCaml domains.
+
+   Parallel safety rests on partitioning every piece of mutable state by
+   processor: a processor's blocks all run on the one domain that owns
+   the processor, so local memories, compute clocks and iteration
+   counters are touched by a single domain; array interning happens only
+   in the sequential allocation phase (execution uses the read-only
+   lookup); and each domain accumulates its own last-writer table,
+   merged after the join.  Determinism: per-processor state is updated
+   in ascending block-id order exactly as the sequential engine does, so
+   cost totals and counters are bit-identical; the last-writer merge
+   picks the sequentially-latest stamp, which is associative and
+   commutative, and a remote-access abort reports the failure with the
+   smallest block id — whether an access faults is independent of
+   execution order (execution never adds elements to any memory), so
+   that is exactly the fault [execute] reports first. *)
+let execute_indexed ?(init = Seqexec.default_init)
+    ?(scalar = Seqexec.default_scalar) ?exact ?(allocate = true)
+    ?(charge_distribution = false) ?(validate = true) ?domains ~machine
+    ~placement ~strategy coset =
+  let nest = Coset.nest coset in
+  let minimal = Strategy.uses_exact_analysis strategy in
+  let exact =
+    match exact with
+    | Some e -> Some e
+    | None -> if minimal then Some (Cf_dep.Exact.analyze nest) else None
+  in
+  let keep =
+    match exact with
+    | Some e when minimal ->
+      fun ~stmt_index iter -> not (Cf_dep.Exact.is_redundant e ~stmt_index iter)
+    | _ -> fun ~stmt_index:_ _ -> true
+  in
+  let nprocs = Topology.size (Machine.topology machine) in
+  let block_pe j =
+    let pe = placement j in
+    if pe < 0 || pe >= nprocs then
+      invalid_arg "Parexec.execute_indexed: placement outside the machine";
+    pe
+  in
+  let q = Coset.block_count coset in
+  let idx = Nest.indices nest in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun k v -> Hashtbl.replace pos v k) idx;
+  let body = Array.of_list nest.Nest.body in
+  let arr_names = Array.of_list (Nest.arrays nest) in
+  let slot_of name =
+    let rec go i =
+      if i >= Array.length arr_names then
+        invalid_arg "Parexec.execute_indexed: unknown array"
+      else if String.equal arr_names.(i) name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* Per-statement access sites with array slots resolved and subscripts
+     compiled to reference matrices (H, c) once, so the hot loop
+     evaluates elements with plain integer arithmetic instead of
+     name-keyed affine environments. *)
+  let compile_site (r : Aref.t) =
+    let h, c = Aref.matrix idx r in
+    (slot_of r.Aref.array, r, h, c)
+  in
+  let eval_site_into h c iter el =
+    for p = 0 to Array.length c - 1 do
+      let row = h.(p) in
+      let acc = ref c.(p) in
+      for q = 0 to Array.length row - 1 do
+        acc := !acc + (row.(q) * iter.(q))
+      done;
+      el.(p) <- !acc
+    done
+  in
+  let eval_site h c iter =
+    let el = Array.make (Array.length c) 0 in
+    eval_site_into h c iter el;
+    el
+  in
+  let site_slots =
+    Array.map
+      (fun (s : Stmt.t) ->
+        ( compile_site s.Stmt.lhs,
+          Array.of_list (List.map compile_site (Stmt.reads s)) ))
+      body
+  in
+  let base_aids = Array.map (fun a -> Machine.array_id machine a) arr_names in
+  let copy_name id slot =
+    if allocate then arr_names.(slot) ^ "#" ^ string_of_int id
+    else arr_names.(slot)
+  in
+  let owner = Array.init q (fun i -> block_pe (i + 1)) in
+  (* Sequential phase: allocation (and optional distribution charging),
+     block by block via closed-form enumeration.  Everything any
+     surviving access of the block touches gets a block-local copy on
+     the block's processor, exactly as [execute] allocates. *)
+  if allocate then begin
+    if charge_distribution then
+      (* Charged distribution needs the per-copy element list up front,
+         so collect each block's footprint before the single host_send. *)
+      for id = 1 to q do
+        let pe = owner.(id - 1) in
+        let slots = Array.map (fun _ -> Hashtbl.create 32) arr_names in
+        Coset.iter_block coset ~id (fun iter ->
+            Array.iteri
+              (fun si _ ->
+                if keep ~stmt_index:si iter then begin
+                  let lhs_site, reads = site_slots.(si) in
+                  let touch (slot, _, h, c) =
+                    let el = eval_site h c iter in
+                    let packed = Machine.pack_coords el in
+                    let tbl = slots.(slot) in
+                    if not (Hashtbl.mem tbl packed) then
+                      Hashtbl.add tbl packed (el, init arr_names.(slot) el)
+                  in
+                  touch lhs_site;
+                  Array.iter touch reads
+                end)
+              body);
+        Array.iteri
+          (fun slot tbl ->
+            if Hashtbl.length tbl > 0 then
+              Machine.host_send machine ~pe (copy_name id slot)
+                (Hashtbl.fold (fun _ (el, v) acc -> (el, v) :: acc) tbl []))
+          slots
+      done
+    else begin
+      (* Free distribution: build each block copy as a packed-key table
+         (deduplicating locally, away from the machine's memory map) and
+         install it wholesale.  Subscripts evaluate into per-site
+         scratch (this phase is sequential).  Structurally equal sites
+         of a statement cover the same footprint, so each statement
+         contributes its distinct references once. *)
+      let alloc_sites =
+        Array.map
+          (fun (((_, lr, _, _) as lsite), reads) ->
+            let sites = ref [ lsite ] in
+            Array.iter
+              (fun ((_, r, _, _) as site) ->
+                if
+                  not
+                    (Aref.equal r lr
+                    || List.exists (fun (_, r', _, _) -> Aref.equal r' r) !sites)
+                then sites := site :: !sites)
+              reads;
+            Array.of_list (List.rev !sites))
+          site_slots
+      in
+      let scratch =
+        Array.map
+          (Array.map (fun (_, _, _, c) -> Array.make (Array.length c) 0))
+          alloc_sites
+      in
+      let nslots = Array.length arr_names in
+      let tbls = Array.make nslots None in
+      for id = 1 to q do
+        let pe = owner.(id - 1) in
+        Array.fill tbls 0 nslots None;
+        Coset.iter_block ~reuse:true coset ~id (fun iter ->
+            Array.iteri
+              (fun si _ ->
+                if keep ~stmt_index:si iter then begin
+                  let sites = alloc_sites.(si) in
+                  let scrs = scratch.(si) in
+                  for i = 0 to Array.length sites - 1 do
+                    let slot, _, h, c = sites.(i) in
+                    let scr = scrs.(i) in
+                    eval_site_into h c iter scr;
+                    let packed = Machine.pack_coords scr in
+                    let tbl =
+                      match tbls.(slot) with
+                      | Some t -> t
+                      | None ->
+                        let t = Hashtbl.create 64 in
+                        tbls.(slot) <- Some t;
+                        t
+                    in
+                    if not (Hashtbl.mem tbl packed) then
+                      Hashtbl.add tbl packed
+                        (init arr_names.(slot) (Array.copy scr))
+                  done
+                end)
+              body);
+        Array.iteri
+          (fun slot tbl ->
+            match tbl with
+            | None -> ()
+            | Some tbl ->
+              Machine.install_id machine ~pe
+                (Machine.array_id machine (copy_name id slot))
+                tbl)
+          tbls
+      done
+    end;
+    Machine.compact machine
+  end;
+  (* Parallel phase: domain [d] owns the processors with [pe mod dcount
+     = d] and executes their blocks in ascending id order. *)
+  let dcount =
+    let requested =
+      match domains with
+      | Some d when d >= 1 -> d
+      | Some _ -> invalid_arg "Parexec.execute_indexed: domains must be >= 1"
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min requested nprocs)
+  in
+  let run_domain d =
+    (* aid -> packed element -> (stamp, value); stamps are (iteration,
+       statement index), ordered sequentially. *)
+    let lw : (int, (int, (int array * int) * int) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let remote = ref None in
+    let cur_block = ref 0 in
+    (* Per-domain scratch for subscript evaluation: elements live only
+       for the duration of one access (the machine never retains them,
+       and the fault path copies), so each domain reuses its own
+       buffers. *)
+    let scratch =
+      Array.map
+        (fun ((_, _, _, lc), reads) ->
+          ( Array.make (Array.length lc) 0,
+            Array.map (fun (_, _, _, c) -> Array.make (Array.length c) 0)
+              reads ))
+        site_slots
+    in
+    (try
+       for id = 1 to q do
+         let pe = owner.(id - 1) in
+         if pe mod dcount = d then begin
+           cur_block := id;
+           let copy_aids =
+             Array.init (Array.length arr_names) (fun slot ->
+                 Machine.find_array_id machine (copy_name id slot))
+           in
+           let aid_of slot el =
+             match copy_aids.(slot) with
+             | Some aid -> aid
+             | None ->
+               (* Never stored anywhere, so not local either. *)
+               raise
+                 (Machine.Remote_access
+                    { pe; array = copy_name id slot; element = Array.copy el })
+           in
+           (* Stamps retain [iter], so reuse only when not validating. *)
+           Coset.iter_block ~reuse:(not validate) coset ~id (fun iter ->
+               let index v = iter.(Hashtbl.find pos v) in
+               Array.iteri
+                 (fun si (s : Stmt.t) ->
+                   if keep ~stmt_index:si iter then begin
+                     let (lslot, _, lh, lc), reads = site_slots.(si) in
+                     let lscr, rscr = scratch.(si) in
+                     let nr = Array.length reads in
+                     let read (r : Aref.t) =
+                       (* Expr nodes are shared with [site_slots], so a
+                          physical scan resolves the compiled site
+                          without hashing; the fallback never fires. *)
+                       let rec find i =
+                         if i >= nr then -1
+                         else
+                           let _, r', _, _ = reads.(i) in
+                           if r' == r then i else find (i + 1)
+                       in
+                       match find 0 with
+                       | -1 ->
+                         let h, c = Aref.matrix idx r in
+                         let el = eval_site h c iter in
+                         Machine.read_id machine ~pe
+                           (aid_of (slot_of r.Aref.array) el)
+                           el
+                       | i ->
+                         let slot, _, h, c = reads.(i) in
+                         let scr = rscr.(i) in
+                         eval_site_into h c iter scr;
+                         Machine.read_id machine ~pe (aid_of slot scr) scr
+                     in
+                     let v = Expr.eval ~read ~scalar ~index s.rhs in
+                     eval_site_into lh lc iter lscr;
+                     let el = lscr in
+                     Machine.write_id machine ~pe (aid_of lslot el) el v;
+                     if validate then begin
+                       let baid = base_aids.(lslot) in
+                       let packed = Machine.pack_coords el in
+                       let stamp = (iter, si) in
+                       let tbl =
+                         match Hashtbl.find_opt lw baid with
+                         | Some t -> t
+                         | None ->
+                           let t = Hashtbl.create 256 in
+                           Hashtbl.add lw baid t;
+                           t
+                       in
+                       match Hashtbl.find_opt tbl packed with
+                       | Some (stamp', _) when compare stamp' stamp > 0 -> ()
+                       | _ -> Hashtbl.replace tbl packed (stamp, v)
+                     end
+                   end)
+                 body);
+           Machine.run_iterations machine ~pe (Coset.block coset ~id).Coset.size
+         end
+       done
+     with Machine.Remote_access { pe; array; element } ->
+       remote := Some (!cur_block, (pe, array, element)));
+    (!remote, lw)
+  in
+  let results = Array.make dcount (None, Hashtbl.create 0) in
+  let spawned =
+    Array.init (dcount - 1) (fun i ->
+        Domain.spawn (fun () -> run_domain (i + 1)))
+  in
+  results.(0) <- run_domain 0;
+  Array.iteri (fun i dom -> results.(i + 1) <- Domain.join dom) spawned;
+  (* Whether an access faults is schedule-independent (execution never
+     adds elements to any memory), and each domain scans its blocks in
+     ascending id order, so its report is the first fault among its own
+     blocks.  The fault with the globally smallest block id is therefore
+     exactly the one the sequential engine hits first. *)
+  let remote =
+    Array.fold_left
+      (fun acc (r, _) ->
+        match (acc, r) with
+        | None, r -> r
+        | acc, None -> acc
+        | Some (id, _), Some (id', _) when id' < id -> r
+        | acc, Some _ -> acc)
+      None results
+    |> Option.map snd
+  in
+  let mismatches =
+    match remote with
+    | _ when not validate -> []
+    | Some _ -> []
+    | None ->
+      let golden =
+        if minimal then Seqexec.run_filtered ~init ~scalar ~keep nest
+        else Seqexec.run ~init ~scalar nest
+      in
+      let merged : (int * int, (int array * int) * int) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      Array.iter
+        (fun (_, lw) ->
+          Hashtbl.iter
+            (fun aid tbl ->
+              Hashtbl.iter
+                (fun packed (stamp, v) ->
+                  match Hashtbl.find_opt merged (aid, packed) with
+                  | Some (stamp', _) when compare stamp' stamp > 0 -> ()
+                  | _ -> Hashtbl.replace merged (aid, packed) (stamp, v))
+                tbl)
+            lw)
+        results;
+      List.filter_map
+        (fun (a, el, expected) ->
+          let got =
+            match Machine.find_array_id machine a with
+            | None -> None
+            | Some aid -> (
+              match
+                Hashtbl.find_opt merged (aid, Machine.pack_coords el)
+              with
+              | None -> None
+              | Some (_, v) -> Some v)
+          in
+          if got = Some expected then None else Some (a, el, Some expected, got))
+        (Seqexec.bindings golden)
+  in
+  let per_pe_iterations =
+    Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe)
+  in
+  { machine; remote_access = remote; mismatches; per_pe_iterations }
 
 let pp_report ppf r =
   (match r.remote_access with

@@ -34,6 +34,7 @@ val execute :
   ?exact:Cf_dep.Exact.result ->
   ?allocate:bool ->
   ?charge_distribution:bool ->
+  ?validate:bool ->
   machine:Cf_machine.Machine.t ->
   placement:placement ->
   strategy:Strategy.t ->
@@ -49,7 +50,38 @@ val execute :
     With [~charge_distribution:true] (and [allocate] left true), the
     initial placement is charged to the machine as one pipelined host
     message per block-local copy — a generic scatter, giving a full
-    makespan (distribution + compute) for any plan. *)
+    makespan (distribution + compute) for any plan.  [~validate:false]
+    skips the sequential golden run and the last-writer merge —
+    [mismatches] is then always empty and the report only certifies
+    communication freedom, not value correctness (used for throughput
+    measurements). *)
+
+val execute_indexed :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  ?exact:Cf_dep.Exact.result ->
+  ?allocate:bool ->
+  ?charge_distribution:bool ->
+  ?validate:bool ->
+  ?domains:int ->
+  machine:Cf_machine.Machine.t ->
+  placement:placement ->
+  strategy:Strategy.t ->
+  Coset.t ->
+  report
+(** The scale-out engine: semantics of {!execute}, driven by the
+    closed-form {!Cf_core.Coset} index instead of a materialized
+    partition, storing through the machine's interned fast path (local
+    memories are compacted to flat buffers after allocation), and
+    running blocks on [domains] OCaml domains (default
+    [Domain.recommended_domain_count ()], capped by the machine size).
+    Domain [d] owns the processors with [pe mod domains = d], so all
+    per-processor state stays single-writer; per-processor cost totals
+    and iteration counts are bit-identical to {!execute} for any domain
+    count.  On a communication-free run the report matches {!execute}'s
+    exactly; on a faulting run [remote_access] is the same fault
+    {!execute} reports (smallest block id), but counters reflect each
+    domain's progress rather than the sequential abort point. *)
 
 val ok : report -> bool
 (** No remote access and no mismatch. *)

@@ -1,0 +1,96 @@
+open Cf_rational
+
+type t = {
+  basis : int array array;
+  pivots : int array;
+}
+
+(* Row-style Hermite reduction by repeated gcd elimination.  Working
+   column by column, combine rows until a single row carries the
+   column's gcd, swap it into pivot position, clear the column below,
+   then reduce the entries above the pivot so the form is canonical. *)
+let compute rows =
+  let rows = List.filter (fun r -> Array.exists (( <> ) 0) r) rows in
+  match rows with
+  | [] -> { basis = [||]; pivots = [||] }
+  | first :: rest ->
+    let n = Array.length first in
+    List.iter
+      (fun r ->
+        if Array.length r <> n then invalid_arg "Hnf.compute: ragged rows")
+      rest;
+    let w = Array.of_list (List.map Array.copy rows) in
+    let d = Array.length w in
+    let pivot_rows = ref [] in
+    let top = ref 0 in
+    for col = 0 to n - 1 do
+      if !top < d then begin
+        (* Eliminate within the column until at most one nonzero remains
+           among rows top..d-1. *)
+        let continue_ = ref true in
+        while !continue_ do
+          (* Smallest-magnitude nonzero entry in this column. *)
+          let best = ref (-1) in
+          for i = !top to d - 1 do
+            if w.(i).(col) <> 0
+               && (!best < 0
+                   || Oint.abs w.(i).(col) < Oint.abs w.(!best).(col))
+            then best := i
+          done;
+          if !best < 0 then continue_ := false
+          else begin
+            let b = !best in
+            let others = ref false in
+            for i = !top to d - 1 do
+              if i <> b && w.(i).(col) <> 0 then begin
+                others := true;
+                let q = Oint.fdiv w.(i).(col) w.(b).(col) in
+                for j = 0 to n - 1 do
+                  w.(i).(j) <- Oint.sub w.(i).(j) (Oint.mul q w.(b).(j))
+                done
+              end
+            done;
+            if not !others then begin
+              (* Column reduced to a single nonzero: it is the pivot. *)
+              if b <> !top then begin
+                let t = w.(b) in
+                w.(b) <- w.(!top);
+                w.(!top) <- t
+              end;
+              if w.(!top).(col) < 0 then
+                w.(!top) <- Array.map Oint.neg w.(!top);
+              (* Canonical form: entries above the pivot in [0, pivot). *)
+              let p = w.(!top).(col) in
+              List.iter
+                (fun i ->
+                  let q = Oint.fdiv w.(i).(col) p in
+                  if q <> 0 then
+                    for j = 0 to n - 1 do
+                      w.(i).(j) <- Oint.sub w.(i).(j) (Oint.mul q w.(!top).(j))
+                    done)
+                (List.init !top Fun.id);
+              pivot_rows := (!top, col) :: !pivot_rows;
+              incr top;
+              continue_ := false
+            end
+          end
+        done
+      end
+    done;
+    let rank = !top in
+    let basis = Array.sub w 0 rank in
+    let pivots = Array.make rank 0 in
+    List.iter (fun (r, c) -> pivots.(r) <- c) !pivot_rows;
+    { basis; pivots }
+
+let rank t = Array.length t.basis
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun i row ->
+      Format.fprintf ppf "%s[%s]"
+        (if i = 0 then "" else " ")
+        (String.concat " " (Array.to_list (Array.map string_of_int row))))
+    t.basis;
+  Format.fprintf ppf "@]"

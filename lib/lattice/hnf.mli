@@ -1,0 +1,27 @@
+(** Row-style Hermite normal form of an integer lattice basis.
+
+    Given generators of a lattice [L ⊆ Z^n] (as rows), computes a basis
+    in row echelon form: pivot columns strictly increase, pivots are
+    positive, and entries above each pivot are reduced into [0, pivot).
+    Row operations are unimodular, so the row span over [Z] — the
+    lattice — is unchanged.
+
+    The echelon structure is what makes closed-form coset enumeration
+    possible: walking coefficients of the rows in order enumerates the
+    lattice translate of a point in lexicographic order of the resulting
+    iteration vectors (see {!Cf_core.Coset}). *)
+
+type t = {
+  basis : int array array;  (** echelon basis rows, possibly empty *)
+  pivots : int array;       (** pivot column of each basis row, strictly increasing *)
+}
+
+val compute : int array list -> t
+(** [compute rows] reduces the generators to Hermite form.  Zero rows
+    are ignored; linear dependencies collapse.  Raises
+    [Invalid_argument] on ragged input and {!Cf_rational.Oint.Overflow}
+    on entry overflow (analysis-scale inputs are tiny). *)
+
+val rank : t -> int
+
+val pp : Format.formatter -> t -> unit

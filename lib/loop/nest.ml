@@ -113,6 +113,28 @@ let iter_space t f =
   in
   go 0
 
+let mem t iter =
+  let n = depth t in
+  Array.length iter = n
+  &&
+  let env_upto k v =
+    let rec find j =
+      if j >= k then raise Not_found
+      else if String.equal t.levels.(j).var v then iter.(j)
+      else find (j + 1)
+    in
+    find 0
+  in
+  let rec go k =
+    k = n
+    || (let env v = env_upto k v in
+        let lo = Affine.eval env t.levels.(k).lower
+        and hi = Affine.eval env t.levels.(k).upper in
+        iter.(k) >= lo && iter.(k) <= hi)
+       && go (k + 1)
+  in
+  go 0
+
 let iterations t =
   let acc = ref [] in
   iter_space t (fun i -> acc := i :: !acc);
@@ -147,6 +169,28 @@ let extent_halfwidths t =
           if i.(k) > hi.(k) then hi.(k) <- i.(k)
         done);
     Array.init n (fun k -> if hi.(k) >= lo.(k) then hi.(k) - lo.(k) else 0)
+  end
+
+let bounding_box t =
+  let n = depth t in
+  if is_rectangular t then begin
+    let lo = Array.make n 0 and hi = Array.make n 0 in
+    for k = 0 to n - 1 do
+      lo.(k) <- Affine.constant_part t.levels.(k).lower;
+      hi.(k) <- Affine.constant_part t.levels.(k).upper
+    done;
+    if Array.exists2 (fun l h -> l > h) lo hi then None else Some (lo, hi)
+  end
+  else begin
+    let lo = Array.make n max_int and hi = Array.make n min_int in
+    let any = ref false in
+    iter_space t (fun i ->
+        any := true;
+        for k = 0 to n - 1 do
+          if i.(k) < lo.(k) then lo.(k) <- i.(k);
+          if i.(k) > hi.(k) then hi.(k) <- i.(k)
+        done);
+    if !any then Some (lo, hi) else None
   end
 
 let arrays t =

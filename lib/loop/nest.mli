@@ -47,6 +47,17 @@ val iter_space : t -> (int array -> unit) -> unit
 val iterations : t -> int array list
 val cardinal : t -> int
 
+val mem : t -> int array -> bool
+(** [mem t iter] decides membership of [iter] in the iteration space by
+    evaluating the affine bounds level by level — O(n) for rectangular
+    nests, no enumeration ever. *)
+
+val bounding_box : t -> (int array * int array) option
+(** Inclusive per-dimension [lo, hi] ranges enclosing the iteration
+    space, or [None] when the space is empty.  Exact constants for
+    rectangular nests; computed by enumeration otherwise (non-rectangular
+    nests are analysis-scale). *)
+
 val is_rectangular : t -> bool
 
 val extent_halfwidths : t -> int array

@@ -5,10 +5,31 @@ type event =
   | Broadcast of { array : string; size : int }
   | Multicast of { pes : int list; array : string; size : int }
 
+(* Local memories avoid the polymorphic hash entirely: array names are
+   interned to dense ints once, element coordinates are packed into a
+   single tagged int, and every Hashtbl in the hot path is keyed by
+   ints.  A chunk holds one array's elements on one processor; chunks
+   start sparse and {!compact} promotes dense ones to a flat buffer
+   addressed by affine linearization of the bounding box, with a
+   presence bitmap preserving exact holds/Remote_access semantics. *)
+
+type chunk =
+  | Sparse of (int, int) Hashtbl.t
+  | Flat of {
+      lo : int array;
+      extents : int array;
+      data : int array;
+      present : Bytes.t;
+      mutable count : int;
+    }
+
 type t = {
   topology : Topology.t;
   cost : Cost.t;
-  memories : (string * int list, int) Hashtbl.t array;
+  memories : (int, chunk) Hashtbl.t array;  (* array id -> chunk, per PE *)
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;  (* id -> name, [0, n_names) valid *)
+  mutable n_names : int;
   mutable dist_time : float;
   compute : float array;
   iterations : int array;
@@ -23,6 +44,9 @@ let create topology cost =
     topology;
     cost;
     memories = Array.init p (fun _ -> Hashtbl.create 64);
+    ids = Hashtbl.create 64;
+    names = Array.make 16 "";
+    n_names = 0;
     dist_time = 0.;
     compute = Array.make p 0.;
     iterations = Array.make p 0;
@@ -38,34 +62,300 @@ let check_pe m pe =
   if pe < 0 || pe >= Topology.size m.topology then
     invalid_arg "Machine: processor rank out of range"
 
-let key a el = (a, Array.to_list el)
+(* {2 Interning and coordinate packing} *)
 
-let store m ~pe a el v =
+let array_id m a =
+  match Hashtbl.find_opt m.ids a with
+  | Some id -> id
+  | None ->
+    let id = m.n_names in
+    if id = Array.length m.names then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit m.names 0 bigger 0 id;
+      m.names <- bigger
+    end;
+    m.names.(id) <- a;
+    m.n_names <- id + 1;
+    Hashtbl.add m.ids a id;
+    id
+
+let find_array_id m a = Hashtbl.find_opt m.ids a
+
+let array_name m id =
+  if id < 0 || id >= m.n_names then invalid_arg "Machine.array_name: unknown id";
+  m.names.(id)
+
+(* Coordinates pack into one int: [59/d] bits per coordinate (biased to
+   admit negatives), arity in the low 3 bits so arities cannot collide.
+   d = 3 leaves ±2^18 per subscript — far beyond simulated arrays. *)
+let pack_bits = [| 0; 59; 29; 19; 14; 11; 9; 8 |]
+
+let pack_coords el =
+  let d = Array.length el in
+  if d = 0 then 0
+  else if d > 7 then
+    invalid_arg "Machine: arrays beyond 7 dimensions are unsupported"
+  else begin
+    let bits = pack_bits.(d) in
+    let bias = 1 lsl (bits - 1) in
+    let mask = (1 lsl bits) - 1 in
+    let acc = ref 0 in
+    Array.iter
+      (fun c ->
+        let b = c + bias in
+        if b < 0 || b > mask then
+          invalid_arg "Machine: subscript magnitude exceeds packable range";
+        acc := (!acc lsl bits) lor b)
+      el;
+    (!acc lsl 3) lor d
+  end
+
+let unpack_coords key =
+  let d = key land 7 in
+  if d = 0 then [||]
+  else begin
+    let bits = pack_bits.(d) in
+    let bias = 1 lsl (bits - 1) in
+    let mask = (1 lsl bits) - 1 in
+    let v = key lsr 3 in
+    Array.init d (fun i -> ((v lsr ((d - 1 - i) * bits)) land mask) - bias)
+  end
+
+(* {2 Chunks} *)
+
+let flat_offset lo extents el =
+  let d = Array.length lo in
+  if Array.length el <> d then -1
+  else begin
+    let off = ref 0 and ok = ref true in
+    for i = 0 to d - 1 do
+      let c = el.(i) - lo.(i) in
+      if c < 0 || c >= extents.(i) then ok := false
+      else off := (!off * extents.(i)) + c
+    done;
+    if !ok then !off else -1
+  end
+
+let chunk_count = function
+  | Sparse tbl -> Hashtbl.length tbl
+  | Flat f -> f.count
+
+let chunk_iter f = function
+  | Sparse tbl -> Hashtbl.iter (fun key v -> f (unpack_coords key) v) tbl
+  | Flat fl ->
+    let d = Array.length fl.lo in
+    let el = Array.copy fl.lo in
+    let n = Array.length fl.data in
+    for off = 0 to n - 1 do
+      if Bytes.get fl.present off <> '\000' then f (Array.copy el) fl.data.(off);
+      (* Row-major increment of [el] within the box. *)
+      let j = ref (d - 1) in
+      let carry = ref true in
+      while !carry && !j >= 0 do
+        el.(!j) <- el.(!j) + 1;
+        if el.(!j) - fl.lo.(!j) >= fl.extents.(!j) then begin
+          el.(!j) <- fl.lo.(!j);
+          decr j
+        end
+        else carry := false
+      done
+    done
+
+let demote chunk =
+  let tbl = Hashtbl.create (2 * chunk_count chunk) in
+  chunk_iter (fun el v -> Hashtbl.replace tbl (pack_coords el) v) chunk;
+  tbl
+
+let chunk_store memories pe aid el v =
+  match Hashtbl.find_opt memories.(pe) aid with
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace tbl (pack_coords el) v;
+    Hashtbl.replace memories.(pe) aid (Sparse tbl)
+  | Some (Sparse tbl) -> Hashtbl.replace tbl (pack_coords el) v
+  | Some (Flat fl) ->
+    let off = flat_offset fl.lo fl.extents el in
+    if off >= 0 then begin
+      if Bytes.get fl.present off = '\000' then begin
+        Bytes.set fl.present off '\001';
+        fl.count <- fl.count + 1
+      end;
+      fl.data.(off) <- v
+    end
+    else begin
+      (* Outside the compacted box: fall back to sparse. *)
+      let tbl = demote (Flat fl) in
+      Hashtbl.replace tbl (pack_coords el) v;
+      Hashtbl.replace memories.(pe) aid (Sparse tbl)
+    end
+
+let chunk_find memories pe aid el =
+  match Hashtbl.find_opt memories.(pe) aid with
+  | None -> None
+  | Some (Sparse tbl) -> Hashtbl.find_opt tbl (pack_coords el)
+  | Some (Flat fl) ->
+    let off = flat_offset fl.lo fl.extents el in
+    if off >= 0 && Bytes.get fl.present off <> '\000' then Some fl.data.(off)
+    else None
+
+(* Overwrite an element already present; false when absent. *)
+let chunk_update memories pe aid el v =
+  match Hashtbl.find_opt memories.(pe) aid with
+  | None -> false
+  | Some (Sparse tbl) ->
+    let key = pack_coords el in
+    Hashtbl.mem tbl key
+    && begin
+         Hashtbl.replace tbl key v;
+         true
+       end
+  | Some (Flat fl) ->
+    let off = flat_offset fl.lo fl.extents el in
+    off >= 0
+    && Bytes.get fl.present off <> '\000'
+    && begin
+         fl.data.(off) <- v;
+         true
+       end
+
+(* {2 The public string-keyed API (delegates to the id layer)} *)
+
+let store_id m ~pe aid el v =
   check_pe m pe;
-  Hashtbl.replace m.memories.(pe) (key a el) v
+  chunk_store m.memories pe aid el v
+
+let read_id m ~pe aid el =
+  check_pe m pe;
+  match chunk_find m.memories pe aid el with
+  | Some v -> v
+  | None ->
+    raise
+      (Remote_access { pe; array = array_name m aid; element = Array.copy el })
+
+let write_id m ~pe aid el v =
+  check_pe m pe;
+  if not (chunk_update m.memories pe aid el v) then
+    raise
+      (Remote_access { pe; array = array_name m aid; element = Array.copy el })
+
+let holds_id m ~pe aid el =
+  check_pe m pe;
+  chunk_find m.memories pe aid el <> None
+
+let install_id m ~pe aid tbl =
+  check_pe m pe;
+  Hashtbl.replace m.memories.(pe) aid (Sparse tbl)
+
+let store m ~pe a el v = store_id m ~pe (array_id m a) el v
 
 let read m ~pe a el =
   check_pe m pe;
-  match Hashtbl.find_opt m.memories.(pe) (key a el) with
-  | Some v -> v
+  match find_array_id m a with
+  | Some aid -> read_id m ~pe aid el
   | None -> raise (Remote_access { pe; array = a; element = Array.copy el })
 
 let write m ~pe a el v =
   check_pe m pe;
-  if Hashtbl.mem m.memories.(pe) (key a el) then
-    Hashtbl.replace m.memories.(pe) (key a el) v
-  else raise (Remote_access { pe; array = a; element = Array.copy el })
+  match find_array_id m a with
+  | Some aid -> write_id m ~pe aid el v
+  | None -> raise (Remote_access { pe; array = a; element = Array.copy el })
 
 let holds m ~pe a el =
   check_pe m pe;
-  Hashtbl.mem m.memories.(pe) (key a el)
+  match find_array_id m a with
+  | Some aid -> holds_id m ~pe aid el
+  | None -> false
 
 let local_elements m ~pe =
   check_pe m pe;
-  Hashtbl.fold
-    (fun (a, el) v acc -> (a, Array.of_list el, v) :: acc)
-    m.memories.(pe) []
-  |> List.sort compare
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun aid chunk ->
+      let a = array_name m aid in
+      chunk_iter (fun el v -> acc := (a, el, v) :: !acc) chunk)
+    m.memories.(pe);
+  List.sort compare !acc
+
+(* {2 Compaction} *)
+
+(* Promote a sparse chunk when it is populated enough that a flat
+   buffer over its bounding box is clearly a win.  Mixed-arity chunks
+   (never produced by the compiler pipeline) stay sparse. *)
+let promote tbl =
+  let n = Hashtbl.length tbl in
+  if n < 16 then None
+  else begin
+    (* Both passes decode the packed keys in place — no per-element
+       arrays; this runs once over every allocated word. *)
+    let d = ref (-1) and mixed = ref false in
+    let lo = ref [||] and hi = ref [||] in
+    Hashtbl.iter
+      (fun key _ ->
+        let kd = key land 7 in
+        if !d < 0 then begin
+          d := kd;
+          lo := unpack_coords key;
+          hi := Array.copy !lo
+        end
+        else if kd <> !d then mixed := true
+        else begin
+          let bits = pack_bits.(kd) in
+          let bias = 1 lsl (bits - 1) in
+          let mask = (1 lsl bits) - 1 in
+          let v = key lsr 3 in
+          for i = 0 to kd - 1 do
+            let c = ((v lsr ((kd - 1 - i) * bits)) land mask) - bias in
+            if c < !lo.(i) then !lo.(i) <- c;
+            if c > !hi.(i) then !hi.(i) <- c
+          done
+        end)
+      tbl;
+    if !mixed || !d <= 0 then None
+    else begin
+      let d = !d in
+      let lo = !lo and hi = !hi in
+      let extents = Array.init d (fun i -> hi.(i) - lo.(i) + 1) in
+      let volume = Array.fold_left ( * ) 1 extents in
+      if volume > 1 lsl 24 || volume > max (8 * n) 1024 then None
+      else begin
+        let data = Array.make volume 0 in
+        let present = Bytes.make volume '\000' in
+        let bits = pack_bits.(d) in
+        let bias = 1 lsl (bits - 1) in
+        let mask = (1 lsl bits) - 1 in
+        Hashtbl.iter
+          (fun key v ->
+            let kv = key lsr 3 in
+            let off = ref 0 in
+            for i = 0 to d - 1 do
+              let c = ((kv lsr ((d - 1 - i) * bits)) land mask) - bias in
+              off := (!off * extents.(i)) + (c - lo.(i))
+            done;
+            Bytes.set present !off '\001';
+            data.(!off) <- v)
+          tbl;
+        Some (Flat { lo; extents; data; present; count = n })
+      end
+    end
+  end
+
+let compact m =
+  Array.iter
+    (fun mem ->
+      let promoted = ref [] in
+      Hashtbl.iter
+        (fun aid chunk ->
+          match chunk with
+          | Flat _ -> ()
+          | Sparse tbl -> (
+            match promote tbl with
+            | Some flat -> promoted := (aid, flat) :: !promoted
+            | None -> ()))
+        mem;
+      List.iter (fun (aid, flat) -> Hashtbl.replace mem aid flat) !promoted)
+    m.memories
+
+(* {2 Host distribution and accounting (unchanged cost model)} *)
 
 let charge m ~words =
   m.dist_time <-
@@ -81,7 +371,8 @@ let host_send m ~pe a elements =
   charge m ~words:(size + hops - 1);
   m.volume <- m.volume + size;
   m.events <- Send { pe; array = a; size } :: m.events;
-  List.iter (fun (el, v) -> store m ~pe a el v) elements
+  let aid = array_id m a in
+  List.iter (fun (el, v) -> store_id m ~pe aid el v) elements
 
 let host_broadcast m a elements =
   let size = List.length elements in
@@ -90,12 +381,15 @@ let host_broadcast m a elements =
   charge m ~words:(hops * size);
   m.volume <- m.volume + size;
   m.events <- Broadcast { array = a; size } :: m.events;
+  let aid = array_id m a in
   for pe = 0 to Topology.size m.topology - 1 do
-    List.iter (fun (el, v) -> store m ~pe a el v) elements
+    List.iter (fun (el, v) -> store_id m ~pe aid el v) elements
   done
 
 let host_multicast m ~pes a elements =
-  (match pes with [] -> invalid_arg "Machine.host_multicast: no targets" | _ -> ());
+  (match pes with
+  | [] -> invalid_arg "Machine.host_multicast: no targets"
+  | _ -> ());
   List.iter (check_pe m) pes;
   let size = List.length elements in
   let hops =
@@ -108,8 +402,9 @@ let host_multicast m ~pes a elements =
   charge m ~words:((2 * size) + hops);
   m.volume <- m.volume + size;
   m.events <- Multicast { pes; array = a; size } :: m.events;
+  let aid = array_id m a in
   List.iter
-    (fun pe -> List.iter (fun (el, v) -> store m ~pe a el v) elements)
+    (fun pe -> List.iter (fun (el, v) -> store_id m ~pe aid el v) elements)
     pes
 
 let run_iterations m ~pe count =
@@ -135,7 +430,7 @@ let iterations_of m ~pe =
 
 let memory_words m ~pe =
   check_pe m pe;
-  Hashtbl.length m.memories.(pe)
+  Hashtbl.fold (fun _ chunk acc -> acc + chunk_count chunk) m.memories.(pe) 0
 
 let reset_stats m =
   m.dist_time <- 0.;

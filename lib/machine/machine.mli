@@ -36,6 +36,48 @@ val write : t -> pe:int -> string -> int array -> int -> unit
 val holds : t -> pe:int -> string -> int array -> bool
 val local_elements : t -> pe:int -> (string * int array * int) list
 
+(** {1 Interned fast path}
+
+    Local memories are keyed by dense integer array ids and packed
+    coordinate ints — no polymorphic hashing of strings or arrays in
+    the execution hot path.  The string API above delegates here. *)
+
+val array_id : t -> string -> int
+(** Interns the name (allocating a fresh id on first sight).  Interning
+    mutates the machine: during parallel execution use
+    {!find_array_id}, which is read-only. *)
+
+val find_array_id : t -> string -> int option
+val array_name : t -> int -> string
+
+val pack_coords : int array -> int
+(** Injective packing of element coordinates (arity included) into one
+    int, suitable as a hash key.  Supports up to 7 dimensions and
+    [59/d] bits per subscript; raises [Invalid_argument] beyond. *)
+
+val unpack_coords : int -> int array
+(** Inverse of {!pack_coords}. *)
+
+val store_id : t -> pe:int -> int -> int array -> int -> unit
+val read_id : t -> pe:int -> int -> int array -> int
+val write_id : t -> pe:int -> int -> int array -> int -> unit
+val holds_id : t -> pe:int -> int -> int array -> bool
+
+val install_id : t -> pe:int -> int -> (int, int) Hashtbl.t -> unit
+(** [install_id m ~pe aid tbl] installs [tbl] — a {!pack_coords} key to
+    value table — as PE [pe]'s local memory for array [aid], replacing
+    any existing chunk and taking ownership of [tbl].  Bulk-allocation
+    fast path: equivalent to [store_id] per binding, but with a single
+    memory-map update. *)
+
+val compact : t -> unit
+(** Promote densely-populated local arrays to flat contiguous buffers
+    addressed by affine linearization of their bounding box (with a
+    presence bitmap, so [holds]/{!Remote_access} semantics are exactly
+    preserved).  Call after distribution, before execution; stores
+    landing outside a compacted box transparently fall back to sparse
+    storage. *)
+
 (** {1 Host distribution (charges time, stores data)} *)
 
 val host_send :

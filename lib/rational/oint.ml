@@ -37,11 +37,17 @@ let rec gcd a b =
 
 let lcm a b = if a = 0 || b = 0 then 0 else mul (abs a / gcd a b) (abs b)
 
-let ediv a b =
+(* The one unrepresentable quotient: [min_int / -1] = [max_int + 1]
+   wraps silently in hardware division, so every rounding mode must
+   reject it explicitly.  The remainder is 0, hence representable. *)
+let check_div a b =
   if b = 0 then raise Division_by_zero
-  else
-    let q = a / b and r = a mod b in
-    if r >= 0 then q else if b > 0 then q - 1 else q + 1
+  else if a = min_int && b = -1 then raise Overflow
+
+let ediv a b =
+  check_div a b;
+  let q = a / b and r = a mod b in
+  if r >= 0 then q else if b > 0 then q - 1 else q + 1
 
 let emod a b =
   if b = 0 then raise Division_by_zero
@@ -50,16 +56,14 @@ let emod a b =
     if r >= 0 then r else r + Stdlib.abs b
 
 let fdiv a b =
-  if b = 0 then raise Division_by_zero
-  else
-    let q = a / b and r = a mod b in
-    if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+  check_div a b;
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
 
 let cdiv a b =
-  if b = 0 then raise Division_by_zero
-  else
-    let q = a / b and r = a mod b in
-    if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
+  check_div a b;
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q
 
 let pow a n =
   if n < 0 then invalid_arg "Oint.pow: negative exponent";

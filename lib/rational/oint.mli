@@ -32,16 +32,21 @@ val lcm : int -> int -> int
 
 val ediv : int -> int -> int
 (** [ediv a b] is Euclidean division: the unique [q] with
-    [a = q*b + r] and [0 <= r < |b|].  Raises [Division_by_zero]. *)
+    [a = q*b + r] and [0 <= r < |b|].  Raises [Division_by_zero];
+    raises {!Overflow} for [ediv min_int (-1)], the one quotient that
+    wraps. *)
 
 val emod : int -> int -> int
-(** [emod a b] is the Euclidean remainder [r] with [0 <= r < |b|]. *)
+(** [emod a b] is the Euclidean remainder [r] with [0 <= r < |b|]
+    (always representable, even for [min_int] dividends). *)
 
 val fdiv : int -> int -> int
-(** [fdiv a b] is floor division (round toward negative infinity). *)
+(** [fdiv a b] is floor division (round toward negative infinity);
+    raises {!Overflow} for [fdiv min_int (-1)]. *)
 
 val cdiv : int -> int -> int
-(** [cdiv a b] is ceiling division (round toward positive infinity). *)
+(** [cdiv a b] is ceiling division (round toward positive infinity);
+    raises {!Overflow} for [cdiv min_int (-1)]. *)
 
 val pow : int -> int -> int
 (** [pow a n] is [a] raised to the non-negative power [n], checked.

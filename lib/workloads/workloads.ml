@@ -65,6 +65,27 @@ let stencil_2d =
     expected = { strategy = Strategy.Duplicate; parallel_dims = 2 };
   }
 
+let stencil_3d =
+  {
+    name = "stencil3d";
+    description =
+      "A[i,j,k] := B[i-1,j,k] + B[i+1,j,k] + B[i,j-1,k] + B[i,j+1,k] + \
+       B[i,j,k-1] + B[i,j,k+1] (7-point Jacobi sweep, scale workload)";
+    build =
+      (fun ~size ->
+        Nest.rectangular
+          [ ("i", 1, size); ("j", 1, size); ("k", 1, size) ]
+          [ Stmt.make
+              (Aref.make "A" [ v "i"; v "j"; v "k" ])
+              (read "B" [ v "i" ++ c (-1); v "j"; v "k" ]
+               +: read "B" [ v "i" ++ c 1; v "j"; v "k" ]
+               +: read "B" [ v "i"; v "j" ++ c (-1); v "k" ]
+               +: read "B" [ v "i"; v "j" ++ c 1; v "k" ]
+               +: read "B" [ v "i"; v "j"; v "k" ++ c (-1) ]
+               +: read "B" [ v "i"; v "j"; v "k" ++ c 1 ]) ]);
+    expected = { strategy = Strategy.Duplicate; parallel_dims = 3 };
+  }
+
 let sor =
   {
     name = "sor";
@@ -178,8 +199,8 @@ let convolution_2d =
   }
 
 let all =
-  [ convolution; dft; stencil_2d; sor; rank1_update; matmul; shifted_sum;
-    triangular_rank1; triangular_stencil; convolution_2d ]
+  [ convolution; dft; stencil_2d; stencil_3d; sor; rank1_update; matmul;
+    shifted_sum; triangular_rank1; triangular_stencil; convolution_2d ]
 
 type study_row = {
   kernel : string;

@@ -32,6 +32,11 @@ val stencil_2d : kernel
 (** Five-point Jacobi step into a fresh array: fully parallel under
     duplication (inputs are read-only), sequential without. *)
 
+val stencil_3d : kernel
+(** Seven-point Jacobi sweep into a fresh array: fully parallel under
+    duplication.  The scale workload for the execution-engine benchmark
+    (128³-class iteration spaces). *)
+
 val sor : kernel
 (** First-order recurrence [A[i,j] := A[i−1,j] + A[i,j−1]]: no
     communication-free parallelism exists under any strategy (wavefront

@@ -1,0 +1,135 @@
+(* Closed-form coset indexing vs the materialized oracle.
+
+   Coset must reproduce Iter_partition bit-for-bit: block count,
+   numbering, base points, sizes, member lists (and their order), and
+   the in/out-of-space behaviour of the iteration lookup. *)
+
+open Cf_linalg
+open Cf_core
+open Testutil
+
+let v l = Vec.of_int_list l
+let span n vs = Subspace.span n (List.map v vs)
+
+(* Exhaustive parity of a (nest, psi) instance against the oracle. *)
+let agrees ?(msg = "") nest psi =
+  let oracle = Iter_partition.make nest psi in
+  let fast = Coset.make nest psi in
+  let ctx s = Printf.sprintf "%s%s" msg s in
+  check_int (ctx "block count") (Iter_partition.block_count oracle)
+    (Coset.block_count fast);
+  Array.iter
+    (fun (ob : Iter_partition.block) ->
+      let fb = Coset.block fast ~id:ob.id in
+      check_int (ctx "id") ob.id fb.Coset.id;
+      Alcotest.(check (array int)) (ctx "base") ob.base fb.Coset.base;
+      check_int (ctx "size") (List.length ob.iterations) fb.Coset.size;
+      Alcotest.(check (list (array int)))
+        (ctx "members") ob.iterations
+        (Coset.block_iterations fast ~id:ob.id);
+      List.iter
+        (fun it ->
+          check_int (ctx "lookup")
+            (Iter_partition.block_id_of_iteration oracle it)
+            (Coset.block_id_of_iteration fast it))
+        ob.iterations)
+    (Iter_partition.blocks oracle)
+
+let strategy_psi strategy nest = Strategy.partitioning_space strategy nest
+
+let fixed_cases =
+  [
+    Alcotest.test_case "L1 span{(1,1)} parity" `Quick (fun () ->
+        agrees l1 (span 2 [ [ 1; 1 ] ]));
+    Alcotest.test_case "L1 closed-form facts" `Quick (fun () ->
+        let c = Coset.make l1 (span 2 [ [ 1; 1 ] ]) in
+        check_int "7 blocks" 7 (Coset.block_count c);
+        let b5 = Coset.block c ~id:5 in
+        Alcotest.(check (array int)) "B5 base" [| 2; 1 |] b5.Coset.base;
+        check_int "lattice rank" 1 (Coset.lattice_rank c));
+    Alcotest.test_case "zero space: singletons" `Quick (fun () ->
+        agrees l2 (Subspace.zero 2);
+        let c = Coset.make l2 (Subspace.zero 2) in
+        check_int "16 blocks" 16 (Coset.block_count c);
+        check_int "rank 0" 0 (Coset.lattice_rank c));
+    Alcotest.test_case "full space: one block" `Quick (fun () ->
+        agrees l1 (Subspace.full 2);
+        let c = Coset.make l1 (Subspace.full 2) in
+        check_int "1 block" 1 (Coset.block_count c);
+        check_int "all iterations" 16 (Coset.block c ~id:1).Coset.size);
+    Alcotest.test_case "non-integer direction span{(1/2,1)}" `Quick (fun () ->
+        (* The saturated lattice is span{(1,2)}, not the primitive
+           multiple of the rational generator's clearing. *)
+        agrees l1
+          (Subspace.span 2
+             [ Vec.of_list [ Cf_rational.Rat.make 1 2; Cf_rational.Rat.one ] ]));
+    Alcotest.test_case "3-deep L4, skew span" `Quick (fun () ->
+        agrees l4 (span 3 [ [ 1; -1; 1 ] ]);
+        agrees l4 (span 3 [ [ 1; 0; 0 ]; [ 0; 1; 1 ] ]));
+    Alcotest.test_case "out-of-space lookups raise" `Quick (fun () ->
+        let c = Coset.make l1 (span 2 [ [ 1; 1 ] ]) in
+        List.iter
+          (fun it ->
+            Alcotest.check_raises "outside" Not_found (fun () ->
+                ignore (Coset.block_id_of_iteration c it)))
+          [ [| 0; 1 |]; [| 5; 4 |]; [| 1 |]; [| 1; 2; 3 |] ];
+        check_bool "opt none" true
+          (Coset.block_of_iteration_opt c [| 0; 0 |] = None);
+        check_bool "opt some" true
+          (Coset.block_of_iteration_opt c [| 1; 1 |] <> None));
+    Alcotest.test_case "bad block id" `Quick (fun () ->
+        let c = Coset.make l1 (span 2 [ [ 1; 1 ] ]) in
+        Alcotest.check_raises "id 0"
+          (Invalid_argument "Coset.block: block id out of range") (fun () ->
+            ignore (Coset.block c ~id:0)));
+  ]
+
+(* Every seed workload under every strategy, oracle vs closed form. *)
+let workload_cases =
+  let paper =
+    List.map (fun (name, nest) -> (name, nest)) all_paper_loops
+  in
+  let kernels =
+    List.map
+      (fun (k : Cf_workloads.Workloads.kernel) ->
+        (k.Cf_workloads.Workloads.name, k.Cf_workloads.Workloads.build ~size:4))
+      Cf_workloads.Workloads.all
+  in
+  List.map
+    (fun (name, nest) ->
+      Alcotest.test_case (Printf.sprintf "%s all strategies" name) `Quick
+        (fun () ->
+          List.iter
+            (fun strategy ->
+              let msg =
+                Printf.sprintf "%s/%s " name (Strategy.to_string strategy)
+              in
+              agrees ~msg nest (strategy_psi strategy nest))
+            Strategy.all))
+    (paper @ kernels)
+
+(* Randomized nests: strategy spaces plus raw random spans, so the
+   closed form is exercised on subspaces it did not co-evolve with. *)
+let property_cases =
+  [
+    qtest ~count:60 "random nests: strategy spaces match oracle"
+      (fun nest ->
+        List.iter
+          (fun strategy -> agrees nest (strategy_psi strategy nest))
+          [ Strategy.Nonduplicate; Strategy.Duplicate ];
+        true)
+      arbitrary_nest;
+    qtest ~count:60 "random nests: random spans match oracle"
+      (fun (nest, (a, b)) ->
+        agrees nest (span 2 [ [ a; b ] ]);
+        true)
+      QCheck.(
+        pair arbitrary_nest (pair (int_range (-3) 3) (int_range (-3) 3)));
+  ]
+
+let suites =
+  [
+    ("coset.fixed", fixed_cases);
+    ("coset.workloads", workload_cases);
+    ("coset.property", property_cases);
+  ]

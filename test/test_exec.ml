@@ -123,6 +123,152 @@ let par_cases =
                  ~strategy:Strategy.Nonduplicate partition)));
   ]
 
+(* The scale-out engine must produce reports identical to [execute]:
+   same verdicts, same mismatches, same per-PE iteration counts, and
+   bit-identical machine accounting — for any domain count. *)
+let indexed_cases =
+  let mk nprocs =
+    Cf_machine.Machine.create
+      (Cf_machine.Topology.linear nprocs)
+      Cf_machine.Cost.transputer
+  in
+  let remote_t = Alcotest.(option (triple int string (array int))) in
+  let check_parity ?(domains_list = [ 1; 3 ]) ?(prepare = fun _ -> ())
+      ?allocate ?charge_distribution ~name ~nprocs ~strategy nest psi =
+    let partition = Iter_partition.make nest psi in
+    let coset = Coset.make nest psi in
+    let placement = Parexec.cyclic ~nprocs in
+    let base_machine = mk nprocs in
+    prepare base_machine;
+    let base =
+      Parexec.execute ?allocate ?charge_distribution ~machine:base_machine
+        ~placement ~strategy partition
+    in
+    List.iter
+      (fun domains ->
+        let ctx s = Printf.sprintf "%s/d%d %s" name domains s in
+        let machine = mk nprocs in
+        prepare machine;
+        let r =
+          Parexec.execute_indexed ?allocate ?charge_distribution ~domains
+            ~machine ~placement ~strategy coset
+        in
+        Alcotest.check remote_t (ctx "remote") base.Parexec.remote_access
+          r.Parexec.remote_access;
+        check_bool (ctx "mismatches") true
+          (base.Parexec.mismatches = r.Parexec.mismatches);
+        if base.Parexec.remote_access = None then begin
+          Alcotest.check
+            Alcotest.(array int)
+            (ctx "per-PE iterations") base.Parexec.per_pe_iterations
+            r.Parexec.per_pe_iterations;
+          Alcotest.(check (float 1e-12))
+            (ctx "dist time")
+            (Cf_machine.Machine.distribution_time base_machine)
+            (Cf_machine.Machine.distribution_time machine);
+          check_int (ctx "messages")
+            (Cf_machine.Machine.message_count base_machine)
+            (Cf_machine.Machine.message_count machine);
+          check_int (ctx "volume")
+            (Cf_machine.Machine.message_volume base_machine)
+            (Cf_machine.Machine.message_volume machine);
+          for pe = 0 to nprocs - 1 do
+            Alcotest.(check (float 0.))
+              (ctx (Printf.sprintf "compute PE%d" pe))
+              (Cf_machine.Machine.compute_time base_machine ~pe)
+              (Cf_machine.Machine.compute_time machine ~pe);
+            check_int
+              (ctx (Printf.sprintf "memory PE%d" pe))
+              (Cf_machine.Machine.memory_words base_machine ~pe)
+              (Cf_machine.Machine.memory_words machine ~pe)
+          done
+        end)
+      domains_list
+  in
+  [
+    Alcotest.test_case "L1 nonduplicate parity" `Quick (fun () ->
+        check_parity ~name:"L1" ~nprocs:3 ~strategy:Strategy.Nonduplicate l1
+          (Strategy.partitioning_space Strategy.Nonduplicate l1));
+    Alcotest.test_case "L2 singleton blocks parity" `Quick (fun () ->
+        check_parity ~name:"L2" ~nprocs:4 ~strategy:Strategy.Duplicate l2
+          (Cf_linalg.Subspace.zero 2));
+    Alcotest.test_case "L3 minimal duplicate parity" `Quick (fun () ->
+        check_parity ~name:"L3" ~nprocs:4 ~strategy:Strategy.Min_duplicate l3
+          (Strategy.partitioning_space Strategy.Min_duplicate l3));
+    Alcotest.test_case "L4 3-deep parity" `Quick (fun () ->
+        check_parity ~name:"L4" ~nprocs:4 ~strategy:Strategy.Nonduplicate l4
+          (Strategy.partitioning_space Strategy.Nonduplicate l4));
+    Alcotest.test_case "charged distribution parity" `Quick (fun () ->
+        check_parity ~name:"L1-charged" ~charge_distribution:true ~nprocs:3
+          ~strategy:Strategy.Nonduplicate l1
+          (Strategy.partitioning_space Strategy.Nonduplicate l1));
+    Alcotest.test_case "bad partition: same remote verdict" `Quick (fun () ->
+        check_parity ~name:"L1-bad" ~nprocs:4 ~strategy:Strategy.Nonduplicate
+          l1
+          (Cf_linalg.Subspace.span 2 [ Cf_linalg.Vec.of_int_list [ 1; 0 ] ]));
+    Alcotest.test_case "pre-distributed data, allocate:false" `Quick (fun () ->
+        (* Broadcast every element of every array under its plain name;
+           all accesses are then local on every processor. *)
+        let nest = l1 in
+        let prepare machine =
+          let seen = Hashtbl.create 64 in
+          let idx = Cf_loop.Nest.indices nest in
+          Cf_loop.Nest.iter_space nest (fun iter ->
+              let index v =
+                let rec f k = if idx.(k) = v then k else f (k + 1) in
+                iter.(f 0)
+              in
+              List.iter
+                (fun (s : Cf_loop.Stmt.t) ->
+                  List.iter
+                    (fun (r : Cf_loop.Aref.t) ->
+                      let el = Cf_loop.Aref.eval index r in
+                      Hashtbl.replace seen
+                        (r.Cf_loop.Aref.array, Array.to_list el)
+                        el)
+                    (s.Cf_loop.Stmt.lhs :: Cf_loop.Stmt.reads s))
+                nest.Cf_loop.Nest.body);
+          let by_array = Hashtbl.create 8 in
+          Hashtbl.iter
+            (fun (a, _) el ->
+              let cur =
+                Option.value ~default:[] (Hashtbl.find_opt by_array a)
+              in
+              Hashtbl.replace by_array a
+                ((el, Seqexec.default_init a el) :: cur))
+            seen;
+          Hashtbl.iter
+            (fun a els -> Cf_machine.Machine.host_broadcast machine a els)
+            by_array
+        in
+        check_parity ~name:"L1-predist" ~prepare ~allocate:false ~nprocs:2
+          ~strategy:Strategy.Duplicate l1
+          (Strategy.partitioning_space Strategy.Duplicate l1));
+    Alcotest.test_case "validate:false skips mismatch detection" `Quick
+      (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let coset = Coset.make l1 psi in
+        let machine = mk 3 in
+        let r =
+          Parexec.execute_indexed ~validate:false ~machine
+            ~placement:(Parexec.cyclic ~nprocs:3)
+            ~strategy:Strategy.Nonduplicate coset
+        in
+        check_bool "ok" true (Parexec.ok r);
+        check_int "all iterations" 16
+          (Array.fold_left ( + ) 0 r.Parexec.per_pe_iterations));
+    Alcotest.test_case "placement validation" `Quick (fun () ->
+        let psi = Strategy.partitioning_space Strategy.Nonduplicate l1 in
+        let coset = Coset.make l1 psi in
+        Alcotest.check_raises "out of range"
+          (Invalid_argument
+             "Parexec.execute_indexed: placement outside the machine")
+          (fun () ->
+            ignore
+              (Parexec.execute_indexed ~machine:(mk 2) ~placement:(fun _ -> 7)
+                 ~strategy:Strategy.Nonduplicate coset)));
+  ]
+
 let balance_cases =
   [
     Alcotest.test_case "metrics" `Quick (fun () ->
@@ -395,12 +541,41 @@ let properties =
         in
         Parexec.ok r)
       arbitrary_nest;
+    qtest "indexed engine reports match execute on random loops" ~count:25
+      (fun nest ->
+        List.for_all
+          (fun strategy ->
+            let psi = Strategy.partitioning_space strategy nest in
+            let partition = Iter_partition.make nest psi in
+            let coset = Coset.make nest psi in
+            let placement = Parexec.cyclic ~nprocs:3 in
+            let mk () =
+              Cf_machine.Machine.create
+                (Cf_machine.Topology.linear 3)
+                Cf_machine.Cost.transputer
+            in
+            let mb = mk () and mi = mk () in
+            let base =
+              Parexec.execute ~machine:mb ~placement ~strategy partition
+            in
+            let r =
+              Parexec.execute_indexed ~machine:mi ~placement ~strategy coset
+            in
+            base.Parexec.remote_access = r.Parexec.remote_access
+            && base.Parexec.mismatches = r.Parexec.mismatches
+            && (base.Parexec.remote_access <> None
+               || base.Parexec.per_pe_iterations = r.Parexec.per_pe_iterations
+                  && Cf_machine.Machine.max_compute_time mb
+                     = Cf_machine.Machine.max_compute_time mi))
+          [ Strategy.Nonduplicate; Strategy.Duplicate ])
+      arbitrary_nest;
   ]
 
 let suites =
   [
     ("seqexec", seq_cases);
     ("parexec", par_cases);
+    ("parexec-indexed", indexed_cases);
     ("balance", balance_cases);
     ("commcost", commcost_cases);
     ("advisor", advisor_cases);

@@ -189,6 +189,80 @@ let memory_cases =
         Machine.store m ~pe:0 "A" [| 2 |] 3 (* overwrite, not growth *);
         check_int "two elements" 2 (Machine.memory_words m ~pe:0);
         check_int "other pe untouched" 0 (Machine.memory_words m ~pe:1));
+    Alcotest.test_case "pack_coords roundtrips and separates arities" `Quick
+      (fun () ->
+        let els =
+          [ [||]; [| 0 |]; [| -1 |]; [| 123456 |]; [| -3; 7 |];
+            [| 1; 2; 3 |]; [| -9; 0; 9 |]; [| 1; -2; 3; -4; 5; -6; 7 |] ]
+        in
+        List.iter
+          (fun el ->
+            Alcotest.check
+              Alcotest.(array int)
+              "unpack (pack el) = el" el
+              (Machine.unpack_coords (Machine.pack_coords el)))
+          els;
+        (* Distinct coordinates (including across arities) never share a
+           key: [|1|] vs [|1;0|] vs [|0;1|] etc. *)
+        let keys = List.map Machine.pack_coords els in
+        check_int "all keys distinct"
+          (List.length keys)
+          (List.length (List.sort_uniq compare keys));
+        Alcotest.check_raises "8-dimensional rejected"
+          (Invalid_argument "Machine: arrays beyond 7 dimensions are unsupported")
+          (fun () -> ignore (Machine.pack_coords (Array.make 8 0)));
+        Alcotest.check_raises "out-of-range subscript rejected"
+          (Invalid_argument "Machine: subscript magnitude exceeds packable range")
+          (fun () -> ignore (Machine.pack_coords [| 1 lsl 20; 0; 0 |])));
+    Alcotest.test_case "compact preserves read/write/holds semantics" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        (* A dense 6x6 block with one hole: promoted to a flat buffer. *)
+        for i = 0 to 5 do
+          for j = 0 to 5 do
+            if not (i = 2 && j = 3) then
+              Machine.store m ~pe:0 "A" [| i; j |] ((10 * i) + j)
+          done
+        done;
+        let words = Machine.memory_words m ~pe:0 in
+        Machine.compact m;
+        check_int "words unchanged" words (Machine.memory_words m ~pe:0);
+        for i = 0 to 5 do
+          for j = 0 to 5 do
+            if i = 2 && j = 3 then
+              check_bool "hole still absent" false
+                (Machine.holds m ~pe:0 "A" [| i; j |])
+            else
+              check_int "value survives" ((10 * i) + j)
+                (Machine.read m ~pe:0 "A" [| i; j |])
+          done
+        done;
+        (match Machine.read m ~pe:0 "A" [| 2; 3 |] with
+         | exception Machine.Remote_access _ -> ()
+         | _ -> Alcotest.fail "hole must still fault");
+        Machine.write m ~pe:0 "A" [| 0; 0 |] 99;
+        check_int "write through flat" 99 (Machine.read m ~pe:0 "A" [| 0; 0 |]);
+        (* A store outside the compacted box falls back to sparse
+           without losing anything. *)
+        Machine.store m ~pe:0 "A" [| 100; 100 |] 7;
+        check_int "escape stored" 7 (Machine.read m ~pe:0 "A" [| 100; 100 |]);
+        check_int "old value intact" 99 (Machine.read m ~pe:0 "A" [| 0; 0 |]);
+        check_int "grown by one" (words + 1) (Machine.memory_words m ~pe:0));
+    Alcotest.test_case "install_id equals element-wise stores" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        let aid = Machine.array_id m "A" in
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace tbl (Machine.pack_coords [| 1; 2 |]) 12;
+        Hashtbl.replace tbl (Machine.pack_coords [| 3; 4 |]) 34;
+        Machine.install_id m ~pe:1 aid tbl;
+        check_int "read via string API" 12 (Machine.read m ~pe:1 "A" [| 1; 2 |]);
+        check_int "read via id API" 34 (Machine.read_id m ~pe:1 aid [| 3; 4 |]);
+        check_bool "absent element" false
+          (Machine.holds m ~pe:1 "A" [| 9; 9 |]);
+        check_int "two words resident" 2 (Machine.memory_words m ~pe:1);
+        check_bool "other pe untouched" false
+          (Machine.holds m ~pe:0 "A" [| 1; 2 |]));
   ]
 
 let suites =

@@ -8,6 +8,7 @@ let () =
          Test_loop.suites;
          Test_dep.suites;
          Test_core.suites;
+         Test_coset.suites;
          Test_transform.suites;
          Test_machine.suites;
          Test_exec.suites;

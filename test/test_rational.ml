@@ -47,6 +47,57 @@ let oint_cases =
         Alcotest.check_raises "neg exponent"
           (Invalid_argument "Oint.pow: negative exponent") (fun () ->
             ignore (Oint.pow 2 (-1))));
+    Alcotest.test_case "add/mul at the representable boundary" `Quick
+      (fun () ->
+        check_int "max + 0" max_int (Oint.add max_int 0);
+        check_int "(max-1) + 1" max_int (Oint.add (max_int - 1) 1);
+        check_int "min + 0" min_int (Oint.add min_int 0);
+        check_int "min + max" (-1) (Oint.add min_int max_int);
+        check_int "max - max" 0 (Oint.sub max_int max_int);
+        check_int "max * 1" max_int (Oint.mul max_int 1);
+        check_int "min * 1" min_int (Oint.mul min_int 1);
+        check_int "(max/2) * 2" (max_int - 1) (Oint.mul (max_int / 2) 2);
+        Alcotest.check_raises "min + min" Oint.Overflow (fun () ->
+            ignore (Oint.add min_int min_int));
+        Alcotest.check_raises "max - (-1)" Oint.Overflow (fun () ->
+            ignore (Oint.sub max_int (-1)));
+        Alcotest.check_raises "(max/2 + 1) * 2" Oint.Overflow (fun () ->
+            ignore (Oint.mul ((max_int / 2) + 1) 2));
+        Alcotest.check_raises "min * -1" Oint.Overflow (fun () ->
+            ignore (Oint.mul min_int (-1)));
+        Alcotest.check_raises "-1 * min" Oint.Overflow (fun () ->
+            ignore (Oint.mul (-1) min_int)));
+    Alcotest.test_case "division edges at min_int and negatives" `Quick
+      (fun () ->
+        (* The only unrepresentable quotient must raise, in every
+           rounding mode; the remainder is always representable. *)
+        Alcotest.check_raises "ediv min -1" Oint.Overflow (fun () ->
+            ignore (Oint.ediv min_int (-1)));
+        Alcotest.check_raises "fdiv min -1" Oint.Overflow (fun () ->
+            ignore (Oint.fdiv min_int (-1)));
+        Alcotest.check_raises "cdiv min -1" Oint.Overflow (fun () ->
+            ignore (Oint.cdiv min_int (-1)));
+        check_int "emod min -1" 0 (Oint.emod min_int (-1));
+        check_int "ediv min 1" min_int (Oint.ediv min_int 1);
+        check_int "ediv max -1" (-max_int) (Oint.ediv max_int (-1));
+        check_int "ediv min 2" (min_int / 2) (Oint.ediv min_int 2);
+        check_int "fdiv min 2" (min_int / 2) (Oint.fdiv min_int 2);
+        check_int "cdiv max 2" ((max_int / 2) + 1) (Oint.cdiv max_int 2);
+        (* Euclidean invariant a = q*b + r, 0 <= r < |b|, across sign
+           combinations and at the extreme dividends. *)
+        List.iter
+          (fun (a, b) ->
+            let q = Oint.ediv a b and r = Oint.emod a b in
+            Alcotest.(check bool)
+              (Printf.sprintf "0 <= emod %d %d < |b|" a b)
+              true
+              (0 <= r && r < Stdlib.abs b);
+            check_int (Printf.sprintf "ediv/emod invariant %d %d" a b) a
+              ((q * b) + r))
+          [
+            (7, 2); (-7, 2); (7, -2); (-7, -2);
+            (min_int, 3); (min_int, -3); (max_int, -5); (min_int + 1, -1);
+          ])
   ]
 
 let rat_cases =
