@@ -442,6 +442,189 @@ let write_scale_json ~file rows =
   close_out oc;
   Printf.printf "wrote %s\n%!" file
 
+(* E15: the concurrent planning service.  Throughput of a mixed planning
+   workload through the worker pool at 1/2/4 domains with the
+   canonical-form cache on vs off, plus the warm-hit vs cold-plan
+   latency ratio.  The workload mixes the paper loops, the workload
+   kernels and renamed copies of each — renamings are exactly what the
+   canonicalizer collapses, so the cache-on rows show the memoization
+   win while cache-off rows measure raw planning throughput.  On a
+   single-CPU host the multi-domain rows cannot speed up (the column
+   [domains_available] records what the runtime offered); the rows still
+   exercise the concurrent paths and become meaningful on real cores. *)
+
+type service_row = {
+  sv_domains : int;
+  sv_cache : bool;
+  sv_requests : int;
+  sv_completed : int;
+  sv_elapsed : float;
+  sv_throughput : float;
+  sv_p50 : float;
+  sv_p95 : float;
+  sv_p99 : float;
+  sv_hit_rate : float option;
+}
+
+let service_nests ~quick () =
+  let base =
+    [ l1; l2; l3; l4; Cf_exec.Matmul.nest ~m:(if quick then 4 else 8) ]
+    @ List.map
+        (fun k -> k.Cf_workloads.Workloads.build ~size:(if quick then 4 else 8))
+        Cf_workloads.Workloads.all
+  in
+  (* Renamed copies: structurally identical, textually distinct. *)
+  let copies = if quick then 2 else 6 in
+  List.concat_map
+    (fun nest ->
+      nest
+      :: List.init copies (fun k ->
+             let salt = Printf.sprintf "v%d" k in
+             Cf_cache.Canon.rename
+               ~index:(fun v -> v ^ "_" ^ salt)
+               ~array:(fun a -> a ^ "_" ^ salt)
+               ~scalar:(fun s -> s ^ "_" ^ salt)
+               ~label:(fun i _ -> Printf.sprintf "R%d_%s" i salt)
+               nest))
+    base
+
+let service_strategies =
+  [ Strategy.Nonduplicate; Strategy.Duplicate; Strategy.Min_duplicate ]
+
+let service_case ~domains ~cache nests =
+  let module S = Cf_service.Service in
+  let svc =
+    S.create ~domains ~queue_depth:64
+      ~cache:(if cache then Some 1024 else None)
+      ()
+  in
+  let _, elapsed =
+    time (fun () ->
+        List.iter
+          (fun strategy ->
+            List.iter
+              (fun o ->
+                match o with
+                | S.Done _ -> ()
+                | o ->
+                  failwith
+                    (Format.asprintf "service request failed: %a" S.pp_outcome
+                       o))
+              (S.plan_many ~strategy svc nests))
+          service_strategies)
+  in
+  let s = S.stats svc in
+  S.shutdown svc;
+  {
+    sv_domains = domains;
+    sv_cache = cache;
+    sv_requests = s.S.submitted;
+    sv_completed = s.S.completed;
+    sv_elapsed = elapsed;
+    sv_throughput = float_of_int s.S.completed /. elapsed;
+    sv_p50 = s.S.latency.Cf_service.Histogram.p50;
+    sv_p95 = s.S.latency.Cf_service.Histogram.p95;
+    sv_p99 = s.S.latency.Cf_service.Histogram.p99;
+    sv_hit_rate = Option.map Cf_cache.Memo.hit_rate s.S.cache;
+  }
+
+(* Warm-hit vs cold-plan latency on one heavyweight request: the cache
+   should answer at least an order of magnitude faster than planning. *)
+let service_hit_speedup ~quick () =
+  let nest = Cf_exec.Matmul.nest ~m:(if quick then 6 else 10) in
+  let strategy = Strategy.Min_duplicate in
+  let planner = Cf_service.Planner.create () in
+  let _, cold =
+    time (fun () -> Cf_service.Planner.plan ~strategy planner nest)
+  in
+  let _, warm =
+    time2 (fun () -> Cf_service.Planner.plan ~strategy planner nest)
+  in
+  (cold, warm)
+
+(* The service must answer exactly what a sequential plan would. *)
+let service_identity_check () =
+  let module S = Cf_service.Service in
+  let svc = S.create ~domains:2 () in
+  let nests = [ l1; l2; l3; l4 ] in
+  let ok =
+    List.for_all
+      (fun strategy ->
+        List.for_all2
+          (fun nest o ->
+            match o with
+            | S.Done c ->
+              Format.asprintf "%a" Cf_pipeline.Pipeline.describe c.S.plan
+              = Format.asprintf "%a" Cf_pipeline.Pipeline.describe
+                  (Cf_pipeline.Pipeline.plan ~strategy nest)
+            | _ -> false)
+          nests
+          (S.plan_many ~strategy svc nests))
+      Strategy.all
+  in
+  S.shutdown svc;
+  ok
+
+let service_rows ~quick () =
+  let nests = service_nests ~quick () in
+  List.concat_map
+    (fun domains ->
+      [ service_case ~domains ~cache:false nests;
+        service_case ~domains ~cache:true nests ])
+    [ 1; 2; 4 ]
+
+let print_service_rows ~quick rows =
+  section "E15 - planning service: throughput, cache, latency";
+  Printf.printf "domains available: %d\n" (Domain.recommended_domain_count ());
+  Printf.printf "%-8s %-6s %-9s %-10s %-10s %-10s %-10s %-8s\n" "domains"
+    "cache" "requests" "plans/s" "p50(ms)" "p95(ms)" "p99(ms)" "hits";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8d %-6s %-9d %-10.1f %-10.3f %-10.3f %-10.3f %-8s\n"
+        r.sv_domains
+        (if r.sv_cache then "on" else "off")
+        r.sv_requests r.sv_throughput (1e3 *. r.sv_p50) (1e3 *. r.sv_p95)
+        (1e3 *. r.sv_p99)
+        (match r.sv_hit_rate with
+        | None -> "-"
+        | Some h -> Printf.sprintf "%.0f%%" (100. *. h)))
+    rows;
+  let cold, warm = service_hit_speedup ~quick () in
+  Printf.printf
+    "warm-hit vs cold-plan (matmul, min-duplicate): cold=%.3fms warm=%.3fms \
+     (%.0fx)\n"
+    (1e3 *. cold) (1e3 *. warm) (cold /. warm);
+  Printf.printf "identity vs sequential plan: %b\n%!" (service_identity_check ())
+
+let write_service_json ~quick ~file rows =
+  let cold, warm = service_hit_speedup ~quick () in
+  let row_json r =
+    Printf.sprintf
+      "    {\"domains\": %d, \"cache\": %b, \"requests\": %d, \"completed\": \
+       %d, \"elapsed_s\": %.6f, \"throughput_per_s\": %.1f, \"p50_s\": %.6f, \
+       \"p95_s\": %.6f, \"p99_s\": %.6f, \"cache_hit_rate\": %s}"
+      r.sv_domains r.sv_cache r.sv_requests r.sv_completed r.sv_elapsed
+      r.sv_throughput r.sv_p50 r.sv_p95 r.sv_p99
+      (match r.sv_hit_rate with
+      | None -> "null"
+      | Some h -> Printf.sprintf "%.4f" h)
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"planning-service\",\n\
+    \  \"domains_available\": %d,\n\
+    \  \"cold_plan_s\": %.6f,\n\
+    \  \"warm_hit_s\": %.6f,\n\
+    \  \"hit_speedup\": %.1f,\n\
+    \  \"identity_vs_sequential\": %b,\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    (Domain.recommended_domain_count ())
+    cold warm (cold /. warm) (service_identity_check ())
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 (* One Bechamel test per experiment: each measures the full pipeline that
    regenerates the corresponding artifact. *)
 let tests =
@@ -545,14 +728,23 @@ let probe () =
   run "matmul" (Strategy.partitioning_space Strategy.Duplicate);
   run "stencil3d" (fun _ -> diag3)
 
+let run_service ~quick =
+  let rows = service_rows ~quick () in
+  print_service_rows ~quick rows;
+  write_service_json ~quick ~file:"BENCH_service.json" rows
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let scale_only = Array.exists (String.equal "--scale") Sys.argv in
+  let service_only = Array.exists (String.equal "--service") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
     exit 0
   end;
-  if quick then begin
+  if service_only then
+    (* Service experiment only (E15), small sizes under --quick. *)
+    run_service ~quick
+  else if quick then begin
     (* Smoke mode for CI: only the scale-out rows, at small sizes. *)
     let rows = scale_rows ~quick:true () in
     print_scale_rows rows;
@@ -574,5 +766,6 @@ let () =
     let rows = scale_rows ~quick:false () in
     print_scale_rows rows;
     write_scale_json ~file:"BENCH_parexec.json" rows;
+    run_service ~quick:false;
     run_benchmarks ()
   end

@@ -32,16 +32,35 @@ let strategy_conv =
 let basis_conv =
   (* "1,1,0;-1,0,1" -> [ [|1;1;0|]; [|-1;0;1|] ] *)
   let parse s =
-    try
-      let rows = String.split_on_char ';' s in
-      Ok
-        (List.map
-           (fun row ->
+    match
+      String.split_on_char ';' s
+      |> List.map (fun row ->
              String.split_on_char ',' row
-             |> List.map (fun x -> int_of_string (String.trim x))
+             |> List.map (fun x ->
+                    let x = String.trim x in
+                    if x = "" then failwith "empty entry" else int_of_string x)
              |> Array.of_list)
-           rows)
-    with _ -> Error (`Msg (Printf.sprintf "bad basis %S" s))
+    with
+    | exception _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad basis %S: expected integer rows like \"1,1,0;-1,0,1\"" s))
+    | [] | [ [||] ] ->
+      Error (`Msg (Printf.sprintf "bad basis %S: no rows given" s))
+    | first :: rest as rows ->
+      let width = Array.length first in
+      (match
+         List.find_opt (fun r -> Array.length r <> width) rest
+       with
+      | Some bad ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad basis %S: ragged rows (row of length %d after a row of \
+                 length %d)"
+                s (Array.length bad) width))
+      | None -> Ok rows)
   in
   let print ppf rows =
     Format.fprintf ppf "%s"
@@ -376,6 +395,121 @@ let distribute_cmd =
   Cmd.v (Cmd.info "distribute" ~doc)
     Term.(const distribute_run $ logs_arg $ file_arg $ strategy_arg)
 
+(* batch *)
+
+module Service = Cf_service.Service
+
+let batch_run level dir domains queue_depth cache_capacity no_cache timeout =
+  setup_logs level;
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Format.eprintf "error: %s is not a directory@." dir;
+    1
+  end
+  else begin
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".loop")
+      |> List.sort String.compare
+    in
+    if files = [] then begin
+      Format.eprintf "error: no .loop files in %s@." dir;
+      1
+    end
+    else begin
+      (* Parse everything up front: a malformed file is reported (with
+         the parser's line/column diagnostic) and skipped, not fatal. *)
+      let parse_failures = ref 0 in
+      let nests =
+        List.concat_map
+          (fun f ->
+            let path = Filename.concat dir f in
+            match Cf_loop.Parse.program_of_file path with
+            | [ nest ] -> [ (f, nest) ]
+            | nests ->
+              List.mapi
+                (fun k nest -> (Printf.sprintf "%s#%d" f (k + 1), nest))
+                nests
+            | exception Cf_loop.Parse.Error msg ->
+              incr parse_failures;
+              Format.eprintf "%s: parse error: %s@." f msg;
+              [])
+          files
+      in
+      let svc =
+        Service.create ?domains
+          ?queue_depth
+          ~cache:(if no_cache then None else Some cache_capacity)
+          ()
+      in
+      let bad_outcomes = ref 0 in
+      List.iter
+        (fun strategy ->
+          Format.printf "@.== strategy %s ==@."
+            (Cf_core.Strategy.to_string strategy);
+          let outcomes =
+            Service.plan_many ~strategy ?timeout svc (List.map snd nests)
+          in
+          List.iter2
+            (fun (name, _) outcome ->
+              (match outcome with
+              | Service.Done c ->
+                Format.printf "%-24s %a  parallel=%d blocks=%d verified=%b@."
+                  name Service.pp_outcome outcome
+                  (Cf_pipeline.Pipeline.parallelism c.Service.plan)
+                  (Cf_pipeline.Pipeline.block_count c.Service.plan)
+                  (Cf_pipeline.Pipeline.verified c.Service.plan)
+              | _ ->
+                incr bad_outcomes;
+                Format.printf "%-24s %a@." name Service.pp_outcome outcome))
+            nests outcomes)
+        Cf_core.Strategy.all;
+      Service.drain svc;
+      Format.printf "@.%a@." Service.pp_stats (Service.stats svc);
+      Service.shutdown svc;
+      if !parse_failures > 0 || !bad_outcomes > 0 then 1 else 0
+    end
+  end
+
+let batch_cmd =
+  let doc =
+    "Plan every .loop file in a directory across all four strategies \
+     through the concurrent planning service (shared plan cache, worker \
+     domains, built-in metrics)."
+  in
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None
+         & info [] ~docv:"DIR" ~doc:"Directory of loop-nest DSL files.")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (default: the runtime's recommended \
+                   domain count).")
+  in
+  let queue_arg =
+    Arg.(value & opt (some int) None
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Submission-queue bound (default 64).")
+  in
+  let cache_capacity_arg =
+    Arg.(value & opt int 1024
+         & info [ "cache-capacity" ] ~docv:"N"
+             ~doc:"Plan-cache capacity in entries (default 1024).")
+  in
+  let no_cache_arg =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Disable the canonical-form plan cache.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request deadline; requests still queued when it \
+                   expires complete as timed out.")
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(const batch_run $ logs_arg $ dir_arg $ domains_arg $ queue_arg
+          $ cache_capacity_arg $ no_cache_arg $ timeout_arg)
+
 (* demo *)
 
 let demo_run level =
@@ -402,6 +536,7 @@ let main =
   let info = Cmd.info "cfalloc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ analyze_cmd; transform_cmd; simulate_cmd; figures_cmd; compare_cmd;
-      advise_cmd; allocate_cmd; cgen_cmd; distribute_cmd; demo_cmd ]
+      advise_cmd; allocate_cmd; cgen_cmd; distribute_cmd; batch_cmd;
+      demo_cmd ]
 
 let () = exit (Cmd.eval' main)

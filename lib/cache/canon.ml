@@ -1,0 +1,155 @@
+open Cf_loop
+
+type t = {
+  nest : Nest.t;
+  key : string;
+  digest : string;
+}
+
+let keep x = x
+let keep_label _ l = l
+
+let rename ?(index = keep) ?(array = keep) ?(scalar = keep)
+    ?(label = keep_label) (nest : Nest.t) =
+  let subst_affine e =
+    Affine.substitute (fun v -> Some (Affine.var (index v))) e
+  in
+  let rename_aref (r : Aref.t) =
+    Aref.make (array r.Aref.array)
+      (List.map subst_affine (Array.to_list r.Aref.subscripts))
+  in
+  let rec rename_expr = function
+    | Expr.Const _ as e -> e
+    | Expr.Scalar s -> Expr.Scalar (scalar s)
+    | Expr.Index v -> Expr.Index (index v)
+    | Expr.Read r -> Expr.Read (rename_aref r)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, rename_expr a, rename_expr b)
+  in
+  let levels =
+    List.map
+      (fun (l : Nest.level) ->
+        {
+          Nest.var = index l.Nest.var;
+          lower = subst_affine l.Nest.lower;
+          upper = subst_affine l.Nest.upper;
+        })
+      (Array.to_list nest.Nest.levels)
+  in
+  let body =
+    List.mapi
+      (fun k (s : Stmt.t) ->
+        Stmt.make
+          ~label:(label k s.Stmt.label)
+          (rename_aref s.Stmt.lhs) (rename_expr s.Stmt.rhs))
+      nest.Nest.body
+  in
+  let declarations =
+    List.map (fun (a, b) -> (array a, b)) nest.Nest.declarations
+  in
+  Nest.make ~declarations levels body
+
+let serialize (nest : Nest.t) =
+  let b = Buffer.create 256 in
+  (* Declarations sorted by array name: their order carries no meaning. *)
+  let decls =
+    List.sort
+      (fun (a, _) (a', _) -> String.compare a a')
+      nest.Nest.declarations
+  in
+  List.iter
+    (fun (a, ranges) ->
+      Buffer.add_string b
+        (Printf.sprintf "array %s[%s];" a
+           (String.concat ","
+              (Array.to_list
+                 (Array.map
+                    (fun (lo, hi) -> Printf.sprintf "%d:%d" lo hi)
+                    ranges)))))
+    decls;
+  Array.iter
+    (fun (l : Nest.level) ->
+      Buffer.add_string b
+        (Printf.sprintf "for %s=%s to %s;" l.Nest.var
+           (Affine.to_string l.Nest.lower)
+           (Affine.to_string l.Nest.upper)))
+    nest.Nest.levels;
+  let aref_str (r : Aref.t) =
+    Printf.sprintf "%s[%s]" r.Aref.array
+      (String.concat ","
+         (Array.to_list (Array.map Affine.to_string r.Aref.subscripts)))
+  in
+  (* "$"/"@" tag scalar vs index reads so the serialization stays
+     unambiguous whatever the identifiers look like. *)
+  let rec expr_str = function
+    | Expr.Const n -> string_of_int n
+    | Expr.Scalar v -> "$" ^ v
+    | Expr.Index v -> "@" ^ v
+    | Expr.Read r -> aref_str r
+    | Expr.Binop (op, x, y) ->
+      let o =
+        match op with
+        | Expr.Add -> "+"
+        | Expr.Sub -> "-"
+        | Expr.Mul -> "*"
+        | Expr.Div -> "/"
+      in
+      "(" ^ expr_str x ^ o ^ expr_str y ^ ")"
+  in
+  List.iter
+    (fun (s : Stmt.t) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s:%s:=%s;" s.Stmt.label (aref_str s.Stmt.lhs)
+           (expr_str s.Stmt.rhs)))
+    nest.Nest.body;
+  Buffer.contents b
+
+let canonicalize (nest : Nest.t) =
+  let index_map = Hashtbl.create 8 in
+  Array.iteri
+    (fun k v -> Hashtbl.replace index_map v (Printf.sprintf "x%d" (k + 1)))
+    (Nest.indices nest);
+  let arrays = Hashtbl.create 8 in
+  let note a =
+    if not (Hashtbl.mem arrays a) then
+      Hashtbl.replace arrays a
+        (Printf.sprintf "A%d" (Hashtbl.length arrays + 1))
+  in
+  (* First textual occurrence: per statement the write site, then the
+     reads left to right (the order [Stmt.reads] reports). *)
+  List.iter
+    (fun (s : Stmt.t) ->
+      note s.Stmt.lhs.Aref.array;
+      List.iter (fun (r : Aref.t) -> note r.Aref.array) (Stmt.reads s))
+    nest.Nest.body;
+  (* Declared-but-unreferenced arrays come last, in name order. *)
+  List.iter
+    (fun (a, _) -> note a)
+    (List.sort
+       (fun (a, _) (a', _) -> String.compare a a')
+       nest.Nest.declarations);
+  let scalars = Hashtbl.create 8 in
+  let note_scalar v =
+    if not (Hashtbl.mem scalars v) then
+      Hashtbl.replace scalars v
+        (Printf.sprintf "s%d" (Hashtbl.length scalars + 1))
+  in
+  let rec scan = function
+    | Expr.Const _ | Expr.Index _ | Expr.Read _ -> ()
+    | Expr.Scalar v -> note_scalar v
+    | Expr.Binop (_, a, b) ->
+      scan a;
+      scan b
+  in
+  List.iter (fun (s : Stmt.t) -> scan s.Stmt.rhs) nest.Nest.body;
+  let canonical =
+    rename
+      ~index:(Hashtbl.find index_map)
+      ~array:(Hashtbl.find arrays)
+      ~scalar:(Hashtbl.find scalars)
+      ~label:(fun k _ -> Printf.sprintf "S%d" (k + 1))
+      nest
+  in
+  let key = serialize canonical in
+  { nest = canonical; key; digest = Digest.to_hex (Digest.string key) }
+
+let digest nest = (canonicalize nest).digest

@@ -1,0 +1,46 @@
+(** Canonical forms of loop nests, for memoizing compile-time plans.
+
+    Two nests that differ only in the names of index variables, arrays,
+    free scalars or statement labels describe the same planning problem:
+    every quantity the planner computes (dependence vectors, partitioning
+    spaces, block structure, transformed-loop bounds) is positional.  The
+    canonicalizer maps a nest to a deterministic normal form — indices
+    renamed [x1..xn] by level, arrays [A1..] by first textual occurrence,
+    scalars [s1..] likewise, statements labeled [S1..] by position — so
+    structurally identical nests collide on one cache key.
+
+    [key] is the full canonical serialization (collision-proof equality
+    witness); [digest] is its MD5 hex, the compact cache key. *)
+
+type t = {
+  nest : Cf_loop.Nest.t;  (** the canonical nest *)
+  key : string;           (** complete structural serialization *)
+  digest : string;        (** MD5 hex of [key] *)
+}
+
+val canonicalize : Cf_loop.Nest.t -> t
+(** Idempotent: canonicalizing a canonical nest returns it unchanged (up
+    to physical identity). *)
+
+val digest : Cf_loop.Nest.t -> string
+(** [digest nest = (canonicalize nest).digest]. *)
+
+val rename :
+  ?index:(string -> string) ->
+  ?array:(string -> string) ->
+  ?scalar:(string -> string) ->
+  ?label:(int -> string -> string) ->
+  Cf_loop.Nest.t ->
+  Cf_loop.Nest.t
+(** Rebuild a nest with renamed identifiers.  [index], [array] and
+    [scalar] receive the old name; [label] receives the statement's
+    0-based position and old label.  The renamings must be injective on
+    the names present and must keep index names distinct from each other;
+    the result is re-validated by {!Cf_loop.Nest.make}.  Used by
+    {!canonicalize} and by tests that exercise cache hits across
+    renamed-but-identical nests. *)
+
+val serialize : Cf_loop.Nest.t -> string
+(** The structural serialization used for [key] — deterministic for a
+    fixed nest, covering declarations, bounds, statement labels and full
+    right-hand-side expression trees. *)

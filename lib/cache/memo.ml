@@ -1,0 +1,142 @@
+(* Hashtbl + intrusive doubly-linked recency list, all under one mutex.
+   [head] is the most recently used node, [tail] the eviction victim. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  cap : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity must be >= 1";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* List surgery; call only with the lock held. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+        t.hits <- t.hits + 1;
+        touch t n;
+        Some n.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.tbl n.key;
+    t.evictions <- t.evictions + 1
+
+let add t k v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | Some n ->
+        n.value <- v;
+        touch t n
+      | None ->
+        if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+        let n = { key = k; value = v; prev = None; next = None } in
+        Hashtbl.replace t.tbl k n;
+        push_front t n)
+
+let remove t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl k with
+      | None -> ()
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl k)
+
+let find_or_compute t k f =
+  match find t k with
+  | Some v -> (v, true)
+  | None ->
+    let v = f () in
+    add t k v;
+    (v, false)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.tbl;
+        capacity = t.cap;
+      })
+
+let hit_rate s =
+  let probes = s.hits + s.misses in
+  if probes = 0 then 0. else float_of_int s.hits /. float_of_int probes
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "hits %d, misses %d, evictions %d, size %d/%d (hit rate %.1f%%)" s.hits
+    s.misses s.evictions s.size s.capacity
+    (100. *. hit_rate s)

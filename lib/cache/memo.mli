@@ -1,0 +1,53 @@
+(** Size-bounded, domain-safe memo cache with LRU eviction.
+
+    A mutex guards every operation, so a cache may be shared freely
+    between the domains of a worker pool.  Lookups move the entry to the
+    most-recently-used position; inserting into a full cache evicts the
+    least-recently-used entry.  Hit, miss and eviction counts are kept
+    for the service's stats snapshot.
+
+    The compute path of {!find_or_compute} deliberately runs {e outside}
+    the lock: planning is orders of magnitude more expensive than a
+    cache probe, and serializing it would defeat the worker pool.  Two
+    domains racing on the same absent key may both compute; the second
+    insert simply refreshes the entry (both computed values are
+    equivalent for the deterministic planners cached here). *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> unit -> ('k, 'v) t
+(** [capacity] defaults to 1024 entries; it must be at least 1. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Counts a hit or a miss, and refreshes recency on hit. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite, at most-recently-used position.  Evicts the LRU
+    entry when inserting a fresh key into a full cache. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Drop an entry if present (not counted as an eviction). *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v * bool
+(** [find_or_compute t k f] returns [(v, true)] on a hit and
+    [(f (), false)] on a miss, inserting the computed value. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries.  Counters are preserved. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : ('k, 'v) t -> stats
+val hit_rate : stats -> float
+(** Hits over probes, 0 when nothing was probed. *)
+
+val pp_stats : Format.formatter -> stats -> unit

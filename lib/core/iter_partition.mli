@@ -22,6 +22,13 @@ val make : Cf_loop.Nest.t -> Subspace.t -> t
 (** Raises [Invalid_argument] when [Ψ]'s ambient dimension differs from
     the nest depth. *)
 
+val relabel : t -> Cf_loop.Nest.t -> t
+(** [relabel t nest] is [t] with the embedded nest replaced — for
+    returning a memoized partition under the caller's identifier names.
+    [nest] must be the same nest modulo renaming (the numeric blocks are
+    reused untouched); only the depth is checked.  Raises
+    [Invalid_argument] on a depth mismatch. *)
+
 val nest : t -> Cf_loop.Nest.t
 val space : t -> Subspace.t
 val blocks : t -> block array

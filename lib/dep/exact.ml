@@ -137,6 +137,36 @@ let redundant_computations r =
   done;
   !acc
 
+let relabel (r : result) (nest : Nest.t) =
+  let new_sites = stmt_sites nest in
+  let old_sites = stmt_sites r.nest in
+  if Array.length new_sites <> Array.length old_sites then
+    invalid_arg "Exact.relabel: statement count mismatch";
+  Array.iteri
+    (fun si (reads, _) ->
+      let reads', _ = new_sites.(si) in
+      if List.length reads <> List.length reads' then
+        invalid_arg "Exact.relabel: read-site count mismatch")
+    old_sites;
+  (* Sites are identified positionally: site_index 0 is the write, k >= 1
+     the k-th read.  Element keys are re-derived from the renamed sites
+     (every event of an element references the element's array). *)
+  let site_of (s : Nest.ref_site) =
+    let reads, write = new_sites.(s.Nest.stmt_index) in
+    if s.Nest.site_index = 0 then write
+    else List.nth reads (s.Nest.site_index - 1)
+  in
+  let elements = Hashtbl.create (Hashtbl.length r.elements) in
+  Hashtbl.iter
+    (fun (_, coords) evs ->
+      let evs = Array.map (fun e -> { e with site = site_of e.site }) evs in
+      if Array.length evs > 0 then
+        Hashtbl.replace elements
+          (evs.(0).site.Nest.aref.Aref.array, coords)
+          evs)
+    r.elements;
+  { r with nest; elements }
+
 let is_redundant r ~stmt_index iter =
   let found = ref false in
   Array.iteri

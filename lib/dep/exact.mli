@@ -33,6 +33,16 @@ val analyze : ?max_events:int -> Nest.t -> result
 
 val nest : result -> Nest.t
 
+val relabel : result -> Nest.t -> result
+(** [relabel r nest] re-expresses a memoized analysis under the caller's
+    identifier names: [nest] must be [nest r] modulo renaming of
+    indices, arrays, scalars and labels (same shape position by
+    position).  Reference sites are re-pointed at [nest]'s statements
+    and element timelines re-keyed by the renamed array names; all
+    numeric content (computations, redundancy marks, iteration vectors)
+    is shared untouched.  Raises [Invalid_argument] when the statement
+    or read-site counts disagree. *)
+
 val redundant_computations : result -> computation list
 (** In execution order. *)
 

@@ -50,14 +50,22 @@ let tokenize src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let push t = tokens := (t, !line) :: !tokens in
+  let line_start = ref 0 in
   let i = ref 0 in
-  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  (* Columns are 1-based and refer to the first character of the token. *)
+  let col_at k = k - !line_start + 1 in
+  let push t = tokens := (t, !line, col_at !i) :: !tokens in
+  let fail msg =
+    raise
+      (Error
+         (Printf.sprintf "line %d, column %d: %s" !line (col_at !i) msg))
+  in
   while !i < n do
     let c = src.[!i] in
     if c = '\n' then begin
       incr line;
-      incr i
+      incr i;
+      line_start := !i
     end
     else if c = ' ' || c = '\t' || c = '\r' then incr i
     else if c = '#' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
@@ -110,20 +118,33 @@ let tokenize src =
   push Teof;
   Array.of_list (List.rev !tokens)
 
-type state = { tokens : (token * int) array; mutable pos : int }
+type state = { tokens : (token * int * int) array; mutable pos : int }
 
-let peek st = fst st.tokens.(st.pos)
+let peek st =
+  let t, _, _ = st.tokens.(st.pos) in
+  t
+
 let peek2 st =
-  if st.pos + 1 < Array.length st.tokens then fst st.tokens.(st.pos + 1)
+  if st.pos + 1 < Array.length st.tokens then
+    let t, _, _ = st.tokens.(st.pos + 1) in
+    t
   else Teof
 
-let line_of st = snd st.tokens.(st.pos)
+let line_of st =
+  let _, line, _ = st.tokens.(st.pos) in
+  line
+
+let col_of st =
+  let _, _, col = st.tokens.(st.pos) in
+  col
+
 let advance st = st.pos <- st.pos + 1
 
 let fail st msg =
   raise
     (Error
-       (Printf.sprintf "line %d: %s (at %S)" (line_of st) msg
+       (Printf.sprintf "line %d, column %d: %s (at %S)" (line_of st)
+          (col_of st) msg
           (token_to_string (peek st))))
 
 let expect st t =

@@ -16,7 +16,9 @@
     scalars when read and array names when subscripted. *)
 
 exception Error of string
-(** Parse failure with a message including the line number. *)
+(** Parse failure with a message including the 1-based line number and
+    column of the offending token, e.g.
+    ["line 2, column 9: expected expression (at \";\")"]. *)
 
 val nest : string -> Nest.t
 (** [nest src] parses a full loop nest.  Raises {!Error} on bad syntax

@@ -29,6 +29,16 @@ let plan ?(strategy = Strategy.Nonduplicate) ?basis ?search_radius nest =
   let parloop = Cf_transform.Transformer.transform ?basis nest space in
   { nest; strategy; exact; space; partition; parloop }
 
+let relabel t nest =
+  {
+    nest;
+    strategy = t.strategy;
+    exact = Option.map (fun e -> Cf_dep.Exact.relabel e nest) t.exact;
+    space = t.space;
+    partition = Iter_partition.relabel t.partition nest;
+    parloop = Cf_transform.Parloop.relabel t.parloop ~source:nest;
+  }
+
 let parallelism t = Strategy.parallelism_degree t.space
 let block_count t = Iter_partition.block_count t.partition
 

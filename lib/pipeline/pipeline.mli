@@ -30,6 +30,16 @@ val plan :
     [Ker(Ψ)] basis used for new loop variables (see
     {!Cf_transform.Transformer.transform}). *)
 
+val relabel : t -> Cf_loop.Nest.t -> t
+(** [relabel t nest] re-expresses a plan under the caller's identifier
+    names: [nest] must be [t.nest] modulo renaming of indices, arrays,
+    scalars and statement labels (the canonical-form condition of
+    {!Cf_cache.Canon}).  Every numeric component — partitioning space,
+    blocks, transform matrices, loop bounds — is shared untouched; only
+    embedded nests, reference sites and display names change.  This is
+    how a memoized plan computed on the canonical nest is returned to a
+    caller that submitted a renamed-but-identical nest. *)
+
 val parallelism : t -> int
 (** Number of forall dimensions ([n − dim Ψ]). *)
 

@@ -1,0 +1,33 @@
+(** Latency histograms with logarithmic buckets.
+
+    Values (seconds) are recorded into buckets spaced 10 per decade from
+    100 ns to 1000 s, giving ~26% worst-case quantile resolution — ample
+    for p50/p95/p99 service dashboards.  Exact count, sum, min and max
+    are tracked alongside.  Not synchronized: callers serialize access
+    (the service records under its own lock). *)
+
+type t
+
+val create : unit -> t
+val record : t -> float -> unit
+val count : t -> int
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]: the geometric midpoint of the
+    bucket holding the [q]-th ordered sample, clamped to the observed
+    min/max.  0 when empty. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : t -> summary
+(** All fields 0 when nothing was recorded. *)
+
+val pp_summary : Format.formatter -> summary -> unit

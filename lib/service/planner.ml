@@ -1,0 +1,33 @@
+open Cf_cache
+
+type entry = {
+  canonical_key : string;  (** collision witness: full serialization *)
+  plan : Cf_pipeline.Pipeline.t;  (** computed on the canonical nest *)
+}
+
+type t = { memo : (string, entry) Memo.t }
+
+let create ?(capacity = 1024) () = { memo = Memo.create ~capacity () }
+
+let memo_key (c : Canon.t) strategy search_radius =
+  Printf.sprintf "%s/%s/%s" c.Canon.digest
+    (Cf_core.Strategy.to_string strategy)
+    (match search_radius with None -> "-" | Some r -> string_of_int r)
+
+let plan ?(strategy = Cf_core.Strategy.Nonduplicate) ?search_radius t nest =
+  let c = Canon.canonicalize nest in
+  let key = memo_key c strategy search_radius in
+  match Memo.find t.memo key with
+  | Some e when String.equal e.canonical_key c.Canon.key ->
+    (Cf_pipeline.Pipeline.relabel e.plan nest, true)
+  | _ ->
+    (* Miss, or a digest collision (then the entry is overwritten).  The
+       plan is computed on the canonical nest so the cached value is
+       caller-independent; the caller's copy is relabeled either way,
+       keeping hit and miss answers bit-identical. *)
+    let p = Cf_pipeline.Pipeline.plan ~strategy ?search_radius c.Canon.nest in
+    Memo.add t.memo key { canonical_key = c.Canon.key; plan = p };
+    (Cf_pipeline.Pipeline.relabel p nest, false)
+
+let stats t = Memo.stats t.memo
+let clear t = Memo.clear t.memo

@@ -1,0 +1,292 @@
+type completion = {
+  plan : Cf_pipeline.Pipeline.t;
+  cache_hit : bool;
+  latency : float;
+}
+
+type outcome =
+  | Done of completion
+  | Failed of string
+  | Rejected
+  | Timed_out
+
+let pp_outcome ppf = function
+  | Done c ->
+    Format.fprintf ppf "done%s in %.3fms"
+      (if c.cache_hit then " (cache hit)" else "")
+      (1e3 *. c.latency)
+  | Failed msg -> Format.fprintf ppf "failed: %s" msg
+  | Rejected -> Format.fprintf ppf "rejected"
+  | Timed_out -> Format.fprintf ppf "timed out"
+
+(* A write-once cell the submitting thread blocks on. *)
+type ticket = {
+  cm : Mutex.t;
+  cc : Condition.t;
+  mutable resolved : outcome option;
+}
+
+type job = {
+  nest : Cf_loop.Nest.t;
+  strategy : Cf_core.Strategy.t;
+  search_radius : int option;
+  deadline : float option;  (** absolute, [Unix.gettimeofday] scale *)
+  submitted_at : float;
+  ticket : ticket;
+}
+
+type t = {
+  planner : Planner.t option;
+  queue : job Queue.t;
+  capacity : int;
+  ndomains : int;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  idle : Condition.t;
+  mutable closed : bool;
+  mutable in_flight : int;
+  mutable queue_hwm : int;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable rejected : int;
+  mutable timed_out : int;
+  mutable failed : int;
+  hist : Histogram.t;
+  created : float;
+  mutable workers : unit Domain.t array;
+}
+
+let fresh_ticket () =
+  { cm = Mutex.create (); cc = Condition.create (); resolved = None }
+
+let resolve ticket outcome =
+  Mutex.lock ticket.cm;
+  ticket.resolved <- Some outcome;
+  Condition.broadcast ticket.cc;
+  Mutex.unlock ticket.cm
+
+let await ticket =
+  Mutex.lock ticket.cm;
+  while ticket.resolved = None do
+    Condition.wait ticket.cc ticket.cm
+  done;
+  let o = Option.get ticket.resolved in
+  Mutex.unlock ticket.cm;
+  o
+
+let run_job t job =
+  let now = Unix.gettimeofday () in
+  match job.deadline with
+  | Some d when now >= d -> Timed_out
+  | _ -> (
+    try
+      let plan, cache_hit =
+        match t.planner with
+        | Some p ->
+          Planner.plan ~strategy:job.strategy ?search_radius:job.search_radius
+            p job.nest
+        | None ->
+          ( Cf_pipeline.Pipeline.plan ~strategy:job.strategy
+              ?search_radius:job.search_radius job.nest,
+            false )
+      in
+      Done
+        { plan; cache_hit; latency = Unix.gettimeofday () -. job.submitted_at }
+    with e -> Failed (Printexc.to_string e))
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.not_empty t.lock
+  done;
+  if Queue.is_empty t.queue then
+    (* Closed and fully drained: this worker is done. *)
+    Mutex.unlock t.lock
+  else begin
+    let job = Queue.pop t.queue in
+    t.in_flight <- t.in_flight + 1;
+    Condition.signal t.not_full;
+    Mutex.unlock t.lock;
+    let outcome = run_job t job in
+    (* Bookkeep before resolving the ticket, so a caller that observed
+       the outcome via [await] also sees it reflected in [stats]. *)
+    Mutex.lock t.lock;
+    t.in_flight <- t.in_flight - 1;
+    (match outcome with
+    | Done c ->
+      t.completed <- t.completed + 1;
+      Histogram.record t.hist c.latency
+    | Timed_out -> t.timed_out <- t.timed_out + 1
+    | Failed _ -> t.failed <- t.failed + 1
+    | Rejected -> ());
+    if Queue.is_empty t.queue && t.in_flight = 0 then
+      Condition.broadcast t.idle;
+    Mutex.unlock t.lock;
+    resolve job.ticket outcome;
+    worker_loop t
+  end
+
+let create ?domains ?(queue_depth = 64) ?(cache = Some 1024) () =
+  if queue_depth < 1 then
+    invalid_arg "Service.create: queue_depth must be >= 1";
+  let ndomains =
+    match domains with
+    | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
+    | Some d when d >= 1 -> min 64 d
+    | Some _ -> invalid_arg "Service.create: domains must be >= 1"
+  in
+  let planner =
+    match cache with
+    | None -> None
+    | Some capacity -> Some (Planner.create ~capacity ())
+  in
+  let t =
+    {
+      planner;
+      queue = Queue.create ();
+      capacity = queue_depth;
+      ndomains;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      idle = Condition.create ();
+      closed = false;
+      in_flight = 0;
+      queue_hwm = 0;
+      submitted = 0;
+      completed = 0;
+      rejected = 0;
+      timed_out = 0;
+      failed = 0;
+      hist = Histogram.create ();
+      created = Unix.gettimeofday ();
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init ndomains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let enqueue ~block ?(strategy = Cf_core.Strategy.Nonduplicate) ?search_radius
+    ?timeout t nest =
+  let now = Unix.gettimeofday () in
+  let ticket = fresh_ticket () in
+  let job =
+    {
+      nest;
+      strategy;
+      search_radius;
+      deadline = Option.map (fun s -> now +. s) timeout;
+      submitted_at = now;
+      ticket;
+    }
+  in
+  Mutex.lock t.lock;
+  let accepted =
+    if t.closed then false
+    else if Queue.length t.queue < t.capacity then true
+    else if not block then false
+    else begin
+      while Queue.length t.queue >= t.capacity && not t.closed do
+        Condition.wait t.not_full t.lock
+      done;
+      not t.closed
+    end
+  in
+  if accepted then begin
+    t.submitted <- t.submitted + 1;
+    Queue.push job t.queue;
+    let depth = Queue.length t.queue in
+    if depth > t.queue_hwm then t.queue_hwm <- depth;
+    Condition.signal t.not_empty
+  end
+  else t.rejected <- t.rejected + 1;
+  Mutex.unlock t.lock;
+  if not accepted then resolve ticket Rejected;
+  ticket
+
+let submit ?strategy ?search_radius ?timeout t nest =
+  enqueue ~block:false ?strategy ?search_radius ?timeout t nest
+
+let plan_one ?strategy ?search_radius ?timeout t nest =
+  await (submit ?strategy ?search_radius ?timeout t nest)
+
+let plan_many ?strategy ?search_radius ?timeout t nests =
+  List.map await
+    (List.map
+       (fun nest -> enqueue ~block:true ?strategy ?search_radius ?timeout t nest)
+       nests)
+
+let drain t =
+  Mutex.lock t.lock;
+  while not (Queue.is_empty t.queue && t.in_flight = 0) do
+    Condition.wait t.idle t.lock
+  done;
+  Mutex.unlock t.lock
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.lock;
+  let workers = t.workers in
+  t.workers <- [||];
+  Array.iter Domain.join workers
+
+type stats = {
+  domains : int;
+  submitted : int;
+  completed : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  queue_depth : int;
+  in_flight : int;
+  queue_hwm : int;
+  uptime : float;
+  throughput : float;
+  latency : Histogram.summary;
+  cache : Cf_cache.Memo.stats option;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let uptime = Unix.gettimeofday () -. t.created in
+  let s =
+    {
+      domains = t.ndomains;
+      submitted = t.submitted;
+      completed = t.completed;
+      rejected = t.rejected;
+      timed_out = t.timed_out;
+      failed = t.failed;
+      queue_depth = Queue.length t.queue;
+      in_flight = t.in_flight;
+      queue_hwm = t.queue_hwm;
+      uptime;
+      throughput =
+        (if uptime > 0. then float_of_int t.completed /. uptime else 0.);
+      latency = Histogram.summarize t.hist;
+      cache = Option.map Planner.stats t.planner;
+    }
+  in
+  Mutex.unlock t.lock;
+  s
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>domains: %d@,\
+     requests: %d submitted, %d completed, %d rejected, %d timed out, %d \
+     failed@,\
+     queue: depth %d (hwm %d), in flight %d@,\
+     throughput: %.1f plans/s over %.2fs@,\
+     latency: %a@,\
+     cache: %a@]"
+    s.domains s.submitted s.completed s.rejected s.timed_out s.failed
+    s.queue_depth s.queue_hwm s.in_flight s.throughput s.uptime
+    Histogram.pp_summary s.latency
+    (fun ppf -> function
+      | None -> Format.fprintf ppf "off"
+      | Some c -> Cf_cache.Memo.pp_stats ppf c)
+    s.cache

@@ -1,0 +1,106 @@
+(** Concurrent batch-allocation service: a worker pool of OCaml domains
+    turning loop nests into communication-free plans.
+
+    Requests enter a bounded submission queue (backpressure: a full
+    queue rejects — {!submit} returns an already-resolved {!Rejected}
+    ticket — while {!plan_many} blocks for space instead).  Worker
+    domains pop requests, honor per-request deadlines (a request whose
+    deadline passed before a worker reached it completes as
+    {!Timed_out}), and plan through a shared {!Planner} cache, so
+    structurally identical nests are planned once and re-labeled per
+    caller.  Planning is deterministic, so every answer is identical to
+    a direct sequential {!Cf_pipeline.Pipeline.plan} of the same request
+    regardless of concurrency.
+
+    Lifecycle: {!create} spawns the domains; {!drain} waits for quiet;
+    {!shutdown} closes the queue, lets the workers finish what is
+    already queued, and joins them ({!submit} afterwards returns
+    {!Rejected}).  {!stats} snapshots throughput, a latency histogram
+    (p50/p95/p99 of completed requests, submission to completion), cache
+    counters and the queue-depth high-water mark. *)
+
+type t
+
+type completion = {
+  plan : Cf_pipeline.Pipeline.t;
+  cache_hit : bool;
+  latency : float;  (** submission → completion, seconds *)
+}
+
+type outcome =
+  | Done of completion
+  | Failed of string  (** the planner raised (e.g. non-affine nest) *)
+  | Rejected  (** queue full at submission, or service shut down *)
+  | Timed_out  (** deadline expired before a worker started the request *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type ticket
+(** A pending request; {!await} blocks until its outcome is known. *)
+
+val create : ?domains:int -> ?queue_depth:int -> ?cache:int option -> unit -> t
+(** [domains] worker domains (default
+    [Domain.recommended_domain_count ()], min 1, capped at 64);
+    [queue_depth] bounds the submission queue (default 64, min 1);
+    [cache] is the plan-cache capacity — [Some n] entries (default
+    [Some 1024]), [None] disables caching entirely. *)
+
+val submit :
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  ?timeout:float ->
+  t ->
+  Cf_loop.Nest.t ->
+  ticket
+(** Non-blocking: a full (or closed) queue yields a ticket already
+    resolved to {!Rejected}.  [timeout] is a relative deadline in
+    seconds ([<= 0] means already expired). *)
+
+val await : ticket -> outcome
+
+val plan_one :
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  ?timeout:float ->
+  t ->
+  Cf_loop.Nest.t ->
+  outcome
+(** [submit] + [await]. *)
+
+val plan_many :
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  ?timeout:float ->
+  t ->
+  Cf_loop.Nest.t list ->
+  outcome list
+(** Batch submission: enqueues every nest — blocking for queue space
+    rather than rejecting, so arbitrarily large batches flow through the
+    bounded queue — then awaits all outcomes, in input order.  Nests
+    enqueued after {!shutdown} closes the queue come back {!Rejected}. *)
+
+val drain : t -> unit
+(** Block until the queue is empty and no request is in flight. *)
+
+val shutdown : t -> unit
+(** Close the queue, finish already-accepted work, join the worker
+    domains.  Idempotent. *)
+
+type stats = {
+  domains : int;
+  submitted : int;
+  completed : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  queue_depth : int;  (** current *)
+  in_flight : int;  (** currently being planned *)
+  queue_hwm : int;  (** queue-depth high-water mark *)
+  uptime : float;  (** seconds since {!create} *)
+  throughput : float;  (** completed requests per second of uptime *)
+  latency : Histogram.summary;  (** completed requests only *)
+  cache : Cf_cache.Memo.stats option;  (** [None] when cache disabled *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -24,6 +24,32 @@ type t = {
 let depth t = Array.length t.levels
 let names t = Array.map (fun l -> l.name) t.levels
 
+let relabel t ~source =
+  if Nest.depth source <> Nest.depth t.source then
+    invalid_arg "Parloop.relabel: nest depth mismatch";
+  let old_idx = Nest.indices t.source and new_idx = Nest.indices source in
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun k v -> Hashtbl.replace pos v k) old_idx;
+  (* Level names are either an original index (sequential levels) or an
+     original index with a prime suffix (forall levels); map them through
+     the positional index correspondence. *)
+  let map_name name =
+    match Hashtbl.find_opt pos name with
+    | Some k -> new_idx.(k)
+    | None ->
+      let n = String.length name in
+      if n > 0 && name.[n - 1] = '\'' then
+        match Hashtbl.find_opt pos (String.sub name 0 (n - 1)) with
+        | Some k -> new_idx.(k) ^ "'"
+        | None -> name
+      else name
+  in
+  {
+    t with
+    source;
+    levels = Array.map (fun l -> { l with name = map_name l.name }) t.levels;
+  }
+
 let needs_guards t =
   not (Array.for_all Vec.is_integer t.inverse)
 

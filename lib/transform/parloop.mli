@@ -44,6 +44,16 @@ type t = {
 
 val depth : t -> int
 val names : t -> string array
+
+val relabel : t -> source:Cf_loop.Nest.t -> t
+(** [relabel t ~source] swaps the embedded source nest and renames the
+    new loop variables through the positional index correspondence (the
+    transformer derives forall names from original indices by priming,
+    sequential names verbatim).  [source] must be [t.source] modulo
+    renaming; the numeric transform (bounds, matrices, extended
+    statements) is shared untouched.  Raises [Invalid_argument] on a
+    depth mismatch. *)
+
 val needs_guards : t -> bool
 (** True when [inverse] has non-integer entries. *)
 

@@ -41,12 +41,12 @@ let contains hay needle =
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
-let expect_ok name args needles =
+let expect_ok ?(expected_status = 0) name args needles =
   Alcotest.test_case name `Slow (fun () ->
       match run_cli args with
       | None -> () (* binary not built in this context *)
       | Some (status, out) ->
-        check_int (name ^ " exit code") 0 status;
+        check_int (name ^ " exit code") expected_status status;
         List.iter
           (fun needle ->
             check_bool
@@ -103,6 +103,48 @@ let cases =
         | Some (status, out) ->
           check_int "nonzero exit" 1 status;
           check_bool "parse error message" true (contains out "parse error"));
+    Alcotest.test_case "parse errors carry line and column" `Slow (fun () ->
+        match run_cli [ "analyze"; loop "reduction.loop" ] with
+        | None -> ()
+        | Some (status, out) ->
+          check_int "nonzero exit" 1 status;
+          check_bool "line/column diagnostic" true
+            (contains out "parse error: line 5, column 3"));
+    Alcotest.test_case "basis rejects ragged rows" `Slow (fun () ->
+        match
+          run_cli [ "transform"; loop "l1.loop"; "--basis"; "1,1;2" ]
+        with
+        | None -> ()
+        | Some (status, out) ->
+          check_bool "nonzero exit" true (status <> 0);
+          check_bool "mentions ragged" true (contains out "ragged"));
+    Alcotest.test_case "basis rejects empty input" `Slow (fun () ->
+        match
+          run_cli [ "transform"; loop "l1.loop"; "--basis"; "" ]
+        with
+        | None -> ()
+        | Some (status, out) ->
+          check_bool "nonzero exit" true (status <> 0);
+          check_bool "clear message" true (contains out "bad basis"));
+    expect_ok "batch over the example directory"
+      ~expected_status:1 (* reduction.loop is imperfect: reported, skipped *)
+      [ "batch";
+        Filename.concat root "examples/loops";
+        "--domains"; "2" ]
+      [ "reduction.loop: parse error: line 5, column 3";
+        "== strategy nonduplicate ==";
+        "== strategy min-duplicate ==";
+        "l1.loop";
+        "parallel=1";
+        "verified=true";
+        "requests: 32 submitted, 32 completed";
+        "cache: hits" ];
+    expect_ok "batch without cache"
+      ~expected_status:1
+      [ "batch";
+        Filename.concat root "examples/loops";
+        "--no-cache"; "--domains"; "1"; "--queue"; "4" ]
+      [ "cache: off" ];
   ]
 
 let suites = [ ("cli", cases) ]

@@ -21,4 +21,6 @@ let () =
          Test_cli.suites;
          Test_misc.suites;
          Test_frontend.suites;
+         Test_cache.suites;
+         Test_service.suites;
        ])

@@ -1,0 +1,244 @@
+(* Worker-pool tests: deterministic answers under concurrency,
+   backpressure rejection, timeout paths, and lifecycle. *)
+
+open Testutil
+open Cf_service
+
+let describe plan = Format.asprintf "%a" Cf_pipeline.Pipeline.describe plan
+
+(* A workload mixing all paper loops across all strategies. *)
+let workload =
+  List.concat_map
+    (fun strategy ->
+      List.map (fun (name, nest) -> (name, strategy, nest)) all_paper_loops)
+    Cf_core.Strategy.all
+
+let deterministic_cases =
+  [
+    Alcotest.test_case "4-domain answers equal sequential plan" `Quick
+      (fun () ->
+        (* Queue sized to the workload: submit is non-blocking, and on a
+           single-CPU box the workers may not drain ahead of submission. *)
+        let svc =
+          Service.create ~domains:4 ~queue_depth:(List.length workload) ()
+        in
+        let tickets =
+          List.map
+            (fun (name, strategy, nest) ->
+              (name, strategy, nest, Service.submit ~strategy svc nest))
+            workload
+        in
+        List.iter
+          (fun (name, strategy, nest, ticket) ->
+            let tag =
+              Printf.sprintf "%s/%s" name (Cf_core.Strategy.to_string strategy)
+            in
+            match Service.await ticket with
+            | Service.Done c ->
+              check_string tag
+                (describe (Cf_pipeline.Pipeline.plan ~strategy nest))
+                (describe c.Service.plan)
+            | o ->
+              Alcotest.failf "%s: unexpected outcome %a" tag
+                Service.pp_outcome o)
+          tickets;
+        let s = Service.stats svc in
+        check_int "all completed" (List.length workload) s.Service.completed;
+        check_int "none rejected" 0 s.Service.rejected;
+        check_int "none failed" 0 s.Service.failed;
+        Service.shutdown svc);
+    Alcotest.test_case "plan_many keeps input order and hits cache" `Quick
+      (fun () ->
+        let svc = Service.create ~domains:2 ~queue_depth:2 () in
+        (* Batch bigger than the queue: plan_many must block for space
+           rather than reject. *)
+        let nests =
+          List.concat (List.init 4 (fun _ -> List.map snd all_paper_loops))
+        in
+        let outcomes = Service.plan_many svc nests in
+        check_int "one outcome per nest" (List.length nests)
+          (List.length outcomes);
+        List.iter2
+          (fun nest outcome ->
+            match outcome with
+            | Service.Done c ->
+              check_string "matches sequential"
+                (describe (Cf_pipeline.Pipeline.plan nest))
+                (describe c.Service.plan)
+            | o ->
+              Alcotest.failf "unexpected outcome %a" Service.pp_outcome o)
+          nests outcomes;
+        let s = Service.stats svc in
+        (match s.Service.cache with
+        | None -> Alcotest.fail "cache expected on"
+        | Some c ->
+          check_bool "repeats were cache hits" true
+            (c.Cf_cache.Memo.hits >= 3 * List.length all_paper_loops));
+        Service.shutdown svc);
+    Alcotest.test_case "cache off still answers correctly" `Quick (fun () ->
+        let svc = Service.create ~domains:2 ~cache:None () in
+        (match Service.plan_one svc l1 with
+        | Service.Done c ->
+          check_bool "no hit possible" false c.Service.cache_hit;
+          check_string "matches sequential"
+            (describe (Cf_pipeline.Pipeline.plan l1))
+            (describe c.Service.plan)
+        | o -> Alcotest.failf "unexpected outcome %a" Service.pp_outcome o);
+        check_bool "no cache stats" true
+          ((Service.stats svc).Service.cache = None);
+        Service.shutdown svc);
+  ]
+
+(* Occupy every worker with slow requests (exact analysis of a larger
+   matmul), so queue/deadline behavior is observable deterministically. *)
+let slow_nest = Cf_exec.Matmul.nest ~m:6
+let slow_strategy = Cf_core.Strategy.Min_duplicate
+
+let wait_until ?(attempts = 2000) pred =
+  let rec go n =
+    if pred () then true
+    else if n = 0 then false
+    else begin
+      Unix.sleepf 0.001;
+      go (n - 1)
+    end
+  in
+  go attempts
+
+let pressure_cases =
+  [
+    Alcotest.test_case "full queue rejects, draining accepts again" `Quick
+      (fun () ->
+        let svc =
+          Service.create ~domains:1 ~queue_depth:1 ~cache:None ()
+        in
+        let busy = Service.submit ~strategy:slow_strategy svc slow_nest in
+        check_bool "worker picked up the slow job" true
+          (wait_until (fun () -> (Service.stats svc).Service.in_flight = 1));
+        let queued = Service.submit svc l1 in
+        let overflow = Service.submit svc l2 in
+        (match Service.await overflow with
+        | Service.Rejected -> ()
+        | o ->
+          Alcotest.failf "expected rejection, got %a" Service.pp_outcome o);
+        (* Once the backlog drains, the queue accepts again. *)
+        (match (Service.await busy, Service.await queued) with
+        | Service.Done _, Service.Done _ -> ()
+        | a, b ->
+          Alcotest.failf "backlog failed: %a / %a" Service.pp_outcome a
+            Service.pp_outcome b);
+        (match Service.plan_one svc l2 with
+        | Service.Done _ -> ()
+        | o -> Alcotest.failf "after drain: %a" Service.pp_outcome o);
+        let s = Service.stats svc in
+        check_int "one rejection" 1 s.Service.rejected;
+        check_int "three completions" 3 s.Service.completed;
+        check_int "hwm saw the full queue" 1 s.Service.queue_hwm;
+        Service.shutdown svc);
+    Alcotest.test_case "expired deadline times out" `Quick (fun () ->
+        let svc = Service.create ~domains:1 ~cache:None () in
+        (* timeout 0: the deadline has passed before any worker can
+           reach the job, deterministically. *)
+        (match Service.plan_one ~timeout:0. svc l1 with
+        | Service.Timed_out -> ()
+        | o -> Alcotest.failf "expected timeout, got %a" Service.pp_outcome o);
+        (* A generous deadline completes normally. *)
+        (match Service.plan_one ~timeout:60. svc l1 with
+        | Service.Done _ -> ()
+        | o -> Alcotest.failf "expected done, got %a" Service.pp_outcome o);
+        let s = Service.stats svc in
+        check_int "one timeout" 1 s.Service.timed_out;
+        check_int "one completion" 1 s.Service.completed;
+        Service.shutdown svc);
+    Alcotest.test_case "queued jobs behind a slow one time out" `Quick
+      (fun () ->
+        let svc =
+          Service.create ~domains:1 ~queue_depth:4 ~cache:None ()
+        in
+        let busy = Service.submit ~strategy:slow_strategy svc slow_nest in
+        check_bool "worker busy" true
+          (wait_until (fun () -> (Service.stats svc).Service.in_flight = 1));
+        (* These sit behind the slow job with already-expired deadlines,
+           so the worker reports Timed_out without planning them. *)
+        let doomed =
+          List.init 3 (fun _ -> Service.submit ~timeout:0. svc l1)
+        in
+        List.iter
+          (fun t ->
+            match Service.await t with
+            | Service.Timed_out -> ()
+            | o ->
+              Alcotest.failf "expected timeout, got %a" Service.pp_outcome o)
+          doomed;
+        (match Service.await busy with
+        | Service.Done _ -> ()
+        | o -> Alcotest.failf "slow job: %a" Service.pp_outcome o);
+        check_int "timeouts counted" 3 (Service.stats svc).Service.timed_out;
+        Service.shutdown svc);
+  ]
+
+let lifecycle_cases =
+  [
+    Alcotest.test_case "failure is isolated and reported" `Quick (fun () ->
+        let svc = Service.create ~domains:2 ~cache:None () in
+        (* A non-uniformly-generated nest makes the planner raise; the
+           service must report Failed and keep serving. *)
+        let bad =
+          Cf_loop.Parse.nest "for i = 1 to 4\n  A[i] := A[i, 1] + 1;\nend"
+        in
+        (match Service.plan_one svc bad with
+        | Service.Failed _ -> ()
+        | o -> Alcotest.failf "expected failure, got %a" Service.pp_outcome o);
+        (match Service.plan_one svc l1 with
+        | Service.Done _ -> ()
+        | o -> Alcotest.failf "service wedged: %a" Service.pp_outcome o);
+        let s = Service.stats svc in
+        check_int "one failure" 1 s.Service.failed;
+        check_int "one completion" 1 s.Service.completed;
+        Service.shutdown svc);
+    Alcotest.test_case "drain waits for quiet; shutdown rejects" `Quick
+      (fun () ->
+        let svc = Service.create ~domains:2 ~queue_depth:8 () in
+        let tickets = List.map (fun (_, n) -> Service.submit svc n) all_paper_loops in
+        Service.drain svc;
+        let s = Service.stats svc in
+        check_int "drained queue" 0 s.Service.queue_depth;
+        check_int "nothing in flight" 0 s.Service.in_flight;
+        check_int "all done" (List.length tickets) s.Service.completed;
+        List.iter
+          (fun t ->
+            match Service.await t with
+            | Service.Done _ -> ()
+            | o -> Alcotest.failf "after drain: %a" Service.pp_outcome o)
+          tickets;
+        Service.shutdown svc;
+        (match Service.plan_one svc l1 with
+        | Service.Rejected -> ()
+        | o ->
+          Alcotest.failf "post-shutdown should reject, got %a"
+            Service.pp_outcome o);
+        (* Idempotent. *)
+        Service.shutdown svc);
+    Alcotest.test_case "stats snapshot is coherent" `Quick (fun () ->
+        let svc = Service.create ~domains:2 () in
+        ignore (Service.plan_many svc (List.map snd all_paper_loops));
+        let s = Service.stats svc in
+        check_int "domains" 2 s.Service.domains;
+        check_int "submitted" (List.length all_paper_loops) s.Service.submitted;
+        check_int "latency samples" s.Service.completed
+          s.Service.latency.Histogram.count;
+        check_bool "p50 <= p95 <= p99" true
+          (s.Service.latency.Histogram.p50 <= s.Service.latency.Histogram.p95
+          && s.Service.latency.Histogram.p95
+             <= s.Service.latency.Histogram.p99);
+        check_bool "throughput positive" true (s.Service.throughput > 0.);
+        ignore (Format.asprintf "%a" Service.pp_stats s);
+        Service.shutdown svc);
+  ]
+
+let suites =
+  [
+    ("service-determinism", deterministic_cases);
+    ("service-pressure", pressure_cases);
+    ("service-lifecycle", lifecycle_cases);
+  ]
