@@ -733,15 +733,151 @@ let run_service ~quick =
   print_service_rows ~quick rows;
   write_service_json ~quick ~file:"BENCH_service.json" rows
 
+(* E16: fault injection and recovery.  The same workload runs fault-free
+   and under fault plans killing 0/1/2/4 of the 16 PEs a few iterations
+   in (plus mild link drop/corruption), all with charged distribution.
+   Makespans are simulated time, so every number here is deterministic;
+   the recovery overhead is the faulted makespan over the fault-free
+   one.  Both runs validate against the sequential golden execution, so
+   [identical] certifies the recovered result is bit-for-bit the
+   fault-free answer. *)
+
+type fault_row = {
+  ft_workload : string;
+  ft_size : int;
+  ft_kills : int;
+  ft_crashed : int;
+  ft_rounds : int;
+  ft_replayed : int;
+  ft_rewords : int;
+  ft_retries : int;
+  ft_makespan_ok : float;
+  ft_makespan_fault : float;
+  ft_identical : bool;
+}
+
+let fault_rows ~quick () =
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let case ~workload ~size nest psi =
+    let strategy = Strategy.Duplicate in
+    let coset = Coset.make nest psi in
+    let run ?faults () =
+      let machine =
+        Cf_machine.Machine.create ?faults
+          (Cf_machine.Topology.mesh [| 4; 4 |])
+          Cf_machine.Cost.transputer
+      in
+      let r =
+        Cf_exec.Parexec.execute_indexed ~charge_distribution:true ~machine
+          ~placement ~strategy coset
+      in
+      (r, Cf_machine.Machine.makespan machine, Cf_machine.Machine.retries machine)
+    in
+    let base, base_mk, _ = run () in
+    List.map
+      (fun kills ->
+        let spec =
+          {
+            Cf_fault.Fault.none with
+            seed = 7;
+            kills = List.init kills (fun i -> (i, 4 + i));
+            drop_rate = 0.02;
+            corrupt_rate = 0.01;
+          }
+        in
+        let plan = Cf_fault.Fault.make ~procs:scale_procs spec in
+        let r, mk, retries = run ~faults:plan () in
+        let rc = Option.get r.Cf_exec.Parexec.recovery in
+        {
+          ft_workload = workload;
+          ft_size = size;
+          ft_kills = kills;
+          ft_crashed = List.length rc.Cf_exec.Parexec.crashed_pes;
+          ft_rounds = rc.Cf_exec.Parexec.rounds;
+          ft_replayed = rc.Cf_exec.Parexec.replayed_blocks;
+          ft_rewords = rc.Cf_exec.Parexec.redistributed_words;
+          ft_retries = retries;
+          ft_makespan_ok = base_mk;
+          ft_makespan_fault = mk;
+          ft_identical = Cf_exec.Parexec.ok base && Cf_exec.Parexec.ok r;
+        })
+      [ 0; 1; 2; 4 ]
+  in
+  let kernel name =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = name)
+      Cf_workloads.Workloads.all
+  in
+  let matmul = kernel "matmul" and stencil = kernel "stencil3d" in
+  let diag3 =
+    Cf_linalg.Subspace.span 3 [ Cf_linalg.Vec.of_int_list [ 1; 1; 1 ] ]
+  in
+  let msize = if quick then 8 else 16 in
+  let ssize = if quick then 8 else 12 in
+  let mm = matmul.Cf_workloads.Workloads.build ~size:msize in
+  let st = stencil.Cf_workloads.Workloads.build ~size:ssize in
+  case ~workload:"matmul" ~size:msize mm
+    (Strategy.partitioning_space Strategy.Duplicate mm)
+  @ case ~workload:"stencil3d" ~size:ssize st diag3
+
+let print_fault_rows rows =
+  section "E16 - fault injection: recovery overhead vs kill rate";
+  Printf.printf "%-10s %5s %5s %7s %6s %8s %8s %7s %12s %12s %8s %9s\n"
+    "workload" "size" "kills" "crashed" "rounds" "replayed" "resent" "retries"
+    "ok(s)" "faulted(s)" "overhead" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %5d %5d %7d %6d %8d %8d %7d %12.6f %12.6f %7.2fx %9b\n"
+        r.ft_workload r.ft_size r.ft_kills r.ft_crashed r.ft_rounds
+        r.ft_replayed r.ft_rewords r.ft_retries r.ft_makespan_ok
+        r.ft_makespan_fault
+        (r.ft_makespan_fault /. r.ft_makespan_ok)
+        r.ft_identical)
+    rows
+
+let write_faults_json ~file rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"workload\": \"%s\", \"size\": %d, \"kills\": %d, \"crashed\": \
+       %d, \"rounds\": %d, \"replayed_blocks\": %d, \"redistributed_words\": \
+       %d, \"retries\": %d, \"makespan_ok_s\": %.6f, \"makespan_fault_s\": \
+       %.6f, \"overhead\": %.4f, \"identical\": %b}"
+      (json_escape r.ft_workload) r.ft_size r.ft_kills r.ft_crashed r.ft_rounds
+      r.ft_replayed r.ft_rewords r.ft_retries r.ft_makespan_ok
+      r.ft_makespan_fault
+      (r.ft_makespan_fault /. r.ft_makespan_ok)
+      r.ft_identical
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"fault-recovery\",\n  \"procs\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    scale_procs
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let run_faults ~quick =
+  let rows = fault_rows ~quick () in
+  print_fault_rows rows;
+  write_faults_json ~file:"BENCH_faults.json" rows;
+  List.for_all (fun r -> r.ft_identical) rows
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let scale_only = Array.exists (String.equal "--scale") Sys.argv in
   let service_only = Array.exists (String.equal "--service") Sys.argv in
+  let faults_only = Array.exists (String.equal "--faults") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
     exit 0
   end;
-  if service_only then
+  if faults_only then begin
+    (* Fault experiment only (E16), small sizes under --quick; exits
+       nonzero if any recovered result diverges from the fault-free
+       run. *)
+    if not (run_faults ~quick) then exit 1
+  end
+  else if service_only then
     (* Service experiment only (E15), small sizes under --quick. *)
     run_service ~quick
   else if quick then begin
@@ -767,5 +903,6 @@ let () =
     print_scale_rows rows;
     write_scale_json ~file:"BENCH_parexec.json" rows;
     run_service ~quick:false;
+    ignore (run_faults ~quick:false);
     run_benchmarks ()
   end

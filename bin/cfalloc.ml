@@ -177,25 +177,126 @@ let transform_cmd =
 
 (* simulate *)
 
-let simulate_run level file strategy radius procs =
+(* Fault-injected simulation: plan as usual, then run the crash-tolerant
+   indexed engine on a machine carrying the fault plan.  The recovery
+   must reproduce the fault-free result bit for bit, which pp_report's
+   "results: match sequential" line certifies. *)
+let fault_simulate ~strategy ~radius ~procs ~spec nest =
+  let plan = Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest in
+  let fplan = Cf_fault.Fault.make ~procs spec in
+  let machine =
+    Cf_machine.Machine.create ~faults:fplan
+      (Cf_machine.Topology.linear procs)
+      Cf_machine.Cost.transputer
+  in
+  let coset = Cf_core.Coset.make nest plan.Cf_pipeline.Pipeline.space in
+  (* Distribution is charged so the host's messages actually traverse
+     the faulty links (and a PE dead on arrival is unmasked by its first
+     message, not first iteration). *)
+  let report =
+    Cf_exec.Parexec.execute_indexed ?exact:plan.Cf_pipeline.Pipeline.exact
+      ~charge_distribution:true ~machine
+      ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
+      ~strategy coset
+  in
+  Format.printf "%a@." Cf_fault.Fault.pp fplan;
+  Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report report;
+  Format.printf "link: %d retransmission(s) (%d dropped, %d corrupted)@."
+    (Cf_machine.Machine.retries machine)
+    (Cf_machine.Machine.dropped_messages machine)
+    (Cf_machine.Machine.corrupted_messages machine);
+  Format.printf "makespan: %.6fs@." (Cf_machine.Machine.makespan machine);
+  Format.printf "recovered output identical: %b@."
+    (Cf_exec.Parexec.ok report)
+
+let simulate_run level file strategy radius procs fault_seed kill_pe kill_after
+    =
   setup_logs level;
-  handle (fun () ->
-      each_nest file (fun nest ->
-          let plan =
-            Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
-          in
-          let sim = Cf_pipeline.Pipeline.simulate ~procs plan in
-          Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
-            sim.Cf_pipeline.Pipeline.report;
-          Format.printf "balance: %a@." Cf_exec.Balance.pp
-            sim.Cf_pipeline.Pipeline.balance;
-          Format.printf "makespan: %.6fs@." sim.Cf_pipeline.Pipeline.makespan))
+  (* The fault flags are parsed by hand so a malformed value yields a
+     clear diagnostic and exit code 2 (usage error), distinct from the
+     planner-failure exit code 1. *)
+  let int_flag name v k =
+    match v with
+    | None -> k None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> k (Some n)
+      | None ->
+        Format.eprintf "error: --%s expects an integer, got %S@." name s;
+        2)
+  in
+  int_flag "fault-seed" fault_seed @@ fun seed ->
+  int_flag "kill-pe" kill_pe @@ fun kill_pe ->
+  int_flag "kill-after" kill_after @@ fun kill_after ->
+  match (seed, kill_pe, kill_after) with
+  | None, None, None ->
+    handle (fun () ->
+        each_nest file (fun nest ->
+            let plan =
+              Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
+            in
+            let sim = Cf_pipeline.Pipeline.simulate ~procs plan in
+            Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
+              sim.Cf_pipeline.Pipeline.report;
+            Format.printf "balance: %a@." Cf_exec.Balance.pp
+              sim.Cf_pipeline.Pipeline.balance;
+            Format.printf "makespan: %.6fs@." sim.Cf_pipeline.Pipeline.makespan))
+  | _ when kill_after <> None && kill_pe = None ->
+    Format.eprintf "error: --kill-after requires --kill-pe@.";
+    2
+  | _ when (match kill_pe with Some pe -> pe < 0 || pe >= procs | None -> false)
+    ->
+    Format.eprintf "error: --kill-pe %d is outside the machine (0..%d)@."
+      (Option.get kill_pe) (procs - 1);
+    2
+  | _ when (match kill_after with Some k -> k < 0 | None -> false) ->
+    Format.eprintf "error: --kill-after must be >= 0@.";
+    2
+  | _ ->
+    let spec =
+      {
+        Cf_fault.Fault.none with
+        seed = Option.value seed ~default:0;
+        kills =
+          (match kill_pe with
+          | Some pe -> [ (pe, Option.value kill_after ~default:0) ]
+          | None -> []);
+        (* A seed without explicit kills draws a random schedule; with
+           --kill-pe alone the run is purely deterministic. *)
+        crash_rate = (if seed = None then 0. else 0.25);
+        crash_after_max = (if seed = None then 0 else 8);
+        drop_rate = (if seed = None then 0. else 0.05);
+        corrupt_rate = (if seed = None then 0. else 0.02);
+      }
+    in
+    handle (fun () ->
+        each_nest file (fault_simulate ~strategy ~radius ~procs ~spec))
 
 let simulate_cmd =
   let doc = "Execute the plan on the simulated multicomputer and verify it." in
+  let fault_seed_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Enable seeded fault injection: random PE crashes and \
+                   host-link drop/corruption drawn deterministically from \
+                   $(docv); the run recovers and must reproduce the \
+                   fault-free result.")
+  in
+  let kill_pe_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kill-pe" ] ~docv:"PE"
+             ~doc:"Deterministically crash processor $(docv) (combine with \
+                   --kill-after).")
+  in
+  let kill_after_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kill-after" ] ~docv:"K"
+             ~doc:"Iterations the killed PE completes before dying (default \
+                   0: dead during distribution); requires --kill-pe.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
-          $ procs_arg)
+          $ procs_arg $ fault_seed_arg $ kill_pe_arg $ kill_after_arg)
 
 (* figures *)
 

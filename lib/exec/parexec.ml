@@ -8,11 +8,19 @@ let cyclic ~nprocs j =
   if nprocs < 1 then invalid_arg "Parexec.cyclic";
   (j - 1) mod nprocs
 
+type recovery = {
+  crashed_pes : int list;
+  rounds : int;
+  replayed_blocks : int;
+  redistributed_words : int;
+}
+
 type report = {
   machine : Machine.t;
   remote_access : (int * string * int array) option;
   mismatches : (string * int array * int option * int option) list;
   per_pe_iterations : int array;
+  recovery : recovery option;
 }
 
 let ok r = r.remote_access = None && r.mismatches = []
@@ -20,6 +28,8 @@ let ok r = r.remote_access = None && r.mismatches = []
 let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
     ?exact ?(allocate = true) ?(charge_distribution = false)
     ?(validate = true) ~machine ~placement ~strategy partition =
+  if Machine.faults machine <> None then
+    invalid_arg "Parexec.execute: fault plans require execute_indexed";
   let nest = Iter_partition.nest partition in
   let minimal = Strategy.uses_exact_analysis strategy in
   let exact =
@@ -168,7 +178,8 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
   let per_pe_iterations =
     Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe)
   in
-  { machine; remote_access = !remote; mismatches; per_pe_iterations }
+  { machine; remote_access = !remote; mismatches; per_pe_iterations;
+    recovery = None }
 
 (* Scale-out engine: same semantics as [execute], but driven by the
    closed-form {!Coset} index (no materialized partition) over the
@@ -207,6 +218,12 @@ let execute_indexed ?(init = Seqexec.default_init)
     | _ -> fun ~stmt_index:_ _ -> true
   in
   let nprocs = Topology.size (Machine.topology machine) in
+  let plan = Machine.faults machine in
+  (* Recovery replays lost data from block-local copies; without
+     [allocate] the caller owns distribution and copies may be shared,
+     so a crash could not be repaired locally. *)
+  if plan <> None && not allocate then
+    invalid_arg "Parexec.execute_indexed: fault injection requires allocate";
   let block_pe j =
     let pe = placement j in
     if pe < 0 || pe >= nprocs then
@@ -264,16 +281,30 @@ let execute_indexed ?(init = Seqexec.default_init)
     else arr_names.(slot)
   in
   let owner = Array.init q (fun i -> block_pe (i + 1)) in
+  (* Liveness under the fault plan.  A dead PE's pending blocks move to
+     the survivors by the same cyclic rule the original placement used,
+     so recovery is itself a communication-free assignment. *)
+  let alive = Array.make nprocs true in
+  let dist_crashed = ref [] in
+  let reassign id =
+    let survivors =
+      List.filter (fun pe -> alive.(pe)) (List.init nprocs Fun.id)
+    in
+    match survivors with
+    | [] -> invalid_arg "Parexec.execute_indexed: every processor crashed"
+    | _ ->
+      let s = Array.of_list survivors in
+      s.((id - 1) mod Array.length s)
+  in
   (* Sequential phase: allocation (and optional distribution charging),
      block by block via closed-form enumeration.  Everything any
      surviving access of the block touches gets a block-local copy on
      the block's processor, exactly as [execute] allocates. *)
   if allocate then begin
-    if charge_distribution then
+    if charge_distribution then begin
       (* Charged distribution needs the per-copy element list up front,
          so collect each block's footprint before the single host_send. *)
-      for id = 1 to q do
-        let pe = owner.(id - 1) in
+      let send_block id pe =
         let slots = Array.map (fun _ -> Hashtbl.create 32) arr_names in
         Coset.iter_block coset ~id (fun iter ->
             Array.iteri
@@ -297,7 +328,29 @@ let execute_indexed ?(init = Seqexec.default_init)
               Machine.host_send machine ~pe (copy_name id slot)
                 (Hashtbl.fold (fun _ (el, v) acc -> (el, v) :: acc) tbl []))
           slots
+      in
+      (* A node dead on arrival is unmasked by the first send to it; the
+         host then reassigns every pending block of the dead PE over the
+         survivors and resends.  Each pass either drains the pending list
+         or unmasks at least one more dead PE, so this terminates. *)
+      let pending = ref (List.init q (fun i -> i + 1)) in
+      while !pending <> [] do
+        let deferred = ref [] in
+        List.iter
+          (fun id ->
+            let pe = owner.(id - 1) in
+            if not alive.(pe) then deferred := id :: !deferred
+            else
+              try send_block id pe
+              with Machine.Pe_crashed { pe } ->
+                alive.(pe) <- false;
+                dist_crashed := pe :: !dist_crashed;
+                deferred := id :: !deferred)
+          !pending;
+        List.iter (fun id -> owner.(id - 1) <- reassign id) !deferred;
+        pending := List.rev !deferred
       done
+    end
     else begin
       (* Free distribution: build each block copy as a packed-key table
          (deduplicating locally, away from the machine's memory map) and
@@ -368,6 +421,14 @@ let execute_indexed ?(init = Seqexec.default_init)
     end;
     Machine.compact machine
   end;
+  (* Snapshot the distributed state: when a PE crashes mid-run, its
+     block-local chunks are replayed from this checkpoint onto the
+     survivors.  [ckpt_owner] pins where each block's chunks live in the
+     snapshot, immune to later reassignment. *)
+  let ckpt =
+    match plan with Some _ -> Some (Machine.checkpoint machine) | None -> None
+  in
+  let ckpt_owner = Array.copy owner in
   (* Parallel phase: domain [d] owns the processors with [pe mod dcount
      = d] and executes their blocks in ascending id order. *)
   let dcount =
@@ -379,6 +440,7 @@ let execute_indexed ?(init = Seqexec.default_init)
     in
     max 1 (min requested nprocs)
   in
+  let done_blocks = Array.make q false in
   let run_domain d =
     (* aid -> packed element -> (stamp, value); stamps are (iteration,
        statement index), ordered sequentially. *)
@@ -386,6 +448,7 @@ let execute_indexed ?(init = Seqexec.default_init)
       Hashtbl.create 64
     in
     let remote = ref None in
+    let dead_here = ref [] in
     let cur_block = ref 0 in
     (* Per-domain scratch for subscript evaluation: elements live only
        for the duration of one access (the machine never retains them,
@@ -402,8 +465,13 @@ let execute_indexed ?(init = Seqexec.default_init)
     (try
        for id = 1 to q do
          let pe = owner.(id - 1) in
-         if pe mod dcount = d then begin
+         if
+           pe mod dcount = d && alive.(pe)
+           && (not done_blocks.(id - 1))
+           && not (List.mem pe !dead_here)
+         then begin
            cur_block := id;
+           try
            let copy_aids =
              Array.init (Array.length arr_names) (fun slot ->
                  Machine.find_array_id machine (copy_name id slot))
@@ -471,38 +539,97 @@ let execute_indexed ?(init = Seqexec.default_init)
                      end
                    end)
                  body);
-           Machine.run_iterations machine ~pe (Coset.block coset ~id).Coset.size
+             Machine.run_iterations machine ~pe
+               (Coset.block coset ~id).Coset.size;
+             done_blocks.(id - 1) <- true
+           with Machine.Pe_crashed { pe } -> dead_here := pe :: !dead_here
          end
        done
      with Machine.Remote_access { pe; array; element } ->
        remote := Some (!cur_block, (pe, array, element)));
-    (!remote, lw)
+    (!remote, lw, !dead_here)
   in
-  let results = Array.make dcount (None, Hashtbl.create 0) in
-  let spawned =
-    Array.init (dcount - 1) (fun i ->
-        Domain.spawn (fun () -> run_domain (i + 1)))
-  in
-  results.(0) <- run_domain 0;
-  Array.iteri (fun i dom -> results.(i + 1) <- Domain.join dom) spawned;
-  (* Whether an access faults is schedule-independent (execution never
-     adds elements to any memory), and each domain scans its blocks in
-     ascending id order, so its report is the first fault among its own
-     blocks.  The fault with the globally smallest block id is therefore
-     exactly the one the sequential engine hits first. *)
-  let remote =
-    Array.fold_left
-      (fun acc (r, _) ->
-        match (acc, r) with
-        | None, r -> r
-        | acc, None -> acc
-        | Some (id, _), Some (id', _) when id' < id -> r
-        | acc, Some _ -> acc)
-      None results
-    |> Option.map snd
-  in
+  (* Round loop.  Each round fans the pending blocks out over the
+     domains; a crash surfaces as Pe_crashed caught at block granularity
+     (the dying block does not count as done).  After the join, dead
+     PEs are cleared, their pending blocks replayed from the checkpoint
+     onto survivors, and the next round re-executes exactly those
+     blocks.  A block's re-execution is deterministic (same iterations,
+     same initial chunk values), so last-writer entries left by a
+     partially-credited crashed block are overwritten with identical
+     stamps and values — the merge is idempotent under replay.  Each PE
+     crashes at most once, so the loop ends within nprocs + 1 rounds. *)
+  let all_lw = ref [] in
+  let remote = ref None in
+  let run_crashed = ref [] in
+  let rounds = ref 0 in
+  let replayed = ref 0 in
+  let rewords = ref 0 in
+  let running = ref true in
+  while !running do
+    incr rounds;
+    let results = Array.make dcount (None, Hashtbl.create 0, []) in
+    let spawned =
+      Array.init (dcount - 1) (fun i ->
+          Domain.spawn (fun () -> run_domain (i + 1)))
+    in
+    results.(0) <- run_domain 0;
+    Array.iteri (fun i dom -> results.(i + 1) <- Domain.join dom) spawned;
+    (* Whether an access faults is schedule-independent (execution never
+       adds elements to any memory), and each domain scans its blocks in
+       ascending id order, so its report is the first fault among its
+       own blocks.  The fault with the globally smallest block id is
+       therefore exactly the one the sequential engine hits first. *)
+    let round_remote =
+      Array.fold_left
+        (fun acc (r, _, _) ->
+          match (acc, r) with
+          | None, r -> r
+          | acc, None -> acc
+          | Some (id, _), Some (id', _) when id' < id -> r
+          | acc, Some _ -> acc)
+        None results
+    in
+    Array.iter (fun (_, lw, _) -> all_lw := lw :: !all_lw) results;
+    let new_dead =
+      List.sort_uniq compare
+        (Array.fold_left (fun acc (_, _, dead) -> dead @ acc) [] results)
+    in
+    match round_remote with
+    | Some (_, fault) ->
+      remote := Some fault;
+      running := false
+    | None ->
+      if new_dead = [] then running := false
+      else begin
+        let ckpt = Option.get ckpt in
+        run_crashed := !run_crashed @ new_dead;
+        List.iter
+          (fun pe ->
+            alive.(pe) <- false;
+            Machine.clear_pe machine ~pe)
+          new_dead;
+        for id = 1 to q do
+          if (not done_blocks.(id - 1)) && not alive.(owner.(id - 1)) then begin
+            let to_pe = reassign id in
+            Array.iteri
+              (fun slot _ ->
+                match Machine.find_array_id machine (copy_name id slot) with
+                | None -> ()
+                | Some aid ->
+                  rewords :=
+                    !rewords
+                    + Machine.recover_chunk machine ckpt
+                        ~from_pe:ckpt_owner.(id - 1) ~to_pe ~aid)
+              arr_names;
+            owner.(id - 1) <- to_pe;
+            incr replayed
+          end
+        done
+      end
+  done;
   let mismatches =
-    match remote with
+    match !remote with
     | _ when not validate -> []
     | Some _ -> []
     | None ->
@@ -513,8 +640,8 @@ let execute_indexed ?(init = Seqexec.default_init)
       let merged : (int * int, (int array * int) * int) Hashtbl.t =
         Hashtbl.create 1024
       in
-      Array.iter
-        (fun (_, lw) ->
+      List.iter
+        (fun lw ->
           Hashtbl.iter
             (fun aid tbl ->
               Hashtbl.iter
@@ -524,7 +651,7 @@ let execute_indexed ?(init = Seqexec.default_init)
                   | _ -> Hashtbl.replace merged (aid, packed) (stamp, v))
                 tbl)
             lw)
-        results;
+        !all_lw;
       List.filter_map
         (fun (a, el, expected) ->
           let got =
@@ -543,7 +670,19 @@ let execute_indexed ?(init = Seqexec.default_init)
   let per_pe_iterations =
     Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe)
   in
-  { machine; remote_access = remote; mismatches; per_pe_iterations }
+  let recovery =
+    match plan with
+    | None -> None
+    | Some _ ->
+      Some
+        {
+          crashed_pes = List.sort_uniq compare (!dist_crashed @ !run_crashed);
+          rounds = !rounds;
+          replayed_blocks = !replayed;
+          redistributed_words = !rewords;
+        }
+  in
+  { machine; remote_access = !remote; mismatches; per_pe_iterations; recovery }
 
 let pp_report ppf r =
   (match r.remote_access with
@@ -562,6 +701,15 @@ let pp_report ppf r =
         Format.fprintf ppf "MISMATCH %s%a: expected %a, got %a@," a
           Cf_linalg.Vec.pp_int el pp_opt want pp_opt got)
       r.mismatches;
+  (match r.recovery with
+  | Some { crashed_pes = []; _ } ->
+    Format.fprintf ppf "faults: none fired@,"
+  | Some rc ->
+    Format.fprintf ppf
+      "recovered: PE {%s} crashed; %d block(s) replayed over %d round(s), %d word(s) redistributed@,"
+      (String.concat "," (List.map string_of_int rc.crashed_pes))
+      rc.replayed_blocks rc.rounds rc.redistributed_words
+  | None -> ());
   Format.fprintf ppf "iterations per PE: %a"
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")

@@ -19,6 +19,17 @@ type placement = int -> int
 val cyclic : nprocs:int -> placement
 (** Round-robin: block [j] on processor [(j − 1) mod nprocs]. *)
 
+type recovery = {
+  crashed_pes : int list;  (** every PE that died, in ascending order *)
+  rounds : int;  (** parallel execution rounds (1 = no mid-run crash) *)
+  replayed_blocks : int;
+      (** block re-executions forced by crashes (a block re-lost to a
+          second crash counts again) *)
+  redistributed_words : int;
+      (** words replayed from the checkpoint onto surviving PEs *)
+}
+(** What fault recovery did during one {!execute_indexed} run. *)
+
 type report = {
   machine : Cf_machine.Machine.t;
   remote_access : (int * string * int array) option;
@@ -26,6 +37,9 @@ type report = {
   mismatches : (string * int array * int option * int option) list;
     (** element, sequential value, merged parallel value; empty = correct *)
   per_pe_iterations : int array;
+  recovery : recovery option;
+    (** Present iff the machine carries a fault plan (only
+        {!execute_indexed}); [crashed_pes = []] means no fault fired. *)
 }
 
 val execute :
@@ -54,7 +68,8 @@ val execute :
     skips the sequential golden run and the last-writer merge —
     [mismatches] is then always empty and the report only certifies
     communication freedom, not value correctness (used for throughput
-    measurements). *)
+    measurements).  Raises [Invalid_argument] when the machine carries a
+    fault plan — crash recovery lives in {!execute_indexed}. *)
 
 val execute_indexed :
   ?init:(string -> int array -> int) ->
@@ -81,7 +96,22 @@ val execute_indexed :
     count.  On a communication-free run the report matches {!execute}'s
     exactly; on a faulting run [remote_access] is the same fault
     {!execute} reports (smallest block id), but counters reflect each
-    domain's progress rather than the sequential abort point. *)
+    domain's progress rather than the sequential abort point.
+
+    {b Crash tolerance}: when the machine carries a
+    {!Cf_machine.Machine.faults} plan (requires [allocate:true] —
+    [Invalid_argument] otherwise), the engine checkpoints every local
+    memory right after distribution and executes in rounds.  A PE dead
+    during distribution is unmasked by its first host message; a PE
+    crashing mid-run loses exactly its own block-local data
+    (communication freedom localizes the damage).  Either way its
+    pending blocks are reassigned over the surviving PEs by the same
+    cyclic rule, lost chunks are replayed from the checkpoint as charged
+    host messages, and the next round re-executes exactly the lost
+    blocks.  Replay is deterministic, so the merged result — and hence
+    [mismatches] against the sequential golden run — is identical to the
+    fault-free run's.  Raises [Invalid_argument] when every processor
+    crashes. *)
 
 val ok : report -> bool
 (** No remote access and no mismatch. *)

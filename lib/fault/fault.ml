@@ -1,0 +1,120 @@
+type spec = {
+  seed : int;
+  kills : (int * int) list;
+  crash_rate : float;
+  crash_after_max : int;
+  drop_rate : float;
+  corrupt_rate : float;
+  max_attempts : int;
+}
+
+let none =
+  {
+    seed = 0;
+    kills = [];
+    crash_rate = 0.;
+    crash_after_max = 0;
+    drop_rate = 0.;
+    corrupt_rate = 0.;
+    max_attempts = 16;
+  }
+
+type t = {
+  spec : spec;
+  crash : int option array;  (* pe -> iteration threshold *)
+  link : Rng.t;  (* message-fate stream, host-serial *)
+  link_lock : Mutex.t;
+}
+
+let check_rate name r =
+  if not (r >= 0. && r < 1.) then
+    invalid_arg (Printf.sprintf "Fault.make: %s must lie in [0, 1)" name)
+
+let make ~procs spec =
+  if procs < 1 then invalid_arg "Fault.make: procs must be >= 1";
+  check_rate "crash_rate" spec.crash_rate;
+  check_rate "drop_rate" spec.drop_rate;
+  check_rate "corrupt_rate" spec.corrupt_rate;
+  check_rate "drop_rate + corrupt_rate" (spec.drop_rate +. spec.corrupt_rate);
+  if spec.max_attempts < 1 then
+    invalid_arg "Fault.make: max_attempts must be >= 1";
+  if spec.crash_rate > 0. && spec.crash_after_max < 1 then
+    invalid_arg "Fault.make: crash_after_max must be positive";
+  List.iter
+    (fun (pe, after) ->
+      if pe < 0 || pe >= procs then
+        invalid_arg
+          (Printf.sprintf "Fault.make: kill names PE %d outside [0, %d)" pe
+             procs);
+      if after < 0 then
+        invalid_arg "Fault.make: kill threshold must be >= 0")
+    spec.kills;
+  let root = Rng.make spec.seed in
+  (* Fixed split order: one child per PE (crash draw), then the link
+     stream — the whole schedule is a function of (seed, procs). *)
+  let crash =
+    Array.init procs (fun _ ->
+        let r = Rng.split root in
+        if Rng.bool r spec.crash_rate then
+          Some (Rng.int r spec.crash_after_max)
+        else None)
+  in
+  let link = Rng.split root in
+  List.iter (fun (pe, after) -> crash.(pe) <- Some after) spec.kills;
+  { spec; crash; link; link_lock = Mutex.create () }
+
+let spec t = t.spec
+let seed t = t.spec.seed
+
+let crash_point t ~pe =
+  if pe < 0 || pe >= Array.length t.crash then
+    invalid_arg "Fault.crash_point: PE out of range";
+  t.crash.(pe)
+
+let crash_during_distribution t ~pe = crash_point t ~pe = Some 0
+
+let schedule t =
+  let acc = ref [] in
+  Array.iteri
+    (fun pe -> function Some k -> acc := (pe, k) :: !acc | None -> ())
+    t.crash;
+  List.rev !acc
+
+type delivery = { attempts : int; dropped : int; corrupted : int }
+
+let deliver t =
+  Mutex.lock t.link_lock;
+  let dropped = ref 0 and corrupted = ref 0 in
+  let rec attempt n =
+    if n >= t.spec.max_attempts - 1 then n (* last attempt always lands *)
+    else begin
+      let x = Rng.float t.link in
+      if x < t.spec.drop_rate then begin
+        incr dropped;
+        attempt (n + 1)
+      end
+      else if x < t.spec.drop_rate +. t.spec.corrupt_rate then begin
+        incr corrupted;
+        attempt (n + 1)
+      end
+      else n
+    end
+  in
+  let failures = attempt 0 in
+  Mutex.unlock t.link_lock;
+  { attempts = failures + 1; dropped = !dropped; corrupted = !corrupted }
+
+let pp ppf t =
+  let crashes = schedule t in
+  Format.fprintf ppf "@[<v>fault plan (seed %d):@," t.spec.seed;
+  (match crashes with
+  | [] -> Format.fprintf ppf "  no PE crashes scheduled@,"
+  | _ ->
+    List.iter
+      (fun (pe, k) ->
+        if k = 0 then
+          Format.fprintf ppf "  PE%d: dead during distribution@," pe
+        else Format.fprintf ppf "  PE%d: crashes after %d iteration(s)@," pe k)
+      crashes);
+  Format.fprintf ppf "  link: drop %.3f, corrupt %.3f, max %d attempt(s)@]"
+    t.spec.drop_rate t.spec.corrupt_rate t.spec.max_attempts

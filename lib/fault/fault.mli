@@ -1,0 +1,73 @@
+(** Seeded fault plans for the simulated multicomputer.
+
+    A plan is built once from a {!spec} (a seed plus fault rates and
+    explicit kills) and then consulted by the machine's fault hooks:
+
+    - {b PE crashes}: each processor either never crashes or crashes
+      after completing a fixed number of loop iterations (threshold 0
+      means it is already dead when the host distributes data).  The
+      schedule is drawn per-PE from split streams at {!make} time, so it
+      is a pure function of (seed, procs) — independent of execution
+      order, domain count, and recovery decisions.
+    - {b Host-link faults}: every host message may be dropped in flight
+      or arrive corrupted (detected by checksum); either way the host
+      notices and retransmits, paying the full message cost again.  The
+      per-message fate sequence comes from a dedicated link stream and
+      is deterministic in message-issue order (host distribution is
+      serial, so issue order is itself deterministic).
+
+    Everything is reproducible: the same spec yields the same crash
+    schedule and the same link-fate sequence in every run. *)
+
+type spec = {
+  seed : int;
+  kills : (int * int) list;
+      (** explicit [(pe, after_iterations)] crashes; threshold 0 =
+          dead during distribution.  Overrides any random draw. *)
+  crash_rate : float;  (** probability each PE draws a random crash *)
+  crash_after_max : int;
+      (** random crash thresholds are drawn uniformly from
+          [\[0, crash_after_max)]; must be positive when
+          [crash_rate > 0] *)
+  drop_rate : float;  (** per-attempt probability a host message is lost *)
+  corrupt_rate : float;
+      (** per-attempt probability a host message arrives corrupted
+          (detected, so also retransmitted) *)
+  max_attempts : int;
+      (** retransmission bound per message: the last attempt always
+          succeeds, so delivery is guaranteed in bounded time *)
+}
+
+val none : spec
+(** Seed 0, no kills, all rates 0 — a plan from this spec never faults. *)
+
+type t
+
+val make : procs:int -> spec -> t
+(** Draws the full crash schedule for a [procs]-node machine and
+    initializes the link stream.  Raises [Invalid_argument] when a kill
+    names a PE outside [\[0, procs)], a threshold is negative, a rate is
+    outside [\[0, 1)], or [max_attempts < 1]. *)
+
+val spec : t -> spec
+val seed : t -> int
+
+val crash_point : t -> pe:int -> int option
+(** [Some k]: the PE dies once it has completed [k] iterations. *)
+
+val crash_during_distribution : t -> pe:int -> bool
+(** [crash_point = Some 0]: the PE is dead before computing anything. *)
+
+val schedule : t -> (int * int) list
+(** Every scheduled crash as [(pe, after_iterations)], in PE order. *)
+
+type delivery = { attempts : int; dropped : int; corrupted : int }
+(** Fate of one host message: [attempts = 1 + dropped + corrupted], and
+    the final attempt succeeded. *)
+
+val deliver : t -> delivery
+(** Draw the next message's fate from the link stream.  Thread-safe
+    (internally locked), but deterministic only in issue order — the
+    host side of the simulator is serial, which guarantees that. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+(* SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): state advances by an
+   odd gamma; outputs are a bijective finalizer of the state.  Splitting
+   draws a new state and a new odd gamma from the parent, which is the
+   published recipe for independent child streams. *)
+
+type t = { mutable state : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount v =
+  let rec go acc v =
+    if Int64.equal v 0L then acc
+    else go (acc + 1) (Int64.logand v (Int64.sub v 1L))
+  in
+  go 0 v
+
+(* Gammas must be odd; the reference implementation also repairs gammas
+   with too few 01/10 bit transitions, which we keep for stream quality. *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  if popcount (Int64.logxor z (Int64.shift_right_logical z 1)) < 24 then
+    Int64.logxor z 0xAAAAAAAAAAAAAAAAL
+  else z
+
+let next_seed t =
+  t.state <- Int64.add t.state t.gamma;
+  t.state
+
+let make seed = { state = mix64 (Int64.of_int seed); gamma = golden_gamma }
+let bits64 t = mix64 (next_seed t)
+
+let split t =
+  let state = bits64 t in
+  let gamma = mix_gamma (next_seed t) in
+  { state; gamma }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Plain modulo is fine here: n is tiny (processor counts, iteration
+     thresholds) relative to 2^63, so bias is negligible for a
+     fault-injection schedule. *)
+  Int64.to_int
+    (Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n))
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (bits64 t) 11) *. 0x1.p-53
+
+let bool t p = if p <= 0. then false else if p >= 1. then true else float t < p

@@ -1,0 +1,30 @@
+(** Splittable deterministic pseudo-random streams (SplitMix64).
+
+    Fault schedules must be reproducible from a single integer seed and
+    independent of wall-clock time, allocation order, or domain count.
+    SplitMix64 gives a fast 64-bit generator whose streams can be
+    {!split} into statistically independent children, so one seed yields
+    one stream per processor (crash schedule) plus one for the host link
+    (message fates) without any coordination between them. *)
+
+type t
+
+val make : int -> t
+(** A fresh stream seeded from the integer (any value, including 0). *)
+
+val split : t -> t
+(** A child stream derived from (and advancing) the parent.  Splitting
+    in a fixed order yields a fixed forest of streams: the n-th split of
+    a seeded stream is the same in every run. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output (advances the stream). *)
+
+val int : t -> int -> int
+(** [int t n] uniform in [\[0, n)]; [n] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53-bit resolution. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p] (clamped to [\[0, 1\]]). *)

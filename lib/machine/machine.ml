@@ -1,9 +1,11 @@
 exception Remote_access of { pe : int; array : string; element : int array }
+exception Pe_crashed of { pe : int }
 
 type event =
   | Send of { pe : int; array : string; size : int }
   | Broadcast of { array : string; size : int }
   | Multicast of { pes : int list; array : string; size : int }
+  | Resend of { pe : int; array : string; size : int }
 
 (* Local memories avoid the polymorphic hash entirely: array names are
    interned to dense ints once, element coordinates are packed into a
@@ -26,6 +28,7 @@ type chunk =
 type t = {
   topology : Topology.t;
   cost : Cost.t;
+  faults : Cf_fault.Fault.t option;
   memories : (int, chunk) Hashtbl.t array;  (* array id -> chunk, per PE *)
   ids : (string, int) Hashtbl.t;
   mutable names : string array;  (* id -> name, [0, n_names) valid *)
@@ -35,14 +38,18 @@ type t = {
   iterations : int array;
   mutable messages : int;
   mutable volume : int;
+  mutable retries : int;
+  mutable dropped : int;
+  mutable corrupted : int;
   mutable events : event list;  (* reverse issue order *)
 }
 
-let create topology cost =
+let create ?faults topology cost =
   let p = Topology.size topology in
   {
     topology;
     cost;
+    faults;
     memories = Array.init p (fun _ -> Hashtbl.create 64);
     ids = Hashtbl.create 64;
     names = Array.make 16 "";
@@ -52,11 +59,15 @@ let create topology cost =
     iterations = Array.make p 0;
     messages = 0;
     volume = 0;
+    retries = 0;
+    dropped = 0;
+    corrupted = 0;
     events = [];
   }
 
 let topology m = m.topology
 let cost m = m.cost
+let faults m = m.faults
 
 let check_pe m pe =
   if pe < 0 || pe >= Topology.size m.topology then
@@ -363,13 +374,43 @@ let charge m ~words =
     +. (float_of_int words *. m.cost.Cost.t_comm);
   m.messages <- m.messages + 1
 
+(* Point-to-point charge under the fault plan: the message may be
+   dropped or arrive corrupted (detected), and each attempt — failed or
+   not — pays the full pipelined cost ([words] charge units) and resends
+   the whole [size]-word payload. *)
+let charge_send m ~words ~size =
+  match m.faults with
+  | None ->
+    charge m ~words;
+    m.volume <- m.volume + size
+  | Some plan ->
+    let d = Cf_fault.Fault.deliver plan in
+    for _ = 1 to d.Cf_fault.Fault.attempts do
+      charge m ~words
+    done;
+    m.volume <- m.volume + (d.Cf_fault.Fault.attempts * size);
+    m.retries <- m.retries + d.Cf_fault.Fault.attempts - 1;
+    m.dropped <- m.dropped + d.Cf_fault.Fault.dropped;
+    m.corrupted <- m.corrupted + d.Cf_fault.Fault.corrupted
+
+let dead_at_distribution m pe =
+  match m.faults with
+  | None -> false
+  | Some plan -> Cf_fault.Fault.crash_during_distribution plan ~pe
+
 let host_send m ~pe a elements =
   check_pe m pe;
   let size = List.length elements in
   let hops = Topology.distance m.topology 0 pe + 1 in
+  if dead_at_distribution m pe then begin
+    (* The host pays for one full attempt before the missing ack
+       reveals the dead node; nothing is stored. *)
+    charge m ~words:(size + hops - 1);
+    m.volume <- m.volume + size;
+    raise (Pe_crashed { pe })
+  end;
   (* Cut-through: startup + size, plus pipeline fill over the path. *)
-  charge m ~words:(size + hops - 1);
-  m.volume <- m.volume + size;
+  charge_send m ~words:(size + hops - 1) ~size;
   m.events <- Send { pe; array = a; size } :: m.events;
   let aid = array_id m a in
   List.iter (fun (el, v) -> store_id m ~pe aid el v) elements
@@ -410,8 +451,22 @@ let host_multicast m ~pes a elements =
 let run_iterations m ~pe count =
   check_pe m pe;
   if count < 0 then invalid_arg "Machine.run_iterations";
-  m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:count;
-  m.iterations.(pe) <- m.iterations.(pe) + count
+  match m.faults with
+  | Some plan
+    when (match Cf_fault.Fault.crash_point plan ~pe with
+         | Some k -> m.iterations.(pe) + count >= k
+         | None -> false) ->
+    (* The PE completes work up to its crash threshold, charges exactly
+       that much, and dies.  Once dead its clock is frozen: every later
+       call lands here with a zero-iteration partial charge. *)
+    let k = Option.get (Cf_fault.Fault.crash_point plan ~pe) in
+    let partial = max 0 (k - m.iterations.(pe)) in
+    m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:partial;
+    m.iterations.(pe) <- m.iterations.(pe) + partial;
+    raise (Pe_crashed { pe })
+  | _ ->
+    m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:count;
+    m.iterations.(pe) <- m.iterations.(pe) + count
 
 let distribution_time m = m.dist_time
 
@@ -423,6 +478,9 @@ let max_compute_time m = Array.fold_left max 0. m.compute
 let makespan m = m.dist_time +. max_compute_time m
 let message_count m = m.messages
 let message_volume m = m.volume
+let retries m = m.retries
+let dropped_messages m = m.dropped
+let corrupted_messages m = m.corrupted
 
 let iterations_of m ~pe =
   check_pe m pe;
@@ -436,9 +494,64 @@ let reset_stats m =
   m.dist_time <- 0.;
   m.messages <- 0;
   m.volume <- 0;
+  m.retries <- 0;
+  m.dropped <- 0;
+  m.corrupted <- 0;
   m.events <- [];
   Array.fill m.compute 0 (Array.length m.compute) 0.;
   Array.fill m.iterations 0 (Array.length m.iterations) 0
+
+(* {2 Checkpoint and recovery} *)
+
+(* A checkpoint is a deep copy of every PE's local memory.  Flat chunks
+   share their (immutable) lo/extents vectors and copy only the data and
+   presence buffers; sparse chunks copy the table.  Cheap enough to take
+   once after distribution and keep for the whole run. *)
+
+let copy_chunk = function
+  | Sparse tbl -> Sparse (Hashtbl.copy tbl)
+  | Flat f ->
+    Flat { f with data = Array.copy f.data; present = Bytes.copy f.present }
+
+let copy_memory mem =
+  let out = Hashtbl.create (max 16 (Hashtbl.length mem)) in
+  Hashtbl.iter (fun aid chunk -> Hashtbl.replace out aid (copy_chunk chunk)) mem;
+  out
+
+type checkpoint = { saved : (int, chunk) Hashtbl.t array }
+
+let checkpoint m = { saved = Array.map copy_memory m.memories }
+
+let checkpoint_words c =
+  Array.fold_left
+    (fun acc mem ->
+      Hashtbl.fold (fun _ chunk acc -> acc + chunk_count chunk) mem acc)
+    0 c.saved
+
+let restore m c =
+  if Array.length c.saved <> Array.length m.memories then
+    invalid_arg "Machine.restore: checkpoint taken on a different machine";
+  Array.iteri (fun pe mem -> m.memories.(pe) <- copy_memory mem) c.saved
+
+let clear_pe m ~pe =
+  check_pe m pe;
+  m.memories.(pe) <- Hashtbl.create 16
+
+let recover_chunk m c ~from_pe ~to_pe ~aid =
+  check_pe m to_pe;
+  if from_pe < 0 || from_pe >= Array.length c.saved then
+    invalid_arg "Machine.recover_chunk: source PE out of range";
+  match Hashtbl.find_opt c.saved.(from_pe) aid with
+  | None -> 0
+  | Some chunk ->
+    let size = chunk_count chunk in
+    let hops = Topology.distance m.topology 0 to_pe + 1 in
+    (* The host replays the lost data as one pipelined message, subject
+       to the same link faults as the original distribution. *)
+    charge_send m ~words:(size + hops - 1) ~size;
+    m.events <- Resend { pe = to_pe; array = array_name m aid; size } :: m.events;
+    Hashtbl.replace m.memories.(to_pe) aid (copy_chunk chunk);
+    size
 
 let trace m = List.rev m.events
 
@@ -450,6 +563,8 @@ let pp_event ppf = function
   | Multicast { pes; array; size } ->
     Format.fprintf ppf "multicast %s[%d words] -> {%s}" array size
       (String.concat "," (List.map string_of_int pes))
+  | Resend { pe; array; size } ->
+    Format.fprintf ppf "resend %s[%d words] -> PE%d (recovery)" array size pe
 
 let pp_stats ppf m =
   Format.fprintf ppf

@@ -10,15 +10,35 @@
 
     Time accounting: distribution time accumulates globally (the host is
     serial); compute time accumulates per processor; the makespan is
-    distribution + the slowest processor. *)
+    distribution + the slowest processor.
+
+    {b Fault injection}: a machine built with [?faults] consults the
+    plan at every host send and every compute charge.  Host messages may
+    be dropped or arrive corrupted — the host detects this and
+    retransmits, charging [t_start + x·t_comm] again per attempt.  A PE
+    scheduled to crash raises {!Pe_crashed} once its cumulative
+    iteration count reaches its threshold (threshold 0: it is already
+    dead when the host first sends to it).  A dead PE stays dead — its
+    compute clock freezes at the crash point. *)
 
 exception Remote_access of { pe : int; array : string; element : int array }
 
+exception Pe_crashed of { pe : int }
+(** The addressed processor is dead under the machine's fault plan.
+    Raised by {!host_send} (node dead during distribution) and by
+    {!run_iterations} (crash threshold reached). *)
+
 type t
 
-val create : Topology.t -> Cost.t -> t
+val create : ?faults:Cf_fault.Fault.t -> Topology.t -> Cost.t -> t
+(** Without [?faults] the machine never faults and behaves exactly as
+    before. *)
+
 val topology : t -> Topology.t
 val cost : t -> Cost.t
+
+val faults : t -> Cf_fault.Fault.t option
+(** The fault plan the machine was created with, if any. *)
 
 (** {1 Local memory} *)
 
@@ -85,7 +105,12 @@ val host_send :
 (** One cut-through (pipelined) message from the host to [pe]:
     [t_start + (size + hops − 1)·t_comm] with hops = distance(0, pe) + 1
     (the host attaches at rank 0).  Sending row blocks to each processor
-    in turn reproduces the paper's [p·t_start + M²·t_comm] term of T2. *)
+    in turn reproduces the paper's [p·t_start + M²·t_comm] term of T2.
+
+    Under a fault plan: dropped/corrupted attempts are each charged in
+    full before the successful retransmission; if [pe] is dead during
+    distribution, one full attempt is charged (the missing ack reveals
+    the dead node), nothing is stored, and {!Pe_crashed} is raised. *)
 
 val host_broadcast : t -> string -> (int array * int) list -> unit
 (** Broadcast to {e every} processor by store-and-forward flooding along
@@ -103,7 +128,11 @@ val host_multicast :
 (** {1 Compute accounting} *)
 
 val run_iterations : t -> pe:int -> int -> unit
-(** Charge [count] loop-body iterations to [pe]. *)
+(** Charge [count] loop-body iterations to [pe].  Under a fault plan,
+    if the charge would carry [pe]'s cumulative iteration count past its
+    crash threshold [k], only the iterations up to [k] are charged and
+    {!Pe_crashed} is raised; every subsequent call on the dead PE raises
+    again with zero additional charge. *)
 
 (** {1 Results} *)
 
@@ -113,7 +142,17 @@ val max_compute_time : t -> float
 val makespan : t -> float
 val message_count : t -> int
 val message_volume : t -> int
-(** Total words sent by the host. *)
+(** Total words sent by the host (retransmissions included). *)
+
+val retries : t -> int
+(** Host message retransmissions forced by the fault plan (0 without
+    one). *)
+
+val dropped_messages : t -> int
+(** Send attempts lost in flight. *)
+
+val corrupted_messages : t -> int
+(** Send attempts that arrived corrupted (detected and retransmitted). *)
 
 val iterations_of : t -> pe:int -> int
 
@@ -122,8 +161,40 @@ val memory_words : t -> pe:int -> int
     storage cost of replication. *)
 
 val reset_stats : t -> unit
-(** Clears timing, counters and the distribution trace (memories are
-    kept). *)
+(** Clears timing, counters (including fault counters) and the
+    distribution trace (memories are kept). *)
+
+(** {1 Checkpoint and recovery}
+
+    A checkpoint deep-copies every PE's local memory right after
+    distribution.  When a PE later crashes, the data it owned is lost
+    with it — communication freedom guarantees no other node depended on
+    that copy, so recovery is purely local: clear the dead PE, replay
+    its checkpointed chunks onto surviving PEs (charged as ordinary host
+    messages), and re-execute the lost blocks. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot all local memories (deep copy; the machine is unchanged). *)
+
+val restore : t -> checkpoint -> unit
+(** Overwrite every PE's local memory with the snapshot.  Raises
+    [Invalid_argument] when the checkpoint came from a machine with a
+    different processor count. *)
+
+val checkpoint_words : checkpoint -> int
+(** Total array elements held in the snapshot across all PEs. *)
+
+val clear_pe : t -> pe:int -> unit
+(** Drop [pe]'s entire local memory — models the node's death. *)
+
+val recover_chunk : t -> checkpoint -> from_pe:int -> to_pe:int -> aid:int -> int
+(** Replay the checkpointed chunk of array [aid] that lived on
+    [from_pe] onto [to_pe], charging one pipelined host message for its
+    size (subject to link faults) and recording a [Resend] event.
+    Returns the number of words resent (0 when the snapshot holds no
+    such chunk). *)
 
 (** {1 Distribution trace} *)
 
@@ -131,6 +202,8 @@ type event =
   | Send of { pe : int; array : string; size : int }
   | Broadcast of { array : string; size : int }
   | Multicast of { pes : int list; array : string; size : int }
+  | Resend of { pe : int; array : string; size : int }
+      (** recovery replay of a lost chunk onto a surviving PE *)
 
 val trace : t -> event list
 (** Host distribution events in issue order. *)

@@ -15,7 +15,15 @@ val count : t -> int
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [0, 1]: the geometric midpoint of the
     bucket holding the [q]-th ordered sample, clamped to the observed
-    min/max.  0 when empty. *)
+    min/max.  [q] outside [0, 1] is clamped to it.
+
+    Edge cases (pinned by tests): an {b empty} histogram yields 0 for
+    every quantile; with a {b single sample}, min = max clamps the
+    bucket midpoint so every quantile is exactly that sample; when {b
+    all samples land in one bucket} (e.g. identical values) every
+    quantile is equal — the bucket midpoint clamped to [min, max], the
+    exact value when the samples are identical.  Negative and NaN
+    values are recorded as 0. *)
 
 type summary = {
   count : int;

@@ -9,6 +9,7 @@ type outcome =
   | Failed of string
   | Rejected
   | Timed_out
+  | Tripped
 
 let pp_outcome ppf = function
   | Done c ->
@@ -18,6 +19,30 @@ let pp_outcome ppf = function
   | Failed msg -> Format.fprintf ppf "failed: %s" msg
   | Rejected -> Format.fprintf ppf "rejected"
   | Timed_out -> Format.fprintf ppf "timed out"
+  | Tripped -> Format.fprintf ppf "tripped (circuit open)"
+
+(* {2 Per-strategy circuit breaker}
+
+   Deterministic (count-based, not wall-clock) state machine guarded by
+   the service lock.  Closed counts consecutive planner failures; at the
+   threshold it opens with a fast-fail budget.  While open, requests of
+   that strategy resolve [Tripped] without touching the planner; once
+   the budget is spent the breaker half-opens and admits exactly one
+   probe — success recloses it, failure reopens it with a fresh
+   budget. *)
+
+type breaker_config = { failure_threshold : int; open_budget : int }
+
+let default_breaker = { failure_threshold = 5; open_budget = 16 }
+
+type breaker_state =
+  | Breaker_closed of int  (* consecutive failures so far *)
+  | Breaker_open of int  (* fast-fails remaining before half-open *)
+  | Breaker_half_open  (* single probe in flight *)
+
+exception Crash_injected
+(* Raised inside a worker by {!inject_worker_crash}; only ever observed
+   by the supervisor. *)
 
 (* A write-once cell the submitting thread blocks on. *)
 type ticket = {
@@ -52,10 +77,73 @@ type t = {
   mutable rejected : int;
   mutable timed_out : int;
   mutable failed : int;
+  mutable tripped : int;
+  mutable retried : int;
+  breaker : breaker_config option;
+  breakers : breaker_state array;  (* indexed like Strategy.all *)
+  breaker_trips : int array;  (* closed -> open transitions, same index *)
+  mutable live : int;  (* workers currently running *)
+  mutable worker_crashes : int;
+  mutable worker_restarts : int;
+  mutable crash_requests : int;  (* pending fault injections *)
   hist : Histogram.t;
   created : float;
   mutable workers : unit Domain.t array;
 }
+
+let strategies = Array.of_list Cf_core.Strategy.all
+
+let strategy_index s =
+  let rec go i =
+    if i >= Array.length strategies then
+      invalid_arg "Service: unknown strategy"
+    else if strategies.(i) = s then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Both run under [t.lock]. *)
+let breaker_admit t strategy =
+  match t.breaker with
+  | None -> `Run false
+  | Some _ -> (
+    let i = strategy_index strategy in
+    match t.breakers.(i) with
+    | Breaker_closed _ -> `Run false
+    | Breaker_open n when n > 1 ->
+      t.breakers.(i) <- Breaker_open (n - 1);
+      `Trip
+    | Breaker_open _ ->
+      (* Budget spent: this very request is the probe. *)
+      t.breakers.(i) <- Breaker_half_open;
+      `Run true
+    | Breaker_half_open ->
+      (* A probe is already in flight; keep fast-failing until it
+         reports back. *)
+      `Trip)
+
+let breaker_note t strategy ~probe outcome =
+  match t.breaker with
+  | None -> ()
+  | Some cfg -> (
+    let i = strategy_index strategy in
+    match outcome with
+    | Done _ -> t.breakers.(i) <- Breaker_closed 0
+    | Failed _ ->
+      if probe then begin
+        t.breakers.(i) <- Breaker_open cfg.open_budget;
+        t.breaker_trips.(i) <- t.breaker_trips.(i) + 1
+      end
+      else (
+        match t.breakers.(i) with
+        | Breaker_closed k when k + 1 >= cfg.failure_threshold ->
+          t.breakers.(i) <- Breaker_open cfg.open_budget;
+          t.breaker_trips.(i) <- t.breaker_trips.(i) + 1
+        | Breaker_closed k -> t.breakers.(i) <- Breaker_closed (k + 1)
+        | state -> t.breakers.(i) <- state)
+    | Rejected | Timed_out | Tripped ->
+      (* No planner involvement: not evidence either way. *)
+      ())
 
 let fresh_ticket () =
   { cm = Mutex.create (); cc = Condition.create (); resolved = None }
@@ -97,28 +185,42 @@ let run_job t job =
 
 let rec worker_loop t =
   Mutex.lock t.lock;
-  while Queue.is_empty t.queue && not t.closed do
+  while Queue.is_empty t.queue && not t.closed && t.crash_requests = 0 do
     Condition.wait t.not_empty t.lock
   done;
+  if t.crash_requests > 0 then begin
+    (* Injected fault: die before touching the queue, so no accepted
+       job can be lost to the crash. *)
+    t.crash_requests <- t.crash_requests - 1;
+    Mutex.unlock t.lock;
+    raise Crash_injected
+  end;
   if Queue.is_empty t.queue then
     (* Closed and fully drained: this worker is done. *)
     Mutex.unlock t.lock
   else begin
     let job = Queue.pop t.queue in
     t.in_flight <- t.in_flight + 1;
+    let admit = breaker_admit t job.strategy in
     Condition.signal t.not_full;
     Mutex.unlock t.lock;
-    let outcome = run_job t job in
+    let probe, outcome =
+      match admit with
+      | `Trip -> (false, Tripped)
+      | `Run probe -> (probe, run_job t job)
+    in
     (* Bookkeep before resolving the ticket, so a caller that observed
        the outcome via [await] also sees it reflected in [stats]. *)
     Mutex.lock t.lock;
     t.in_flight <- t.in_flight - 1;
+    breaker_note t job.strategy ~probe outcome;
     (match outcome with
     | Done c ->
       t.completed <- t.completed + 1;
       Histogram.record t.hist c.latency
     | Timed_out -> t.timed_out <- t.timed_out + 1
     | Failed _ -> t.failed <- t.failed + 1
+    | Tripped -> t.tripped <- t.tripped + 1
     | Rejected -> ());
     if Queue.is_empty t.queue && t.in_flight = 0 then
       Condition.broadcast t.idle;
@@ -127,9 +229,34 @@ let rec worker_loop t =
     worker_loop t
   end
 
-let create ?domains ?(queue_depth = 64) ?(cache = Some 1024) () =
+(* Supervisor: each domain runs the worker loop under a catch-all.  A
+   crashed worker (injected or a genuine bug escaping [run_job]'s
+   handler) is replaced in place while the service is open, so capacity
+   self-heals; after [shutdown] the death is only recorded. *)
+let rec supervised_worker t =
+  match worker_loop t with
+  | () ->
+    Mutex.lock t.lock;
+    t.live <- t.live - 1;
+    Mutex.unlock t.lock
+  | exception _ ->
+    Mutex.lock t.lock;
+    t.worker_crashes <- t.worker_crashes + 1;
+    let restart = not t.closed in
+    if restart then t.worker_restarts <- t.worker_restarts + 1
+    else t.live <- t.live - 1;
+    Mutex.unlock t.lock;
+    if restart then supervised_worker t
+
+let create ?domains ?(queue_depth = 64) ?(cache = Some 1024)
+    ?(breaker = Some default_breaker) () =
   if queue_depth < 1 then
     invalid_arg "Service.create: queue_depth must be >= 1";
+  (match breaker with
+  | Some { failure_threshold; open_budget }
+    when failure_threshold < 1 || open_budget < 1 ->
+    invalid_arg "Service.create: breaker thresholds must be >= 1"
+  | _ -> ());
   let ndomains =
     match domains with
     | None -> max 1 (min 64 (Domain.recommended_domain_count ()))
@@ -159,12 +286,22 @@ let create ?domains ?(queue_depth = 64) ?(cache = Some 1024) () =
       rejected = 0;
       timed_out = 0;
       failed = 0;
+      tripped = 0;
+      retried = 0;
+      breaker;
+      breakers = Array.map (fun _ -> Breaker_closed 0) strategies;
+      breaker_trips = Array.map (fun _ -> 0) strategies;
+      live = ndomains;
+      worker_crashes = 0;
+      worker_restarts = 0;
+      crash_requests = 0;
       hist = Histogram.create ();
       created = Unix.gettimeofday ();
       workers = [||];
     }
   in
-  t.workers <- Array.init ndomains (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    Array.init ndomains (fun _ -> Domain.spawn (fun () -> supervised_worker t));
   t
 
 let enqueue ~block ?(strategy = Cf_core.Strategy.Nonduplicate) ?search_radius
@@ -217,6 +354,35 @@ let plan_many ?strategy ?search_radius ?timeout t nests =
        (fun nest -> enqueue ~block:true ?strategy ?search_radius ?timeout t nest)
        nests)
 
+let plan_retry ?(max_attempts = 5) ?(backoff = 0.001) ?strategy ?search_radius
+    ?timeout t nest =
+  if max_attempts < 1 then
+    invalid_arg "Service.plan_retry: max_attempts must be >= 1";
+  if backoff < 0. then invalid_arg "Service.plan_retry: backoff must be >= 0";
+  let rec go attempt =
+    match plan_one ?strategy ?search_radius ?timeout t nest with
+    | Rejected when attempt < max_attempts ->
+      Mutex.lock t.lock;
+      t.retried <- t.retried + 1;
+      let closed = t.closed in
+      Mutex.unlock t.lock;
+      if closed then Rejected (* retrying a closed service never helps *)
+      else begin
+        (* Exponential backoff, capped so a long retry chain cannot
+           stall the caller for more than ~100ms per attempt. *)
+        Unix.sleepf (min 0.1 (backoff *. float_of_int (1 lsl (attempt - 1))));
+        go (attempt + 1)
+      end
+    | o -> o
+  in
+  go 1
+
+let inject_worker_crash t =
+  Mutex.lock t.lock;
+  t.crash_requests <- t.crash_requests + 1;
+  Condition.broadcast t.not_empty;
+  Mutex.unlock t.lock
+
 let drain t =
   Mutex.lock t.lock;
   while not (Queue.is_empty t.queue && t.in_flight = 0) do
@@ -234,6 +400,65 @@ let shutdown t =
   t.workers <- [||];
   Array.iter Domain.join workers
 
+type breaker_snapshot = {
+  strategy : Cf_core.Strategy.t;
+  state : breaker_state;
+  trips : int;
+}
+
+type health = {
+  ready : bool;
+  live_domains : int;
+  total_domains : int;
+  worker_crashes : int;
+  worker_restarts : int;
+  retried : int;
+  breaker_states : breaker_snapshot list;
+}
+
+let health_locked t =
+  {
+    ready = (not t.closed) && t.live > 0;
+    live_domains = t.live;
+    total_domains = t.ndomains;
+    worker_crashes = t.worker_crashes;
+    worker_restarts = t.worker_restarts;
+    retried = t.retried;
+    breaker_states =
+      (match t.breaker with
+      | None -> []
+      | Some _ ->
+        Array.to_list
+          (Array.mapi
+             (fun i strategy ->
+               { strategy; state = t.breakers.(i); trips = t.breaker_trips.(i) })
+             strategies));
+  }
+
+let health t =
+  Mutex.lock t.lock;
+  let h = health_locked t in
+  Mutex.unlock t.lock;
+  h
+
+let pp_breaker_state ppf = function
+  | Breaker_closed k -> Format.fprintf ppf "closed (%d consecutive failures)" k
+  | Breaker_open n -> Format.fprintf ppf "open (%d fast-fails left)" n
+  | Breaker_half_open -> Format.fprintf ppf "half-open (probe in flight)"
+
+let pp_health ppf h =
+  Format.fprintf ppf "@[<v>ready: %b@,domains: %d/%d live" h.ready
+    h.live_domains h.total_domains;
+  Format.fprintf ppf "@,workers: %d crash(es), %d restart(s)" h.worker_crashes
+    h.worker_restarts;
+  Format.fprintf ppf "@,retries: %d" h.retried;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "@,breaker %a: %a, %d trip(s)" Cf_core.Strategy.pp
+        b.strategy pp_breaker_state b.state b.trips)
+    h.breaker_states;
+  Format.fprintf ppf "@]"
+
 type stats = {
   domains : int;
   submitted : int;
@@ -241,6 +466,7 @@ type stats = {
   rejected : int;
   timed_out : int;
   failed : int;
+  tripped : int;
   queue_depth : int;
   in_flight : int;
   queue_hwm : int;
@@ -248,6 +474,7 @@ type stats = {
   throughput : float;
   latency : Histogram.summary;
   cache : Cf_cache.Memo.stats option;
+  health : health;
 }
 
 let stats t =
@@ -261,6 +488,7 @@ let stats t =
       rejected = t.rejected;
       timed_out = t.timed_out;
       failed = t.failed;
+      tripped = t.tripped;
       queue_depth = Queue.length t.queue;
       in_flight = t.in_flight;
       queue_hwm = t.queue_hwm;
@@ -269,6 +497,7 @@ let stats t =
         (if uptime > 0. then float_of_int t.completed /. uptime else 0.);
       latency = Histogram.summarize t.hist;
       cache = Option.map Planner.stats t.planner;
+      health = health_locked t;
     }
   in
   Mutex.unlock t.lock;
@@ -278,15 +507,16 @@ let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>domains: %d@,\
      requests: %d submitted, %d completed, %d rejected, %d timed out, %d \
-     failed@,\
+     failed, %d tripped@,\
      queue: depth %d (hwm %d), in flight %d@,\
      throughput: %.1f plans/s over %.2fs@,\
      latency: %a@,\
-     cache: %a@]"
-    s.domains s.submitted s.completed s.rejected s.timed_out s.failed
+     cache: %a@,\
+     %a@]"
+    s.domains s.submitted s.completed s.rejected s.timed_out s.failed s.tripped
     s.queue_depth s.queue_hwm s.in_flight s.throughput s.uptime
     Histogram.pp_summary s.latency
     (fun ppf -> function
       | None -> Format.fprintf ppf "off"
       | Some c -> Cf_cache.Memo.pp_stats ppf c)
-    s.cache
+    s.cache pp_health s.health

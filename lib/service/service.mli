@@ -17,7 +17,16 @@
     already queued, and joins them ({!submit} afterwards returns
     {!Rejected}).  {!stats} snapshots throughput, a latency histogram
     (p50/p95/p99 of completed requests, submission to completion), cache
-    counters and the queue-depth high-water mark. *)
+    counters and the queue-depth high-water mark.
+
+    Self-healing: every worker domain runs under a supervisor that
+    replaces it if it dies while the service is open ({!health} counts
+    crashes and restarts; {!inject_worker_crash} kills one worker on
+    purpose for testing).  A per-strategy circuit breaker trips after
+    repeated planner failures and fast-fails that strategy's requests
+    ({!Tripped}) for a fixed budget before half-opening on a single
+    probe.  {!plan_retry} retries {!Rejected} submissions with bounded
+    exponential backoff. *)
 
 type t
 
@@ -32,18 +41,40 @@ type outcome =
   | Failed of string  (** the planner raised (e.g. non-affine nest) *)
   | Rejected  (** queue full at submission, or service shut down *)
   | Timed_out  (** deadline expired before a worker started the request *)
+  | Tripped
+      (** the strategy's circuit breaker is open — fast-failed without
+          touching the planner *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
 type ticket
 (** A pending request; {!await} blocks until its outcome is known. *)
 
-val create : ?domains:int -> ?queue_depth:int -> ?cache:int option -> unit -> t
+type breaker_config = {
+  failure_threshold : int;
+      (** consecutive planner failures that trip the breaker (>= 1) *)
+  open_budget : int;
+      (** requests fast-failed while open before a half-open probe
+          (>= 1) *)
+}
+
+val default_breaker : breaker_config
+(** 5 consecutive failures to trip, 16 fast-fails before the probe. *)
+
+val create :
+  ?domains:int ->
+  ?queue_depth:int ->
+  ?cache:int option ->
+  ?breaker:breaker_config option ->
+  unit ->
+  t
 (** [domains] worker domains (default
     [Domain.recommended_domain_count ()], min 1, capped at 64);
     [queue_depth] bounds the submission queue (default 64, min 1);
     [cache] is the plan-cache capacity — [Some n] entries (default
-    [Some 1024]), [None] disables caching entirely. *)
+    [Some 1024]), [None] disables caching entirely; [breaker]
+    configures the per-strategy circuit breaker (default
+    [Some default_breaker], [None] disables it). *)
 
 val submit :
   ?strategy:Cf_core.Strategy.t ->
@@ -79,12 +110,64 @@ val plan_many :
     bounded queue — then awaits all outcomes, in input order.  Nests
     enqueued after {!shutdown} closes the queue come back {!Rejected}. *)
 
+val plan_retry :
+  ?max_attempts:int ->
+  ?backoff:float ->
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  ?timeout:float ->
+  t ->
+  Cf_loop.Nest.t ->
+  outcome
+(** {!plan_one} that retries {!Rejected} outcomes (queue full) up to
+    [max_attempts] times (default 5, must be >= 1), sleeping
+    [backoff · 2^(attempt−1)] seconds between attempts (default 1ms,
+    capped at 100ms per attempt).  Retrying stops immediately once the
+    service is shut down — those rejections are permanent.  Any other
+    outcome is returned as-is. *)
+
+val inject_worker_crash : t -> unit
+(** Fault injection for tests: the next worker to look at the queue
+    raises instead, {e before} popping a job (no accepted request is
+    lost).  While the service is open the supervisor restarts the
+    worker; after {!shutdown} the death is only recorded.  See
+    {!health}. *)
+
 val drain : t -> unit
-(** Block until the queue is empty and no request is in flight. *)
+(** Block until the queue is empty and no request is in flight.  Safe
+    to call at any time, from several callers, and again after
+    {!shutdown}. *)
 
 val shutdown : t -> unit
 (** Close the queue, finish already-accepted work, join the worker
     domains.  Idempotent. *)
+
+(** {1 Health} *)
+
+type breaker_state =
+  | Breaker_closed of int  (** consecutive planner failures so far *)
+  | Breaker_open of int  (** fast-fails left before the half-open probe *)
+  | Breaker_half_open  (** single probe in flight *)
+
+type breaker_snapshot = {
+  strategy : Cf_core.Strategy.t;
+  state : breaker_state;
+  trips : int;  (** closed → open transitions so far *)
+}
+
+type health = {
+  ready : bool;  (** open for submissions with at least one live worker *)
+  live_domains : int;
+  total_domains : int;
+  worker_crashes : int;
+  worker_restarts : int;
+  retried : int;  (** {!plan_retry} re-submissions *)
+  breaker_states : breaker_snapshot list;
+      (** one per strategy, [[]] when the breaker is disabled *)
+}
+
+val health : t -> health
+val pp_health : Format.formatter -> health -> unit
 
 type stats = {
   domains : int;
@@ -93,6 +176,7 @@ type stats = {
   rejected : int;
   timed_out : int;
   failed : int;
+  tripped : int;  (** fast-failed by an open circuit breaker *)
   queue_depth : int;  (** current *)
   in_flight : int;  (** currently being planned *)
   queue_hwm : int;  (** queue-depth high-water mark *)
@@ -100,6 +184,7 @@ type stats = {
   throughput : float;  (** completed requests per second of uptime *)
   latency : Histogram.summary;  (** completed requests only *)
   cache : Cf_cache.Memo.stats option;  (** [None] when cache disabled *)
+  health : health;  (** liveness/breaker snapshot, same instant *)
 }
 
 val stats : t -> stats

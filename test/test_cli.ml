@@ -145,6 +145,26 @@ let cases =
         Filename.concat root "examples/loops";
         "--no-cache"; "--domains"; "1"; "--queue"; "4" ]
       [ "cache: off" ];
+    expect_ok "simulate recovers from a killed PE"
+      [ "simulate"; loop "l5.loop"; "-p"; "4";
+        "--kill-pe"; "0"; "--kill-after"; "3" ]
+      [ "recovered: PE {0} crashed";
+        "recovered output identical: true" ];
+    expect_ok "simulate with a seeded fault plan is reproducible"
+      [ "simulate"; loop "l5.loop"; "-p"; "4"; "--fault-seed"; "7" ]
+      [ "recovered output identical: true" ];
+    expect_ok "malformed fault seed exits 2"
+      ~expected_status:2
+      [ "simulate"; loop "l1.loop"; "--fault-seed"; "banana" ]
+      [ "error: --fault-seed expects an integer" ];
+    expect_ok "kill-pe outside the machine exits 2"
+      ~expected_status:2
+      [ "simulate"; loop "l1.loop"; "-p"; "4"; "--kill-pe"; "9" ]
+      [ "outside the machine" ];
+    expect_ok "kill-after without kill-pe exits 2"
+      ~expected_status:2
+      [ "simulate"; loop "l1.loop"; "--kill-after"; "3" ]
+      [ "--kill-after requires --kill-pe" ];
   ]
 
 let suites = [ ("cli", cases) ]

@@ -39,6 +39,23 @@ let topology_cases =
           (Topology.grid_of_procs ~k:1 5);
         Alcotest.check Alcotest.(array int) "27, k=3" [| 3; 3; 3 |]
           (Topology.grid_of_procs ~k:3 27));
+    Alcotest.test_case "grid_of_procs degenerate shapes" `Quick (fun () ->
+        (* p = 1: every extent collapses to 1. *)
+        Alcotest.check Alcotest.(array int) "1, k=3" [| 1; 1; 1 |]
+          (Topology.grid_of_procs ~k:3 1);
+        (* Prime p can't factor: the tail dimension absorbs the rest. *)
+        Alcotest.check Alcotest.(array int) "13, k=2" [| 3; 4 |]
+          (Topology.grid_of_procs ~k:2 13);
+        (* k > log2 p: leading extents degenerate to 1, never 0. *)
+        Alcotest.check Alcotest.(array int) "8, k=6" [| 1; 1; 1; 1; 1; 8 |]
+          (Topology.grid_of_procs ~k:6 8));
+    qtest "grid_of_procs extents are >= 1 and fit the machine" ~count:300
+      (fun (k, p) ->
+        let dims = Topology.grid_of_procs ~k p in
+        Array.length dims = k
+        && Array.for_all (fun d -> d >= 1) dims
+        && Array.fold_left ( * ) 1 dims <= p)
+      QCheck.(pair (int_range 1 6) (int_range 1 100));
   ]
 
 let cost_cases =

@@ -23,4 +23,5 @@ let () =
          Test_frontend.suites;
          Test_cache.suites;
          Test_service.suites;
+         Test_fault.suites;
        ])

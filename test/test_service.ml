@@ -236,9 +236,182 @@ let lifecycle_cases =
         Service.shutdown svc);
   ]
 
+(* --- Resilience: supervisor restarts, circuit breaker, retry. --- *)
+
+let bad_nest =
+  lazy (Cf_loop.Parse.nest "for i = 1 to 4\n  A[i] := A[i, 1] + 1;\nend")
+
+let expect name expected o =
+  let tag = function
+    | Service.Done _ -> "done"
+    | Service.Failed _ -> "failed"
+    | Service.Rejected -> "rejected"
+    | Service.Timed_out -> "timed-out"
+    | Service.Tripped -> "tripped"
+  in
+  if tag o <> expected then
+    Alcotest.failf "%s: expected %s, got %a" name expected Service.pp_outcome o
+
+let resilience_cases =
+  [
+    Alcotest.test_case "supervisor replaces a crashed worker" `Quick (fun () ->
+        let svc = Service.create ~domains:2 ~queue_depth:8 () in
+        Service.inject_worker_crash svc;
+        (* The injection fires on the next worker wake-up; wait for the
+           supervisor to record it. *)
+        let rec wait n =
+          let h = Service.health svc in
+          if h.Service.worker_crashes >= 1 || n = 0 then h
+          else begin
+            Unix.sleepf 0.001;
+            wait (n - 1)
+          end
+        in
+        let h = wait 5000 in
+        check_int "crash recorded" 1 h.Service.worker_crashes;
+        check_int "worker restarted" 1 h.Service.worker_restarts;
+        check_int "full capacity restored" 2 h.Service.live_domains;
+        check_int "sized as created" 2 h.Service.total_domains;
+        check_bool "still ready" true h.Service.ready;
+        expect "service still plans" "done" (Service.plan_one svc l1);
+        ignore (Format.asprintf "%a" Service.pp_health h);
+        Service.shutdown svc;
+        check_bool "not ready after shutdown" false
+          (Service.health svc).Service.ready);
+    Alcotest.test_case "breaker trips, fast-fails, half-opens, recloses"
+      `Quick (fun () ->
+        (* One worker makes the admit/note sequence strictly serial. *)
+        let svc =
+          Service.create ~domains:1
+            ~breaker:(Some { Service.failure_threshold = 2; open_budget = 2 })
+            ()
+        in
+        let strategy = Cf_core.Strategy.Duplicate in
+        let bad () = Service.plan_one ~strategy svc (Lazy.force bad_nest) in
+        let good () = Service.plan_one ~strategy svc l1 in
+        expect "1st failure" "failed" (bad ());
+        expect "2nd failure trips the breaker" "failed" (bad ());
+        expect "open: fast-fail" "tripped" (bad ());
+        expect "budget spent: probe runs and fails" "failed" (bad ());
+        expect "reopened: fast-fail again" "tripped" (good ());
+        expect "probe succeeds and recloses" "done" (good ());
+        expect "closed again" "done" (good ());
+        (* Breakers are per strategy: Duplicate's trips never touched
+           Nonduplicate's. *)
+        expect "other strategy unaffected" "failed"
+          (Service.plan_one ~strategy:Cf_core.Strategy.Nonduplicate svc
+             (Lazy.force bad_nest));
+        let s = Service.stats svc in
+        check_int "tripped count" 2 s.Service.tripped;
+        check_int "failed count" 4 s.Service.failed;
+        let snap =
+          List.find
+            (fun b -> b.Service.strategy = strategy)
+            s.Service.health.Service.breaker_states
+        in
+        check_int "two closed->open transitions" 2 snap.Service.trips;
+        check_bool "breaker closed at rest" true
+          (snap.Service.state = Service.Breaker_closed 0);
+        Service.shutdown svc);
+    Alcotest.test_case "breaker disabled never trips" `Quick (fun () ->
+        let svc = Service.create ~domains:1 ~breaker:None () in
+        for i = 1 to 5 do
+          expect
+            (Printf.sprintf "failure %d" i)
+            "failed"
+            (Service.plan_one svc (Lazy.force bad_nest))
+        done;
+        let s = Service.stats svc in
+        check_int "never tripped" 0 s.Service.tripped;
+        check_bool "no breaker snapshots" true
+          (s.Service.health.Service.breaker_states = []);
+        Service.shutdown svc);
+    Alcotest.test_case "plan_retry passes outcomes through" `Quick (fun () ->
+        let svc = Service.create ~domains:2 () in
+        (match Service.plan_retry ~max_attempts:0 svc l1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "max_attempts 0 must be rejected");
+        (match Service.plan_retry ~backoff:(-1.) svc l1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "negative backoff must be rejected");
+        expect "success needs no retry" "done" (Service.plan_retry svc l1);
+        expect "failures are not retried" "failed"
+          (Service.plan_retry svc (Lazy.force bad_nest));
+        Service.shutdown svc;
+        (* Shut down: the rejection is permanent, so retrying stops
+           immediately instead of sleeping through the backoff. *)
+        expect "permanent rejection" "rejected"
+          (Service.plan_retry ~max_attempts:50 svc l1));
+    Alcotest.test_case "shutdown twice, drain any time" `Quick (fun () ->
+        let svc = Service.create ~domains:2 ~queue_depth:4 () in
+        (* Drain concurrently with submissions: must neither raise nor
+           deadlock, and later submissions still complete. *)
+        let drainers =
+          Array.init 2 (fun _ -> Domain.spawn (fun () -> Service.drain svc))
+        in
+        let outs = Service.plan_many svc (List.map snd all_paper_loops) in
+        Array.iter Domain.join drainers;
+        List.iteri
+          (fun i o -> expect (Printf.sprintf "job %d" i) "done" o)
+          outs;
+        Service.drain svc;
+        expect "open after drains" "done" (Service.plan_one svc l1);
+        Service.shutdown svc;
+        Service.shutdown svc;
+        Service.drain svc;
+        expect "rejects after shutdown" "rejected" (Service.plan_one svc l1));
+  ]
+
+(* --- Histogram quantile edge cases, pinned. --- *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let histogram_cases =
+  [
+    Alcotest.test_case "empty histogram summarizes to zero" `Quick (fun () ->
+        let h = Histogram.create () in
+        check_int "count" 0 (Histogram.count h);
+        feq "quantile" 0. (Histogram.quantile h 0.5);
+        let s = Histogram.summarize h in
+        check_int "summary count" 0 s.Histogram.count;
+        feq "mean" 0. s.Histogram.mean;
+        feq "min" 0. s.Histogram.min;
+        feq "max" 0. s.Histogram.max;
+        feq "p50" 0. s.Histogram.p50;
+        feq "p99" 0. s.Histogram.p99);
+    Alcotest.test_case "single sample pins every quantile" `Quick (fun () ->
+        let h = Histogram.create () in
+        Histogram.record h 0.004;
+        let s = Histogram.summarize h in
+        check_int "count" 1 s.Histogram.count;
+        feq "mean" 0.004 s.Histogram.mean;
+        feq "min" 0.004 s.Histogram.min;
+        feq "max" 0.004 s.Histogram.max;
+        (* min = max clamps the bucket midpoint to the sample itself. *)
+        feq "p50" 0.004 s.Histogram.p50;
+        feq "p95" 0.004 s.Histogram.p95;
+        feq "p99" 0.004 s.Histogram.p99;
+        feq "q=0 clamps" 0.004 (Histogram.quantile h (-1.));
+        feq "q=1 clamps" 0.004 (Histogram.quantile h 2.));
+    Alcotest.test_case "identical samples collapse to one bucket" `Quick
+      (fun () ->
+        let h = Histogram.create () in
+        for _ = 1 to 7 do
+          Histogram.record h 0.02
+        done;
+        let s = Histogram.summarize h in
+        check_int "count" 7 s.Histogram.count;
+        feq "mean" 0.02 s.Histogram.mean;
+        feq "p50" 0.02 s.Histogram.p50;
+        feq "p95" 0.02 s.Histogram.p95;
+        feq "p99" 0.02 s.Histogram.p99);
+  ]
+
 let suites =
   [
     ("service-determinism", deterministic_cases);
     ("service-pressure", pressure_cases);
     ("service-lifecycle", lifecycle_cases);
+    ("service-resilience", resilience_cases);
+    ("service-histogram", histogram_cases);
   ]
