@@ -298,6 +298,284 @@ let simulate_cmd =
     Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
           $ procs_arg $ fault_seed_arg $ kill_pe_arg $ kill_after_arg)
 
+(* trace *)
+
+(* Shared with simulate: build the fault spec from the hand-parsed
+   flags (None when no fault flag was given). *)
+let fault_spec ~seed ~kill_pe ~kill_after =
+  match (seed, kill_pe, kill_after) with
+  | None, None, None -> None
+  | _ ->
+    Some
+      {
+        Cf_fault.Fault.none with
+        seed = Option.value seed ~default:0;
+        kills =
+          (match kill_pe with
+          | Some pe -> [ (pe, Option.value kill_after ~default:0) ]
+          | None -> []);
+        crash_rate = (if seed = None then 0. else 0.25);
+        crash_after_max = (if seed = None then 0 else 8);
+        drop_rate = (if seed = None then 0. else 0.05);
+        corrupt_rate = (if seed = None then 0. else 0.02);
+      }
+
+let trace_run level file strategy radius procs fault_seed kill_pe kill_after
+    out fmt capacity =
+  setup_logs level;
+  let int_flag name v k =
+    match v with
+    | None -> k None
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> k (Some n)
+      | None ->
+        Format.eprintf "error: --%s expects an integer, got %S@." name s;
+        2)
+  in
+  int_flag "fault-seed" fault_seed @@ fun seed ->
+  int_flag "kill-pe" kill_pe @@ fun kill_pe ->
+  int_flag "kill-after" kill_after @@ fun kill_after ->
+  if capacity < 1 then begin
+    Format.eprintf "error: --capacity must be >= 1@.";
+    2
+  end
+  else if kill_after <> None && kill_pe = None then begin
+    Format.eprintf "error: --kill-after requires --kill-pe@.";
+    2
+  end
+  else begin
+    (* The planner lane runs on wall clock rebased to the start of the
+       run; machine lanes carry simulated seconds (see DESIGN.md). *)
+    let t0 = Unix.gettimeofday () in
+    let trace =
+      Cf_obs.Trace.make
+        ~clock:(fun () -> Unix.gettimeofday () -. t0)
+        (Cf_obs.Trace.ring ~capacity)
+    in
+    handle (fun () ->
+        each_nest file (fun nest ->
+            let plan =
+              Cf_pipeline.Pipeline.plan ~obs:trace ~strategy
+                ?search_radius:radius nest
+            in
+            let faults =
+              Option.map (Cf_fault.Fault.make ~procs)
+                (fault_spec ~seed ~kill_pe ~kill_after)
+            in
+            let machine =
+              Cf_machine.Machine.create ?faults ~obs:trace
+                (Cf_machine.Topology.linear procs)
+                Cf_machine.Cost.transputer
+            in
+            let coset =
+              Cf_core.Coset.make nest plan.Cf_pipeline.Pipeline.space
+            in
+            let report =
+              Cf_exec.Parexec.execute_indexed
+                ?exact:plan.Cf_pipeline.Pipeline.exact
+                ~charge_distribution:true ~machine
+                ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
+                ~strategy coset
+            in
+            Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report report;
+            Format.printf "makespan: %.6fs@."
+              (Cf_machine.Machine.makespan machine));
+        let evs = Cf_obs.Trace.events trace in
+        let data =
+          match fmt with
+          | "chrome" -> Cf_obs.Trace.to_chrome ~process_name:"cfalloc" evs
+          | "jsonl" -> Cf_obs.Trace.to_jsonl evs
+          | f -> invalid_arg (Printf.sprintf "unknown trace format %S" f)
+        in
+        let oc = open_out out in
+        output_string oc data;
+        close_out oc;
+        Format.printf "wrote %s (%d event(s), %d dropped, %s format)@." out
+          (List.length evs)
+          (Cf_obs.Trace.dropped trace)
+          fmt)
+  end
+
+let trace_cmd =
+  let doc =
+    "Execute the plan with the observability subsystem attached and \
+     export the run as a per-PE timeline (Chrome trace_event JSON, \
+     loadable in Perfetto / chrome://tracing, or JSONL)."
+  in
+  let fault_seed_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault-seed" ] ~docv:"SEED"
+             ~doc:"Seeded fault injection, as in $(b,simulate): the crash \
+                   and recovery-replay events appear on the timeline.")
+  in
+  let kill_pe_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kill-pe" ] ~docv:"PE"
+             ~doc:"Deterministically crash processor $(docv).")
+  in
+  let kill_after_arg =
+    Arg.(value & opt (some string) None
+         & info [ "kill-after" ] ~docv:"K"
+             ~doc:"Iterations the killed PE completes before dying; \
+                   requires --kill-pe.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json"
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Output file (default trace.json).")
+  in
+  let fmt_arg =
+    Arg.(value & opt (enum [ ("chrome", "chrome"); ("jsonl", "jsonl") ])
+           "chrome"
+         & info [ "trace-format" ] ~docv:"FORMAT"
+             ~doc:"Export format: $(b,chrome) (default) or $(b,jsonl).")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 65536
+         & info [ "capacity" ] ~docv:"N"
+             ~doc:"Ring-buffer capacity in events; the oldest events are \
+                   dropped beyond it (default 65536).")
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ procs_arg $ fault_seed_arg $ kill_pe_arg $ kill_after_arg
+          $ out_arg $ fmt_arg $ capacity_arg)
+
+(* trace-check *)
+
+let trace_check_run level file =
+  setup_logs level;
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Cf_obs.Trace.validate_chrome s with
+  | Ok n ->
+    Format.printf "valid Chrome trace: %d event(s)@." n;
+    0
+  | Error msg ->
+    Format.eprintf "invalid trace: %s@." msg;
+    1
+
+let trace_check_cmd =
+  let doc =
+    "Validate a Chrome trace_event JSON file (as written by $(b,trace)): \
+     well-formed JSON, required event fields, per-lane monotone \
+     timestamps, balanced begin/end pairs."
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Trace JSON file.")
+  in
+  Cmd.v (Cmd.info "trace-check" ~doc)
+    Term.(const trace_check_run $ logs_arg $ file_arg)
+
+(* bench-diff *)
+
+(* Flatten a JSON document to (path, number) leaves; arrays of objects
+   are keyed by their "workload"/"experiment"/"name" field when present
+   so rows pair up even if reordered. *)
+let rec json_leaves prefix j acc =
+  match j with
+  | Cf_obs.Json.Num x -> (prefix, x) :: acc
+  | Cf_obs.Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) -> json_leaves (prefix ^ "." ^ k) v acc)
+      acc fields
+  | Cf_obs.Json.List items ->
+    List.fold_left
+      (fun (i, acc) item ->
+        let key =
+          match item with
+          | Cf_obs.Json.Obj fields ->
+            let tag name =
+              match List.assoc_opt name fields with
+              | Some (Cf_obs.Json.Str s) -> Some s
+              | _ -> None
+            in
+            (match (tag "workload", tag "experiment", tag "name") with
+            | Some s, _, _ | None, Some s, _ | None, None, Some s ->
+              (* Disambiguate repeated workloads (size sweeps, kill
+                 sweeps) so rows pair up across files positionally
+                 independent. *)
+              let disc name =
+                match List.assoc_opt name fields with
+                | Some (Cf_obs.Json.Num x) when Float.is_integer x ->
+                  Printf.sprintf ",%s=%.0f" name x
+                | _ -> ""
+              in
+              s ^ disc "size" ^ disc "kills"
+            | None, None, None -> string_of_int i)
+          | _ -> string_of_int i
+        in
+        (i + 1, json_leaves (prefix ^ "[" ^ key ^ "]") item acc))
+      (0, acc) items
+    |> snd
+  | _ -> acc
+
+let bench_diff_run level baseline current warn_pct =
+  setup_logs level;
+  let read path =
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Cf_obs.Json.parse s with
+    | Ok j -> Ok j
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  in
+  match (read baseline, read current) with
+  | Error e, _ | _, Error e ->
+    Format.eprintf "error: %s@." e;
+    1
+  | Ok base, Ok cur ->
+    let base_leaves = json_leaves "" base [] in
+    let cur_leaves = json_leaves "" cur [] in
+    let warnings = ref 0 and compared = ref 0 in
+    List.iter
+      (fun (path, b) ->
+        match List.assoc_opt path cur_leaves with
+        | None -> ()
+        | Some c ->
+          incr compared;
+          (* Tiny absolute values are all noise; only flag changes on
+             metrics of measurable magnitude. *)
+          if Float.abs b > 1e-9 then begin
+            let pct = 100. *. (c -. b) /. Float.abs b in
+            if Float.abs pct > warn_pct then begin
+              incr warnings;
+              Format.printf "WARN %s: %g -> %g (%+.1f%%)@." path b c pct
+            end
+          end)
+      base_leaves;
+    Format.printf "bench-diff: %d metric(s) compared, %d over the %.0f%% \
+                   threshold (advisory only)@."
+      !compared !warnings warn_pct;
+    0
+
+let bench_diff_cmd =
+  let doc =
+    "Compare a benchmark JSON report against a committed baseline and \
+     warn (never fail) on metrics that moved more than the threshold."
+  in
+  let baseline_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE" ~doc:"Committed baseline JSON file.")
+  in
+  let current_arg =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CURRENT" ~doc:"Freshly produced JSON file.")
+  in
+  let warn_arg =
+    Arg.(value & opt float 20.
+         & info [ "warn-pct" ] ~docv:"PCT"
+             ~doc:"Relative-change threshold in percent (default 20).")
+  in
+  Cmd.v (Cmd.info "bench-diff" ~doc)
+    Term.(const bench_diff_run $ logs_arg $ baseline_arg $ current_arg
+          $ warn_arg)
+
 (* figures *)
 
 let figures_run level file strategy radius svg_dir =
@@ -636,8 +914,8 @@ let main =
   let doc = "communication-free data allocation for nested loops" in
   let info = Cmd.info "cfalloc" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ analyze_cmd; transform_cmd; simulate_cmd; figures_cmd; compare_cmd;
-      advise_cmd; allocate_cmd; cgen_cmd; distribute_cmd; batch_cmd;
-      demo_cmd ]
+    [ analyze_cmd; transform_cmd; simulate_cmd; trace_cmd; trace_check_cmd;
+      figures_cmd; compare_cmd; advise_cmd; allocate_cmd; cgen_cmd;
+      distribute_cmd; batch_cmd; bench_diff_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

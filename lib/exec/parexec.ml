@@ -219,6 +219,11 @@ let execute_indexed ?(init = Seqexec.default_init)
   in
   let nprocs = Topology.size (Machine.topology machine) in
   let plan = Machine.faults machine in
+  (* One coherent timeline per run: the engine emits its spans into the
+     machine's own trace, interleaved with the machine's send/resend/
+     crash events.  All timestamps are simulated seconds. *)
+  let obs = Machine.obs machine in
+  let obs_on = Cf_obs.Trace.enabled obs in
   (* Recovery replays lost data from block-local copies; without
      [allocate] the caller owns distribution and copies may be shared,
      so a crash could not be repaired locally. *)
@@ -300,6 +305,7 @@ let execute_indexed ?(init = Seqexec.default_init)
      block by block via closed-form enumeration.  Everything any
      surviving access of the block touches gets a block-local copy on
      the block's processor, exactly as [execute] allocates. *)
+  let dist_t0 = Machine.host_now machine in
   if allocate then begin
     if charge_distribution then begin
       (* Charged distribution needs the per-copy element list up front,
@@ -421,6 +427,16 @@ let execute_indexed ?(init = Seqexec.default_init)
     end;
     Machine.compact machine
   end;
+  if obs_on then
+    Cf_obs.Trace.complete obs ~lane:Cf_obs.Trace.host_lane ~cat:"dist"
+      ~ts:dist_t0
+      ~dur:(Machine.host_now machine -. dist_t0)
+      "distribute"
+      ~args:
+        [
+          ("blocks", Cf_obs.Trace.Int q);
+          ("charged", Cf_obs.Trace.Bool charge_distribution);
+        ];
   (* Snapshot the distributed state: when a PE crashes mid-run, its
      block-local chunks are replayed from this checkpoint onto the
      survivors.  [ckpt_owner] pins where each block's chunks live in the
@@ -472,6 +488,7 @@ let execute_indexed ?(init = Seqexec.default_init)
          then begin
            cur_block := id;
            try
+           let block_t0 = if obs_on then Machine.pe_now machine pe else 0. in
            let copy_aids =
              Array.init (Array.length arr_names) (fun slot ->
                  Machine.find_array_id machine (copy_name id slot))
@@ -539,8 +556,17 @@ let execute_indexed ?(init = Seqexec.default_init)
                      end
                    end)
                  body);
-             Machine.run_iterations machine ~pe
-               (Coset.block coset ~id).Coset.size;
+             let bsize = (Coset.block coset ~id).Coset.size in
+             Machine.run_iterations machine ~pe bsize;
+             if obs_on then
+               Cf_obs.Trace.complete obs ~lane:pe ~cat:"compute" ~ts:block_t0
+                 ~dur:(Machine.pe_now machine pe -. block_t0)
+                 "block"
+                 ~args:
+                   [
+                     ("block", Cf_obs.Trace.Int id);
+                     ("iterations", Cf_obs.Trace.Int bsize);
+                   ];
              done_blocks.(id - 1) <- true
            with Machine.Pe_crashed { pe } -> dead_here := pe :: !dead_here
          end
@@ -568,6 +594,10 @@ let execute_indexed ?(init = Seqexec.default_init)
   let running = ref true in
   while !running do
     incr rounds;
+    if obs_on then
+      Cf_obs.Trace.mark obs ~lane:Cf_obs.Trace.host_lane ~cat:"exec"
+        ~ts:(Machine.host_now machine) "round"
+        ~args:[ ("round", Cf_obs.Trace.Int !rounds) ];
     let results = Array.make dcount (None, Hashtbl.create 0, []) in
     let spawned =
       Array.init (dcount - 1) (fun i ->
@@ -625,7 +655,17 @@ let execute_indexed ?(init = Seqexec.default_init)
             owner.(id - 1) <- to_pe;
             incr replayed
           end
-        done
+        done;
+        if obs_on then
+          Cf_obs.Trace.mark obs ~lane:Cf_obs.Trace.host_lane ~cat:"fault"
+            ~ts:(Machine.host_now machine) "recovery"
+            ~args:
+              [
+                ("round", Cf_obs.Trace.Int !rounds);
+                ("crashed", Cf_obs.Trace.Int (List.length new_dead));
+                ("replayed_blocks", Cf_obs.Trace.Int !replayed);
+                ("words", Cf_obs.Trace.Int !rewords);
+              ]
       end
   done;
   let mismatches =

@@ -7,6 +7,12 @@ type t = {
 let transputer = { t_comp = 9.61e-6; t_start = 1.0e-4; t_comm = 3.83e-6 }
 let make ~t_comp ~t_start ~t_comm = { t_comp; t_start; t_comm }
 
+let sat_add a b =
+  let s = a + b in
+  if a >= 0 && b >= 0 && s < 0 then max_int
+  else if a < 0 && b < 0 && s >= 0 then min_int
+  else s
+
 let message c ~hops ~size =
   if hops < 0 || size < 0 then invalid_arg "Cost.message";
   let pipeline = float_of_int (size + max 0 (hops - 1)) in

@@ -19,6 +19,12 @@ val transputer : t
 
 val make : t_comp:float -> t_start:float -> t_comm:float -> t
 
+val sat_add : int -> int -> int
+(** Saturating integer addition: clamps to [max_int] / [min_int]
+    instead of wrapping.  The machine's iteration and volume totals run
+    through this so huge [--scale] simulations degrade to a pegged
+    counter rather than a negative one. *)
+
 val message : t -> hops:int -> size:int -> float
 (** Cost of one message of [size] words traveling [hops] mesh links in a
     pipelined (wormhole-like) fashion: [t_start + (size + hops − 1)·t_comm].

@@ -42,14 +42,16 @@ type t = {
   mutable dropped : int;
   mutable corrupted : int;
   mutable events : event list;  (* reverse issue order *)
+  mutable obs : Cf_obs.Trace.t;
 }
 
-let create ?faults topology cost =
+let create ?faults ?(obs = Cf_obs.Trace.null) topology cost =
   let p = Topology.size topology in
   {
     topology;
     cost;
     faults;
+    obs;
     memories = Array.init p (fun _ -> Hashtbl.create 64);
     ids = Hashtbl.create 64;
     names = Array.make 16 "";
@@ -68,6 +70,14 @@ let create ?faults topology cost =
 let topology m = m.topology
 let cost m = m.cost
 let faults m = m.faults
+let obs m = m.obs
+let set_obs m t = m.obs <- t
+
+(* The simulated clocks the trace lanes run on: the host lane advances
+   with distribution time, PE lane [pe] with distribution + that PE's
+   compute — both nondecreasing, so every lane is monotone. *)
+let host_now m = m.dist_time
+let pe_now m pe = m.dist_time +. m.compute.(pe)
 
 let check_pe m pe =
   if pe < 0 || pe >= Topology.size m.topology then
@@ -372,7 +382,7 @@ let charge m ~words =
   m.dist_time <-
     m.dist_time +. m.cost.Cost.t_start
     +. (float_of_int words *. m.cost.Cost.t_comm);
-  m.messages <- m.messages + 1
+  m.messages <- Cost.sat_add m.messages 1
 
 (* Point-to-point charge under the fault plan: the message may be
    dropped or arrive corrupted (detected), and each attempt — failed or
@@ -382,21 +392,28 @@ let charge_send m ~words ~size =
   match m.faults with
   | None ->
     charge m ~words;
-    m.volume <- m.volume + size
+    m.volume <- Cost.sat_add m.volume size
   | Some plan ->
     let d = Cf_fault.Fault.deliver plan in
     for _ = 1 to d.Cf_fault.Fault.attempts do
       charge m ~words
     done;
-    m.volume <- m.volume + (d.Cf_fault.Fault.attempts * size);
-    m.retries <- m.retries + d.Cf_fault.Fault.attempts - 1;
-    m.dropped <- m.dropped + d.Cf_fault.Fault.dropped;
-    m.corrupted <- m.corrupted + d.Cf_fault.Fault.corrupted
+    m.volume <- Cost.sat_add m.volume (d.Cf_fault.Fault.attempts * size);
+    m.retries <- Cost.sat_add m.retries (d.Cf_fault.Fault.attempts - 1);
+    m.dropped <- Cost.sat_add m.dropped d.Cf_fault.Fault.dropped;
+    m.corrupted <- Cost.sat_add m.corrupted d.Cf_fault.Fault.corrupted
 
 let dead_at_distribution m pe =
   match m.faults with
   | None -> false
   | Some plan -> Cf_fault.Fault.crash_during_distribution plan ~pe
+
+(* Every distribution primitive reports itself as a complete span on
+   the host lane covering exactly the simulated time it charged. *)
+let obs_dist m ~t0 ?(cat = "dist") name args =
+  if Cf_obs.Trace.enabled m.obs then
+    Cf_obs.Trace.complete m.obs ~lane:Cf_obs.Trace.host_lane ~cat ~ts:t0
+      ~dur:(m.dist_time -. t0) name ~args
 
 let host_send m ~pe a elements =
   check_pe m pe;
@@ -405,13 +422,24 @@ let host_send m ~pe a elements =
   if dead_at_distribution m pe then begin
     (* The host pays for one full attempt before the missing ack
        reveals the dead node; nothing is stored. *)
+    let t0 = m.dist_time in
     charge m ~words:(size + hops - 1);
-    m.volume <- m.volume + size;
+    m.volume <- Cost.sat_add m.volume size;
+    obs_dist m ~t0 "send"
+      [ ("pe", Cf_obs.Trace.Int pe); ("array", Cf_obs.Trace.Str a);
+        ("size", Cf_obs.Trace.Int size); ("crashed", Cf_obs.Trace.Bool true) ];
+    if Cf_obs.Trace.enabled m.obs then
+      Cf_obs.Trace.mark m.obs ~lane:pe ~cat:"fault" ~ts:(pe_now m pe) "crash"
+        ~args:[ ("phase", Cf_obs.Trace.Str "distribution") ];
     raise (Pe_crashed { pe })
   end;
   (* Cut-through: startup + size, plus pipeline fill over the path. *)
+  let t0 = m.dist_time in
   charge_send m ~words:(size + hops - 1) ~size;
   m.events <- Send { pe; array = a; size } :: m.events;
+  obs_dist m ~t0 "send"
+    [ ("pe", Cf_obs.Trace.Int pe); ("array", Cf_obs.Trace.Str a);
+      ("size", Cf_obs.Trace.Int size) ];
   let aid = array_id m a in
   List.iter (fun (el, v) -> store_id m ~pe aid el v) elements
 
@@ -419,9 +447,12 @@ let host_broadcast m a elements =
   let size = List.length elements in
   let hops = Topology.diameter m.topology + 1 in
   (* Store-and-forward flooding along rows and columns. *)
+  let t0 = m.dist_time in
   charge m ~words:(hops * size);
-  m.volume <- m.volume + size;
+  m.volume <- Cost.sat_add m.volume size;
   m.events <- Broadcast { array = a; size } :: m.events;
+  obs_dist m ~t0 "broadcast"
+    [ ("array", Cf_obs.Trace.Str a); ("size", Cf_obs.Trace.Int size) ];
   let aid = array_id m a in
   for pe = 0 to Topology.size m.topology - 1 do
     List.iter (fun (el, v) -> store_id m ~pe aid el v) elements
@@ -440,9 +471,13 @@ let host_multicast m ~pes a elements =
   in
   (* Pipelined multicast: one pass down the column, one across the row —
      each element is retransmitted twice. *)
+  let t0 = m.dist_time in
   charge m ~words:((2 * size) + hops);
-  m.volume <- m.volume + size;
+  m.volume <- Cost.sat_add m.volume size;
   m.events <- Multicast { pes; array = a; size } :: m.events;
+  obs_dist m ~t0 "multicast"
+    [ ("targets", Cf_obs.Trace.Int (List.length pes));
+      ("array", Cf_obs.Trace.Str a); ("size", Cf_obs.Trace.Int size) ];
   let aid = array_id m a in
   List.iter
     (fun pe -> List.iter (fun (el, v) -> store_id m ~pe aid el v) elements)
@@ -454,7 +489,7 @@ let run_iterations m ~pe count =
   match m.faults with
   | Some plan
     when (match Cf_fault.Fault.crash_point plan ~pe with
-         | Some k -> m.iterations.(pe) + count >= k
+         | Some k -> Cost.sat_add m.iterations.(pe) count >= k
          | None -> false) ->
     (* The PE completes work up to its crash threshold, charges exactly
        that much, and dies.  Once dead its clock is frozen: every later
@@ -462,11 +497,14 @@ let run_iterations m ~pe count =
     let k = Option.get (Cf_fault.Fault.crash_point plan ~pe) in
     let partial = max 0 (k - m.iterations.(pe)) in
     m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:partial;
-    m.iterations.(pe) <- m.iterations.(pe) + partial;
+    m.iterations.(pe) <- Cost.sat_add m.iterations.(pe) partial;
+    if Cf_obs.Trace.enabled m.obs then
+      Cf_obs.Trace.mark m.obs ~lane:pe ~cat:"fault" ~ts:(pe_now m pe) "crash"
+        ~args:[ ("iterations", Cf_obs.Trace.Int m.iterations.(pe)) ];
     raise (Pe_crashed { pe })
   | _ ->
     m.compute.(pe) <- m.compute.(pe) +. Cost.compute m.cost ~iterations:count;
-    m.iterations.(pe) <- m.iterations.(pe) + count
+    m.iterations.(pe) <- Cost.sat_add m.iterations.(pe) count
 
 let distribution_time m = m.dist_time
 
@@ -548,8 +586,13 @@ let recover_chunk m c ~from_pe ~to_pe ~aid =
     let hops = Topology.distance m.topology 0 to_pe + 1 in
     (* The host replays the lost data as one pipelined message, subject
        to the same link faults as the original distribution. *)
+    let t0 = m.dist_time in
     charge_send m ~words:(size + hops - 1) ~size;
     m.events <- Resend { pe = to_pe; array = array_name m aid; size } :: m.events;
+    obs_dist m ~t0 ~cat:"fault" "resend"
+      [ ("pe", Cf_obs.Trace.Int to_pe);
+        ("array", Cf_obs.Trace.Str (array_name m aid));
+        ("size", Cf_obs.Trace.Int size) ];
     Hashtbl.replace m.memories.(to_pe) aid (copy_chunk chunk);
     size
 

@@ -30,15 +30,34 @@ exception Pe_crashed of { pe : int }
 
 type t
 
-val create : ?faults:Cf_fault.Fault.t -> Topology.t -> Cost.t -> t
+val create :
+  ?faults:Cf_fault.Fault.t -> ?obs:Cf_obs.Trace.t -> Topology.t -> Cost.t -> t
 (** Without [?faults] the machine never faults and behaves exactly as
-    before. *)
+    before.  [?obs] (default {!Cf_obs.Trace.null}) receives structured
+    trace events for every distribution primitive, recovery resend and
+    crash, stamped with {e simulated} seconds: host-side spans land on
+    {!Cf_obs.Trace.host_lane} at the distribution clock, crash instants
+    on the PE's own lane at its distribution + compute clock. *)
 
 val topology : t -> Topology.t
 val cost : t -> Cost.t
 
 val faults : t -> Cf_fault.Fault.t option
 (** The fault plan the machine was created with, if any. *)
+
+val obs : t -> Cf_obs.Trace.t
+(** The machine's trace (shared with execution layers that instrument
+    around it, so one run yields one coherent timeline). *)
+
+val set_obs : t -> Cf_obs.Trace.t -> unit
+
+val host_now : t -> float
+(** The host lane's simulated clock: current distribution time. *)
+
+val pe_now : t -> int -> float
+(** [pe_now m pe]: PE [pe]'s simulated clock — distribution time plus
+    its accumulated compute.  Monotone per PE; the timestamp domain for
+    compute spans on lane [pe]. *)
 
 (** {1 Local memory} *)
 
@@ -142,7 +161,10 @@ val max_compute_time : t -> float
 val makespan : t -> float
 val message_count : t -> int
 val message_volume : t -> int
-(** Total words sent by the host (retransmissions included). *)
+(** Total words sent by the host (retransmissions included).  All
+    integer totals (messages, volume, retries, per-PE iterations)
+    accumulate with {!Cost.sat_add}, so extreme [--scale] runs peg at
+    [max_int] instead of wrapping negative. *)
 
 val retries : t -> int
 (** Host message retransmissions forced by the fault plan (0 without

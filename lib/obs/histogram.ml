@@ -1,0 +1,126 @@
+(* Buckets are 10-per-decade over [1e-7 s, 1e3 s): bucket k covers
+   [1e-7 * 10^(k/10), 1e-7 * 10^((k+1)/10)).  Out-of-range values clamp
+   to the end buckets, so quantiles stay bounded by min/max anyway. *)
+
+let floor_value = 1e-7
+let buckets_per_decade = 10
+let decades = 10
+let nbuckets = buckets_per_decade * decades
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  {
+    counts = Array.make nbuckets 0;
+    count = 0;
+    sum = 0.;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let bucket_of x =
+  if x <= floor_value then 0
+  else
+    let k =
+      int_of_float
+        (Float.of_int buckets_per_decade *. log10 (x /. floor_value))
+    in
+    if k < 0 then 0 else if k >= nbuckets then nbuckets - 1 else k
+
+let record t x =
+  let x = if Float.is_nan x || x < 0. then 0. else x in
+  t.counts.(bucket_of x) <- t.counts.(bucket_of x) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. x;
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+
+let copy t =
+  {
+    counts = Array.copy t.counts;
+    count = t.count;
+    sum = t.sum;
+    min = t.min;
+    max = t.max;
+  }
+
+let diff ~after ~before =
+  let counts =
+    Array.init nbuckets (fun k ->
+        max 0 (after.counts.(k) - before.counts.(k)))
+  in
+  let count = Array.fold_left ( + ) 0 counts in
+  if count = 0 then create ()
+  else
+    {
+      counts;
+      count;
+      sum = Float.max 0. (after.sum -. before.sum);
+      (* Window extremes are not recoverable from snapshots; [after]'s
+         are the tightest bounds available (see the interface). *)
+      min = after.min;
+      max = after.max;
+    }
+
+let bucket_mid k =
+  (* Geometric midpoint of bucket k's bounds. *)
+  floor_value
+  *. (10. ** ((Float.of_int k +. 0.5) /. Float.of_int buckets_per_decade))
+
+let quantile t q =
+  if t.count = 0 then 0.
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank =
+      let r = int_of_float (ceil (q *. Float.of_int t.count)) in
+      if r < 1 then 1 else r
+    in
+    let rec go k seen =
+      if k >= nbuckets then t.max
+      else
+        let seen = seen + t.counts.(k) in
+        if seen >= rank then Float.max t.min (Float.min t.max (bucket_mid k))
+        else go (k + 1) seen
+    in
+    go 0 0
+  end
+
+type summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let summarize (t : t) =
+  if t.count = 0 then
+    { count = 0; mean = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0.; p99 = 0. }
+  else
+    {
+      count = t.count;
+      mean = t.sum /. Float.of_int t.count;
+      min = t.min;
+      max = t.max;
+      p50 = quantile t 0.50;
+      p95 = quantile t 0.95;
+      p99 = quantile t 0.99;
+    }
+
+let pp_summary ppf s =
+  if s.count = 0 then Format.fprintf ppf "no samples"
+  else
+    Format.fprintf ppf
+      "n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms" s.count
+      (1e3 *. s.mean) (1e3 *. s.p50) (1e3 *. s.p95) (1e3 *. s.p99)
+      (1e3 *. s.max)

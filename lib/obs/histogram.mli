@@ -4,13 +4,31 @@
     100 ns to 1000 s, giving ~26% worst-case quantile resolution — ample
     for p50/p95/p99 service dashboards.  Exact count, sum, min and max
     are tracked alongside.  Not synchronized: callers serialize access
-    (the service records under its own lock). *)
+    (services record under their own lock; {!Metrics} wraps one in a
+    mutex).
+
+    Formerly [Cf_service.Histogram]; that module now re-exports this
+    one, so histograms recorded by the planning service and by the
+    metrics registry share one representation and one snapshot/diff
+    story. *)
 
 type t
 
 val create : unit -> t
 val record : t -> float -> unit
 val count : t -> int
+
+val copy : t -> t
+(** An independent deep copy — used by {!Metrics.snapshot} so a
+    snapshot is immune to later recording. *)
+
+val diff : after:t -> before:t -> t
+(** The histogram of samples recorded in [after] but not in [before],
+    assuming [before] is an earlier snapshot of the same histogram:
+    bucket counts, count and sum subtract (clamped at zero).  Min and
+    max cannot be recovered for the window, so they are taken from
+    [after] (exact whenever the window is nonempty and saw the extreme
+    values; a bounded-resolution approximation otherwise). *)
 
 val quantile : t -> float -> float
 (** [quantile t q] for [q] in [0, 1]: the geometric midpoint of the

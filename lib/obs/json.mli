@@ -1,0 +1,34 @@
+(** A minimal JSON reader/writer.
+
+    The observability layer must stay dependency-free, so it carries its
+    own JSON support: enough to serialize trace events and metric
+    snapshots, and to parse them back for validation and baseline
+    diffing.  Numbers are [float] (as in JSON itself); parsing accepts
+    the full JSON grammar including [\uXXXX] escapes (decoded to
+    UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact serialization (no insignificant whitespace).  Strings are
+    escaped per RFC 8259; non-finite numbers serialize as [null]. *)
+
+val escape_string : string -> string
+(** The quoted, escaped JSON form of a string (includes the quotes). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error.  Errors
+    carry a byte offset and a short description. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else or a missing key. *)
+
+val num : t -> float option
+val str : t -> string option
+val list : t -> t list option

@@ -1,0 +1,138 @@
+type counter = int Atomic.t
+type gauge = float Atomic.t
+type histogram = { lock : Mutex.t; hist : Histogram.t }
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_hist of histogram
+
+type t = { reg_lock : Mutex.t; metrics : (string, metric) Hashtbl.t }
+
+let create () = { reg_lock = Mutex.create (); metrics = Hashtbl.create 32 }
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_hist _ -> "histogram"
+
+(* Get-or-create under the registry lock; a name registered twice with
+   different kinds is a programming error worth failing loudly on. *)
+let register t name make match_kind =
+  Mutex.lock t.reg_lock;
+  let m =
+    match Hashtbl.find_opt t.metrics name with
+    | Some m -> m
+    | None ->
+      let m = make () in
+      Hashtbl.add t.metrics name m;
+      m
+  in
+  Mutex.unlock t.reg_lock;
+  match match_kind m with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Metrics: %s is already registered as a %s" name
+         (kind_name m))
+
+let counter t name =
+  register t name
+    (fun () -> M_counter (Atomic.make 0))
+    (function M_counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+
+let gauge t name =
+  register t name
+    (fun () -> M_gauge (Atomic.make 0.))
+    (function M_gauge g -> Some g | _ -> None)
+
+let set_gauge g x = Atomic.set g x
+let gauge_value g = Atomic.get g
+
+let histogram t name =
+  register t name
+    (fun () -> M_hist { lock = Mutex.create (); hist = Histogram.create () })
+    (function M_hist h -> Some h | _ -> None)
+
+let observe h x =
+  Mutex.lock h.lock;
+  Histogram.record h.hist x;
+  Mutex.unlock h.lock
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.t
+
+type snapshot = (string * value) list
+
+let snapshot t =
+  Mutex.lock t.reg_lock;
+  let entries =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | M_counter c -> Counter (Atomic.get c)
+          | M_gauge g -> Gauge (Atomic.get g)
+          | M_hist h ->
+            Mutex.lock h.lock;
+            let copy = Histogram.copy h.hist in
+            Mutex.unlock h.lock;
+            Hist copy
+        in
+        (name, v) :: acc)
+      t.metrics []
+  in
+  Mutex.unlock t.reg_lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let diff ~after ~before =
+  List.filter_map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name before) with
+      | Counter a, Some (Counter b) -> Some (name, Counter (a - b))
+      | Gauge a, _ -> Some (name, Gauge a)
+      | Hist a, Some (Hist b) ->
+        Some (name, Hist (Histogram.diff ~after:a ~before:b))
+      | v, _ -> Some (name, v))
+    after
+
+let pp_value ppf = function
+  | Counter n -> Format.fprintf ppf "%d" n
+  | Gauge x -> Format.fprintf ppf "%g" x
+  | Hist h -> Histogram.pp_summary ppf (Histogram.summarize h)
+
+let pp_snapshot ppf snap =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      Format.fprintf ppf "%s: %a" name pp_value v)
+    snap;
+  Format.fprintf ppf "@]"
+
+let to_json snap =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter n -> Json.Num (float_of_int n)
+           | Gauge x -> Json.Num x
+           | Hist h ->
+             let s = Histogram.summarize h in
+             Json.Obj
+               [
+                 ("count", Json.Num (float_of_int s.Histogram.count));
+                 ("mean", Json.Num s.Histogram.mean);
+                 ("min", Json.Num s.Histogram.min);
+                 ("max", Json.Num s.Histogram.max);
+                 ("p50", Json.Num s.Histogram.p50);
+                 ("p95", Json.Num s.Histogram.p95);
+                 ("p99", Json.Num s.Histogram.p99);
+               ] ))
+       snap)

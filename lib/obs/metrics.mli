@@ -1,0 +1,69 @@
+(** A registry of named counters, gauges and histograms.
+
+    One process-wide (or per-subsystem) registry replaces the ad-hoc
+    counter fields scattered through the simulator, service and
+    benchmarks.  All updates are domain-safe: counters and gauges are
+    atomics, histograms serialize recording under a per-histogram
+    mutex, and registration itself is locked.  Reads ({!snapshot}) are
+    consistent per metric, not across metrics — the usual contract for
+    scrape-style monitoring.
+
+    Metric handles are cheap to look up ({!counter} etc. get-or-create
+    by name) but callers on hot paths should hold on to the handle
+    rather than re-resolving the name per update. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Metric kinds} *)
+
+type counter
+
+val counter : t -> string -> counter
+(** Get or create.  Registering the same name as two different kinds
+    raises [Invalid_argument]. *)
+
+val incr : ?by:int -> counter -> unit
+(** Atomic add (default 1); negative [by] is allowed for the rare
+    decrementing counter, but prefer a gauge for values that go down. *)
+
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+(** Record one sample (seconds, per {!Histogram}'s bucket layout). *)
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of Histogram.t  (** an independent copy, safe to keep *)
+
+type snapshot = (string * value) list
+(** Sorted by metric name. *)
+
+val snapshot : t -> snapshot
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** The change between two snapshots of the {e same} registry: counters
+    subtract, gauges take [after]'s value, histograms subtract per
+    bucket ({!Histogram.diff}).  Metrics present only in [after] pass
+    through; metrics only in [before] are dropped. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+(** One [name: value] line per metric; histograms print their summary. *)
+
+val to_json : snapshot -> Json.t
+(** Object keyed by metric name; histograms become
+    [{count, mean, min, max, p50, p95, p99}]. *)

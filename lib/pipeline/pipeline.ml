@@ -13,20 +13,33 @@ type t = {
   parloop : Cf_transform.Parloop.t;
 }
 
-let plan ?(strategy = Strategy.Nonduplicate) ?basis ?search_radius nest =
+let plan ?(obs = Cf_obs.Trace.null) ?(strategy = Strategy.Nonduplicate) ?basis
+    ?search_radius nest =
+  (* Planning phases report as wall-clock spans on the planner lane of
+     [obs] (the trace's injected clock — this module never reads the
+     real time itself). *)
+  let phase name f =
+    Cf_obs.Trace.span obs ~cat:"plan" name f
+  in
   let exact =
     if Strategy.uses_exact_analysis strategy then
-      Some (Cf_dep.Exact.analyze nest)
+      Some (phase "exact-analysis" (fun () -> Cf_dep.Exact.analyze nest))
     else None
   in
   let space =
-    Strategy.partitioning_space ?search_radius ?exact strategy nest
+    phase "partitioning-space" (fun () ->
+        Strategy.partitioning_space ?search_radius ?exact strategy nest)
   in
   Log.debug (fun m ->
       m "strategy %a: psi = %a" Strategy.pp strategy Cf_linalg.Subspace.pp
         space);
-  let partition = Iter_partition.make nest space in
-  let parloop = Cf_transform.Transformer.transform ?basis nest space in
+  let partition =
+    phase "iter-partition" (fun () -> Iter_partition.make nest space)
+  in
+  let parloop =
+    phase "transform" (fun () ->
+        Cf_transform.Transformer.transform ?basis nest space)
+  in
   { nest; strategy; exact; space; partition; parloop }
 
 let relabel t nest =

@@ -20,6 +20,7 @@ type t = {
 }
 
 val plan :
+  ?obs:Cf_obs.Trace.t ->
   ?strategy:Strategy.t ->
   ?basis:int array list ->
   ?search_radius:int ->
@@ -28,7 +29,11 @@ val plan :
 (** [plan nest] runs the full compile-time side under [strategy]
     (default {!Strategy.Nonduplicate}).  [basis] overrides the
     [Ker(Ψ)] basis used for new loop variables (see
-    {!Cf_transform.Transformer.transform}). *)
+    {!Cf_transform.Transformer.transform}).  [obs] (default
+    {!Cf_obs.Trace.null}) receives one span per planning phase —
+    exact analysis, partitioning-space search, iteration partition,
+    loop transform — on the planner lane, timed by the trace's injected
+    clock. *)
 
 val relabel : t -> Cf_loop.Nest.t -> t
 (** [relabel t nest] re-expresses a plan under the caller's identifier

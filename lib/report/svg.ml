@@ -12,6 +12,24 @@ let color_of_block id =
 
 type cell_content = Block of int | Shared | Empty
 
+(* User-derived text (titles carry array names, labels are caller
+   callbacks) must not be spliced into markup raw: a name like
+   [a<b&c] would produce malformed SVG — or worse, let a hostile nest
+   inject elements into a viewer. *)
+let xml_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.contents buf
+
 let render ~title ~rows:(r0, r1) ~cols:(c0, c1) ~content ~label =
   let width = margin + ((c1 - c0 + 1) * cell) + 10 in
   let height = margin + ((r1 - r0 + 1) * cell) + 10 in
@@ -22,7 +40,7 @@ let render ~title ~rows:(r0, r1) ~cols:(c0, c1) ~content ~label =
         font-family=\"monospace\" font-size=\"11\">\n"
        width height);
   Buffer.add_string buf
-    (Printf.sprintf "  <title>%s</title>\n" title);
+    (Printf.sprintf "  <title>%s</title>\n" (xml_escape title));
   (* Axis labels. *)
   for c = c0 to c1 do
     Buffer.add_string buf
@@ -68,7 +86,7 @@ let render ~title ~rows:(r0, r1) ~cols:(c0, c1) ~content ~label =
              x y cell cell (color_of_block id)
              (x + (cell / 2))
              (y + (cell / 2) + 4)
-             (label id (r, c)))
+             (xml_escape (label id (r, c))))
     done
   done;
   Buffer.add_string buf "</svg>\n";

@@ -5,6 +5,12 @@
     with coordinate axes labelled.  Non-2-D inputs raise
     [Invalid_argument] — the text renderer handles those. *)
 
+val xml_escape : string -> string
+(** Escape the five XML-special characters (ampersand, angle brackets
+    and both quotes) for safe splicing into text or attribute content.
+    Applied to every user-derived string (titles, cell labels) before
+    it reaches the document. *)
+
 val iteration_partition : Cf_core.Iter_partition.t -> string
 (** Figs. 3/5/9 as SVG (2-deep nests only). *)
 

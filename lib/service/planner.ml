@@ -14,18 +14,28 @@ let memo_key (c : Canon.t) strategy search_radius =
     (Cf_core.Strategy.to_string strategy)
     (match search_radius with None -> "-" | Some r -> string_of_int r)
 
-let plan ?(strategy = Cf_core.Strategy.Nonduplicate) ?search_radius t nest =
+let plan ?(obs = Cf_obs.Trace.null) ?(strategy = Cf_core.Strategy.Nonduplicate)
+    ?search_radius t nest =
   let c = Canon.canonicalize nest in
   let key = memo_key c strategy search_radius in
+  let tag hit =
+    Cf_obs.Trace.instant obs ~cat:"cache"
+      (if hit then "cache-hit" else "cache-miss")
+      ~args:[ ("digest", Cf_obs.Trace.Str c.Canon.digest) ]
+  in
   match Memo.find t.memo key with
   | Some e when String.equal e.canonical_key c.Canon.key ->
+    tag true;
     (Cf_pipeline.Pipeline.relabel e.plan nest, true)
   | _ ->
     (* Miss, or a digest collision (then the entry is overwritten).  The
        plan is computed on the canonical nest so the cached value is
        caller-independent; the caller's copy is relabeled either way,
        keeping hit and miss answers bit-identical. *)
-    let p = Cf_pipeline.Pipeline.plan ~strategy ?search_radius c.Canon.nest in
+    tag false;
+    let p =
+      Cf_pipeline.Pipeline.plan ~obs ~strategy ?search_radius c.Canon.nest
+    in
     Memo.add t.memo key { canonical_key = c.Canon.key; plan = p };
     (Cf_pipeline.Pipeline.relabel p nest, false)
 

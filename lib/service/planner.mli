@@ -17,6 +17,7 @@ val create : ?capacity:int -> unit -> t
 (** [capacity] bounds the number of cached plans (default 1024). *)
 
 val plan :
+  ?obs:Cf_obs.Trace.t ->
   ?strategy:Cf_core.Strategy.t ->
   ?search_radius:int ->
   t ->
@@ -24,7 +25,9 @@ val plan :
   Cf_pipeline.Pipeline.t * bool
 (** [(plan, hit)].  On a miss the plan is computed on the canonical nest
     and cached; either way the returned plan carries the caller's
-    names.  Basis overrides are deliberately unsupported here: a custom
+    names.  [obs] receives a [cache-hit]/[cache-miss] instant (tagged
+    with the structural digest) and, on a miss, the pipeline's phase
+    spans.  Basis overrides are deliberately unsupported here: a custom
     [Ker(Ψ)] basis is caller-specific and would poison shared entries —
     use {!Cf_pipeline.Pipeline.plan} directly for that. *)
 

@@ -88,6 +88,7 @@ type t = {
   mutable crash_requests : int;  (* pending fault injections *)
   hist : Histogram.t;
   created : float;
+  obs : Cf_obs.Trace.t;
   mutable workers : unit Domain.t array;
 }
 
@@ -172,10 +173,10 @@ let run_job t job =
       let plan, cache_hit =
         match t.planner with
         | Some p ->
-          Planner.plan ~strategy:job.strategy ?search_radius:job.search_radius
-            p job.nest
+          Planner.plan ~obs:t.obs ~strategy:job.strategy
+            ?search_radius:job.search_radius p job.nest
         | None ->
-          ( Cf_pipeline.Pipeline.plan ~strategy:job.strategy
+          ( Cf_pipeline.Pipeline.plan ~obs:t.obs ~strategy:job.strategy
               ?search_radius:job.search_radius job.nest,
             false )
       in
@@ -204,11 +205,43 @@ let rec worker_loop t =
     let admit = breaker_admit t job.strategy in
     Condition.signal t.not_full;
     Mutex.unlock t.lock;
+    (* The queue-wait span is backdated against the trace clock by the
+       measured wall wait; exports sort by start time, so backdating is
+       safe. *)
+    if Cf_obs.Trace.enabled t.obs then begin
+      let wait = Unix.gettimeofday () -. job.submitted_at in
+      let tnow = Cf_obs.Trace.now t.obs in
+      Cf_obs.Trace.complete t.obs ~lane:Cf_obs.Trace.planner_lane
+        ~cat:"service" ~ts:(tnow -. wait) ~dur:wait "queue-wait"
+        ~args:
+          [ ("strategy", Cf_obs.Trace.Str
+               (Cf_core.Strategy.to_string job.strategy)) ]
+    end;
     let probe, outcome =
       match admit with
       | `Trip -> (false, Tripped)
       | `Run probe -> (probe, run_job t job)
     in
+    if Cf_obs.Trace.enabled t.obs then begin
+      let outcome_tag, hit =
+        match outcome with
+        | Done c -> ("done", c.cache_hit)
+        | Failed _ -> ("failed", false)
+        | Rejected -> ("rejected", false)
+        | Timed_out -> ("timed-out", false)
+        | Tripped -> ("tripped", false)
+      in
+      let t1 = Cf_obs.Trace.now t.obs in
+      Cf_obs.Trace.mark t.obs ~lane:Cf_obs.Trace.planner_lane ~cat:"service"
+        ~ts:t1 "request"
+        ~args:
+          [
+            ("strategy", Cf_obs.Trace.Str
+               (Cf_core.Strategy.to_string job.strategy));
+            ("outcome", Cf_obs.Trace.Str outcome_tag);
+            ("cache_hit", Cf_obs.Trace.Bool hit);
+          ]
+    end;
     (* Bookkeep before resolving the ticket, so a caller that observed
        the outcome via [await] also sees it reflected in [stats]. *)
     Mutex.lock t.lock;
@@ -249,7 +282,7 @@ let rec supervised_worker t =
     if restart then supervised_worker t
 
 let create ?domains ?(queue_depth = 64) ?(cache = Some 1024)
-    ?(breaker = Some default_breaker) () =
+    ?(breaker = Some default_breaker) ?(obs = Cf_obs.Trace.null) () =
   if queue_depth < 1 then
     invalid_arg "Service.create: queue_depth must be >= 1";
   (match breaker with
@@ -297,6 +330,7 @@ let create ?domains ?(queue_depth = 64) ?(cache = Some 1024)
       crash_requests = 0;
       hist = Histogram.create ();
       created = Unix.gettimeofday ();
+      obs;
       workers = [||];
     }
   in

@@ -66,6 +66,7 @@ val create :
   ?queue_depth:int ->
   ?cache:int option ->
   ?breaker:breaker_config option ->
+  ?obs:Cf_obs.Trace.t ->
   unit ->
   t
 (** [domains] worker domains (default
@@ -74,7 +75,11 @@ val create :
     [cache] is the plan-cache capacity — [Some n] entries (default
     [Some 1024]), [None] disables caching entirely; [breaker]
     configures the per-strategy circuit breaker (default
-    [Some default_breaker], [None] disables it). *)
+    [Some default_breaker], [None] disables it); [obs] (default
+    {!Cf_obs.Trace.null}) receives per-request spans on the planner
+    lane: queue wait, cache hit/miss instants, the pipeline's planning
+    phases, and a completion mark tagged with the outcome and cache
+    hit — all timed by the trace's injected clock. *)
 
 val submit :
   ?strategy:Cf_core.Strategy.t ->

@@ -93,6 +93,17 @@ let canon_cases =
         && Canon.digest nest
            = Canon.digest (scramble ~salt:"other" nest))
       arbitrary_nest;
+    (* Round-trip drift check: relabeling the *canonical* nest and
+       re-canonicalizing must reproduce the identical canonical form —
+       key, digest and serialized nest — so any silent drift in the
+       normal form shows up as a key/digest mismatch here. *)
+    qtest ~count:50 "canonical form survives a round-trip relabel" (fun nest ->
+        let c = Canon.canonicalize nest in
+        let c' = Canon.canonicalize (scramble ~salt:"rt" c.Canon.nest) in
+        c'.Canon.key = c.Canon.key
+        && c'.Canon.digest = c.Canon.digest
+        && Canon.serialize c'.Canon.nest = Canon.serialize c.Canon.nest)
+      arbitrary_nest;
   ]
 
 let memo_cases =

@@ -137,7 +137,7 @@ let cases =
         "l1.loop";
         "parallel=1";
         "verified=true";
-        "requests: 32 submitted, 32 completed";
+        "requests: 36 submitted, 36 completed";
         "cache: hits" ];
     expect_ok "batch without cache"
       ~expected_status:1
@@ -165,6 +165,68 @@ let cases =
       ~expected_status:2
       [ "simulate"; loop "l1.loop"; "--kill-after"; "3" ]
       [ "--kill-after requires --kill-pe" ];
+    Alcotest.test_case "trace + trace-check round-trip" `Slow (fun () ->
+        let tf = Filename.temp_file "cfalloc_trace" ".json" in
+        (match
+           run_cli
+             [ "trace"; loop "matmul4.loop"; "-s"; "duplicate"; "-p"; "4";
+               "--fault-seed"; "3"; "--trace-out"; tf ]
+         with
+        | None -> ()
+        | Some (status, out) ->
+          check_int "trace exit" 0 status;
+          check_bool "event count reported" true (contains out "event(s)");
+          (match run_cli [ "trace-check"; tf ] with
+          | None -> ()
+          | Some (status2, out2) ->
+            check_int "check exit" 0 status2;
+            check_bool "checker verdict" true
+              (contains out2 "valid Chrome trace")));
+        (try Sys.remove tf with Sys_error _ -> ()));
+    Alcotest.test_case "trace emits jsonl when asked" `Slow (fun () ->
+        let tf = Filename.temp_file "cfalloc_trace" ".jsonl" in
+        (match
+           run_cli
+             [ "trace"; loop "matmul4.loop"; "--trace-format"; "jsonl";
+               "--trace-out"; tf ]
+         with
+        | None -> ()
+        | Some (status, out) ->
+          check_int "exit" 0 status;
+          check_bool "format reported" true (contains out "jsonl format");
+          let ic = open_in tf in
+          let line = input_line ic in
+          close_in ic;
+          check_bool "line is a json object" true
+            (String.length line > 0 && line.[0] = '{'));
+        (try Sys.remove tf with Sys_error _ -> ()));
+    Alcotest.test_case "bench-diff warns without failing" `Slow (fun () ->
+        let write_json name contents =
+          let f = Filename.temp_file name ".json" in
+          let oc = open_out f in
+          output_string oc contents;
+          close_out oc;
+          f
+        in
+        let baseline =
+          write_json "bench_base"
+            {|{"rows": [{"workload": "matmul", "t_s": 1.0, "blocks": 4}]}|}
+        in
+        let current =
+          write_json "bench_cur"
+            {|{"rows": [{"workload": "matmul", "t_s": 2.0, "blocks": 4}]}|}
+        in
+        (match run_cli [ "bench-diff"; baseline; current ] with
+        | None -> ()
+        | Some (status, out) ->
+          check_int "advisory exit 0" 0 status;
+          check_bool "warns on the regressed metric" true
+            (contains out "WARN");
+          check_bool "mentions the path" true (contains out "t_s");
+          check_bool "advisory summary" true (contains out "advisory only"));
+        List.iter
+          (fun f -> try Sys.remove f with Sys_error _ -> ())
+          [ baseline; current ]);
   ]
 
 let suites = [ ("cli", cases) ]

@@ -68,6 +68,26 @@ let cost_cases =
         feq "compute" 5e-6 (Cost.compute c ~iterations:5);
         Alcotest.check_raises "negative" (Invalid_argument "Cost.compute")
           (fun () -> ignore (Cost.compute c ~iterations:(-1))));
+    Alcotest.test_case "sat_add saturates at the int boundaries" `Quick
+      (fun () ->
+        check_int "ordinary add" 7 (Cost.sat_add 3 4);
+        check_int "mixed signs" (-1) (Cost.sat_add 3 (-4));
+        check_int "positive overflow pegs" max_int (Cost.sat_add max_int 1);
+        check_int "large positive overflow pegs" max_int
+          (Cost.sat_add (max_int - 10) (max_int - 10));
+        check_int "negative overflow pegs" min_int (Cost.sat_add min_int (-1));
+        check_int "exact max is untouched" max_int (Cost.sat_add max_int 0);
+        check_int "cancel to zero" 0 (Cost.sat_add max_int (-max_int)));
+    Alcotest.test_case "iteration totals saturate instead of wrapping" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        Machine.run_iterations m ~pe:0 (max_int - 10);
+        Machine.run_iterations m ~pe:0 (max_int - 10);
+        check_int "pegged at max_int" max_int (Machine.iterations_of m ~pe:0);
+        (* A wrap would have gone negative and corrupted every
+           downstream report; saturation keeps the total a ceiling. *)
+        check_bool "still positive" true (Machine.iterations_of m ~pe:0 > 0);
+        check_int "other pe untouched" 0 (Machine.iterations_of m ~pe:1));
   ]
 
 let machine_cases =

@@ -24,4 +24,5 @@ let () =
          Test_cache.suites;
          Test_service.suites;
          Test_fault.suites;
+         Test_obs.suites;
        ])

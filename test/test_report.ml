@@ -129,6 +129,23 @@ let svg_cases =
         (match Svg.iteration_partition p with
          | exception Invalid_argument _ -> ()
          | _ -> Alcotest.fail "expected rejection of 3-D space"));
+    Alcotest.test_case "user-derived names are XML-escaped" `Quick (fun () ->
+        check_string "all five specials" "&amp;&lt;&gt;&quot;&apos;"
+          (Svg.xml_escape "&<>\"'");
+        check_string "plain text untouched" "plain_name-123"
+          (Svg.xml_escape "plain_name-123");
+        (* Regression: a nest whose array is named with markup
+           characters must still render a well-formed document. *)
+        let hostile =
+          Cf_cache.Canon.rename ~array:(fun a -> a ^ "<&>") l1
+        in
+        let psi =
+          Strategy.partitioning_space Strategy.Nonduplicate hostile
+        in
+        let p = Iter_partition.make hostile psi in
+        let s = Svg.data_partition hostile p "A<&>" in
+        check_bool "title escaped" true (contains s "A&lt;&amp;&gt;");
+        check_bool "raw name absent" false (contains s "of A<&>"));
   ]
 
 let allocmap_cases =
