@@ -1059,17 +1059,96 @@ let run_obs ~quick =
   write_obs_json ~file:(json_file "BENCH_obs.json") rows;
   List.for_all (fun r -> r.ob_pass) rows
 
+(* E18: differential fuzzing throughput.  One row per oracle plus the
+   combined all-oracle configuration, over the same seeded mixed-depth
+   case stream the test suite and CI smoke use; pass means zero
+   surviving counterexamples. *)
+
+type check_row = {
+  ck_oracle : string;
+  ck_cases : int;
+  ck_checks : int;
+  ck_skips : int;
+  ck_s : float;
+  ck_cases_per_s : float;
+  ck_pass : bool;
+}
+
+let check_rows ~quick () =
+  let count = if quick then 60 else 300 in
+  let measure label oracles =
+    let config =
+      {
+        Cf_check.Fuzz.seed = 42;
+        count;
+        params = Cf_check.Fuzz.mixed_depths;
+        oracles;
+        corpus_dir = None;
+        max_shrink_steps = 100;
+      }
+    in
+    let stats, s = time2 (fun () -> Cf_check.Fuzz.run config) in
+    {
+      ck_oracle = label;
+      ck_cases = stats.Cf_check.Fuzz.cases;
+      ck_checks = stats.Cf_check.Fuzz.checks;
+      ck_skips = stats.Cf_check.Fuzz.skips;
+      ck_s = s;
+      ck_cases_per_s = float_of_int stats.Cf_check.Fuzz.cases /. Float.max s 1e-9;
+      ck_pass = stats.Cf_check.Fuzz.failures = [];
+    }
+  in
+  List.map (fun o -> measure o.Cf_check.Oracle.name [ o ]) Cf_check.Oracle.all
+  @ [ measure "all" Cf_check.Oracle.all ]
+
+let print_check_rows rows =
+  section "E18 - differential fuzzing: cases/sec per oracle";
+  Printf.printf "%-26s %6s %7s %6s %9s %10s %5s\n" "oracle" "cases" "checks"
+    "skips" "t(s)" "cases/s" "pass";
+  List.iter
+    (fun r ->
+      Printf.printf "%-26s %6d %7d %6d %9.3f %10.0f %5b\n" r.ck_oracle
+        r.ck_cases r.ck_checks r.ck_skips r.ck_s r.ck_cases_per_s r.ck_pass)
+    rows
+
+let write_check_json ~file rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"oracle\": \"%s\", \"cases\": %d, \"checks\": %d, \
+       \"skips\": %d, \"t_s\": %.6f, \"cases_per_s\": %.1f, \"pass\": %b}"
+      (json_escape r.ck_oracle) r.ck_cases r.ck_checks r.ck_skips r.ck_s
+      r.ck_cases_per_s r.ck_pass
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"check\",\n  \"seed\": 42,\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let run_check ~quick =
+  let rows = check_rows ~quick () in
+  print_check_rows rows;
+  write_check_json ~file:(json_file "BENCH_check.json") rows;
+  List.for_all (fun r -> r.ck_pass) rows
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let scale_only = Array.exists (String.equal "--scale") Sys.argv in
   let service_only = Array.exists (String.equal "--service") Sys.argv in
   let faults_only = Array.exists (String.equal "--faults") Sys.argv in
   let obs_only = Array.exists (String.equal "--obs") Sys.argv in
+  let check_only = Array.exists (String.equal "--check") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
     exit 0
   end;
-  if obs_only then begin
+  if check_only then begin
+    (* Fuzzing-throughput experiment only (E18), fewer cases under
+       --quick; exits nonzero on a surviving counterexample. *)
+    if not (run_check ~quick) then exit 1
+  end
+  else if obs_only then begin
     (* Observability experiment only (E17), small sizes under --quick;
        exits nonzero if the null-sink overhead exceeds 2%. *)
     if not (run_obs ~quick) then exit 1
@@ -1108,5 +1187,6 @@ let () =
     run_service ~quick:false;
     ignore (run_faults ~quick:false);
     ignore (run_obs ~quick:false);
+    ignore (run_check ~quick:false);
     run_benchmarks ()
   end

@@ -889,6 +889,143 @@ let batch_cmd =
     Term.(const batch_run $ logs_arg $ dir_arg $ domains_arg $ queue_arg
           $ cache_capacity_arg $ no_cache_arg $ timeout_arg)
 
+(* fuzz *)
+
+let fuzz_run level seed count depth oracle_names corpus_dir json max_shrink =
+  setup_logs level;
+  let unknown = ref [] in
+  let oracles =
+    match oracle_names with
+    | None -> Cf_check.Oracle.all
+    | Some names ->
+      String.split_on_char ',' names
+      |> List.filter_map (fun n ->
+             let n = String.trim n in
+             if n = "" then None
+             else
+               match Cf_check.Oracle.find n with
+               | Some o -> Some o
+               | None ->
+                 unknown := n :: !unknown;
+                 None)
+  in
+  if !unknown <> [] then begin
+    Format.eprintf "error: unknown oracle(s) %s (known: %s)@."
+      (String.concat ", " (List.rev !unknown))
+      (String.concat ", " Cf_check.Oracle.names);
+    2
+  end
+  else if oracles = [] then begin
+    Format.eprintf "error: no oracles selected@.";
+    2
+  end
+  else if count < 1 then begin
+    Format.eprintf "error: --count must be >= 1@.";
+    2
+  end
+  else begin
+    let params =
+      match depth with
+      | None -> Cf_check.Fuzz.mixed_depths
+      | Some d when d >= 1 && d <= 3 ->
+        fun _ -> Cf_check.Gen.default ~depth:d
+      | Some d ->
+        Format.eprintf "error: --depth must be 1, 2 or 3 (got %d)@." d;
+        exit 2
+    in
+    let config =
+      {
+        Cf_check.Fuzz.seed;
+        count;
+        params;
+        oracles;
+        corpus_dir = Some corpus_dir;
+        max_shrink_steps = max_shrink;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let stats = Cf_check.Fuzz.run config in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if json then
+      print_endline
+        (Cf_obs.Json.to_string (Cf_check.Fuzz.to_json config stats))
+    else begin
+      Format.printf
+        "fuzz: seed %d, %d case(s) x %d oracle(s): %d passed, %d skipped, \
+         %d counterexample(s) (%.0f cases/s)@."
+        seed stats.Cf_check.Fuzz.cases (List.length oracles)
+        stats.Cf_check.Fuzz.checks stats.Cf_check.Fuzz.skips
+        (List.length stats.Cf_check.Fuzz.failures)
+        (float_of_int stats.Cf_check.Fuzz.cases /. Float.max elapsed 1e-9);
+      List.iter
+        (fun (f : Cf_check.Fuzz.failure) ->
+          Format.printf
+            "@.counterexample: oracle %s, case %d (%d shrink step(s))@.%s@.%s"
+            f.Cf_check.Fuzz.oracle f.Cf_check.Fuzz.case
+            f.Cf_check.Fuzz.shrink_steps f.Cf_check.Fuzz.shrunk_detail
+            (Cf_check.Corpus.render f.Cf_check.Fuzz.shrunk);
+          match f.Cf_check.Fuzz.path with
+          | Some p -> Format.printf "saved to %s@." p
+          | None -> ())
+        stats.Cf_check.Fuzz.failures
+    end;
+    if stats.Cf_check.Fuzz.failures <> [] then 2 else 0
+  end
+
+let fuzz_cmd =
+  let doc =
+    "Differential fuzzing: generate seeded random loop nests and \
+     cross-check every layer of the system against its independent \
+     oracle (planner vs verifier, closed-form coset index vs \
+     materialized partition, parallel vs sequential execution, fault \
+     recovery, canonical-form round-trips, C back end).  Failing nests \
+     are minimized and persisted as replayable .loop regression tests; \
+     exit code 2 signals a surviving counterexample."
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Random seed; each (seed, case) pair is replayable.")
+  in
+  let count_arg =
+    Arg.(value & opt int 200
+         & info [ "count" ] ~docv:"K"
+             ~doc:"Number of nests to generate (default 200).")
+  in
+  let depth_arg =
+    Arg.(value & opt (some int) None
+         & info [ "depth" ] ~docv:"D"
+             ~doc:"Fix the nest depth to $(docv) (1-3); by default the \
+                   run cycles through depths 1, 2 and 3.")
+  in
+  let oracle_arg =
+    Arg.(value & opt (some string) None
+         & info [ "oracle" ] ~docv:"NAME[,NAME...]"
+             ~doc:(Printf.sprintf
+                     "Comma-separated oracles to run (default all): %s."
+                     (String.concat ", " Cf_check.Oracle.names)))
+  in
+  let corpus_arg =
+    Arg.(value & opt string "test/corpus"
+         & info [ "corpus-dir" ] ~docv:"PATH"
+             ~doc:"Directory for minimized counterexamples (created on \
+                   demand, written only on failure; default test/corpus, \
+                   where dune runtest replays them).")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let max_shrink_arg =
+    Arg.(value & opt int 500
+         & info [ "max-shrink-steps" ] ~docv:"N"
+             ~doc:"Bound on greedy shrink steps per counterexample \
+                   (default 500).")
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const fuzz_run $ logs_arg $ seed_arg $ count_arg $ depth_arg
+          $ oracle_arg $ corpus_arg $ json_arg $ max_shrink_arg)
+
 (* demo *)
 
 let demo_run level =
@@ -916,6 +1053,6 @@ let main =
   Cmd.group info
     [ analyze_cmd; transform_cmd; simulate_cmd; trace_cmd; trace_check_cmd;
       figures_cmd; compare_cmd; advise_cmd; allocate_cmd; cgen_cmd;
-      distribute_cmd; batch_cmd; bench_diff_cmd; demo_cmd ]
+      distribute_cmd; batch_cmd; bench_diff_cmd; fuzz_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,25 @@
+let render ?(header = []) nest =
+  let body = Format.asprintf "@[<v>%a@]" Cf_loop.Nest.pp nest in
+  let header = List.map (fun l -> "# " ^ l) header in
+  String.concat "\n" (header @ [ body ]) ^ "\n"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir ~name ?header nest =
+  mkdir_p dir;
+  let path = Filename.concat dir (name ^ ".loop") in
+  let oc = open_out path in
+  output_string oc (render ?header nest);
+  close_out oc;
+  path
+
+let load dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".loop")
+  |> List.sort String.compare
+  |> List.map (fun f ->
+         (f, Cf_loop.Parse.nest_of_file (Filename.concat dir f)))

@@ -1,0 +1,22 @@
+(** The replayable regression corpus.
+
+    Every minimized counterexample the fuzzer finds is persisted as a
+    [.loop] file (the DSL the parser reads back), with a comment header
+    recording the oracle, seed and case index that produced it.  The
+    test suite replays the whole corpus under every oracle on each run,
+    so a failure found once stays fixed forever. *)
+
+val render : ?header:string list -> Cf_loop.Nest.t -> string
+(** The nest in concrete DSL syntax (re-parseable by
+    {!Cf_loop.Parse.nest}), preceded by one [#]-comment line per
+    [header] entry. *)
+
+val save :
+  dir:string -> name:string -> ?header:string list -> Cf_loop.Nest.t -> string
+(** Writes [<dir>/<name>.loop] (creating [dir] when missing) and returns
+    the path. *)
+
+val load : string -> (string * Cf_loop.Nest.t) list
+(** All [*.loop] files of a directory, sorted by file name, parsed.
+    Raises {!Cf_loop.Parse.Error} on a malformed entry — a broken corpus
+    file must fail loudly, not shrink the regression suite silently. *)

@@ -1,0 +1,121 @@
+type failure = {
+  oracle : string;
+  case : int;
+  detail : string;
+  shrunk : Cf_loop.Nest.t;
+  shrunk_detail : string;
+  shrink_steps : int;
+  path : string option;
+}
+
+type stats = {
+  cases : int;
+  checks : int;
+  skips : int;
+  failures : failure list;
+}
+
+type config = {
+  seed : int;
+  count : int;
+  params : int -> Gen.params;
+  oracles : Oracle.t list;
+  corpus_dir : string option;
+  max_shrink_steps : int;
+}
+
+let mixed_depths case = Gen.default ~depth:(1 + (case mod 3))
+
+let run config =
+  let checks = ref 0 and skips = ref 0 and failures = ref [] in
+  for case = 0 to config.count - 1 do
+    let nest = Gen.generate ~seed:config.seed ~index:case (config.params case) in
+    List.iter
+      (fun oracle ->
+        match Oracle.check oracle nest with
+        | Oracle.Pass -> incr checks
+        | Oracle.Skip _ -> incr skips
+        | Oracle.Fail detail ->
+          let still_fails n =
+            match Oracle.check oracle n with
+            | Oracle.Fail _ -> true
+            | Oracle.Pass | Oracle.Skip _ -> false
+          in
+          let shrunk, shrink_steps =
+            Shrink.minimize ~max_steps:config.max_shrink_steps ~still_fails
+              nest
+          in
+          let shrunk_detail =
+            match Oracle.check oracle shrunk with
+            | Oracle.Fail d -> d
+            | Oracle.Pass | Oracle.Skip _ -> detail
+          in
+          let path =
+            Option.map
+              (fun dir ->
+                Corpus.save ~dir
+                  ~name:
+                    (Printf.sprintf "fuzz-%s-seed%d-case%d" oracle.Oracle.name
+                       config.seed case)
+                  ~header:
+                    [
+                      Printf.sprintf "minimized by cfalloc fuzz --seed %d"
+                        config.seed;
+                      Printf.sprintf "oracle %s, case %d, %d shrink step(s)"
+                        oracle.Oracle.name case shrink_steps;
+                      shrunk_detail;
+                    ]
+                  shrunk)
+              config.corpus_dir
+          in
+          failures :=
+            { oracle = oracle.Oracle.name; case; detail; shrunk;
+              shrunk_detail; shrink_steps; path }
+            :: !failures)
+      config.oracles
+  done;
+  {
+    cases = config.count;
+    checks = !checks;
+    skips = !skips;
+    failures = List.rev !failures;
+  }
+
+let replay ~oracles corpus =
+  List.concat_map
+    (fun (file, nest) ->
+      List.filter_map
+        (fun oracle ->
+          match Oracle.check oracle nest with
+          | Oracle.Pass | Oracle.Skip _ -> None
+          | Oracle.Fail detail -> Some (file, oracle.Oracle.name, detail))
+        oracles)
+    corpus
+
+let to_json config stats =
+  let open Cf_obs.Json in
+  let failure f =
+    Obj
+      [
+        ("oracle", Str f.oracle);
+        ("case", Num (float_of_int f.case));
+        ("detail", Str f.detail);
+        ("shrink_steps", Num (float_of_int f.shrink_steps));
+        ("shrunk_detail", Str f.shrunk_detail);
+        ("shrunk_nest", Str (Corpus.render f.shrunk));
+        ( "corpus_file",
+          match f.path with None -> Null | Some p -> Str p );
+      ]
+  in
+  Obj
+    [
+      ("tool", Str "cfalloc fuzz");
+      ("seed", Num (float_of_int config.seed));
+      ("count", Num (float_of_int config.count));
+      ( "oracles",
+        List (List.map (fun o -> Str o.Oracle.name) config.oracles) );
+      ("cases", Num (float_of_int stats.cases));
+      ("checks_passed", Num (float_of_int stats.checks));
+      ("checks_skipped", Num (float_of_int stats.skips));
+      ("failures", List (List.map failure stats.failures));
+    ]

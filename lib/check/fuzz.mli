@@ -1,0 +1,53 @@
+(** The differential fuzzing driver.
+
+    Each case is generated from [(seed, case index)] via {!Gen.generate}
+    and run through every configured oracle.  A failing case is
+    minimized with {!Shrink.minimize} under "the same oracle still
+    fails", optionally persisted to the corpus, and reported with both
+    the original and the minimized counterexample payloads. *)
+
+type failure = {
+  oracle : string;
+  case : int;  (** index into the seed's case stream *)
+  detail : string;  (** the oracle's payload on the generated nest *)
+  shrunk : Cf_loop.Nest.t;  (** the minimized counterexample *)
+  shrunk_detail : string;  (** the oracle's payload on the minimized nest *)
+  shrink_steps : int;
+  path : string option;  (** corpus file, when persistence is on *)
+}
+
+type stats = {
+  cases : int;  (** nests generated *)
+  checks : int;  (** oracle runs that passed *)
+  skips : int;  (** oracle runs that did not apply *)
+  failures : failure list;  (** surviving counterexamples, case order *)
+}
+
+type config = {
+  seed : int;
+  count : int;
+  params : int -> Gen.params;  (** per-case generator parameters *)
+  oracles : Oracle.t list;
+  corpus_dir : string option;  (** persist minimized failures here *)
+  max_shrink_steps : int;
+}
+
+val mixed_depths : int -> Gen.params
+(** The default per-case parameter schedule: cycles depth 1, 2, 3 (via
+    {!Gen.default}), so one run covers every supported nest depth. *)
+
+val run : config -> stats
+
+val replay :
+  oracles:Oracle.t list ->
+  (string * Cf_loop.Nest.t) list ->
+  (string * string * string) list
+(** [replay ~oracles corpus] runs every oracle over every named nest and
+    returns the failures as [(file, oracle, detail)] — empty when the
+    whole corpus passes.  No shrinking (corpus entries are already
+    minimal). *)
+
+val to_json : config -> stats -> Cf_obs.Json.t
+(** The machine-readable report: configuration echo, counts, and one
+    record per surviving counterexample (with the minimized nest in
+    concrete DSL syntax). *)

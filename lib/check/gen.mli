@@ -1,0 +1,61 @@
+(** Seeded random generation of normalized loop nests for differential
+    testing.
+
+    One generator feeds both the QCheck property tests and the fuzzer
+    ({!Fuzz}): properties sample it through {!QCheck}'s runner, the
+    fuzzer derives each case from an explicit [(seed, index)] pair so
+    every counterexample is replayable from its report line alone.
+
+    Nests are kept inside the paper's model — rectangular bounds, every
+    array uniformly generated (all references to an array share one
+    reference matrix [H]) — and biased toward the shapes where the
+    Theorem 1–4 planners actually diverge: rank-deficient [H] matrices
+    (non-trivial [Ker H], so blocks merge) and loop-carried flow
+    dependences (same array written and read at different offsets). *)
+
+type params = {
+  depth : int;  (** nest depth, 1–3 *)
+  dims : int;  (** subscript count [d] of every array *)
+  arrays : int;  (** how many distinct arrays to draw [H] matrices for *)
+  max_stmts : int;  (** statements per body, drawn from [1..max_stmts] *)
+  coeff : int;  (** [H] entries drawn from [-coeff..coeff] *)
+  offset : int;  (** reference offsets drawn from [-offset..offset] *)
+  bound_lo : int;  (** every level's lower bound *)
+  bound_hi_min : int;
+  bound_hi_max : int;  (** upper bounds drawn from [bound_hi_min..bound_hi_max] *)
+  rank_deficient_permil : int;
+      (** per-array probability (in 1/1000) of forcing [rank H <= 1] *)
+  carried_dep_permil : int;
+      (** per-statement probability (in 1/1000) of forcing the first
+          read onto the written array — a likely loop-carried flow
+          dependence *)
+}
+
+val default : depth:int -> params
+(** Sensible analysis-scale parameters per depth (iteration spaces stay
+    small enough for the exact enumeration-based oracles).  Raises
+    [Invalid_argument] outside depth 1–3. *)
+
+val nest : params -> Cf_loop.Nest.t QCheck.Gen.t
+(** The parameterized generator. *)
+
+val generate : ?index:int -> seed:int -> params -> Cf_loop.Nest.t
+(** [generate ~seed ~index params] is case number [index] of the stream
+    named by [seed] — a pure function of [(seed, index, params)]. *)
+
+(** {2 Legacy fixed-shape generators}
+
+    The generators the test suite historically kept private in
+    [test/testutil.ml] and [test/test_depth3.ml]; re-exported here so
+    property tests and the fuzzer share one implementation. *)
+
+val nest2 : Cf_loop.Nest.t QCheck.Gen.t
+(** Random uniformly generated 2-nested loops (two arrays, coefficients
+    in [-2..2], bounds 3–4). *)
+
+val nest3 : Cf_loop.Nest.t QCheck.Gen.t
+(** Random uniformly generated 3-nested loops (coefficients in [-1..1],
+    bounds 1–3). *)
+
+val arbitrary_nest2 : Cf_loop.Nest.t QCheck.arbitrary
+val arbitrary_nest3 : Cf_loop.Nest.t QCheck.arbitrary

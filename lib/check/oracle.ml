@@ -1,0 +1,273 @@
+open Cf_loop
+open Cf_core
+
+type verdict = Pass | Skip of string | Fail of string
+
+type t = {
+  name : string;
+  doc : string;
+  check : Cf_loop.Nest.t -> verdict;
+}
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+(* Small enough for every oracle: the cyclic placement exercises blocks
+   sharing a PE as soon as a nest has more than three blocks. *)
+let nprocs = 3
+
+(* plan-vs-verify: each theorem's planner against the executable
+   verifier on the concrete iteration space. *)
+
+let plan_vs_verify nest =
+  let rec go = function
+    | [] -> Pass
+    | strategy :: rest -> (
+      match Verify.check_strategy strategy nest with
+      | Ok () -> go rest
+      | Error vs ->
+        failf "strategy %a: %d violation(s), first %a" Strategy.pp strategy
+          (List.length vs) Verify.pp_violation (List.hd vs))
+  in
+  go Strategy.all
+
+(* coset-parity: the closed-form index against the materialized
+   partition, block by block and member by member. *)
+
+let coset_parity nest =
+  let check_space strategy =
+    let psi = Strategy.partitioning_space strategy nest in
+    let ip = Iter_partition.make nest psi in
+    let cs = Coset.make nest psi in
+    if Iter_partition.block_count ip <> Coset.block_count cs then
+      failf "strategy %a: %d blocks materialized vs %d indexed" Strategy.pp
+        strategy
+        (Iter_partition.block_count ip)
+        (Coset.block_count cs)
+    else
+      let blocks = Iter_partition.blocks ip in
+      let rec go k =
+        if k >= Array.length blocks then Pass
+        else
+          let b = blocks.(k) in
+          let c = Coset.block cs ~id:b.Iter_partition.id in
+          if c.Coset.base <> b.Iter_partition.base then
+            failf "strategy %a: block %d base differs" Strategy.pp strategy
+              b.Iter_partition.id
+          else if c.Coset.size <> List.length b.Iter_partition.iterations then
+            failf "strategy %a: block %d size %d vs %d" Strategy.pp strategy
+              b.Iter_partition.id c.Coset.size
+              (List.length b.Iter_partition.iterations)
+          else if
+            Coset.block_iterations cs ~id:b.Iter_partition.id
+            <> b.Iter_partition.iterations
+          then
+            failf "strategy %a: block %d member enumeration differs"
+              Strategy.pp strategy b.Iter_partition.id
+          else
+            match
+              List.find_opt
+                (fun it ->
+                  Coset.block_id_of_iteration cs it <> b.Iter_partition.id)
+                b.Iter_partition.iterations
+            with
+            | Some it ->
+              failf "strategy %a: iteration %a in B%d maps to B%d" Strategy.pp
+                strategy Cf_linalg.Vec.pp_int it b.Iter_partition.id
+                (Coset.block_id_of_iteration cs it)
+            | None -> go (k + 1)
+      in
+      go 0
+  in
+  match check_space Strategy.Nonduplicate with
+  | Pass -> check_space Strategy.Duplicate
+  | v -> v
+
+(* parexec-vs-seq: both parallel engines against the sequential golden
+   run, and against each other (identical per-PE iteration counts). *)
+
+let parexec_vs_seq nest =
+  let run strategy =
+    let plan = Cf_pipeline.Pipeline.plan ~strategy nest in
+    let placement = Cf_exec.Parexec.cyclic ~nprocs in
+    let machine () =
+      Cf_machine.Machine.create
+        (Cf_machine.Topology.linear nprocs)
+        Cf_machine.Cost.transputer
+    in
+    let r1 =
+      Cf_exec.Parexec.execute ?exact:plan.Cf_pipeline.Pipeline.exact
+        ~machine:(machine ()) ~placement ~strategy
+        plan.Cf_pipeline.Pipeline.partition
+    in
+    let coset = Coset.make nest plan.Cf_pipeline.Pipeline.space in
+    let r2 =
+      Cf_exec.Parexec.execute_indexed ?exact:plan.Cf_pipeline.Pipeline.exact
+        ~domains:1 ~machine:(machine ()) ~placement ~strategy coset
+    in
+    if not (Cf_exec.Parexec.ok r1) then
+      failf "strategy %a: materialized engine diverges from sequential"
+        Strategy.pp strategy
+    else if not (Cf_exec.Parexec.ok r2) then
+      failf "strategy %a: indexed engine diverges from sequential" Strategy.pp
+        strategy
+    else if
+      r1.Cf_exec.Parexec.per_pe_iterations <> r2.Cf_exec.Parexec.per_pe_iterations
+    then
+      failf "strategy %a: per-PE iteration counts differ between engines"
+        Strategy.pp strategy
+    else Pass
+  in
+  let rec go = function
+    | [] -> Pass
+    | s :: rest -> ( match run s with Pass -> go rest | v -> v)
+  in
+  go [ Strategy.Nonduplicate; Strategy.Duplicate; Strategy.Min_duplicate ]
+
+(* fault-recovery-identical: kill a PE, recover, and demand the exact
+   fault-free (= sequential) result. *)
+
+let fault_recovery nest =
+  let plan = Cf_pipeline.Pipeline.plan ~strategy:Strategy.Nonduplicate nest in
+  let fplan =
+    Cf_fault.Fault.make ~procs:nprocs
+      { Cf_fault.Fault.none with kills = [ (0, 1) ] }
+  in
+  let machine =
+    Cf_machine.Machine.create ~faults:fplan
+      (Cf_machine.Topology.linear nprocs)
+      Cf_machine.Cost.transputer
+  in
+  let coset = Coset.make nest plan.Cf_pipeline.Pipeline.space in
+  let report =
+    Cf_exec.Parexec.execute_indexed ?exact:plan.Cf_pipeline.Pipeline.exact
+      ~domains:1 ~charge_distribution:true ~machine
+      ~placement:(Cf_exec.Parexec.cyclic ~nprocs)
+      ~strategy:Strategy.Nonduplicate coset
+  in
+  match report.Cf_exec.Parexec.recovery with
+  | None -> Fail "machine carried a fault plan but the report has no recovery"
+  | Some _ when Cf_exec.Parexec.ok report -> Pass
+  | Some r ->
+    failf "recovered run diverges from sequential (crashed PEs: %s)"
+      (String.concat ","
+         (List.map string_of_int r.Cf_exec.Parexec.crashed_pes))
+
+(* canon-relabel-roundtrip: canonicalization idempotent and invariant
+   under renaming; a memoized plan relabeled onto the renamed nest
+   still verifies on the concrete space. *)
+
+let canon_roundtrip nest =
+  let c = Cf_cache.Canon.canonicalize nest in
+  let c2 = Cf_cache.Canon.canonicalize c.Cf_cache.Canon.nest in
+  if c2.Cf_cache.Canon.key <> c.Cf_cache.Canon.key then
+    Fail "canonicalize is not idempotent"
+  else
+    let renamed =
+      Cf_cache.Canon.rename
+        ~index:(fun s -> s ^ "0")
+        ~array:(fun s -> "Z" ^ s)
+        ~scalar:(fun s -> s ^ "0")
+        ~label:(fun k _ -> Printf.sprintf "T%d" (k + 1))
+        nest
+    in
+    if Cf_cache.Canon.digest renamed <> c.Cf_cache.Canon.digest then
+      Fail "renamed nest has a different canonical digest"
+    else
+      let plan =
+        Cf_pipeline.Pipeline.plan ~strategy:Strategy.Nonduplicate
+          c.Cf_cache.Canon.nest
+      in
+      let relabeled = Cf_pipeline.Pipeline.relabel plan renamed in
+      if not (Cf_pipeline.Pipeline.verified relabeled) then
+        Fail "relabeled plan fails verification on the renamed nest"
+      else if
+        Cf_cache.Canon.digest relabeled.Cf_pipeline.Pipeline.nest
+        <> c.Cf_cache.Canon.digest
+      then Fail "relabeled plan's nest left the canonical class"
+      else Pass
+
+(* cgen-roundtrip: the iteration order the C back end emits (block-major
+   over the transformed forall nest) against the sequential interpreter,
+   under the back end's own deterministic initialization. *)
+
+let cgen_roundtrip nest =
+  let plan = Cf_pipeline.Pipeline.plan ~strategy:Strategy.Nonduplicate nest in
+  let pl = plan.Cf_pipeline.Pipeline.parloop in
+  match Cf_cgen.Cgen.supports pl with
+  | Error reason -> Skip reason
+  | Ok () ->
+    if Cf_cgen.Cgen.emit pl <> Cf_cgen.Cgen.emit pl then
+      Fail "emit is nondeterministic"
+    else begin
+      let arrays = Nest.arrays nest in
+      let init = Cf_cgen.Cgen.reference_init ~arrays in
+      let scalar = Cf_cgen.Cgen.reference_scalar in
+      let indices = Nest.indices nest in
+      let mem : Cf_exec.Seqexec.memory = Hashtbl.create 64 in
+      let exec_iter iter =
+        let index v =
+          let rec find k =
+            if k >= Array.length indices then raise Not_found
+            else if String.equal indices.(k) v then iter.(k)
+            else find (k + 1)
+          in
+          find 0
+        in
+        List.iter
+          (fun (st : Stmt.t) ->
+            let read (r : Aref.t) =
+              let el = Aref.eval index r in
+              match Hashtbl.find_opt mem (r.Aref.array, Array.to_list el) with
+              | Some v -> v
+              | None -> init r.Aref.array el
+            in
+            let v = Expr.eval ~read ~scalar ~index st.Stmt.rhs in
+            let el = Aref.eval index st.Stmt.lhs in
+            Hashtbl.replace mem
+              (st.Stmt.lhs.Aref.array, Array.to_list el)
+              v)
+          nest.Nest.body
+      in
+      Cf_transform.Parloop.iter pl (fun ~block:_ ~iter -> exec_iter iter);
+      let seq = Cf_exec.Seqexec.run ~init ~scalar nest in
+      if not (Cf_exec.Seqexec.equal_on_written seq mem) then
+        Fail
+          "block-major execution of the transformed nest diverges from the \
+           sequential interpreter"
+      else begin
+        (* The checksum side must agree with the memory it is derived
+           from — a crash here is a finding too. *)
+        ignore (Cf_cgen.Cgen.expected_checksums pl);
+        Pass
+      end
+    end
+
+let all =
+  [
+    { name = "plan-vs-verify";
+      doc = "Theorem 1-4 planners vs Verify on the concrete space";
+      check = plan_vs_verify };
+    { name = "coset-parity";
+      doc = "closed-form Coset index vs materialized Iter_partition";
+      check = coset_parity };
+    { name = "parexec-vs-seq";
+      doc = "both parallel engines vs the sequential interpreter";
+      check = parexec_vs_seq };
+    { name = "fault-recovery-identical";
+      doc = "crash recovery reproduces the fault-free result";
+      check = fault_recovery };
+    { name = "canon-relabel-roundtrip";
+      doc = "canonical form stable under renaming; relabeled plans verify";
+      check = canon_roundtrip };
+    { name = "cgen-roundtrip";
+      doc = "C back end's block-major order vs the sequential interpreter";
+      check = cgen_roundtrip };
+  ]
+
+let find name = List.find_opt (fun o -> String.equal o.name name) all
+let names = List.map (fun o -> o.name) all
+
+let check o nest =
+  match o.check nest with
+  | v -> v
+  | exception e -> Fail (Printf.sprintf "exception: %s" (Printexc.to_string e))

@@ -1,0 +1,49 @@
+(** Differential oracles: named cross-layer properties every generated
+    nest must satisfy.
+
+    Each oracle compares two (or more) independent implementations of
+    "the same answer" already present in the repo and returns a
+    structured verdict.  A [Fail] carries a human-readable
+    counterexample payload naming the first divergence; [Skip] means the
+    property does not apply to this nest (e.g. the C back end refuses a
+    plan that is not nonduplicate-communication-free) and counts as
+    neither a pass nor a failure. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** property not applicable; the reason *)
+  | Fail of string  (** counterexample payload: what diverged, where *)
+
+type t = {
+  name : string;
+  doc : string;  (** one line: which layers are being cross-checked *)
+  check : Cf_loop.Nest.t -> verdict;
+}
+
+val all : t list
+(** The registry, in documentation order:
+    - [plan-vs-verify]: every Theorem 1–4 plan passes
+      {!Cf_core.Verify.check_strategy} on the concrete iteration space;
+    - [coset-parity]: closed-form {!Cf_core.Coset} indexing is
+      bit-for-bit identical to the materialized
+      {!Cf_core.Iter_partition} oracle (ids, bases, sizes, members);
+    - [parexec-vs-seq]: the materialized and the indexed parallel
+      engines both reproduce the sequential interpreter, with identical
+      per-PE iteration counts;
+    - [fault-recovery-identical]: a run with a killed PE recovers to the
+      exact fault-free (sequential) result;
+    - [canon-relabel-roundtrip]: canonicalization is idempotent,
+      renaming-invariant, and a plan relabeled onto a renamed nest still
+      verifies;
+    - [cgen-roundtrip]: block-major execution of the transformed
+      [forall] nest (the iteration order the C back end emits) matches
+      the sequential interpreter, and emission is deterministic. *)
+
+val find : string -> t option
+val names : string list
+
+val check : t -> Cf_loop.Nest.t -> verdict
+(** [check o nest] runs the oracle with exceptions captured: any escape
+    (planner crash, arithmetic overflow guard, ...) is reported as
+    [Fail] with the exception text — a crash on a generated nest is a
+    finding, not a fuzzer error. *)

@@ -1,0 +1,242 @@
+open Cf_loop
+
+let rec expr_size = function
+  | Expr.Binop (_, a, b) -> 1 + expr_size a + expr_size b
+  | Expr.Const _ | Expr.Scalar _ | Expr.Index _ | Expr.Read _ -> 1
+
+let aref_weight (r : Aref.t) =
+  Array.fold_left
+    (fun acc s ->
+      List.fold_left (fun acc (_, c) -> acc + abs c) (abs (Affine.constant_part s)) (Affine.coeffs s)
+      + acc)
+    0 r.Aref.subscripts
+
+let rec expr_weight = function
+  | Expr.Binop (_, a, b) -> expr_weight a + expr_weight b
+  | Expr.Read r -> aref_weight r
+  | Expr.Const _ | Expr.Scalar _ | Expr.Index _ -> 0
+
+let size nest =
+  let stmts =
+    List.fold_left
+      (fun acc (st : Stmt.t) ->
+        acc + 1000 + (10 * expr_size st.Stmt.rhs) + aref_weight st.Stmt.lhs
+        + expr_weight st.Stmt.rhs)
+      0 nest.Nest.body
+  in
+  let bounds =
+    Array.fold_left
+      (fun acc (l : Nest.level) ->
+        match (Affine.to_constant l.Nest.lower, Affine.to_constant l.Nest.upper)
+        with
+        | Some lo, Some hi when hi > lo -> acc + (hi - lo)
+        | _ -> acc)
+      0 nest.Nest.levels
+  in
+  stmts + bounds
+
+(* Rebuild through the validating constructor; the declarations are kept
+   for whatever arrays the candidate still references. *)
+let rebuild nest levels body =
+  let arrays =
+    List.concat_map
+      (fun (st : Stmt.t) ->
+        st.Stmt.lhs.Aref.array
+        :: List.map (fun (r : Aref.t) -> r.Aref.array) (Stmt.reads st))
+      body
+  in
+  let declarations =
+    List.filter (fun (a, _) -> List.mem a arrays) nest.Nest.declarations
+  in
+  match Nest.make ~declarations levels body with
+  | n -> Some n
+  | exception Invalid_argument _ -> None
+
+let with_body nest body = rebuild nest (Array.to_list nest.Nest.levels) body
+
+let map_rhs f (st : Stmt.t) = Stmt.make ~label:st.Stmt.label st.Stmt.lhs (f st.Stmt.rhs)
+
+(* Map every reference (write and read sites) through [f]. *)
+let map_refs f (st : Stmt.t) =
+  let rec expr = function
+    | Expr.Read r -> Expr.Read (f r)
+    | Expr.Binop (op, a, b) ->
+      let a = expr a in
+      let b = expr b in
+      Expr.Binop (op, a, b)
+    | e -> e
+  in
+  Stmt.make ~label:st.Stmt.label (f st.Stmt.lhs) (expr st.Stmt.rhs)
+
+let set_coeff r row var value =
+  let s = r.Aref.subscripts.(row) in
+  let s' =
+    Affine.add
+      (Affine.sub s (Affine.term (Affine.coeff s var) var))
+      (Affine.term value var)
+  in
+  let subscripts = Array.copy r.Aref.subscripts in
+  subscripts.(row) <- s';
+  { r with Aref.subscripts }
+
+let set_offset r row value =
+  let s = r.Aref.subscripts.(row) in
+  let s' = Affine.add (Affine.sub s (Affine.const (Affine.constant_part s))) (Affine.const value) in
+  let subscripts = Array.copy r.Aref.subscripts in
+  subscripts.(row) <- s';
+  { r with Aref.subscripts }
+
+(* Truncating halves move toward zero and strictly shrink magnitude. *)
+let toward_zero v = [ 0 ] @ (if abs v >= 2 then [ v / 2 ] else [])
+
+let candidates nest =
+  let body = nest.Nest.body in
+  let nbody = List.length body in
+  let out = ref [] in
+  let emit n = out := n :: !out in
+  let try_body b = Option.iter emit (with_body nest b) in
+  (* 1. Drop whole statements. *)
+  if nbody >= 2 then
+    List.iteri
+      (fun k _ -> try_body (List.filteri (fun j _ -> j <> k) body))
+      body;
+  (* 2. Remove an array from the right-hand sides (reads become 1). *)
+  List.iter
+    (fun a ->
+      let prune =
+        map_rhs
+          (let rec expr = function
+             | Expr.Read r when String.equal r.Aref.array a -> Expr.Const 1
+             | Expr.Binop (op, x, y) ->
+               let x = expr x in
+               let y = expr y in
+               Expr.Binop (op, x, y)
+             | e -> e
+           in
+           expr)
+      in
+      let b = List.map prune body in
+      if b <> body then try_body b)
+    (Nest.arrays nest);
+  (* 3. Collapse right-hand sides. *)
+  List.iteri
+    (fun k (st : Stmt.t) ->
+      let replace rhs =
+        try_body
+          (List.mapi (fun j s -> if j = k then map_rhs (fun _ -> rhs) s else s) body)
+      in
+      (match st.Stmt.rhs with
+      | Expr.Const 1 -> ()
+      | _ -> replace (Expr.Const 1));
+      match st.Stmt.rhs with
+      | Expr.Binop (_, a, b) ->
+        replace a;
+        replace b
+      | _ -> ())
+    body;
+  (* 4. Shrink constant loop bounds (collapse to a singleton range
+     first, then halve the extent). *)
+  let levels = Array.to_list nest.Nest.levels in
+  List.iteri
+    (fun k (l : Nest.level) ->
+      match (Affine.to_constant l.Nest.lower, Affine.to_constant l.Nest.upper)
+      with
+      | Some lo, Some hi when hi > lo ->
+        let set hi' =
+          let levels' =
+            List.mapi
+              (fun j (m : Nest.level) ->
+                if j = k then { m with Nest.upper = Affine.const hi' } else m)
+              levels
+          in
+          Option.iter emit (rebuild nest levels' body)
+        in
+        set lo;
+        let half = lo + ((hi - lo) / 2) in
+        if half <> lo && half <> hi then set half
+      | _ -> ())
+    levels;
+  (* 5. Move shared reference-matrix entries toward zero, array by
+     array (rewriting every site keeps the array uniformly generated). *)
+  let indices = Nest.indices nest in
+  List.iter
+    (fun a ->
+      if Nest.uniformly_generated nest a then
+        match Nest.distinct_refs nest a with
+        | [] -> ()
+        | (h, _) :: _ ->
+          Array.iteri
+            (fun row hrow ->
+              Array.iteri
+                (fun col v ->
+                  if v <> 0 then
+                    List.iter
+                      (fun v' ->
+                        let f (r : Aref.t) =
+                          if String.equal r.Aref.array a then
+                            set_coeff r row indices.(col) v'
+                          else r
+                        in
+                        try_body (List.map (map_refs f) body))
+                      (toward_zero v))
+                hrow)
+            h)
+    (Nest.arrays nest);
+  (* 6. Move per-site offsets toward zero, one site and row at a time
+     (site 0 is the write, 1.. the reads in textual order). *)
+  let rewrite_site (st : Stmt.t) site f =
+    if site = 0 then Stmt.make ~label:st.Stmt.label (f st.Stmt.lhs) st.Stmt.rhs
+    else begin
+      let seen = ref 0 in
+      let rec expr = function
+        | Expr.Read r ->
+          incr seen;
+          Expr.Read (if !seen = site then f r else r)
+        | Expr.Binop (op, a, b) ->
+          let a = expr a in
+          let b = expr b in
+          Expr.Binop (op, a, b)
+        | e -> e
+      in
+      Stmt.make ~label:st.Stmt.label st.Stmt.lhs (expr st.Stmt.rhs)
+    end
+  in
+  List.iteri
+    (fun k (st : Stmt.t) ->
+      let sites = st.Stmt.lhs :: Stmt.reads st in
+      List.iteri
+        (fun site (r : Aref.t) ->
+          Array.iteri
+            (fun row s ->
+              let c = Affine.constant_part s in
+              if c <> 0 then
+                List.iter
+                  (fun c' ->
+                    try_body
+                      (List.mapi
+                         (fun j s' ->
+                           if j = k then
+                             rewrite_site s' site (fun r' ->
+                                 set_offset r' row c')
+                           else s')
+                         body))
+                  (toward_zero c))
+            r.Aref.subscripts)
+        sites)
+    body;
+  let base = size nest in
+  List.filter (fun n -> size n < base) (List.rev !out)
+
+let minimize ?(max_steps = 500) ~still_fails nest0 =
+  let steps = ref 0 in
+  let rec go nest =
+    if !steps >= max_steps then nest
+    else
+      match List.find_opt still_fails (candidates nest) with
+      | Some n ->
+        incr steps;
+        go n
+      | None -> nest
+  in
+  let r = go nest0 in
+  (r, !steps)

@@ -1,0 +1,35 @@
+(** Greedy minimization of failing nests.
+
+    Before a counterexample is reported (or persisted to the corpus) it
+    is shrunk: starting from the failing nest, the shrinker repeatedly
+    applies the first single-step simplification under which the nest
+    {e still fails}, until no step applies.  Steps are ordered most
+    aggressive first — drop a whole statement, remove an array from the
+    right-hand sides, collapse an expression, shrink a loop bound, then
+    move reference-matrix entries and offsets toward zero — so minimized
+    nests end up with few statements, tiny bounds and mostly-zero
+    subscripts while preserving whatever structure triggers the
+    failure.
+
+    Every candidate is re-validated through {!Cf_loop.Nest.make};
+    candidates the model rejects are silently skipped.  Each step
+    strictly decreases a structural size measure, so minimization always
+    terminates even without the step bound. *)
+
+val size : Cf_loop.Nest.t -> int
+(** The structural measure the shrinker decreases: statement count
+    (dominant), expression sizes, bound extents, and subscript
+    coefficient/offset magnitudes. *)
+
+val candidates : Cf_loop.Nest.t -> Cf_loop.Nest.t list
+(** All valid one-step simplifications, most aggressive first.  Every
+    candidate satisfies [size candidate < size nest]. *)
+
+val minimize :
+  ?max_steps:int ->
+  still_fails:(Cf_loop.Nest.t -> bool) ->
+  Cf_loop.Nest.t ->
+  Cf_loop.Nest.t * int
+(** [(minimized, steps)].  [still_fails] must hold on the input; the
+    result still satisfies it and no single candidate step of the result
+    does.  [max_steps] (default 500) bounds the greedy descent. *)

@@ -227,6 +227,29 @@ let cases =
         List.iter
           (fun f -> try Sys.remove f with Sys_error _ -> ())
           [ baseline; current ]);
+    expect_ok "fuzz --help documents the subcommand"
+      [ "fuzz"; "--help=plain" ]
+      [ "--seed"; "--count"; "--oracle"; "--corpus-dir";
+        "counterexample" ];
+    expect_ok "fuzz runs clean on a fixed seed"
+      [ "fuzz"; "--seed"; "7"; "--count"; "6";
+        "--corpus-dir"; Filename.get_temp_dir_name () ]
+      [ "fuzz: seed 7, 6 case(s) x 6 oracle(s)";
+        "0 counterexample(s)" ];
+    expect_ok "fuzz respects --oracle and --depth"
+      [ "fuzz"; "--seed"; "5"; "--count"; "4"; "--depth"; "2";
+        "--oracle"; "coset-parity,parexec-vs-seq";
+        "--corpus-dir"; Filename.get_temp_dir_name () ]
+      [ "4 case(s) x 2 oracle(s)"; "0 counterexample(s)" ];
+    expect_ok "fuzz --json emits the machine-readable report"
+      [ "fuzz"; "--seed"; "3"; "--count"; "3"; "--json";
+        "--oracle"; "coset-parity";
+        "--corpus-dir"; Filename.get_temp_dir_name () ]
+      [ {|"tool":"cfalloc fuzz"|}; {|"seed":3|}; {|"failures":[]|} ];
+    expect_ok "fuzz rejects unknown oracles"
+      ~expected_status:2
+      [ "fuzz"; "--oracle"; "no-such-oracle"; "--count"; "1" ]
+      [ "unknown oracle(s) no-such-oracle"; "coset-parity" ];
   ]
 
 let suites = [ ("cli", cases) ]

@@ -53,53 +53,12 @@ let l5 ~m = Cf_exec.Matmul.nest ~m
 let all_paper_loops =
   [ ("L1", l1); ("L2", l2); ("L3", l3); ("L4", l4); ("L5(4)", l5 ~m:4) ]
 
-(* Random uniformly-generated 2-nested loops for property testing.
-   Shapes are kept small so exact (enumeration) analysis stays cheap. *)
+(* Random uniformly-generated loops for property testing now live in
+   Cf_check.Gen, shared with the fuzzer; these aliases keep the
+   historical names the suites use. *)
 
-let gen_nest =
-  let open QCheck.Gen in
-  let coeff = int_range (-2) 2 in
-  let offset = int_range (-2) 2 in
-  let gen_h = array_repeat 2 (array_repeat 2 coeff) in
-  let nontrivial h = Array.exists (fun row -> Array.exists (( <> ) 0) row) h in
-  let gen_h = gen_h >>= fun h -> if nontrivial h then return h else gen_h in
-  let subscript h row c =
-    Affine.add
-      (Affine.add
-         (Affine.term h.(row).(0) "i")
-         (Affine.term h.(row).(1) "j"))
-      (Affine.const c)
-  in
-  let gen_ref name h =
-    pair offset offset >|= fun (c0, c1) ->
-    Aref.make name [ subscript h 0 c0; subscript h 1 c1 ]
-  in
-  (* Two arrays with independent reference matrices. *)
-  pair gen_h gen_h >>= fun (ha, hb) ->
-  let gen_stmt =
-    (* lhs on A or B, rhs reads a couple of refs. *)
-    bool >>= fun lhs_a ->
-    gen_ref "A" ha >>= fun ra1 ->
-    gen_ref "A" ha >>= fun ra2 ->
-    gen_ref "B" hb >>= fun rb ->
-    int_range 1 9 >|= fun k ->
-    let lhs = if lhs_a then ra1 else rb in
-    let rhs =
-      Expr.Binop
-        ( Expr.Add,
-          Expr.Read (if lhs_a then rb else ra1),
-          Expr.Binop (Expr.Mul, Expr.Read ra2, Expr.Const k) )
-    in
-    Stmt.make lhs rhs
-  in
-  int_range 1 2 >>= fun nstmts ->
-  list_repeat nstmts gen_stmt >>= fun body ->
-  int_range 3 4 >>= fun ui ->
-  int_range 3 4 >|= fun uj ->
-  Nest.rectangular [ ("i", 1, ui); ("j", 1, uj) ] body
-
-let arbitrary_nest =
-  QCheck.make ~print:(fun t -> Format.asprintf "%a" Nest.pp t) gen_nest
+let gen_nest = Cf_check.Gen.nest2
+let arbitrary_nest = Cf_check.Gen.arbitrary_nest2
 
 (* Wrap a qcheck test as an alcotest case. *)
 let qtest ?(count = 100) name prop arb =
