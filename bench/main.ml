@@ -434,7 +434,7 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | ch -> String.make 1 ch)
        (List.init (String.length s) (String.get s)))
 
-let write_scale_json ~file rows =
+let write_scale_json ~file ?(extra = "") rows =
   let oc = open_out file in
   let row_json r =
     Printf.sprintf
@@ -456,10 +456,230 @@ let write_scale_json ~file rows =
       (r.indexed_seq_s /. r.indexed_par_s)
       (iterations_per_sec r) r.makespan_s
   in
-  Printf.fprintf oc "{\n  \"bench\": \"parexec-scale\",\n  \"rows\": [\n%s\n  ]\n}\n"
-    (String.concat ",\n" (List.map row_json rows));
+  Printf.fprintf oc "{\n  \"bench\": \"parexec-scale\",\n  \"rows\": [\n%s\n  ]%s\n}\n"
+    (String.concat ",\n" (List.map row_json rows))
+    extra;
   close_out oc;
   Printf.printf "wrote %s\n%!" file
+
+(* E19: compiled vs interpreted statement kernels, execution only.
+   Data is pre-placed under plain array names once — the same surface
+   the allocator would build, minus the per-block copy suffix — and
+   each backend then re-runs only the block loop ([~allocate:false
+   ~validate:false], stats reset between runs).  Partition
+   construction, allocation and the sequential golden run are all
+   outside the timing, so the ratio isolates the statement-body
+   engines: closure-specialized kernels vs the per-iteration AST walk.
+   The crossover sweep runs the compiled backend on 1 vs all
+   recommended domains across sizes to locate where domain fan-out
+   starts paying; on a single-CPU host it cannot, and the verdict line
+   records that honestly. *)
+
+type backend_row = {
+  bk_workload : string;
+  bk_size : int;
+  bk_iterations : int;
+  bk_blocks : int;
+  bk_interp_s : float;
+  bk_compiled_s : float;
+  bk_speedup : float;
+}
+
+type crossover_row = {
+  cx_size : int;
+  cx_iterations : int;
+  cx_domains : int;
+  cx_seq_s : float;
+  cx_par_s : float;
+  cx_ratio : float;  (** seq/par: above 1 means fan-out wins *)
+}
+
+(* Every element any site of any block touches, stored on the block's
+   owner — exactly the allocator's surface, under plain names. *)
+let pre_place machine nest coset placement =
+  let prog = Cf_exec.Compile.make nest in
+  let stmts = Cf_exec.Compile.stmts prog in
+  let arrays = Cf_exec.Compile.arrays prog in
+  List.iter
+    (fun (b : Coset.block) ->
+      let pe = placement b.Coset.id in
+      Coset.iter_block ~reuse:true coset ~id:b.Coset.id (fun iter ->
+          Array.iter
+            (fun (ss : Cf_exec.Compile.stmt_sites) ->
+              let place (site : Cf_exec.Compile.Site.t) =
+                let el = Cf_exec.Compile.Site.eval site iter in
+                let name = arrays.(site.Cf_exec.Compile.Site.slot) in
+                if not (Cf_machine.Machine.holds machine ~pe name el) then
+                  Cf_machine.Machine.store machine ~pe name el
+                    (Cf_exec.Seqexec.default_init name el)
+              in
+              place ss.Cf_exec.Compile.lhs;
+              Array.iter place ss.Cf_exec.Compile.reads)
+            stmts))
+    (Coset.blocks coset);
+  Cf_machine.Machine.compact machine
+
+(* Execution-only seconds per run, calibrated to ~0.2s of repetitions
+   so single runs too fast for the clock still resolve. *)
+let exec_time ~backend ~domains machine coset placement =
+  let run () =
+    Cf_machine.Machine.reset_stats machine;
+    ignore
+      (Cf_exec.Parexec.execute_indexed ~backend ~allocate:false
+         ~validate:false ~domains ~machine ~placement
+         ~strategy:Strategy.Duplicate coset)
+  in
+  run ();
+  let _, once = time run in
+  let reps = max 1 (int_of_float (0.2 /. Float.max 1e-6 once)) in
+  let _, t =
+    time2 (fun () ->
+        for _ = 1 to reps do
+          run ()
+        done)
+  in
+  t /. float_of_int reps
+
+let backend_case ~workload ~size build psi_of =
+  let nest = build ~size in
+  let coset = Coset.make nest (psi_of nest) in
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let machine = scale_machine () in
+  pre_place machine nest coset placement;
+  let interp =
+    exec_time ~backend:`Interpreted ~domains:1 machine coset placement
+  in
+  let compiled =
+    exec_time ~backend:`Compiled ~domains:1 machine coset placement
+  in
+  {
+    bk_workload = workload;
+    bk_size = size;
+    bk_iterations = Cf_loop.Nest.cardinal nest;
+    bk_blocks = Coset.block_count coset;
+    bk_interp_s = interp;
+    bk_compiled_s = compiled;
+    bk_speedup = interp /. compiled;
+  }
+
+let backend_rows ~quick () =
+  let kernel name =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = name)
+      Cf_workloads.Workloads.all
+  in
+  let matmul = kernel "matmul" and stencil = kernel "stencil3d" in
+  let diag3 =
+    Cf_linalg.Subspace.span 3 [ Cf_linalg.Vec.of_int_list [ 1; 1; 1 ] ]
+  in
+  let dup nest = Strategy.partitioning_space Strategy.Duplicate nest in
+  let msize = if quick then 16 else 64 in
+  let ssize = if quick then 12 else 48 in
+  [
+    backend_case ~workload:"matmul" ~size:msize
+      matmul.Cf_workloads.Workloads.build dup;
+    backend_case ~workload:"stencil3d" ~size:ssize
+      stencil.Cf_workloads.Workloads.build (fun _ -> diag3);
+  ]
+
+let crossover_rows ~quick () =
+  let kernel =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = "matmul")
+      Cf_workloads.Workloads.all
+  in
+  let domains =
+    max 1 (min (Domain.recommended_domain_count ()) scale_procs)
+  in
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  List.map
+    (fun size ->
+      let nest = kernel.Cf_workloads.Workloads.build ~size in
+      let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+      let coset = Coset.make nest psi in
+      let machine = scale_machine () in
+      pre_place machine nest coset placement;
+      let seq =
+        exec_time ~backend:`Compiled ~domains:1 machine coset placement
+      in
+      let par =
+        exec_time ~backend:`Compiled ~domains machine coset placement
+      in
+      {
+        cx_size = size;
+        cx_iterations = Cf_loop.Nest.cardinal nest;
+        cx_domains = domains;
+        cx_seq_s = seq;
+        cx_par_s = par;
+        cx_ratio = seq /. par;
+      })
+    (if quick then [ 8; 12; 16 ] else [ 16; 32; 48 ])
+
+let print_backend_rows rows crossover =
+  section "E19 - compiled vs interpreted statement kernels (execution only)";
+  Printf.printf "%-10s %5s %9s %8s %14s %14s %12s %12s %8s\n" "workload"
+    "size" "iters" "blocks" "interp(s)" "compiled(s)" "interp it/s"
+    "compiled it/s" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %5d %9d %8d %14.6f %14.6f %12.0f %12.0f %7.1fx\n"
+        r.bk_workload r.bk_size r.bk_iterations r.bk_blocks r.bk_interp_s
+        r.bk_compiled_s
+        (float_of_int r.bk_iterations /. r.bk_interp_s)
+        (float_of_int r.bk_iterations /. r.bk_compiled_s)
+        r.bk_speedup)
+    rows;
+  Printf.printf
+    "crossover (compiled backend, matmul, 1 domain vs %d domain(s)):\n"
+    (match crossover with r :: _ -> r.cx_domains | [] -> 1);
+  Printf.printf "%-6s %9s %12s %12s %8s\n" "size" "iters" "1-dom(s)"
+    "N-dom(s)" "ratio";
+  List.iter
+    (fun c ->
+      Printf.printf "%-6d %9d %12.6f %12.6f %7.2fx\n" c.cx_size
+        c.cx_iterations c.cx_seq_s c.cx_par_s c.cx_ratio)
+    crossover;
+  (match List.find_opt (fun c -> c.cx_ratio > 1.0) crossover with
+  | Some c ->
+    Printf.printf "crossover point: fan-out first wins at size %d (%.2fx)\n"
+      c.cx_size c.cx_ratio
+  | None ->
+    Printf.printf
+      "crossover point: none in this sweep (%d domain(s) available)\n"
+      (Domain.recommended_domain_count ()))
+
+let backend_rows_json rows =
+  String.concat ",\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf
+           "    {\"workload\": \"%s\", \"size\": %d, \"iterations\": %d, \
+            \"blocks\": %d, \"interpreted_s\": %.6f, \"compiled_s\": %.6f, \
+            \"interpreted_iters_per_sec\": %.0f, \
+            \"compiled_iters_per_sec\": %.0f, \"speedup\": %.2f}"
+           (json_escape r.bk_workload) r.bk_size r.bk_iterations r.bk_blocks
+           r.bk_interp_s r.bk_compiled_s
+           (float_of_int r.bk_iterations /. r.bk_interp_s)
+           (float_of_int r.bk_iterations /. r.bk_compiled_s)
+           r.bk_speedup)
+       rows)
+
+let crossover_json rows =
+  String.concat ",\n"
+    (List.map
+       (fun c ->
+         Printf.sprintf
+           "    {\"name\": \"matmul-compiled\", \"size\": %d, \
+            \"iterations\": %d, \"domains\": %d, \"seq_s\": %.6f, \
+            \"par_s\": %.6f, \"ratio\": %.3f}"
+           c.cx_size c.cx_iterations c.cx_domains c.cx_seq_s c.cx_par_s
+           c.cx_ratio)
+       rows)
+
+let scale_extra ~backends ~crossover =
+  Printf.sprintf
+    ",\n  \"backend_rows\": [\n%s\n  ],\n  \"crossover\": [\n%s\n  ]"
+    (backend_rows_json backends) (crossover_json crossover)
 
 (* E15: the concurrent planning service.  Throughput of a mixed planning
    workload through the worker pool at 1/2/4 domains with the
@@ -745,7 +965,47 @@ let probe () =
       t_allocexec
   in
   run "matmul" (Strategy.partitioning_space Strategy.Duplicate);
-  run "stencil3d" (fun _ -> diag3)
+  run "stencil3d" (fun _ -> diag3);
+  (* Split the execution-only cost of the two backends: walker alone,
+     then each backend, matmul m=16 (the E19 quick configuration). *)
+  let nest = (kernel "matmul").Cf_workloads.Workloads.build ~size:16 in
+  let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+  let coset = Coset.make nest psi in
+  let machine = scale_machine () in
+  pre_place machine nest coset placement;
+  let walk () =
+    let n = ref 0 in
+    for id = 1 to Coset.block_count coset do
+      Coset.iter_block ~reuse:true coset ~id (fun _ -> incr n)
+    done;
+    !n
+  in
+  let reps = 200 in
+  let _, t_walk =
+    time2 (fun () ->
+        for _ = 1 to reps do
+          ignore (walk ())
+        done)
+  in
+  let t_exec backend =
+    exec_time ~backend ~domains:1 machine coset placement
+  in
+  Printf.printf
+    "matmul16 exec-only: walk=%.1fus interp=%.1fus compiled=%.1fus\n%!"
+    (1e6 *. t_walk /. float_of_int reps)
+    (1e6 *. t_exec `Interpreted)
+    (1e6 *. t_exec `Compiled);
+  let nest = (kernel "matmul").Cf_workloads.Workloads.build ~size:32 in
+  let psi = Strategy.partitioning_space Strategy.Duplicate nest in
+  let coset = Coset.make nest psi in
+  let machine = scale_machine () in
+  pre_place machine nest coset placement;
+  let t_exec backend =
+    exec_time ~backend ~domains:1 machine coset placement
+  in
+  Printf.printf "matmul32 exec-only: interp=%.1fus compiled=%.1fus\n%!"
+    (1e6 *. t_exec `Interpreted)
+    (1e6 *. t_exec `Compiled)
 
 let run_service ~quick =
   let rows = service_rows ~quick () in
@@ -1163,16 +1423,28 @@ let () =
     (* Service experiment only (E15), small sizes under --quick. *)
     run_service ~quick
   else if quick then begin
-    (* Smoke mode for CI: only the scale-out rows, at small sizes. *)
+    (* Smoke mode for CI: scale-out and backend rows, at small sizes. *)
     let rows = scale_rows ~quick:true () in
     print_scale_rows rows;
-    write_scale_json ~file:(json_file "BENCH_parexec.json") rows
+    let bk = backend_rows ~quick:true () in
+    let cx = crossover_rows ~quick:true () in
+    print_backend_rows bk cx;
+    write_scale_json
+      ~file:(json_file "BENCH_parexec.json")
+      ~extra:(scale_extra ~backends:bk ~crossover:cx)
+      rows
   end
   else if scale_only then begin
     (* Full-size scale-out rows only, for iterating on the engine. *)
     let rows = scale_rows ~quick:false () in
     print_scale_rows rows;
-    write_scale_json ~file:(json_file "BENCH_parexec.json") rows
+    let bk = backend_rows ~quick:false () in
+    let cx = crossover_rows ~quick:false () in
+    print_backend_rows bk cx;
+    write_scale_json
+      ~file:(json_file "BENCH_parexec.json")
+      ~extra:(scale_extra ~backends:bk ~crossover:cx)
+      rows
   end
   else begin
     print_figures ();
@@ -1183,7 +1455,13 @@ let () =
     print_distribution ();
     let rows = scale_rows ~quick:false () in
     print_scale_rows rows;
-    write_scale_json ~file:(json_file "BENCH_parexec.json") rows;
+    let bk = backend_rows ~quick:false () in
+    let cx = crossover_rows ~quick:false () in
+    print_backend_rows bk cx;
+    write_scale_json
+      ~file:(json_file "BENCH_parexec.json")
+      ~extra:(scale_extra ~backends:bk ~crossover:cx)
+      rows;
     run_service ~quick:false;
     ignore (run_faults ~quick:false);
     ignore (run_obs ~quick:false);

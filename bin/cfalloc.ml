@@ -181,7 +181,27 @@ let transform_cmd =
    indexed engine on a machine carrying the fault plan.  The recovery
    must reproduce the fault-free result bit for bit, which pp_report's
    "results: match sequential" line certifies. *)
-let fault_simulate ~strategy ~radius ~procs ~spec nest =
+(* Hand-parsed like the fault flags: a bad value is a usage error (exit
+   2), not a planner failure. *)
+let backend_flag v k =
+  match v with
+  | None -> k `Compiled
+  | Some s -> (
+    match Cf_exec.Compile.backend_of_string s with
+    | Some b -> k b
+    | None ->
+      Format.eprintf
+        "error: --backend expects 'interpreted' or 'compiled', got %S@." s;
+      2)
+
+let backend_arg =
+  Arg.(value & opt (some string) None
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Statement-body engine: $(b,compiled) (closure-specialized \
+                 kernels, the default) or $(b,interpreted) (per-iteration \
+                 AST walk, the differential oracle).")
+
+let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
   let plan = Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest in
   let fplan = Cf_fault.Fault.make ~procs spec in
   let machine =
@@ -194,8 +214,9 @@ let fault_simulate ~strategy ~radius ~procs ~spec nest =
      the faulty links (and a PE dead on arrival is unmasked by its first
      message, not first iteration). *)
   let report =
-    Cf_exec.Parexec.execute_indexed ?exact:plan.Cf_pipeline.Pipeline.exact
-      ~charge_distribution:true ~machine
+    Cf_exec.Parexec.execute_indexed ~backend
+      ?exact:plan.Cf_pipeline.Pipeline.exact ~charge_distribution:true
+      ~machine
       ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
       ~strategy coset
   in
@@ -209,9 +230,10 @@ let fault_simulate ~strategy ~radius ~procs ~spec nest =
   Format.printf "recovered output identical: %b@."
     (Cf_exec.Parexec.ok report)
 
-let simulate_run level file strategy radius procs fault_seed kill_pe kill_after
-    =
+let simulate_run level file strategy radius procs backend fault_seed kill_pe
+    kill_after =
   setup_logs level;
+  backend_flag backend @@ fun backend ->
   (* The fault flags are parsed by hand so a malformed value yields a
      clear diagnostic and exit code 2 (usage error), distinct from the
      planner-failure exit code 1. *)
@@ -235,7 +257,7 @@ let simulate_run level file strategy radius procs fault_seed kill_pe kill_after
             let plan =
               Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
             in
-            let sim = Cf_pipeline.Pipeline.simulate ~procs plan in
+            let sim = Cf_pipeline.Pipeline.simulate ~backend ~procs plan in
             Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
               sim.Cf_pipeline.Pipeline.report;
             Format.printf "balance: %a@." Cf_exec.Balance.pp
@@ -270,7 +292,7 @@ let simulate_run level file strategy radius procs fault_seed kill_pe kill_after
       }
     in
     handle (fun () ->
-        each_nest file (fault_simulate ~strategy ~radius ~procs ~spec))
+        each_nest file (fault_simulate ~backend ~strategy ~radius ~procs ~spec))
 
 let simulate_cmd =
   let doc = "Execute the plan on the simulated multicomputer and verify it." in
@@ -296,7 +318,8 @@ let simulate_cmd =
   in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
-          $ procs_arg $ fault_seed_arg $ kill_pe_arg $ kill_after_arg)
+          $ procs_arg $ backend_arg $ fault_seed_arg $ kill_pe_arg
+          $ kill_after_arg)
 
 (* trace *)
 
@@ -778,8 +801,13 @@ let distribute_cmd =
 
 module Service = Cf_service.Service
 
-let batch_run level dir domains queue_depth cache_capacity no_cache timeout =
+let batch_run level dir domains queue_depth cache_capacity no_cache timeout
+    backend_opt =
   setup_logs level;
+  backend_flag backend_opt @@ fun backend ->
+  (* Execution is checked per plan only when --backend was given
+     explicitly: the default batch output stays a pure planning report. *)
+  let check_exec = backend_opt <> None in
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Format.eprintf "error: %s is not a directory@." dir;
     1
@@ -832,11 +860,25 @@ let batch_run level dir domains queue_depth cache_capacity no_cache timeout =
             (fun (name, _) outcome ->
               (match outcome with
               | Service.Done c ->
-                Format.printf "%-24s %a  parallel=%d blocks=%d verified=%b@."
+                let exec =
+                  if check_exec then begin
+                    let sim =
+                      Cf_pipeline.Pipeline.simulate ~backend c.Service.plan
+                    in
+                    let ok =
+                      Cf_exec.Parexec.ok sim.Cf_pipeline.Pipeline.report
+                    in
+                    if not ok then incr bad_outcomes;
+                    if ok then "  exec=ok" else "  exec=FAIL"
+                  end
+                  else ""
+                in
+                Format.printf "%-24s %a  parallel=%d blocks=%d verified=%b%s@."
                   name Service.pp_outcome outcome
                   (Cf_pipeline.Pipeline.parallelism c.Service.plan)
                   (Cf_pipeline.Pipeline.block_count c.Service.plan)
                   (Cf_pipeline.Pipeline.verified c.Service.plan)
+                  exec
               | _ ->
                 incr bad_outcomes;
                 Format.printf "%-24s %a@." name Service.pp_outcome outcome))
@@ -885,9 +927,18 @@ let batch_cmd =
              ~doc:"Per-request deadline; requests still queued when it \
                    expires complete as timed out.")
   in
+  let batch_backend_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backend" ] ~docv:"BACKEND"
+             ~doc:"Also execute each planned nest on the simulated machine \
+                   with this statement-body engine ($(b,compiled) or \
+                   $(b,interpreted)) and verify the result; execution \
+                   failures count as bad outcomes.")
+  in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(const batch_run $ logs_arg $ dir_arg $ domains_arg $ queue_arg
-          $ cache_capacity_arg $ no_cache_arg $ timeout_arg)
+          $ cache_capacity_arg $ no_cache_arg $ timeout_arg
+          $ batch_backend_arg)
 
 (* fuzz *)
 

@@ -152,6 +152,62 @@ let fault_recovery nest =
       (String.concat ","
          (List.map string_of_int r.Cf_exec.Parexec.crashed_pes))
 
+(* compiled-vs-interpreted: the closure-specialized execution backend
+   against the AST interpreter it was compiled from — bit-for-bit, on
+   both the sequential reference and the machine engine. *)
+
+let compiled_vs_interpreted nest =
+  let seq_c = Cf_exec.Seqexec.run ~backend:`Compiled nest in
+  let seq_i = Cf_exec.Seqexec.run ~backend:`Interpreted nest in
+  if not (Cf_exec.Seqexec.equal_on_written seq_c seq_i) then
+    Fail "sequential run: compiled memory differs from interpreted"
+  else
+    let run strategy backend =
+      let plan = Cf_pipeline.Pipeline.plan ~strategy nest in
+      let machine =
+        Cf_machine.Machine.create
+          (Cf_machine.Topology.linear nprocs)
+          Cf_machine.Cost.transputer
+      in
+      let coset = Coset.make nest plan.Cf_pipeline.Pipeline.space in
+      Cf_exec.Parexec.execute_indexed ~backend
+        ?exact:plan.Cf_pipeline.Pipeline.exact ~domains:1 ~machine
+        ~placement:(Cf_exec.Parexec.cyclic ~nprocs)
+        ~strategy coset
+    in
+    let rec go = function
+      | [] -> Pass
+      | strategy :: rest ->
+        let rc = run strategy `Compiled in
+        let ri = run strategy `Interpreted in
+        if
+          rc.Cf_exec.Parexec.remote_access <> ri.Cf_exec.Parexec.remote_access
+        then
+          failf "strategy %a: backends disagree on the faulting access"
+            Strategy.pp strategy
+        else if rc.Cf_exec.Parexec.mismatches <> ri.Cf_exec.Parexec.mismatches
+        then
+          failf "strategy %a: backends disagree on result mismatches"
+            Strategy.pp strategy
+        else if
+          rc.Cf_exec.Parexec.per_pe_iterations
+          <> ri.Cf_exec.Parexec.per_pe_iterations
+        then
+          failf "strategy %a: per-PE iteration counts differ between backends"
+            Strategy.pp strategy
+        else if
+          Cf_machine.Machine.max_compute_time rc.Cf_exec.Parexec.machine
+          <> Cf_machine.Machine.max_compute_time ri.Cf_exec.Parexec.machine
+        then
+          failf "strategy %a: simulated compute time differs between backends"
+            Strategy.pp strategy
+        else if not (Cf_exec.Parexec.ok rc) then
+          failf "strategy %a: compiled backend diverges from sequential"
+            Strategy.pp strategy
+        else go rest
+    in
+    go [ Strategy.Nonduplicate; Strategy.Duplicate; Strategy.Min_duplicate ]
+
 (* canon-relabel-roundtrip: canonicalization idempotent and invariant
    under renaming; a memoized plan relabeled onto the renamed nest
    still verifies on the concrete space. *)
@@ -256,6 +312,9 @@ let all =
     { name = "fault-recovery-identical";
       doc = "crash recovery reproduces the fault-free result";
       check = fault_recovery };
+    { name = "compiled-vs-interpreted";
+      doc = "closure-specialized backend bit-for-bit vs the interpreter";
+      check = compiled_vs_interpreted };
     { name = "canon-relabel-roundtrip";
       doc = "canonical form stable under renaming; relabeled plans verify";
       check = canon_roundtrip };

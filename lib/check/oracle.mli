@@ -32,6 +32,10 @@ val all : t list
       per-PE iteration counts;
     - [fault-recovery-identical]: a run with a killed PE recovers to the
       exact fault-free (sequential) result;
+    - [compiled-vs-interpreted]: the closure-specialized execution
+      backend ({!Cf_exec.Compile}) is bit-for-bit identical to the AST
+      interpreter — sequential memories, machine-engine reports and
+      simulated compute times alike;
     - [canon-relabel-roundtrip]: canonicalization is idempotent,
       renaming-invariant, and a plan relabeled onto a renamed nest still
       verifies;

@@ -24,6 +24,9 @@ type t = {
   space : Subspace.t;
   proj : int array array;
   lattice : int array array;
+  nz_cols : int array array;
+      (* nonzero columns of each lattice row: the walker's per-member
+         translate update touches only entries that move *)
   pivots : int array;
   lo : int array;
   hi : int array;
@@ -132,6 +135,13 @@ let make nest space =
     space;
     proj;
     lattice;
+    nz_cols =
+      Array.map
+        (fun row ->
+          let l = ref [] in
+          Array.iteri (fun j v -> if v <> 0 then l := j :: !l) row;
+          Array.of_list (List.rev !l))
+        lattice;
     pivots;
     lo;
     hi;
@@ -172,15 +182,24 @@ let iter_block ?(reuse = false) t ~id f =
   let n = Array.length b.base in
   let k = Array.length t.lattice in
   let x = Array.copy b.base in
-  let leaf () =
-    if t.rectangular || Nest.mem t.nest x then
-      f (if reuse then x else Array.copy x)
+  let leaf =
+    if reuse && t.rectangular then fun () -> f x
+    else
+      fun () ->
+        if t.rectangular || Nest.mem t.nest x then
+          f (if reuse then x else Array.copy x)
   in
   if k = 0 then leaf ()
   else begin
-    let add_mul row c =
-      if c <> 0 then
-        Array.iteri (fun j v -> if v <> 0 then x.(j) <- x.(j) + (c * v)) row
+    let nz_cols = t.nz_cols in
+    let add_mul j c =
+      if c <> 0 then begin
+        let row = t.lattice.(j) and cols = nz_cols.(j) in
+        for i = 0 to Array.length cols - 1 do
+          let col = Array.unsafe_get cols i in
+          x.(col) <- x.(col) + (c * Array.unsafe_get row col)
+        done
+      end
     in
     let stop j = if j + 1 < k then t.pivots.(j + 1) else n in
     let rec go j =
@@ -208,12 +227,85 @@ let iter_block ?(reuse = false) t ~id f =
            whenever it is non-empty. *)
         if (not !empty) && !cmin <= !cmax then begin
           let lo_c = !cmin and hi_c = !cmax in
-          add_mul row lo_c;
+          add_mul j lo_c;
           for c = lo_c to hi_c do
             go (j + 1);
-            if c < hi_c then add_mul row 1
+            if c < hi_c then add_mul j 1
           done;
-          add_mul row (-hi_c)
+          add_mul j (-hi_c)
+        end
+      end
+    in
+    go 0
+  end
+
+(* Same walk with [reuse = true] semantics, except that maximal runs at
+   the innermost lattice level whose row has a single nonzero column are
+   handed to [run] as one call: the vector sits at the run's first
+   iteration and the callee accounts for [count] iterations in which
+   logical index [q] advances by [step].  Only rectangular cosets
+   qualify (a membership test would have to be per-point otherwise);
+   everything else falls back to per-iteration [f]. *)
+let iter_block_runs t ~id ~run f =
+  let b = block t ~id in
+  let n = Array.length b.base in
+  let k = Array.length t.lattice in
+  let x = Array.copy b.base in
+  let leaf =
+    if t.rectangular then fun () -> f x
+    else fun () -> if Nest.mem t.nest x then f x
+  in
+  if k = 0 then leaf ()
+  else begin
+    let nz_cols = t.nz_cols in
+    let runnable = t.rectangular && Array.length nz_cols.(k - 1) = 1 in
+    let add_mul j c =
+      if c <> 0 then begin
+        let row = t.lattice.(j) and cols = nz_cols.(j) in
+        for i = 0 to Array.length cols - 1 do
+          let col = Array.unsafe_get cols i in
+          x.(col) <- x.(col) + (c * Array.unsafe_get row col)
+        done
+      end
+    in
+    let stop j = if j + 1 < k then t.pivots.(j + 1) else n in
+    let rec go j =
+      if j = k then leaf ()
+      else begin
+        let row = t.lattice.(j) in
+        let cmin = ref min_int and cmax = ref max_int in
+        let empty = ref false in
+        for col = t.pivots.(j) to stop j - 1 do
+          let coeff = row.(col) and v = x.(col) in
+          if coeff = 0 then begin
+            if v < t.lo.(col) || v > t.hi.(col) then empty := true
+          end
+          else begin
+            let a = t.lo.(col) - v and bnd = t.hi.(col) - v in
+            let l, h =
+              if coeff > 0 then (Oint.cdiv a coeff, Oint.fdiv bnd coeff)
+              else (Oint.cdiv bnd coeff, Oint.fdiv a coeff)
+            in
+            if l > !cmin then cmin := l;
+            if h < !cmax then cmax := h
+          end
+        done;
+        if (not !empty) && !cmin <= !cmax then begin
+          let lo_c = !cmin and hi_c = !cmax in
+          if j = k - 1 && runnable then begin
+            let q = nz_cols.(j).(0) in
+            add_mul j lo_c;
+            run x ~q ~step:row.(q) ~count:(hi_c - lo_c + 1);
+            add_mul j (-lo_c)
+          end
+          else begin
+            add_mul j lo_c;
+            for c = lo_c to hi_c do
+              go (j + 1);
+              if c < hi_c then add_mul j 1
+            done;
+            add_mul j (-hi_c)
+          end
         end
       end
     in

@@ -59,6 +59,24 @@ val iter_block : ?reuse:bool -> t -> id:int -> (int array -> unit) -> unit
     retain or mutate it (default [false]: a fresh array per
     iteration). *)
 
+val iter_block_runs :
+  t ->
+  id:int ->
+  run:(int array -> q:int -> step:int -> count:int -> unit) ->
+  (int array -> unit) ->
+  unit
+(** {!iter_block} with [~reuse:true] semantics, plus run batching: on
+    rectangular cosets whose innermost lattice row touches a single
+    column [q], each maximal innermost interval is delivered as one
+    [run] call instead of [count] leaf calls.  [run] receives the
+    walker's scratch vector positioned at the run's {e first} iteration
+    and must account for [count] consecutive iterations in which
+    [x.(q)] advances by [step]; it may mutate [x.(q)] while working but
+    must restore the vector before returning (on an exception the walk
+    is abandoned, so no restore is needed).  Iterations that cannot be
+    batched arrive through the leaf callback exactly as in
+    {!iter_block}. *)
+
 val block_iterations : t -> id:int -> int array list
 (** Convenience wrapper over {!iter_block} (materializes one block). *)
 

@@ -25,9 +25,108 @@ type report = {
 
 let ok r = r.remote_access = None && r.mismatches = []
 
-let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
-    ?exact ?(allocate = true) ?(charge_distribution = false)
-    ?(validate = true) ~machine ~placement ~strategy partition =
+(* Accessor target over PE [pe]'s chunks for one block's copy arrays:
+   each factory resolves the chunk once ({!Machine.reader} and friends),
+   so the compiled kernels touch local memory with no per-access map
+   lookup.  Slots whose copy array was never stored anywhere ([None]
+   aid) fail lazily with the same {!Machine.Remote_access} the
+   interpreted engine raises on its [aid_of] miss. *)
+let bind_target machine ~pe ~copy_aids ~name =
+  let miss slot el =
+    raise (Machine.Remote_access { pe; array = name slot; element = el })
+  in
+  {
+    Compile.reader =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.reader machine ~pe aid
+        | None -> fun el -> miss slot (Array.copy el));
+    reader1 =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.reader1 machine ~pe aid
+        | None -> fun x -> miss slot [| x |]);
+    reader2 =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.reader2 machine ~pe aid
+        | None -> fun x0 x1 -> miss slot [| x0; x1 |]);
+    writer =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.writer machine ~pe aid
+        | None -> fun el _ -> miss slot (Array.copy el));
+    writer1 =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.writer1 machine ~pe aid
+        | None -> fun x _ -> miss slot [| x |]);
+    writer2 =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> Machine.writer2 machine ~pe aid
+        | None -> fun x0 x1 _ -> miss slot [| x0; x1 |]);
+    flat =
+      (fun slot ->
+        match copy_aids.(slot) with
+        | Some aid -> (
+          match Machine.flat_view machine ~pe aid with
+          | Some (lo, extents, data, present) ->
+            Some
+              {
+                Compile.f_lo = lo;
+                f_extents = extents;
+                f_data = data;
+                f_present = present;
+              }
+          | None -> None)
+        | None -> None);
+  }
+
+(* The per-statement list of structurally distinct access sites — what
+   allocation must place for one surviving statement instance.  The lhs
+   leads; structurally equal references cover the same footprint, so
+   each contributes once. *)
+let distinct_sites stmts =
+  Array.map
+    (fun (sp : Compile.stmt_sites) ->
+      let sites = ref [ sp.Compile.lhs ] in
+      Array.iter
+        (fun (s : Compile.Site.t) ->
+          if
+            not
+              (List.exists
+                 (fun (s' : Compile.Site.t) ->
+                   Aref.equal s'.Compile.Site.aref s.Compile.Site.aref)
+                 !sites)
+          then sites := s :: !sites)
+        sp.Compile.reads;
+      Array.of_list (List.rev !sites))
+    stmts
+
+let site_scratch sites_per_stmt =
+  Array.map
+    (Array.map (fun (s : Compile.Site.t) ->
+         Array.make (Compile.Site.rank s) 0))
+    sites_per_stmt
+
+(* Fallback for a [Read] node not physically shared with the compiled
+   sites (never fires in practice: [Stmt.reads] returns the rhs nodes
+   themselves). *)
+let eval_ref idx (r : Aref.t) iter =
+  let h, c = Aref.matrix idx r in
+  Array.init (Array.length c) (fun p ->
+      let row = h.(p) in
+      let acc = ref c.(p) in
+      for q = 0 to Array.length row - 1 do
+        acc := !acc + (row.(q) * iter.(q))
+      done;
+      !acc)
+
+let execute ?(backend = `Compiled) ?(init = Seqexec.default_init)
+    ?(scalar = Seqexec.default_scalar) ?exact ?(allocate = true)
+    ?(charge_distribution = false) ?(validate = true) ~machine ~placement
+    ~strategy partition =
   if Machine.faults machine <> None then
     invalid_arg "Parexec.execute: fault plans require execute_indexed";
   let nest = Iter_partition.nest partition in
@@ -37,11 +136,16 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
     | Some e -> Some e
     | None -> if minimal then Some (Cf_dep.Exact.analyze nest) else None
   in
-  let keep ~stmt_index iter =
+  let keep_opt =
     match exact with
     | Some e when minimal ->
-      not (Cf_dep.Exact.is_redundant e ~stmt_index iter)
-    | _ -> true
+      Some
+        (fun ~stmt_index iter ->
+          not (Cf_dep.Exact.is_redundant e ~stmt_index iter))
+    | _ -> None
+  in
+  let keep ~stmt_index iter =
+    match keep_opt with Some f -> f ~stmt_index iter | None -> true
   in
   let nprocs = Topology.size (Machine.topology machine) in
   let block_pe j =
@@ -63,53 +167,79 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
   let key block array =
     if allocate then array ^ "#" ^ string_of_int block else array
   in
+  let prog = Compile.make nest in
+  let arr_names = Compile.arrays prog in
+  let stmts = Compile.stmts prog in
+  let nstmts = Array.length stmts in
+  let lslots =
+    Array.map
+      (fun (sp : Compile.stmt_sites) -> sp.Compile.lhs.Compile.Site.slot)
+      stmts
+  in
   let idx = Nest.indices nest in
   let pos = Hashtbl.create 8 in
   Array.iteri (fun k v -> Hashtbl.replace pos v k) idx;
   let body = Array.of_list nest.Nest.body in
+  (* Copy names are per (block, slot), not per access: memoize them so
+     the allocation walk builds each string once. *)
+  let block_names = Hashtbl.create 64 in
+  let names_of block =
+    match Hashtbl.find_opt block_names block with
+    | Some a -> a
+    | None ->
+      let a = Array.map (key block) arr_names in
+      Hashtbl.replace block_names block a;
+      a
+  in
   (* Collect the per-(processor, copy) element sets first, then place
      them: either free of charge, or as one pipelined host message per
-     copy when the caller wants distribution accounted. *)
-  let needed : (int * string, (int list, int) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let allocate_for iter =
-    let index v = iter.(Hashtbl.find pos v) in
-    let block = Iter_partition.block_id_of_iteration partition iter in
-    let pe = block_pe block in
-    Array.iteri
-      (fun si (s : Stmt.t) ->
-        if keep ~stmt_index:si iter then
-          List.iter
-            (fun (r : Aref.t) ->
-              let el = Array.to_list (Aref.eval index r) in
-              let slot =
-                match Hashtbl.find_opt needed (pe, key block r.Aref.array) with
+     copy when the caller wants distribution accounted.  Elements are
+     deduplicated by packed coordinates into per-site scratch — the walk
+     allocates only for genuinely new elements. *)
+  if allocate then begin
+    let needed : (int * string, (int, int array * int) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 64
+    in
+    let alloc_sites = distinct_sites stmts in
+    let scratch = site_scratch alloc_sites in
+    Nest.iter_space nest (fun iter ->
+        let block = Iter_partition.block_id_of_iteration partition iter in
+        let pe = block_pe block in
+        let names = names_of block in
+        for si = 0 to nstmts - 1 do
+          if keep ~stmt_index:si iter then begin
+            let sites = alloc_sites.(si) in
+            let scrs = scratch.(si) in
+            for i = 0 to Array.length sites - 1 do
+              let s = sites.(i) in
+              let scr = scrs.(i) in
+              Compile.Site.eval_into s iter scr;
+              let packed = Machine.pack_coords scr in
+              let slot = s.Compile.Site.slot in
+              let tbl =
+                match Hashtbl.find_opt needed (pe, names.(slot)) with
                 | Some t -> t
                 | None ->
                   let t = Hashtbl.create 32 in
-                  Hashtbl.replace needed (pe, key block r.Aref.array) t;
+                  Hashtbl.replace needed (pe, names.(slot)) t;
                   t
               in
-              if not (Hashtbl.mem slot el) then
-                Hashtbl.replace slot el
-                  (init r.Aref.array (Array.of_list el)))
-            (s.lhs :: Stmt.reads s))
-      body
-  in
-  if allocate then begin
-    Nest.iter_space nest allocate_for;
+              if not (Hashtbl.mem tbl packed) then begin
+                let el = Array.copy scr in
+                Hashtbl.add tbl packed (el, init arr_names.(slot) el)
+              end
+            done
+          end
+        done);
     Hashtbl.iter
-      (fun (pe, name) slot ->
-        let elements =
-          Hashtbl.fold (fun el v acc -> (Array.of_list el, v) :: acc) slot []
-        in
+      (fun (pe, name) tbl ->
         if charge_distribution then
-          Machine.host_send machine ~pe name elements
-        else
-          List.iter (fun (el, v) -> Machine.store machine ~pe name el v)
-            elements)
-      needed
+          Machine.host_send machine ~pe name
+            (Hashtbl.fold (fun _ (el, v) acc -> (el, v) :: acc) tbl [])
+        else Hashtbl.iter (fun _ (el, v) -> Machine.store machine ~pe name el v)
+            tbl)
+      needed;
+    Machine.compact machine
   end;
   (* Execution, block by block.  For each element we record the value
      produced by the sequentially-latest write: with duplication, a
@@ -120,36 +250,96 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
   let last_writer : (string * int list, (int list * int) * int) Hashtbl.t =
     Hashtbl.create 256
   in
+  let note_write a el_list stamp v =
+    let k = (a, el_list) in
+    match Hashtbl.find_opt last_writer k with
+    | Some (stamp', _) when stamp' > stamp -> ()
+    | _ -> Hashtbl.replace last_writer k (stamp, v)
+  in
+  let on_write =
+    if validate then
+      Some
+        (fun ~stmt_index ~iter ~el v ->
+          note_write
+            arr_names.(lslots.(stmt_index))
+            (Array.to_list el)
+            (Array.to_list iter, stmt_index)
+            v)
+    else None
+  in
+  let iscratch =
+    Array.map
+      (fun (sp : Compile.stmt_sites) ->
+        ( Array.make (Compile.Site.rank sp.Compile.lhs) 0,
+          Array.map
+            (fun s -> Array.make (Compile.Site.rank s) 0)
+            sp.Compile.reads ))
+      stmts
+  in
   let remote = ref None in
   let blocks = Iter_partition.blocks partition in
   (try
      Array.iter
        (fun (b : Iter_partition.block) ->
          let pe = block_pe b.id in
-         List.iter
-           (fun iter ->
-             let index v = iter.(Hashtbl.find pos v) in
-             Array.iteri
-               (fun si (s : Stmt.t) ->
-                 if keep ~stmt_index:si iter then begin
-                   let read (r : Aref.t) =
-                     Machine.read machine ~pe
-                       (key b.id r.Aref.array)
-                       (Aref.eval index r)
-                   in
-                   let v = Expr.eval ~read ~scalar ~index s.rhs in
-                   let el = Aref.eval index s.lhs in
-                   Machine.write machine ~pe (key b.id s.lhs.Aref.array) el v;
-                   if validate then begin
-                     let stamp = (Array.to_list iter, si) in
-                     let k = (s.lhs.Aref.array, Array.to_list el) in
-                     match Hashtbl.find_opt last_writer k with
-                     | Some (stamp', _) when stamp' > stamp -> ()
-                     | _ -> Hashtbl.replace last_writer k (stamp, v)
-                   end
-                 end)
-               body)
-           b.iterations;
+         let names = names_of b.id in
+         let copy_aids = Array.map (Machine.array_id machine) names in
+         (match backend with
+          | `Compiled ->
+            let target =
+              bind_target machine ~pe
+                ~copy_aids:(Array.map Option.some copy_aids)
+                ~name:(fun slot -> names.(slot))
+            in
+            let kernel =
+              Compile.bind ?keep:keep_opt ?on_write ~scalar ~target prog
+            in
+            List.iter kernel b.iterations
+          | `Interpreted ->
+            List.iter
+              (fun iter ->
+                let index v = iter.(Hashtbl.find pos v) in
+                Array.iteri
+                  (fun si (s : Stmt.t) ->
+                    if keep ~stmt_index:si iter then begin
+                      let sp = stmts.(si) in
+                      let rsites = sp.Compile.reads in
+                      let lscr, rscr = iscratch.(si) in
+                      let nr = Array.length rsites in
+                      let read (r : Aref.t) =
+                        (* Expr nodes are physically shared with the
+                           compiled sites, so a pointer scan resolves
+                           the site without hashing. *)
+                        let rec find i =
+                          if i >= nr then -1
+                          else if rsites.(i).Compile.Site.aref == r then i
+                          else find (i + 1)
+                        in
+                        match find 0 with
+                        | -1 ->
+                          let el = eval_ref idx r iter in
+                          Machine.read_id machine ~pe
+                            copy_aids.(Compile.slot_of prog r.Aref.array)
+                            el
+                        | i ->
+                          let site = rsites.(i) in
+                          let scr = rscr.(i) in
+                          Compile.Site.eval_into site iter scr;
+                          Machine.read_id machine ~pe
+                            copy_aids.(site.Compile.Site.slot)
+                            scr
+                      in
+                      let v = Expr.eval ~read ~scalar ~index s.rhs in
+                      Compile.Site.eval_into sp.Compile.lhs iter lscr;
+                      Machine.write_id machine ~pe copy_aids.(lslots.(si)) lscr
+                        v;
+                      if validate then
+                        note_write s.lhs.Aref.array (Array.to_list lscr)
+                          (Array.to_list iter, si)
+                          v
+                    end)
+                  body)
+              b.iterations);
          Machine.run_iterations machine ~pe (List.length b.iterations))
        blocks
    with Machine.Remote_access { pe; array; element } ->
@@ -199,8 +389,13 @@ let execute ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
    commutative, and a remote-access abort reports the failure with the
    smallest block id — whether an access faults is independent of
    execution order (execution never adds elements to any memory), so
-   that is exactly the fault [execute] reports first. *)
-let execute_indexed ?(init = Seqexec.default_init)
+   that is exactly the fault [execute] reports first.
+
+   The compiled backend keeps all of the above: kernels are bound per
+   block on the owning domain (chunk bindings never change during a
+   round — writes go through the update-only path), and the validation
+   hook feeds the same per-domain last-writer tables. *)
+let execute_indexed ?(backend = `Compiled) ?(init = Seqexec.default_init)
     ?(scalar = Seqexec.default_scalar) ?exact ?(allocate = true)
     ?(charge_distribution = false) ?(validate = true) ?domains ~machine
     ~placement ~strategy coset =
@@ -211,11 +406,16 @@ let execute_indexed ?(init = Seqexec.default_init)
     | Some e -> Some e
     | None -> if minimal then Some (Cf_dep.Exact.analyze nest) else None
   in
-  let keep =
+  let keep_opt =
     match exact with
     | Some e when minimal ->
-      fun ~stmt_index iter -> not (Cf_dep.Exact.is_redundant e ~stmt_index iter)
-    | _ -> fun ~stmt_index:_ _ -> true
+      Some
+        (fun ~stmt_index iter ->
+          not (Cf_dep.Exact.is_redundant e ~stmt_index iter))
+    | _ -> None
+  in
+  let keep ~stmt_index iter =
+    match keep_opt with Some f -> f ~stmt_index iter | None -> true
   in
   let nprocs = Topology.size (Machine.topology machine) in
   let plan = Machine.faults machine in
@@ -224,6 +424,7 @@ let execute_indexed ?(init = Seqexec.default_init)
      crash events.  All timestamps are simulated seconds. *)
   let obs = Machine.obs machine in
   let obs_on = Cf_obs.Trace.enabled obs in
+  let backend_arg = Cf_obs.Trace.Str (Compile.backend_name backend) in
   (* Recovery replays lost data from block-local copies; without
      [allocate] the caller owns distribution and copies may be shared,
      so a crash could not be repaired locally. *)
@@ -240,45 +441,17 @@ let execute_indexed ?(init = Seqexec.default_init)
   let pos = Hashtbl.create 8 in
   Array.iteri (fun k v -> Hashtbl.replace pos v k) idx;
   let body = Array.of_list nest.Nest.body in
-  let arr_names = Array.of_list (Nest.arrays nest) in
-  let slot_of name =
-    let rec go i =
-      if i >= Array.length arr_names then
-        invalid_arg "Parexec.execute_indexed: unknown array"
-      else if String.equal arr_names.(i) name then i
-      else go (i + 1)
-    in
-    go 0
-  in
-  (* Per-statement access sites with array slots resolved and subscripts
-     compiled to reference matrices (H, c) once, so the hot loop
-     evaluates elements with plain integer arithmetic instead of
-     name-keyed affine environments. *)
-  let compile_site (r : Aref.t) =
-    let h, c = Aref.matrix idx r in
-    (slot_of r.Aref.array, r, h, c)
-  in
-  let eval_site_into h c iter el =
-    for p = 0 to Array.length c - 1 do
-      let row = h.(p) in
-      let acc = ref c.(p) in
-      for q = 0 to Array.length row - 1 do
-        acc := !acc + (row.(q) * iter.(q))
-      done;
-      el.(p) <- !acc
-    done
-  in
-  let eval_site h c iter =
-    let el = Array.make (Array.length c) 0 in
-    eval_site_into h c iter el;
-    el
-  in
-  let site_slots =
+  (* Every access site pre-resolved once — array slots, subscript
+     matrices — shared by allocation, the interpreted hot loop and the
+     compiled kernels. *)
+  let prog = Compile.make nest in
+  let arr_names = Compile.arrays prog in
+  let nslots = Array.length arr_names in
+  let stmts = Compile.stmts prog in
+  let lslots =
     Array.map
-      (fun (s : Stmt.t) ->
-        ( compile_site s.Stmt.lhs,
-          Array.of_list (List.map compile_site (Stmt.reads s)) ))
-      body
+      (fun (sp : Compile.stmt_sites) -> sp.Compile.lhs.Compile.Site.slot)
+      stmts
   in
   let base_aids = Array.map (fun a -> Machine.array_id machine a) arr_names in
   let copy_name id slot =
@@ -312,22 +485,22 @@ let execute_indexed ?(init = Seqexec.default_init)
          so collect each block's footprint before the single host_send. *)
       let send_block id pe =
         let slots = Array.map (fun _ -> Hashtbl.create 32) arr_names in
+        let touch (site : Compile.Site.t) iter =
+          let el = Compile.Site.eval site iter in
+          let slot = site.Compile.Site.slot in
+          let packed = Machine.pack_coords el in
+          let tbl = slots.(slot) in
+          if not (Hashtbl.mem tbl packed) then
+            Hashtbl.add tbl packed (el, init arr_names.(slot) el)
+        in
         Coset.iter_block coset ~id (fun iter ->
             Array.iteri
-              (fun si _ ->
+              (fun si (sp : Compile.stmt_sites) ->
                 if keep ~stmt_index:si iter then begin
-                  let lhs_site, reads = site_slots.(si) in
-                  let touch (slot, _, h, c) =
-                    let el = eval_site h c iter in
-                    let packed = Machine.pack_coords el in
-                    let tbl = slots.(slot) in
-                    if not (Hashtbl.mem tbl packed) then
-                      Hashtbl.add tbl packed (el, init arr_names.(slot) el)
-                  in
-                  touch lhs_site;
-                  Array.iter touch reads
+                  touch sp.Compile.lhs iter;
+                  Array.iter (fun s -> touch s iter) sp.Compile.reads
                 end)
-              body);
+              stmts);
         Array.iteri
           (fun slot tbl ->
             if Hashtbl.length tbl > 0 then
@@ -361,30 +534,9 @@ let execute_indexed ?(init = Seqexec.default_init)
       (* Free distribution: build each block copy as a packed-key table
          (deduplicating locally, away from the machine's memory map) and
          install it wholesale.  Subscripts evaluate into per-site
-         scratch (this phase is sequential).  Structurally equal sites
-         of a statement cover the same footprint, so each statement
-         contributes its distinct references once. *)
-      let alloc_sites =
-        Array.map
-          (fun (((_, lr, _, _) as lsite), reads) ->
-            let sites = ref [ lsite ] in
-            Array.iter
-              (fun ((_, r, _, _) as site) ->
-                if
-                  not
-                    (Aref.equal r lr
-                    || List.exists (fun (_, r', _, _) -> Aref.equal r' r) !sites)
-                then sites := site :: !sites)
-              reads;
-            Array.of_list (List.rev !sites))
-          site_slots
-      in
-      let scratch =
-        Array.map
-          (Array.map (fun (_, _, _, c) -> Array.make (Array.length c) 0))
-          alloc_sites
-      in
-      let nslots = Array.length arr_names in
+         scratch (this phase is sequential). *)
+      let alloc_sites = distinct_sites stmts in
+      let scratch = site_scratch alloc_sites in
       let tbls = Array.make nslots None in
       for id = 1 to q do
         let pe = owner.(id - 1) in
@@ -396,9 +548,10 @@ let execute_indexed ?(init = Seqexec.default_init)
                   let sites = alloc_sites.(si) in
                   let scrs = scratch.(si) in
                   for i = 0 to Array.length sites - 1 do
-                    let slot, _, h, c = sites.(i) in
+                    let s = sites.(i) in
                     let scr = scrs.(i) in
-                    eval_site_into h c iter scr;
+                    Compile.Site.eval_into s iter scr;
+                    let slot = s.Compile.Site.slot in
                     let packed = Machine.pack_coords scr in
                     let tbl =
                       match tbls.(slot) with
@@ -463,6 +616,19 @@ let execute_indexed ?(init = Seqexec.default_init)
     let lw : (int, (int, (int array * int) * int) Hashtbl.t) Hashtbl.t =
       Hashtbl.create 64
     in
+    let lw_note baid packed stamp v =
+      let tbl =
+        match Hashtbl.find_opt lw baid with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 256 in
+          Hashtbl.add lw baid t;
+          t
+      in
+      match Hashtbl.find_opt tbl packed with
+      | Some (stamp', _) when compare stamp' stamp > 0 -> ()
+      | _ -> Hashtbl.replace tbl packed (stamp, v)
+    in
     let remote = ref None in
     let dead_here = ref [] in
     let cur_block = ref 0 in
@@ -472,11 +638,136 @@ let execute_indexed ?(init = Seqexec.default_init)
        buffers. *)
     let scratch =
       Array.map
-        (fun ((_, _, _, lc), reads) ->
-          ( Array.make (Array.length lc) 0,
-            Array.map (fun (_, _, _, c) -> Array.make (Array.length c) 0)
-              reads ))
-        site_slots
+        (fun (sp : Compile.stmt_sites) ->
+          ( Array.make (Compile.Site.rank sp.Compile.lhs) 0,
+            Array.map
+              (fun s -> Array.make (Compile.Site.rank s) 0)
+              sp.Compile.reads ))
+        stmts
+    in
+    (* Interpreted block body: per-iteration AST walk over the interned
+       machine accessors — the differential oracle for the compiled
+       kernels. *)
+    let exec_interpreted ~id ~pe copy_aids =
+      let aid_of slot el =
+        match copy_aids.(slot) with
+        | Some aid -> aid
+        | None ->
+          (* Never stored anywhere, so not local either. *)
+          raise
+            (Machine.Remote_access
+               { pe; array = copy_name id slot; element = Array.copy el })
+      in
+      (* Stamps retain [iter], so reuse only when not validating. *)
+      Coset.iter_block ~reuse:(not validate) coset ~id (fun iter ->
+          let index v = iter.(Hashtbl.find pos v) in
+          Array.iteri
+            (fun si (s : Stmt.t) ->
+              if keep ~stmt_index:si iter then begin
+                let sp = stmts.(si) in
+                let rsites = sp.Compile.reads in
+                let lscr, rscr = scratch.(si) in
+                let nr = Array.length rsites in
+                let read (r : Aref.t) =
+                  (* Expr nodes are shared with the compiled sites, so a
+                     physical scan resolves the site without hashing;
+                     the fallback never fires. *)
+                  let rec find i =
+                    if i >= nr then -1
+                    else if rsites.(i).Compile.Site.aref == r then i
+                    else find (i + 1)
+                  in
+                  match find 0 with
+                  | -1 ->
+                    let el = eval_ref idx r iter in
+                    Machine.read_id machine ~pe
+                      (aid_of (Compile.slot_of prog r.Aref.array) el)
+                      el
+                  | i ->
+                    let site = rsites.(i) in
+                    let scr = rscr.(i) in
+                    Compile.Site.eval_into site iter scr;
+                    Machine.read_id machine ~pe
+                      (aid_of site.Compile.Site.slot scr)
+                      scr
+                in
+                let v = Expr.eval ~read ~scalar ~index s.rhs in
+                Compile.Site.eval_into sp.Compile.lhs iter lscr;
+                Machine.write_id machine ~pe (aid_of lslots.(si) lscr) lscr v;
+                if validate then
+                  lw_note base_aids.(lslots.(si))
+                    (Machine.pack_coords lscr)
+                    (iter, si) v
+              end)
+            body)
+    in
+    (* Compiled block body: bind the specialized kernels against this
+       block's chunks and run them.  [iter] buffers are fresh when
+       validating (the hook's stamps retain them); [el] is hook-local
+       scratch, only its packed form is kept. *)
+    let on_write =
+      if validate then
+        Some
+          (fun ~stmt_index ~iter ~el v ->
+            lw_note
+              base_aids.(lslots.(stmt_index))
+              (Machine.pack_coords el)
+              (iter, stmt_index) v)
+      else None
+    in
+    (* When the caller owns distribution ([allocate = false]) every
+       block on a processor binds against the same plain-named chunks,
+       so the bound kernel is reusable verbatim; cache it per PE keyed
+       by the resolved ids.  Chunk bindings only change between rounds
+       (recovery replay), and each round runs a fresh [run_domain], so
+       a cached kernel never outlives its chunks.  With per-block
+       copies the ids differ block to block and the cache never hits. *)
+    let kcache :
+        ( int,
+          int option array
+          * (int array -> unit)
+          * (int array -> q:int -> step:int -> count:int -> unit) )
+        Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let exec_compiled ~id ~pe copy_aids =
+      let kernel, run =
+        match Hashtbl.find_opt kcache pe with
+        | Some (aids, k, r) when aids = copy_aids -> (k, r)
+        | _ ->
+          let target =
+            bind_target machine ~pe ~copy_aids ~name:(copy_name id)
+          in
+          let k, r =
+            Compile.bind_run ?keep:keep_opt ?on_write ~scalar ~target prog
+          in
+          Hashtbl.replace kcache pe (copy_aids, k, r);
+          (k, r)
+      in
+      (* Validation stamps retain the iteration vector, so only the
+         non-validating path may hand the walker's scratch to batched
+         runs. *)
+      if validate then Coset.iter_block ~reuse:false coset ~id kernel
+      else Coset.iter_block_runs coset ~id ~run kernel
+    in
+    (* Plain names ([allocate = false]) resolve to the same ids for
+       every block, so the lookup is worth one array per round — except
+       that a [None] can still flip to [Some] if a chunk is created
+       mid-run, so only a fully-resolved vector is cached. *)
+    let aids_cache = ref None in
+    let copy_aids_for id =
+      let resolve () =
+        Array.init nslots (fun slot ->
+            Machine.find_array_id machine (copy_name id slot))
+      in
+      if allocate then resolve ()
+      else
+        match !aids_cache with
+        | Some aids -> aids
+        | None ->
+          let aids = resolve () in
+          if Array.for_all Option.is_some aids then aids_cache := Some aids;
+          aids
     in
     (try
        for id = 1 to q do
@@ -488,74 +779,16 @@ let execute_indexed ?(init = Seqexec.default_init)
          then begin
            cur_block := id;
            try
-           let block_t0 = if obs_on then Machine.pe_now machine pe else 0. in
-           let copy_aids =
-             Array.init (Array.length arr_names) (fun slot ->
-                 Machine.find_array_id machine (copy_name id slot))
-           in
-           let aid_of slot el =
-             match copy_aids.(slot) with
-             | Some aid -> aid
-             | None ->
-               (* Never stored anywhere, so not local either. *)
-               raise
-                 (Machine.Remote_access
-                    { pe; array = copy_name id slot; element = Array.copy el })
-           in
-           (* Stamps retain [iter], so reuse only when not validating. *)
-           Coset.iter_block ~reuse:(not validate) coset ~id (fun iter ->
-               let index v = iter.(Hashtbl.find pos v) in
-               Array.iteri
-                 (fun si (s : Stmt.t) ->
-                   if keep ~stmt_index:si iter then begin
-                     let (lslot, _, lh, lc), reads = site_slots.(si) in
-                     let lscr, rscr = scratch.(si) in
-                     let nr = Array.length reads in
-                     let read (r : Aref.t) =
-                       (* Expr nodes are shared with [site_slots], so a
-                          physical scan resolves the compiled site
-                          without hashing; the fallback never fires. *)
-                       let rec find i =
-                         if i >= nr then -1
-                         else
-                           let _, r', _, _ = reads.(i) in
-                           if r' == r then i else find (i + 1)
-                       in
-                       match find 0 with
-                       | -1 ->
-                         let h, c = Aref.matrix idx r in
-                         let el = eval_site h c iter in
-                         Machine.read_id machine ~pe
-                           (aid_of (slot_of r.Aref.array) el)
-                           el
-                       | i ->
-                         let slot, _, h, c = reads.(i) in
-                         let scr = rscr.(i) in
-                         eval_site_into h c iter scr;
-                         Machine.read_id machine ~pe (aid_of slot scr) scr
-                     in
-                     let v = Expr.eval ~read ~scalar ~index s.rhs in
-                     eval_site_into lh lc iter lscr;
-                     let el = lscr in
-                     Machine.write_id machine ~pe (aid_of lslot el) el v;
-                     if validate then begin
-                       let baid = base_aids.(lslot) in
-                       let packed = Machine.pack_coords el in
-                       let stamp = (iter, si) in
-                       let tbl =
-                         match Hashtbl.find_opt lw baid with
-                         | Some t -> t
-                         | None ->
-                           let t = Hashtbl.create 256 in
-                           Hashtbl.add lw baid t;
-                           t
-                       in
-                       match Hashtbl.find_opt tbl packed with
-                       | Some (stamp', _) when compare stamp' stamp > 0 -> ()
-                       | _ -> Hashtbl.replace tbl packed (stamp, v)
-                     end
-                   end)
-                 body);
+             let block_t0 = if obs_on then Machine.pe_now machine pe else 0. in
+             let copy_aids = copy_aids_for id in
+             (match backend with
+              | `Compiled ->
+                if obs_on then
+                  Cf_obs.Trace.mark obs ~lane:pe ~cat:"compile" ~ts:block_t0
+                    "compile"
+                    ~args:[ ("block", Cf_obs.Trace.Int id) ];
+                exec_compiled ~id ~pe copy_aids
+              | `Interpreted -> exec_interpreted ~id ~pe copy_aids);
              let bsize = (Coset.block coset ~id).Coset.size in
              Machine.run_iterations machine ~pe bsize;
              if obs_on then
@@ -566,6 +799,7 @@ let execute_indexed ?(init = Seqexec.default_init)
                    [
                      ("block", Cf_obs.Trace.Int id);
                      ("iterations", Cf_obs.Trace.Int bsize);
+                     ("backend", backend_arg);
                    ];
              done_blocks.(id - 1) <- true
            with Machine.Pe_crashed { pe } -> dead_here := pe :: !dead_here

@@ -43,6 +43,7 @@ type report = {
 }
 
 val execute :
+  ?backend:Compile.backend ->
   ?init:(string -> int array -> int) ->
   ?scalar:(string -> int) ->
   ?exact:Cf_dep.Exact.result ->
@@ -69,9 +70,19 @@ val execute :
     [mismatches] is then always empty and the report only certifies
     communication freedom, not value correctness (used for throughput
     measurements).  Raises [Invalid_argument] when the machine carries a
-    fault plan — crash recovery lives in {!execute_indexed}. *)
+    fault plan — crash recovery lives in {!execute_indexed}.
+
+    [backend] (default [`Compiled]) selects the statement-body engine:
+    [`Compiled] partially evaluates each body once per block through
+    {!Compile} — subscript strides, operator dispatch, scalar and chunk
+    lookups all resolved at bind time — and runs the resulting closures;
+    [`Interpreted] walks the expression AST per iteration.  Both engines
+    produce bit-for-bit identical reports (values, faulting element,
+    counters); the [compiled-vs-interpreted] oracle in [cf_check]
+    enforces it. *)
 
 val execute_indexed :
+  ?backend:Compile.backend ->
   ?init:(string -> int array -> int) ->
   ?scalar:(string -> int) ->
   ?exact:Cf_dep.Exact.result ->

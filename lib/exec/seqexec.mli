@@ -16,14 +16,24 @@ val default_scalar : string -> int
 (** Deterministic nonzero value of a free scalar. *)
 
 val run :
+  ?backend:Compile.backend ->
   ?init:(string -> int array -> int) ->
   ?scalar:(string -> int) ->
   Nest.t ->
   memory
 (** Final written values.  Reads of never-written elements fall back to
-    [init]; loop indices evaluate to their iteration values. *)
+    [init]; loop indices evaluate to their iteration values.
+
+    [backend] (default [`Compiled]) selects the statement-body engine:
+    [`Compiled] binds each body once through {!Compile} and runs the
+    resulting closures; [`Interpreted] walks the AST per iteration.
+    Both produce bit-for-bit identical memories — the
+    [compiled-vs-interpreted] oracle in [cf_check] enforces it.  Nests
+    whose subscript arity exceeds the packed-coordinate limit (7) fall
+    back to the interpreter transparently. *)
 
 val run_filtered :
+  ?backend:Compile.backend ->
   ?init:(string -> int array -> int) ->
   ?scalar:(string -> int) ->
   keep:(stmt_index:int -> int array -> bool) ->

@@ -26,8 +26,11 @@ let rec eval ~read ~scalar ~index = function
   | Index v -> index v
   | Read r -> read r
   | Binop (op, a, b) ->
-    let va = eval ~read ~scalar ~index a
-    and vb = eval ~read ~scalar ~index b in
+    (* Left operand strictly first: effects in [read] (a remote-access
+       fault, most importantly) must fire in textual order, the order
+       the compiled backend also commits to. *)
+    let va = eval ~read ~scalar ~index a in
+    let vb = eval ~read ~scalar ~index b in
     (match op with
      | Add -> va + vb
      | Sub -> va - vb

@@ -22,6 +22,9 @@ val eval :
   t ->
   int
 (** Integer evaluation; [Div] is truncating division as in the source
-    language and raises [Division_by_zero] accordingly. *)
+    language and raises [Division_by_zero] accordingly.  Operands
+    evaluate left to right, so effects in [read] (a remote-access
+    fault, in particular) fire in textual order — the compiled backend
+    commits to the same order. *)
 
 val pp : Format.formatter -> t -> unit

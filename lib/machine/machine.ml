@@ -267,6 +267,146 @@ let install_id m ~pe aid tbl =
   check_pe m pe;
   Hashtbl.replace m.memories.(pe) aid (Sparse tbl)
 
+(* {2 Block-bound accessors (compiled execution fast path)}
+
+   Each factory resolves the (pe, array) chunk once and returns a
+   closure reading or updating it directly — no per-access map lookup,
+   and for flat chunks no coordinate packing.  The closure is valid
+   only while the chunk binding is unchanged: execution never replaces
+   chunks (writes go through the update path below), and the executors
+   re-bind per block, so recovery swapping chunks between rounds is
+   safe.  Miss semantics are exactly [read_id]/[write_id]'s:
+   Remote_access with a copied element, including rank mismatches. *)
+
+let acc_miss m pe aid el =
+  raise (Remote_access { pe; array = array_name m aid; element = el })
+
+let reader m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | None -> fun el -> acc_miss m pe aid (Array.copy el)
+  | Some (Sparse tbl) -> (
+    fun el ->
+      match Hashtbl.find_opt tbl (pack_coords el) with
+      | Some v -> v
+      | None -> acc_miss m pe aid (Array.copy el))
+  | Some (Flat fl) ->
+    let lo = fl.lo and extents = fl.extents in
+    let data = fl.data and present = fl.present in
+    fun el ->
+      let off = flat_offset lo extents el in
+      if off >= 0 && Bytes.unsafe_get present off <> '\000' then
+        Array.unsafe_get data off
+      else acc_miss m pe aid (Array.copy el)
+
+let reader1 m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | Some (Flat fl) when Array.length fl.lo = 1 ->
+    let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
+    let data = fl.data and present = fl.present in
+    fun x ->
+      let c = x - lo0 in
+      if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then
+        Array.unsafe_get data c
+      else acc_miss m pe aid [| x |]
+  | _ ->
+    let r = reader m ~pe aid in
+    let sc = [| 0 |] in
+    fun x ->
+      sc.(0) <- x;
+      r sc
+
+let reader2 m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | Some (Flat fl) when Array.length fl.lo = 2 ->
+    let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
+    let lo1 = fl.lo.(1) and e1 = fl.extents.(1) in
+    let data = fl.data and present = fl.present in
+    fun x0 x1 ->
+      let c0 = x0 - lo0 and c1 = x1 - lo1 in
+      if c0 >= 0 && c0 < e0 && c1 >= 0 && c1 < e1 then begin
+        let off = (c0 * e1) + c1 in
+        if Bytes.unsafe_get present off <> '\000' then
+          Array.unsafe_get data off
+        else acc_miss m pe aid [| x0; x1 |]
+      end
+      else acc_miss m pe aid [| x0; x1 |]
+  | _ ->
+    let r = reader m ~pe aid in
+    let sc = [| 0; 0 |] in
+    fun x0 x1 ->
+      sc.(0) <- x0;
+      sc.(1) <- x1;
+      r sc
+
+let flat_view m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | Some (Flat fl) -> Some (fl.lo, fl.extents, fl.data, fl.present)
+  | _ -> None
+
+let writer m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | None -> fun el _ -> acc_miss m pe aid (Array.copy el)
+  | Some (Sparse tbl) ->
+    fun el v ->
+      let key = pack_coords el in
+      if Hashtbl.mem tbl key then Hashtbl.replace tbl key v
+      else acc_miss m pe aid (Array.copy el)
+  | Some (Flat fl) ->
+    let lo = fl.lo and extents = fl.extents in
+    let data = fl.data and present = fl.present in
+    fun el v ->
+      let off = flat_offset lo extents el in
+      if off >= 0 && Bytes.unsafe_get present off <> '\000' then
+        Array.unsafe_set data off v
+      else acc_miss m pe aid (Array.copy el)
+
+let writer1 m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | Some (Flat fl) when Array.length fl.lo = 1 ->
+    let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
+    let data = fl.data and present = fl.present in
+    fun x v ->
+      let c = x - lo0 in
+      if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then
+        Array.unsafe_set data c v
+      else acc_miss m pe aid [| x |]
+  | _ ->
+    let w = writer m ~pe aid in
+    let sc = [| 0 |] in
+    fun x v ->
+      sc.(0) <- x;
+      w sc v
+
+let writer2 m ~pe aid =
+  check_pe m pe;
+  match Hashtbl.find_opt m.memories.(pe) aid with
+  | Some (Flat fl) when Array.length fl.lo = 2 ->
+    let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
+    let lo1 = fl.lo.(1) and e1 = fl.extents.(1) in
+    let data = fl.data and present = fl.present in
+    fun x0 x1 v ->
+      let c0 = x0 - lo0 and c1 = x1 - lo1 in
+      if c0 >= 0 && c0 < e0 && c1 >= 0 && c1 < e1 then begin
+        let off = (c0 * e1) + c1 in
+        if Bytes.unsafe_get present off <> '\000' then
+          Array.unsafe_set data off v
+        else acc_miss m pe aid [| x0; x1 |]
+      end
+      else acc_miss m pe aid [| x0; x1 |]
+  | _ ->
+    let w = writer m ~pe aid in
+    let sc = [| 0; 0 |] in
+    fun x0 x1 v ->
+      sc.(0) <- x0;
+      sc.(1) <- x1;
+      w sc v
+
 let store m ~pe a el v = store_id m ~pe (array_id m a) el v
 
 let read m ~pe a el =

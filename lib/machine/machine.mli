@@ -102,6 +102,45 @@ val read_id : t -> pe:int -> int -> int array -> int
 val write_id : t -> pe:int -> int -> int array -> int -> unit
 val holds_id : t -> pe:int -> int -> int array -> bool
 
+(** {2 Block-bound accessors (compiled execution fast path)}
+
+    Each factory resolves PE [pe]'s chunk for array [aid] {e once} and
+    returns a closure that reads or updates it directly — no per-access
+    memory-map lookup, and on flat chunks no coordinate packing at all.
+    Miss semantics are exactly {!read_id}/{!write_id}'s ({!Remote_access}
+    with a copied element; writers never create elements), including
+    rank mismatches.  The rank-1/rank-2 variants take unboxed
+    coordinates and allocate nothing on the hit path.  A returned
+    closure is valid only while the chunk binding is unchanged — any
+    {!store_id} to a new element, {!install_id}, {!compact},
+    {!clear_pe} or {!restore} on that (pe, array) invalidates it.  The
+    executors re-bind per block, which also keeps crash recovery
+    (chunks swapped between rounds) safe. *)
+
+val reader : t -> pe:int -> int -> int array -> int
+(** [reader m ~pe aid] is a bound form of [read_id m ~pe aid]; the
+    element array is caller scratch (copied only on the miss path). *)
+
+val reader1 : t -> pe:int -> int -> int -> int
+val reader2 : t -> pe:int -> int -> int -> int -> int
+val writer : t -> pe:int -> int -> int array -> int -> unit
+(** Bound form of {!write_id} (update-only: absent elements raise). *)
+
+val writer1 : t -> pe:int -> int -> int -> int -> unit
+val writer2 : t -> pe:int -> int -> int -> int -> int -> unit
+
+val flat_view :
+  t -> pe:int -> int -> (int array * int array * int array * Bytes.t) option
+(** [flat_view m ~pe aid] exposes a compacted chunk as
+    [(lo, extents, data, present)] — the live buffers, row-major with
+    offset [Σ (el.(p) − lo.(p))·stride(p)], an element present iff its
+    byte is nonzero.  [None] for sparse or absent chunks.  Same
+    validity window as the bound accessors above; callers may read and
+    update present elements directly but must never create or delete
+    elements.  This is the compiled backend's zero-call fast path: a
+    kernel inlines the offset arithmetic and falls back to
+    {!reader1}-style closures only on miss. *)
+
 val install_id : t -> pe:int -> int -> (int, int) Hashtbl.t -> unit
 (** [install_id m ~pe aid tbl] installs [tbl] — a {!pack_coords} key to
     value table — as PE [pe]'s local memory for array [aid], replacing

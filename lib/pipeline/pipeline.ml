@@ -64,13 +64,13 @@ type simulation = {
   makespan : float;
 }
 
-let simulate ?(procs = 4) ?(cost = Cf_machine.Cost.transputer)
+let simulate ?backend ?(procs = 4) ?(cost = Cf_machine.Cost.transputer)
     ?(with_distribution = false) t =
   let machine =
     Cf_machine.Machine.create (Cf_machine.Topology.linear procs) cost
   in
   let report =
-    Cf_exec.Parexec.execute ?exact:t.exact
+    Cf_exec.Parexec.execute ?backend ?exact:t.exact
       ~charge_distribution:with_distribution ~machine
       ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
       ~strategy:t.strategy t.partition

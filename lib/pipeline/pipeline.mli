@@ -61,13 +61,15 @@ type simulation = {
 }
 
 val simulate :
+  ?backend:Cf_exec.Compile.backend ->
   ?procs:int -> ?cost:Cf_machine.Cost.t -> ?with_distribution:bool -> t ->
   simulation
 (** Executes the plan on a simulated [procs]-node machine (default 4)
     with cyclic block placement, validating communication freedom and
     result correctness at run time.  With [~with_distribution:true] the
     initial data scatter is charged to the machine and shows up in the
-    makespan. *)
+    makespan.  [backend] (default [`Compiled]) selects the
+    statement-body engine — see {!Cf_exec.Parexec.execute}. *)
 
 val describe : Format.formatter -> t -> unit
 (** Human-readable summary: per-array spaces, Ψ, block statistics, and

@@ -101,6 +101,7 @@ let expected_names =
     "coset-parity";
     "parexec-vs-seq";
     "fault-recovery-identical";
+    "compiled-vs-interpreted";
     "canon-relabel-roundtrip";
     "cgen-roundtrip";
   ]
@@ -112,10 +113,10 @@ let no_fail oracle nest =
 
 let oracle_tests =
   [
-    ( "registry lists the six documented oracles",
+    ( "registry lists the seven documented oracles",
       `Quick,
       fun () ->
-        check_int "count" 6 (List.length Oracle.all);
+        check_int "count" 7 (List.length Oracle.all);
         List.iter
           (fun n -> check_bool n true (List.mem n Oracle.names))
           expected_names );
