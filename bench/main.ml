@@ -1392,6 +1392,160 @@ let run_check ~quick =
   write_check_json ~file:(json_file "BENCH_check.json") rows;
   List.for_all (fun r -> r.ck_pass) rows
 
+(* E20: communication-minimal fallback planning.  Replays the fuzzer's
+   seeded mixed-depth case stream, keeps the nests the theorems reject
+   (no communication-free parallel dimension), plans the
+   minimum-communication fallback and executes it on the compiled
+   backend under a service-mode machine.  A rejected nest is *servable*
+   when the chosen partition splits into >= 2 blocks and the run
+   reproduces the sequential results bit-for-bit; *exact* additionally
+   requires the serviced message count to equal the planner's predicted
+   volume.  Pass needs every servable run exact, and (aggregate row)
+   >= 80% of rejected nests servable. *)
+
+type mincomm_row = {
+  mm_label : string;
+  mm_cases : int;
+  mm_rejected : int;
+  mm_servable : int;
+  mm_exact : int;
+  mm_predicted : int;  (* total predicted messages over rejected nests *)
+  mm_serviced : int;  (* total serviced messages actually simulated *)
+  mm_frac : float;  (* servable / rejected, 1.0 when nothing rejected *)
+  mm_s : float;
+  mm_pass : bool;
+}
+
+let mincomm_nprocs = 3
+
+let mincomm_rows ~quick () =
+  let count = if quick then 60 else 200 in
+  let seed = 42 in
+  let cases = Array.make 4 0
+  and rejected = Array.make 4 0
+  and servable = Array.make 4 0
+  and exact = Array.make 4 0
+  and predicted = Array.make 4 0
+  and serviced = Array.make 4 0
+  and seconds = Array.make 4 0. in
+  for case = 0 to count - 1 do
+    let depth = 1 + (case mod 3) in
+    let nest =
+      Cf_check.Gen.generate ~seed ~index:case (Cf_check.Gen.default ~depth)
+    in
+    let (), s =
+      time (fun () ->
+          cases.(depth) <- cases.(depth) + 1;
+          if
+            Nest.cardinal nest > 0
+            && Cf_exec.Compile.max_rank (Cf_exec.Compile.make nest) <= 7
+          then begin
+            let mc = Cf_mincomm.Mincomm.plan ~nprocs:mincomm_nprocs nest in
+            if not mc.Cf_mincomm.Mincomm.comm_free then begin
+              rejected.(depth) <- rejected.(depth) + 1;
+              let p =
+                mc.Cf_mincomm.Mincomm.estimate.Cf_mincomm.Mincomm.messages
+              in
+              predicted.(depth) <- predicted.(depth) + p;
+              let machine =
+                Cf_machine.Machine.create ~comm_mode:`Service
+                  (Cf_machine.Topology.linear mincomm_nprocs)
+                  Cf_machine.Cost.transputer
+              in
+              let report =
+                Cf_exec.Parexec.execute_fallback ~backend:`Compiled ~machine
+                  ~placement:(Cf_exec.Parexec.cyclic ~nprocs:mincomm_nprocs)
+                  mc.Cf_mincomm.Mincomm.partition
+              in
+              let sv = Cf_machine.Machine.serviced_messages machine in
+              serviced.(depth) <- serviced.(depth) + sv;
+              if Cf_mincomm.Mincomm.servable mc && Cf_exec.Parexec.ok report
+              then begin
+                servable.(depth) <- servable.(depth) + 1;
+                if sv = p then exact.(depth) <- exact.(depth) + 1
+              end
+            end
+          end)
+    in
+    seconds.(depth) <- seconds.(depth) +. s
+  done;
+  let row label c r sv ex p s t ~aggregate =
+    let frac = if r = 0 then 1.0 else float_of_int sv /. float_of_int r in
+    {
+      mm_label = label;
+      mm_cases = c;
+      mm_rejected = r;
+      mm_servable = sv;
+      mm_exact = ex;
+      mm_predicted = p;
+      mm_serviced = s;
+      mm_frac = frac;
+      mm_s = t;
+      mm_pass = ex = sv && ((not aggregate) || frac >= 0.8);
+    }
+  in
+  let depth_rows =
+    List.map
+      (fun d ->
+        row
+          (Printf.sprintf "depth-%d" d)
+          cases.(d) rejected.(d) servable.(d) exact.(d) predicted.(d)
+          serviced.(d) seconds.(d) ~aggregate:false)
+      [ 1; 2; 3 ]
+  in
+  let sum a = a.(1) + a.(2) + a.(3) in
+  depth_rows
+  @ [
+      row "all" (sum cases) (sum rejected) (sum servable) (sum exact)
+        (sum predicted) (sum serviced)
+        (seconds.(1) +. seconds.(2) +. seconds.(3))
+        ~aggregate:true;
+    ]
+
+let print_mincomm_rows rows =
+  section
+    "E20 - communication-minimal fallback: servable fraction, volume \
+     prediction";
+  Printf.printf "%-8s %6s %9s %9s %6s %10s %9s %6s %8s %5s\n" "depth" "cases"
+    "rejected" "servable" "exact" "predicted" "serviced" "frac" "t(s)" "pass";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %9d %9d %6d %10d %9d %6.2f %8.3f %5b\n"
+        r.mm_label r.mm_cases r.mm_rejected r.mm_servable r.mm_exact
+        r.mm_predicted r.mm_serviced r.mm_frac r.mm_s r.mm_pass)
+    rows
+
+let write_mincomm_json ~file rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"depth\": \"%s\", \"cases\": %d, \"rejected\": %d, \
+       \"servable\": %d, \"exact\": %d, \"predicted_msgs\": %d, \
+       \"serviced_msgs\": %d, \"servable_frac\": %.4f, \"t_s\": %.6f, \
+       \"pass\": %b}"
+      (json_escape r.mm_label) r.mm_cases r.mm_rejected r.mm_servable
+      r.mm_exact r.mm_predicted r.mm_serviced r.mm_frac r.mm_s r.mm_pass
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"mincomm\",\n\
+    \  \"seed\": 42,\n\
+    \  \"nprocs\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    mincomm_nprocs
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let run_mincomm ~quick =
+  let rows = mincomm_rows ~quick () in
+  print_mincomm_rows rows;
+  write_mincomm_json ~file:(json_file "BENCH_mincomm.json") rows;
+  List.for_all (fun r -> r.mm_pass) rows
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let scale_only = Array.exists (String.equal "--scale") Sys.argv in
@@ -1399,11 +1553,18 @@ let () =
   let faults_only = Array.exists (String.equal "--faults") Sys.argv in
   let obs_only = Array.exists (String.equal "--obs") Sys.argv in
   let check_only = Array.exists (String.equal "--check") Sys.argv in
+  let mincomm_only = Array.exists (String.equal "--mincomm") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
     exit 0
   end;
-  if check_only then begin
+  if mincomm_only then begin
+    (* Fallback-planning experiment only (E20), fewer cases under
+       --quick; exits nonzero when a servable run mispredicts its
+       volume or under 80% of rejected nests are servable. *)
+    if not (run_mincomm ~quick) then exit 1
+  end
+  else if check_only then begin
     (* Fuzzing-throughput experiment only (E18), fewer cases under
        --quick; exits nonzero on a surviving counterexample. *)
     if not (run_check ~quick) then exit 1
@@ -1466,5 +1627,6 @@ let () =
     ignore (run_faults ~quick:false);
     ignore (run_obs ~quick:false);
     ignore (run_check ~quick:false);
+    ignore (run_mincomm ~quick:false);
     run_benchmarks ()
   end

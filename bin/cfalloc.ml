@@ -142,7 +142,16 @@ let analyze_run level file strategy radius =
             in
             Format.printf "%a@." Cf_pipeline.Pipeline.describe plan;
             Format.printf "communication-free verified: %b@."
-              (Cf_pipeline.Pipeline.verified plan)
+              (Cf_pipeline.Pipeline.verified plan);
+            (* A rejected nest still gets a plan: report which theorem
+               failed and what the communication-minimal tier chose. *)
+            if Cf_pipeline.Pipeline.parallelism plan = 0 then begin
+              let mc = Cf_mincomm.Mincomm.plan ?search_radius:radius nest in
+              List.iter
+                (fun i -> Format.printf "%a@." Cf_pipeline.Diagnose.pp_issue i)
+                (Cf_pipeline.Diagnose.explain_fallback mc);
+              Format.printf "@[<v>%a@]@." Cf_mincomm.Mincomm.describe mc
+            end
           end))
 
 let analyze_cmd =
@@ -201,6 +210,18 @@ let backend_arg =
                  kernels, the default) or $(b,interpreted) (per-iteration \
                  AST walk, the differential oracle).")
 
+let comm_mode_flag v k =
+  match v with
+  | None -> k `Service
+  | Some s -> (
+    match Cf_machine.Machine.comm_mode_of_string s with
+    | Some m -> k m
+    | None ->
+      Format.eprintf "error: --comm-mode expects one of: %s (got %S)@."
+        (String.concat ", " Cf_machine.Machine.comm_mode_names)
+        s;
+      2)
+
 let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
   let plan = Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest in
   let fplan = Cf_fault.Fault.make ~procs spec in
@@ -230,10 +251,11 @@ let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
   Format.printf "recovered output identical: %b@."
     (Cf_exec.Parexec.ok report)
 
-let simulate_run level file strategy radius procs backend fault_seed kill_pe
-    kill_after =
+let simulate_run level file strategy radius procs backend comm_mode fault_seed
+    kill_pe kill_after =
   setup_logs level;
   backend_flag backend @@ fun backend ->
+  comm_mode_flag comm_mode @@ fun comm_mode ->
   (* The fault flags are parsed by hand so a malformed value yields a
      clear diagnostic and exit code 2 (usage error), distinct from the
      planner-failure exit code 1. *)
@@ -254,12 +276,35 @@ let simulate_run level file strategy radius procs backend fault_seed kill_pe
   | None, None, None ->
     handle (fun () ->
         each_nest file (fun nest ->
-            let plan =
-              Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest
+            let planned =
+              Cf_pipeline.Pipeline.plan_serve ~strategy ?search_radius:radius
+                ~nprocs:procs nest
             in
-            let sim = Cf_pipeline.Pipeline.simulate ~backend ~procs plan in
+            (match Cf_pipeline.Pipeline.fallback_of planned with
+            | None -> ()
+            | Some mc ->
+              Format.printf
+                "theorems reject the nest; serving fallback %s (predicted \
+                 %d message(s))@."
+                mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin
+                mc.Cf_mincomm.Mincomm.estimate.Cf_mincomm.Mincomm.messages);
+            let sim =
+              Cf_pipeline.Pipeline.simulate_serve ~backend ~procs ~comm_mode
+                planned
+            in
             Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
               sim.Cf_pipeline.Pipeline.report;
+            (match Cf_pipeline.Pipeline.fallback_of planned with
+            | None -> ()
+            | Some _ ->
+              let m =
+                sim.Cf_pipeline.Pipeline.report.Cf_exec.Parexec.machine
+              in
+              Format.printf
+                "serviced: %d message(s) (%d read(s), %d write(s))@."
+                (Cf_machine.Machine.serviced_messages m)
+                (Cf_machine.Machine.serviced_reads m)
+                (Cf_machine.Machine.serviced_writes m));
             Format.printf "balance: %a@." Cf_exec.Balance.pp
               sim.Cf_pipeline.Pipeline.balance;
             Format.printf "makespan: %.6fs@." sim.Cf_pipeline.Pipeline.makespan))
@@ -316,10 +361,19 @@ let simulate_cmd =
              ~doc:"Iterations the killed PE completes before dying (default \
                    0: dead during distribution); requires --kill-pe.")
   in
+  let comm_mode_arg =
+    Arg.(value & opt (some string) None
+         & info [ "comm-mode" ] ~docv:"MODE"
+             ~doc:"Remote-access policy for fallback \
+                   (non-communication-free) plans: $(b,service) (default: \
+                   each remote access is serviced as a charged message) or \
+                   $(b,strict) (any remote access aborts the run).  Exact \
+                   plans never communicate, so the flag is inert for them.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
-          $ procs_arg $ backend_arg $ fault_seed_arg $ kill_pe_arg
-          $ kill_after_arg)
+          $ procs_arg $ backend_arg $ comm_mode_arg $ fault_seed_arg
+          $ kill_pe_arg $ kill_after_arg)
 
 (* trace *)
 

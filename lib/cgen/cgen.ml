@@ -94,18 +94,18 @@ let box_fold lo hi f init =
   go 0;
   !acc
 
-let run_reference nest =
+let run_reference ?backend nest =
   let arrays = Nest.arrays nest in
-  Cf_exec.Seqexec.run
+  Cf_exec.Seqexec.run ?backend
     ~init:(reference_init ~arrays)
     ~scalar:reference_scalar nest
 
 let value_bound = 1 lsl 40
 
-let expected_checksums pl =
+let expected_checksums ?backend pl =
   let nest = pl.Cf_transform.Parloop.source in
   let arrays = Nest.arrays nest in
-  let memory = run_reference nest in
+  let memory = run_reference ?backend nest in
   List.map
     (fun (a, lo, hi) ->
       let cs =

@@ -29,10 +29,16 @@ val supports : Cf_transform.Parloop.t -> (unit, string) result
     communication-free without duplication, and intermediate values must
     stay far from 63-bit overflow so OCaml and C arithmetic agree. *)
 
-val expected_checksums : Cf_transform.Parloop.t -> (string * int) list
+val expected_checksums :
+  ?backend:Cf_exec.Compile.backend ->
+  Cf_transform.Parloop.t ->
+  (string * int) list
 (** Per-array checksums (array name sorted) the generated program must
-    print, computed by sequential interpretation under
-    {!reference_init}/{!reference_scalar}. *)
+    print, computed by a sequential run under
+    {!reference_init}/{!reference_scalar}.  [backend] selects the
+    simulator executing that run (default [`Interpreted]); passing
+    [`Compiled] diffs the C output against the compiled simulator
+    instead of the AST interpreter. *)
 
 val emit :
   ?grid:int array -> ?openmp:bool -> Cf_transform.Parloop.t -> string

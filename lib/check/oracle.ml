@@ -298,6 +298,69 @@ let cgen_roundtrip nest =
       end
     end
 
+(* fallback-vs-seq: the communication-minimal tier end to end.  The
+   fallback plan of any nest (rejected by the theorems or not) must
+   execute bit-for-bit sequentially on a service-mode machine, its
+   serviced message count must equal the planner's prediction on both
+   statement-body backends, and a communication-free nest must degrade
+   to the exact zero-volume plan. *)
+
+let fallback_vs_seq nest =
+  if not (Nest.all_uniformly_generated nest) then
+    Skip "non-uniformly-generated references"
+  else if Nest.cardinal nest = 0 then Skip "empty iteration space"
+  else if Cf_exec.Compile.max_rank (Cf_exec.Compile.make nest) > 7 then
+    Skip "subscript arity exceeds the packed-coordinate limit"
+  else begin
+    let mc = Cf_mincomm.Mincomm.plan ~nprocs nest in
+    let predicted =
+      mc.Cf_mincomm.Mincomm.estimate.Cf_mincomm.Mincomm.messages
+    in
+    let run backend =
+      let machine =
+        Cf_machine.Machine.create ~comm_mode:`Service
+          (Cf_machine.Topology.linear nprocs)
+          Cf_machine.Cost.transputer
+      in
+      let report =
+        Cf_exec.Parexec.execute_fallback ~backend ~machine
+          ~placement:(Cf_exec.Parexec.cyclic ~nprocs)
+          mc.Cf_mincomm.Mincomm.partition
+      in
+      (report, Cf_machine.Machine.serviced_messages machine)
+    in
+    let rc, serviced_c = run `Compiled in
+    let ri, serviced_i = run `Interpreted in
+    if not (Cf_exec.Parexec.ok rc) then
+      failf "fallback %s: compiled run diverges from sequential"
+        mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin
+    else if not (Cf_exec.Parexec.ok ri) then
+      failf "fallback %s: interpreted run diverges from sequential"
+        mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin
+    else if serviced_c <> serviced_i then
+      failf "fallback %s: %d serviced message(s) compiled vs %d interpreted"
+        mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin serviced_c
+        serviced_i
+    else if serviced_c <> predicted then
+      failf "fallback %s: predicted %d message(s) but simulated %d"
+        mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin predicted
+        serviced_c
+    else if mc.Cf_mincomm.Mincomm.comm_free then begin
+      let psi_nd =
+        Strategy.partitioning_space Strategy.Nonduplicate nest
+      in
+      if predicted <> 0 then
+        failf "communication-free nest predicted %d message(s)" predicted
+      else if
+        not
+          (Cf_linalg.Subspace.equal
+             mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.space psi_nd)
+      then Fail "communication-free nest's fallback is not the exact plan"
+      else Pass
+    end
+    else Pass
+  end
+
 let all =
   [
     { name = "plan-vs-verify";
@@ -321,6 +384,11 @@ let all =
     { name = "cgen-roundtrip";
       doc = "C back end's block-major order vs the sequential interpreter";
       check = cgen_roundtrip };
+    { name = "fallback-vs-seq";
+      doc =
+        "communication-minimal fallback runs bit-for-bit sequential; \
+         predicted volume = serviced messages";
+      check = fallback_vs_seq };
   ]
 
 let find name = List.find_opt (fun o -> String.equal o.name name) all

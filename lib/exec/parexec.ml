@@ -958,12 +958,163 @@ let execute_indexed ?(backend = `Compiled) ?(init = Seqexec.default_init)
   in
   { machine; remote_access = !remote; mismatches; per_pe_iterations; recovery }
 
+(* {2 Fallback execution (communication-minimal plans)}
+
+   When no theorem yields parallelism, the planner falls back to a
+   partition that merely {e minimizes} communication; executing it
+   cannot rely on block-local copies (cross-block flow dependences can
+   point from a lexicographically later base into an earlier block, so
+   no block execution order reproduces sequential values).  Instead:
+   every element gets one {e home} copy under its plain array name —
+   on the PE of the first access in sequential (iteration, statement,
+   write-before-reads) order — and the walk itself stays sequential,
+   dispatching each iteration to its owning block's PE
+   ({!Seqexec.run_placed}).  Values are exactly sequential by
+   construction; the machine (in [`Service] mode) charges every access
+   that crosses a home boundary as one message.  The same first-touch
+   rule drives [Cf_mincomm]'s volume estimator, so predicted and
+   simulated message counts agree exactly. *)
+
+let fallback_homes ~placement partition =
+  let nest = Iter_partition.nest partition in
+  let prog = Compile.make nest in
+  let arr_names = Compile.arrays prog in
+  let stmts = Compile.stmts prog in
+  let nstmts = Array.length stmts in
+  let homes =
+    Array.map (fun _ -> (Hashtbl.create 64 : (int, int) Hashtbl.t)) arr_names
+  in
+  let scratch =
+    Array.map
+      (fun (sp : Compile.stmt_sites) ->
+        ( Array.make (Compile.Site.rank sp.Compile.lhs) 0,
+          Array.map
+            (fun s -> Array.make (Compile.Site.rank s) 0)
+            sp.Compile.reads ))
+      stmts
+  in
+  Nest.iter_space nest (fun iter ->
+      let pe = placement (Iter_partition.block_id_of_iteration partition iter) in
+      for si = 0 to nstmts - 1 do
+        let sp = stmts.(si) in
+        let lscr, rscr = scratch.(si) in
+        let touch (s : Compile.Site.t) scr =
+          Compile.Site.eval_into s iter scr;
+          let tbl = homes.(s.Compile.Site.slot) in
+          let packed = Machine.pack_coords scr in
+          if not (Hashtbl.mem tbl packed) then Hashtbl.add tbl packed pe
+        in
+        touch sp.Compile.lhs lscr;
+        Array.iteri (fun k s -> touch s rscr.(k)) sp.Compile.reads
+      done);
+  Array.mapi (fun slot tbl -> (arr_names.(slot), tbl)) homes
+
+let execute_fallback ?(backend = `Compiled) ?(init = Seqexec.default_init)
+    ?(scalar = Seqexec.default_scalar) ?(charge_distribution = false)
+    ?(validate = true) ~machine ~placement partition =
+  if Machine.faults machine <> None then
+    invalid_arg "Parexec.execute_fallback: fault plans are unsupported";
+  let nprocs = Topology.size (Machine.topology machine) in
+  let block_pe j =
+    let pe = placement j in
+    if pe < 0 || pe >= nprocs then
+      invalid_arg "Parexec.execute_fallback: placement outside the machine";
+    pe
+  in
+  let nest = Iter_partition.nest partition in
+  let homes = fallback_homes ~placement:block_pe partition in
+  (* Allocation: one home copy per element, plain array names — either
+     free of charge or as one pipelined host message per (PE, array). *)
+  Array.iter
+    (fun (name, tbl) ->
+      if charge_distribution then begin
+        let per_pe : (int, (int array * int) list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        Hashtbl.iter
+          (fun packed pe ->
+            let el = Machine.unpack_coords packed in
+            let l =
+              match Hashtbl.find_opt per_pe pe with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace per_pe pe l;
+                l
+            in
+            l := (el, init name el) :: !l)
+          tbl;
+        for pe = 0 to nprocs - 1 do
+          match Hashtbl.find_opt per_pe pe with
+          | Some l -> Machine.host_send machine ~pe name !l
+          | None -> ()
+        done
+      end
+      else
+        Hashtbl.iter
+          (fun packed pe ->
+            let el = Machine.unpack_coords packed in
+            Machine.store machine ~pe name el (init name el))
+          tbl)
+    homes;
+  Machine.compact machine;
+  let pe_of iter =
+    block_pe (Iter_partition.block_id_of_iteration partition iter)
+  in
+  let remote = ref None in
+  (try Seqexec.run_placed ~backend ~scalar ~machine ~pe_of nest
+   with Machine.Remote_access { pe; array; element } ->
+     remote := Some (pe, array, element));
+  let mismatches =
+    if (not validate) || !remote <> None then []
+    else begin
+      let golden = Seqexec.run ~init ~scalar nest in
+      let home_of a packed =
+        let rec find i =
+          if i >= Array.length homes then None
+          else
+            let name, tbl = homes.(i) in
+            if String.equal name a then Hashtbl.find_opt tbl packed
+            else find (i + 1)
+        in
+        find 0
+      in
+      List.filter_map
+        (fun (a, el, expected) ->
+          let got =
+            match home_of a (Machine.pack_coords el) with
+            | Some pe when Machine.holds machine ~pe a el ->
+              Some (Machine.read machine ~pe a el)
+            | _ -> None
+          in
+          if got = Some expected then None
+          else Some (a, el, Some expected, got))
+        (Seqexec.bindings golden)
+    end
+  in
+  {
+    machine;
+    remote_access = !remote;
+    mismatches;
+    per_pe_iterations =
+      Array.init nprocs (fun pe -> Machine.iterations_of machine ~pe);
+    recovery = None;
+  }
+
 let pp_report ppf r =
   (match r.remote_access with
    | Some (pe, a, el) ->
      Format.fprintf ppf "REMOTE ACCESS: PE%d touched %s%a@," pe a
        Cf_linalg.Vec.pp_int el
-   | None -> Format.fprintf ppf "communication-free: yes@,");
+   | None ->
+     let serviced = Machine.serviced_messages r.machine in
+     if serviced = 0 then Format.fprintf ppf "communication-free: yes@,"
+     else
+       Format.fprintf ppf
+         "communication: %d serviced message(s) (%d read, %d write)@,"
+         serviced
+         (Machine.serviced_reads r.machine)
+         (Machine.serviced_writes r.machine));
   if r.mismatches = [] then Format.fprintf ppf "results: match sequential@,"
   else
     List.iter

@@ -124,6 +124,50 @@ val execute_indexed :
     fault-free run's.  Raises [Invalid_argument] when every processor
     crashes. *)
 
+(** {1 Fallback execution (communication-minimal plans)} *)
+
+val fallback_homes :
+  placement:placement ->
+  Iter_partition.t ->
+  (string * (int, int) Hashtbl.t) array
+(** The home map of a fallback plan: for every array (in
+    {!Compile.arrays} order) a table from packed element coordinates
+    ({!Cf_machine.Machine.pack_coords}) to the home PE — the processor
+    of the block containing the {e first} access in sequential
+    (iteration, statement, write-before-reads) order.  This single rule
+    is shared by {!execute_fallback}'s allocation and [Cf_mincomm]'s
+    volume estimator, which is what makes predicted message counts
+    match simulated ones exactly. *)
+
+val execute_fallback :
+  ?backend:Compile.backend ->
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  ?charge_distribution:bool ->
+  ?validate:bool ->
+  machine:Cf_machine.Machine.t ->
+  placement:placement ->
+  Iter_partition.t ->
+  report
+(** End-to-end execution of a {e fallback} (not communication-free)
+    partition: places one home copy of every accessed element under its
+    plain array name per {!fallback_homes}, then walks the iteration
+    space in sequential lexicographic order dispatching each iteration
+    to its block's PE ({!Seqexec.run_placed}) — block-by-block execution
+    cannot reproduce sequential values here, since cross-block flow
+    dependences point both ways.  On a [`Service]-mode machine every
+    access crossing a home boundary is serviced and charged as one
+    message (query the machine's [serviced_*] counters); on a [`Strict]
+    machine any such access aborts with [remote_access] set — a
+    zero-communication fallback (e.g. of a communication-free nest) runs
+    strict cleanly.  Validation compares every home copy against the
+    sequential golden run; values are bit-for-bit sequential whenever no
+    remote abort occurred, so [ok] holds on any serviced run.  With
+    [~charge_distribution:true] the initial placement is charged as one
+    pipelined host message per (PE, array).  Raises [Invalid_argument]
+    on a machine with a fault plan (crash recovery is not defined for
+    serviced runs). *)
+
 val ok : report -> bool
 (** No remote access and no mismatch. *)
 

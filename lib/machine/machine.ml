@@ -1,6 +1,16 @@
 exception Remote_access of { pe : int; array : string; element : int array }
 exception Pe_crashed of { pe : int }
 
+type comm_mode = [ `Strict | `Service ]
+
+let comm_mode_name = function `Strict -> "strict" | `Service -> "service"
+let comm_mode_names = [ "strict"; "service" ]
+
+let comm_mode_of_string = function
+  | "strict" -> Some `Strict
+  | "service" -> Some `Service
+  | _ -> None
+
 type event =
   | Send of { pe : int; array : string; size : int }
   | Broadcast of { array : string; size : int }
@@ -29,15 +39,20 @@ type t = {
   topology : Topology.t;
   cost : Cost.t;
   faults : Cf_fault.Fault.t option;
+  comm_mode : comm_mode;
   memories : (int, chunk) Hashtbl.t array;  (* array id -> chunk, per PE *)
   ids : (string, int) Hashtbl.t;
   mutable names : string array;  (* id -> name, [0, n_names) valid *)
   mutable n_names : int;
+  homes : (int * int, int) Hashtbl.t;  (* (aid, packed el) -> home PE *)
   mutable dist_time : float;
   compute : float array;
+  service_time : float array;  (* per PE, subset of compute *)
   iterations : int array;
   mutable messages : int;
   mutable volume : int;
+  mutable serviced_reads : int;
+  mutable serviced_writes : int;
   mutable retries : int;
   mutable dropped : int;
   mutable corrupted : int;
@@ -45,22 +60,28 @@ type t = {
   mutable obs : Cf_obs.Trace.t;
 }
 
-let create ?faults ?(obs = Cf_obs.Trace.null) topology cost =
+let create ?faults ?(obs = Cf_obs.Trace.null) ?(comm_mode = `Strict) topology
+    cost =
   let p = Topology.size topology in
   {
     topology;
     cost;
     faults;
+    comm_mode;
     obs;
     memories = Array.init p (fun _ -> Hashtbl.create 64);
     ids = Hashtbl.create 64;
     names = Array.make 16 "";
     n_names = 0;
+    homes = Hashtbl.create 64;
     dist_time = 0.;
     compute = Array.make p 0.;
+    service_time = Array.make p 0.;
     iterations = Array.make p 0;
     messages = 0;
     volume = 0;
+    serviced_reads = 0;
+    serviced_writes = 0;
     retries = 0;
     dropped = 0;
     corrupted = 0;
@@ -70,6 +91,7 @@ let create ?faults ?(obs = Cf_obs.Trace.null) topology cost =
 let topology m = m.topology
 let cost m = m.cost
 let faults m = m.faults
+let comm_mode m = m.comm_mode
 let obs m = m.obs
 let set_obs m t = m.obs <- t
 
@@ -239,6 +261,88 @@ let chunk_update memories pe aid el v =
          true
        end
 
+(* {2 Remote-access servicing (comm_mode = `Service)}
+
+   In service mode a local miss is routed as one point-to-point message
+   to the element's {e home} — the (unique under fallback allocation)
+   PE holding a copy — charged at the paper's pipelined model
+   [t_start + hops·t_comm] on the accessing PE's clock.  Reads fetch the
+   home's value without caching it locally (each access pays), writes
+   update the home copy in place.  The home directory is a lazy cache
+   over an ascending-PE scan and is re-validated on every hit, so
+   recovery-style chunk movement cannot serve stale owners.  An element
+   held {e nowhere} still raises {!Remote_access}: servicing covers
+   planned residual communication, not allocation bugs. *)
+
+let find_home m aid el =
+  let key = (aid, pack_coords el) in
+  let cached =
+    match Hashtbl.find_opt m.homes key with
+    | Some pe -> (
+      match chunk_find m.memories pe aid el with
+      | Some v -> Some (pe, v)
+      | None -> None)
+    | None -> None
+  in
+  match cached with
+  | Some _ -> cached
+  | None ->
+    let p = Topology.size m.topology in
+    let rec scan pe =
+      if pe >= p then None
+      else
+        match chunk_find m.memories pe aid el with
+        | Some v ->
+          Hashtbl.replace m.homes key pe;
+          Some (pe, v)
+        | None -> scan (pe + 1)
+    in
+    scan 0
+
+let charge_service m ~pe ~home ~aid kind =
+  let hops = max 1 (Topology.distance m.topology pe home) in
+  let dur = Cost.message m.cost ~hops ~size:1 in
+  let t0 = m.dist_time +. m.compute.(pe) in
+  m.compute.(pe) <- m.compute.(pe) +. dur;
+  m.service_time.(pe) <- m.service_time.(pe) +. dur;
+  (match kind with
+  | `Read -> m.serviced_reads <- Cost.sat_add m.serviced_reads 1
+  | `Write -> m.serviced_writes <- Cost.sat_add m.serviced_writes 1);
+  if Cf_obs.Trace.enabled m.obs then
+    Cf_obs.Trace.complete m.obs ~lane:pe ~cat:"comm" ~ts:t0 ~dur
+      (match kind with `Read -> "fetch" | `Write -> "update")
+      ~args:
+        [ ("array", Cf_obs.Trace.Str (array_name m aid));
+          ("home", Cf_obs.Trace.Int home) ]
+
+(* Miss handlers: every read/write path that fails to find the element
+   locally lands here with an element array it owns.  Strict machines
+   abort exactly as before; service machines consult the directory. *)
+let read_miss m pe aid el =
+  match m.comm_mode with
+  | `Strict ->
+    raise (Remote_access { pe; array = array_name m aid; element = el })
+  | `Service -> (
+    match find_home m aid el with
+    | Some (home, v) ->
+      charge_service m ~pe ~home ~aid `Read;
+      v
+    | None ->
+      raise (Remote_access { pe; array = array_name m aid; element = el }))
+
+let write_miss m pe aid el v =
+  match m.comm_mode with
+  | `Strict ->
+    raise (Remote_access { pe; array = array_name m aid; element = el })
+  | `Service -> (
+    match find_home m aid el with
+    | Some (home, _) ->
+      charge_service m ~pe ~home ~aid `Write;
+      if not (chunk_update m.memories home aid el v) then
+        raise (Remote_access { pe; array = array_name m aid; element = el })
+    | None ->
+      raise (Remote_access { pe; array = array_name m aid; element = el }))
+
 (* {2 The public string-keyed API (delegates to the id layer)} *)
 
 let store_id m ~pe aid el v =
@@ -249,15 +353,12 @@ let read_id m ~pe aid el =
   check_pe m pe;
   match chunk_find m.memories pe aid el with
   | Some v -> v
-  | None ->
-    raise
-      (Remote_access { pe; array = array_name m aid; element = Array.copy el })
+  | None -> read_miss m pe aid (Array.copy el)
 
 let write_id m ~pe aid el v =
   check_pe m pe;
   if not (chunk_update m.memories pe aid el v) then
-    raise
-      (Remote_access { pe; array = array_name m aid; element = Array.copy el })
+    write_miss m pe aid (Array.copy el) v
 
 let holds_id m ~pe aid el =
   check_pe m pe;
@@ -275,21 +376,19 @@ let install_id m ~pe aid tbl =
    only while the chunk binding is unchanged: execution never replaces
    chunks (writes go through the update path below), and the executors
    re-bind per block, so recovery swapping chunks between rounds is
-   safe.  Miss semantics are exactly [read_id]/[write_id]'s:
-   Remote_access with a copied element, including rank mismatches. *)
-
-let acc_miss m pe aid el =
-  raise (Remote_access { pe; array = array_name m aid; element = el })
+   safe.  Miss semantics are exactly [read_id]/[write_id]'s: in strict
+   mode Remote_access with a copied element (including rank
+   mismatches), in service mode the miss is serviced as a message. *)
 
 let reader m ~pe aid =
   check_pe m pe;
   match Hashtbl.find_opt m.memories.(pe) aid with
-  | None -> fun el -> acc_miss m pe aid (Array.copy el)
+  | None -> fun el -> read_miss m pe aid (Array.copy el)
   | Some (Sparse tbl) -> (
     fun el ->
       match Hashtbl.find_opt tbl (pack_coords el) with
       | Some v -> v
-      | None -> acc_miss m pe aid (Array.copy el))
+      | None -> read_miss m pe aid (Array.copy el))
   | Some (Flat fl) ->
     let lo = fl.lo and extents = fl.extents in
     let data = fl.data and present = fl.present in
@@ -297,7 +396,7 @@ let reader m ~pe aid =
       let off = flat_offset lo extents el in
       if off >= 0 && Bytes.unsafe_get present off <> '\000' then
         Array.unsafe_get data off
-      else acc_miss m pe aid (Array.copy el)
+      else read_miss m pe aid (Array.copy el)
 
 let reader1 m ~pe aid =
   check_pe m pe;
@@ -309,7 +408,7 @@ let reader1 m ~pe aid =
       let c = x - lo0 in
       if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then
         Array.unsafe_get data c
-      else acc_miss m pe aid [| x |]
+      else read_miss m pe aid [| x |]
   | _ ->
     let r = reader m ~pe aid in
     let sc = [| 0 |] in
@@ -330,9 +429,9 @@ let reader2 m ~pe aid =
         let off = (c0 * e1) + c1 in
         if Bytes.unsafe_get present off <> '\000' then
           Array.unsafe_get data off
-        else acc_miss m pe aid [| x0; x1 |]
+        else read_miss m pe aid [| x0; x1 |]
       end
-      else acc_miss m pe aid [| x0; x1 |]
+      else read_miss m pe aid [| x0; x1 |]
   | _ ->
     let r = reader m ~pe aid in
     let sc = [| 0; 0 |] in
@@ -350,12 +449,12 @@ let flat_view m ~pe aid =
 let writer m ~pe aid =
   check_pe m pe;
   match Hashtbl.find_opt m.memories.(pe) aid with
-  | None -> fun el _ -> acc_miss m pe aid (Array.copy el)
+  | None -> fun el v -> write_miss m pe aid (Array.copy el) v
   | Some (Sparse tbl) ->
     fun el v ->
       let key = pack_coords el in
       if Hashtbl.mem tbl key then Hashtbl.replace tbl key v
-      else acc_miss m pe aid (Array.copy el)
+      else write_miss m pe aid (Array.copy el) v
   | Some (Flat fl) ->
     let lo = fl.lo and extents = fl.extents in
     let data = fl.data and present = fl.present in
@@ -363,7 +462,7 @@ let writer m ~pe aid =
       let off = flat_offset lo extents el in
       if off >= 0 && Bytes.unsafe_get present off <> '\000' then
         Array.unsafe_set data off v
-      else acc_miss m pe aid (Array.copy el)
+      else write_miss m pe aid (Array.copy el) v
 
 let writer1 m ~pe aid =
   check_pe m pe;
@@ -375,7 +474,7 @@ let writer1 m ~pe aid =
       let c = x - lo0 in
       if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then
         Array.unsafe_set data c v
-      else acc_miss m pe aid [| x |]
+      else write_miss m pe aid [| x |] v
   | _ ->
     let w = writer m ~pe aid in
     let sc = [| 0 |] in
@@ -396,9 +495,9 @@ let writer2 m ~pe aid =
         let off = (c0 * e1) + c1 in
         if Bytes.unsafe_get present off <> '\000' then
           Array.unsafe_set data off v
-        else acc_miss m pe aid [| x0; x1 |]
+        else write_miss m pe aid [| x0; x1 |] v
       end
-      else acc_miss m pe aid [| x0; x1 |]
+      else write_miss m pe aid [| x0; x1 |] v
   | _ ->
     let w = writer m ~pe aid in
     let sc = [| 0; 0 |] in
@@ -656,6 +755,18 @@ let max_compute_time m = Array.fold_left max 0. m.compute
 let makespan m = m.dist_time +. max_compute_time m
 let message_count m = m.messages
 let message_volume m = m.volume
+let serviced_reads m = m.serviced_reads
+let serviced_writes m = m.serviced_writes
+let serviced_messages m = Cost.sat_add m.serviced_reads m.serviced_writes
+
+(* One word per serviced access: elements are scalar words, so message
+   count and transferred volume coincide for the service channel. *)
+let serviced_words m = serviced_messages m
+
+let service_time m ~pe =
+  check_pe m pe;
+  m.service_time.(pe)
+
 let retries m = m.retries
 let dropped_messages m = m.dropped
 let corrupted_messages m = m.corrupted
@@ -672,11 +783,14 @@ let reset_stats m =
   m.dist_time <- 0.;
   m.messages <- 0;
   m.volume <- 0;
+  m.serviced_reads <- 0;
+  m.serviced_writes <- 0;
   m.retries <- 0;
   m.dropped <- 0;
   m.corrupted <- 0;
   m.events <- [];
   Array.fill m.compute 0 (Array.length m.compute) 0.;
+  Array.fill m.service_time 0 (Array.length m.service_time) 0.;
   Array.fill m.iterations 0 (Array.length m.iterations) 0
 
 (* {2 Checkpoint and recovery} *)
@@ -751,6 +865,10 @@ let pp_event ppf = function
 
 let pp_stats ppf m =
   Format.fprintf ppf
-    "@[<v>%a: %d msg(s), %d words, dist %.6fs, max compute %.6fs, makespan %.6fs@]"
+    "@[<v>%a: %d msg(s), %d words, dist %.6fs, max compute %.6fs, makespan %.6fs%t@]"
     Topology.pp m.topology m.messages m.volume m.dist_time
     (max_compute_time m) (makespan m)
+    (fun ppf ->
+      if serviced_messages m > 0 then
+        Format.fprintf ppf ", %d serviced (%d read, %d write)"
+          (serviced_messages m) m.serviced_reads m.serviced_writes)

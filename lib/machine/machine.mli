@@ -30,17 +30,47 @@ exception Pe_crashed of { pe : int }
 
 type t
 
+type comm_mode = [ `Strict | `Service ]
+(** What a local miss means.  [`Strict] (the default, and the paper's
+    model): any access to an element absent from the local memory raises
+    {!Remote_access} — the run-time proof of communication freedom.
+    [`Service]: the miss is routed as one point-to-point message to the
+    element's {e home} (the PE holding a copy, found through a lazily
+    built directory), charged at the paper's pipelined cost
+    [t_start + hops·t_comm] on the {e accessing} PE's compute clock and
+    counted in {!serviced_reads}/{!serviced_writes}.  Reads fetch the
+    home value without caching it (every access pays); writes update the
+    home copy in place.  An element held by {e no} PE still raises
+    {!Remote_access} — servicing models planned residual communication,
+    not allocation bugs. *)
+
+val comm_mode_name : comm_mode -> string
+val comm_mode_names : string list
+
+val comm_mode_of_string : string -> comm_mode option
+(** Recognizes ["strict"] and ["service"]; [None] otherwise. *)
+
 val create :
-  ?faults:Cf_fault.Fault.t -> ?obs:Cf_obs.Trace.t -> Topology.t -> Cost.t -> t
+  ?faults:Cf_fault.Fault.t ->
+  ?obs:Cf_obs.Trace.t ->
+  ?comm_mode:comm_mode ->
+  Topology.t ->
+  Cost.t ->
+  t
 (** Without [?faults] the machine never faults and behaves exactly as
     before.  [?obs] (default {!Cf_obs.Trace.null}) receives structured
     trace events for every distribution primitive, recovery resend and
     crash, stamped with {e simulated} seconds: host-side spans land on
     {!Cf_obs.Trace.host_lane} at the distribution clock, crash instants
-    on the PE's own lane at its distribution + compute clock. *)
+    on the PE's own lane at its distribution + compute clock.  In
+    [`Service] mode each serviced miss additionally emits a ["comm"]
+    span ([fetch]/[update]) on the accessing PE's lane covering the
+    charged message time.  [?comm_mode] defaults to [`Strict]. *)
 
 val topology : t -> Topology.t
 val cost : t -> Cost.t
+
+val comm_mode : t -> comm_mode
 
 val faults : t -> Cf_fault.Fault.t option
 (** The fault plan the machine was created with, if any. *)
@@ -204,6 +234,21 @@ val message_volume : t -> int
     integer totals (messages, volume, retries, per-PE iterations)
     accumulate with {!Cost.sat_add}, so extreme [--scale] runs peg at
     [max_int] instead of wrapping negative. *)
+
+val serviced_reads : t -> int
+val serviced_writes : t -> int
+(** Local misses serviced as messages (always 0 in [`Strict] mode).
+    Reads fetch from the element's home PE, writes forward to it. *)
+
+val serviced_messages : t -> int
+(** [serviced_reads + serviced_writes] (saturating). *)
+
+val serviced_words : t -> int
+(** Words moved by the service channel — one per serviced access. *)
+
+val service_time : t -> pe:int -> float
+(** Simulated seconds PE [pe] spent waiting on serviced remote accesses
+    (already included in {!compute_time}). *)
 
 val retries : t -> int
 (** Host message retransmissions forced by the fault plan (0 without

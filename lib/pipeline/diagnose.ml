@@ -84,6 +84,55 @@ let check nest =
 
 let usable issues = not (List.exists (fun i -> i.severity = Error) issues)
 
+let explain_fallback (mc : Cf_mincomm.Mincomm.t) =
+  let open Cf_mincomm.Mincomm in
+  let verdicts =
+    List.filter_map
+      (fun v ->
+        match v.parallelism with
+        | Some 0 ->
+          Some
+            {
+              severity = Info;
+              code = "theorem-rejected";
+              message =
+                Printf.sprintf
+                  "Theorem %d (%s) rejects the nest: dim Psi = n, no \
+                   parallel dimension survives"
+                  (theorem_number v.strategy)
+                  (Cf_core.Strategy.to_string v.strategy);
+            }
+        | None ->
+          Some
+            {
+              severity = Info;
+              code = "theorem-skipped";
+              message =
+                Printf.sprintf
+                  "Theorem %d (%s) was not evaluated: the iteration space \
+                   is too large for exact analysis"
+                  (theorem_number v.strategy)
+                  (Cf_core.Strategy.to_string v.strategy);
+            }
+        | Some _ -> None)
+      mc.theorems
+  in
+  let chosen =
+    {
+      severity = Info;
+      code = "fallback-chosen";
+      message =
+        Format.asprintf
+          "fallback partition %s = %a (%d block(s) on %d PE(s)) predicts \
+           %d message(s) (%d remote read(s), %d remote write(s))"
+          mc.choice.origin Cf_linalg.Subspace.pp mc.choice.space
+          (Cf_core.Iter_partition.block_count mc.partition)
+          mc.nprocs mc.estimate.messages mc.estimate.remote_reads
+          mc.estimate.remote_writes;
+    }
+  in
+  verdicts @ [ chosen ]
+
 let pp_issue ppf i =
   let tag =
     match i.severity with

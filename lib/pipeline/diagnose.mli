@@ -23,4 +23,10 @@ val check : Cf_loop.Nest.t -> issue list
 val usable : issue list -> bool
 (** No error present. *)
 
+val explain_fallback : Cf_mincomm.Mincomm.t -> issue list
+(** Why the theorems rejected the nest and what the fallback tier chose
+    instead: one [theorem-rejected] (or [theorem-skipped]) info per
+    failing theorem, then a [fallback-chosen] info carrying the chosen
+    candidate's origin, subspace and predicted message volume. *)
+
 val pp_issue : Format.formatter -> issue -> unit

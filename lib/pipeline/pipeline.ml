@@ -81,6 +81,74 @@ let simulate ?backend ?(procs = 4) ?(cost = Cf_machine.Cost.transputer)
     makespan = Cf_machine.Machine.makespan machine;
   }
 
+(* {2 Serve-everything planning}
+
+   [plan] answers the paper's question (is there a communication-free
+   partition with parallelism?); [plan_serve] never says no: when the
+   theorems reject the nest it drops to the communication-minimal tier
+   ([Cf_mincomm]) and returns a fallback plan whose residual accesses
+   are serviced as messages at run time. *)
+
+type planned = Exact of t | Fallback of t * Cf_mincomm.Mincomm.t
+
+let plan_serve ?(obs = Cf_obs.Trace.null) ?strategy ?basis ?search_radius
+    ?(nprocs = 4) nest =
+  let t = plan ~obs ?strategy ?basis ?search_radius nest in
+  if parallelism t > 0 then Exact t
+  else begin
+    let mc =
+      Cf_obs.Trace.span obs ~cat:"plan" "fallback-plan" (fun () ->
+          Cf_mincomm.Mincomm.plan ?search_radius ~nprocs nest)
+    in
+    let space = mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.space in
+    Log.debug (fun m ->
+        m "fallback %s: psi = %a, %d predicted message(s)"
+          mc.Cf_mincomm.Mincomm.choice.Cf_mincomm.Mincomm.origin
+          Cf_linalg.Subspace.pp space
+          mc.Cf_mincomm.Mincomm.estimate.Cf_mincomm.Mincomm.messages);
+    let parloop =
+      Cf_obs.Trace.span obs ~cat:"plan" "transform" (fun () ->
+          Cf_transform.Transformer.transform ?basis nest space)
+    in
+    Fallback
+      ( { t with space; partition = mc.Cf_mincomm.Mincomm.partition; parloop },
+        mc )
+  end
+
+let pipeline_of = function Exact t | Fallback (t, _) -> t
+let fallback_of = function Exact _ -> None | Fallback (_, mc) -> Some mc
+
+let simulate_serve ?backend ?procs ?(cost = Cf_machine.Cost.transputer)
+    ?(comm_mode = `Service) ?(with_distribution = false) planned =
+  match planned with
+  | Exact t -> simulate ?backend ?procs ~cost ~with_distribution t
+  | Fallback (t, mc) ->
+    (* Default to the planner's machine size: the volume estimate was
+       computed for exactly that placement, so predicted and simulated
+       message counts coincide. *)
+    let procs =
+      match procs with
+      | Some p -> p
+      | None -> mc.Cf_mincomm.Mincomm.nprocs
+    in
+    let machine =
+      Cf_machine.Machine.create ~comm_mode
+        (Cf_machine.Topology.linear procs)
+        cost
+    in
+    let report =
+      Cf_exec.Parexec.execute_fallback ?backend
+        ~charge_distribution:with_distribution ~machine
+        ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
+        t.partition
+    in
+    {
+      report;
+      balance =
+        Cf_exec.Balance.of_counts report.Cf_exec.Parexec.per_pe_iterations;
+      makespan = Cf_machine.Machine.makespan machine;
+    }
+
 let describe ppf t =
   Format.fprintf ppf "@[<v>strategy: %a@," Strategy.pp t.strategy;
   List.iter

@@ -71,6 +71,54 @@ val simulate :
     makespan.  [backend] (default [`Compiled]) selects the
     statement-body engine — see {!Cf_exec.Parexec.execute}. *)
 
+(** {1 Serve-everything planning}
+
+    {!plan} answers the paper's question — is there a
+    communication-free partition with parallelism?  {!plan_serve} never
+    says no: a rejected nest drops to the communication-minimal tier
+    ({!Cf_mincomm.Mincomm}) and comes back as a [Fallback] plan whose
+    residual cross-block accesses are serviced as charged messages when
+    simulated on a [`Service]-mode machine. *)
+
+type planned =
+  | Exact of t  (** the theorems grant parallelism; zero communication *)
+  | Fallback of t * Cf_mincomm.Mincomm.t
+      (** theorems rejected the nest; the pipeline fields are rebuilt
+          around the minimal-communication subspace (the embedded
+          [space]/[partition]/[parloop] are the fallback's) *)
+
+val plan_serve :
+  ?obs:Cf_obs.Trace.t ->
+  ?strategy:Strategy.t ->
+  ?basis:int array list ->
+  ?search_radius:int ->
+  ?nprocs:int ->
+  Cf_loop.Nest.t ->
+  planned
+(** [plan] first; on parallelism 0, one extra [fallback-plan] obs span
+    covers the candidate search and volume estimation ([nprocs],
+    default 4, sizes the placement the volumes are predicted for). *)
+
+val pipeline_of : planned -> t
+val fallback_of : planned -> Cf_mincomm.Mincomm.t option
+
+val simulate_serve :
+  ?backend:Cf_exec.Compile.backend ->
+  ?procs:int ->
+  ?cost:Cf_machine.Cost.t ->
+  ?comm_mode:Cf_machine.Machine.comm_mode ->
+  ?with_distribution:bool ->
+  planned ->
+  simulation
+(** [Exact] plans run exactly as {!simulate}.  [Fallback] plans run
+    through {!Cf_exec.Parexec.execute_fallback} on a machine in
+    [comm_mode] (default [`Service] — remote accesses become charged
+    messages; [`Strict] reproduces the abort-on-remote-access
+    behavior); [procs] defaults to the fallback planner's [nprocs], the
+    size its volume prediction is exact for.  Serviced-message counters
+    live on [report.machine]
+    ({!Cf_machine.Machine.serviced_messages}). *)
+
 val describe : Format.formatter -> t -> unit
 (** Human-readable summary: per-array spaces, Ψ, block statistics, and
     the transformed loop. *)

@@ -206,6 +206,50 @@ let fuzz_cases =
       arbitrary_nest;
   ]
 
+(* Committed corpus diff: every checked-in [test/corpus/*.loop] nest
+   whose Theorem-1 plan the back end supports must produce a C program
+   whose checksums match the *compiled* simulator (not the AST
+   interpreter), closing the cgen <-> compiled-backend loop on the
+   regression corpus.  Rejected nests ride along too: a full-dimensional
+   Psi yields a single block, which is trivially communication-free, so
+   the emitted program is the sequential reference. *)
+let corpus_cases =
+  [
+    Alcotest.test_case "corpus checksums match the compiled simulator"
+      `Slow (fun () ->
+        let exe_dir = Filename.dirname Sys.executable_name in
+        let dir =
+          List.find Sys.file_exists
+            [
+              Filename.concat exe_dir "corpus";
+              Filename.concat exe_dir "../../../test/corpus";
+              "corpus";
+            ]
+        in
+        let entries = Cf_check.Corpus.load dir in
+        check_bool "corpus non-empty" true (entries <> []);
+        let checked = ref 0 in
+        List.iter
+          (fun (file, nest) ->
+            let pl = plan_of nest in
+            match Cgen.supports pl with
+            | Error _ -> () (* duplicate-needing or overflow-prone *)
+            | Ok () -> (
+              match compile_and_run (Cgen.emit pl) with
+              | None -> () (* no C compiler: emission alone is covered *)
+              | Some got ->
+                incr checked;
+                Alcotest.(check (list (pair string int)))
+                  file
+                  (List.sort compare
+                     (Cgen.expected_checksums ~backend:`Compiled pl))
+                  (List.sort compare got)))
+          entries;
+        match Lazy.force compiler with
+        | None -> ()
+        | Some _ -> check_bool "at least one nest diffed" true (!checked > 0));
+  ]
+
 let suites =
   [ ("cgen", unit_cases); ("cgen-compiled", run_cases);
-    ("cgen-fuzz", fuzz_cases) ]
+    ("cgen-corpus", corpus_cases); ("cgen-fuzz", fuzz_cases) ]

@@ -104,6 +104,7 @@ let expected_names =
     "compiled-vs-interpreted";
     "canon-relabel-roundtrip";
     "cgen-roundtrip";
+    "fallback-vs-seq";
   ]
 
 let no_fail oracle nest =
@@ -113,10 +114,10 @@ let no_fail oracle nest =
 
 let oracle_tests =
   [
-    ( "registry lists the seven documented oracles",
+    ( "registry lists the eight documented oracles",
       `Quick,
       fun () ->
-        check_int "count" 7 (List.length Oracle.all);
+        check_int "count" 8 (List.length Oracle.all);
         List.iter
           (fun n -> check_bool n true (List.mem n Oracle.names))
           expected_names );

@@ -14,6 +14,7 @@ let root =
   Filename.concat (Filename.concat (Filename.concat exe_dir "..") "..") ".."
 
 let loop f = Filename.concat root ("examples/loops/" ^ f)
+let corpus f = Filename.concat root ("test/corpus/" ^ f)
 
 let available =
   lazy (Sys.file_exists binary && Sys.file_exists (loop "l1.loop"))
@@ -137,7 +138,7 @@ let cases =
         "l1.loop";
         "parallel=1";
         "verified=true";
-        "requests: 36 submitted, 36 completed";
+        "requests: 40 submitted, 40 completed";
         "cache: hits" ];
     expect_ok "batch without cache"
       ~expected_status:1
@@ -234,7 +235,7 @@ let cases =
     expect_ok "fuzz runs clean on a fixed seed"
       [ "fuzz"; "--seed"; "7"; "--count"; "6";
         "--corpus-dir"; Filename.get_temp_dir_name () ]
-      [ "fuzz: seed 7, 6 case(s) x 7 oracle(s)";
+      [ "fuzz: seed 7, 6 case(s) x 8 oracle(s)";
         "0 counterexample(s)" ];
     expect_ok "fuzz respects --oracle and --depth"
       [ "fuzz"; "--seed"; "5"; "--count"; "4"; "--depth"; "2";
@@ -250,6 +251,22 @@ let cases =
       ~expected_status:2
       [ "fuzz"; "--oracle"; "no-such-oracle"; "--count"; "1" ]
       [ "unknown oracle(s) no-such-oracle"; "coset-parity" ];
+    expect_ok "simulate serves a theorem-rejected nest"
+      [ "simulate"; corpus "mincomm-carried-1d.loop"; "-p"; "2" ]
+      [ "theorems reject the nest; serving fallback free (predicted 3 \
+         message(s))";
+        "communication: 3 serviced message(s) (3 read, 0 write)";
+        "serviced: 3 message(s) (3 read(s), 0 write(s))";
+        "results: match sequential" ];
+    expect_ok "malformed comm-mode exits 2"
+      ~expected_status:2
+      [ "simulate"; loop "l1.loop"; "--comm-mode"; "bogus" ]
+      [ "error: --comm-mode expects one of: strict, service" ];
+    expect_ok "fuzz runs the fallback oracle alone"
+      [ "fuzz"; "--seed"; "11"; "--count"; "4";
+        "--oracle"; "fallback-vs-seq";
+        "--corpus-dir"; Filename.get_temp_dir_name () ]
+      [ "4 case(s) x 1 oracle(s)"; "0 counterexample(s)" ];
   ]
 
 let suites = [ ("cli", cases) ]
