@@ -761,9 +761,9 @@ let service_case ~domains ~cache nests =
     sv_completed = s.S.completed;
     sv_elapsed = elapsed;
     sv_throughput = float_of_int s.S.completed /. elapsed;
-    sv_p50 = s.S.latency.Cf_service.Histogram.p50;
-    sv_p95 = s.S.latency.Cf_service.Histogram.p95;
-    sv_p99 = s.S.latency.Cf_service.Histogram.p99;
+    sv_p50 = s.S.latency.Cf_obs.Histogram.p50;
+    sv_p95 = s.S.latency.Cf_obs.Histogram.p95;
+    sv_p99 = s.S.latency.Cf_obs.Histogram.p99;
     sv_hit_rate = Option.map Cf_cache.Memo.hit_rate s.S.cache;
   }
 
@@ -1546,6 +1546,325 @@ let run_mincomm ~quick =
   write_mincomm_json ~file:(json_file "BENCH_mincomm.json") rows;
   List.for_all (fun r -> r.mm_pass) rows
 
+(* E21: the planning server end to end — framed JSON over a Unix
+   socket, admission control, load shedding.  Three phases: a soak of
+   repeated requests with the plan cache on (throughput and tail
+   latency of the full wire path), an unloaded cache-off baseline (the
+   honest cost of one planned request over the wire), and a
+   4x-capacity overload mixing a gold (priority 9) and a bronze
+   (priority 1) tenant.  The overload phase checks the service-level
+   objective: bronze traffic is shed with [rejected] while the p99 of
+   accepted requests stays within 3x the unloaded p99 (1ms floor).
+   Full mode soaks 1M requests; quick mode keeps the same shape at
+   CI-friendly sizes. *)
+
+type server_phase = {
+  sp_phase : string;
+  sp_tenant : string;
+  sp_clients : int;
+  sp_sent : int;
+  sp_ok : int;
+  sp_rejected : int;
+  sp_rate_limited : int;
+  sp_failed : int;
+  sp_elapsed : float;
+  sp_throughput : float;
+  sp_p50 : float;
+  sp_p99 : float;
+}
+
+type server_client_result = {
+  dr_sent : int;
+  dr_ok : int;
+  dr_rejected : int;
+  dr_rate_limited : int;
+  dr_failed : int;
+  dr_lat : float list;  (* latencies of ok requests, seconds *)
+}
+
+let server_src nest = Format.asprintf "@[<v>%a@]" Cf_loop.Nest.pp nest
+
+let server_pctl lats q =
+  match lats with
+  | [] -> 0.
+  | _ ->
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let n = Array.length a in
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    a.(max 0 (min (n - 1) i))
+
+(* [reject_backoff] is the client-side retry pause after a shed or
+   rate-limited reply — the standard closed-loop client behavior, and
+   on small hosts it keeps rejection churn from starving the very
+   requests admission control accepted. *)
+let server_drive_client ?(reject_backoff = 0.) ~socket ~tenant ~requests srcs
+    =
+  let module C = Cf_server.Client in
+  let module P = Cf_server.Protocol in
+  match C.connect_unix ~tenant socket with
+  | Error _ ->
+    {
+      dr_sent = requests;
+      dr_ok = 0;
+      dr_rejected = 0;
+      dr_rate_limited = 0;
+      dr_failed = requests;
+      dr_lat = [];
+    }
+  | Ok c ->
+    let srcs = Array.of_list srcs in
+    let n = Array.length srcs in
+    let ok = ref 0
+    and rej = ref 0
+    and rl = ref 0
+    and fl = ref 0
+    and lat = ref [] in
+    for i = 0 to requests - 1 do
+      let t0 = Unix.gettimeofday () in
+      match C.plan ~strategy:Strategy.Min_duplicate c srcs.(i mod n) with
+      | Ok reply when P.is_ok reply ->
+        incr ok;
+        lat := (Unix.gettimeofday () -. t0) :: !lat
+      | Ok reply -> (
+        match P.error_code_of reply with
+        | Some P.Rejected ->
+          incr rej;
+          if reject_backoff > 0. then Thread.delay reject_backoff
+        | Some P.Rate_limited ->
+          incr rl;
+          if reject_backoff > 0. then Thread.delay reject_backoff
+        | _ -> incr fl)
+      | Error _ -> incr fl
+    done;
+    C.close c;
+    {
+      dr_sent = requests;
+      dr_ok = !ok;
+      dr_rejected = !rej;
+      dr_rate_limited = !rl;
+      dr_failed = !fl;
+      dr_lat = !lat;
+    }
+
+(* One volley: every spec is one concurrent client connection.  Returns
+   per-client results tagged with the tenant, plus the wall-clock of
+   the whole volley. *)
+let server_load ?reject_backoff ~socket ~per_client specs =
+  let specs = Array.of_list specs in
+  let results = Array.map (fun (tenant, _) -> (tenant, None)) specs in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i (tenant, srcs) ->
+           Thread.create
+             (fun () ->
+               let r =
+                 try
+                   server_drive_client ?reject_backoff ~socket ~tenant
+                     ~requests:per_client srcs
+                 with _ ->
+                   {
+                     dr_sent = per_client;
+                     dr_ok = 0;
+                     dr_rejected = 0;
+                     dr_rate_limited = 0;
+                     dr_failed = per_client;
+                     dr_lat = [];
+                   }
+               in
+               results.(i) <- (tenant, Some r))
+             ())
+         specs)
+  in
+  List.iter Thread.join threads;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  ( Array.to_list results
+    |> List.filter_map (fun (t, r) -> Option.map (fun r -> (t, r)) r),
+    elapsed )
+
+let server_phase_of ~phase ~tenant ~elapsed trs =
+  let rs =
+    List.filter_map (fun (t, r) -> if t = tenant then Some r else None) trs
+  in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+  let lats = List.concat_map (fun r -> r.dr_lat) rs in
+  let ok = sum (fun r -> r.dr_ok) in
+  {
+    sp_phase = phase;
+    sp_tenant = tenant;
+    sp_clients = List.length rs;
+    sp_sent = sum (fun r -> r.dr_sent);
+    sp_ok = ok;
+    sp_rejected = sum (fun r -> r.dr_rejected);
+    sp_rate_limited = sum (fun r -> r.dr_rate_limited);
+    sp_failed = sum (fun r -> r.dr_failed);
+    sp_elapsed = elapsed;
+    sp_throughput = float_of_int ok /. elapsed;
+    sp_p50 = server_pctl lats 0.5;
+    sp_p99 = server_pctl lats 0.99;
+  }
+
+let server_ok_lats trs = List.concat_map (fun (_, r) -> r.dr_lat) trs
+
+let print_server_phases rows =
+  Printf.printf "%-10s %-9s %-8s %-8s %-8s %-9s %-6s %-10s %-10s %-10s\n"
+    "phase" "tenant" "clients" "sent" "ok" "rejected" "fail" "req/s"
+    "p50(ms)" "p99(ms)";
+  List.iter
+    (fun p ->
+      Printf.printf
+        "%-10s %-9s %-8d %-8d %-8d %-9d %-6d %-10.1f %-10.3f %-10.3f\n"
+        p.sp_phase p.sp_tenant p.sp_clients p.sp_sent p.sp_ok p.sp_rejected
+        p.sp_failed p.sp_throughput (1e3 *. p.sp_p50) (1e3 *. p.sp_p99))
+    rows
+
+let write_server_json ~quick ~file ~phases ~domains ~capacity
+    ~overload_clients ~unloaded_p99 ~loaded_p99 ~p99_budget ~shed_ok
+    ~latency_ok =
+  let row_json p =
+    Printf.sprintf
+      "    {\"phase\": \"%s\", \"tenant\": \"%s\", \"clients\": %d, \
+       \"sent\": %d, \"ok\": %d, \"rejected\": %d, \"rate_limited\": %d, \
+       \"failed\": %d, \"elapsed_s\": %.6f, \"throughput_per_s\": %.1f, \
+       \"p50_s\": %.6f, \"p99_s\": %.6f}"
+      p.sp_phase p.sp_tenant p.sp_clients p.sp_sent p.sp_ok p.sp_rejected
+      p.sp_rate_limited p.sp_failed p.sp_elapsed p.sp_throughput p.sp_p50
+      p.sp_p99
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"planning-server\",\n\
+    \  \"quick\": %b,\n\
+    \  \"domains\": %d,\n\
+    \  \"admit_capacity\": %d,\n\
+    \  \"overload_clients\": %d,\n\
+    \  \"unloaded_p99_s\": %.6f,\n\
+    \  \"overload_accepted_p99_s\": %.6f,\n\
+    \  \"p99_budget_s\": %.6f,\n\
+    \  \"shed_ok\": %b,\n\
+    \  \"latency_ok\": %b,\n\
+    \  \"phases\": [\n%s\n  ]\n}\n"
+    quick domains capacity overload_clients unloaded_p99 loaded_p99 p99_budget
+    shed_ok latency_ok
+    (String.concat ",\n" (List.map row_json phases));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let run_server ~quick =
+  let module Server = Cf_server.Server in
+  let module Admission = Cf_server.Admission in
+  section "E21 - planning server: soak, overload, load-shedding";
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cfalloc-e21-%d.sock" (Unix.getpid ()))
+  in
+  (* Phase 1: soak the full wire path with the cache on.  Four paper
+     loops repeated, so after the first round every plan is a warm
+     cache hit; the numbers measure framing, dispatch and cache lookup,
+     not planning. *)
+  let domains = max 1 (min 2 (Domain.recommended_domain_count ())) in
+  let soak_clients = if quick then 4 else 8 in
+  let soak_total = if quick then 2_000 else 1_000_000 in
+  let soak_srcs = List.map server_src [ l1; l2; l3; l4 ] in
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        unix_socket = Some sock;
+        domains = Some domains;
+        admit_capacity = 64;
+      }
+  in
+  let soak_trs, soak_elapsed =
+    server_load ~socket:sock
+      ~per_client:(soak_total / soak_clients)
+      (List.init soak_clients (fun _ -> ("default", soak_srcs)))
+  in
+  Server.stop srv;
+  let soak =
+    server_phase_of ~phase:"soak" ~tenant:"default" ~elapsed:soak_elapsed
+      soak_trs
+  in
+  (* Phases 2 and 3 run with the cache off so every accepted request
+     pays for a real plan, against a small admission capacity so
+     overload actually sheds.  Capacity 2 bounds an admitted request's
+     sojourn at two service times — half the 3x-unloaded p99 budget —
+     and [shed_start] 0.4 puts the one-slot occupancy (0.5) past the
+     shedding threshold, so bronze is priority-shed while gold still
+     gets the remaining slot. *)
+  let capacity = 2 in
+  let tenant_of_spec s =
+    match Admission.tenant_of_spec s with
+    | Ok t -> t
+    | Error e -> failwith e
+  in
+  let srv =
+    Server.start
+      {
+        Server.default_config with
+        unix_socket = Some sock;
+        domains = Some domains;
+        cache = None;
+        admit_capacity = capacity;
+        shed_start = 0.4;
+        tenants =
+          [ tenant_of_spec "gold:priority=9"; tenant_of_spec "bronze:priority=1" ];
+      }
+  in
+  (* A ~10ms plan: heavy enough that per-request scheduling noise is a
+     small fraction of the latency being asserted on. *)
+  let work_srcs = [ server_src (Cf_exec.Matmul.nest ~m:12) ] in
+  (* Phase 2: unloaded baseline — one sequential gold client. *)
+  let unl_trs, unl_elapsed =
+    server_load ~socket:sock
+      ~per_client:(if quick then 120 else 500)
+      [ ("gold", work_srcs) ]
+  in
+  let unloaded =
+    server_phase_of ~phase:"unloaded" ~tenant:"gold" ~elapsed:unl_elapsed
+      unl_trs
+  in
+  (* Phase 3: 4x-capacity overload, half gold half bronze. *)
+  let overload_clients = 4 * capacity in
+  let over_trs, over_elapsed =
+    server_load ~socket:sock ~reject_backoff:0.005
+      ~per_client:(if quick then 60 else 250)
+      (List.init overload_clients (fun i ->
+           ((if i mod 2 = 0 then "gold" else "bronze"), work_srcs)))
+  in
+  Server.stop srv;
+  let gold =
+    server_phase_of ~phase:"overload" ~tenant:"gold" ~elapsed:over_elapsed
+      over_trs
+  in
+  let bronze =
+    server_phase_of ~phase:"overload" ~tenant:"bronze" ~elapsed:over_elapsed
+      over_trs
+  in
+  let unloaded_p99 = unloaded.sp_p99 in
+  let loaded_p99 = server_pctl (server_ok_lats over_trs) 0.99 in
+  let p99_budget = 3. *. Float.max unloaded_p99 0.001 in
+  let shed_ok = bronze.sp_rejected > 0 in
+  let latency_ok = loaded_p99 <= p99_budget in
+  let soak_ok = soak.sp_failed = 0 && soak.sp_ok = soak.sp_sent in
+  let phases = [ soak; unloaded; gold; bronze ] in
+  print_server_phases phases;
+  Printf.printf
+    "unloaded p99 %.3fms, overload accepted p99 %.3fms (budget %.3fms)\n"
+    (1e3 *. unloaded_p99) (1e3 *. loaded_p99) (1e3 *. p99_budget);
+  Printf.printf "soak completed: %b; bronze shed under overload: %b (%d)\n"
+    soak_ok shed_ok bronze.sp_rejected;
+  Printf.printf "accepted p99 within budget: %b\n%!" latency_ok;
+  write_server_json ~quick
+    ~file:(json_file "BENCH_server.json")
+    ~phases ~domains ~capacity ~overload_clients ~unloaded_p99 ~loaded_p99
+    ~p99_budget ~shed_ok ~latency_ok;
+  soak_ok && shed_ok && latency_ok
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let scale_only = Array.exists (String.equal "--scale") Sys.argv in
@@ -1554,11 +1873,19 @@ let () =
   let obs_only = Array.exists (String.equal "--obs") Sys.argv in
   let check_only = Array.exists (String.equal "--check") Sys.argv in
   let mincomm_only = Array.exists (String.equal "--mincomm") Sys.argv in
+  let server_only = Array.exists (String.equal "--server") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
     exit 0
   end;
-  if mincomm_only then begin
+  if server_only then begin
+    (* Planning-server experiment only (E21), soak + overload; quick
+       mode keeps the shape at CI sizes.  Exits nonzero when the soak
+       loses requests, overload fails to shed the bronze tenant, or
+       accepted-request p99 blows the 3x-unloaded budget. *)
+    if not (run_server ~quick) then exit 1
+  end
+  else if mincomm_only then begin
     (* Fallback-planning experiment only (E20), fewer cases under
        --quick; exits nonzero when a servable run mispredicts its
        volume or under 80% of rejected nests are servable. *)
@@ -1628,5 +1955,6 @@ let () =
     ignore (run_obs ~quick:false);
     ignore (run_check ~quick:false);
     ignore (run_mincomm ~quick:false);
+    ignore (run_server ~quick:false);
     run_benchmarks ()
   end

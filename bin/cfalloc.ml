@@ -119,8 +119,12 @@ let handle f =
   | Cf_loop.Parse.Error msg ->
     Format.eprintf "parse error: %s@." msg;
     1
-  | Invalid_argument msg ->
+  | Invalid_argument msg | Failure msg | Sys_error msg ->
     Format.eprintf "error: %s@." msg;
+    1
+  | Unix.Unix_error (e, fn, arg) ->
+    Format.eprintf "error: %s: %s%s@." fn (Unix.error_message e)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
     1
 
 (* analyze *)
@@ -1152,12 +1156,288 @@ let demo_cmd =
   let doc = "Run the strategy study over the built-in workload kernels." in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const demo_run $ logs_arg)
 
+(* serve / client *)
+
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "bad address %S: expected HOST:PORT" s))
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 -> Ok (host, p)
+      | _ -> Error (`Msg (Printf.sprintf "bad port in %S" s)))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let tenant_conv =
+  let parse s =
+    match Cf_server.Admission.tenant_of_spec s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf (t : Cf_server.Admission.tenant) =
+    Format.fprintf ppf "%s" t.name
+  in
+  Arg.conv (parse, print)
+
+let serve_run level socket tcp journal domains queue cache fsync_every
+    max_frame read_timeout capacity shed_start tenants =
+  setup_logs level;
+  handle (fun () ->
+      if socket = None && tcp = None then
+        invalid_arg "serve: pass --socket and/or --tcp";
+      let config =
+        {
+          Cf_server.Server.default_config with
+          unix_socket = socket;
+          tcp;
+          journal;
+          domains;
+          queue_depth = queue;
+          cache = (if cache = 0 then None else Some cache);
+          fsync_every;
+          max_frame;
+          read_timeout;
+          admit_capacity = capacity;
+          shed_start;
+          tenants;
+        }
+      in
+      let server = Cf_server.Server.start config in
+      (match journal with
+      | Some path ->
+        let r = Cf_server.Server.replay_report server in
+        Format.printf
+          "journal %s: replayed %d entries (%d warmed, %d bad), skipped %d \
+           tail byte(s)@."
+          path r.entries r.warmed r.bad_entries r.skipped_bytes
+      | None -> ());
+      Option.iter (fun p -> Format.printf "listening on unix:%s@." p) socket;
+      Option.iter
+        (fun (h, _) ->
+          Format.printf "listening on tcp:%s:%d@." h
+            (Option.value ~default:0 (Cf_server.Server.port server)))
+        tcp;
+      Format.printf "ready@.";
+      (* Keep stdout line-buffered progress visible to process managers
+         (the CI smoke test waits for "ready"). *)
+      let stop_requested = ref false in
+      let request_stop _ = stop_requested := true in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      while not !stop_requested do
+        try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      Format.printf "shutting down@.";
+      Cf_server.Server.stop server)
+
+let serve_cmd =
+  let doc = "Run the crash-safe planning server." in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"Listen on TCP (port 0 = kernel-assigned).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Append cache-miss plans to this journal and replay it on boot, \
+             so cache warmth survives crashes.")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Submission queue depth.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache" ] ~docv:"N" ~doc:"Plan cache capacity (0 disables).")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int 8
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"Batch journal fsyncs: one sync per N appends.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Cf_server.Frame.default_max_frame
+      & info [ "max-frame" ] ~docv:"BYTES" ~doc:"Largest accepted frame.")
+  in
+  let read_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-connection read timeout.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 8
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Outstanding admitted plan requests before load-shedding.")
+  in
+  let shed_start =
+    Arg.(
+      value & opt float 0.5
+      & info [ "shed-start" ] ~docv:"OCC"
+          ~doc:"Occupancy (0..1) where priority shedding begins.")
+  in
+  let tenants =
+    Arg.(
+      value
+      & opt_all tenant_conv []
+      & info [ "tenant" ] ~docv:"SPEC"
+          ~doc:
+            "Tenant limits, e.g. gold:priority=9,weight=4,rate=100,burst=20 \
+             (repeatable).")
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve_run $ logs_arg $ socket $ tcp $ journal $ domains $ queue
+      $ cache $ fsync_every $ max_frame $ read_timeout $ capacity $ shed_start
+      $ tenants)
+
+let client_run level socket tcp tenant op strategy radius timeout serve count
+    files =
+  setup_logs level;
+  let connect () =
+    match (socket, tcp) with
+    | Some path, _ -> Cf_server.Client.connect_unix ~tenant path
+    | None, Some (host, port) -> Cf_server.Client.connect_tcp ~tenant host port
+    | None, None -> Error "pass --socket or --tcp"
+  in
+  handle (fun () ->
+      match connect () with
+      | Error msg -> failwith msg
+      | Ok client ->
+        Fun.protect
+          ~finally:(fun () -> Cf_server.Client.close client)
+          (fun () ->
+            let failures = ref 0 in
+            let show = function
+              | Ok reply ->
+                Format.printf "%s@." (Cf_obs.Json.to_string reply);
+                if not (Cf_server.Protocol.is_ok reply) then incr failures
+              | Error msg ->
+                Format.eprintf "error: %s@." msg;
+                incr failures
+            in
+            (match op with
+            | "stats" -> show (Cf_server.Client.stats client)
+            | "health" -> show (Cf_server.Client.health client)
+            | "plan" ->
+              if files = [] then invalid_arg "client: no nest files given";
+              List.iter
+                (fun file ->
+                  List.iter
+                    (fun nest ->
+                      let src =
+                        Format.asprintf "@[<v>%a@]" Cf_loop.Nest.pp nest
+                      in
+                      for _ = 1 to count do
+                        show
+                          (Cf_server.Client.plan ~serve ~strategy
+                             ?search_radius:radius ?timeout client src)
+                      done)
+                    (load file))
+                files
+            | op -> invalid_arg (Printf.sprintf "client: unknown op %S" op));
+            if !failures > 0 then
+              failwith
+                (Printf.sprintf "%d request(s) did not complete ok" !failures)))
+
+let client_cmd =
+  let doc = "Send requests to a running planning server." in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Dial a Unix-domain socket.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Dial TCP.")
+  in
+  let tenant =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant" ] ~docv:"NAME" ~doc:"Tenant identity for admission.")
+  in
+  let op =
+    Arg.(
+      value & opt string "plan"
+      & info [ "op" ] ~docv:"OP" ~doc:"One of plan, stats, health.")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt strategy_conv Cf_core.Strategy.Nonduplicate
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc:"Planning strategy.")
+  in
+  let radius =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "radius" ] ~docv:"N" ~doc:"Partitioning-space search radius.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-request deadline.")
+  in
+  let serve =
+    Arg.(
+      value & flag
+      & info [ "serve" ]
+          ~doc:
+            "Use plan_serve: degrade theorem-rejected nests to the fallback \
+             tier.")
+  in
+  let count =
+    Arg.(
+      value & opt int 1
+      & info [ "count" ] ~docv:"N" ~doc:"Repeat each plan request N times.")
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Nest DSL files.")
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client_run $ logs_arg $ socket $ tcp $ tenant $ op $ strategy
+      $ radius $ timeout $ serve $ count $ files)
+
 let main =
   let doc = "communication-free data allocation for nested loops" in
   let info = Cmd.info "cfalloc" ~version:"1.0.0" ~doc in
   Cmd.group info
     [ analyze_cmd; transform_cmd; simulate_cmd; trace_cmd; trace_check_cmd;
       figures_cmd; compare_cmd; advise_cmd; allocate_cmd; cgen_cmd;
-      distribute_cmd; batch_cmd; bench_diff_cmd; fuzz_cmd; demo_cmd ]
+      distribute_cmd; batch_cmd; bench_diff_cmd; fuzz_cmd; serve_cmd;
+      client_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -1,0 +1,282 @@
+module Json = Cf_obs.Json
+
+type tenant = {
+  name : string;
+  priority : int;
+  weight : int;
+  rate : float;
+  burst : float;
+}
+
+let default_tenant =
+  { name = "default"; priority = 5; weight = 1; rate = infinity; burst = 16. }
+
+let tenant_of_spec spec =
+  match String.index_opt spec ':' with
+  | None when spec = "" -> Error "empty tenant spec"
+  | None -> Ok { default_tenant with name = spec }
+  | Some i -> (
+    let name = String.sub spec 0 i in
+    let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if name = "" then Error "empty tenant name"
+    else
+      try
+        let t = ref { default_tenant with name } in
+        List.iter
+          (fun kv ->
+            let kv = String.trim kv in
+            if kv <> "" then
+              match String.index_opt kv '=' with
+              | None -> failwith (Printf.sprintf "bad field %S" kv)
+              | Some j -> (
+                let k = String.sub kv 0 j in
+                let v = String.sub kv (j + 1) (String.length kv - j - 1) in
+                match k with
+                | "priority" ->
+                  let p = int_of_string v in
+                  if p < 0 || p > 10 then
+                    failwith "priority must be in 0..10";
+                  t := { !t with priority = p }
+                | "weight" ->
+                  let w = int_of_string v in
+                  if w < 1 then failwith "weight must be >= 1";
+                  t := { !t with weight = w }
+                | "rate" ->
+                  let r =
+                    if v = "inf" then infinity else float_of_string v
+                  in
+                  if r <= 0. then failwith "rate must be > 0";
+                  t := { !t with rate = r }
+                | "burst" ->
+                  let b = float_of_string v in
+                  if b < 1. then failwith "burst must be >= 1";
+                  t := { !t with burst = b }
+                | k -> failwith (Printf.sprintf "unknown field %S" k)))
+          (String.split_on_char ',' rest);
+        Ok !t
+      with
+      | Failure msg -> Error (Printf.sprintf "tenant %S: %s" name msg))
+
+type decision = Admitted | Rate_limited | Shed of int | Saturated
+
+type state = {
+  config : tenant;
+  mutable tokens : float;
+  mutable refilled_at : float;
+  mutable in_flight : int;
+  mutable admitted : int;
+  mutable rate_limited : int;
+  mutable shed_count : int;
+  mutable saturated_count : int;
+}
+
+type t = {
+  clock : unit -> float;
+  capacity : int;
+  shed_start : float;
+  default : tenant;
+  lock : Mutex.t;
+  states : (string, state) Hashtbl.t;
+  mutable current : int;
+  mutable hwm : int;
+}
+
+let create ?(clock = Unix.gettimeofday) ?(shed_start = 0.5) ?default
+    ~capacity tenants =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  if shed_start < 0. || shed_start >= 1. then
+    invalid_arg "Admission.create: shed_start must be in [0, 1)";
+  let default = Option.value default ~default:default_tenant in
+  let t =
+    {
+      clock;
+      capacity;
+      shed_start;
+      default;
+      lock = Mutex.create ();
+      states = Hashtbl.create 16;
+      current = 0;
+      hwm = 0;
+    }
+  in
+  let now = clock () in
+  List.iter
+    (fun config ->
+      Hashtbl.replace t.states config.name
+        {
+          config;
+          tokens = config.burst;
+          refilled_at = now;
+          in_flight = 0;
+          admitted = 0;
+          rate_limited = 0;
+          shed_count = 0;
+          saturated_count = 0;
+        })
+    tenants;
+  t
+
+let state t name =
+  match Hashtbl.find_opt t.states name with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        config = { t.default with name };
+        tokens = t.default.burst;
+        refilled_at = t.clock ();
+        in_flight = 0;
+        admitted = 0;
+        rate_limited = 0;
+        shed_count = 0;
+        saturated_count = 0;
+      }
+    in
+    Hashtbl.replace t.states name s;
+    s
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let refill t s =
+  if s.config.rate < infinity then begin
+    let now = t.clock () in
+    let dt = Float.max 0. (now -. s.refilled_at) in
+    s.tokens <- Float.min s.config.burst (s.tokens +. (dt *. s.config.rate));
+    s.refilled_at <- now
+  end
+
+(* Watermark on the 0..10 priority scale: 0 right at [shed_start]
+   (nobody shed yet), 11 at full occupancy (everyone shed — though
+   saturation already rejects there). *)
+let watermark t =
+  let occ = float_of_int t.current /. float_of_int t.capacity in
+  if occ < t.shed_start then 0
+  else
+    int_of_float
+      (Float.round (11. *. (occ -. t.shed_start) /. (1. -. t.shed_start)))
+
+(* Fair share under contention: proportional slots by weight over the
+   tenants currently holding slots (plus the candidate). *)
+let fair_share t s =
+  let total =
+    Hashtbl.fold
+      (fun _ st acc -> if st.in_flight > 0 || st == s then acc + st.config.weight else acc)
+      t.states 0
+  in
+  max 1 (t.capacity * s.config.weight / max 1 total)
+
+let admit t name =
+  locked t (fun () ->
+      let s = state t name in
+      refill t s;
+      if s.config.rate < infinity && s.tokens < 1. then begin
+        s.rate_limited <- s.rate_limited + 1;
+        Rate_limited
+      end
+      else if t.current >= t.capacity then begin
+        s.saturated_count <- s.saturated_count + 1;
+        Saturated
+      end
+      else begin
+        let level = watermark t in
+        let contended =
+          float_of_int t.current /. float_of_int t.capacity >= t.shed_start
+        in
+        if level > 0 && s.config.priority < level then begin
+          s.shed_count <- s.shed_count + 1;
+          Shed level
+        end
+        else if contended && s.in_flight >= fair_share t s then begin
+          s.shed_count <- s.shed_count + 1;
+          Shed level
+        end
+        else begin
+          if s.config.rate < infinity then s.tokens <- s.tokens -. 1.;
+          s.in_flight <- s.in_flight + 1;
+          s.admitted <- s.admitted + 1;
+          t.current <- t.current + 1;
+          if t.current > t.hwm then t.hwm <- t.current;
+          Admitted
+        end
+      end)
+
+let release t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.states name with
+      | Some s when s.in_flight > 0 ->
+        s.in_flight <- s.in_flight - 1;
+        t.current <- t.current - 1
+      | _ -> ())
+
+let outstanding t = locked t (fun () -> t.current)
+
+type tenant_stats = {
+  tenant : tenant;
+  admitted : int;
+  rate_limited : int;
+  shed : int;
+  saturated : int;
+  in_flight : int;
+}
+
+type stats = {
+  capacity : int;
+  current : int;
+  hwm : int;
+  tenants : tenant_stats list;
+}
+
+let stats t =
+  locked t (fun () ->
+      let tenants =
+        Hashtbl.fold
+          (fun _ s acc ->
+            {
+              tenant = s.config;
+              admitted = s.admitted;
+              rate_limited = s.rate_limited;
+              shed = s.shed_count;
+              saturated = s.saturated_count;
+              in_flight = s.in_flight;
+            }
+            :: acc)
+          t.states []
+        |> List.sort (fun a b -> String.compare a.tenant.name b.tenant.name)
+      in
+      { capacity = t.capacity; current = t.current; hwm = t.hwm; tenants })
+
+let stats_to_json s =
+  let num i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("capacity", num s.capacity);
+      ("outstanding", num s.current);
+      ("hwm", num s.hwm);
+      ( "tenants",
+        Json.List
+          (List.map
+             (fun ts ->
+               Json.Obj
+                 [
+                   ("name", Json.Str ts.tenant.name);
+                   ("priority", num ts.tenant.priority);
+                   ("weight", num ts.tenant.weight);
+                   ( "rate",
+                     if ts.tenant.rate < infinity then Json.Num ts.tenant.rate
+                     else Json.Str "inf" );
+                   ("admitted", num ts.admitted);
+                   ("rate_limited", num ts.rate_limited);
+                   ("shed", num ts.shed);
+                   ("saturated", num ts.saturated);
+                   ("in_flight", num ts.in_flight);
+                 ])
+             s.tenants) );
+    ]

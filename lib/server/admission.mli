@@ -1,0 +1,88 @@
+(** Per-tenant admission control and load-shedding.
+
+    The server admits a bounded number of outstanding requests
+    ([capacity], sized to the worker pool so accepted-request latency
+    stays bounded) and decides per request, by tenant:
+
+    - {b Token bucket}: each tenant refills [rate] tokens/second up to
+      [burst]; an empty bucket rate-limits the request regardless of
+      load.  [rate = infinity] disables the limit.
+    - {b Priority shedding}: as occupancy (outstanding/capacity) rises
+      past [shed_start], a watermark sweeps up the priority scale
+      (0..10); tenants whose priority falls below it are shed — lowest
+      priority first, highest priority only near saturation.
+    - {b Weighted-fair slots}: under contention (occupancy >=
+      [shed_start]) a tenant may hold at most
+      [max 1 (capacity·weight/Σweights)] slots, so one greedy tenant
+      cannot starve the rest; while the system is idle any tenant may
+      borrow unused capacity.
+    - {b Saturation}: at full occupancy everything is rejected.
+
+    Deterministic by construction: decisions depend only on the
+    injected clock and the admit/release sequence, so tests drive it
+    with a fake clock.  Thread-safe. *)
+
+type tenant = {
+  name : string;
+  priority : int;  (** 0..10; lower is shed first *)
+  weight : int;  (** fair-share weight, >= 1 *)
+  rate : float;  (** token refill per second; [infinity] = unlimited *)
+  burst : float;  (** bucket depth, >= 1 *)
+}
+
+val default_tenant : tenant
+(** [{name = "default"; priority = 5; weight = 1; rate = infinity;
+    burst = 16.}] — the config applied to tenants the server was not
+    told about. *)
+
+val tenant_of_spec : string -> (tenant, string) result
+(** Parse ["name:priority=P,weight=W,rate=R,burst=B"] (every key
+    optional, any order), e.g. ["gold:priority=9,weight=4"]. *)
+
+type decision =
+  | Admitted
+  | Rate_limited  (** token bucket empty *)
+  | Shed of int  (** load-shed below the returned priority watermark *)
+  | Saturated  (** all [capacity] slots are outstanding *)
+
+type t
+
+val create :
+  ?clock:(unit -> float) ->
+  ?shed_start:float ->
+  ?default:tenant ->
+  capacity:int ->
+  tenant list ->
+  t
+(** [capacity] >= 1 outstanding admitted requests; [shed_start]
+    (default 0.5) is the occupancy where shedding begins; [clock]
+    defaults to [Unix.gettimeofday].  Tenants not in the list get
+    [default]'s limits under their own name. *)
+
+val admit : t -> string -> decision
+(** Decide for one request from the named tenant; [Admitted] takes a
+    slot and a token — the caller {e must} {!release} exactly once when
+    the request completes (any outcome). *)
+
+val release : t -> string -> unit
+
+val outstanding : t -> int
+
+type tenant_stats = {
+  tenant : tenant;
+  admitted : int;
+  rate_limited : int;
+  shed : int;
+  saturated : int;
+  in_flight : int;
+}
+
+type stats = {
+  capacity : int;
+  current : int;  (** outstanding now *)
+  hwm : int;  (** outstanding high-water mark *)
+  tenants : tenant_stats list;  (** sorted by tenant name *)
+}
+
+val stats : t -> stats
+val stats_to_json : stats -> Cf_obs.Json.t

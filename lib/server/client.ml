@@ -1,0 +1,91 @@
+module Json = Cf_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  decoder : Frame.decoder;
+  mutable closed : bool;
+}
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let request t j =
+  if t.closed then Error "client is closed"
+  else
+    match
+      Frame.write_frame t.fd (Json.to_string j);
+      Frame.read_frame t.decoder t.fd
+    with
+    | `Frame payload -> (
+      match Json.parse payload with
+      | Ok reply -> Ok reply
+      | Error msg -> Error (Printf.sprintf "malformed reply: %s" msg))
+    | `Eof -> Error "server closed the connection"
+    | `Timeout -> Error "timed out waiting for the reply"
+    | `Oversized n -> Error (Printf.sprintf "oversized %d-byte reply" n)
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Unix.error_message e)
+
+let handshake tenant t =
+  match
+    request t
+      (Protocol.request_to_json
+         (Protocol.Hello { version = Protocol.version; tenant }))
+  with
+  | Error _ as e ->
+    close t;
+    e
+  | Ok reply ->
+    if Protocol.is_ok reply then Ok t
+    else begin
+      close t;
+      let code =
+        match Protocol.error_code_of reply with
+        | Some c -> Protocol.code_string c
+        | None -> "error"
+      in
+      Error (Printf.sprintf "handshake refused (%s)" code)
+    end
+
+let connect ?(tenant = "default") ?(read_timeout = 30.)
+    ?(max_frame = Frame.default_max_frame) domain addr =
+  match
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout;
+    fd
+  with
+  | fd ->
+    handshake tenant
+      { fd; decoder = Frame.decoder ~max_frame (); closed = false }
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+let connect_unix ?tenant ?read_timeout ?max_frame path =
+  connect ?tenant ?read_timeout ?max_frame Unix.PF_UNIX (Unix.ADDR_UNIX path)
+
+let connect_tcp ?tenant ?read_timeout ?max_frame host port =
+  match
+    if host = "" || host = "localhost" then Unix.inet_addr_loopback
+    else
+      try Unix.inet_addr_of_string host
+      with _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  with
+  | addr ->
+    connect ?tenant ?read_timeout ?max_frame Unix.PF_INET
+      (Unix.ADDR_INET (addr, port))
+  | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
+
+let plan ?(serve = false) ?(strategy = Cf_core.Strategy.Nonduplicate)
+    ?search_radius ?timeout t src =
+  request t
+    (Protocol.request_to_json
+       (Protocol.Plan { serve; src; strategy; search_radius; timeout }))
+
+let stats t = request t (Protocol.request_to_json Protocol.Stats)
+let health t = request t (Protocol.request_to_json Protocol.Health)

@@ -1,0 +1,51 @@
+(** Blocking client for the planning server's framed JSON protocol.
+
+    {!connect_unix}/{!connect_tcp} dial the server and complete the
+    [hello] handshake (protocol version {!Protocol.version}, tenant
+    binding) before returning, so a connected client is ready to issue
+    requests.  One request is one frame out, one frame back; errors are
+    returned as values — [Error msg] for transport and protocol
+    failures — never raised. *)
+
+type t
+
+val connect_unix :
+  ?tenant:string ->
+  ?read_timeout:float ->
+  ?max_frame:int ->
+  string ->
+  (t, string) result
+(** Dial the Unix-domain socket at the path and shake hands.  [tenant]
+    (default ["default"]) is the identity admission control sees;
+    [read_timeout] (default 30s) bounds each reply wait. *)
+
+val connect_tcp :
+  ?tenant:string ->
+  ?read_timeout:float ->
+  ?max_frame:int ->
+  string ->
+  int ->
+  (t, string) result
+
+val request : t -> Cf_obs.Json.t -> (Cf_obs.Json.t, string) result
+(** Send one raw request object, wait for its reply.  The reply may
+    itself be a protocol-level error document — use {!Protocol.is_ok} /
+    {!Protocol.error_code_of} to inspect it. *)
+
+val plan :
+  ?serve:bool ->
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  ?timeout:float ->
+  t ->
+  string ->
+  (Cf_obs.Json.t, string) result
+(** Plan one nest given as DSL source ([serve] selects [plan_serve],
+    which degrades theorem-rejected nests to the fallback tier instead
+    of returning parallelism 0). *)
+
+val stats : t -> (Cf_obs.Json.t, string) result
+val health : t -> (Cf_obs.Json.t, string) result
+
+val close : t -> unit
+(** Idempotent. *)

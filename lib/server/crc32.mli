@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    The journal frames every record with a CRC of its payload so a torn
+    or bit-rotted tail is detected on replay instead of being served as
+    a plan.  Kept dependency-free like the rest of the repo. *)
+
+val string : ?crc:int32 -> string -> int32
+(** [string s] is the CRC-32 of [s]; [crc] chains a previous value so
+    multi-part payloads can be checksummed incrementally. *)
+
+val sub : ?crc:int32 -> string -> pos:int -> len:int -> int32
+(** CRC of [len] bytes of [s] starting at [pos]. *)

@@ -1,0 +1,95 @@
+let default_max_frame = 1 lsl 20
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+(* The buffer only ever holds the bytes of at most one partial frame
+   plus whatever the transport delivered beyond it, so compaction on
+   every extracted frame stays cheap. *)
+type decoder = {
+  max_frame : int;
+  mutable buf : Bytes.t;
+  mutable len : int;  (* valid bytes at the front of [buf] *)
+  mutable dead : bool;  (* oversized length seen: refuse everything *)
+}
+
+let decoder ?(max_frame = default_max_frame) () =
+  if max_frame < 1 then invalid_arg "Frame.decoder: max_frame must be >= 1";
+  { max_frame; buf = Bytes.create 4096; len = 0; dead = false }
+
+let feed d ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Frame.feed";
+  if not d.dead then begin
+    if d.len + len > Bytes.length d.buf then begin
+      let cap = ref (Bytes.length d.buf) in
+      while d.len + len > !cap do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit d.buf 0 b 0 d.len;
+      d.buf <- b
+    end;
+    Bytes.blit_string s pos d.buf d.len len;
+    d.len <- d.len + len
+  end
+
+let next d =
+  if d.dead then `Oversized d.max_frame
+  else if d.len < 4 then `Await
+  else begin
+    (* The length word is unsigned on the wire; anything whose top bit
+       is set is far above any sane limit, so map it to max_int. *)
+    let n =
+      let raw = Int32.to_int (Bytes.get_int32_be d.buf 0) in
+      if raw < 0 then max_int else raw
+    in
+    if n > d.max_frame then begin
+      d.dead <- true;
+      `Oversized n
+    end
+    else if d.len < 4 + n then `Await
+    else begin
+      let payload = Bytes.sub_string d.buf 4 n in
+      let rest = d.len - 4 - n in
+      Bytes.blit d.buf (4 + n) d.buf 0 rest;
+      d.len <- rest;
+      `Frame payload
+    end
+  end
+
+let buffered d = d.len
+
+let write_frame fd payload =
+  let b = encode payload in
+  let n = String.length b in
+  let written = ref 0 in
+  while !written < n do
+    written :=
+      !written + Unix.write_substring fd b !written (n - !written)
+  done
+
+let read_frame d fd =
+  let chunk = Bytes.create 8192 in
+  let rec go () =
+    match next d with
+    | `Frame _ as f -> f
+    | `Oversized _ as o -> o
+    | `Await -> (
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> `Eof
+      | n ->
+        feed d (Bytes.sub_string chunk 0 n);
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        `Eof)
+  in
+  go ()

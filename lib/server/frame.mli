@@ -1,0 +1,56 @@
+(** Length-prefixed framing for the wire protocol.
+
+    A frame is a 4-byte big-endian payload length followed by the
+    payload bytes (UTF-8 JSON at the protocol layer; framing itself is
+    payload-agnostic).  Frames are bounded: a peer announcing a length
+    above the limit is rejected before any payload is read, so a
+    malicious or corrupted length cannot make the server allocate or
+    buffer unbounded memory.
+
+    The decoder is a pure incremental state machine ([feed] bytes in,
+    [next] frames out) so it is unit-testable without sockets; thin
+    {!read_frame}/{!write_frame} helpers run it over a file
+    descriptor. *)
+
+val default_max_frame : int
+(** 1 MiB. *)
+
+val encode : string -> string
+(** The frame bytes for one payload: 4-byte big-endian length, then the
+    payload verbatim. *)
+
+(** {1 Incremental decoding} *)
+
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+(** [max_frame] bounds the {e payload} length (default
+    {!default_max_frame}, must be >= 1). *)
+
+val feed : decoder -> ?pos:int -> ?len:int -> string -> unit
+(** Append received bytes.  Feeding after an [`Oversized] result is a
+    no-op: the stream is desynchronized beyond repair. *)
+
+val next : decoder -> [ `Frame of string | `Await | `Oversized of int ]
+(** The next complete frame, if the fed bytes hold one.  [`Await] means
+    more bytes are needed; [`Oversized n] means the peer announced an
+    [n]-byte payload above the limit (terminal — the decoder refuses
+    further input).  Partial trailing frames are kept buffered across
+    calls. *)
+
+val buffered : decoder -> int
+(** Bytes fed but not yet returned as frames. *)
+
+(** {1 Blocking descriptor I/O} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame with {!encode}; raises [Unix.Unix_error] as
+    [Unix.write] does (e.g. [EPIPE] on a closed peer). *)
+
+val read_frame :
+  decoder -> Unix.file_descr ->
+  [ `Frame of string | `Eof | `Oversized of int | `Timeout ]
+(** Read until the decoder yields a frame, EOF, or the descriptor's
+    receive timeout ([SO_RCVTIMEO]) expires.  Bytes beyond the frame
+    stay buffered in the decoder for the next call (pipelined
+    clients). *)

@@ -1,0 +1,173 @@
+module Json = Cf_obs.Json
+
+let version = 1
+
+type error_code =
+  | Bad_json
+  | Bad_request
+  | Unsupported_version
+  | Handshake_required
+  | Unknown_op
+  | Parse_error
+  | Plan_failed
+  | Rejected
+  | Rate_limited
+  | Timed_out
+  | Tripped
+  | Oversized_frame
+  | Shutting_down
+
+let codes =
+  [
+    (Bad_json, "bad_json");
+    (Bad_request, "bad_request");
+    (Unsupported_version, "unsupported_version");
+    (Handshake_required, "handshake_required");
+    (Unknown_op, "unknown_op");
+    (Parse_error, "parse_error");
+    (Plan_failed, "plan_failed");
+    (Rejected, "rejected");
+    (Rate_limited, "rate_limited");
+    (Timed_out, "timed_out");
+    (Tripped, "tripped");
+    (Oversized_frame, "oversized_frame");
+    (Shutting_down, "shutting_down");
+  ]
+
+let code_string c = List.assoc c codes
+let code_of_string s =
+  List.find_map (fun (c, n) -> if n = s then Some c else None) codes
+
+type request =
+  | Hello of { version : int; tenant : string }
+  | Plan of {
+      serve : bool;
+      src : string;
+      strategy : Cf_core.Strategy.t;
+      search_radius : int option;
+      timeout : float option;
+    }
+  | Stats
+  | Health
+
+let strategy_of_string s =
+  List.find_opt
+    (fun st -> Cf_core.Strategy.to_string st = s)
+    Cf_core.Strategy.all
+
+(* Field accessors tolerating absence; [int_field] additionally rejects
+   non-integral numbers so "search_radius": 1.5 is a schema error, not a
+   silent truncation. *)
+let str_field name j = Option.bind (Json.member name j) Json.str
+let num_field name j = Option.bind (Json.member name j) Json.num
+
+let int_field name j =
+  match num_field name j with
+  | None -> Ok None
+  | Some x when Float.is_integer x -> Ok (Some (int_of_float x))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let request_of_json j =
+  match j with
+  | Json.Obj _ -> (
+    match str_field "op" j with
+    | None -> Error (Bad_request, "missing \"op\" field")
+    | Some "hello" -> (
+      match int_field "v" j with
+      | Error msg -> Error (Bad_request, msg)
+      | Ok None ->
+        Error (Unsupported_version, "missing \"v\"; this server speaks 1")
+      | Ok (Some v) when v <> version ->
+        Error
+          ( Unsupported_version,
+            Printf.sprintf "client speaks %d; this server speaks %d" v version
+          )
+      | Ok (Some v) ->
+        let tenant =
+          match str_field "tenant" j with
+          | Some t when t <> "" -> t
+          | _ -> "default"
+        in
+        Ok (Hello { version = v; tenant }))
+    | Some (("plan" | "plan_serve") as op) -> (
+      match str_field "nest" j with
+      | None -> Error (Bad_request, "missing \"nest\" field")
+      | Some src -> (
+        let strategy =
+          match str_field "strategy" j with
+          | None -> Ok Cf_core.Strategy.Nonduplicate
+          | Some s -> (
+            match strategy_of_string s with
+            | Some st -> Ok st
+            | None -> Error (Printf.sprintf "unknown strategy %S" s))
+        in
+        match (strategy, int_field "search_radius" j) with
+        | Error msg, _ | _, Error msg -> Error (Bad_request, msg)
+        | Ok strategy, Ok search_radius ->
+          Ok
+            (Plan
+               {
+                 serve = op = "plan_serve";
+                 src;
+                 strategy;
+                 search_radius;
+                 timeout = num_field "timeout" j;
+               })))
+    | Some "stats" -> Ok Stats
+    | Some "health" -> Ok Health
+    | Some op -> Error (Unknown_op, Printf.sprintf "unknown op %S" op))
+  | _ -> Error (Bad_request, "request must be a JSON object")
+
+let request_to_json = function
+  | Hello { version; tenant } ->
+    Json.Obj
+      [
+        ("op", Json.Str "hello");
+        ("v", Json.Num (float_of_int version));
+        ("tenant", Json.Str tenant);
+      ]
+  | Plan { serve; src; strategy; search_radius; timeout } ->
+    Json.Obj
+      (("op", Json.Str (if serve then "plan_serve" else "plan"))
+       :: ("nest", Json.Str src)
+       :: ("strategy", Json.Str (Cf_core.Strategy.to_string strategy))
+       :: (match search_radius with
+          | None -> []
+          | Some r -> [ ("search_radius", Json.Num (float_of_int r)) ])
+      @ (match timeout with
+        | None -> []
+        | Some t -> [ ("timeout", Json.Num t) ]))
+  | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
+  | Health -> Json.Obj [ ("op", Json.Str "health") ]
+
+let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
+
+let hello_ok =
+  ok
+    [
+      ("op", Json.Str "hello");
+      ("protocol", Json.Num (float_of_int version));
+      ("server", Json.Str "cfalloc");
+    ]
+
+let error_response ?detail code =
+  let msg =
+    match detail with
+    | Some d -> d
+    | None -> code_string code
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ( "error",
+        Json.Obj [ ("code", Json.Str (code_string code)); ("msg", Json.Str msg) ]
+      );
+    ]
+
+let is_ok j =
+  match Json.member "ok" j with Some (Json.Bool true) -> true | _ -> false
+
+let error_code_of j =
+  match Json.member "error" j with
+  | Some e -> Option.bind (str_field "code" e) code_of_string
+  | None -> None

@@ -1,0 +1,83 @@
+(** The planning server's wire protocol: JSON payloads inside
+    {!Frame}s.
+
+    Every payload is one JSON object.  A connection starts with a
+    [hello] handshake carrying the protocol version and the caller's
+    tenant name; the server answers with the version it speaks (today
+    only version 1) and rejects incompatible clients with
+    [unsupported_version] before any work is accepted.  After the
+    handshake the client sends requests ([plan], [plan_serve], [stats],
+    [health]) and reads one response per request, in order.
+
+    Success responses carry ["ok": true]; failures carry ["ok": false]
+    and an ["error"] object with a stable machine-readable [code] plus a
+    human-readable [msg].  All parsing here is pure — no sockets — so
+    the full schema is unit-testable. *)
+
+val version : int
+(** The protocol version this build speaks: 1. *)
+
+(** {1 Error codes} *)
+
+type error_code =
+  | Bad_json  (** frame payload is not valid JSON *)
+  | Bad_request  (** JSON is valid but violates the schema *)
+  | Unsupported_version  (** handshake version mismatch *)
+  | Handshake_required  (** a request arrived before [hello] *)
+  | Unknown_op
+  | Parse_error  (** the nest source failed to parse/validate *)
+  | Plan_failed  (** the planner raised on a well-formed nest *)
+  | Rejected  (** admission control shed the request, or queue full *)
+  | Rate_limited  (** the tenant's token bucket is empty *)
+  | Timed_out
+  | Tripped  (** circuit breaker open for the strategy *)
+  | Oversized_frame
+  | Shutting_down
+
+val codes : (error_code * string) list
+(** Every code with its stable wire name. *)
+
+val code_string : error_code -> string
+(** Stable wire names, e.g. [Rejected -> "rejected"]. *)
+
+val code_of_string : string -> error_code option
+
+(** {1 Requests} *)
+
+type request =
+  | Hello of { version : int; tenant : string }
+  | Plan of {
+      serve : bool;  (** [plan_serve]: fall back instead of rejecting *)
+      src : string;  (** loop nest in concrete DSL syntax *)
+      strategy : Cf_core.Strategy.t;
+      search_radius : int option;
+      timeout : float option;  (** relative deadline, seconds *)
+    }
+  | Stats
+  | Health
+
+val request_of_json :
+  Cf_obs.Json.t -> (request, error_code * string) result
+(** Decode one request object.  Unknown fields are ignored (forward
+    compatibility); a missing or non-1 [v] on [hello] yields
+    [Unsupported_version]; unknown [op] yields [Unknown_op]. *)
+
+val request_to_json : request -> Cf_obs.Json.t
+(** Encode (used by the client; [request_of_json] inverts it). *)
+
+(** {1 Responses} *)
+
+val hello_ok : Cf_obs.Json.t
+(** [{ok, op:"hello", protocol:1, server:"cfalloc"}]. *)
+
+val error_response : ?detail:string -> error_code -> Cf_obs.Json.t
+(** [{ok:false, error:{code, msg}}]. *)
+
+val ok : (string * Cf_obs.Json.t) list -> Cf_obs.Json.t
+(** An [{ok:true, ...fields}] response object. *)
+
+val is_ok : Cf_obs.Json.t -> bool
+val error_code_of : Cf_obs.Json.t -> error_code option
+(** The [error.code] of a failure response, if present and known. *)
+
+val strategy_of_string : string -> Cf_core.Strategy.t option

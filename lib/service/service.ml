@@ -1,3 +1,5 @@
+module Histogram = Cf_obs.Histogram
+
 type completion = {
   plan : Cf_pipeline.Pipeline.t;
   cache_hit : bool;
@@ -388,11 +390,29 @@ let plan_many ?strategy ?search_radius ?timeout t nests =
        (fun nest -> enqueue ~block:true ?strategy ?search_radius ?timeout t nest)
        nests)
 
-let plan_retry ?(max_attempts = 5) ?(backoff = 0.001) ?strategy ?search_radius
-    ?timeout t nest =
+let retry_delay ?(backoff = 0.001) ?(jitter = 0.1) rng attempt =
+  if attempt < 1 then invalid_arg "Service.retry_delay: attempt must be >= 1";
+  if backoff < 0. then invalid_arg "Service.retry_delay: backoff must be >= 0";
+  if jitter < 0. then invalid_arg "Service.retry_delay: jitter must be >= 0";
+  let base = backoff *. float_of_int (1 lsl (min 30 (attempt - 1))) in
+  min 0.1 (base *. (1. +. (jitter *. Cf_fault.Rng.float rng)))
+
+let plan_retry ?(max_attempts = 5) ?(backoff = 0.001) ?(jitter = 0.1)
+    ?jitter_seed ?strategy ?search_radius ?timeout t nest =
   if max_attempts < 1 then
     invalid_arg "Service.plan_retry: max_attempts must be >= 1";
   if backoff < 0. then invalid_arg "Service.plan_retry: backoff must be >= 0";
+  if jitter < 0. then invalid_arg "Service.plan_retry: jitter must be >= 0";
+  (* Jitter decorrelates retry storms: simultaneous rejectees would
+     otherwise sleep identical schedules and collide on every attempt.
+     The stream is seeded (SplitMix64), so tests pin [jitter_seed] and
+     see exact delays via {!retry_delay}. *)
+  let rng =
+    Cf_fault.Rng.make
+      (match jitter_seed with
+      | Some s -> s
+      | None -> Hashtbl.hash (Unix.gettimeofday (), Domain.self ()))
+  in
   let rec go attempt =
     match plan_one ?strategy ?search_radius ?timeout t nest with
     | Rejected when attempt < max_attempts ->
@@ -404,12 +424,26 @@ let plan_retry ?(max_attempts = 5) ?(backoff = 0.001) ?strategy ?search_radius
       else begin
         (* Exponential backoff, capped so a long retry chain cannot
            stall the caller for more than ~100ms per attempt. *)
-        Unix.sleepf (min 0.1 (backoff *. float_of_int (1 lsl (attempt - 1))));
+        Unix.sleepf (retry_delay ~backoff ~jitter rng attempt);
         go (attempt + 1)
       end
     | o -> o
   in
   go 1
+
+(* Planned on the caller's thread, bypassing the queue: boot-time cache
+   warming must not contend with (or be shed by) live traffic, and the
+   caller already holds the replayed request parameters. *)
+let warm ?(strategy = Cf_core.Strategy.Nonduplicate) ?search_radius t nest =
+  match t.planner with
+  | None -> false
+  | Some p -> (
+    try
+      let _plan, _hit =
+        Planner.plan ~obs:t.obs ~strategy ?search_radius p nest
+      in
+      true
+    with _ -> false)
 
 let inject_worker_crash t =
   Mutex.lock t.lock;

@@ -115,9 +115,18 @@ val plan_many :
     bounded queue — then awaits all outcomes, in input order.  Nests
     enqueued after {!shutdown} closes the queue come back {!Rejected}. *)
 
+val retry_delay : ?backoff:float -> ?jitter:float -> Cf_fault.Rng.t -> int -> float
+(** [retry_delay rng attempt] is the sleep {!plan_retry} takes after the
+    given 1-based attempt: [backoff · 2^(attempt−1) · (1 + jitter·u)]
+    seconds with [u] drawn uniformly from [\[0, 1)] off [rng], capped at
+    100ms.  Exposed so tests can assert the exact schedule for a pinned
+    seed. *)
+
 val plan_retry :
   ?max_attempts:int ->
   ?backoff:float ->
+  ?jitter:float ->
+  ?jitter_seed:int ->
   ?strategy:Cf_core.Strategy.t ->
   ?search_radius:int ->
   ?timeout:float ->
@@ -126,10 +135,27 @@ val plan_retry :
   outcome
 (** {!plan_one} that retries {!Rejected} outcomes (queue full) up to
     [max_attempts] times (default 5, must be >= 1), sleeping
-    [backoff · 2^(attempt−1)] seconds between attempts (default 1ms,
-    capped at 100ms per attempt).  Retrying stops immediately once the
-    service is shut down — those rejections are permanent.  Any other
-    outcome is returned as-is. *)
+    {!retry_delay} between attempts — exponential backoff (default
+    [backoff] 1ms, capped at 100ms per attempt) stretched by up to
+    [jitter] (default 0.1, i.e. +10%) of seeded pseudo-randomness so
+    concurrent retriers decorrelate instead of re-colliding in lockstep.
+    [jitter_seed] pins the {!Cf_fault.Rng} stream for deterministic
+    tests; by default each call seeds itself from the clock and domain.
+    Retrying stops immediately once the service is shut down — those
+    rejections are permanent.  Any other outcome is returned as-is. *)
+
+val warm :
+  ?strategy:Cf_core.Strategy.t ->
+  ?search_radius:int ->
+  t ->
+  Cf_loop.Nest.t ->
+  bool
+(** Plan [nest] synchronously on the {e caller's} thread through the
+    shared plan cache, bypassing the submission queue, deadlines and the
+    circuit breaker.  Returns [false] when the cache is disabled or the
+    planner rejects the nest (nothing is raised).  This is how a server
+    replaying its plan journal re-warms the cache at boot without
+    contending with live traffic. *)
 
 val inject_worker_crash : t -> unit
 (** Fault injection for tests: the next worker to look at the queue
@@ -187,7 +213,7 @@ type stats = {
   queue_hwm : int;  (** queue-depth high-water mark *)
   uptime : float;  (** seconds since {!create} *)
   throughput : float;  (** completed requests per second of uptime *)
-  latency : Histogram.summary;  (** completed requests only *)
+  latency : Cf_obs.Histogram.summary;  (** completed requests only *)
   cache : Cf_cache.Memo.stats option;  (** [None] when cache disabled *)
   health : health;  (** liveness/breaker snapshot, same instant *)
 }

@@ -3,6 +3,7 @@
 
 open Testutil
 open Cf_service
+module Histogram = Cf_obs.Histogram
 
 let describe plan = Format.asprintf "%a" Cf_pipeline.Pipeline.describe plan
 
@@ -91,7 +92,9 @@ let deterministic_cases =
 
 (* Occupy every worker with slow requests (exact analysis of a larger
    matmul), so queue/deadline behavior is observable deterministically. *)
-let slow_nest = Cf_exec.Matmul.nest ~m:6
+(* Slow enough (~10ms) that tests can observe it in flight even on a
+   fast box polling at 1ms. *)
+let slow_nest = Cf_exec.Matmul.nest ~m:12
 let slow_strategy = Cf_core.Strategy.Min_duplicate
 
 let wait_until ?(attempts = 2000) pred =
@@ -407,11 +410,127 @@ let histogram_cases =
         feq "p99" 0.02 s.Histogram.p99);
   ]
 
+(* --- Half-open probing under concurrent submissions. --- *)
+
+let half_open_cases =
+  [
+    Alcotest.test_case "concurrent submissions trip while the probe runs"
+      `Quick (fun () ->
+        (* Two workers: one runs the (slow) half-open probe while the
+           other keeps popping concurrent submissions — every one of
+           them must fast-fail [Tripped]; only the probe touches the
+           planner, and its success recloses the breaker.  The strategy
+           must be one the bad nest actually fails under (the min-*
+           tiers accept it), and the probe slow enough (~30ms) to still
+           be in flight while the concurrent batch resolves. *)
+        let strategy = Cf_core.Strategy.Duplicate in
+        let probe_nest = Cf_exec.Matmul.nest ~m:24 in
+        let svc =
+          Service.create ~domains:2 ~queue_depth:16 ~cache:None
+            ~breaker:(Some { Service.failure_threshold = 1; open_budget = 1 })
+            ()
+        in
+        let breaker_state () =
+          (List.find
+             (fun b -> b.Service.strategy = strategy)
+             (Service.health svc).Service.breaker_states)
+            .Service.state
+        in
+        expect "single failure trips" "failed"
+          (Service.plan_one ~strategy svc (Lazy.force bad_nest));
+        check_bool "breaker open" true
+          (match breaker_state () with
+          | Service.Breaker_open _ -> true
+          | _ -> false);
+        (* Budget 1: this submission spends it and becomes the probe. *)
+        let probe = Service.submit ~strategy svc probe_nest in
+        check_bool "probe admitted half-open" true
+          (wait_until (fun () -> breaker_state () = Service.Breaker_half_open));
+        let concurrent =
+          List.init 4 (fun _ -> Service.submit ~strategy svc l1)
+        in
+        List.iteri
+          (fun i ticket ->
+            expect
+              (Printf.sprintf "concurrent submission %d" i)
+              "tripped" (Service.await ticket))
+          concurrent;
+        check_bool "still probing while others tripped" true
+          (breaker_state () = Service.Breaker_half_open);
+        expect "probe succeeds" "done" (Service.await probe);
+        check_bool "probe success recloses" true
+          (breaker_state () = Service.Breaker_closed 0);
+        expect "closed: requests plan again" "done"
+          (Service.plan_one ~strategy svc l1);
+        let snap =
+          List.find
+            (fun b -> b.Service.strategy = strategy)
+            (Service.stats svc).Service.health.Service.breaker_states
+        in
+        check_int "exactly one trip" 1 snap.Service.trips;
+        check_int "all concurrents fast-failed" 4
+          (Service.stats svc).Service.tripped;
+        Service.shutdown svc);
+  ]
+
+(* --- Seeded retry jitter. --- *)
+
+let jitter_cases =
+  [
+    Alcotest.test_case "retry_delay is deterministic per seed" `Quick
+      (fun () ->
+        let delays seed =
+          let rng = Cf_fault.Rng.make seed in
+          List.init 5 (fun i ->
+              Service.retry_delay ~backoff:0.001 ~jitter:0.1 rng (i + 1))
+        in
+        check_bool "same seed, same schedule" true (delays 42 = delays 42);
+        check_bool "different seed, different schedule" true
+          (delays 42 <> delays 43));
+    Alcotest.test_case "retry_delay bounds" `Quick (fun () ->
+        let rng = Cf_fault.Rng.make 7 in
+        for attempt = 1 to 6 do
+          let base = 0.001 *. float_of_int (1 lsl (attempt - 1)) in
+          let d = Service.retry_delay ~backoff:0.001 ~jitter:0.1 rng attempt in
+          check_bool
+            (Printf.sprintf "attempt %d: >= backoff ramp" attempt)
+            true
+            (d >= min 0.1 base);
+          check_bool
+            (Printf.sprintf "attempt %d: <= ramp + 10%% jitter" attempt)
+            true
+            (d <= min 0.1 (base *. 1.1))
+        done;
+        (* The cap holds no matter how far the ramp has climbed. *)
+        feq "capped at 100ms"
+          0.1
+          (Service.retry_delay ~backoff:0.001 ~jitter:0.1 rng 30);
+        feq "jitter 0 is the pure ramp" 0.002
+          (Service.retry_delay ~backoff:0.001 ~jitter:0. rng 2);
+        (match Service.retry_delay rng 0 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "attempt 0 must be rejected");
+        (match Service.retry_delay ~jitter:(-0.5) rng 1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "negative jitter must be rejected"));
+    Alcotest.test_case "plan_retry takes a pinned jitter seed" `Quick
+      (fun () ->
+        let svc = Service.create ~domains:1 () in
+        expect "seeded retry still plans" "done"
+          (Service.plan_retry ~jitter_seed:1234 svc l1);
+        (match Service.plan_retry ~jitter:(-1.) svc l1 with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "negative jitter must be rejected");
+        Service.shutdown svc);
+  ]
+
 let suites =
   [
     ("service-determinism", deterministic_cases);
     ("service-pressure", pressure_cases);
     ("service-lifecycle", lifecycle_cases);
     ("service-resilience", resilience_cases);
+    ("service-half-open", half_open_cases);
+    ("service-jitter", jitter_cases);
     ("service-histogram", histogram_cases);
   ]
