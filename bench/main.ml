@@ -1345,6 +1345,7 @@ let check_rows ~quick () =
         oracles;
         corpus_dir = None;
         max_shrink_steps = 100;
+        unnormalized = false;
       }
     in
     let stats, s = time2 (fun () -> Cf_check.Fuzz.run config) in
@@ -1545,6 +1546,155 @@ let run_mincomm ~quick =
   print_mincomm_rows rows;
   write_mincomm_json ~file:(json_file "BENCH_mincomm.json") rows;
   List.for_all (fun r -> r.mm_pass) rows
+
+(* E22: the normalization front door.  Replays the unnormalized
+   generator's seeded stream (skewed reads, unrolled bodies, stretched
+   subscripts, shifted bounds), normalizes every nest, machine-checks
+   every equivalence witness (syntactic reconstruction + bit-for-bit
+   sequential replay), and measures how many nests reach a plan: raw
+   (handing the unnormalized nest straight to the planner) vs through
+   Pipeline.plan_normalized.  Pass needs zero witness failures and
+   (aggregate row) >= 60% of nests reaching a plan via the front
+   door. *)
+
+type normalize_row = {
+  nz_label : string;
+  nz_cases : int;
+  nz_folds : int;
+  nz_hoists : int;
+  nz_compress : int;
+  nz_shifts : int;
+  nz_witness_fail : int;
+  nz_raw_planned : int;  (* plans without normalization *)
+  nz_planned : int;  (* plans through the front door *)
+  nz_frac : float;  (* planned / cases *)
+  nz_s : float;
+  nz_pass : bool;
+}
+
+let normalize_rows ~quick () =
+  let count = if quick then 60 else 200 in
+  let seed = 42 in
+  let cases = Array.make 4 0
+  and folds = Array.make 4 0
+  and hoists = Array.make 4 0
+  and compresses = Array.make 4 0
+  and shifts = Array.make 4 0
+  and witness_fail = Array.make 4 0
+  and raw_planned = Array.make 4 0
+  and planned = Array.make 4 0
+  and seconds = Array.make 4 0. in
+  for case = 0 to count - 1 do
+    let depth = 1 + (case mod 3) in
+    let nest =
+      Cf_check.Gen.generate_unnormalized ~seed ~index:case
+        (Cf_check.Gen.default ~depth)
+    in
+    let (), s =
+      time (fun () ->
+          cases.(depth) <- cases.(depth) + 1;
+          let r = Cf_normalize.Normalize.normalize nest in
+          List.iter
+            (fun step ->
+              let bump a = a.(depth) <- a.(depth) + 1 in
+              match Cf_normalize.Witness.step_name step with
+              | "fold" -> bump folds
+              | "hoist" -> bump hoists
+              | "compress" -> bump compresses
+              | _ -> bump shifts)
+            r.Cf_normalize.Normalize.steps;
+          (match Cf_normalize.Normalize.check r with
+          | Ok () -> ()
+          | Error _ -> witness_fail.(depth) <- witness_fail.(depth) + 1);
+          (match Cf_pipeline.Pipeline.plan_serve nest with
+          | _ -> raw_planned.(depth) <- raw_planned.(depth) + 1
+          | exception Invalid_argument _ -> ());
+          match Cf_pipeline.Pipeline.plan_normalized nest with
+          | Ok _ -> planned.(depth) <- planned.(depth) + 1
+          | Error _ -> ())
+    in
+    seconds.(depth) <- seconds.(depth) +. s
+  done;
+  let row label c f h cp sh wf rp p t ~aggregate =
+    let frac = if c = 0 then 1.0 else float_of_int p /. float_of_int c in
+    {
+      nz_label = label;
+      nz_cases = c;
+      nz_folds = f;
+      nz_hoists = h;
+      nz_compress = cp;
+      nz_shifts = sh;
+      nz_witness_fail = wf;
+      nz_raw_planned = rp;
+      nz_planned = p;
+      nz_frac = frac;
+      nz_s = t;
+      nz_pass = wf = 0 && ((not aggregate) || frac >= 0.6);
+    }
+  in
+  let depth_rows =
+    List.map
+      (fun d ->
+        row
+          (Printf.sprintf "depth-%d" d)
+          cases.(d) folds.(d) hoists.(d) compresses.(d) shifts.(d)
+          witness_fail.(d) raw_planned.(d) planned.(d) seconds.(d)
+          ~aggregate:false)
+      [ 1; 2; 3 ]
+  in
+  let sum a = a.(1) + a.(2) + a.(3) in
+  depth_rows
+  @ [
+      row "all" (sum cases) (sum folds) (sum hoists) (sum compresses)
+        (sum shifts) (sum witness_fail) (sum raw_planned) (sum planned)
+        (seconds.(1) +. seconds.(2) +. seconds.(3))
+        ~aggregate:true;
+    ]
+
+let print_normalize_rows rows =
+  section
+    "E22 - normalization front door: witnessed transforms, reach-a-plan \
+     fraction";
+  Printf.printf "%-8s %6s %6s %6s %9s %7s %8s %8s %8s %6s %8s %5s\n" "depth"
+    "cases" "folds" "hoists" "compress" "shifts" "wit-fail" "raw-plan"
+    "planned" "frac" "t(s)" "pass";
+  List.iter
+    (fun r ->
+      Printf.printf "%-8s %6d %6d %6d %9d %7d %8d %8d %8d %6.2f %8.3f %5b\n"
+        r.nz_label r.nz_cases r.nz_folds r.nz_hoists r.nz_compress r.nz_shifts
+        r.nz_witness_fail r.nz_raw_planned r.nz_planned r.nz_frac r.nz_s
+        r.nz_pass)
+    rows
+
+let write_normalize_json ~file rows =
+  let row_json r =
+    Printf.sprintf
+      "    {\"depth\": \"%s\", \"cases\": %d, \"folds\": %d, \
+       \"hoists\": %d, \"compressions\": %d, \"shifts\": %d, \
+       \"witness_failures\": %d, \"raw_planned\": %d, \"planned\": %d, \
+       \"planned_frac\": %.4f, \"t_s\": %.6f, \"pass\": %b}"
+      (json_escape r.nz_label) r.nz_cases r.nz_folds r.nz_hoists r.nz_compress
+      r.nz_shifts r.nz_witness_fail r.nz_raw_planned r.nz_planned r.nz_frac
+      r.nz_s r.nz_pass
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"normalize\",\n\
+    \  \"seed\": 42,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
+let run_normalize ~quick =
+  let rows = normalize_rows ~quick () in
+  print_normalize_rows rows;
+  write_normalize_json ~file:(json_file "BENCH_normalize.json") rows;
+  List.for_all (fun r -> r.nz_pass) rows
 
 (* E21: the planning server end to end — framed JSON over a Unix
    socket, admission control, load shedding.  Three phases: a soak of
@@ -1873,6 +2023,7 @@ let () =
   let obs_only = Array.exists (String.equal "--obs") Sys.argv in
   let check_only = Array.exists (String.equal "--check") Sys.argv in
   let mincomm_only = Array.exists (String.equal "--mincomm") Sys.argv in
+  let normalize_only = Array.exists (String.equal "--normalize") Sys.argv in
   let server_only = Array.exists (String.equal "--server") Sys.argv in
   if Array.exists (String.equal "--probe") Sys.argv then begin
     probe ();
@@ -1890,6 +2041,12 @@ let () =
        --quick; exits nonzero when a servable run mispredicts its
        volume or under 80% of rejected nests are servable. *)
     if not (run_mincomm ~quick) then exit 1
+  end
+  else if normalize_only then begin
+    (* Normalization experiment only (E22), fewer cases under --quick;
+       exits nonzero on a witness failure or when under 60% of
+       unnormalized nests reach a plan through the front door. *)
+    if not (run_normalize ~quick) then exit 1
   end
   else if check_only then begin
     (* Fuzzing-throughput experiment only (E18), fewer cases under
@@ -1955,6 +2112,7 @@ let () =
     ignore (run_obs ~quick:false);
     ignore (run_check ~quick:false);
     ignore (run_mincomm ~quick:false);
+    ignore (run_normalize ~quick:false);
     ignore (run_server ~quick:false);
     run_benchmarks ()
   end

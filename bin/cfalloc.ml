@@ -129,11 +129,27 @@ let handle f =
 
 (* analyze *)
 
-let analyze_run level file strategy radius =
+let analyze_run level file strategy radius normalize =
   setup_logs level;
   handle (fun () ->
       each_nest file (fun nest ->
           Format.printf "@[<v>input loop:@,%a@]@." Cf_loop.Nest.pp nest;
+          let nest =
+            if not normalize then nest
+            else begin
+              let r = Cf_normalize.Normalize.normalize nest in
+              Format.printf "@[<v>%a@]@." Cf_normalize.Normalize.describe r;
+              (match Cf_normalize.Normalize.check r with
+              | Ok () ->
+                if r.Cf_normalize.Normalize.steps <> [] then
+                  Format.printf "equivalence witness verified: true@."
+              | Error msg -> failwith ("normalization witness failed: " ^ msg));
+              if r.Cf_normalize.Normalize.steps <> [] then
+                Format.printf "@[<v>normalized loop:@,%a@]@." Cf_loop.Nest.pp
+                  r.Cf_normalize.Normalize.normalized;
+              r.Cf_normalize.Normalize.normalized
+            end
+          in
           let issues = Cf_pipeline.Diagnose.check nest in
           List.iter
             (fun i -> Format.printf "%a@." Cf_pipeline.Diagnose.pp_issue i)
@@ -158,10 +174,67 @@ let analyze_run level file strategy radius =
             end
           end))
 
+let normalize_flag =
+  Arg.(value & flag
+       & info [ "normalize" ]
+           ~doc:"Run the normalization front door first (fold, hoist, \
+                 compress, shift), verify its equivalence witness, and \
+                 analyze the normalized nest.")
+
 let analyze_cmd =
   let doc = "Analyze a loop nest and print its communication-free plan." in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const analyze_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg)
+    Term.(const analyze_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
+          $ normalize_flag)
+
+(* normalize *)
+
+let normalize_run level file plan_after =
+  setup_logs level;
+  let failed = ref false in
+  let code =
+    handle (fun () ->
+        each_nest file (fun nest ->
+            Format.printf "@[<v>input loop:@,%a@]@." Cf_loop.Nest.pp nest;
+            let r = Cf_normalize.Normalize.normalize nest in
+            Format.printf "@[<v>%a@]@." Cf_normalize.Normalize.describe r;
+            (match Cf_normalize.Normalize.check r with
+            | Ok () -> Format.printf "equivalence witness verified: true@."
+            | Error msg ->
+              failed := true;
+              Format.printf "equivalence witness FAILED: %s@." msg);
+            if r.Cf_normalize.Normalize.steps <> [] then
+              Format.printf "@[<v>normalized loop:@,%a@]@." Cf_loop.Nest.pp
+                r.Cf_normalize.Normalize.normalized;
+            if plan_after then
+              match Cf_pipeline.Pipeline.plan_normalized nest with
+              | Ok (_, planned) ->
+                (match planned with
+                | Cf_pipeline.Pipeline.Fallback (_, mc) ->
+                  Format.printf "@[<v>%a@]@." Cf_mincomm.Mincomm.describe mc
+                | Cf_pipeline.Pipeline.Exact plan ->
+                  Format.printf "%a@." Cf_pipeline.Pipeline.describe plan)
+              | Error (_, reason) ->
+                Format.printf "no plan: %s@." reason))
+  in
+  if code = 0 && !failed then 1 else code
+
+let normalize_cmd =
+  let doc =
+    "Normalize a loop nest (fold unrolled bodies, hoist non-uniform \
+     reads, compress strided subscripts, rebase shifted bounds) and \
+     machine-check the equivalence witness each transform emits: the \
+     inverted steps must reconstruct the input, and both nests must \
+     produce bit-for-bit identical memory on the sequential executor."
+  in
+  let plan_arg =
+    Arg.(value & flag
+         & info [ "plan" ]
+             ~doc:"Also run the planner on the normalized nest \
+                   (Pipeline.plan_normalized) and print the outcome.")
+  in
+  Cmd.v (Cmd.info "normalize" ~doc)
+    Term.(const normalize_run $ logs_arg $ file_arg $ plan_arg)
 
 (* transform *)
 
@@ -1000,12 +1073,21 @@ let batch_cmd =
 
 (* fuzz *)
 
-let fuzz_run level seed count depth oracle_names corpus_dir json max_shrink =
+let fuzz_run level seed count depth oracle_names corpus_dir json max_shrink
+    unnormalized =
   setup_logs level;
   let unknown = ref [] in
   let oracles =
     match oracle_names with
-    | None -> Cf_check.Oracle.all
+    | None ->
+      if unnormalized then
+        (* The other oracles assume uniformly generated input and would
+           drown the report in spurious failures on a raw unnormalized
+           stream; an explicit --oracle list overrides this default. *)
+        List.filter
+          (fun o -> o.Cf_check.Oracle.name = "normalize-roundtrip")
+          Cf_check.Oracle.all
+      else Cf_check.Oracle.all
     | Some names ->
       String.split_on_char ',' names
       |> List.filter_map (fun n ->
@@ -1050,6 +1132,7 @@ let fuzz_run level seed count depth oracle_names corpus_dir json max_shrink =
         oracles;
         corpus_dir = Some corpus_dir;
         max_shrink_steps = max_shrink;
+        unnormalized;
       }
     in
     let t0 = Unix.gettimeofday () in
@@ -1131,9 +1214,19 @@ let fuzz_cmd =
              ~doc:"Bound on greedy shrink steps per counterexample \
                    (default 500).")
   in
+  let unnormalized_arg =
+    Arg.(value & flag
+         & info [ "unnormalized" ]
+             ~doc:"Generate unnormalized nests (unrolled bodies, \
+                   non-unit strides, shifted bounds, skewed reads) via \
+                   a separate replayable stream.  Unless --oracle is \
+                   given, only the normalize-roundtrip oracle runs: the \
+                   others assume uniformly generated input.")
+  in
   Cmd.v (Cmd.info "fuzz" ~doc)
     Term.(const fuzz_run $ logs_arg $ seed_arg $ count_arg $ depth_arg
-          $ oracle_arg $ corpus_arg $ json_arg $ max_shrink_arg)
+          $ oracle_arg $ corpus_arg $ json_arg $ max_shrink_arg
+          $ unnormalized_arg)
 
 (* demo *)
 
@@ -1184,7 +1277,7 @@ let tenant_conv =
   Arg.conv (parse, print)
 
 let serve_run level socket tcp journal domains queue cache fsync_every
-    max_frame read_timeout capacity shed_start tenants =
+    max_frame read_timeout capacity shed_start tenants tenants_file =
   setup_logs level;
   handle (fun () ->
       if socket = None && tcp = None then
@@ -1204,6 +1297,7 @@ let serve_run level socket tcp journal domains queue cache fsync_every
           admit_capacity = capacity;
           shed_start;
           tenants;
+          tenants_file;
         }
       in
       let server = Cf_server.Server.start config in
@@ -1224,11 +1318,23 @@ let serve_run level socket tcp journal domains queue cache fsync_every
       Format.printf "ready@.";
       (* Keep stdout line-buffered progress visible to process managers
          (the CI smoke test waits for "ready"). *)
-      let stop_requested = ref false in
+      let stop_requested = ref false and reload_requested = ref false in
       let request_stop _ = stop_requested := true in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
       Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      (* SIGHUP = hot tenant-table reload; performed on the main loop,
+         not in the handler (signal context can't take locks safely). *)
+      (try
+         Sys.set_signal Sys.sighup
+           (Sys.Signal_handle (fun _ -> reload_requested := true))
+       with Invalid_argument _ -> ());
       while not !stop_requested do
+        if !reload_requested then begin
+          reload_requested := false;
+          match Cf_server.Server.reload_tenants server with
+          | Ok n -> Format.printf "reloaded %d tenant spec(s)@." n
+          | Error msg -> Format.printf "tenant reload failed: %s@." msg
+        end;
         try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
       done;
       Format.printf "shutting down@.";
@@ -1313,11 +1419,21 @@ let serve_cmd =
             "Tenant limits, e.g. gold:priority=9,weight=4,rate=100,burst=20 \
              (repeatable).")
   in
+  let tenants_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "tenants-file" ] ~docv:"PATH"
+          ~doc:
+            "Read tenant specs (one per line, # comments) from $(docv); \
+             re-read on the $(b,reload) protocol op or SIGHUP without \
+             dropping live connections.  Overrides --tenant.")
+  in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve_run $ logs_arg $ socket $ tcp $ journal $ domains $ queue
       $ cache $ fsync_every $ max_frame $ read_timeout $ capacity $ shed_start
-      $ tenants)
+      $ tenants $ tenants_file)
 
 let client_run level socket tcp tenant op strategy radius timeout serve count
     files =
@@ -1347,6 +1463,7 @@ let client_run level socket tcp tenant op strategy radius timeout serve count
             (match op with
             | "stats" -> show (Cf_server.Client.stats client)
             | "health" -> show (Cf_server.Client.health client)
+            | "reload" -> show (Cf_server.Client.reload client)
             | "plan" ->
               if files = [] then invalid_arg "client: no nest files given";
               List.iter
@@ -1390,7 +1507,8 @@ let client_cmd =
   let op =
     Arg.(
       value & opt string "plan"
-      & info [ "op" ] ~docv:"OP" ~doc:"One of plan, stats, health.")
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"One of plan, stats, health, reload.")
   in
   let strategy =
     Arg.(
@@ -1435,9 +1553,9 @@ let main =
   let doc = "communication-free data allocation for nested loops" in
   let info = Cmd.info "cfalloc" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ analyze_cmd; transform_cmd; simulate_cmd; trace_cmd; trace_check_cmd;
-      figures_cmd; compare_cmd; advise_cmd; allocate_cmd; cgen_cmd;
-      distribute_cmd; batch_cmd; bench_diff_cmd; fuzz_cmd; serve_cmd;
-      client_cmd; demo_cmd ]
+    [ analyze_cmd; normalize_cmd; transform_cmd; simulate_cmd; trace_cmd;
+      trace_check_cmd; figures_cmd; compare_cmd; advise_cmd; allocate_cmd;
+      cgen_cmd; distribute_cmd; batch_cmd; bench_diff_cmd; fuzz_cmd;
+      serve_cmd; client_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -22,6 +22,7 @@ type config = {
   oracles : Oracle.t list;
   corpus_dir : string option;
   max_shrink_steps : int;
+  unnormalized : bool;
 }
 
 let mixed_depths case = Gen.default ~depth:(1 + (case mod 3))
@@ -29,7 +30,10 @@ let mixed_depths case = Gen.default ~depth:(1 + (case mod 3))
 let run config =
   let checks = ref 0 and skips = ref 0 and failures = ref [] in
   for case = 0 to config.count - 1 do
-    let nest = Gen.generate ~seed:config.seed ~index:case (config.params case) in
+    let generate =
+      if config.unnormalized then Gen.generate_unnormalized else Gen.generate
+    in
+    let nest = generate ~seed:config.seed ~index:case (config.params case) in
     List.iter
       (fun oracle ->
         match Oracle.check oracle nest with
@@ -112,6 +116,7 @@ let to_json config stats =
       ("tool", Str "cfalloc fuzz");
       ("seed", Num (float_of_int config.seed));
       ("count", Num (float_of_int config.count));
+      ("unnormalized", Bool config.unnormalized);
       ( "oracles",
         List (List.map (fun o -> Str o.Oracle.name) config.oracles) );
       ("cases", Num (float_of_int stats.cases));

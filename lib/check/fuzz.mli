@@ -30,6 +30,11 @@ type config = {
   oracles : Oracle.t list;
   corpus_dir : string option;  (** persist minimized failures here *)
   max_shrink_steps : int;
+  unnormalized : bool;
+      (** generate {e unnormalized} nests via
+          {!Gen.generate_unnormalized} (a separate replayable stream);
+          meant for the [normalize-roundtrip] oracle — most other
+          oracles report spurious failures on non-uniform nests *)
 }
 
 val mixed_depths : int -> Gen.params

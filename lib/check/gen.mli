@@ -43,6 +43,20 @@ val generate : ?index:int -> seed:int -> params -> Cf_loop.Nest.t
 (** [generate ~seed ~index params] is case number [index] of the stream
     named by [seed] — a pure function of [(seed, index, params)]. *)
 
+val unnormalized : params -> Cf_loop.Nest.t QCheck.Gen.t
+(** {e Unnormalized} nests: a {!nest} draw seeded with the material the
+    {!Cf_normalize} front door exists to win back — optionally a
+    planted non-uniformly-generated read, a partial unroll of the
+    innermost loop (trip count padded to the factor), stretched
+    subscripts ([e ↦ g·e + r] on one array), and shifted loop bounds.
+    Combinations are independent, so the population covers everything
+    from already-normal nests to all four at once. *)
+
+val generate_unnormalized : ?index:int -> seed:int -> params -> Cf_loop.Nest.t
+(** Replayable [(seed, index)] stream of {!unnormalized} — the
+    [normalize-roundtrip] oracle's input, distinct from the {!generate}
+    stream. *)
+
 (** {2 Legacy fixed-shape generators}
 
     The generators the test suite historically kept private in

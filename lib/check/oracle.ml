@@ -361,6 +361,29 @@ let fallback_vs_seq nest =
     else Pass
   end
 
+(* normalize-roundtrip: the normalization front door proves its own
+   work.  Every emitted witness must pass both machine checks —
+   syntactic reconstruction of the original nest and bit-for-bit
+   sequential replay through the witness's data maps — and
+   [Pipeline.plan_normalized] must accept exactly the nests
+   normalization makes uniform. *)
+
+let normalize_roundtrip nest =
+  let r = Cf_normalize.Normalize.normalize nest in
+  match Cf_normalize.Normalize.check r with
+  | Error msg -> failf "witness check failed: %s" msg
+  | Ok () -> (
+      let n = r.Cf_normalize.Normalize.normalized in
+      let plannable =
+        Nest.cardinal n > 0 && Nest.all_uniformly_generated n
+      in
+      match Cf_pipeline.Pipeline.plan_normalized nest with
+      | Ok _ when plannable -> Pass
+      | Error _ when not plannable -> Pass
+      | Ok _ -> Fail "plan_normalized accepted a nest normalization left non-uniform"
+      | Error (_, reason) ->
+          failf "plan_normalized rejected a normalized nest: %s" reason)
+
 let all =
   [
     { name = "plan-vs-verify";
@@ -389,6 +412,11 @@ let all =
         "communication-minimal fallback runs bit-for-bit sequential; \
          predicted volume = serviced messages";
       check = fallback_vs_seq };
+    { name = "normalize-roundtrip";
+      doc =
+        "normalization witnesses reconstruct the original and replay \
+         bit-for-bit on the sequential executor";
+      check = normalize_roundtrip };
   ]
 
 let find name = List.find_opt (fun o -> String.equal o.name name) all

@@ -41,7 +41,16 @@ val all : t list
       verifies;
     - [cgen-roundtrip]: block-major execution of the transformed
       [forall] nest (the iteration order the C back end emits) matches
-      the sequential interpreter, and emission is deterministic. *)
+      the sequential interpreter, and emission is deterministic;
+    - [fallback-vs-seq]: the communication-minimal fallback tier runs
+      bit-for-bit sequential on both backends and its serviced message
+      count equals the planner's prediction;
+    - [normalize-roundtrip]: every {!Cf_normalize} witness passes both
+      machine checks — syntactic reconstruction of the original nest
+      and bit-for-bit sequential replay through the witness data maps —
+      and [Pipeline.plan_normalized] accepts exactly the nests
+      normalization makes uniformly generated.  The only oracle meant
+      for {e unnormalized} generator streams. *)
 
 val find : string -> t option
 val names : string list

@@ -1,0 +1,557 @@
+open Cf_loop
+
+type diag = { transform : string; array : string option; reason : string }
+
+type result = {
+  original : Nest.t;
+  normalized : Nest.t;
+  steps : Witness.step list;
+  rejected : diag list;
+}
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Names already taken in a nest: indices, arrays, free scalars. *)
+let used_names (nest : Nest.t) =
+  let scalars =
+    List.concat_map (fun (s : Stmt.t) -> Expr.scalars s.rhs) nest.body
+  in
+  Array.to_list (Nest.indices nest) @ Nest.arrays nest @ scalars
+
+let fresh_name used base =
+  let rec go k =
+    let c = if k = 0 then base else Printf.sprintf "%s%d" base k in
+    if List.mem c used then go (k + 1) else c
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Fold: roll an unrolled statement sequence back into a loop.         *)
+(* ------------------------------------------------------------------ *)
+
+exception Mismatch
+
+(* Deltas (traversal order: lhs subscripts, then rhs leaves) between
+   two same-shape statements; None when the shapes differ or a
+   difference is not a constant. *)
+let diff_stmt (s0 : Stmt.t) (s1 : Stmt.t) =
+  if not (String.equal s0.label s1.label) then None
+  else
+    let acc = ref [] in
+    let push d = acc := d :: !acc in
+    let aref (r0 : Aref.t) (r1 : Aref.t) =
+      if
+        (not (String.equal r0.array r1.array))
+        || Array.length r0.subscripts <> Array.length r1.subscripts
+      then raise Mismatch;
+      Array.iter2
+        (fun a b ->
+          match Affine.to_constant (Affine.sub b a) with
+          | Some c -> push c
+          | None -> raise Mismatch)
+        r0.subscripts r1.subscripts
+    in
+    let rec expr e0 e1 =
+      match (e0, e1) with
+      | Expr.Const a, Expr.Const b -> push (b - a)
+      | Expr.Scalar a, Expr.Scalar b when String.equal a b -> ()
+      | Expr.Index a, Expr.Index b when String.equal a b -> ()
+      | Expr.Read a, Expr.Read b -> aref a b
+      | Expr.Binop (o0, a0, b0), Expr.Binop (o1, a1, b1) when o0 = o1 ->
+          expr a0 a1;
+          expr b0 b1
+      | _ -> raise Mismatch
+    in
+    match
+      aref s0.lhs s1.lhs;
+      expr s0.rhs s1.rhs
+    with
+    | () -> Some (List.rev !acc)
+    | exception Mismatch -> None
+
+(* Rebuild the template statement with [+ delta·index] at each delta
+   position, consuming deltas in [diff_stmt] traversal order. *)
+let apply_deltas ~index (s : Stmt.t) deltas =
+  let ds = ref deltas in
+  let next () =
+    match !ds with
+    | d :: rest ->
+        ds := rest;
+        d
+    | [] -> assert false
+  in
+  let aref (r : Aref.t) =
+    Aref.make r.array
+      (Array.to_list
+         (Array.map
+            (fun e -> Affine.add e (Affine.term (next ()) index))
+            r.subscripts))
+  in
+  let rec expr = function
+    | Expr.Const a ->
+        let d = next () in
+        if d = 0 then Expr.Const a
+        else
+          Subst.expr_of_affine
+            (Affine.add (Affine.const a) (Affine.term d index))
+    | (Expr.Scalar _ | Expr.Index _) as e -> e
+    | Expr.Read r -> Expr.Read (aref r)
+    | Expr.Binop (op, a, b) ->
+        let a = expr a in
+        let b = expr b in
+        Expr.Binop (op, a, b)
+  in
+  let lhs = aref s.lhs in
+  let rhs = expr s.rhs in
+  assert (!ds = []);
+  Stmt.make ~label:s.label lhs rhs
+
+let try_fold (nest : Nest.t) =
+  let body = Array.of_list nest.body in
+  let m = Array.length body in
+  if m < 2 then None
+  else
+    let try_group g =
+      let copies = m / g in
+      let base =
+        (* deltas of copy 1 vs copy 0, per template statement *)
+        let rec go j acc =
+          if j >= g then Some (List.rev acc)
+          else
+            match diff_stmt body.(j) body.(g + j) with
+            | Some d -> go (j + 1) (d :: acc)
+            | None -> None
+        in
+        go 0 []
+      in
+      match base with
+      | None -> None
+      | Some base ->
+          let base = Array.of_list base in
+          let ok =
+            let check t j =
+              match diff_stmt body.(j) body.((t * g) + j) with
+              | Some d -> d = List.map (fun x -> x * t) base.(j)
+              | None -> false
+            in
+            let rec all t = t >= copies || (all_j t 0 && all (t + 1))
+            and all_j t j = j >= g || (check t j && all_j t (j + 1)) in
+            all 2
+          in
+          if not ok then None
+          else
+            let u = fresh_name (used_names nest) "u" in
+            let folded =
+              List.init g (fun j -> apply_deltas ~index:u body.(j) base.(j))
+            in
+            let levels =
+              Array.to_list nest.levels
+              @ [
+                  {
+                    Nest.var = u;
+                    lower = Affine.const 0;
+                    upper = Affine.const (copies - 1);
+                  };
+                ]
+            in
+            let nest' =
+              Nest.make ~declarations:nest.declarations levels folded
+            in
+            Some (nest', Witness.Fold { index = u; copies; group = g })
+    in
+    let rec search g =
+      if g > m / 2 then None
+      else if m mod g = 0 then
+        match try_group g with Some r -> Some r | None -> search (g + 1)
+      else search (g + 1)
+    in
+    search 1
+
+(* Iterate: a twice-unrolled nest re-rolls in two folds. *)
+let fold_phase nest =
+  let rec go nest steps budget =
+    if budget = 0 then (nest, steps)
+    else
+      match try_fold nest with
+      | None -> (nest, steps)
+      | Some (nest', w) -> go nest' (w :: steps) (budget - 1)
+  in
+  let nest, steps = go nest [] 4 in
+  (nest, List.rev steps)
+
+(* ------------------------------------------------------------------ *)
+(* Hoist: redirect non-uniform reads to fresh read-only aliases.       *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact alias checks enumerate the iteration space; stay exact only
+   at analysis scale. *)
+let alias_check_cap = 200_000
+
+let linear_part idx (r : Aref.t) = fst (Aref.matrix idx r)
+
+let hoist_phase (nest : Nest.t) =
+  let diags = ref [] in
+  let reject ?array reason =
+    diags := { transform = "hoist"; array; reason } :: !diags
+  in
+  let idx = Nest.indices nest in
+  let non_uniform =
+    List.filter (fun a -> not (Nest.uniformly_generated nest a)) (Nest.arrays nest)
+  in
+  let nest, steps =
+    List.fold_left
+      (fun ((nest : Nest.t), steps) a ->
+        let body = Array.of_list nest.body in
+        let writes =
+          Array.to_list body
+          |> List.filter (fun (s : Stmt.t) -> String.equal s.lhs.array a)
+          |> List.map (fun (s : Stmt.t) -> s.lhs)
+        in
+        let write_hs =
+          List.sort_uniq compare (List.map (linear_part idx) writes)
+        in
+        let reads =
+          List.concat
+            (List.init (Array.length body) (fun i ->
+                 Stmt.reads body.(i)
+                 |> List.mapi (fun k r -> (i, k, r))
+                 |> List.filter (fun (_, _, (r : Aref.t)) ->
+                        String.equal r.array a)))
+        in
+        match write_hs with
+        | _ :: _ :: _ ->
+            reject ~array:a
+              "write sites disagree on the reference matrix; writes cannot \
+               be hoisted";
+            (nest, steps)
+        | _ -> (
+            let keep_h =
+              match write_hs with
+              | [ h ] -> h
+              | _ -> (
+                  match reads with
+                  | (_, _, r) :: _ -> linear_part idx r
+                  | [] -> [||])
+            in
+            let offending =
+              List.filter
+                (fun (_, _, r) -> linear_part idx r <> keep_h)
+                reads
+            in
+            match offending with
+            | [] -> (nest, steps)
+            | _ ->
+                let cost =
+                  Nest.cardinal nest * (List.length writes + 1)
+                in
+                if writes <> [] && cost > alias_check_cap then begin
+                  reject ~array:a
+                    (Printf.sprintf
+                       "iteration space too large for the exact alias check \
+                        (%d element-visits > %d)"
+                       cost alias_check_cap);
+                  (nest, steps)
+                end
+                else begin
+                  (* Elements the nest writes into [a]. *)
+                  let written = Hashtbl.create 64 in
+                  if writes <> [] then
+                    Nest.iter_space nest (fun iter ->
+                        let env v =
+                          let rec find k =
+                            if String.equal idx.(k) v then iter.(k)
+                            else find (k + 1)
+                          in
+                          find 0
+                        in
+                        List.iter
+                          (fun w ->
+                            Hashtbl.replace written
+                              (Array.to_list (Aref.eval env w))
+                              ())
+                          writes);
+                  let overlaps (r : Aref.t) =
+                    writes <> []
+                    && Hashtbl.length written > 0
+                    &&
+                    let hit = ref false in
+                    (try
+                       Nest.iter_space nest (fun iter ->
+                           let env v =
+                             let rec find k =
+                               if String.equal idx.(k) v then iter.(k)
+                               else find (k + 1)
+                             in
+                             find 0
+                           in
+                           if
+                             Hashtbl.mem written
+                               (Array.to_list (Aref.eval env r))
+                           then begin
+                             hit := true;
+                             raise Exit
+                           end)
+                     with Exit -> ());
+                    !hit
+                  in
+                  let legal, illegal =
+                    List.partition (fun (_, _, r) -> not (overlaps r)) offending
+                  in
+                  List.iter
+                    (fun (i, k, (r : Aref.t)) ->
+                      reject ~array:a
+                        (Format.asprintf
+                           "read %a (statement %d, read %d) aliases elements \
+                            the nest writes; a copy-in would read stale \
+                            values"
+                           Aref.pp r i k))
+                    illegal;
+                  if legal = [] then (nest, steps)
+                  else begin
+                    (* One fresh alias per distinct reference matrix. *)
+                    let classes =
+                      List.sort_uniq compare
+                        (List.map (fun (_, _, r) -> linear_part idx r) legal)
+                    in
+                    let used = ref (used_names nest) in
+                    let nest_ref = ref nest in
+                    let steps_ref = ref steps in
+                    List.iteri
+                      (fun ci h ->
+                        let members =
+                          List.filter
+                            (fun (_, _, r) -> linear_part idx r = h)
+                            legal
+                        in
+                        let fresh =
+                          fresh_name !used (Printf.sprintf "%s__h%d" a ci)
+                        in
+                        used := fresh :: !used;
+                        let sites =
+                          List.map (fun (i, k, _) -> (i, k)) members
+                        in
+                        let body' =
+                          List.mapi
+                            (fun i s ->
+                              Subst.map_reads
+                                (fun k (r : Aref.t) ->
+                                  if List.mem (i, k) sites then
+                                    Aref.make fresh
+                                      (Array.to_list r.subscripts)
+                                  else r)
+                                s)
+                            (!nest_ref).body
+                        in
+                        nest_ref :=
+                          Nest.make ~declarations:(!nest_ref).declarations
+                            (Array.to_list (!nest_ref).levels)
+                            body';
+                        steps_ref :=
+                          Witness.Hoist { array = a; fresh; sites }
+                          :: !steps_ref)
+                      classes;
+                    (!nest_ref, !steps_ref)
+                  end
+                end))
+      (nest, []) non_uniform
+  in
+  (nest, List.rev steps, List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* Compress: divide subscripts down to the unit lattice.               *)
+(* ------------------------------------------------------------------ *)
+
+let compress_phase (nest : Nest.t) =
+  let diags = ref [] in
+  let idx = Nest.indices nest in
+  let refs_of nest a =
+    List.concat_map
+      (fun (s : Stmt.t) ->
+        let all = s.lhs :: Stmt.reads s in
+        List.filter (fun (r : Aref.t) -> String.equal r.array a) all)
+      nest.Nest.body
+  in
+  let nest, steps =
+    List.fold_left
+      (fun ((nest : Nest.t), steps) a ->
+        let refs = refs_of nest a in
+        match refs with
+        | [] -> (nest, steps)
+        | r0 :: _ ->
+            let d = Array.length r0.Aref.subscripts in
+            if
+              List.exists
+                (fun (r : Aref.t) -> Array.length r.subscripts <> d)
+                refs
+            then (nest, steps)
+            else if Nest.declared_bounds nest a <> None then begin
+              let would =
+                (* only diagnose when compression would otherwise apply *)
+                let any = ref false in
+                for p = 0 to d - 1 do
+                  let g =
+                    List.fold_left
+                      (fun g (r : Aref.t) ->
+                        let coeffs, c =
+                          Affine.coeff_vector idx r.subscripts.(p)
+                        in
+                        let c0 =
+                          snd (Affine.coeff_vector idx r0.subscripts.(p))
+                        in
+                        let g = Array.fold_left gcd g coeffs in
+                        gcd g (c - c0))
+                      0 refs
+                  in
+                  if g >= 2 then any := true
+                done;
+                !any
+              in
+              if would then
+                diags :=
+                  {
+                    transform = "compress";
+                    array = Some a;
+                    reason =
+                      "declared bounds pin the array's layout; subscripts \
+                       left unscaled";
+                  }
+                  :: !diags;
+              (nest, steps)
+            end
+            else begin
+              let scales = Array.make d 1 and residues = Array.make d 0 in
+              for p = 0 to d - 1 do
+                let c0 = snd (Affine.coeff_vector idx r0.subscripts.(p)) in
+                let g =
+                  List.fold_left
+                    (fun g (r : Aref.t) ->
+                      let coeffs, c =
+                        Affine.coeff_vector idx r.subscripts.(p)
+                      in
+                      let g = Array.fold_left gcd g coeffs in
+                      gcd g (c - c0))
+                    0 refs
+                in
+                if g >= 2 then begin
+                  scales.(p) <- g;
+                  residues.(p) <- ((c0 mod g) + g) mod g
+                end
+              done;
+              if Array.for_all (fun g -> g = 1) scales then (nest, steps)
+              else begin
+                let shrink (r : Aref.t) =
+                  if not (String.equal r.array a) then r
+                  else
+                    Aref.make a
+                      (List.init d (fun p ->
+                           let coeffs, c =
+                             Affine.coeff_vector idx r.subscripts.(p)
+                           in
+                           let g = scales.(p) in
+                           Affine.of_coeff_vector idx
+                             (Array.map (fun x -> x / g) coeffs)
+                             ((c - residues.(p)) / g)))
+                in
+                let nest' =
+                  Nest.make ~declarations:nest.declarations
+                    (Array.to_list nest.levels)
+                    (List.map (Subst.map_arefs shrink) nest.body)
+                in
+                (nest', Witness.Compress { array = a; scales; residues } :: steps)
+              end
+            end)
+      (nest, []) (Nest.arrays nest)
+  in
+  (nest, List.rev steps, List.rev !diags)
+
+(* ------------------------------------------------------------------ *)
+(* Shift: rebase constant lower bounds to zero.                        *)
+(* ------------------------------------------------------------------ *)
+
+let shift_phase (nest : Nest.t) =
+  let offsets =
+    Array.map
+      (fun (l : Nest.level) ->
+        match Affine.to_constant l.lower with Some c -> c | None -> 0)
+      nest.levels
+  in
+  if Array.for_all (fun o -> o = 0) offsets then (nest, [])
+  else
+    let offset_of v =
+      let rec find k =
+        if k >= Array.length nest.levels then 0
+        else if String.equal nest.levels.(k).var v then offsets.(k)
+        else find (k + 1)
+      in
+      find 0
+    in
+    let tau v =
+      let o = offset_of v in
+      if o = 0 then None
+      else Some (Affine.add (Affine.var v) (Affine.const o))
+    in
+    let levels =
+      Array.to_list
+        (Array.mapi
+           (fun k (l : Nest.level) ->
+             {
+               Nest.var = l.var;
+               lower =
+                 Affine.sub (Affine.substitute tau l.lower)
+                   (Affine.const offsets.(k));
+               upper =
+                 Affine.sub (Affine.substitute tau l.upper)
+                   (Affine.const offsets.(k));
+             })
+           nest.levels)
+    in
+    let nest' =
+      Nest.make ~declarations:nest.declarations levels
+        (List.map (Subst.stmt tau) nest.body)
+    in
+    (nest', [ Witness.Shift { offsets } ])
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let normalize ?(obs = Cf_obs.Trace.null) nest =
+  let span name f = Cf_obs.Trace.span obs ~cat:"normalize" name f in
+  let n1, folds = span "fold" (fun () -> fold_phase nest) in
+  let n2, hoists, hdiags = span "hoist" (fun () -> hoist_phase n1) in
+  let n3, compresses, cdiags = span "compress" (fun () -> compress_phase n2) in
+  let n4, shifts = span "shift" (fun () -> shift_phase n3) in
+  {
+    original = nest;
+    normalized = n4;
+    steps = folds @ hoists @ compresses @ shifts;
+    rejected = hdiags @ cdiags;
+  }
+
+let check r =
+  match Witness.reconstruct ~steps:r.steps r.normalized with
+  | Error e -> Error (Printf.sprintf "reconstruction failed: %s" e)
+  | Ok n ->
+      if not (Subst.nest_congruent n r.original) then
+        Error "reconstructed nest differs from the original"
+      else (
+        match
+          Witness.replay ~original:r.original ~normalized:r.normalized
+            ~steps:r.steps ()
+        with
+        | Ok () -> Ok ()
+        | Error e -> Error (Printf.sprintf "replay failed: %s" e))
+
+let pp_diag ppf d =
+  match d.array with
+  | Some a -> Format.fprintf ppf "%s %s: %s" d.transform a d.reason
+  | None -> Format.fprintf ppf "%s: %s" d.transform d.reason
+
+let describe ppf r =
+  if r.steps = [] then
+    Format.fprintf ppf "no transforms applied (already in normal form)@."
+  else
+    List.iter (Format.fprintf ppf "applied   %a@." Witness.pp_step) r.steps;
+  List.iter (Format.fprintf ppf "rejected  %a@." pp_diag) r.rejected;
+  Format.fprintf ppf "uniformly generated: %b@."
+    (Nest.all_uniformly_generated r.normalized)

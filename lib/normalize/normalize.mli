@@ -1,0 +1,63 @@
+(** Source-to-source normalization: the planner's front door.
+
+    The allocation theorems (and the {!Cf_mincomm} fallback tier behind
+    them) only accept normalized nests with uniformly generated
+    references, so unrolled, strided, offset-shifted, or non-uniform
+    inputs are rejected before Theorem 1 is even consulted.  This pass
+    rewrites such nests into normal form with four transforms, applied
+    in this order:
+
+    + {b fold} — statement sequences that are unrollings of a common
+      body are rolled back into a fresh innermost loop (smallest
+      template first, iterated so multi-level unrollings re-roll);
+    + {b hoist} — non-uniformly-generated {e read} references are
+      redirected to fresh read-only alias arrays, but only when the
+      redirected reads touch no element the nest writes (checked
+      exactly, by enumeration);
+    + {b compress} — when every subscript of an array walks a proper
+      sublattice ([2*i + 1], stride-2 stencils, ...), subscripts are
+      divided down so consecutive index steps touch consecutive
+      elements;
+    + {b shift} — constant non-zero lower bounds are rebased to 0,
+      substituting through inner bounds and subscripts.
+
+    Every applied transform emits a {!Witness.step}; {!check} replays
+    the whole run (syntactic reconstruction {e and} bit-for-bit
+    sequential replay).  Transforms that would be illegal or are out of
+    scope are recorded as {!diag} values instead of being applied
+    silently. *)
+
+open Cf_loop
+
+type diag = {
+  transform : string;  (** "fold" | "hoist" | "compress" | "shift" *)
+  array : string option;  (** the array concerned, when there is one *)
+  reason : string;
+}
+(** A transform that was considered and refused, with the legality or
+    scope rule that blocked it. *)
+
+type result = {
+  original : Nest.t;
+  normalized : Nest.t;
+  steps : Witness.step list;  (** applied transforms, application order *)
+  rejected : diag list;
+}
+
+val normalize : ?obs:Cf_obs.Trace.t -> Nest.t -> result
+(** Apply all four phases.  Emits one [cf_obs] span per phase (category
+    ["normalize"]).  Never raises: a nest with nothing to do comes back
+    with [steps = []] and [normalized == original]. *)
+
+val check : result -> (unit, string) Stdlib.result
+(** Machine-check the witnesses: invert every step right-to-left and
+    require the reconstruction to match [original] (modulo affine
+    canonicalization), then replay both nests on the sequential
+    executor through {!Witness.replay} and require bit-for-bit equal
+    memories.  [Error] pinpoints the failing check. *)
+
+val pp_diag : Format.formatter -> diag -> unit
+
+val describe : Format.formatter -> result -> unit
+(** Per-transform diagnostics: applied steps, rejections, and whether
+    the normalized nest is now uniformly generated. *)

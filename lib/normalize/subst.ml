@@ -1,0 +1,113 @@
+open Cf_loop
+
+let rec affine_of_expr = function
+  | Expr.Const c -> Some (Affine.const c)
+  | Expr.Index v -> Some (Affine.var v)
+  | Expr.Scalar _ | Expr.Read _ -> None
+  | Expr.Binop (Expr.Add, a, b) -> lift2 Affine.add a b
+  | Expr.Binop (Expr.Sub, a, b) -> lift2 Affine.sub a b
+  | Expr.Binop (Expr.Mul, a, b) -> (
+      match (affine_of_expr a, affine_of_expr b) with
+      | Some a', Some b' -> (
+          match (Affine.to_constant a', Affine.to_constant b') with
+          | Some k, _ -> Some (Affine.scale k b')
+          | _, Some k -> Some (Affine.scale k a')
+          | None, None -> None)
+      | _ -> None)
+  | Expr.Binop (Expr.Div, _, _) -> None
+
+and lift2 f a b =
+  match (affine_of_expr a, affine_of_expr b) with
+  | Some a', Some b' -> Some (f a' b')
+  | _ -> None
+
+let expr_of_affine a =
+  let open Expr in
+  let term v c = if c = 1 then Index v else Binop (Mul, Const c, Index v) in
+  let k = Affine.constant_part a in
+  let pos, neg = List.partition (fun (_, c) -> c > 0) (Affine.coeffs a) in
+  let head =
+    match pos with
+    | [] -> None
+    | (v, c) :: rest ->
+        Some
+          (List.fold_left
+             (fun acc (v, c) -> Binop (Add, acc, term v c))
+             (term v c) rest)
+  in
+  let head =
+    List.fold_left
+      (fun acc (v, c) ->
+        match acc with
+        | None -> Some (Binop (Sub, Const 0, term v (-c)))
+        | Some e -> Some (Binop (Sub, e, term v (-c))))
+      head neg
+  in
+  match head with
+  | None -> Const k
+  | Some e ->
+      if k = 0 then e
+      else if k > 0 then Binop (Add, e, Const k)
+      else Binop (Sub, e, Const (-k))
+
+let rec expr f e =
+  match affine_of_expr e with
+  | Some a -> expr_of_affine (Affine.substitute f a)
+  | None -> (
+      match e with
+      | Expr.Binop (op, a, b) -> Expr.Binop (op, expr f a, expr f b)
+      | Expr.Read r -> Expr.Read (aref f r)
+      | (Expr.Const _ | Expr.Scalar _ | Expr.Index _) as e -> e)
+
+and aref f (r : Aref.t) =
+  Aref.make r.array
+    (Array.to_list (Array.map (Affine.substitute f) r.subscripts))
+
+let stmt f (s : Stmt.t) = Stmt.make ~label:s.label (aref f s.lhs) (expr f s.rhs)
+let canon_stmt s = stmt (fun _ -> None) s
+
+let map_arefs f (s : Stmt.t) =
+  let rec go = function
+    | Expr.Read r -> Expr.Read (f r)
+    | Expr.Binop (op, a, b) ->
+        let a = go a in
+        let b = go b in
+        Expr.Binop (op, a, b)
+    | (Expr.Const _ | Expr.Scalar _ | Expr.Index _) as e -> e
+  in
+  Stmt.make ~label:s.label (f s.lhs) (go s.rhs)
+
+let map_reads f (s : Stmt.t) =
+  let ctr = ref (-1) in
+  let rec go = function
+    | Expr.Read r ->
+        incr ctr;
+        Expr.Read (f !ctr r)
+    | Expr.Binop (op, a, b) ->
+        let a = go a in
+        let b = go b in
+        Expr.Binop (op, a, b)
+    | (Expr.Const _ | Expr.Scalar _ | Expr.Index _) as e -> e
+  in
+  Stmt.make ~label:s.label s.lhs (go s.rhs)
+
+let stmt_congruent a b =
+  let a = canon_stmt a and b = canon_stmt b in
+  String.equal a.Stmt.label b.Stmt.label
+  && Aref.equal a.lhs b.lhs
+  && a.rhs = b.rhs
+
+let nest_congruent (a : Nest.t) (b : Nest.t) =
+  let level_eq (la : Nest.level) (lb : Nest.level) =
+    String.equal la.var lb.var
+    && Affine.equal la.lower lb.lower
+    && Affine.equal la.upper lb.upper
+  in
+  let sorted_decls (n : Nest.t) =
+    List.sort (fun (x, _) (y, _) -> String.compare x y) n.declarations
+  in
+  Array.length a.levels = Array.length b.levels
+  && Array.for_all2 level_eq a.levels b.levels
+  && sorted_decls a = sorted_decls b
+  && List.length a.body = List.length b.body
+  && List.for_all2 stmt_congruent a.body b.body

@@ -1,0 +1,48 @@
+(** Index substitution over statements, affine-subtree aware.
+
+    The transforms in this library rewrite loop indices by affine forms
+    ([v -> v + 3], [v -> 2*v' + 1]) inside whole statements — subscripts
+    {e and} right-hand sides.  Subscripts are {!Cf_loop.Affine} values,
+    already canonical; rhs trees are free-form {!Cf_loop.Expr} syntax, so
+    substitution works on {e maximal affine subtrees}: any subtree built
+    from constants, [Index] leaves, [+], [-], and multiplication by a
+    constant is converted to an affine form, substituted, and re-rendered
+    canonically.  Substituting the identity therefore canonicalizes
+    affine arithmetic without touching [Scalar]/[Read]/[Div] structure —
+    which is exactly the congruence witness reconstruction needs: a
+    reconstructed nest must match the original modulo the affine
+    re-associations the transforms performed. *)
+
+open Cf_loop
+
+val affine_of_expr : Expr.t -> Affine.t option
+(** The expression as an affine form over loop indices, when it is one.
+    [Scalar], [Read], [Div], and index-by-index products are not. *)
+
+val expr_of_affine : Affine.t -> Expr.t
+(** Canonical rendering: terms sorted by variable, constant last. *)
+
+val expr : (string -> Affine.t option) -> Expr.t -> Expr.t
+(** Substitute indices by affine forms; maximal affine subtrees are
+    rewritten through {!expr_of_affine}.  [None] keeps the variable. *)
+
+val aref : (string -> Affine.t option) -> Aref.t -> Aref.t
+val stmt : (string -> Affine.t option) -> Stmt.t -> Stmt.t
+
+val canon_stmt : Stmt.t -> Stmt.t
+(** Identity substitution: canonicalize affine subtrees, nothing else. *)
+
+val map_arefs : (Aref.t -> Aref.t) -> Stmt.t -> Stmt.t
+(** Rewrite every array reference of a statement — the write and every
+    read, textual order. *)
+
+val map_reads : (int -> Aref.t -> Aref.t) -> Stmt.t -> Stmt.t
+(** Rewrite the statement's reads only; the callback receives each
+    read's 0-based textual position. *)
+
+val stmt_congruent : Stmt.t -> Stmt.t -> bool
+(** Equal labels, lhs, and rhs modulo affine canonicalization. *)
+
+val nest_congruent : Nest.t -> Nest.t -> bool
+(** Same levels (names and bounds), same declarations (order
+    insensitive), and pointwise congruent bodies. *)

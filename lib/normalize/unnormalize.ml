@@ -1,0 +1,79 @@
+open Cf_loop
+
+let or_invalid = function
+  | Ok n -> n
+  | Error msg -> invalid_arg ("Unnormalize: " ^ msg)
+
+let shift_bounds nest ~offsets =
+  or_invalid (Witness.invert (Witness.Shift { offsets }) nest)
+
+let scale_array nest ~array ~scales ~residues =
+  if Nest.declared_bounds nest array <> None then
+    invalid_arg "Unnormalize.scale_array: array has declared bounds";
+  or_invalid (Witness.invert (Witness.Compress { array; scales; residues }) nest)
+
+let unroll (nest : Nest.t) ~factor =
+  if factor < 2 then invalid_arg "Unnormalize.unroll: factor < 2";
+  let depth = Array.length nest.levels in
+  let inner = nest.levels.(depth - 1) in
+  let lo, hi =
+    match (Affine.to_constant inner.lower, Affine.to_constant inner.upper) with
+    | Some lo, Some hi -> (lo, hi)
+    | _ -> invalid_arg "Unnormalize.unroll: innermost bounds not constant"
+  in
+  let n = hi - lo + 1 in
+  if n <= 0 || n mod factor <> 0 then
+    invalid_arg "Unnormalize.unroll: trip count not divisible by factor";
+  let v = inner.var in
+  let body =
+    List.concat
+      (List.init factor (fun t ->
+           let sigma x =
+             if String.equal x v then
+               Some
+                 (Affine.add (Affine.term factor v) (Affine.const (lo + t)))
+             else None
+           in
+           List.map (Subst.stmt sigma) nest.body))
+  in
+  let levels =
+    Array.to_list
+      (Array.mapi
+         (fun k (l : Nest.level) ->
+           if k = depth - 1 then
+             {
+               Nest.var = v;
+               lower = Affine.const 0;
+               upper = Affine.const ((n / factor) - 1);
+             }
+           else l)
+         nest.levels)
+  in
+  Nest.make ~declarations:nest.declarations levels body
+
+let retarget_read (nest : Nest.t) ~stmt ~read ~subscripts =
+  if stmt < 0 || stmt >= List.length nest.body then
+    invalid_arg "Unnormalize.retarget_read: no such statement";
+  let hit = ref false in
+  let body =
+    List.mapi
+      (fun i s ->
+        if i <> stmt then s
+        else
+          Subst.map_reads
+            (fun k (r : Aref.t) ->
+              if k = read then begin
+                if List.length subscripts <> Array.length r.subscripts then
+                  invalid_arg
+                    "Unnormalize.retarget_read: arity mismatch";
+                hit := true;
+                Aref.make r.array subscripts
+              end
+              else r)
+            s)
+      nest.body
+  in
+  if not !hit then invalid_arg "Unnormalize.retarget_read: no such read";
+  Nest.make ~declarations:nest.declarations
+    (Array.to_list nest.levels)
+    body

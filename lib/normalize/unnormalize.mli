@@ -1,0 +1,37 @@
+(** Deterministic de-normalizing transforms.
+
+    The inverse direction of {!Normalize}: given a normal-form nest,
+    produce an equivalent unrolled / strided / offset-shifted / non-
+    uniform one.  {!Cf_check.Gen} drives these with seeded randomness to
+    make {e unnormalized} fuzz inputs, and the [normalize-roundtrip]
+    oracle then requires {!Normalize.normalize} to win the material
+    back.  All functions are pure and raise [Invalid_argument] when a
+    precondition fails (the generator filters such cases out). *)
+
+open Cf_loop
+
+val shift_bounds : Nest.t -> offsets:int array -> Nest.t
+(** Rebase level [k]'s bounds by [+ offsets.(k)], substituting through
+    inner bounds and subscripts — the exact inverse of the shift
+    transform (and implemented as {!Witness.invert} of it). *)
+
+val scale_array : Nest.t -> array:string -> scales:int array -> residues:int array -> Nest.t
+(** Stretch every subscript of [array]: dimension [p] becomes
+    [scales.(p)·e + residues.(p)] — the inverse of compression.
+    Requires the array to be undeclared and [scales] to match its
+    arity. *)
+
+val unroll : Nest.t -> factor:int -> Nest.t
+(** Partially unroll the innermost loop by [factor]: the loop keeps its
+    index with bounds [[0, n/factor - 1]] and the body is replicated
+    [factor] times with [v ↦ factor·v + lo + t].  Statement instances
+    execute in the same lexicographic order, so semantics are
+    preserved exactly.  Requires constant innermost bounds with a
+    trip count divisible by [factor]. *)
+
+val retarget_read : Nest.t -> stmt:int -> read:int -> subscripts:Affine.t list -> Nest.t
+(** Replace the subscripts of one read ([read] 0-based over the
+    statement's reads, textual order) — used to plant non-uniformly
+    generated references that only hoisting can repair.  Note this one
+    {e changes} semantics; it makes adversarial planner inputs, not
+    equivalent ones. *)

@@ -1,0 +1,283 @@
+open Cf_loop
+open Cf_exec
+
+type fold = { index : string; copies : int; group : int }
+type shift = { offsets : int array }
+type compress = { array : string; scales : int array; residues : int array }
+type hoist = { array : string; fresh : string; sites : (int * int) list }
+
+type step = Fold of fold | Shift of shift | Compress of compress | Hoist of hoist
+
+let step_name = function
+  | Fold _ -> "fold"
+  | Shift _ -> "shift"
+  | Compress _ -> "compress"
+  | Hoist _ -> "hoist"
+
+let pp_int_array ppf a =
+  Format.fprintf ppf "[%s]"
+    (String.concat ", " (Array.to_list (Array.map string_of_int a)))
+
+let pp_step ppf = function
+  | Fold { index; copies; group } ->
+      Format.fprintf ppf
+        "fold: rolled %d copies of a %d-statement body into loop %s in [0, %d]"
+        copies group index (copies - 1)
+  | Shift { offsets } ->
+      Format.fprintf ppf "shift: rebased iteration space by offsets %a"
+        pp_int_array offsets
+  | Compress { array; scales; residues } ->
+      Format.fprintf ppf
+        "compress: %s subscripts divided by %a (residues %a)" array
+        pp_int_array scales pp_int_array residues
+  | Hoist { array; fresh; sites } ->
+      Format.fprintf ppf "hoist: %d read site%s of %s redirected to alias %s"
+        (List.length sites)
+        (if List.length sites = 1 then "" else "s")
+        array fresh
+
+exception Bad of string
+
+let badf fmt = Format.kasprintf (fun s -> raise (Bad s)) fmt
+
+let invert_exn step (nest : Nest.t) =
+  match step with
+  | Fold { index; copies; group } ->
+      let depth = Array.length nest.levels in
+      if depth < 2 then badf "fold witness on a depth-%d nest" depth;
+      let inner = nest.levels.(depth - 1) in
+      if not (String.equal inner.var index) then
+        badf "fold witness names loop %s but the innermost loop is %s" index
+          inner.var;
+      (match (Affine.to_constant inner.lower, Affine.to_constant inner.upper)
+       with
+      | Some 0, Some hi when hi = copies - 1 -> ()
+      | _ ->
+          badf "fold witness claims %s in [0, %d] but bounds are [%a, %a]"
+            index (copies - 1) Affine.pp inner.lower Affine.pp inner.upper);
+      if List.length nest.body <> group then
+        badf "fold witness claims a %d-statement body, found %d" group
+          (List.length nest.body);
+      let unrolled =
+        List.concat
+          (List.init copies (fun t ->
+               let at v =
+                 if String.equal v index then Some (Affine.const t) else None
+               in
+               List.map (Subst.stmt at) nest.body))
+      in
+      let levels = Array.to_list (Array.sub nest.levels 0 (depth - 1)) in
+      Nest.make ~declarations:nest.declarations levels unrolled
+  | Shift { offsets } ->
+      let depth = Array.length nest.levels in
+      if Array.length offsets <> depth then
+        badf "shift witness has %d offsets for a depth-%d nest"
+          (Array.length offsets) depth;
+      let offset_of v =
+        let rec find k =
+          if k >= depth then None
+          else if String.equal nest.levels.(k).var v then Some offsets.(k)
+          else find (k + 1)
+        in
+        find 0
+      in
+      let sigma v =
+        match offset_of v with
+        | Some o when o <> 0 ->
+            Some (Affine.sub (Affine.var v) (Affine.const o))
+        | _ -> None
+      in
+      let levels =
+        Array.to_list
+          (Array.mapi
+             (fun k (l : Nest.level) ->
+               {
+                 Nest.var = l.var;
+                 lower =
+                   Affine.add (Affine.substitute sigma l.lower)
+                     (Affine.const offsets.(k));
+                 upper =
+                   Affine.add (Affine.substitute sigma l.upper)
+                     (Affine.const offsets.(k));
+               })
+             nest.levels)
+      in
+      Nest.make ~declarations:nest.declarations levels
+        (List.map (Subst.stmt sigma) nest.body)
+  | Compress { array; scales; residues } ->
+      let d = Array.length scales in
+      let expand (r : Aref.t) =
+        if not (String.equal r.array array) then r
+        else begin
+          if Array.length r.subscripts <> d then
+            badf "compress witness is %d-dimensional but %s is referenced \
+                  with %d subscripts"
+              d array
+              (Array.length r.subscripts);
+          Aref.make array
+            (List.init d (fun p ->
+                 Affine.add
+                   (Affine.scale scales.(p) r.subscripts.(p))
+                   (Affine.const residues.(p))))
+        end
+      in
+      Nest.make ~declarations:nest.declarations
+        (Array.to_list nest.levels)
+        (List.map (Subst.map_arefs expand) nest.body)
+  | Hoist { array; fresh; sites } ->
+      List.iter
+        (fun (s : Stmt.t) ->
+          if String.equal s.lhs.array fresh then
+            badf "hoist alias %s is written — not a read-only alias" fresh)
+        nest.body;
+      let found = ref [] in
+      List.iteri
+        (fun i s ->
+          ignore
+            (Subst.map_reads
+               (fun k r ->
+                 if String.equal r.Aref.array fresh then
+                   found := (i, k) :: !found;
+                 r)
+               s))
+        nest.body;
+      let found = List.sort compare !found in
+      let claimed = List.sort compare sites in
+      if found <> claimed then
+        badf "hoist witness lists %d site(s) for alias %s but the nest has %d"
+          (List.length claimed) fresh (List.length found);
+      let rename (r : Aref.t) =
+        if String.equal r.array fresh then
+          Aref.make array (Array.to_list r.subscripts)
+        else r
+      in
+      Nest.make ~declarations:nest.declarations
+        (Array.to_list nest.levels)
+        (List.map (Subst.map_arefs rename) nest.body)
+
+let invert step nest =
+  match invert_exn step nest with
+  | n -> Ok n
+  | exception Bad msg -> Error msg
+  | exception Invalid_argument msg ->
+      Error (Printf.sprintf "inverse is not a valid nest: %s" msg)
+
+let reconstruct ~steps nest =
+  List.fold_left
+    (fun acc step ->
+      match acc with Error _ as e -> e | Ok n -> invert step n)
+    (Ok nest) (List.rev steps)
+
+type dim_map = { scale : int; offset : int }
+type origin = { source : string; dims : dim_map array option }
+
+let origins ~steps =
+  let tbl = Hashtbl.create 7 in
+  let find name =
+    match Hashtbl.find_opt tbl name with
+    | Some o -> o
+    | None -> { source = name; dims = None }
+  in
+  List.iter
+    (fun step ->
+      match step with
+      | Fold _ | Shift _ -> ()
+      | Hoist { array; fresh; _ } -> Hashtbl.replace tbl fresh (find array)
+      | Compress { array; scales; residues } ->
+          let e = find array in
+          let d = Array.length scales in
+          let dims =
+            match e.dims with
+            | None ->
+                Array.init d (fun p ->
+                    { scale = scales.(p); offset = residues.(p) })
+            | Some prev ->
+                Array.init d (fun p ->
+                    {
+                      scale = prev.(p).scale * scales.(p);
+                      offset = (prev.(p).scale * residues.(p)) + prev.(p).offset;
+                    })
+          in
+          Hashtbl.replace tbl array { e with dims = Some dims })
+    steps;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let map_element o el =
+  match o.dims with
+  | None -> el
+  | Some dims ->
+      Array.mapi (fun p x -> (dims.(p).scale * x) + dims.(p).offset) el
+
+let pp_element ppf (a, el) =
+  Format.fprintf ppf "%s[%s]" a
+    (String.concat "," (List.map string_of_int el))
+
+let replay ?(init = Seqexec.default_init) ?(scalar = Seqexec.default_scalar)
+    ~original ~normalized ~steps () =
+  try
+    let org = origins ~steps in
+    let origin_of name =
+      match List.assoc_opt name org with
+      | Some o -> o
+      | None -> { source = name; dims = None }
+    in
+    let m_o = Seqexec.run ~init ~scalar original in
+    let init_n a el =
+      let o = origin_of a in
+      init o.source (map_element o el)
+    in
+    let m_n = Seqexec.run ~init:init_n ~scalar normalized in
+    let remapped : Seqexec.memory = Hashtbl.create (Hashtbl.length m_n * 2) in
+    let clash = ref None in
+    Hashtbl.iter
+      (fun (a, el) v ->
+        let o = origin_of a in
+        let key =
+          (o.source, Array.to_list (map_element o (Array.of_list el)))
+        in
+        (match Hashtbl.find_opt remapped key with
+        | Some v' when v' <> v -> clash := Some key
+        | _ -> ());
+        Hashtbl.replace remapped key v)
+      m_n;
+    match !clash with
+    | Some key ->
+        Error
+          (Format.asprintf
+             "witness data map folds distinct normalized writes onto %a"
+             pp_element key)
+    | None ->
+        if Seqexec.equal_on_written m_o remapped then Ok ()
+        else
+          let bo = Seqexec.bindings m_o and bn = Seqexec.bindings remapped in
+          let keys m =
+            List.map (fun (a, el, _) -> (a, Array.to_list el)) m
+          in
+          let lookup m (a, el) =
+            Seqexec.lookup m a (Array.of_list el)
+          in
+          let all = List.sort_uniq compare (keys bo @ keys bn) in
+          let diffs =
+            List.filter
+              (fun k -> lookup m_o k <> lookup remapped k)
+              all
+          in
+          let detail =
+            match diffs with
+            | [] -> "memories differ"
+            | k :: _ ->
+                let show = function
+                  | Some v -> string_of_int v
+                  | None -> "unwritten"
+                in
+                Format.asprintf
+                  "%d element(s) differ after witness mapping; first %a: \
+                   original=%s normalized=%s"
+                  (List.length diffs) pp_element k
+                  (show (lookup m_o k))
+                  (show (lookup remapped k))
+          in
+          Error detail
+  with
+  | Bad msg -> Error msg
+  | e -> Error (Printexc.to_string e)

@@ -1,0 +1,106 @@
+(** Equivalence witnesses for normalization transforms.
+
+    Every transform in {!Normalize} emits one [step]: a machine-checkable
+    record of the iteration/subscript bijection it applied.  A witness is
+    checked two independent ways:
+
+    - {b reconstruction} ({!invert}, {!reconstruct}): each step names its
+      own inverse, so applying the inverses right-to-left to the
+      normalized nest must rebuild the original nest exactly (modulo the
+      affine re-associations of {!Subst.nest_congruent}).  A tampered
+      witness — wrong copy count, wrong offsets, wrong scale — fails
+      here structurally.
+    - {b replay} ({!replay}): both nests run on the sequential executor
+      {!Cf_exec.Seqexec}; the normalized run's initial values are routed
+      through the witness's data maps ({!origins}), and the final
+      written memories must be bit-for-bit equal after mapping
+      normalized element coordinates back to original ones.  A transform
+      that was {e illegally} applied — a hoisted read aliasing written
+      elements — fails here even when the witness is internally
+      consistent. *)
+
+open Cf_loop
+
+type fold = {
+  index : string;  (** the introduced innermost loop index *)
+  copies : int;  (** iterations of the introduced loop *)
+  group : int;  (** statements per copy (the rolled body size) *)
+}
+(** Rolled [copies × group] unrolled statements into a [group]-statement
+    body under a new innermost loop [index ∈ [0, copies)]. *)
+
+type shift = { offsets : int array }
+(** Per-level rebasing: original iteration [= normalized + offsets]. *)
+
+type compress = {
+  array : string;
+  scales : int array;  (** per-dimension stride [g_p ≥ 1] *)
+  residues : int array;  (** per-dimension residue [0 ≤ r_p < g_p] *)
+}
+(** Subscript-lattice compression: original element coordinate
+    [= g_p·normalized_p + r_p] in every dimension [p]. *)
+
+type hoist = {
+  array : string;  (** the non-uniformly referenced array *)
+  fresh : string;  (** the introduced read-only alias *)
+  sites : (int * int) list;
+      (** redirected read sites as [(stmt_index, read_index)] pairs,
+          [read_index] 0-based over the statement's reads in textual
+          order *)
+}
+(** Redirected the listed read sites of [array] to [fresh], a read-only
+    copy-in alias; legal only when those reads touch no element the
+    nest writes. *)
+
+type step = Fold of fold | Shift of shift | Compress of compress | Hoist of hoist
+
+val step_name : step -> string
+(** ["fold" | "shift" | "compress" | "hoist"]. *)
+
+val pp_step : Format.formatter -> step -> unit
+
+(** {1 Reconstruction} *)
+
+val invert : step -> Nest.t -> (Nest.t, string) result
+(** Apply the step's inverse to a post-step nest, recovering the
+    pre-step nest.  [Error] when the nest does not have the shape the
+    witness claims (wrong innermost loop, arity mismatch, missing
+    alias sites, ...). *)
+
+val reconstruct : steps:step list -> Nest.t -> (Nest.t, string) result
+(** Invert a whole normalization run: [steps] in application order, the
+    nest being the final normalized form. *)
+
+(** {1 Data maps} *)
+
+type dim_map = { scale : int; offset : int }
+(** One dimension of a composed coordinate map:
+    [original = scale·normalized + offset]. *)
+
+type origin = { source : string; dims : dim_map array option }
+(** Where a normalized-nest array's data comes from: the original array
+    [source], and the coordinate map ([None] = identity). *)
+
+val origins : steps:step list -> (string * origin) list
+(** The composed array-origin table of a normalization run: one entry
+    per array whose name or layout the steps changed.  Arrays not
+    listed are identical to their originals. *)
+
+val map_element : origin -> int array -> int array
+(** Apply the coordinate map to one element. *)
+
+(** {1 Replay} *)
+
+val replay :
+  ?init:(string -> int array -> int) ->
+  ?scalar:(string -> int) ->
+  original:Nest.t ->
+  normalized:Nest.t ->
+  steps:step list ->
+  unit ->
+  (unit, string) result
+(** Run both nests sequentially and compare final memories bit for bit,
+    routing the normalized run's reads-before-writes through
+    {!origins} and mapping its written coordinates back.  [init] and
+    [scalar] default to {!Cf_exec.Seqexec.default_init} /
+    [default_scalar]. *)

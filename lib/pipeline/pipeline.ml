@@ -115,6 +115,35 @@ let plan_serve ?(obs = Cf_obs.Trace.null) ?strategy ?basis ?search_radius
         mc )
   end
 
+(* Normalization front door: fold/hoist/compress/shift first, then plan
+   the normalized nest.  Unrolled, strided, shifted, or (legally)
+   non-uniform inputs reach the theorems instead of being rejected at
+   the door; nests normalization cannot repair come back as [Error]
+   with the transform diagnostics attached. *)
+let plan_normalized ?(obs = Cf_obs.Trace.null) ?strategy ?basis ?search_radius
+    ?nprocs nest =
+  let r =
+    Cf_obs.Trace.span obs ~cat:"plan" "normalize" (fun () ->
+        Cf_normalize.Normalize.normalize ~obs nest)
+  in
+  let reject reason = Error (r, reason) in
+  if Cf_loop.Nest.cardinal r.Cf_normalize.Normalize.normalized = 0 then
+    reject "empty iteration space"
+  else if
+    not (Cf_loop.Nest.all_uniformly_generated r.Cf_normalize.Normalize.normalized)
+  then
+    reject
+      (match r.Cf_normalize.Normalize.rejected with
+      | d :: _ -> Format.asprintf "%a" Cf_normalize.Normalize.pp_diag d
+      | [] -> "non-uniformly-generated references survive normalization")
+  else
+    match
+      plan_serve ~obs ?strategy ?basis ?search_radius ?nprocs
+        r.Cf_normalize.Normalize.normalized
+    with
+    | planned -> Ok (r, planned)
+    | exception Invalid_argument msg -> reject msg
+
 let pipeline_of = function Exact t | Fallback (t, _) -> t
 let fallback_of = function Exact _ -> None | Fallback (_, mc) -> Some mc
 

@@ -99,6 +99,24 @@ val plan_serve :
     covers the candidate search and volume estimation ([nprocs],
     default 4, sizes the placement the volumes are predicted for). *)
 
+val plan_normalized :
+  ?obs:Cf_obs.Trace.t ->
+  ?strategy:Strategy.t ->
+  ?basis:int array list ->
+  ?search_radius:int ->
+  ?nprocs:int ->
+  Cf_loop.Nest.t ->
+  ( Cf_normalize.Normalize.result * planned,
+    Cf_normalize.Normalize.result * string )
+  result
+(** Normalization front door: run {!Cf_normalize.Normalize.normalize}
+    (one obs span per transform phase), then {!plan_serve} on the
+    normalized nest.  [Error] carries the normalization result (with
+    its per-transform diagnostics) and the reason planning is still
+    impossible — an aliased non-uniform reference, an empty iteration
+    space.  Callers that want the witness checked run
+    {!Cf_normalize.Normalize.check} on the returned result. *)
+
 val pipeline_of : planned -> t
 val fallback_of : planned -> Cf_mincomm.Mincomm.t option
 

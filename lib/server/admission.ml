@@ -60,7 +60,7 @@ let tenant_of_spec spec =
 type decision = Admitted | Rate_limited | Shed of int | Saturated
 
 type state = {
-  config : tenant;
+  mutable config : tenant;
   mutable tokens : float;
   mutable refilled_at : float;
   mutable in_flight : int;
@@ -207,6 +207,45 @@ let admit t name =
           Admitted
         end
       end)
+
+let reconfigure t tenants =
+  locked t (fun () ->
+      let now = t.clock () in
+      let listed = Hashtbl.create (List.length tenants) in
+      List.iter (fun (c : tenant) -> Hashtbl.replace listed c.name c) tenants;
+      (* Live states keep their slots and counters across the swap, so
+         outstanding requests still release correctly; only the limits
+         change.  Settle each bucket under the old rate first, then
+         clamp the balance to the new burst. *)
+      Hashtbl.iter
+        (fun name s ->
+          refill t s;
+          let config =
+            match Hashtbl.find_opt listed name with
+            | Some c -> c
+            | None -> { t.default with name }  (* un-provisioned *)
+          in
+          s.config <- config;
+          s.tokens <- Float.min s.tokens config.burst;
+          s.refilled_at <- now;
+          Hashtbl.remove listed name)
+        t.states;
+      (* Tenants provisioned for the first time start with a full
+         bucket, like at create. *)
+      Hashtbl.iter
+        (fun name config ->
+          Hashtbl.replace t.states name
+            {
+              config;
+              tokens = config.burst;
+              refilled_at = now;
+              in_flight = 0;
+              admitted = 0;
+              rate_limited = 0;
+              shed_count = 0;
+              saturated_count = 0;
+            })
+        listed)
 
 let release t name =
   locked t (fun () ->

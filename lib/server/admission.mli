@@ -66,6 +66,15 @@ val admit : t -> string -> decision
 
 val release : t -> string -> unit
 
+val reconfigure : t -> tenant list -> unit
+(** Hot-swap the per-tenant limits without dropping live state: listed
+    tenants get the new config (token balances settled under the old
+    rate, then clamped to the new burst); tenants no longer listed
+    revert to the default config under their own name; tenants seen for
+    the first time start with a full bucket.  [in_flight] slots and all
+    counters are preserved, so requests admitted before the swap still
+    {!release} correctly and stats stay monotonic across a reload. *)
+
 val outstanding : t -> int
 
 type tenant_stats = {

@@ -89,3 +89,4 @@ let plan ?(serve = false) ?(strategy = Cf_core.Strategy.Nonduplicate)
 
 let stats t = request t (Protocol.request_to_json Protocol.Stats)
 let health t = request t (Protocol.request_to_json Protocol.Health)
+let reload t = request t (Protocol.request_to_json Protocol.Reload)

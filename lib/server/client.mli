@@ -47,5 +47,9 @@ val plan :
 val stats : t -> (Cf_obs.Json.t, string) result
 val health : t -> (Cf_obs.Json.t, string) result
 
+val reload : t -> (Cf_obs.Json.t, string) result
+(** Ask the server to hot-reload its tenant table (re-read its tenants
+    file) without dropping live connections. *)
+
 val close : t -> unit
 (** Idempotent. *)

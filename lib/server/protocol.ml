@@ -49,6 +49,7 @@ type request =
     }
   | Stats
   | Health
+  | Reload
 
 let strategy_of_string s =
   List.find_opt
@@ -115,6 +116,7 @@ let request_of_json j =
                })))
     | Some "stats" -> Ok Stats
     | Some "health" -> Ok Health
+    | Some "reload" -> Ok Reload
     | Some op -> Error (Unknown_op, Printf.sprintf "unknown op %S" op))
   | _ -> Error (Bad_request, "request must be a JSON object")
 
@@ -139,6 +141,7 @@ let request_to_json = function
         | Some t -> [ ("timeout", Json.Num t) ]))
   | Stats -> Json.Obj [ ("op", Json.Str "stats") ]
   | Health -> Json.Obj [ ("op", Json.Str "health") ]
+  | Reload -> Json.Obj [ ("op", Json.Str "reload") ]
 
 let ok fields = Json.Obj (("ok", Json.Bool true) :: fields)
 

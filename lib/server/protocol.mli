@@ -7,7 +7,7 @@
     only version 1) and rejects incompatible clients with
     [unsupported_version] before any work is accepted.  After the
     handshake the client sends requests ([plan], [plan_serve], [stats],
-    [health]) and reads one response per request, in order.
+    [health], [reload]) and reads one response per request, in order.
 
     Success responses carry ["ok": true]; failures carry ["ok": false]
     and an ["error"] object with a stable machine-readable [code] plus a
@@ -55,6 +55,9 @@ type request =
     }
   | Stats
   | Health
+  | Reload
+      (** re-read the tenant table (from the server's tenants file)
+          into admission control without dropping live connections *)
 
 val request_of_json :
   Cf_obs.Json.t -> (request, error_code * string) result

@@ -18,6 +18,7 @@ type config = {
   admit_capacity : int;
   shed_start : float;
   tenants : Admission.tenant list;
+  tenants_file : string option;
   nprocs : int;
   trace : Trace.t;
   trace_sample : float;
@@ -39,6 +40,7 @@ let default_config =
     admit_capacity = 8;
     shed_start = 0.5;
     tenants = [];
+    tenants_file = None;
     nprocs = 4;
     trace = Trace.null;
     trace_sample = 0.;
@@ -66,6 +68,7 @@ type meters = {
   m_errors : Metrics.counter;  (* any non-ok reply *)
   m_oversized : Metrics.counter;
   m_journal_appends : Metrics.counter;
+  m_reloads : Metrics.counter;  (* successful tenant-table reloads *)
   m_connections : Metrics.gauge;  (* currently open *)
   m_latency : Metrics.histogram;  (* plan-op wall seconds *)
 }
@@ -372,6 +375,45 @@ let handle_plan t ~tenant ~serve ~src ~strategy ~search_radius ~timeout =
                    (Cf_core.Strategy.to_string strategy))
               Protocol.Tripped))
 
+(* {2 Tenant-table reload}
+
+   One spec per line, same syntax as the --tenant flag; blank lines and
+   #-comments skipped.  Any bad line rejects the whole file, so a typo
+   can never half-apply a reload. *)
+let tenants_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line -> (
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then go (lineno + 1) acc
+          else
+            match Admission.tenant_of_spec line with
+            | Ok tenant -> go (lineno + 1) (tenant :: acc)
+            | Error msg ->
+              Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      go 1 [])
+
+let reload_tenants t =
+  let tenants =
+    match t.config.tenants_file with
+    | None -> Ok t.config.tenants
+    | Some path -> (
+      try tenants_of_file path
+      with Sys_error msg -> Error msg)
+  in
+  match tenants with
+  | Error _ as e -> e
+  | Ok ts ->
+    Admission.reconfigure t.admission ts;
+    Metrics.incr t.meters.m_reloads;
+    Ok (List.length ts)
+
 (* One decoded frame -> one reply.  [`Close] additionally ends the
    connection after the reply is written. *)
 let handle_frame t ~tenant ~greeted payload =
@@ -427,7 +469,21 @@ let handle_frame t ~tenant ~greeted payload =
               ];
         (reply, `Keep)
       | Ok Protocol.Stats -> (stats_json t, `Keep)
-      | Ok Protocol.Health -> (health_json t, `Keep))
+      | Ok Protocol.Health -> (health_json t, `Keep)
+      | Ok Protocol.Reload -> (
+        match reload_tenants t with
+        | Ok n ->
+          ( Protocol.ok
+              [
+                ("op", Json.Str "reload");
+                ("tenants", num_of_int n);
+                ( "source",
+                  Json.Str
+                    (Option.value t.config.tenants_file ~default:"config") );
+              ],
+            `Keep )
+        | Error msg ->
+          (Protocol.error_response ~detail:msg Protocol.Bad_request, `Keep)))
 
 let serve_conn t fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.read_timeout;
@@ -531,6 +587,14 @@ let start config =
   if config.trace_sample < 0. || config.trace_sample > 1. then
     invalid_arg "Server.start: trace_sample must be in [0, 1]";
   if config.nprocs < 1 then invalid_arg "Server.start: nprocs must be >= 1";
+  let boot_tenants =
+    match config.tenants_file with
+    | None -> config.tenants
+    | Some path -> (
+      match (try tenants_of_file path with Sys_error msg -> Error msg) with
+      | Ok ts -> ts
+      | Error msg -> invalid_arg ("Server.start: tenants file: " ^ msg))
+  in
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -548,6 +612,7 @@ let start config =
       m_errors = Metrics.counter registry "server.errors";
       m_oversized = Metrics.counter registry "server.oversized_frames";
       m_journal_appends = Metrics.counter registry "server.journal_appends";
+      m_reloads = Metrics.counter registry "server.tenant_reloads";
       m_connections = Metrics.gauge registry "server.connections";
       m_latency = Metrics.histogram registry "server.latency";
     }
@@ -601,7 +666,7 @@ let start config =
       service;
       admission =
         Admission.create ~shed_start:config.shed_start
-          ~capacity:config.admit_capacity config.tenants;
+          ~capacity:config.admit_capacity boot_tenants;
       journal;
       report;
       registry;

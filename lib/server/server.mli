@@ -43,6 +43,10 @@ type config = {
   admit_capacity : int;  (** outstanding admitted plan requests *)
   shed_start : float;  (** occupancy where load-shedding begins *)
   tenants : Admission.tenant list;
+  tenants_file : string option;
+      (** tenant-spec file (one [--tenant] spec per line, [#] comments);
+          read at boot and re-read by the [reload] protocol op /
+          {!reload_tenants} — [tenants] is ignored while set *)
   nprocs : int;  (** placement size for the fallback tier *)
   trace : Cf_obs.Trace.t;
   trace_sample : float;  (** fraction of requests traced, 0..1 *)
@@ -84,6 +88,15 @@ val stats_json : t -> Cf_obs.Json.t
 
 val compact_now : t -> unit
 (** Force one journal compaction (no-op without a journal). *)
+
+val reload_tenants : t -> (int, string) result
+(** Hot-reload the tenant table into admission control — re-read
+    [tenants_file] (or fall back to the static [tenants] list) and
+    {!Admission.reconfigure} without dropping live connections or
+    in-flight requests.  [Ok n] is the number of tenant specs applied;
+    [Error] (unreadable file, bad spec line) leaves the previous table
+    untouched.  Also triggered by the [reload] protocol op; callers may
+    wire it to SIGHUP. *)
 
 val stop : t -> unit
 (** Graceful shutdown: stop accepting, wake and join every connection

@@ -105,6 +105,7 @@ let expected_names =
     "canon-relabel-roundtrip";
     "cgen-roundtrip";
     "fallback-vs-seq";
+    "normalize-roundtrip";
   ]
 
 let no_fail oracle nest =
@@ -114,10 +115,10 @@ let no_fail oracle nest =
 
 let oracle_tests =
   [
-    ( "registry lists the eight documented oracles",
+    ( "registry lists the nine documented oracles",
       `Quick,
       fun () ->
-        check_int "count" 8 (List.length Oracle.all);
+        check_int "count" 9 (List.length Oracle.all);
         List.iter
           (fun n -> check_bool n true (List.mem n Oracle.names))
           expected_names );
@@ -308,6 +309,7 @@ let fuzz_tests =
               oracles = Oracle.all;
               corpus_dir = None;
               max_shrink_steps = 100;
+              unnormalized = false;
             }
         in
         check_int "cases" 30 stats.Fuzz.cases;
@@ -338,6 +340,7 @@ let fuzz_tests =
               oracles = [ synthetic ];
               corpus_dir = Some dir;
               max_shrink_steps = 200;
+              unnormalized = false;
             }
         in
         check_bool "found failures" true (stats.Fuzz.failures <> []);
@@ -365,6 +368,7 @@ let fuzz_tests =
             oracles = Oracle.all;
             corpus_dir = None;
             max_shrink_steps = 50;
+            unnormalized = false;
           }
         in
         let stats = Fuzz.run config in

@@ -1,0 +1,374 @@
+(* The normalization front door: each transform against a hand-written
+   unnormalized nest, witness machine-checking (both the syntactic
+   reconstruction and the sequential replay), tampered-witness
+   rejection, illegal-hoist diagnostics, the plan_normalized facade,
+   and round-trips through the unnormalized generator. *)
+
+open Testutil
+module N = Cf_normalize.Normalize
+module W = Cf_normalize.Witness
+module Subst = Cf_normalize.Subst
+module U = Cf_normalize.Unnormalize
+module Nest = Cf_loop.Nest
+
+let parse = Cf_loop.Parse.nest
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* 2x2 matmul with the k loop hand-unrolled (factor 2). *)
+let unrolled_matmul =
+  parse
+    {|
+for i = 1 to 2
+  for j = 1 to 2
+    C[i, j] := C[i, j] + A[i, 1] * B[1, j];
+    C[i, j] := C[i, j] + A[i, 2] * B[2, j];
+  end
+end
+|}
+
+(* Every subscript of A walks the even sublattice. *)
+let stride2_stencil =
+  parse {|
+for i = 1 to 6
+  A[2*i] := A[2*i - 2] + d;
+end
+|}
+
+(* Non-zero constant lower bounds on both levels. *)
+let offset_chain =
+  parse
+    {|
+for i = 5 to 9
+  for j = 3 to 6
+    B[i, j] := B[i-1, j] + B[i, j-1];
+  end
+end
+|}
+
+(* A is only read: redirecting A[2*i] to an alias is legal. *)
+let legal_hoist = parse {|
+for i = 1 to 4
+  C[i] := A[i] + A[2*i];
+end
+|}
+
+(* A[2] is read (at i = 3, via 8 - 2*i) after being written (at i = 2):
+   hoisting the read to a copy-in alias would see the stale initial
+   value. *)
+let illegal_hoist =
+  parse {|
+for i = 1 to 4
+  A[i] := i;
+  B[i] := A[8 - 2*i];
+end
+|}
+
+let checked nest =
+  let r = N.normalize nest in
+  (match N.check r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "witness check failed: %s" msg);
+  r
+
+let step_names r = List.map W.step_name r.N.steps
+
+(* {2 The transform catalog} *)
+
+let fold_unrolled_matmul () =
+  let r = checked unrolled_matmul in
+  Alcotest.(check (list string)) "steps" [ "fold"; "shift" ] (step_names r);
+  (match r.N.steps with
+  | W.Fold { copies; group; _ } :: _ ->
+    check_int "copies" 2 copies;
+    check_int "group" 1 group
+  | _ -> Alcotest.fail "expected a fold step first");
+  check_int "depth grew" 3 (Array.length (Nest.indices r.N.normalized));
+  check_bool "uniform after" true (Nest.all_uniformly_generated r.N.normalized)
+
+let compress_stencil () =
+  let r = checked stride2_stencil in
+  Alcotest.(check (list string)) "steps" [ "compress"; "shift" ]
+    (step_names r);
+  (match r.N.steps with
+  | W.Compress { array; scales; residues } :: _ ->
+    check_string "array" "A" array;
+    Alcotest.(check (array int)) "scales" [| 2 |] scales;
+    Alcotest.(check (array int)) "residues" [| 0 |] residues
+  | _ -> Alcotest.fail "expected a compress step first");
+  (* After compression + rebase the stencil is the unit-stride chain. *)
+  let expected = parse {|
+for i = 0 to 5
+  A[i + 1] := A[i] + d;
+end
+|} in
+  check_bool "canonical form" true
+    (Subst.nest_congruent expected r.N.normalized)
+
+let shift_offset_chain () =
+  let r = checked offset_chain in
+  (match r.N.steps with
+  | [ W.Shift { offsets } ] ->
+    Alcotest.(check (array int)) "offsets" [| 5; 3 |] offsets
+  | _ -> Alcotest.fail "expected exactly one shift step");
+  Array.iter
+    (fun (level : Nest.level) ->
+      check_bool "lower rebased to 0" true
+        (Cf_loop.Affine.to_constant level.Nest.lower = Some 0))
+    r.N.normalized.Nest.levels
+
+let hoist_legal () =
+  let r = checked legal_hoist in
+  check_bool "hoist applied" true (List.mem "hoist" (step_names r));
+  check_bool "uniform after" true
+    (Nest.all_uniformly_generated r.N.normalized);
+  check_bool "alias array introduced" true
+    (List.exists
+       (fun a -> String.length a > 3 && String.sub a 0 3 = "A__")
+       (Nest.arrays r.N.normalized))
+
+let hoist_illegal_diagnostic () =
+  let r = checked illegal_hoist in
+  check_bool "no hoist applied" false (List.mem "hoist" (step_names r));
+  check_bool "still non-uniform" false
+    (Nest.all_uniformly_generated r.N.normalized);
+  match
+    List.find_opt (fun (d : N.diag) -> d.N.transform = "hoist") r.N.rejected
+  with
+  | None -> Alcotest.fail "expected a structured hoist diagnostic"
+  | Some d ->
+    Alcotest.(check (option string)) "names the array" (Some "A") d.N.array;
+    check_bool "explains the aliasing" true
+      (contains d.N.reason "aliases")
+
+let normalize_is_idempotent () =
+  let r = checked unrolled_matmul in
+  let r2 = N.normalize r.N.normalized in
+  Alcotest.(check (list string)) "no second-pass steps" [] (step_names r2);
+  check_bool "fixed point" true
+    (Subst.nest_congruent r.N.normalized r2.N.normalized)
+
+(* {2 Witness failure paths} *)
+
+let with_steps r steps = { r with N.steps }
+
+let tampered_shift_rejected () =
+  let r = checked offset_chain in
+  let steps =
+    List.map
+      (function
+        | W.Shift { offsets } ->
+          let o = Array.copy offsets in
+          o.(0) <- o.(0) + 1;
+          W.Shift { offsets = o }
+        | s -> s)
+      r.N.steps
+  in
+  match N.check (with_steps r steps) with
+  | Ok () -> Alcotest.fail "tampered shift offsets must be rejected"
+  | Error _ -> ()
+
+let tampered_compress_rejected () =
+  let r = checked stride2_stencil in
+  let steps =
+    List.map
+      (function
+        | W.Compress c ->
+          let scales = Array.copy c.W.scales in
+          scales.(0) <- 3;
+          W.Compress { c with W.scales }
+        | s -> s)
+      r.N.steps
+  in
+  match N.check (with_steps r steps) with
+  | Ok () -> Alcotest.fail "tampered compress scale must be rejected"
+  | Error _ -> ()
+
+let tampered_fold_rejected () =
+  let r = checked unrolled_matmul in
+  let steps =
+    List.map
+      (function
+        | W.Fold f -> W.Fold { f with W.copies = 3 }
+        | s -> s)
+      r.N.steps
+  in
+  match N.check (with_steps r steps) with
+  | Ok () -> Alcotest.fail "tampered fold copy count must be rejected"
+  | Error _ -> ()
+
+let dropped_step_rejected () =
+  let r = checked unrolled_matmul in
+  match N.check (with_steps r [ List.hd r.N.steps ]) with
+  | Ok () -> Alcotest.fail "a dropped witness step must be rejected"
+  | Error _ -> ()
+
+(* A hand-forged hoist witness for the nest where hoisting is illegal:
+   the inverse renaming reconstructs the original (so the syntactic
+   half passes), but the sequential replay must catch that the alias
+   reads a stale value. *)
+let forged_illegal_hoist_rejected () =
+  let normalized =
+    parse {|
+for i = 1 to 4
+  A[i] := i;
+  B[i] := A__h0[8 - 2*i];
+end
+|}
+  in
+  let forged =
+    {
+      N.original = illegal_hoist;
+      normalized;
+      steps = [ W.Hoist { array = "A"; fresh = "A__h0"; sites = [ (1, 0) ] } ];
+      rejected = [];
+    }
+  in
+  (match W.reconstruct ~steps:forged.N.steps normalized with
+  | Ok back ->
+    check_bool "syntactic half accepts the forgery" true
+      (Subst.nest_congruent illegal_hoist back)
+  | Error msg -> Alcotest.failf "reconstruction should succeed: %s" msg);
+  match N.check forged with
+  | Ok () -> Alcotest.fail "replay must reject the illegal hoist"
+  | Error msg ->
+    check_bool "pinpoints the replay" true
+      (contains msg "replay")
+
+(* {2 plan_normalized} *)
+
+let plan_normalized_unrolled () =
+  match Cf_pipeline.Pipeline.plan_normalized unrolled_matmul with
+  | Ok (r, planned) ->
+    check_bool "steps recorded" true (r.N.steps <> []);
+    check_bool "plan produced" true
+      (Cf_pipeline.Pipeline.block_count (Cf_pipeline.Pipeline.pipeline_of planned)
+       > 0)
+  | Error (_, reason) -> Alcotest.failf "expected a plan: %s" reason
+
+let plan_normalized_rejects_aliased () =
+  match Cf_pipeline.Pipeline.plan_normalized illegal_hoist with
+  | Ok _ -> Alcotest.fail "aliased non-uniform nest must not plan"
+  | Error (r, reason) ->
+    check_bool "diagnostics travel with the error" true (r.N.rejected <> []);
+    check_bool "reason is the hoist diagnostic" true
+      (contains reason "hoist")
+
+(* {2 Unnormalize round-trips} *)
+
+let unnormalize_composed_roundtrip () =
+  let base = parse {|
+for i = 0 to 5
+  A[i + 1] := A[i] + B[3*i];
+end
+|} in
+  let nest = U.unroll base ~factor:2 in
+  let nest =
+    U.scale_array nest ~array:"B" ~scales:[| 2 |] ~residues:[| 1 |]
+  in
+  let nest = U.shift_bounds nest ~offsets:[| 4 |] in
+  let r = checked nest in
+  check_bool "re-rolled and re-compressed to uniform" true
+    (Nest.all_uniformly_generated r.N.normalized);
+  check_bool "fold recovered" true (List.mem "fold" (step_names r));
+  check_bool "compress recovered" true (List.mem "compress" (step_names r))
+
+let unnormalize_failure_paths () =
+  Alcotest.check_raises "unroll: trip not divisible"
+    (Invalid_argument "Unnormalize.unroll: trip count not divisible by factor")
+    (fun () -> ignore (U.unroll stride2_stencil ~factor:4));
+  Alcotest.check_raises "retarget_read: arity mismatch"
+    (Invalid_argument "Unnormalize.retarget_read: arity mismatch")
+    (fun () ->
+      ignore
+        (U.retarget_read stride2_stencil ~stmt:0 ~read:0
+           ~subscripts:[ Cf_loop.Affine.const 0; Cf_loop.Affine.const 1 ]))
+
+(* {2 Generator streams} *)
+
+let generator_is_replayable () =
+  let p = Cf_check.Gen.default ~depth:2 in
+  for index = 0 to 19 do
+    let a = Cf_check.Gen.generate_unnormalized ~seed:11 ~index p in
+    let b = Cf_check.Gen.generate_unnormalized ~seed:11 ~index p in
+    check_bool "same (seed, index) => same nest" true
+      (Subst.nest_congruent a b)
+  done
+
+let prop_generated_roundtrip () =
+  for case = 0 to 119 do
+    let depth = 1 + (case mod 3) in
+    let nest =
+      Cf_check.Gen.generate_unnormalized ~seed:7 ~index:case
+        (Cf_check.Gen.default ~depth)
+    in
+    let r = N.normalize nest in
+    match N.check r with
+    | Ok () -> ()
+    | Error msg ->
+      Alcotest.failf "case %d: %s\n%s" case msg
+        (Cf_check.Corpus.render nest)
+  done
+
+let prop_oracle_sweep () =
+  let oracle =
+    match Cf_check.Oracle.find "normalize-roundtrip" with
+    | Some o -> o
+    | None -> Alcotest.fail "normalize-roundtrip oracle not registered"
+  in
+  for case = 0 to 99 do
+    let depth = 1 + (case mod 3) in
+    let nest =
+      Cf_check.Gen.generate_unnormalized ~seed:23 ~index:case
+        (Cf_check.Gen.default ~depth)
+    in
+    match Cf_check.Oracle.check oracle nest with
+    | Cf_check.Oracle.Pass | Cf_check.Oracle.Skip _ -> ()
+    | Cf_check.Oracle.Fail detail ->
+      Alcotest.failf "case %d: %s\n%s" case detail
+        (Cf_check.Corpus.render nest)
+  done
+
+let cases =
+  [
+    Alcotest.test_case "fold: unrolled matmul re-rolls" `Quick
+      fold_unrolled_matmul;
+    Alcotest.test_case "compress: stride-2 stencil to unit stride" `Quick
+      compress_stencil;
+    Alcotest.test_case "shift: offset chain rebased to 0" `Quick
+      shift_offset_chain;
+    Alcotest.test_case "hoist: read-only alias is legal" `Quick hoist_legal;
+    Alcotest.test_case "hoist: aliased write yields a diagnostic" `Quick
+      hoist_illegal_diagnostic;
+    Alcotest.test_case "normalize is idempotent" `Quick
+      normalize_is_idempotent;
+    Alcotest.test_case "witness: tampered shift offsets rejected" `Quick
+      tampered_shift_rejected;
+    Alcotest.test_case "witness: tampered compress scale rejected" `Quick
+      tampered_compress_rejected;
+    Alcotest.test_case "witness: tampered fold copies rejected" `Quick
+      tampered_fold_rejected;
+    Alcotest.test_case "witness: dropped step rejected" `Quick
+      dropped_step_rejected;
+    Alcotest.test_case "witness: forged illegal hoist fails replay" `Quick
+      forged_illegal_hoist_rejected;
+    Alcotest.test_case "plan_normalized: unrolled matmul reaches a plan"
+      `Quick plan_normalized_unrolled;
+    Alcotest.test_case "plan_normalized: aliased nest returns diagnostics"
+      `Quick plan_normalized_rejects_aliased;
+    Alcotest.test_case "unnormalize: composed ops round-trip" `Quick
+      unnormalize_composed_roundtrip;
+    Alcotest.test_case "unnormalize: failure paths raise" `Quick
+      unnormalize_failure_paths;
+    Alcotest.test_case "generator: unnormalized stream is replayable" `Quick
+      generator_is_replayable;
+    Alcotest.test_case "property: 120 generated nests witness-check" `Slow
+      prop_generated_roundtrip;
+    Alcotest.test_case "property: oracle sweep over 100 nests" `Slow
+      prop_oracle_sweep;
+  ]
+
+let suites = [ ("normalize", cases) ]

@@ -463,6 +463,53 @@ let admission_cases =
             | Ok _ -> Alcotest.failf "spec %S must be rejected" bad)
           [ ""; ":priority=1"; "t:priority=11"; "t:weight=0"; "t:rate=0";
             "t:burst=0"; "t:frobs=3"; "t:priority" ]);
+    Alcotest.test_case "reconfigure preserves live work" `Quick (fun () ->
+        let now = ref 0. in
+        let metered =
+          { Admission.default_tenant with name = "metered"; rate = 1.;
+            burst = 2. }
+        in
+        let capped =
+          { Admission.default_tenant with name = "capped"; rate = 1e-9;
+            burst = 1. }
+        in
+        let t =
+          Admission.create ~clock:(fun () -> !now) ~capacity:100
+            [ metered; capped ]
+        in
+        check_bool "metered 1" true (Admission.admit t "metered" = Admitted);
+        check_bool "metered 2" true (Admission.admit t "metered" = Admitted);
+        check_bool "metered drained" true
+          (Admission.admit t "metered" = Rate_limited);
+        check_bool "capped 1" true (Admission.admit t "capped" = Admitted);
+        check_bool "capped drained" true
+          (Admission.admit t "capped" = Rate_limited);
+        check_int "before reload" 3 (Admission.outstanding t);
+        Admission.reconfigure t
+          [
+            { Admission.default_tenant with name = "metered"; rate = 100.;
+              burst = 5. };
+          ];
+        (* In-flight work survives the reload untouched. *)
+        check_int "after reload" 3 (Admission.outstanding t);
+        (* The drained bucket is clamped, not refilled: a reload is not a
+           free burst. *)
+        check_bool "still drained" true
+          (Admission.admit t "metered" = Rate_limited);
+        (* ...but the new rate applies from the reload instant. *)
+        now := 0.05;
+        check_bool "refills at new rate" true
+          (Admission.admit t "metered" = Admitted);
+        (* A tenant dropped from the table reverts to the default
+           (unmetered) profile. *)
+        check_bool "unlisted reverts to default" true
+          (Admission.admit t "capped" = Admitted);
+        Admission.release t "metered";
+        Admission.release t "metered";
+        Admission.release t "metered";
+        Admission.release t "capped";
+        Admission.release t "capped";
+        check_int "releases still account" 0 (Admission.outstanding t));
   ]
 
 (* --- End-to-end over a Unix socket --- *)
@@ -721,6 +768,62 @@ let e2e_cases =
                       (Protocol.error_code_of reply
                       = Some Protocol.Rate_limited)
                   | Error msg -> Alcotest.fail msg)));
+    Alcotest.test_case "tenant table reloads without dropping connections"
+      `Quick (fun () ->
+        let tenants_file = tmp_path "tenants.txt" in
+        let write_tenants lines =
+          let oc = open_out tenants_file in
+          List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+          close_out oc
+        in
+        write_tenants [ "# starved until the reload"; "meter:rate=1e-9,burst=1" ];
+        let config =
+          { Server.default_config with Server.tenants_file = Some tenants_file }
+        in
+        with_server ~config "reload" (fun sock _server ->
+            match Client.connect_unix ~tenant:"meter" sock with
+            | Error msg -> Alcotest.fail msg
+            | Ok c ->
+              Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                  ignore (ok_or_fail "first plan" (Client.plan c (render l1)));
+                  (match Client.plan c (render l1) with
+                  | Ok reply ->
+                    check_bool "starved before reload" true
+                      (Protocol.error_code_of reply
+                      = Some Protocol.Rate_limited)
+                  | Error msg -> Alcotest.fail msg);
+                  (* Re-provision on disk, then reload over the very
+                     connection that is being re-metered. *)
+                  write_tenants
+                    [ "meter:rate=1000000,burst=4"; "extra:priority=5" ];
+                  let reply = ok_or_fail "reload" (Client.reload c) in
+                  check_string "reload op" "reload" (str_field "op" reply);
+                  (match field "tenants" reply with
+                  | Json.Num n -> check_int "tenant count" 2 (int_of_float n)
+                  | _ -> Alcotest.fail "tenants field is not a number");
+                  check_string "source is the file" tenants_file
+                    (str_field "source" reply);
+                  (* The live connection keeps working under the new
+                     profile: the once-starved tenant plans again. *)
+                  let replanned =
+                    ok_or_fail "plan after reload" (Client.plan c (render l1))
+                  in
+                  check_bool "served from cache" true
+                    (bool_field "cache_hit" replanned);
+                  ignore (ok_or_fail "stats after reload" (Client.stats c)));
+            (* A broken table must reject wholesale and leave the old
+               profiles standing. *)
+            write_tenants [ "meter:rate=oops" ];
+            match Server.reload_tenants _server with
+            | Ok _ -> Alcotest.fail "bad tenants file must be rejected"
+            | Error msg ->
+              let contains s sub =
+                let n = String.length s and m = String.length sub in
+                let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+                go 0
+              in
+              check_bool "error names the file" true
+                (contains msg tenants_file)));
   ]
 
 let suites =
