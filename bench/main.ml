@@ -1114,7 +1114,19 @@ let print_fault_rows rows =
         r.ft_identical)
     rows
 
-let write_faults_json ~file rows =
+type ckpt_row = {
+  ck_workload : string;
+  ck_size : int;
+  ck_every : int;
+  ck_mode : string; (* "delta" | "full" *)
+  ck_checkpoints : int;
+  ck_words : int;
+  ck_rounds : int;
+  ck_rewords : int;
+  ck_identical : bool;
+}
+
+let write_faults_json ~file rows crows =
   let row_json r =
     Printf.sprintf
       "    {\"workload\": \"%s\", \"size\": %d, \"kills\": %d, \"crashed\": \
@@ -1127,19 +1139,145 @@ let write_faults_json ~file rows =
       (r.ft_makespan_fault /. r.ft_makespan_ok)
       r.ft_identical
   in
+  let crow_json r =
+    Printf.sprintf
+      "    {\"workload\": \"%s\", \"size\": %d, \"checkpoint_every\": %d, \
+       \"mode\": \"%s\", \"checkpoints\": %d, \"checkpoint_words\": %d, \
+       \"rounds\": %d, \"redistributed_words\": %d, \"identical\": %b}"
+      (json_escape r.ck_workload) r.ck_size r.ck_every r.ck_mode
+      r.ck_checkpoints r.ck_words r.ck_rounds r.ck_rewords r.ck_identical
+  in
   let oc = open_out file in
   Printf.fprintf oc
-    "{\n  \"bench\": \"fault-recovery\",\n  \"procs\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    "{\n\
+    \  \"bench\": \"fault-recovery\",\n\
+    \  \"procs\": %d,\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"checkpoint_rows\": [\n\
+     %s\n\
+    \  ]\n\
+     }\n"
     scale_procs
-    (String.concat ",\n" (List.map row_json rows));
+    (String.concat ",\n" (List.map row_json rows))
+    (String.concat ",\n" (List.map crow_json crows));
   close_out oc;
   Printf.printf "wrote %s\n%!" file
+
+(* E23: checkpoint overhead vs write rate and cadence.  The same two
+   workloads run under a fixed two-kill fault plan while the recovery
+   checkpoint is refreshed every 0/1/2/4 rounds, once with journaled
+   delta captures and once with full deep copies as the reference.
+   [words] is the deterministic total payload captured across the run
+   — the delta rows must stay at O(writes): per-round delta
+   checkpointing in total may cost no more than the single
+   post-distribution full copy the engine always paid before. *)
+
+let ckpt_rows ~quick () =
+  let placement = Cf_exec.Parexec.cyclic ~nprocs:scale_procs in
+  let case ~workload ~size nest psi =
+    let strategy = Strategy.Duplicate in
+    let coset = Coset.make nest psi in
+    let spec =
+      {
+        Cf_fault.Fault.none with
+        seed = 7;
+        kills = [ (0, 4); (1, 5) ];
+        drop_rate = 0.02;
+        corrupt_rate = 0.01;
+      }
+    in
+    let run ~every ~mode =
+      let machine =
+        Cf_machine.Machine.create
+          ~faults:(Cf_fault.Fault.make ~procs:scale_procs spec)
+          (Cf_machine.Topology.mesh [| 4; 4 |])
+          Cf_machine.Cost.transputer
+      in
+      let r =
+        Cf_exec.Parexec.execute_indexed ~charge_distribution:true
+          ~checkpoint_every:every ~checkpoint_mode:mode ~machine ~placement
+          ~strategy coset
+      in
+      let rc = Option.get r.Cf_exec.Parexec.recovery in
+      {
+        ck_workload = workload;
+        ck_size = size;
+        ck_every = every;
+        ck_mode = (match mode with `Delta -> "delta" | `Full -> "full");
+        ck_checkpoints = rc.Cf_exec.Parexec.checkpoints;
+        ck_words = rc.Cf_exec.Parexec.checkpoint_words;
+        ck_rounds = rc.Cf_exec.Parexec.rounds;
+        ck_rewords = rc.Cf_exec.Parexec.redistributed_words;
+        ck_identical = Cf_exec.Parexec.ok r;
+      }
+    in
+    List.map (fun every -> run ~every ~mode:`Delta) [ 0; 1; 2; 4 ]
+    @ [ run ~every:0 ~mode:`Full; run ~every:1 ~mode:`Full ]
+  in
+  let kernel name =
+    List.find
+      (fun k -> k.Cf_workloads.Workloads.name = name)
+      Cf_workloads.Workloads.all
+  in
+  let matmul = kernel "matmul" and stencil = kernel "stencil3d" in
+  let msize = if quick then 8 else 16 in
+  let ssize = if quick then 8 else 12 in
+  let mm = matmul.Cf_workloads.Workloads.build ~size:msize in
+  let st = stencil.Cf_workloads.Workloads.build ~size:ssize in
+  let diag3 =
+    Cf_linalg.Subspace.span 3 [ Cf_linalg.Vec.of_int_list [ 1; 1; 1 ] ]
+  in
+  case ~workload:"matmul" ~size:msize mm
+    (Strategy.partitioning_space Strategy.Duplicate mm)
+  @ case ~workload:"stencil3d" ~size:ssize st diag3
+
+let print_ckpt_rows rows =
+  section "E23 - delta checkpoints: capture cost vs cadence";
+  Printf.printf "%-10s %5s %6s %6s %6s %10s %6s %8s %9s\n" "workload" "size"
+    "every" "mode" "ckpts" "words" "rounds" "resent" "identical";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s %5d %6d %6s %6d %10d %6d %8d %9b\n" r.ck_workload
+        r.ck_size r.ck_every r.ck_mode r.ck_checkpoints r.ck_words r.ck_rounds
+        r.ck_rewords r.ck_identical)
+    rows
+
+let ckpt_asserts rows =
+  let find w every mode =
+    List.find
+      (fun r -> r.ck_workload = w && r.ck_every = every && r.ck_mode = mode)
+      rows
+  in
+  List.for_all
+    (fun w ->
+      (* Per-round delta checkpointing in total must not exceed the old
+         single post-distribution full copy... *)
+      (find w 1 "delta").ck_words <= (find w 0 "full").ck_words
+      (* ...the mandatory post-distribution checkpoint must ride the
+         compactor's donated base, under 10% of the deep copy it
+         replaces... *)
+      && float_of_int (find w 0 "delta").ck_words
+         < 0.10 *. float_of_int (find w 0 "full").ck_words
+      (* ...and refreshing every round must stay cheaper than deep
+         copies at the same cadence. *)
+      && (find w 1 "delta").ck_words < (find w 1 "full").ck_words)
+    [ "matmul"; "stencil3d" ]
 
 let run_faults ~quick =
   let rows = fault_rows ~quick () in
   print_fault_rows rows;
-  write_faults_json ~file:(json_file "BENCH_faults.json") rows;
+  let crows = ckpt_rows ~quick () in
+  print_ckpt_rows crows;
+  write_faults_json ~file:(json_file "BENCH_faults.json") rows crows;
+  let ok_ckpt = ckpt_asserts crows in
+  if not ok_ckpt then
+    print_endline
+      "E23 FAIL: delta checkpointing exceeded its O(writes) budget";
   List.for_all (fun r -> r.ft_identical) rows
+  && List.for_all (fun r -> r.ck_identical) crows
+  && ok_ckpt
 
 (* E17: observability overhead.  The instrumentation in Machine and
    Parexec is compiled in permanently and guarded by one

@@ -299,7 +299,8 @@ let comm_mode_flag v k =
         s;
       2)
 
-let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
+let fault_simulate ~backend ~strategy ~radius ~procs ~spec ~checkpoint_every
+    nest =
   let plan = Cf_pipeline.Pipeline.plan ~strategy ?search_radius:radius nest in
   let fplan = Cf_fault.Fault.make ~procs spec in
   let machine =
@@ -314,7 +315,7 @@ let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
   let report =
     Cf_exec.Parexec.execute_indexed ~backend
       ?exact:plan.Cf_pipeline.Pipeline.exact ~charge_distribution:true
-      ~machine
+      ~checkpoint_every ~machine
       ~placement:(Cf_exec.Parexec.cyclic ~nprocs:procs)
       ~strategy coset
   in
@@ -329,7 +330,7 @@ let fault_simulate ~backend ~strategy ~radius ~procs ~spec nest =
     (Cf_exec.Parexec.ok report)
 
 let simulate_run level file strategy radius procs backend comm_mode fault_seed
-    kill_pe kill_after =
+    kill_pe kill_after checkpoint_every =
   setup_logs level;
   backend_flag backend @@ fun backend ->
   comm_mode_flag comm_mode @@ fun comm_mode ->
@@ -349,6 +350,13 @@ let simulate_run level file strategy radius procs backend comm_mode fault_seed
   int_flag "fault-seed" fault_seed @@ fun seed ->
   int_flag "kill-pe" kill_pe @@ fun kill_pe ->
   int_flag "kill-after" kill_after @@ fun kill_after ->
+  int_flag "checkpoint-every" checkpoint_every @@ fun checkpoint_every ->
+  let checkpoint_every = Option.value checkpoint_every ~default:0 in
+  if checkpoint_every < 0 then begin
+    Format.eprintf "error: --checkpoint-every must be >= 0@.";
+    2
+  end
+  else
   match (seed, kill_pe, kill_after) with
   | None, None, None ->
     handle (fun () ->
@@ -367,7 +375,7 @@ let simulate_run level file strategy radius procs backend comm_mode fault_seed
                 mc.Cf_mincomm.Mincomm.estimate.Cf_mincomm.Mincomm.messages);
             let sim =
               Cf_pipeline.Pipeline.simulate_serve ~backend ~procs ~comm_mode
-                planned
+                ~checkpoint_every planned
             in
             Format.printf "@[<v>%a@]@." Cf_exec.Parexec.pp_report
               sim.Cf_pipeline.Pipeline.report;
@@ -414,7 +422,9 @@ let simulate_run level file strategy radius procs backend comm_mode fault_seed
       }
     in
     handle (fun () ->
-        each_nest file (fault_simulate ~backend ~strategy ~radius ~procs ~spec))
+        each_nest file
+          (fault_simulate ~backend ~strategy ~radius ~procs ~spec
+             ~checkpoint_every))
 
 let simulate_cmd =
   let doc = "Execute the plan on the simulated multicomputer and verify it." in
@@ -447,10 +457,20 @@ let simulate_cmd =
                    $(b,strict) (any remote access aborts the run).  Exact \
                    plans never communicate, so the flag is inert for them.")
   in
+  let checkpoint_every_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint-every" ] ~docv:"N"
+             ~doc:"Refresh the recovery checkpoint every $(docv) execution \
+                   rounds (delta capture: only words written since the \
+                   previous checkpoint), so a crash replays from the last \
+                   checkpointed round.  Default 0: only the \
+                   post-distribution snapshot.  On fallback plans the \
+                   cadence is per $(docv) iterations instead.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const simulate_run $ logs_arg $ file_arg $ strategy_arg $ radius_arg
           $ procs_arg $ backend_arg $ comm_mode_arg $ fault_seed_arg
-          $ kill_pe_arg $ kill_after_arg)
+          $ kill_pe_arg $ kill_after_arg $ checkpoint_every_arg)
 
 (* trace *)
 
@@ -651,15 +671,17 @@ let rec json_leaves prefix j acc =
             (match (tag "workload", tag "experiment", tag "name") with
             | Some s, _, _ | None, Some s, _ | None, None, Some s ->
               (* Disambiguate repeated workloads (size sweeps, kill
-                 sweeps) so rows pair up across files positionally
-                 independent. *)
+                 sweeps, checkpoint-cadence sweeps) so rows pair up
+                 across files positionally independent. *)
               let disc name =
                 match List.assoc_opt name fields with
                 | Some (Cf_obs.Json.Num x) when Float.is_integer x ->
                   Printf.sprintf ",%s=%.0f" name x
+                | Some (Cf_obs.Json.Str v) -> Printf.sprintf ",%s=%s" name v
                 | _ -> ""
               in
-              s ^ disc "size" ^ disc "kills"
+              s ^ disc "size" ^ disc "kills" ^ disc "checkpoint_every"
+              ^ disc "mode"
             | None, None, None -> string_of_int i)
           | _ -> string_of_int i
         in

@@ -152,6 +152,108 @@ let fault_recovery nest =
       (String.concat ","
          (List.map string_of_int r.Cf_exec.Parexec.crashed_pes))
 
+(* delta-checkpoint-identical: the journal-driven delta checkpoints
+   against a full deep copy kept as the differential reference.  Same
+   seeded fault plan, per-round cadence, both statement-body backends,
+   all four strategies — restore and chunk recovery must be
+   bit-for-bit indistinguishable: same recovery trajectory, same final
+   local memories, same makespan.  Only [checkpoint_words] (the
+   captured payload) may differ — that is the point of deltas. *)
+
+let delta_checkpoint nest =
+  let spec =
+    {
+      Cf_fault.Fault.none with
+      seed = 5;
+      kills = [ (0, 1); (2, 2) ];
+      drop_rate = 0.05;
+      corrupt_rate = 0.02;
+    }
+  in
+  let run strategy backend mode =
+    let plan = Cf_pipeline.Pipeline.plan ~strategy nest in
+    let machine =
+      Cf_machine.Machine.create
+        ~faults:(Cf_fault.Fault.make ~procs:nprocs spec)
+        (Cf_machine.Topology.linear nprocs)
+        Cf_machine.Cost.transputer
+    in
+    let coset = Coset.make nest plan.Cf_pipeline.Pipeline.space in
+    let report =
+      Cf_exec.Parexec.execute_indexed ~backend
+        ?exact:plan.Cf_pipeline.Pipeline.exact ~domains:1
+        ~charge_distribution:true ~checkpoint_every:1 ~checkpoint_mode:mode
+        ~machine
+        ~placement:(Cf_exec.Parexec.cyclic ~nprocs)
+        ~strategy coset
+    in
+    (report, machine)
+  in
+  let compare_modes strategy backend =
+    let bname = Cf_exec.Compile.backend_name backend in
+    let rd, md = run strategy backend `Delta in
+    let rf, mf = run strategy backend `Full in
+    match (rd.Cf_exec.Parexec.recovery, rf.Cf_exec.Parexec.recovery) with
+    | None, _ | _, None ->
+      failf "strategy %a/%s: fault plan produced no recovery record"
+        Strategy.pp strategy bname
+    | Some d, Some f ->
+      if not (Cf_exec.Parexec.ok rd) then
+        failf "strategy %a/%s: delta-checkpointed run diverges from sequential"
+          Strategy.pp strategy bname
+      else if not (Cf_exec.Parexec.ok rf) then
+        failf "strategy %a/%s: full-checkpointed run diverges from sequential"
+          Strategy.pp strategy bname
+      else if
+        (d.Cf_exec.Parexec.crashed_pes, d.Cf_exec.Parexec.rounds,
+         d.Cf_exec.Parexec.replayed_blocks,
+         d.Cf_exec.Parexec.redistributed_words,
+         d.Cf_exec.Parexec.checkpoints)
+        <> (f.Cf_exec.Parexec.crashed_pes, f.Cf_exec.Parexec.rounds,
+            f.Cf_exec.Parexec.replayed_blocks,
+            f.Cf_exec.Parexec.redistributed_words,
+            f.Cf_exec.Parexec.checkpoints)
+      then
+        failf
+          "strategy %a/%s: recovery trajectories differ (delta: %d rounds %d \
+           blocks %d words; full: %d rounds %d blocks %d words)"
+          Strategy.pp strategy bname d.Cf_exec.Parexec.rounds
+          d.Cf_exec.Parexec.replayed_blocks
+          d.Cf_exec.Parexec.redistributed_words f.Cf_exec.Parexec.rounds
+          f.Cf_exec.Parexec.replayed_blocks
+          f.Cf_exec.Parexec.redistributed_words
+      else if
+        rd.Cf_exec.Parexec.per_pe_iterations
+        <> rf.Cf_exec.Parexec.per_pe_iterations
+      then
+        failf "strategy %a/%s: per-PE iteration counts differ between modes"
+          Strategy.pp strategy bname
+      else if Cf_machine.Machine.makespan md <> Cf_machine.Machine.makespan mf
+      then
+        failf "strategy %a/%s: makespan differs between checkpoint modes"
+          Strategy.pp strategy bname
+      else begin
+        let mem m pe = List.sort compare (Cf_machine.Machine.local_elements m ~pe) in
+        let rec pes pe =
+          if pe >= nprocs then Pass
+          else if mem md pe <> mem mf pe then
+            failf "strategy %a/%s: PE%d's recovered memory differs between modes"
+              Strategy.pp strategy bname pe
+          else pes (pe + 1)
+        in
+        pes 0
+      end
+  in
+  let rec go = function
+    | [] -> Pass
+    | (strategy, backend) :: rest -> (
+      match compare_modes strategy backend with Pass -> go rest | v -> v)
+  in
+  go
+    (List.concat_map
+       (fun s -> [ (s, `Compiled); (s, `Interpreted) ])
+       Strategy.all)
+
 (* compiled-vs-interpreted: the closure-specialized execution backend
    against the AST interpreter it was compiled from — bit-for-bit, on
    both the sequential reference and the machine engine. *)
@@ -398,6 +500,11 @@ let all =
     { name = "fault-recovery-identical";
       doc = "crash recovery reproduces the fault-free result";
       check = fault_recovery };
+    { name = "delta-checkpoint-identical";
+      doc =
+        "journaled delta checkpoints recover bit-for-bit like full deep \
+         copies, per-round cadence, both backends, all strategies";
+      check = delta_checkpoint };
     { name = "compiled-vs-interpreted";
       doc = "closure-specialized backend bit-for-bit vs the interpreter";
       check = compiled_vs_interpreted };

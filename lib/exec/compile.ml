@@ -105,6 +105,7 @@ type flat = {
   f_extents : int array;
   f_data : int array;
   f_present : Bytes.t;
+  f_dirty : Bytes.t;
 }
 
 type target = {
@@ -249,6 +250,7 @@ type wacc =
   | W1 of {
       data : int array;
       present : Bytes.t;
+      dirty : Bytes.t;
       lo0 : int;
       n0 : int;
       q0 : int;
@@ -258,6 +260,7 @@ type wacc =
   | W2 of {
       data : int array;
       present : Bytes.t;
+      dirty : Bytes.t;
       lo0 : int;
       n0 : int;
       lo1 : int;
@@ -320,6 +323,7 @@ let wacc_of target (site : Site.t) =
            {
              data = f.f_data;
              present = f.f_present;
+             dirty = f.f_dirty;
              lo0 = f.f_lo.(0);
              n0 = f.f_extents.(0);
              q0;
@@ -338,6 +342,7 @@ let wacc_of target (site : Site.t) =
            {
              data = f.f_data;
              present = f.f_present;
+             dirty = f.f_dirty;
              lo0 = f.f_lo.(0);
              n0 = f.f_extents.(0);
              lo1 = f.f_lo.(1);
@@ -376,8 +381,10 @@ let[@inline] wrt w iter v =
   | W1 a ->
     let x = a.c0 + Array.unsafe_get iter a.q0 in
     let i = x - a.lo0 in
-    if i >= 0 && i < a.n0 && Bytes.unsafe_get a.present i <> '\000' then
-      Array.unsafe_set a.data i v
+    if i >= 0 && i < a.n0 && Bytes.unsafe_get a.present i <> '\000' then begin
+      Array.unsafe_set a.data i v;
+      Bytes.unsafe_set a.dirty i '\001'
+    end
     else a.miss x v
   | W2 a ->
     let x0 = a.c0 + Array.unsafe_get iter a.q0 in
@@ -385,8 +392,10 @@ let[@inline] wrt w iter v =
     let i0 = x0 - a.lo0 and i1 = x1 - a.lo1 in
     if i0 >= 0 && i0 < a.n0 && i1 >= 0 && i1 < a.n1 then begin
       let off = (i0 * a.n1) + i1 in
-      if Bytes.unsafe_get a.present off <> '\000' then
-        Array.unsafe_set a.data off v
+      if Bytes.unsafe_get a.present off <> '\000' then begin
+        Array.unsafe_set a.data off v;
+        Bytes.unsafe_set a.dirty off '\001'
+      end
       else a.miss x0 x1 v
     end
     else a.miss x0 x1 v
@@ -441,6 +450,7 @@ let fuse_c222 op1 op2 ~r0 ~r1 ~r2 ~w =
     and cm = c.miss in
     let dd = d.data
     and dp = d.present
+    and ddt = d.dirty
     and dlo0 = d.lo0
     and dn0 = d.n0
     and dlo1 = d.lo1
@@ -504,7 +514,10 @@ let fuse_c222 op1 op2 ~r0 ~r1 ~r2 ~w =
         let i0 = x0 - dlo0 and i1 = x1 - dlo1 in
         if i0 >= 0 && i0 < dn0 && i1 >= 0 && i1 < dn1 then begin
           let off = (i0 * dn1) + i1 in
-          if Bytes.unsafe_get dp off <> '\000' then Array.unsafe_set dd off v
+          if Bytes.unsafe_get dp off <> '\000' then begin
+            Array.unsafe_set dd off v;
+            Bytes.unsafe_set ddt off '\001'
+          end
           else dm x0 x1 v
         end
         else dm x0 x1 v)
@@ -537,6 +550,7 @@ let fuse_c111 op1 op2 ~r0 ~r1 ~r2 ~w =
     and cm = c.miss in
     let dd = d.data
     and dp = d.present
+    and ddt = d.dirty
     and dlo0 = d.lo0
     and dn0 = d.n0
     and dq0 = d.q0
@@ -581,8 +595,10 @@ let fuse_c111 op1 op2 ~r0 ~r1 ~r2 ~w =
         in
         let x = dc0 + Array.unsafe_get iter dq0 in
         let i = x - dlo0 in
-        if i >= 0 && i < dn0 && Bytes.unsafe_get dp i <> '\000' then
-          Array.unsafe_set dd i v
+        if i >= 0 && i < dn0 && Bytes.unsafe_get dp i <> '\000' then begin
+          Array.unsafe_set dd i v;
+          Bytes.unsafe_set ddt i '\001'
+        end
         else dm x v)
   | _ -> None
 
@@ -614,6 +630,7 @@ let fuse_b22 op ~r0 ~r1 ~w =
     and bm = b.miss in
     let dd = d.data
     and dp = d.present
+    and ddt = d.dirty
     and dlo0 = d.lo0
     and dn0 = d.n0
     and dlo1 = d.lo1
@@ -659,7 +676,10 @@ let fuse_b22 op ~r0 ~r1 ~w =
         let i0 = x0 - dlo0 and i1 = x1 - dlo1 in
         if i0 >= 0 && i0 < dn0 && i1 >= 0 && i1 < dn1 then begin
           let off = (i0 * dn1) + i1 in
-          if Bytes.unsafe_get dp off <> '\000' then Array.unsafe_set dd off v
+          if Bytes.unsafe_get dp off <> '\000' then begin
+            Array.unsafe_set dd off v;
+            Bytes.unsafe_set ddt off '\001'
+          end
           else dm x0 x1 v
         end
         else dm x0 x1 v)
@@ -781,12 +801,15 @@ let compile_stmt ~scalar ~target ~pos ~on_write si (sp : stmt_sites) =
         | Some f ->
           let lo0 = f.f_lo.(0) and n0 = f.f_extents.(0) in
           let data = f.f_data and present = f.f_present in
+          let dirty = f.f_dirty in
           fun iter ->
             let v = rhs iter in
             let x = c + iter.(q) in
             let i = x - lo0 in
-            if i >= 0 && i < n0 && Bytes.unsafe_get present i <> '\000' then
-              Array.unsafe_set data i v
+            if i >= 0 && i < n0 && Bytes.unsafe_get present i <> '\000' then begin
+              Array.unsafe_set data i v;
+              Bytes.unsafe_set dirty i '\001'
+            end
             else w x v
         | None ->
           fun iter ->
@@ -809,14 +832,17 @@ let compile_stmt ~scalar ~target ~pos ~on_write si (sp : stmt_sites) =
           let lo0 = f.f_lo.(0) and n0 = f.f_extents.(0) in
           let lo1 = f.f_lo.(1) and n1 = f.f_extents.(1) in
           let data = f.f_data and present = f.f_present in
+          let dirty = f.f_dirty in
           fun iter ->
             let v = rhs iter in
             let x0 = c0 + iter.(q0) and x1 = c1 + iter.(q1) in
             let i0 = x0 - lo0 and i1 = x1 - lo1 in
             if i0 >= 0 && i0 < n0 && i1 >= 0 && i1 < n1 then begin
               let off = (i0 * n1) + i1 in
-              if Bytes.unsafe_get present off <> '\000' then
-                Array.unsafe_set data off v
+              if Bytes.unsafe_get present off <> '\000' then begin
+                Array.unsafe_set data off v;
+                Bytes.unsafe_set dirty off '\001'
+              end
               else w x0 x1 v
             end
             else w x0 x1 v
@@ -922,6 +948,7 @@ let run_fuse_c222 op1 op2 ~r0 ~r1 ~r2 ~w ~k =
     and cc1 = c.c1 in
     let dd = d.data
     and dp = d.present
+    and ddt = d.dirty
     and dlo0 = d.lo0
     and dn0 = d.n0
     and dlo1 = d.lo1
@@ -982,7 +1009,8 @@ let run_fuse_c222 op1 op2 ~r0 ~r1 ~r2 ~w ~k =
                   | Expr.Mul -> v0 * vb
                   | Expr.Div -> v0 / vb
                 in
-                Array.unsafe_set dd offd v
+                Array.unsafe_set dd offd v;
+                Bytes.unsafe_set ddt offd '\001'
               end
               else begin
                 (* Absent element: replay the iteration through the

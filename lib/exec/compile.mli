@@ -78,10 +78,14 @@ type flat = {
   f_extents : int array;
   f_data : int array;
   f_present : Bytes.t;
+  f_dirty : Bytes.t;
 }
 (** A live row-major view of one array's storage: element [el] sits at
     offset [Σ (el.(p) − f_lo.(p))·stride(p)] and is present iff its
-    [f_present] byte is nonzero. *)
+    [f_present] byte is nonzero.  Every compiled store to [f_data] also
+    sets the matching [f_dirty] byte, feeding the target machine's
+    write journal (delta checkpoints would otherwise miss raw-buffer
+    writes). *)
 
 type target = {
   reader : int -> int array -> int;

@@ -27,6 +27,12 @@ type recovery = {
           second crash counts again) *)
   redistributed_words : int;
       (** words replayed from the checkpoint onto surviving PEs *)
+  checkpoints : int;
+      (** snapshots taken, counting the mandatory post-distribution one *)
+  checkpoint_words : int;
+      (** total words captured across all checkpoints — for delta
+          checkpoints this is O(writes since the previous one), for full
+          copies O(resident memory) each *)
 }
 (** What fault recovery did during one {!execute_indexed} run. *)
 
@@ -90,6 +96,8 @@ val execute_indexed :
   ?charge_distribution:bool ->
   ?validate:bool ->
   ?domains:int ->
+  ?checkpoint_every:int ->
+  ?checkpoint_mode:[ `Delta | `Full ] ->
   machine:Cf_machine.Machine.t ->
   placement:placement ->
   strategy:Strategy.t ->
@@ -122,7 +130,18 @@ val execute_indexed :
     blocks.  Replay is deterministic, so the merged result — and hence
     [mismatches] against the sequential golden run — is identical to the
     fault-free run's.  Raises [Invalid_argument] when every processor
-    crashes. *)
+    crashes.
+
+    [checkpoint_every] (default 0 = only the post-distribution
+    snapshot) refreshes the checkpoint every so many rounds, taken at
+    round {e start} — after the previous round's recovery settled, so a
+    crashed block's partial writes are never captured — which makes
+    recovery replay from the last checkpointed round instead of from
+    post-distribution.  [checkpoint_mode] (default [`Delta]) selects
+    {!Cf_machine.Machine.checkpoint}'s O(writes) delta capture or the
+    full deep copy; the two recover bit-for-bit identically (the
+    [delta-checkpoint-identical] oracle in [cf_check] enforces it) and
+    differ only in [recovery.checkpoint_words]. *)
 
 (** {1 Fallback execution (communication-minimal plans)} *)
 
@@ -145,6 +164,7 @@ val execute_fallback :
   ?scalar:(string -> int) ->
   ?charge_distribution:bool ->
   ?validate:bool ->
+  ?checkpoint_every:int ->
   machine:Cf_machine.Machine.t ->
   placement:placement ->
   Iter_partition.t ->
@@ -166,7 +186,14 @@ val execute_fallback :
     [~charge_distribution:true] the initial placement is charged as one
     pipelined host message per (PE, array).  Raises [Invalid_argument]
     on a machine with a fault plan (crash recovery is not defined for
-    serviced runs). *)
+    serviced runs).
+
+    [checkpoint_every] (default 0 = never) takes a delta checkpoint
+    every so many dispatched iterations.  The checkpoints are dropped —
+    no recovery runs here — but each capture drains the write journal,
+    keeping it O(writes per window), and exercises delta capture
+    through both statement-body engines (the
+    [delta-checkpoint-identical] oracle leans on this). *)
 
 val ok : report -> bool
 (** No remote access and no mismatch. *)

@@ -162,13 +162,14 @@ let machine_target machine aids pe =
       flat =
         (fun slot ->
           match M.flat_view machine ~pe aids.(slot) with
-          | Some (lo, extents, data, present) ->
+          | Some (lo, extents, data, present, dirty) ->
             Some
               {
                 Compile.f_lo = lo;
                 f_extents = extents;
                 f_data = data;
                 f_present = present;
+                f_dirty = dirty;
               }
           | None -> None);
     }

@@ -32,8 +32,44 @@ type chunk =
       extents : int array;
       data : int array;
       present : Bytes.t;
+      dirty : Bytes.t;  (* parallel to [data]: written since last capture *)
       mutable count : int;
     }
+
+(* Write journal: each PE tracks, since the last delta capture (or
+   journal restart), which sparse cells were written (packed keys, per
+   array id), which chunks were replaced wholesale, and whether the
+   whole memory was cleared.  Flat chunks record writes in their
+   [dirty] bitmap instead — one unconditional byte store per write
+   keeps the compiled kernels branch-free.  Captures read the current
+   value of every dirty cell (latest-wins) and reset the journal in
+   place, preserving the physical identity of the tables and bitmaps
+   that bound closures and compiled kernels hold. *)
+type jentry = {
+  mutable j_cleared : bool;
+  j_whole : (int, unit) Hashtbl.t;  (* aid: chunk replaced wholesale *)
+  j_cells : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* aid -> packed keys *)
+}
+
+(* One delta checkpoint window: everything written between two captures,
+   with values as of the later capture. *)
+type delta = {
+  d_cleared : bool array;  (* per PE: memory was cleared in this window *)
+  d_whole : (int * int, chunk) Hashtbl.t;  (* (pe, aid) -> chunk copy *)
+  d_cells : (int * int, (int, int) Hashtbl.t) Hashtbl.t;
+      (* (pe, aid) -> packed key -> value *)
+  d_words : int;
+}
+
+(* A chain is one full-snapshot base plus the deltas captured since.
+   Checkpoints reference a chain and a prefix length; the chain is
+   append-only, so outstanding checkpoint values stay valid when the
+   machine moves on (or starts a fresh chain). *)
+type chain = {
+  c_base : (int, chunk) Hashtbl.t array;
+  mutable c_deltas : delta list;  (* oldest first *)
+  mutable c_len : int;
+}
 
 type t = {
   topology : Topology.t;
@@ -58,6 +94,9 @@ type t = {
   mutable corrupted : int;
   mutable events : event list;  (* reverse issue order *)
   mutable obs : Cf_obs.Trace.t;
+  journal : jentry array;  (* per PE, reset at every delta capture *)
+  mutable chain : chain option;  (* live delta chain, if any *)
+  mutable generation : int;  (* bumps at every capture / chain restart *)
 }
 
 let create ?faults ?(obs = Cf_obs.Trace.null) ?(comm_mode = `Strict) topology
@@ -86,6 +125,13 @@ let create ?faults ?(obs = Cf_obs.Trace.null) ?(comm_mode = `Strict) topology
     dropped = 0;
     corrupted = 0;
     events = [];
+    journal =
+      Array.init p (fun _ ->
+          { j_cleared = false;
+            j_whole = Hashtbl.create 8;
+            j_cells = Hashtbl.create 8 });
+    chain = None;
+    generation = 0;
   }
 
 let topology m = m.topology
@@ -209,13 +255,67 @@ let demote chunk =
   chunk_iter (fun el v -> Hashtbl.replace tbl (pack_coords el) v) chunk;
   tbl
 
-let chunk_store memories pe aid el v =
+(* Deep-copy a chunk for a snapshot.  The copy's dirty bitmap starts
+   clean: snapshots never consult it, and a copy installed as a live
+   chunk begins a fresh journal window anyway. *)
+let copy_chunk = function
+  | Sparse tbl -> Sparse (Hashtbl.copy tbl)
+  | Flat f ->
+    Flat
+      { f with
+        data = Array.copy f.data;
+        present = Bytes.copy f.present;
+        dirty = Bytes.make (Bytes.length f.dirty) '\000' }
+
+(* Packed key for row-major offset [off] of a flat box. *)
+let flat_key lo extents off =
+  let d = Array.length lo in
+  let el = Array.make d 0 in
+  let rem = ref off in
+  for i = d - 1 downto 0 do
+    el.(i) <- (!rem mod extents.(i)) + lo.(i);
+    rem := !rem / extents.(i)
+  done;
+  pack_coords el
+
+(* Visit every dirty offset of a flat chunk, skipping clean regions
+   eight presence bytes at a time. *)
+let iter_flat_dirty_offsets dirty f =
+  let n = Bytes.length dirty in
+  let off = ref 0 in
+  while !off < n do
+    if !off + 8 <= n && Bytes.get_int64_ne dirty !off = 0L then off := !off + 8
+    else begin
+      if Bytes.unsafe_get dirty !off <> '\000' then f !off;
+      incr off
+    end
+  done
+
+(* The per-(pe, array) key set sparse writes journal into.  The table
+   identity is stable across captures ([Hashtbl.reset], never replace),
+   so bound writer closures keep journaling after a checkpoint. *)
+let jcells m pe aid =
+  let j = m.journal.(pe) in
+  match Hashtbl.find_opt j.j_cells aid with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 32 in
+    Hashtbl.add j.j_cells aid t;
+    t
+
+let chunk_store m pe aid el v =
+  let memories = m.memories in
   match Hashtbl.find_opt memories.(pe) aid with
   | None ->
+    let key = pack_coords el in
     let tbl = Hashtbl.create 16 in
-    Hashtbl.replace tbl (pack_coords el) v;
-    Hashtbl.replace memories.(pe) aid (Sparse tbl)
-  | Some (Sparse tbl) -> Hashtbl.replace tbl (pack_coords el) v
+    Hashtbl.replace tbl key v;
+    Hashtbl.replace memories.(pe) aid (Sparse tbl);
+    Hashtbl.replace (jcells m pe aid) key ()
+  | Some (Sparse tbl) ->
+    let key = pack_coords el in
+    Hashtbl.replace tbl key v;
+    Hashtbl.replace (jcells m pe aid) key ()
   | Some (Flat fl) ->
     let off = flat_offset fl.lo fl.extents el in
     if off >= 0 then begin
@@ -223,13 +323,22 @@ let chunk_store memories pe aid el v =
         Bytes.set fl.present off '\001';
         fl.count <- fl.count + 1
       end;
-      fl.data.(off) <- v
+      fl.data.(off) <- v;
+      Bytes.unsafe_set fl.dirty off '\001'
     end
     else begin
-      (* Outside the compacted box: fall back to sparse. *)
+      (* Outside the compacted box: fall back to sparse.  The flat
+         bitmap dies with the representation, so fold its dirty
+         offsets into the journal first. *)
+      let cells = jcells m pe aid in
+      iter_flat_dirty_offsets fl.dirty (fun o ->
+          if Bytes.unsafe_get fl.present o <> '\000' then
+            Hashtbl.replace cells (flat_key fl.lo fl.extents o) ());
       let tbl = demote (Flat fl) in
-      Hashtbl.replace tbl (pack_coords el) v;
-      Hashtbl.replace memories.(pe) aid (Sparse tbl)
+      let key = pack_coords el in
+      Hashtbl.replace tbl key v;
+      Hashtbl.replace memories.(pe) aid (Sparse tbl);
+      Hashtbl.replace cells key ()
     end
 
 let chunk_find memories pe aid el =
@@ -242,14 +351,15 @@ let chunk_find memories pe aid el =
     else None
 
 (* Overwrite an element already present; false when absent. *)
-let chunk_update memories pe aid el v =
-  match Hashtbl.find_opt memories.(pe) aid with
+let chunk_update m pe aid el v =
+  match Hashtbl.find_opt m.memories.(pe) aid with
   | None -> false
   | Some (Sparse tbl) ->
     let key = pack_coords el in
     Hashtbl.mem tbl key
     && begin
          Hashtbl.replace tbl key v;
+         Hashtbl.replace (jcells m pe aid) key ();
          true
        end
   | Some (Flat fl) ->
@@ -258,6 +368,7 @@ let chunk_update memories pe aid el v =
     && Bytes.get fl.present off <> '\000'
     && begin
          fl.data.(off) <- v;
+         Bytes.unsafe_set fl.dirty off '\001';
          true
        end
 
@@ -338,7 +449,7 @@ let write_miss m pe aid el v =
     match find_home m aid el with
     | Some (home, _) ->
       charge_service m ~pe ~home ~aid `Write;
-      if not (chunk_update m.memories home aid el v) then
+      if not (chunk_update m home aid el v) then
         raise (Remote_access { pe; array = array_name m aid; element = el })
     | None ->
       raise (Remote_access { pe; array = array_name m aid; element = el }))
@@ -347,7 +458,7 @@ let write_miss m pe aid el v =
 
 let store_id m ~pe aid el v =
   check_pe m pe;
-  chunk_store m.memories pe aid el v
+  chunk_store m pe aid el v
 
 let read_id m ~pe aid el =
   check_pe m pe;
@@ -357,7 +468,7 @@ let read_id m ~pe aid el =
 
 let write_id m ~pe aid el v =
   check_pe m pe;
-  if not (chunk_update m.memories pe aid el v) then
+  if not (chunk_update m pe aid el v) then
     write_miss m pe aid (Array.copy el) v
 
 let holds_id m ~pe aid el =
@@ -366,7 +477,13 @@ let holds_id m ~pe aid el =
 
 let install_id m ~pe aid tbl =
   check_pe m pe;
-  Hashtbl.replace m.memories.(pe) aid (Sparse tbl)
+  Hashtbl.replace m.memories.(pe) aid (Sparse tbl);
+  (* A wholesale replacement supersedes any journaled cells. *)
+  let j = m.journal.(pe) in
+  Hashtbl.replace j.j_whole aid ();
+  match Hashtbl.find_opt j.j_cells aid with
+  | Some t -> Hashtbl.reset t
+  | None -> ()
 
 (* {2 Block-bound accessors (compiled execution fast path)}
 
@@ -443,7 +560,7 @@ let reader2 m ~pe aid =
 let flat_view m ~pe aid =
   check_pe m pe;
   match Hashtbl.find_opt m.memories.(pe) aid with
-  | Some (Flat fl) -> Some (fl.lo, fl.extents, fl.data, fl.present)
+  | Some (Flat fl) -> Some (fl.lo, fl.extents, fl.data, fl.present, fl.dirty)
   | _ -> None
 
 let writer m ~pe aid =
@@ -451,17 +568,23 @@ let writer m ~pe aid =
   match Hashtbl.find_opt m.memories.(pe) aid with
   | None -> fun el v -> write_miss m pe aid (Array.copy el) v
   | Some (Sparse tbl) ->
+    let cells = jcells m pe aid in
     fun el v ->
       let key = pack_coords el in
-      if Hashtbl.mem tbl key then Hashtbl.replace tbl key v
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.replace tbl key v;
+        Hashtbl.replace cells key ()
+      end
       else write_miss m pe aid (Array.copy el) v
   | Some (Flat fl) ->
     let lo = fl.lo and extents = fl.extents in
-    let data = fl.data and present = fl.present in
+    let data = fl.data and present = fl.present and dirty = fl.dirty in
     fun el v ->
       let off = flat_offset lo extents el in
-      if off >= 0 && Bytes.unsafe_get present off <> '\000' then
-        Array.unsafe_set data off v
+      if off >= 0 && Bytes.unsafe_get present off <> '\000' then begin
+        Array.unsafe_set data off v;
+        Bytes.unsafe_set dirty off '\001'
+      end
       else write_miss m pe aid (Array.copy el) v
 
 let writer1 m ~pe aid =
@@ -469,11 +592,13 @@ let writer1 m ~pe aid =
   match Hashtbl.find_opt m.memories.(pe) aid with
   | Some (Flat fl) when Array.length fl.lo = 1 ->
     let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
-    let data = fl.data and present = fl.present in
+    let data = fl.data and present = fl.present and dirty = fl.dirty in
     fun x v ->
       let c = x - lo0 in
-      if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then
-        Array.unsafe_set data c v
+      if c >= 0 && c < e0 && Bytes.unsafe_get present c <> '\000' then begin
+        Array.unsafe_set data c v;
+        Bytes.unsafe_set dirty c '\001'
+      end
       else write_miss m pe aid [| x |] v
   | _ ->
     let w = writer m ~pe aid in
@@ -488,13 +613,15 @@ let writer2 m ~pe aid =
   | Some (Flat fl) when Array.length fl.lo = 2 ->
     let lo0 = fl.lo.(0) and e0 = fl.extents.(0) in
     let lo1 = fl.lo.(1) and e1 = fl.extents.(1) in
-    let data = fl.data and present = fl.present in
+    let data = fl.data and present = fl.present and dirty = fl.dirty in
     fun x0 x1 v ->
       let c0 = x0 - lo0 and c1 = x1 - lo1 in
       if c0 >= 0 && c0 < e0 && c1 >= 0 && c1 < e1 then begin
         let off = (c0 * e1) + c1 in
-        if Bytes.unsafe_get present off <> '\000' then
-          Array.unsafe_set data off v
+        if Bytes.unsafe_get present off <> '\000' then begin
+          Array.unsafe_set data off v;
+          Bytes.unsafe_set dirty off '\001'
+        end
         else write_miss m pe aid [| x0; x1 |] v
       end
       else write_miss m pe aid [| x0; x1 |] v
@@ -594,14 +721,55 @@ let promote tbl =
             Bytes.set present !off '\001';
             data.(!off) <- v)
           tbl;
-        Some (Flat { lo; extents; data; present; count = n })
+        Some
+          (Flat
+             { lo;
+               extents;
+               data;
+               present;
+               dirty = Bytes.make volume '\000';
+               count = n })
       end
     end
   end
 
-let compact m =
+let copy_memory mem =
+  let out = Hashtbl.create (max 16 (Hashtbl.length mem)) in
+  Hashtbl.iter (fun aid chunk -> Hashtbl.replace out aid (copy_chunk chunk)) mem;
+  out
+
+(* Restart the journal: reset every PE's entry and zero every flat
+   dirty bitmap — all in place, so bound closures stay live. *)
+let reset_journal m =
+  Array.iter
+    (fun j ->
+      j.j_cleared <- false;
+      Hashtbl.reset j.j_whole;
+      Hashtbl.iter (fun _ t -> Hashtbl.reset t) j.j_cells)
+    m.journal;
   Array.iter
     (fun mem ->
+      Hashtbl.iter
+        (fun _ chunk ->
+          match chunk with
+          | Flat f -> Bytes.fill f.dirty 0 (Bytes.length f.dirty) '\000'
+          | Sparse _ -> ())
+        mem)
+    m.memories
+
+let compact m =
+  (* Fault-plan machines donate the tables promotion is about to drop
+     as a free full-snapshot base: the post-compaction state becomes
+     generation zero of a fresh delta chain without copying a word for
+     any promoted chunk, so per-round delta checkpointing costs less in
+     total than one post-distribution deep copy. *)
+  let donated =
+    match m.faults with
+    | None -> None
+    | Some _ -> Some (Array.map (fun _ -> Hashtbl.create 16) m.memories)
+  in
+  Array.iteri
+    (fun pe mem ->
       let promoted = ref [] in
       Hashtbl.iter
         (fun aid chunk ->
@@ -609,11 +777,33 @@ let compact m =
           | Flat _ -> ()
           | Sparse tbl -> (
             match promote tbl with
-            | Some flat -> promoted := (aid, flat) :: !promoted
+            | Some flat -> promoted := (aid, tbl, flat) :: !promoted
             | None -> ()))
         mem;
-      List.iter (fun (aid, flat) -> Hashtbl.replace mem aid flat) !promoted)
-    m.memories
+      List.iter
+        (fun (aid, tbl, flat) ->
+          Hashtbl.replace mem aid flat;
+          match donated with
+          | Some base -> Hashtbl.replace base.(pe) aid (Sparse tbl)
+          | None -> ())
+        !promoted)
+    m.memories;
+  match donated with
+  | None -> ()
+  | Some base ->
+    (* Complete the donated base with copies of whatever did not
+       promote, then restart delta tracking at this generation. *)
+    Array.iteri
+      (fun pe mem ->
+        Hashtbl.iter
+          (fun aid chunk ->
+            if not (Hashtbl.mem base.(pe) aid) then
+              Hashtbl.replace base.(pe) aid (copy_chunk chunk))
+          mem)
+      m.memories;
+    m.generation <- m.generation + 1;
+    m.chain <- Some { c_base = base; c_deltas = []; c_len = 0 };
+    reset_journal m
 
 (* {2 Host distribution and accounting (unchanged cost model)} *)
 
@@ -795,45 +985,272 @@ let reset_stats m =
 
 (* {2 Checkpoint and recovery} *)
 
-(* A checkpoint is a deep copy of every PE's local memory.  Flat chunks
-   share their (immutable) lo/extents vectors and copy only the data and
-   presence buffers; sparse chunks copy the table.  Cheap enough to take
-   once after distribution and keep for the whole run. *)
+(* A checkpoint is either a full deep copy of every PE's local memory
+   ([`Full], the differential reference implementation) or a reference
+   into a delta chain ([`Delta], the default): one shared full-snapshot
+   base plus the prefix of per-window write deltas captured up to the
+   checkpoint.  Delta capture cost is O(writes since the previous
+   capture); restore and recovery replay base + live deltas. *)
 
-let copy_chunk = function
-  | Sparse tbl -> Sparse (Hashtbl.copy tbl)
-  | Flat f ->
-    Flat { f with data = Array.copy f.data; present = Bytes.copy f.present }
+type checkpoint =
+  | Full of (int, chunk) Hashtbl.t array
+  | Partial of { chain : chain; upto : int; words : int }
 
-let copy_memory mem =
-  let out = Hashtbl.create (max 16 (Hashtbl.length mem)) in
-  Hashtbl.iter (fun aid chunk -> Hashtbl.replace out aid (copy_chunk chunk)) mem;
-  out
+(* Chains longer than this restart from a fresh full base, bounding
+   replay cost for restore/recovery. *)
+let max_chain = 32
 
-type checkpoint = { saved : (int, chunk) Hashtbl.t array }
-
-let checkpoint m = { saved = Array.map copy_memory m.memories }
-
-let checkpoint_words c =
+let snapshot_words saved =
   Array.fold_left
     (fun acc mem ->
       Hashtbl.fold (fun _ chunk acc -> acc + chunk_count chunk) mem acc)
-    0 c.saved
+    0 saved
+
+let chunk_find_key mem aid key =
+  match Hashtbl.find_opt mem aid with
+  | None -> None
+  | Some (Sparse tbl) -> Hashtbl.find_opt tbl key
+  | Some (Flat fl) ->
+    let off = flat_offset fl.lo fl.extents (unpack_coords key) in
+    if off >= 0 && Bytes.get fl.present off <> '\000' then Some fl.data.(off)
+    else None
+
+(* Capture everything written since the last capture, reading current
+   values (latest-wins: a cell written many times costs one word), then
+   reset the journal in place. *)
+let capture_delta m =
+  let p = Array.length m.memories in
+  let d_cleared = Array.make p false in
+  let d_whole = Hashtbl.create 16 in
+  let d_cells = Hashtbl.create 64 in
+  let words = ref 0 in
+  let cells_for pe aid =
+    match Hashtbl.find_opt d_cells (pe, aid) with
+    | Some t -> t
+    | None ->
+      let t = Hashtbl.create 32 in
+      Hashtbl.add d_cells (pe, aid) t;
+      t
+  in
+  let record pe aid key v =
+    let out = cells_for pe aid in
+    if not (Hashtbl.mem out key) then incr words;
+    Hashtbl.replace out key v
+  in
+  for pe = 0 to p - 1 do
+    let j = m.journal.(pe) in
+    if j.j_cleared then d_cleared.(pe) <- true;
+    Hashtbl.iter
+      (fun aid () ->
+        match Hashtbl.find_opt m.memories.(pe) aid with
+        | None -> ()
+        | Some chunk ->
+          Hashtbl.replace d_whole (pe, aid) (copy_chunk chunk);
+          words := !words + chunk_count chunk)
+      j.j_whole;
+    Hashtbl.iter
+      (fun aid keys ->
+        if not (Hashtbl.mem j.j_whole aid) then
+          Hashtbl.iter
+            (fun key () ->
+              match chunk_find_key m.memories.(pe) aid key with
+              | Some v -> record pe aid key v
+              | None -> ())
+            keys)
+      j.j_cells;
+    Hashtbl.iter
+      (fun aid chunk ->
+        match chunk with
+        | Sparse _ -> ()
+        | Flat fl ->
+          if not (Hashtbl.mem j.j_whole aid) then
+            iter_flat_dirty_offsets fl.dirty (fun off ->
+                if Bytes.unsafe_get fl.present off <> '\000' then
+                  record pe aid (flat_key fl.lo fl.extents off) fl.data.(off)))
+      m.memories.(pe)
+  done;
+  reset_journal m;
+  { d_cleared; d_whole; d_cells; d_words = !words }
+
+let obs_checkpoint m ~kind ~words ~len =
+  if Cf_obs.Trace.enabled m.obs then
+    Cf_obs.Trace.complete m.obs ~lane:Cf_obs.Trace.host_lane ~cat:"ckpt"
+      ~ts:m.dist_time ~dur:0. "checkpoint"
+      ~args:
+        [ ("kind", Cf_obs.Trace.Str kind);
+          ("words", Cf_obs.Trace.Int words);
+          ("chain", Cf_obs.Trace.Int len);
+          ("generation", Cf_obs.Trace.Int m.generation) ]
+
+let checkpoint ?(mode = `Delta) m =
+  m.generation <- m.generation + 1;
+  match mode with
+  | `Full ->
+    let saved = Array.map copy_memory m.memories in
+    obs_checkpoint m ~kind:"full" ~words:(snapshot_words saved) ~len:0;
+    Full saved
+  | `Delta -> (
+    match m.chain with
+    | Some chain when chain.c_len < max_chain ->
+      let d = capture_delta m in
+      chain.c_deltas <- chain.c_deltas @ [ d ];
+      chain.c_len <- chain.c_len + 1;
+      obs_checkpoint m ~kind:"delta" ~words:d.d_words ~len:chain.c_len;
+      Partial { chain; upto = chain.c_len; words = d.d_words }
+    | _ ->
+      let base = Array.map copy_memory m.memories in
+      let chain = { c_base = base; c_deltas = []; c_len = 0 } in
+      m.chain <- Some chain;
+      reset_journal m;
+      let words = snapshot_words base in
+      obs_checkpoint m ~kind:"base" ~words ~len:0;
+      Partial { chain; upto = 0; words })
+
+let checkpoint_words = function
+  | Full saved -> snapshot_words saved
+  | Partial { words; _ } -> words
+
+let generation m = m.generation
+
+(* Live journal size: words a delta capture would copy right now. *)
+let journal_words m =
+  let words = ref 0 in
+  Array.iteri
+    (fun pe mem ->
+      let j = m.journal.(pe) in
+      Hashtbl.iter
+        (fun aid () ->
+          match Hashtbl.find_opt mem aid with
+          | Some chunk -> words := !words + chunk_count chunk
+          | None -> ())
+        j.j_whole;
+      Hashtbl.iter
+        (fun aid keys ->
+          if not (Hashtbl.mem j.j_whole aid) then
+            words := !words + Hashtbl.length keys)
+        j.j_cells;
+      Hashtbl.iter
+        (fun aid chunk ->
+          match chunk with
+          | Flat fl when not (Hashtbl.mem j.j_whole aid) ->
+            iter_flat_dirty_offsets fl.dirty (fun off ->
+                if Bytes.unsafe_get fl.present off <> '\000' then incr words)
+          | _ -> ())
+        mem)
+    m.memories;
+  !words
+
+(* Reconstruction-side store: chunk_store semantics on a bare memory
+   table, keyed by packed coordinates and free of journaling. *)
+let mem_store mem aid key v =
+  match Hashtbl.find_opt mem aid with
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    Hashtbl.replace tbl key v;
+    Hashtbl.replace mem aid (Sparse tbl)
+  | Some (Sparse tbl) -> Hashtbl.replace tbl key v
+  | Some (Flat fl) ->
+    let off = flat_offset fl.lo fl.extents (unpack_coords key) in
+    if off >= 0 then begin
+      if Bytes.get fl.present off = '\000' then begin
+        Bytes.set fl.present off '\001';
+        fl.count <- fl.count + 1
+      end;
+      fl.data.(off) <- v
+    end
+    else begin
+      let tbl = demote (Flat fl) in
+      Hashtbl.replace tbl key v;
+      Hashtbl.replace mem aid (Sparse tbl)
+    end
+
+let ckpt_procs = function
+  | Full saved -> Array.length saved
+  | Partial { chain; _ } -> Array.length chain.c_base
+
+(* Rebuild one PE's memory (optionally a single array) as of the
+   checkpoint: copy the base, then replay each delta in order — clear,
+   wholesale replacements, then cell writes. *)
+let rebuild_pe ?only c pe =
+  let want aid = match only with None -> true | Some a -> a = aid in
+  let copy_filtered src =
+    let out = Hashtbl.create (max 16 (Hashtbl.length src)) in
+    Hashtbl.iter
+      (fun aid chunk ->
+        if want aid then Hashtbl.replace out aid (copy_chunk chunk))
+      src;
+    out
+  in
+  match c with
+  | Full saved -> copy_filtered saved.(pe)
+  | Partial { chain; upto; _ } ->
+    let mem = copy_filtered chain.c_base.(pe) in
+    List.iteri
+      (fun i d ->
+        if i < upto then begin
+          if d.d_cleared.(pe) then Hashtbl.reset mem;
+          Hashtbl.iter
+            (fun (pe', aid) chunk ->
+              if pe' = pe && want aid then
+                Hashtbl.replace mem aid (copy_chunk chunk))
+            d.d_whole;
+          Hashtbl.iter
+            (fun (pe', aid) cells ->
+              if pe' = pe && want aid then
+                Hashtbl.iter (fun key v -> mem_store mem aid key v) cells)
+            d.d_cells
+        end)
+      chain.c_deltas;
+    mem
+
+(* Restored memories re-run the promotion policy.  Without this, a
+   restore of a checkpoint taken before [compact] silently resurrects
+   the sparse representation the compactor had since replaced (and a
+   delta rebuild of a donated chunk always starts sparse), demoting the
+   store behind the backs of callers that re-bind flat views. *)
+let normalize_memory mem =
+  let promoted = ref [] in
+  Hashtbl.iter
+    (fun aid chunk ->
+      match chunk with
+      | Flat _ -> ()
+      | Sparse tbl -> (
+        match promote tbl with
+        | Some flat -> promoted := (aid, flat) :: !promoted
+        | None -> ()))
+    mem;
+  List.iter (fun (aid, flat) -> Hashtbl.replace mem aid flat) !promoted
 
 let restore m c =
-  if Array.length c.saved <> Array.length m.memories then
+  if ckpt_procs c <> Array.length m.memories then
     invalid_arg "Machine.restore: checkpoint taken on a different machine";
-  Array.iteri (fun pe mem -> m.memories.(pe) <- copy_memory mem) c.saved
+  Array.iteri
+    (fun pe _ ->
+      let mem = rebuild_pe c pe in
+      normalize_memory mem;
+      m.memories.(pe) <- mem)
+    m.memories;
+  (* The live chain journals a store that no longer exists; drop it so
+     the next delta checkpoint starts from a fresh base. *)
+  m.chain <- None;
+  m.generation <- m.generation + 1;
+  reset_journal m
 
 let clear_pe m ~pe =
   check_pe m pe;
-  m.memories.(pe) <- Hashtbl.create 16
+  m.memories.(pe) <- Hashtbl.create 16;
+  let j = m.journal.(pe) in
+  j.j_cleared <- true;
+  Hashtbl.reset j.j_whole;
+  Hashtbl.iter (fun _ t -> Hashtbl.reset t) j.j_cells
 
 let recover_chunk m c ~from_pe ~to_pe ~aid =
   check_pe m to_pe;
-  if from_pe < 0 || from_pe >= Array.length c.saved then
+  if from_pe < 0 || from_pe >= ckpt_procs c then
     invalid_arg "Machine.recover_chunk: source PE out of range";
-  match Hashtbl.find_opt c.saved.(from_pe) aid with
+  let rebuilt = rebuild_pe ~only:aid c from_pe in
+  normalize_memory rebuilt;
+  match Hashtbl.find_opt rebuilt aid with
   | None -> 0
   | Some chunk ->
     let size = chunk_count chunk in
@@ -847,7 +1264,15 @@ let recover_chunk m c ~from_pe ~to_pe ~aid =
       [ ("pe", Cf_obs.Trace.Int to_pe);
         ("array", Cf_obs.Trace.Str (array_name m aid));
         ("size", Cf_obs.Trace.Int size) ];
-    Hashtbl.replace m.memories.(to_pe) aid (copy_chunk chunk);
+    (* The rebuild is already a private copy; install it directly and
+       journal the wholesale replacement so the next delta capture
+       carries it. *)
+    Hashtbl.replace m.memories.(to_pe) aid chunk;
+    let j = m.journal.(to_pe) in
+    Hashtbl.replace j.j_whole aid ();
+    (match Hashtbl.find_opt j.j_cells aid with
+    | Some t -> Hashtbl.reset t
+    | None -> ());
     size
 
 let trace m = List.rev m.events

@@ -160,16 +160,21 @@ val writer1 : t -> pe:int -> int -> int -> int -> unit
 val writer2 : t -> pe:int -> int -> int -> int -> int -> unit
 
 val flat_view :
-  t -> pe:int -> int -> (int array * int array * int array * Bytes.t) option
+  t ->
+  pe:int ->
+  int ->
+  (int array * int array * int array * Bytes.t * Bytes.t) option
 (** [flat_view m ~pe aid] exposes a compacted chunk as
-    [(lo, extents, data, present)] — the live buffers, row-major with
-    offset [Σ (el.(p) − lo.(p))·stride(p)], an element present iff its
-    byte is nonzero.  [None] for sparse or absent chunks.  Same
+    [(lo, extents, data, present, dirty)] — the live buffers, row-major
+    with offset [Σ (el.(p) − lo.(p))·stride(p)], an element present iff
+    its byte is nonzero.  [None] for sparse or absent chunks.  Same
     validity window as the bound accessors above; callers may read and
     update present elements directly but must never create or delete
-    elements.  This is the compiled backend's zero-call fast path: a
-    kernel inlines the offset arithmetic and falls back to
-    {!reader1}-style closures only on miss. *)
+    elements — and every direct update {e must} set the matching
+    [dirty] byte nonzero, or delta checkpoints will miss the write.
+    This is the compiled backend's zero-call fast path: a kernel
+    inlines the offset arithmetic and falls back to {!reader1}-style
+    closures only on miss. *)
 
 val install_id : t -> pe:int -> int -> (int, int) Hashtbl.t -> unit
 (** [install_id m ~pe aid tbl] installs [tbl] — a {!pack_coords} key to
@@ -184,7 +189,13 @@ val compact : t -> unit
     presence bitmap, so [holds]/{!Remote_access} semantics are exactly
     preserved).  Call after distribution, before execution; stores
     landing outside a compacted box transparently fall back to sparse
-    storage. *)
+    storage.
+
+    On a machine carrying a fault plan, compaction additionally folds
+    the cold write journal into a fresh delta-chain base: the sparse
+    tables promotion is about to discard are donated to the snapshot
+    (zero copying for every promoted chunk), so the first delta
+    checkpoint after [compact] captures only the writes made since. *)
 
 (** {1 Host distribution (charges time, stores data)} *)
 
@@ -272,35 +283,67 @@ val reset_stats : t -> unit
 
 (** {1 Checkpoint and recovery}
 
-    A checkpoint deep-copies every PE's local memory right after
-    distribution.  When a PE later crashes, the data it owned is lost
-    with it — communication freedom guarantees no other node depended on
-    that copy, so recovery is purely local: clear the dead PE, replay
-    its checkpointed chunks onto surviving PEs (charged as ordinary host
-    messages), and re-execute the lost blocks. *)
+    Every write — interpreter closures, compiled flat-view kernels,
+    serviced remote writes — records into a per-(pe, array) journal:
+    sparse writes as packed keys, flat writes as one byte in the
+    chunk's dirty bitmap.  A [`Delta] checkpoint (the default) captures
+    only the cells written since the previous capture — O(writes), not
+    O(memory) — appending one delta to a chain rooted at a periodic
+    full-snapshot base so replay stays bounded; [`Full] keeps the
+    original whole-store deep copy as the differential reference.  When
+    a PE later crashes, the data it owned is lost with it —
+    communication freedom guarantees no other node depended on that
+    copy, so recovery is purely local: clear the dead PE, replay its
+    checkpointed chunks (base + live deltas) onto surviving PEs
+    (charged as ordinary host messages), and re-execute the lost
+    blocks. *)
 
 type checkpoint
 
-val checkpoint : t -> checkpoint
-(** Snapshot all local memories (deep copy; the machine is unchanged). *)
+val checkpoint : ?mode:[ `Delta | `Full ] -> t -> checkpoint
+(** Snapshot all local memories.  [`Full] deep-copies every chunk.
+    [`Delta] (default) appends a delta of everything written since the
+    previous capture to the live chain, starting a fresh full base when
+    there is no chain yet (first checkpoint, or after {!restore}) or
+    the chain has reached its bound.  Neither mode charges simulated
+    time; the machine is unchanged apart from the journal window
+    rolling over. *)
 
 val restore : t -> checkpoint -> unit
-(** Overwrite every PE's local memory with the snapshot.  Raises
-    [Invalid_argument] when the checkpoint came from a machine with a
-    different processor count. *)
+(** Overwrite every PE's local memory with the checkpointed state
+    (rebuilding base + deltas for delta checkpoints).  The restored
+    representation is re-normalized under the {!compact} promotion
+    policy, so a checkpoint taken before compaction does not resurrect
+    the sparse layout.  Drops the live delta chain: the next [`Delta]
+    checkpoint starts from a fresh base.  Raises [Invalid_argument]
+    when the checkpoint came from a machine with a different processor
+    count. *)
 
 val checkpoint_words : checkpoint -> int
-(** Total array elements held in the snapshot across all PEs. *)
+(** Words this checkpoint captured: total elements for a [`Full] (or
+    fresh-base) snapshot, the delta payload — O(writes since the
+    previous capture) — for a chained [`Delta] checkpoint. *)
+
+val generation : t -> int
+(** Monotone store generation: bumps at every checkpoint capture, chain
+    restart, and restore. *)
+
+val journal_words : t -> int
+(** Words currently journaled but not yet captured — the payload the
+    next [`Delta] checkpoint would copy.  Gauge for observability. *)
 
 val clear_pe : t -> pe:int -> unit
-(** Drop [pe]'s entire local memory — models the node's death. *)
+(** Drop [pe]'s entire local memory — models the node's death.  The
+    clear itself is journaled, so later delta captures replay it. *)
 
 val recover_chunk : t -> checkpoint -> from_pe:int -> to_pe:int -> aid:int -> int
 (** Replay the checkpointed chunk of array [aid] that lived on
-    [from_pe] onto [to_pe], charging one pipelined host message for its
-    size (subject to link faults) and recording a [Resend] event.
-    Returns the number of words resent (0 when the snapshot holds no
-    such chunk). *)
+    [from_pe] onto [to_pe] — rebuilt from base + live deltas for delta
+    checkpoints — charging one pipelined host message for its size
+    (subject to link faults) and recording a [Resend] event.  The
+    installed chunk is journaled as a wholesale replacement.  Returns
+    the number of words resent (0 when the snapshot holds no such
+    chunk). *)
 
 (** {1 Distribution trace} *)
 

@@ -126,6 +126,7 @@ val simulate_serve :
   ?cost:Cf_machine.Cost.t ->
   ?comm_mode:Cf_machine.Machine.comm_mode ->
   ?with_distribution:bool ->
+  ?checkpoint_every:int ->
   planned ->
   simulation
 (** [Exact] plans run exactly as {!simulate}.  [Fallback] plans run
@@ -135,7 +136,10 @@ val simulate_serve :
     behavior); [procs] defaults to the fallback planner's [nprocs], the
     size its volume prediction is exact for.  Serviced-message counters
     live on [report.machine]
-    ({!Cf_machine.Machine.serviced_messages}). *)
+    ({!Cf_machine.Machine.serviced_messages}).  [checkpoint_every]
+    reaches {!Cf_exec.Parexec.execute_fallback}'s iteration-cadence
+    delta checkpointing; [Exact] plans ignore it (their fault story
+    lives in {!Cf_exec.Parexec.execute_indexed}). *)
 
 val describe : Format.formatter -> t -> unit
 (** Human-readable summary: per-array spaces, Ψ, block statistics, and

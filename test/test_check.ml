@@ -101,6 +101,7 @@ let expected_names =
     "coset-parity";
     "parexec-vs-seq";
     "fault-recovery-identical";
+    "delta-checkpoint-identical";
     "compiled-vs-interpreted";
     "canon-relabel-roundtrip";
     "cgen-roundtrip";
@@ -115,10 +116,10 @@ let no_fail oracle nest =
 
 let oracle_tests =
   [
-    ( "registry lists the nine documented oracles",
+    ( "registry lists the ten documented oracles",
       `Quick,
       fun () ->
-        check_int "count" 9 (List.length Oracle.all);
+        check_int "count" 10 (List.length Oracle.all);
         List.iter
           (fun n -> check_bool n true (List.mem n Oracle.names))
           expected_names );

@@ -235,7 +235,7 @@ let cases =
     expect_ok "fuzz runs clean on a fixed seed"
       [ "fuzz"; "--seed"; "7"; "--count"; "6";
         "--corpus-dir"; Filename.get_temp_dir_name () ]
-      [ "fuzz: seed 7, 6 case(s) x 9 oracle(s)";
+      [ "fuzz: seed 7, 6 case(s) x 10 oracle(s)";
         "0 counterexample(s)" ];
     expect_ok "fuzz respects --oracle and --depth"
       [ "fuzz"; "--seed"; "5"; "--count"; "4"; "--depth"; "2";

@@ -246,6 +246,35 @@ let machine_cases =
              (Machine.trace m));
         check_int "empty source replays nothing" 0
           (Machine.recover_chunk m ckpt ~from_pe:1 ~to_pe:0 ~aid));
+    Alcotest.test_case "compact donates pre-promotion tables as a free base"
+      `Quick (fun () ->
+        (* On a fault-carrying machine the compactor seeds the delta
+           chain with the sparse tables promotion orphans, so the
+           mandatory post-distribution checkpoint costs zero copies. *)
+        let faults = Fault.make ~procs:2 Fault.none in
+        let m = Machine.create ~faults (Topology.linear 2) Cost.transputer in
+        for i = 0 to 5 do
+          for j = 0 to 5 do
+            Machine.store m ~pe:0 "A" [| i; j |] ((10 * i) + j)
+          done
+        done;
+        Machine.store m ~pe:1 "B" [| 0 |] 7;
+        Machine.compact m;
+        let c0 = Machine.checkpoint m in
+        check_int "post-compact checkpoint is free" 0
+          (Machine.checkpoint_words c0);
+        Machine.write m ~pe:0 "A" [| 2; 2 |] 999;
+        let c1 = Machine.checkpoint m in
+        check_int "next delta pays one word" 1 (Machine.checkpoint_words c1);
+        Machine.write m ~pe:0 "A" [| 2; 2 |] 0;
+        Machine.write m ~pe:0 "A" [| 3; 3 |] 0;
+        Machine.restore m c0;
+        check_int "donated base replays the distributed state" 33
+          (Machine.read m ~pe:0 "A" [| 3; 3 |]);
+        check_int "donated base covers every PE" 7
+          (Machine.read m ~pe:1 "B" [| 0 |]);
+        check_int "pre-checkpoint value intact" 22
+          (Machine.read m ~pe:0 "A" [| 2; 2 |]));
   ]
 
 (* --- Recovery identity: the crux of the fault layer.  Both the
@@ -302,6 +331,73 @@ let recovery_cases =
   List.concat_map
     (fun workload -> List.map (identity_case workload) Strategy.all)
     [ ("matmul L5 (m=4)", Matmul.nest ~m:4); ("stencil_3d (4^3)", stencil_nest) ]
+
+(* --- Per-round checkpoint cadence: refreshing the snapshot every
+   round must leave recovery bit-for-bit identical, whether the refresh
+   is a delta capture or a full deep copy; the two modes may differ
+   only in the words they capture. --- *)
+
+let cadence_case (wname, nest) =
+  Alcotest.test_case
+    (Printf.sprintf "checkpoint_every:1 recovers bit-for-bit on %s" wname)
+    `Quick
+    (fun () ->
+      let strategy = Strategy.Duplicate in
+      let spec =
+        { Fault.none with seed = 11; kills = [ (0, 3); (1, 5) ] }
+      in
+      let run mode =
+        let faults = Fault.make ~procs:nprocs spec in
+        let psi = Strategy.partitioning_space strategy nest in
+        let coset = Coset.make nest psi in
+        let machine =
+          Machine.create ~faults (Topology.linear nprocs) Cost.transputer
+        in
+        Parexec.execute_indexed ~charge_distribution:true ~checkpoint_every:1
+          ~checkpoint_mode:mode ~machine
+          ~placement:(Parexec.cyclic ~nprocs) ~strategy coset
+      in
+      let rd = run `Delta in
+      let rf = run `Full in
+      check_bool "delta-checkpointed recovery identical to sequential" true
+        (Parexec.ok rd);
+      check_bool "full-checkpointed recovery identical to sequential" true
+        (Parexec.ok rf);
+      match (rd.Parexec.recovery, rf.Parexec.recovery) with
+      | Some d, Some f ->
+        check_bool "mid-run crashes forced extra rounds" true
+          (d.Parexec.rounds >= 2);
+        check_bool "the cadence refreshed the snapshot" true
+          (d.Parexec.checkpoints >= 2);
+        check_int "same rounds either mode" f.Parexec.rounds d.Parexec.rounds;
+        check_int "same replayed blocks" f.Parexec.replayed_blocks
+          d.Parexec.replayed_blocks;
+        check_int "same redistributed words" f.Parexec.redistributed_words
+          d.Parexec.redistributed_words;
+        check_int "same checkpoint count" f.Parexec.checkpoints
+          d.Parexec.checkpoints;
+        check_bool "deltas capture strictly less than full copies" true
+          (d.Parexec.checkpoint_words < f.Parexec.checkpoint_words);
+        check_bool "per-PE work identical" true
+          (rd.Parexec.per_pe_iterations = rf.Parexec.per_pe_iterations)
+      | _ -> Alcotest.fail "faulted runs must report recovery")
+
+let cadence_cases =
+  List.map cadence_case
+    [ ("matmul L5 (m=4)", Matmul.nest ~m:4); ("stencil_3d (4^3)", stencil_nest) ]
+  @ [
+      Alcotest.test_case "cadence guard rail" `Quick (fun () ->
+          let nest = Matmul.nest ~m:3 in
+          let strategy = Strategy.Duplicate in
+          let psi = Strategy.partitioning_space strategy nest in
+          expect_invalid "negative checkpoint_every" (fun () ->
+              let machine =
+                Machine.create (Topology.linear 2) Cost.transputer
+              in
+              Parexec.execute_indexed ~checkpoint_every:(-1) ~machine
+                ~placement:(Parexec.cyclic ~nprocs:2)
+                ~strategy (Coset.make nest psi)));
+    ]
 
 let reproducibility_cases =
   [
@@ -389,5 +485,5 @@ let suites =
     ("fault.rng", rng_cases);
     ("fault.plan", plan_cases);
     ("fault.machine", machine_cases);
-    ("fault.recovery", recovery_cases @ reproducibility_cases);
+    ("fault.recovery", recovery_cases @ cadence_cases @ reproducibility_cases);
   ]

@@ -302,6 +302,139 @@ let memory_cases =
           (Machine.holds m ~pe:0 "A" [| 1; 2 |]));
   ]
 
+(* {2 Delta checkpoints}
+
+   The write journal and the generation-stamped chain behind
+   [Machine.checkpoint ~mode:`Delta]: captures cost O(writes since the
+   previous capture), fold per cell is latest-wins, deltas survive the
+   sparse->flat promotion and flat->sparse demotion boundaries, and
+   [restore] re-runs the promotion policy instead of resurrecting the
+   checkpointed representation. *)
+
+let checkpoint_cases =
+  [
+    Alcotest.test_case "delta checkpoint_words is O(writes) not O(memory)"
+      `Quick (fun () ->
+        let m = Machine.create (Topology.linear 2) Cost.transputer in
+        for i = 0 to 99 do
+          Machine.store m ~pe:0 "A" [| i |] i
+        done;
+        let g0 = Machine.generation m in
+        (* First delta checkpoint has no chain to extend: it pays for a
+           full base once. *)
+        let base = Machine.checkpoint m in
+        check_int "base pays the full memory once" 100
+          (Machine.checkpoint_words base);
+        check_bool "generation advanced" true (Machine.generation m > g0);
+        (* k writes (one cell twice: latest-wins, one word). *)
+        Machine.write m ~pe:0 "A" [| 3 |] 333;
+        Machine.write m ~pe:0 "A" [| 7 |] 777;
+        Machine.write m ~pe:0 "A" [| 3 |] 334;
+        check_int "journal sees two dirty cells" 2 (Machine.journal_words m);
+        let d1 = Machine.checkpoint m in
+        check_int "delta pays only the writes" 2 (Machine.checkpoint_words d1);
+        check_int "capture drains the journal" 0 (Machine.journal_words m);
+        let d2 = Machine.checkpoint m in
+        check_int "no writes, empty delta" 0 (Machine.checkpoint_words d2));
+    Alcotest.test_case "delta fold is latest-wins per cell" `Quick (fun () ->
+        let m = Machine.create (Topology.linear 1) Cost.transputer in
+        Machine.store m ~pe:0 "A" [| 1 |] 1;
+        Machine.store m ~pe:0 "A" [| 2 |] 2;
+        let c0 = Machine.checkpoint m in
+        (* Interleaved rewrites of the same cells, in both orders. *)
+        Machine.write m ~pe:0 "A" [| 1 |] 10;
+        Machine.write m ~pe:0 "A" [| 2 |] 20;
+        Machine.write m ~pe:0 "A" [| 1 |] 11;
+        Machine.write m ~pe:0 "A" [| 2 |] 22;
+        Machine.write m ~pe:0 "A" [| 1 |] 12;
+        let c1 = Machine.checkpoint m in
+        check_int "one word per cell, however many rewrites" 2
+          (Machine.checkpoint_words c1);
+        Machine.write m ~pe:0 "A" [| 1 |] 999;
+        Machine.write m ~pe:0 "A" [| 2 |] 999;
+        Machine.restore m c1;
+        check_int "latest value of cell 1" 12 (Machine.read m ~pe:0 "A" [| 1 |]);
+        check_int "latest value of cell 2" 22 (Machine.read m ~pe:0 "A" [| 2 |]);
+        Machine.restore m c0;
+        check_int "older checkpoint, older values" 1
+          (Machine.read m ~pe:0 "A" [| 1 |]);
+        check_int "older checkpoint, older values (2)" 2
+          (Machine.read m ~pe:0 "A" [| 2 |]));
+    Alcotest.test_case "restore never replays writes from later generations"
+      `Quick (fun () ->
+        let m = Machine.create (Topology.linear 1) Cost.transputer in
+        Machine.store m ~pe:0 "A" [| 0 |] 0;
+        ignore (Machine.checkpoint m);
+        Machine.write m ~pe:0 "A" [| 0 |] 1;
+        let mid = Machine.checkpoint m in
+        (* These writes postdate [mid]; a restore that replays the whole
+           chain instead of stopping at [mid]'s generation would leak
+           them back in. *)
+        Machine.write m ~pe:0 "A" [| 0 |] 2;
+        ignore (Machine.checkpoint m);
+        Machine.write m ~pe:0 "A" [| 0 |] 3;
+        Machine.restore m mid;
+        check_int "rolled back to mid, not to head" 1
+          (Machine.read m ~pe:0 "A" [| 0 |]));
+    Alcotest.test_case
+      "deltas survive sparse->flat compact and flat->sparse demotion" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 1) Cost.transputer in
+        let aid = Machine.array_id m "A" in
+        for i = 0 to 5 do
+          for j = 0 to 5 do
+            Machine.store m ~pe:0 "A" [| i; j |] ((10 * i) + j)
+          done
+        done;
+        let c0 = Machine.checkpoint m in
+        (* Generation boundary 1: promotion to a flat buffer. *)
+        Machine.compact m;
+        check_bool "promoted" true (Machine.flat_view m ~pe:0 aid <> None);
+        Machine.write m ~pe:0 "A" [| 1; 1 |] 111;
+        (* Generation boundary 2: an out-of-box store demotes the flat
+           chunk back to sparse; the dirty in-box write must not be
+           lost in the move. *)
+        Machine.store m ~pe:0 "A" [| 50; 50 |] 5050;
+        check_bool "demoted" true (Machine.flat_view m ~pe:0 aid = None);
+        let c1 = Machine.checkpoint m in
+        check_int "two writes across both boundaries" 2
+          (Machine.checkpoint_words c1);
+        Machine.write m ~pe:0 "A" [| 1; 1 |] 0;
+        Machine.write m ~pe:0 "A" [| 50; 50 |] 0;
+        Machine.restore m c1;
+        check_int "in-box write survives" 111
+          (Machine.read m ~pe:0 "A" [| 1; 1 |]);
+        check_int "out-of-box write survives" 5050
+          (Machine.read m ~pe:0 "A" [| 50; 50 |]);
+        check_int "untouched cell survives" 23
+          (Machine.read m ~pe:0 "A" [| 2; 3 |]);
+        Machine.restore m c0;
+        check_int "pre-compact checkpoint still replays" 11
+          (Machine.read m ~pe:0 "A" [| 1; 1 |]);
+        check_bool "and drops the escape" false
+          (Machine.holds m ~pe:0 "A" [| 50; 50 |]));
+    Alcotest.test_case "restore re-normalizes the representation" `Quick
+      (fun () ->
+        let m = Machine.create (Topology.linear 1) Cost.transputer in
+        let aid = Machine.array_id m "A" in
+        for i = 0 to 5 do
+          for j = 0 to 5 do
+            Machine.store m ~pe:0 "A" [| i; j |] ((10 * i) + j)
+          done
+        done;
+        (* Checkpoint while sparse, compact afterwards: the snapshot
+           holds the pre-promotion representation. *)
+        let ckpt = Machine.checkpoint ~mode:`Full m in
+        Machine.compact m;
+        check_bool "compacted to flat" true (Machine.flat_view m ~pe:0 aid <> None);
+        Machine.restore m ckpt;
+        (* Before the fix this resurrected the sparse table, silently
+           demoting the store behind flat-view consumers. *)
+        check_bool "restore re-promotes a dense chunk" true
+          (Machine.flat_view m ~pe:0 aid <> None);
+        check_int "values intact" 45 (Machine.read m ~pe:0 "A" [| 4; 5 |]));
+  ]
+
 let suites =
   [
     ("topology", topology_cases);
@@ -309,4 +442,5 @@ let suites =
     ("machine", machine_cases);
     ("trace", trace_cases);
     ("memory", memory_cases);
+    ("memory.checkpoint", checkpoint_cases);
   ]
